@@ -1,0 +1,313 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Sec. V) at CI-friendly scales, plus micro-benchmarks of the substrates
+// and the ablations called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks print their table/series via b.Log on the
+// first iteration; cmd/experiments regenerates the full-size versions.
+package mccatch_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mccatch"
+	"mccatch/internal/data"
+	"mccatch/internal/eval"
+	"mccatch/internal/experiments"
+	"mccatch/internal/fractal"
+	"mccatch/internal/join"
+	"mccatch/internal/kdtree"
+	"mccatch/internal/metric"
+	"mccatch/internal/slimtree"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 0.004, Seed: 1, Runs: 1}
+}
+
+// logged runs an experiment printer once per iteration and logs the first
+// output so `-v` shows the regenerated rows.
+func logged(b *testing.B, f func(buf *bytes.Buffer)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		f(&buf)
+		if i == 0 {
+			b.Log(buf.String())
+		}
+	}
+}
+
+// --- One benchmark per table ---
+
+func BenchmarkTable1Specs(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Table1Specs(buf) })
+}
+
+func BenchmarkTable2Hyperparams(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Table2Hyperparams(buf) })
+}
+
+func BenchmarkTable3Datasets(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Table3Datasets(buf, benchConfig()) })
+}
+
+func BenchmarkTable4Accuracy(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.AccuracyReport(buf, benchConfig()) })
+}
+
+func BenchmarkTable5Axioms(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Table5Axioms(buf, benchConfig(), 3) })
+}
+
+func BenchmarkTable6Runtime(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Table6Runtime(buf, benchConfig()) })
+}
+
+// --- One benchmark per figure ---
+
+func BenchmarkFig1Showcase(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Fig1Showcase(buf, benchConfig()) })
+}
+
+func BenchmarkFig2Axioms(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Fig2Axioms(buf, benchConfig()) })
+}
+
+func BenchmarkFig3OraclePlot(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Fig3OraclePlot(buf, benchConfig()) })
+}
+
+func BenchmarkFig7Scalability(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Fig7Scalability(buf, benchConfig(), 4000) })
+}
+
+func BenchmarkFig8Showcase(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Fig8Showcase(buf, benchConfig()) })
+}
+
+func BenchmarkFig9Sensitivity(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.Fig9Sensitivity(buf, benchConfig()) })
+}
+
+// Beyond the paper: the full detector roster, including the Tab. I methods
+// the paper lists but does not benchmark.
+func BenchmarkExtendedAccuracy(b *testing.B) {
+	logged(b, func(buf *bytes.Buffer) { experiments.ExtendedAccuracy(buf, benchConfig()) })
+}
+
+// --- Core pipeline at increasing sizes (the Fig. 7 microscope) ---
+
+func benchPipeline(b *testing.B, n, dim int) {
+	b.Helper()
+	pts := data.Uniform(n, dim, 1).Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mccatch.RunVectors(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineN1k2d(b *testing.B)  { benchPipeline(b, 1000, 2) }
+func BenchmarkPipelineN4k2d(b *testing.B)  { benchPipeline(b, 4000, 2) }
+func BenchmarkPipelineN16k2d(b *testing.B) { benchPipeline(b, 16000, 2) }
+func BenchmarkPipelineN4k20d(b *testing.B) { benchPipeline(b, 4000, 20) }
+
+// BenchmarkPipelineStrings exercises the nondimensional path end to end.
+func BenchmarkPipelineStrings(b *testing.B) {
+	d := data.LastNames(800, 12, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mccatch.RunStrings(d.Words); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func randPoints(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func BenchmarkSlimTreeBuild10k(b *testing.B) {
+	pts := randPoints(10000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimtree.New(metric.Euclidean, 0, pts)
+	}
+}
+
+func BenchmarkSlimTreeRangeQuery(b *testing.B) {
+	pts := randPoints(10000, 2)
+	t := slimtree.New(metric.Euclidean, 0, pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.RangeCount(pts[i%len(pts)], 3.0)
+	}
+}
+
+func BenchmarkSlimTreeKNN(b *testing.B) {
+	pts := randPoints(10000, 2)
+	t := slimtree.New(metric.Euclidean, 0, pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.KNN(pts[i%len(pts)], 10)
+	}
+}
+
+// Ablation (DESIGN.md): the kd-tree index against the slim-tree on the
+// same vector workload — the paper's footnote 4 trade-off.
+func BenchmarkAblationKDTreeRangeQuery(b *testing.B) {
+	pts := randPoints(10000, 2)
+	t := kdtree.New(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.RangeCount(pts[i%len(pts)], 3.0)
+	}
+}
+
+// Ablation: slim-tree node capacity (split cost vs pruning power).
+func BenchmarkAblationTreeCapacity8(b *testing.B)  { benchCapacity(b, 8) }
+func BenchmarkAblationTreeCapacity64(b *testing.B) { benchCapacity(b, 64) }
+
+func benchCapacity(b *testing.B, capacity int) {
+	b.Helper()
+	pts := randPoints(4000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mccatch.RunVectors(pts, mccatch.WithTreeCapacity(capacity)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the sparse-focused multi-radius join against naive per-radius
+// full self-joins (Sec. IV-G's main speed-up principle).
+func BenchmarkJoinSparseFocused(b *testing.B) {
+	pts := randPoints(4000, 2)
+	t := slimtree.New(metric.Euclidean, 0, pts)
+	radii := geomRadii(t.DiameterEstimate(), 15)
+	cap := len(pts) / 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		join.MultiRadiusCounts(t, pts, radii, cap, true)
+	}
+}
+
+func BenchmarkJoinNaiveAllRadii(b *testing.B) {
+	pts := randPoints(4000, 2)
+	t := slimtree.New(metric.Euclidean, 0, pts)
+	radii := geomRadii(t.DiameterEstimate(), 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range radii {
+			join.SelfCounts(t, pts, r)
+		}
+	}
+}
+
+func geomRadii(l float64, a int) []float64 {
+	radii := make([]float64, a)
+	for e := 0; e < a; e++ {
+		radii[e] = l
+		for k := 0; k < a-1-e; k++ {
+			radii[e] /= 2
+		}
+	}
+	return radii
+}
+
+func BenchmarkFractalDimension(b *testing.B) {
+	pts := randPoints(5000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fractal.Dimension(pts, metric.Euclidean, fractal.Options{Seed: 1})
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		metric.Levenshtein("brzezinski", "breszinsky")
+	}
+}
+
+func BenchmarkAUROC(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	scores := make([]float64, 100000)
+	labels := make([]bool, len(scores))
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(100) == 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.AUROC(scores, labels)
+	}
+}
+
+// Ablation: the Slim-tree's slim-down reorganization (paper substrate
+// feature) against the plain build on clustered data.
+func BenchmarkAblationSlimDownOff(b *testing.B) { benchSlimDown(b, 0) }
+func BenchmarkAblationSlimDownOn(b *testing.B)  { benchSlimDown(b, 3) }
+
+func benchSlimDown(b *testing.B, passes int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	var pts [][]float64
+	for len(pts) < 6000 {
+		cx, cy := rng.Float64()*100, rng.Float64()*100
+		for i := 0; i < 30; i++ {
+			pts = append(pts, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var opts []mccatch.Option
+		if passes > 0 {
+			opts = append(opts, mccatch.WithSlimDown(passes))
+		}
+		if _, err := mccatch.RunVectors(pts, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the full pipeline on each of the three vector indexes the
+// paper names (slim-tree, kd-tree, R-tree).
+func BenchmarkAblationPipelineSlimTree(b *testing.B) { benchIndexPipeline(b, "slim") }
+func BenchmarkAblationPipelineKDTree(b *testing.B)   { benchIndexPipeline(b, "kd") }
+func BenchmarkAblationPipelineRTree(b *testing.B)    { benchIndexPipeline(b, "r") }
+
+func benchIndexPipeline(b *testing.B, kind string) {
+	b.Helper()
+	pts := data.Uniform(4000, 2, 1).Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		switch kind {
+		case "slim":
+			_, err = mccatch.RunVectors(pts)
+		case "kd":
+			_, err = mccatch.RunVectorsKD(pts)
+		case "r":
+			_, err = mccatch.RunVectorsR(pts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

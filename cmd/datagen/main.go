@@ -1,0 +1,119 @@
+// Command datagen emits one of the synthetic stand-in datasets as CSV on
+// stdout (vector datasets: one point per row with a final binary label
+// column; Last Names: one name per line with ,label).
+//
+// Usage:
+//
+//	datagen -dataset http -scale 0.1 > http.csv
+//	datagen -dataset shanghai > tiles.csv
+//	datagen -dataset axiom-cross-isolation -n 100000 > axiom.csv
+//	datagen -dataset lastnames > names.txt
+//	datagen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mccatch/internal/data"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	var (
+		name  = flag.String("dataset", "", "dataset name (see -list)")
+		scale = flag.Float64("scale", 0.02, "scale factor for sized datasets")
+		n     = flag.Int("n", 10000, "cardinality for axiom/uniform/diagonal datasets")
+		dim   = flag.Int("dim", 2, "dimension for uniform/diagonal")
+		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list available datasets")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("http, shanghai, volcanoes, lastnames, uniform, diagonal")
+		fmt.Println("axiom-{gaussian|cross|arc}-{isolation|cardinality}")
+		for _, s := range data.BenchmarkSpecs {
+			fmt.Println(strings.ToLower(s.Name))
+		}
+		return
+	}
+
+	switch {
+	case *name == "http":
+		d := data.HTTPLike(*scale, *seed)
+		writeVector(d.Points, d.Labels)
+	case *name == "shanghai":
+		d := data.Shanghai(*seed)
+		writeVector(d.Points, d.Labels)
+	case *name == "volcanoes":
+		d := data.Volcanoes(*seed)
+		writeVector(d.Points, d.Labels)
+	case *name == "lastnames":
+		d := data.LastNames(int(5000**scale/0.02), int(50**scale/0.02), *seed)
+		for i, w := range d.Words {
+			fmt.Printf("%s,%d\n", w, b2i(d.Labels[i]))
+		}
+	case *name == "uniform":
+		writeVector(data.Uniform(*n, *dim, *seed).Points, nil)
+	case *name == "diagonal":
+		writeVector(data.Diagonal(*n, *dim, *seed).Points, nil)
+	case strings.HasPrefix(*name, "axiom-"):
+		parts := strings.Split(*name, "-")
+		if len(parts) != 3 {
+			log.Fatalf("bad axiom dataset %q", *name)
+		}
+		shape, ok := map[string]data.Shape{"gaussian": data.Gaussian, "cross": data.Cross, "arc": data.Arc}[parts[1]]
+		if !ok {
+			log.Fatalf("unknown shape %q", parts[1])
+		}
+		axiom, ok := map[string]data.Axiom{"isolation": data.Isolation, "cardinality": data.Cardinality}[parts[2]]
+		if !ok {
+			log.Fatalf("unknown axiom %q", parts[2])
+		}
+		sc := data.AxiomDataset(shape, axiom, *n, *seed)
+		writeVector(sc.Points, sc.Labels)
+	default:
+		if spec, ok := data.SpecByName(properName(*name)); ok {
+			v := spec.Generate(*scale, *seed)
+			writeVector(v.Points, v.Labels)
+			return
+		}
+		log.Fatalf("unknown dataset %q (try -list)", *name)
+	}
+}
+
+// properName restores benchmark-name capitalization from a lower-case flag.
+func properName(lower string) string {
+	for _, s := range data.BenchmarkSpecs {
+		if strings.EqualFold(s.Name, lower) {
+			return s.Name
+		}
+	}
+	return lower
+}
+
+func writeVector(points [][]float64, labels []bool) {
+	w := os.Stdout
+	for i, p := range points {
+		for _, v := range p {
+			fmt.Fprintf(w, "%g,", v)
+		}
+		label := 0
+		if labels != nil && labels[i] {
+			label = 1
+		}
+		fmt.Fprintf(w, "%d\n", label)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

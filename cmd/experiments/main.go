@@ -1,0 +1,91 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	experiments -all                # everything, small scale
+//	experiments -table 4 -scale 0.1 # one table at a larger scale
+//	experiments -figure 7 -maxn 64000
+//
+// Scale 1 reproduces the paper-size cardinalities (HTTP 222k, axiom
+// datasets ~1M); the default 0.02 finishes in minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"mccatch/internal/experiments"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate one table (1-6)")
+		figure = flag.Int("figure", 0, "regenerate one figure (1,2,3,6,7,8,9)")
+		all    = flag.Bool("all", false, "regenerate everything")
+		ext    = flag.Bool("extended", false, "run the beyond-paper extended detector roster")
+		scale  = flag.Float64("scale", 0.02, "dataset scale factor in (0,1]")
+		seed   = flag.Int64("seed", 1, "random seed")
+		runs   = flag.Int("runs", 3, "repetitions for nondeterministic competitors")
+		trials = flag.Int("trials", 10, "trials per cell for the axiom t-tests (paper: 50)")
+		maxn   = flag.Int("maxn", 16000, "largest sample size for the scalability sweep")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Runs: *runs}
+	w := os.Stdout
+
+	if *ext {
+		experiments.ExtendedAccuracy(w, cfg)
+		if !*all && *table == 0 && *figure == 0 {
+			return
+		}
+	}
+	if *all {
+		experiments.Table1Specs(w)
+		experiments.Table2Hyperparams(w)
+		experiments.Table3Datasets(w, cfg)
+		experiments.AccuracyReport(w, cfg)
+		experiments.Table5Axioms(w, cfg, *trials)
+		experiments.Table6Runtime(w, cfg)
+		experiments.Fig1Showcase(w, cfg)
+		experiments.Fig2Axioms(w, cfg)
+		experiments.Fig3OraclePlot(w, cfg)
+		experiments.Fig7Scalability(w, cfg, *maxn)
+		experiments.Fig8Showcase(w, cfg)
+		experiments.Fig9Sensitivity(w, cfg)
+		return
+	}
+	switch *table {
+	case 1:
+		experiments.Table1Specs(w)
+	case 2:
+		experiments.Table2Hyperparams(w)
+	case 3:
+		experiments.Table3Datasets(w, cfg)
+	case 4:
+		experiments.Table4Accuracy(w, cfg)
+	case 5:
+		experiments.Table5Axioms(w, cfg, *trials)
+	case 6:
+		experiments.Table6Runtime(w, cfg)
+	}
+	switch *figure {
+	case 1:
+		experiments.Fig1Showcase(w, cfg)
+	case 2:
+		experiments.Fig2Axioms(w, cfg)
+	case 3, 4, 5:
+		experiments.Fig3OraclePlot(w, cfg)
+	case 6:
+		experiments.Fig6Grid(w, cfg)
+	case 7:
+		experiments.Fig7Scalability(w, cfg, *maxn)
+	case 8:
+		experiments.Fig8Showcase(w, cfg)
+	case 9:
+		experiments.Fig9Sensitivity(w, cfg)
+	}
+	if *table == 0 && *figure == 0 && !*ext {
+		flag.Usage()
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVPlain(t *testing.T) {
+	pts, err := readCSV(strings.NewReader("1,2\n3,4\n5.5,-6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || pts[2][0] != 5.5 || pts[2][1] != -6 {
+		t.Fatalf("bad parse: %v", pts)
+	}
+}
+
+func TestReadCSVSkipsHeader(t *testing.T) {
+	pts, err := readCSV(strings.NewReader("x,y\n1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0][0] != 1 {
+		t.Fatalf("header not skipped: %v", pts)
+	}
+}
+
+func TestReadCSVRejectsMidfileGarbage(t *testing.T) {
+	if _, err := readCSV(strings.NewReader("1,2\nfoo,bar\n")); err == nil {
+		t.Error("non-numeric mid-file row should error")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := readCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := readCSV(strings.NewReader("x,y\n")); err == nil {
+		t.Error("header-only input should error")
+	}
+}
+
+func TestReadLines(t *testing.T) {
+	lines, err := readLines(strings.NewReader("smith\n\njones\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || lines[0] != "smith" || lines[1] != "jones" {
+		t.Fatalf("bad lines: %v", lines)
+	}
+	if _, err := readLines(strings.NewReader("\n\n")); err == nil {
+		t.Error("blank-only input should error")
+	}
+}

@@ -1,0 +1,51 @@
+package mccatch_test
+
+import (
+	"fmt"
+
+	"mccatch"
+)
+
+// A dense blob, a 3-point microcluster, and a lone outlier: MCCATCH ranks
+// the detected microclusters most-strange-first with no tuning.
+func ExampleRunVectors() {
+	var points [][]float64
+	for i := 0; i < 400; i++ {
+		// A deterministic dense grid of inliers.
+		points = append(points, []float64{float64(i%20) * 0.1, float64(i/20) * 0.1})
+	}
+	points = append(points,
+		[]float64{30, 30}, []float64{30.05, 30}, []float64{30, 30.05}, // coalition
+		[]float64{-40, 10}, // one-off
+	)
+	res, err := mccatch.RunVectors(points)
+	if err != nil {
+		panic(err)
+	}
+	for _, mc := range res.Microclusters {
+		fmt.Printf("%d member(s), members %v\n", len(mc.Members), mc.Members)
+	}
+	// Output:
+	// 1 member(s), members [403]
+	// 3 member(s), members [400 401 402]
+}
+
+// Strings need nothing but the edit distance: the lone foreign-style name
+// stands out among the near-duplicate English ones.
+func ExampleRunStrings() {
+	words := []string{"szczepkowski"}
+	for i := 0; i < 8; i++ {
+		words = append(words, "smith", "smyth", "smithe", "smitt", "smitts", "smythe")
+	}
+	res, err := mccatch.RunStrings(words)
+	if err != nil {
+		panic(err)
+	}
+	for _, mc := range res.Microclusters {
+		for _, m := range mc.Members {
+			fmt.Println(words[m])
+		}
+	}
+	// Output:
+	// szczepkowski
+}

@@ -1,0 +1,45 @@
+// Quickstart: detect microclusters in a small 2-d vector dataset with
+// MCCATCH's hands-off defaults.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mccatch"
+)
+
+func main() {
+	// A dense blob of 1,000 normal points...
+	rng := rand.New(rand.NewSource(42))
+	var points [][]float64
+	for i := 0; i < 1000; i++ {
+		points = append(points, []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2})
+	}
+	// ...a suspicious 5-point microcluster (coalition!)...
+	for i := 0; i < 5; i++ {
+		points = append(points, []float64{30 + rng.Float64()*0.2, 30 + rng.Float64()*0.2})
+	}
+	// ...and a lone outlier.
+	points = append(points, []float64{-35, 20})
+
+	res, err := mccatch.RunVectors(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d microclusters (most-strange-first):\n", len(res.Microclusters))
+	for i, mc := range res.Microclusters {
+		kind := "microcluster"
+		if len(mc.Members) == 1 {
+			kind = "'one-off' outlier"
+		}
+		fmt.Printf("#%d %-18s score=%6.2f bridge=%6.2f members=%v\n",
+			i+1, kind, mc.Score, mc.Bridge, mc.Members)
+	}
+	fmt.Printf("\nexplainability: diameter=%.1f, MDL cutoff d=%.2f at radius bin %d/%d\n",
+		res.Diameter, res.Cutoff, res.CutoffIndex+1, len(res.Radii))
+}

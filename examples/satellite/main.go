@@ -1,0 +1,50 @@
+// Attention-routing example (paper Figs. 1(i) and 8(i)): MCCATCH on
+// average RGB values of satellite image tiles. Microclusters mark small
+// groups of tiles that are unusual *and alike* — e.g. two buildings with
+// the same rare roof color, or snow patches on a volcano summit — while
+// singletons mark tiles that are unusual in their own way.
+//
+//	go run ./examples/satellite
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mccatch"
+	"mccatch/internal/data"
+)
+
+func main() {
+	for _, scene := range []*data.SatelliteTiles{data.Shanghai(1), data.Volcanoes(1)} {
+		fmt.Printf("== %s: %d tiles ==\n", scene.Name, len(scene.Points))
+		res, err := mccatch.RunVectors(scene.Points)
+		if err != nil {
+			log.Fatal(err)
+		}
+		planted := map[int]int{} // tile -> planted mc id
+		for k, mc := range scene.MCs {
+			for _, i := range mc {
+				planted[i] = k + 1
+			}
+		}
+		for i, mc := range res.Microclusters {
+			if i >= 6 {
+				fmt.Printf("  ... and %d more\n", len(res.Microclusters)-6)
+				break
+			}
+			kind := fmt.Sprintf("%d-tile group", len(mc.Members))
+			if len(mc.Members) == 1 {
+				kind = "lone tile"
+			}
+			note := ""
+			if k := planted[mc.Members[0]]; k > 0 {
+				note = fmt.Sprintf("  <-- planted unusual-color group #%d", k)
+			}
+			rgb := scene.Points[mc.Members[0]]
+			fmt.Printf("  #%d %-13s score=%6.2f avg RGB≈(%.0f,%.0f,%.0f)%s\n",
+				i+1, kind, mc.Score, rgb[0], rgb[1], rgb[2], note)
+		}
+		fmt.Println()
+	}
+}

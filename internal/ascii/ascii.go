@@ -1,0 +1,141 @@
+// Package ascii renders small scatter plots and bar charts as text, so the
+// experiment harness can show the paper's figures — the 'Oracle' plot of
+// Fig. 3 and the cutoff histogram of Fig. 4 — directly in a terminal.
+package ascii
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// axis maps data values into [0, 1], optionally in log scale. Non-positive
+// values under a log axis clamp to the smallest positive value present.
+type axis struct {
+	lo, hi float64
+	log    bool
+}
+
+func newAxis(vs []float64, logScale bool) axis {
+	a := axis{lo: math.Inf(1), hi: math.Inf(-1), log: logScale}
+	minPos := math.Inf(1)
+	for _, v := range vs {
+		if v > 0 && v < minPos {
+			minPos = v
+		}
+	}
+	for _, v := range vs {
+		t := a.value(v, minPos)
+		if t < a.lo {
+			a.lo = t
+		}
+		if t > a.hi {
+			a.hi = t
+		}
+	}
+	if !(a.hi > a.lo) { // empty or constant input
+		a.lo, a.hi = a.lo-1, a.lo+1
+	}
+	return a
+}
+
+func (a axis) value(v, minPos float64) float64 {
+	if !a.log {
+		return v
+	}
+	if v <= 0 {
+		if math.IsInf(minPos, 1) {
+			return 0
+		}
+		v = minPos
+	}
+	return math.Log2(v)
+}
+
+// frac returns v's position in [0, 1] along the axis.
+func (a axis) frac(v, minPos float64) float64 {
+	t := a.value(v, minPos)
+	f := (t - a.lo) / (a.hi - a.lo)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Scatter renders the points as a width×height character grid inside a
+// box. marks optionally assigns a glyph per point (0 = default '.'); later
+// points overwrite earlier ones, so callers should list highlighted points
+// last.
+func Scatter(w io.Writer, xs, ys []float64, marks []byte, width, height int, logX, logY bool) {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	ax := newAxis(xs, logX)
+	ay := newAxis(ys, logY)
+	minPosX := smallestPositive(xs)
+	minPosY := smallestPositive(ys)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		cx := int(ax.frac(xs[i], minPosX) * float64(width-1))
+		cy := int(ay.frac(ys[i], minPosY) * float64(height-1))
+		glyph := byte('.')
+		if marks != nil && i < len(marks) && marks[i] != 0 {
+			glyph = marks[i]
+		}
+		grid[height-1-cy][cx] = glyph
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(row))
+	}
+	fmt.Fprintf(w, "+%s+\n", strings.Repeat("-", width))
+}
+
+// Bars renders a histogram as one line per bin, scaled to maxWidth
+// characters, with an optional marker arrow on one bin (markBin < 0 for
+// none) — Fig. 4's cutoff pointer.
+func Bars(w io.Writer, values []int, labels []string, maxWidth, markBin int) {
+	if maxWidth < 4 {
+		maxWidth = 4
+	}
+	peak := 0
+	for _, v := range values {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for i, v := range values {
+		label := ""
+		if labels != nil && i < len(labels) {
+			label = labels[i]
+		}
+		bar := strings.Repeat("#", int(math.Round(float64(v)/float64(peak)*float64(maxWidth))))
+		mark := ""
+		if i == markBin {
+			mark = "  <-- cutoff d"
+		}
+		fmt.Fprintf(w, "%12s %7d %s%s\n", label, v, bar, mark)
+	}
+}
+
+func smallestPositive(vs []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range vs {
+		if v > 0 && v < m {
+			m = v
+		}
+	}
+	return m
+}

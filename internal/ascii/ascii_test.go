@@ -1,0 +1,81 @@
+package ascii
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScatterDimensionsAndGlyphs(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 3}
+	marks := []byte{0, 0, 0, 'X'}
+	Scatter(&buf, xs, ys, marks, 20, 6, false, false)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 7 { // 6 rows + bottom border
+		t.Fatalf("got %d lines, want 7:\n%s", len(lines), buf.String())
+	}
+	for _, l := range lines[:6] {
+		if len(l) != 22 { // | + 20 + |
+			t.Fatalf("row width %d, want 22: %q", len(l), l)
+		}
+	}
+	// The marked point is top-right; the default points are dots.
+	if !strings.Contains(lines[0], "X") {
+		t.Errorf("marked glyph missing from the top row:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), ".") {
+		t.Error("default dots missing")
+	}
+}
+
+func TestScatterLogAxesHandleZeros(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 0.001, 1, 1000}
+	ys := []float64{0, 0, 5, 5}
+	Scatter(&buf, xs, ys, nil, 24, 5, true, true)
+	if !strings.Contains(buf.String(), ".") {
+		t.Error("log scatter lost its points")
+	}
+}
+
+func TestScatterDegenerateInputs(t *testing.T) {
+	var buf bytes.Buffer
+	Scatter(&buf, nil, nil, nil, 10, 4, false, false)
+	if buf.Len() == 0 {
+		t.Error("empty scatter should still draw the frame")
+	}
+	buf.Reset()
+	Scatter(&buf, []float64{5, 5}, []float64{7, 7}, nil, 10, 4, false, false)
+	if !strings.Contains(buf.String(), ".") {
+		t.Error("constant data should still plot")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, []int{10, 5, 0, 1}, []string{"a", "b", "c", "d"}, 20, 3)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 20)) {
+		t.Errorf("peak bar should be full width: %q", lines[0])
+	}
+	if strings.Contains(lines[2], "#") {
+		t.Errorf("zero bin should have no bar: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "<-- cutoff d") {
+		t.Errorf("marker missing: %q", lines[3])
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	Bars(&buf, []int{0, 0}, nil, 10, -1)
+	if strings.Contains(buf.String(), "#") {
+		t.Error("all-zero histogram should draw no bars")
+	}
+}

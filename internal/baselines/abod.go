@@ -1,0 +1,121 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+)
+
+// ABOD is the angle-based outlier detector of Kriegel et al. (KDD 2008):
+// the score is the inverse of the variance, over all pairs of other
+// points, of the distance-weighted angle spectrum at the point. Inliers
+// see other points in all directions (high variance); outliers see them in
+// a narrow cone (low variance). Exact ABOD is cubic in n — the paper could
+// not run it on its larger datasets, and neither should callers here.
+type ABOD struct{}
+
+// Name implements Detector.
+func (ABOD) Name() string { return "ABOD" }
+
+// Score implements Detector.
+func (ABOD) Score(points [][]float64) []float64 {
+	n := len(points)
+	out := make([]float64, n)
+	for i := range points {
+		out[i] = invABOF(points, i, allOthers(n, i))
+	}
+	return out
+}
+
+// FastABOD approximates ABOD by computing the angle variance over the k
+// nearest neighbors only, dropping the cubic cost to O(n·k²) after the
+// kNN search.
+type FastABOD struct {
+	K int
+}
+
+// Name implements Detector.
+func (d FastABOD) Name() string { return fmt.Sprintf("FastABOD(k=%d)", d.K) }
+
+// Score implements Detector.
+func (d FastABOD) Score(points [][]float64) []float64 {
+	k := clampK(d.K, len(points))
+	if k < 2 {
+		k = clampK(2, len(points))
+	}
+	ids, _ := knnSelf(points, k)
+	out := make([]float64, len(points))
+	for i := range points {
+		out[i] = invABOF(points, i, ids[i])
+	}
+	return out
+}
+
+func allOthers(n, i int) []int {
+	out := make([]int, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// invABOF returns 1/(ABOF+ε) so that higher means more anomalous: the
+// angle-based outlier factor itself is the weighted variance of
+// ⟨AB,AC⟩/(|AB|²|AC|²) over pairs (B,C) of reference points, with weights
+// 1/(|AB||AC|).
+func invABOF(points [][]float64, i int, refs []int) float64 {
+	a := points[i]
+	var sumW, sumWV, sumWV2 float64
+	for x := 0; x < len(refs); x++ {
+		b := points[refs[x]]
+		ab := diff(b, a)
+		nab := norm(ab)
+		if nab == 0 {
+			continue
+		}
+		for y := x + 1; y < len(refs); y++ {
+			c := points[refs[y]]
+			ac := diff(c, a)
+			nac := norm(ac)
+			if nac == 0 {
+				continue
+			}
+			v := dot(ab, ac) / (nab * nab * nac * nac)
+			w := 1 / (nab * nac)
+			sumW += w
+			sumWV += w * v
+			sumWV2 += w * v * v
+		}
+	}
+	if sumW == 0 {
+		// Point coincides with every reference: maximally inlying.
+		return 0
+	}
+	mean := sumWV / sumW
+	variance := sumWV2/sumW - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return 1 / (variance + 1e-12)
+}
+
+func diff(a, b []float64) []float64 {
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	return d
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 {
+	return math.Sqrt(dot(a, a))
+}

@@ -1,0 +1,241 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/eval"
+)
+
+// scene builds a simple labeled dataset: two Gaussian blobs of inliers plus
+// planted far-away outliers (2 singletons and one tight 5-point mc).
+func scene(seed int64) (pts [][]float64, labels []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 300; i++ {
+		pts = append(pts, []float64{10 + rng.NormFloat64(), 10 + rng.NormFloat64()})
+		labels = append(labels, false)
+	}
+	for i := 0; i < 300; i++ {
+		pts = append(pts, []float64{30 + rng.NormFloat64(), 30 + rng.NormFloat64()})
+		labels = append(labels, false)
+	}
+	for i := 0; i < 5; i++ {
+		pts = append(pts, []float64{70 + rng.NormFloat64()*0.1, 70 + rng.NormFloat64()*0.1})
+		labels = append(labels, true)
+	}
+	pts = append(pts, []float64{-30, 30}, []float64{70, -30})
+	labels = append(labels, true, true)
+	return pts, labels
+}
+
+// singletonScene has only one-off outliers: every detector, even the ones
+// that miss microclusters, must do well here.
+func singletonScene(seed int64) (pts [][]float64, labels []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 400; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+		labels = append(labels, false)
+	}
+	for _, p := range [][]float64{{40, 0}, {0, -45}, {-38, 38}} {
+		pts = append(pts, p)
+		labels = append(labels, true)
+	}
+	return pts, labels
+}
+
+func checkAUROC(t *testing.T, d Detector, pts [][]float64, labels []bool, minAUROC float64) {
+	t.Helper()
+	scores := d.Score(pts)
+	if len(scores) != len(pts) {
+		t.Fatalf("%s: returned %d scores for %d points", d.Name(), len(scores), len(pts))
+	}
+	if auroc := eval.AUROC(scores, labels); auroc < minAUROC {
+		t.Errorf("%s: AUROC = %.3f, want ≥ %.2f", d.Name(), auroc, minAUROC)
+	}
+}
+
+func TestDetectorsOnSingletonOutliers(t *testing.T) {
+	pts, labels := singletonScene(1)
+	for _, d := range []Detector{
+		KNNOut{K: 5}, ODIN{K: 5}, LDOF{K: 10}, LOF{K: 10},
+		DBOut{RFrac: 0.25}, FastABOD{K: 10},
+		LOCI{RMaxFrac: 0.5, NMin: 20, Alpha: 0.5},
+		IForest{Trees: 64, Psi: 128, Seed: 3},
+		Gen2Out{Trees: 64, MD: 2, Seed: 4},
+		RDA{Components: 1},
+		KMeansMM{K: 4, Seed: 6},
+		OPTICS{MinPts: 10},
+	} {
+		checkAUROC(t, d, pts, labels, 0.95)
+	}
+	// D.MCA averages many tiny-subsample forests; it is noisier by design.
+	checkAUROC(t, DMCA{Trees: 16, Seed: 5}, pts, labels, 0.85)
+}
+
+func TestDistanceDetectorsOnMicroclusterScene(t *testing.T) {
+	// Detectors that look at global distance scales should still catch the
+	// far-away 5-point mc; LOF-style purely local ones famously miss it.
+	pts, labels := scene(2)
+	for _, d := range []Detector{
+		KNNOut{K: 10}, DBOut{RFrac: 0.25}, IForest{Trees: 64, Psi: 128, Seed: 3},
+		DMCA{Trees: 16, Seed: 5}, KMeansMM{K: 4, Seed: 6}, OPTICS{MinPts: 10},
+	} {
+		checkAUROC(t, d, pts, labels, 0.9)
+	}
+}
+
+func TestLOFMissesMicroclusterButCatchesSingletons(t *testing.T) {
+	// The motivating failure of Sec. I: mc members have close neighbors, so
+	// LOF with small k scores them like inliers.
+	pts, _ := scene(3)
+	scores := LOF{K: 3}.Score(pts)
+	mcScore := scores[600] // a microcluster member
+	single := scores[606]  // a singleton outlier
+	if mcScore > single {
+		t.Errorf("LOF(k=3) should score the mc member (%v) below the singleton (%v)", mcScore, single)
+	}
+}
+
+func TestABODSmallExact(t *testing.T) {
+	// Exact ABOD is cubic: exercise it on a small scene only.
+	rng := rand.New(rand.NewSource(4))
+	var pts [][]float64
+	var labels []bool
+	for i := 0; i < 80; i++ {
+		pts = append(pts, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		labels = append(labels, false)
+	}
+	pts = append(pts, []float64{25, 25})
+	labels = append(labels, true)
+	checkAUROC(t, ABOD{}, pts, labels, 0.95)
+}
+
+func TestALOCIRuns(t *testing.T) {
+	pts, labels := singletonScene(5)
+	scores := ALOCI{Levels: 10, NMin: 20}.Score(pts)
+	if len(scores) != len(pts) {
+		t.Fatal("ALOCI score count mismatch")
+	}
+	// Grid approximation is crude; require it to beat coin flipping.
+	if auroc := eval.AUROC(scores, labels); auroc < 0.7 {
+		t.Errorf("ALOCI AUROC = %.3f, want ≥ 0.7", auroc)
+	}
+}
+
+func TestDBSCANMarksNoise(t *testing.T) {
+	pts, labels := singletonScene(6)
+	scores := DBSCAN{EpsFrac: 0.05, MinPts: 5}.Score(pts)
+	for i, s := range scores {
+		if s != 0 && s != 1 {
+			t.Fatalf("DBSCAN score must be binary, got %v", s)
+		}
+		if labels[i] && s != 1 {
+			t.Errorf("DBSCAN missed planted outlier %d", i)
+		}
+	}
+}
+
+func TestGen2OutReportsGroups(t *testing.T) {
+	pts, _ := scene(7)
+	groups, scores := Gen2Out{Trees: 64, Seed: 8}.Microclusters(pts)
+	if len(scores) != len(pts) {
+		t.Fatal("Gen2Out score count mismatch")
+	}
+	if len(groups) == 0 {
+		t.Fatal("Gen2Out found no groups on a scene with planted anomalies")
+	}
+	for k := 1; k < len(groups); k++ {
+		if groups[k].Score > groups[k-1].Score {
+			t.Fatal("Gen2Out groups not sorted by score")
+		}
+	}
+}
+
+func TestDMCAAssignsMicroclusters(t *testing.T) {
+	pts, _ := scene(8)
+	groups, _ := DMCA{Trees: 16, Seed: 9}.Microclusters(pts)
+	if len(groups) == 0 {
+		t.Fatal("D.MCA reported no micro-cluster assignments")
+	}
+	// The planted 5-point mc (indices 600..604) should land in one group.
+	home := -1
+	for gi, g := range groups {
+		for _, m := range g.Members {
+			if m == 600 {
+				home = gi
+			}
+		}
+	}
+	if home >= 0 {
+		found := 0
+		for _, m := range groups[home].Members {
+			if m >= 600 && m < 605 {
+				found++
+			}
+		}
+		if found < 4 {
+			t.Errorf("planted mc split apart: only %d of 5 members together", found)
+		}
+	}
+}
+
+func TestDetectorsHandleDegenerateInput(t *testing.T) {
+	tiny := [][]float64{{1, 2}}
+	dup := [][]float64{{3, 3}, {3, 3}, {3, 3}}
+	for _, d := range []Detector{
+		KNNOut{K: 5}, ODIN{K: 5}, LDOF{K: 5}, LOF{K: 5}, DBOut{RFrac: 0.1},
+		FastABOD{K: 5}, LOCI{RMaxFrac: 0.5}, ALOCI{Levels: 5},
+		IForest{Trees: 8, Seed: 1}, Gen2Out{Trees: 8, Seed: 1}, DMCA{Trees: 4, Seed: 1},
+		RDA{}, DBSCAN{EpsFrac: 0.1}, OPTICS{MinPts: 3}, KMeansMM{K: 2, Seed: 1},
+	} {
+		for _, pts := range [][][]float64{tiny, dup, nil} {
+			scores := d.Score(pts)
+			if len(scores) != len(pts) {
+				t.Errorf("%s: %d scores for %d points", d.Name(), len(scores), len(pts))
+			}
+			for _, s := range scores {
+				if s != s { // NaN
+					t.Errorf("%s: NaN score on degenerate input", d.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestIForestDeterministicGivenSeed(t *testing.T) {
+	pts, _ := singletonScene(10)
+	a := IForest{Trees: 32, Seed: 42}.Score(pts)
+	b := IForest{Trees: 32, Seed: 42}.Score(pts)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("iForest not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestRDAReconstructionErrorOnLowRankData(t *testing.T) {
+	// Points on a line in 3-d: one principal component reconstructs inliers
+	// perfectly; the off-line outlier has large residual.
+	rng := rand.New(rand.NewSource(11))
+	var pts [][]float64
+	var labels []bool
+	for i := 0; i < 200; i++ {
+		v := rng.Float64() * 10
+		pts = append(pts, []float64{v, 2 * v, -v})
+		labels = append(labels, false)
+	}
+	pts = append(pts, []float64{5, -10, 5})
+	labels = append(labels, true)
+	checkAUROC(t, RDA{Components: 1}, pts, labels, 0.99)
+}
+
+func TestKNNSelfExcludesSelf(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {5, 5}}
+	ids, dists := knnSelf(pts, 1)
+	if ids[0][0] != 1 || dists[0][0] != 1 {
+		t.Errorf("knnSelf[0] = %v/%v, want neighbor 1 at distance 1", ids[0], dists[0])
+	}
+	if ids[1][0] != 0 {
+		t.Errorf("knnSelf[1] = %v, want neighbor 0", ids[1])
+	}
+}

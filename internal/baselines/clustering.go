@@ -1,0 +1,241 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mccatch/internal/kdtree"
+)
+
+// DBSCAN (Ester et al., KDD 1996) flags as outliers the noise points of a
+// density-based clustering: points that are neither core points nor
+// density-reachable from one. Scores are binary (1 = noise), reflecting
+// Tab. I: the clustering methods detect outliers only as a byproduct and
+// do not rank them.
+type DBSCAN struct {
+	EpsFrac float64 // ε as a fraction of the diameter
+	MinPts  int
+}
+
+// Name implements Detector.
+func (d DBSCAN) Name() string { return fmt.Sprintf("DBSCAN(eps=l*%.3f)", d.EpsFrac) }
+
+// Score implements Detector.
+func (d DBSCAN) Score(points [][]float64) []float64 {
+	n := len(points)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	minPts := d.MinPts
+	if minPts <= 0 {
+		minPts = 5
+	}
+	t := kdtree.New(points)
+	eps := t.DiameterEstimate() * d.EpsFrac
+	const (
+		unvisited = 0
+		noise     = -1
+	)
+	label := make([]int, n)
+	cluster := 0
+	for i := range points {
+		if label[i] != unvisited {
+			continue
+		}
+		nb := t.RangeQuery(points[i], eps)
+		if len(nb) < minPts {
+			label[i] = noise
+			continue
+		}
+		cluster++
+		label[i] = cluster
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			q := queue[0]
+			queue = queue[1:]
+			if label[q] == noise {
+				label[q] = cluster // border point
+			}
+			if label[q] != unvisited {
+				continue
+			}
+			label[q] = cluster
+			qnb := t.RangeQuery(points[q], eps)
+			if len(qnb) >= minPts {
+				queue = append(queue, qnb...)
+			}
+		}
+	}
+	for i, l := range label {
+		if l == noise {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// OPTICS (Ankerst et al., SIGMOD 1999) orders points by density
+// reachability; here each point's score is its final reachability
+// distance, so sparse-region points rank high.
+type OPTICS struct {
+	MinPts int
+}
+
+// Name implements Detector.
+func (d OPTICS) Name() string { return fmt.Sprintf("OPTICS(minPts=%d)", d.MinPts) }
+
+// Score implements Detector.
+func (d OPTICS) Score(points [][]float64) []float64 {
+	n := len(points)
+	minPts := clampK(d.MinPts, n)
+	if minPts < 2 {
+		minPts = clampK(2, n)
+	}
+	_, dists := knnSelf(points, minPts)
+	coreDist := make([]float64, n)
+	for i := range points {
+		if len(dists[i]) > 0 {
+			coreDist[i] = dists[i][len(dists[i])-1]
+		}
+	}
+	// Prim-style expansion: reachability = min over processed neighbors of
+	// max(coreDist(o), d(o,p)). A full OPTICS uses an ε cutoff; with ε = ∞
+	// this is exactly the minimum spanning forest of reach distances.
+	reach := make([]float64, n)
+	processed := make([]bool, n)
+	for i := range reach {
+		reach[i] = math.Inf(1)
+	}
+	for seed := 0; seed < n; seed++ {
+		if processed[seed] {
+			continue
+		}
+		cur := seed
+		for cur >= 0 {
+			processed[cur] = true
+			for j := range points {
+				if processed[j] {
+					continue
+				}
+				rd := euclid(points[cur], points[j])
+				if coreDist[cur] > rd {
+					rd = coreDist[cur]
+				}
+				if rd < reach[j] {
+					reach[j] = rd
+				}
+			}
+			// Next: unprocessed point with smallest reachability.
+			next, best := -1, math.Inf(1)
+			for j := range points {
+				if !processed[j] && reach[j] < best {
+					next, best = j, reach[j]
+				}
+			}
+			cur = next
+		}
+	}
+	for i := range reach {
+		if math.IsInf(reach[i], 1) {
+			reach[i] = coreDist[i]
+		}
+	}
+	return reach
+}
+
+// KMeansMM is k-means-- (Chawla & Gionis, SDM 2013): k-means that sets
+// aside the L points farthest from their centroids at every iteration,
+// jointly clustering and detecting outliers. The score is the final
+// distance to the nearest centroid.
+type KMeansMM struct {
+	K    int
+	L    int // outlier budget; 0 → 5% of n
+	Seed int64
+}
+
+// Name implements Detector.
+func (d KMeansMM) Name() string { return fmt.Sprintf("KMeans--(k=%d)", d.K) }
+
+// Score implements Detector.
+func (d KMeansMM) Score(points [][]float64) []float64 {
+	n := len(points)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	k := d.K
+	if k <= 0 {
+		k = 8
+	}
+	if k > n {
+		k = n
+	}
+	l := d.L
+	if l <= 0 {
+		l = n / 20
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	dim := len(points[0])
+	centroids := make([][]float64, k)
+	for c, i := range rng.Perm(n)[:k] {
+		centroids[c] = append([]float64(nil), points[i]...)
+	}
+	dist := make([]float64, n)
+	assign := make([]int, n)
+	for iter := 0; iter < 25; iter++ {
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ct := range centroids {
+				if dd := euclid(p, ct); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			assign[i], dist[i] = best, bestD
+		}
+		// Exclude the L farthest points from the update.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return dist[order[a]] > dist[order[b]] })
+		excluded := make([]bool, n)
+		for _, i := range order[:minInt(l, n)] {
+			excluded[i] = true
+		}
+		sums := make([][]float64, k)
+		cnts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			if excluded[i] {
+				continue
+			}
+			c := assign[i]
+			cnts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if cnts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(cnts[c])
+			}
+		}
+	}
+	copy(out, dist)
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+package baselines
+
+import (
+	"fmt"
+
+	"mccatch/internal/kdtree"
+)
+
+// DBOut is the distance-based outlier detector of Knorr & Ng (VLDB 1998),
+// in its ranking form: the fewer neighbors a point has within radius r,
+// the more anomalous it is. RFrac expresses r as a fraction of the dataset
+// diameter, matching the paper's Tab. II grid r ∈ {l·0.05, …, l·0.5}.
+type DBOut struct {
+	RFrac float64
+}
+
+// Name implements Detector.
+func (d DBOut) Name() string { return fmt.Sprintf("DB-Out(r=l*%.2f)", d.RFrac) }
+
+// Score implements Detector.
+func (d DBOut) Score(points [][]float64) []float64 {
+	t := kdtree.New(points)
+	r := t.DiameterEstimate() * d.RFrac
+	out := make([]float64, len(points))
+	n := float64(len(points))
+	for i, p := range points {
+		// Invert the neighbor count so higher = more anomalous.
+		out[i] = 1 - float64(t.RangeCount(p, r))/n
+	}
+	return out
+}

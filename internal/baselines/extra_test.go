@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"testing"
+
+	"mccatch/internal/eval"
+)
+
+func TestExtraDetectorsOnSingletonOutliers(t *testing.T) {
+	pts, labels := singletonScene(21)
+	for _, d := range []Detector{
+		GLOSH{MinPts: 5},
+		SCiForest{Trees: 64, Psi: 128, Seed: 1},
+		DeepSVDD{},
+		Sparkx{Chains: 20, Depth: 8, Seed: 2},
+	} {
+		checkAUROC(t, d, pts, labels, 0.9)
+	}
+	// PLDOF prunes before scoring; its ranking is coarser.
+	checkAUROC(t, PLDOF{K: 4, KNN: 10, Seed: 3}, pts, labels, 0.8)
+}
+
+func TestSCiForestCatchesClusteredAnomalies(t *testing.T) {
+	// The SCiForest paper's claim: hyperplane splits with sd-gain selection
+	// isolate clustered anomalies.
+	pts, labels := scene(22)
+	checkAUROC(t, SCiForest{Trees: 64, Psi: 256, Seed: 4}, pts, labels, 0.9)
+}
+
+func TestGLOSHScoresLatecomersHigh(t *testing.T) {
+	// A tight cluster plus one straggler: the straggler attaches at a much
+	// larger ε, so its GLOSH score must dominate.
+	var pts [][]float64
+	for i := 0; i < 50; i++ {
+		pts = append(pts, []float64{float64(i%7) * 0.1, float64(i/7) * 0.1})
+	}
+	pts = append(pts, []float64{50, 50})
+	scores := GLOSH{MinPts: 4}.Score(pts)
+	last := len(pts) - 1
+	for i := 0; i < last; i++ {
+		if scores[i] >= scores[last] {
+			t.Fatalf("inlier %d score %v ≥ straggler score %v", i, scores[i], scores[last])
+		}
+	}
+}
+
+func TestExtraDetectorsDegenerateInput(t *testing.T) {
+	tiny := [][]float64{{1, 2}}
+	dup := [][]float64{{3, 3}, {3, 3}, {3, 3}, {3, 3}}
+	for _, d := range []Detector{
+		GLOSH{MinPts: 3}, SCiForest{Trees: 4, Seed: 1}, PLDOF{K: 2, KNN: 3, Seed: 1},
+		DeepSVDD{}, Sparkx{Seed: 1},
+	} {
+		for _, pts := range [][][]float64{tiny, dup, nil} {
+			scores := d.Score(pts)
+			if len(scores) != len(pts) {
+				t.Errorf("%s: %d scores for %d points", d.Name(), len(scores), len(pts))
+			}
+			for _, s := range scores {
+				if s != s {
+					t.Errorf("%s: NaN on degenerate input", d.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestDeepSVDDCenterConvergence(t *testing.T) {
+	// Symmetric data: the MEB center approaches the centroid, and boundary
+	// points score higher than central ones.
+	pts := [][]float64{{-1, 0}, {1, 0}, {0, -1}, {0, 1}, {0, 0}}
+	scores := DeepSVDD{Iters: 500}.Score(pts)
+	for i := 0; i < 4; i++ {
+		if scores[i] <= scores[4] {
+			t.Errorf("boundary point %d score %v ≤ center score %v", i, scores[i], scores[4])
+		}
+	}
+}
+
+func TestPLDOFCandidatesOutrankPruned(t *testing.T) {
+	pts, labels := singletonScene(23)
+	scores := PLDOF{K: 4, KNN: 10, Seed: 5}.Score(pts)
+	// Every planted outlier must be among candidates (score ≥ 1).
+	for i, l := range labels {
+		if l && scores[i] < 1 {
+			t.Errorf("planted outlier %d pruned (score %v)", i, scores[i])
+		}
+	}
+	if auroc := eval.AUROC(scores, labels); auroc < 0.8 {
+		t.Errorf("PLDOF AUROC = %.3f", auroc)
+	}
+}

@@ -1,0 +1,199 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GLOSH is the Global-Local Outlier Score from Hierarchies of Campello et
+// al. (TKDD 2015), computed over the HDBSCAN* hierarchy: build the minimum
+// spanning tree of the mutual-reachability graph, watch each point attach
+// to a cluster as the density threshold ε grows, and score it by how much
+// later it attaches than the densest part of its cluster:
+//
+//	GLOSH(x) = 1 − ε_min(C(x)) / ε(x)
+//
+// where ε(x) is the MST edge weight at which x joins a component of at
+// least MinPts points and ε_min(C) is the smallest such weight in x's
+// final cluster. The MST is built with Prim's algorithm in O(n²) — GLOSH
+// is one of the quadratic methods of Tab. I.
+type GLOSH struct {
+	MinPts int
+}
+
+// Name implements Detector.
+func (d GLOSH) Name() string { return fmt.Sprintf("GLOSH(minPts=%d)", d.MinPts) }
+
+// Score implements Detector.
+func (d GLOSH) Score(points [][]float64) []float64 {
+	n := len(points)
+	out := make([]float64, n)
+	if n < 3 {
+		return out
+	}
+	minPts := clampK(d.MinPts, n)
+	if minPts < 2 {
+		minPts = 2
+	}
+
+	// Core distances.
+	_, dists := knnSelf(points, minPts)
+	core := make([]float64, n)
+	for i := range points {
+		if len(dists[i]) > 0 {
+			core[i] = dists[i][len(dists[i])-1]
+		}
+	}
+	mreach := func(a, b int) float64 {
+		d := euclid(points[a], points[b])
+		if core[a] > d {
+			d = core[a]
+		}
+		if core[b] > d {
+			d = core[b]
+		}
+		return d
+	}
+
+	// Prim MST over mutual reachability.
+	type edge struct {
+		a, b int
+		w    float64
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	from := make([]int, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		best[j] = mreach(0, j)
+		from[j] = 0
+	}
+	edges := make([]edge, 0, n-1)
+	for len(edges) < n-1 {
+		next, w := -1, math.Inf(1)
+		for j := range points {
+			if !inTree[j] && best[j] < w {
+				next, w = j, best[j]
+			}
+		}
+		if next < 0 {
+			break
+		}
+		inTree[next] = true
+		edges = append(edges, edge{from[next], next, w})
+		for j := range points {
+			if !inTree[j] {
+				if d := mreach(next, j); d < best[j] {
+					best[j], from[j] = d, next
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a].w < edges[b].w })
+
+	// Sweep ε upward; ε(x) is the weight at which x first belongs to a
+	// component of size ≥ minPts.
+	parent := make([]int, n)
+	size := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	eps := make([]float64, n) // 0 = not attached yet
+	// A component crossing the minPts threshold stamps its still-unstamped
+	// members with the current ε and stops tracking them.
+	members := make([][]int, n)
+	for i := range members {
+		members[i] = []int{i}
+	}
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb {
+			continue
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+		members[ra] = append(members[ra], members[rb]...)
+		members[rb] = nil
+		if size[ra] >= minPts {
+			for _, m := range members[ra] {
+				if eps[m] == 0 {
+					eps[m] = e.w
+				}
+			}
+			members[ra] = members[ra][:0] // everyone stamped; stop tracking
+		}
+	}
+	for i := range eps {
+		if eps[i] == 0 { // never attached (tiny datasets): use core distance
+			eps[i] = core[i]
+		}
+	}
+
+	// Final flat clusters: components of the MST with long edges removed
+	// (edges above the 90th percentile weight), mirroring HDBSCAN's most
+	// stable cut in a way that keeps the estimator deterministic.
+	cutIdx := int(0.9 * float64(len(edges)))
+	if cutIdx >= len(edges) {
+		cutIdx = len(edges) - 1
+	}
+	cutW := edges[cutIdx].w
+	for i := range parent {
+		parent[i] = i
+	}
+	for _, e := range edges {
+		if e.w <= cutW {
+			ra, rb := find(e.a), find(e.b)
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	epsMin := map[int]float64{}
+	clusterSize := map[int]int{}
+	globalMin := math.Inf(1)
+	for i := range points {
+		r := find(i)
+		clusterSize[r]++
+		if v, ok := epsMin[r]; !ok || eps[i] < v {
+			epsMin[r] = eps[i]
+		}
+		if eps[i] < globalMin {
+			globalMin = eps[i]
+		}
+	}
+	for i := range points {
+		if eps[i] <= 0 {
+			out[i] = 0
+			continue
+		}
+		r := find(i)
+		ref := epsMin[r]
+		if clusterSize[r] < minPts {
+			// Noise under the flat cut: compare against the densest level
+			// in the hierarchy, as such points never form a cluster of
+			// their own.
+			ref = globalMin
+		}
+		out[i] = 1 - ref/eps[i]
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}

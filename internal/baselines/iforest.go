@@ -1,0 +1,139 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// IForest is the Isolation Forest of Liu, Ting & Zhou (TKDD 2012): an
+// ensemble of random isolation trees grown on subsamples of size Psi; the
+// score of a point is 2^(-E[pathLen]/c(Psi)), where c is the average
+// unsuccessful-search path length of a BST. Randomized: results depend on
+// Seed; the harness averages runs like the paper does.
+type IForest struct {
+	Trees int // t in Tab. II
+	Psi   int // subsample size ψ
+	Seed  int64
+}
+
+// Name implements Detector.
+func (d IForest) Name() string { return fmt.Sprintf("iForest(t=%d,psi=%d)", d.Trees, d.Psi) }
+
+type itNode struct {
+	attr        int
+	split       float64
+	size        int // leaf size (external node)
+	left, right *itNode
+}
+
+// Score implements Detector.
+func (d IForest) Score(points [][]float64) []float64 {
+	n := len(points)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	trees := d.Trees
+	if trees <= 0 {
+		trees = 100
+	}
+	psi := d.Psi
+	if psi <= 1 || psi > n {
+		psi = min(256, n)
+	}
+	if psi < 2 {
+		// One-point (sub)samples cannot isolate anything: neutral scores.
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	maxDepth := int(math.Ceil(math.Log2(float64(psi))))
+	forest := make([]*itNode, trees)
+	for t := range forest {
+		idx := rng.Perm(n)[:psi]
+		forest[t] = buildITree(points, idx, 0, maxDepth, rng)
+	}
+	cn := avgPathLen(psi)
+	for i, p := range points {
+		sum := 0.0
+		for _, tree := range forest {
+			sum += pathLen(tree, p, 0)
+		}
+		e := sum / float64(trees)
+		out[i] = math.Pow(2, -e/cn)
+	}
+	return out
+}
+
+func buildITree(points [][]float64, idx []int, depth, maxDepth int, rng *rand.Rand) *itNode {
+	if len(idx) <= 1 || depth >= maxDepth {
+		return &itNode{size: len(idx)}
+	}
+	dim := len(points[0])
+	// Pick an attribute with spread; give up after dim tries.
+	for try := 0; try < dim; try++ {
+		attr := rng.Intn(dim)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, i := range idx {
+			v := points[i][attr]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		split := lo + rng.Float64()*(hi-lo)
+		var l, r []int
+		for _, i := range idx {
+			if points[i][attr] < split {
+				l = append(l, i)
+			} else {
+				r = append(r, i)
+			}
+		}
+		if len(l) == 0 || len(r) == 0 {
+			continue
+		}
+		return &itNode{
+			attr:  attr,
+			split: split,
+			left:  buildITree(points, l, depth+1, maxDepth, rng),
+			right: buildITree(points, r, depth+1, maxDepth, rng),
+		}
+	}
+	return &itNode{size: len(idx)}
+}
+
+func pathLen(n *itNode, p []float64, depth int) float64 {
+	if n.left == nil {
+		return float64(depth) + avgPathLen(n.size)
+	}
+	if p[n.attr] < n.split {
+		return pathLen(n.left, p, depth+1)
+	}
+	return pathLen(n.right, p, depth+1)
+}
+
+// avgPathLen is c(n): the average path length of an unsuccessful BST
+// search over n items, the normalizer of the iForest score.
+func avgPathLen(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649 // harmonic number approx
+	return 2*h - 2*float64(n-1)/float64(n)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

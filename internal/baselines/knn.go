@@ -1,0 +1,121 @@
+package baselines
+
+import "fmt"
+
+// KNNOut is the distance-to-kth-neighbor detector of Ramaswamy et al.
+// (SIGMOD 2000): the score of a point is its distance to its k-th nearest
+// neighbor. Quadratic methods in the paper's taxonomy; here each query uses
+// a kd-tree.
+type KNNOut struct {
+	K int
+}
+
+// Name implements Detector.
+func (d KNNOut) Name() string { return fmt.Sprintf("kNN-Out(k=%d)", d.K) }
+
+// Score implements Detector.
+func (d KNNOut) Score(points [][]float64) []float64 {
+	k := clampK(d.K, len(points))
+	_, dists := knnSelf(points, k)
+	out := make([]float64, len(points))
+	for i := range points {
+		if len(dists[i]) > 0 {
+			out[i] = dists[i][len(dists[i])-1]
+		}
+	}
+	return out
+}
+
+// ODIN (Hautamaki et al., ICPR 2004) scores each point by the inverse of
+// its in-degree in the kNN graph: points that few others consider a
+// neighbor are outliers.
+type ODIN struct {
+	K int
+}
+
+// Name implements Detector.
+func (d ODIN) Name() string { return fmt.Sprintf("ODIN(k=%d)", d.K) }
+
+// Score implements Detector.
+func (d ODIN) Score(points [][]float64) []float64 {
+	k := clampK(d.K, len(points))
+	ids, _ := knnSelf(points, k)
+	indeg := make([]int, len(points))
+	for _, nb := range ids {
+		for _, j := range nb {
+			indeg[j]++
+		}
+	}
+	out := make([]float64, len(points))
+	for i := range out {
+		out[i] = 1 / (1 + float64(indeg[i]))
+	}
+	return out
+}
+
+// LDOF (Zhang et al., PAKDD 2009) is the local distance-based outlier
+// factor: the ratio of a point's average distance to its k neighbors over
+// the average pairwise distance among those neighbors.
+type LDOF struct {
+	K int
+}
+
+// Name implements Detector.
+func (d LDOF) Name() string { return fmt.Sprintf("LDOF(k=%d)", d.K) }
+
+// Score implements Detector.
+func (d LDOF) Score(points [][]float64) []float64 {
+	k := clampK(d.K, len(points))
+	if k < 2 {
+		k = clampK(2, len(points))
+	}
+	ids, dists := knnSelf(points, k)
+	out := make([]float64, len(points))
+	for i := range points {
+		nb := ids[i]
+		if len(nb) < 2 {
+			continue
+		}
+		dxp := meanOf(dists[i])
+		// Average pairwise (inner) distance among the neighbors.
+		sum, cnt := 0.0, 0
+		for a := 0; a < len(nb); a++ {
+			for b := a + 1; b < len(nb); b++ {
+				sum += euclid(points[nb[a]], points[nb[b]])
+				cnt++
+			}
+		}
+		inner := sum / float64(cnt)
+		if inner == 0 {
+			if dxp > 0 {
+				out[i] = 1e9 // all neighbors identical, point away from them
+			}
+			continue
+		}
+		out[i] = dxp / inner
+	}
+	return out
+}
+
+// clampK bounds k to [1, n-1].
+func clampK(k, n int) int {
+	if k < 1 {
+		k = 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return sqrt(s)
+}

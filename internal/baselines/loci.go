@@ -1,0 +1,169 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"mccatch/internal/kdtree"
+)
+
+// LOCI is the Local Correlation Integral detector of Papadimitriou et al.
+// (ICDE 2003). For each point and a sweep of radii r, the multi-
+// granularity deviation factor MDEF(p, r, α) compares the point's
+// α·r-neighborhood count against the average count over its r-neighbors;
+// the score is the maximum of MDEF/σ_MDEF over the sweep. Quadratic in n.
+type LOCI struct {
+	RMaxFrac float64 // sweep upper bound as a fraction of the diameter (Tab. II's r)
+	NMin     int     // minimum neighbors for a radius to be considered (default 20)
+	Alpha    float64 // sampling/counting radius ratio (default 0.5)
+}
+
+// Name implements Detector.
+func (d LOCI) Name() string { return fmt.Sprintf("LOCI(r=l*%.2f)", d.RMaxFrac) }
+
+// Score implements Detector.
+func (d LOCI) Score(points [][]float64) []float64 {
+	nmin := d.NMin
+	if nmin <= 0 {
+		nmin = 20
+	}
+	alpha := d.Alpha
+	if alpha <= 0 {
+		alpha = 0.5
+	}
+	t := kdtree.New(points)
+	rmax := t.DiameterEstimate() * d.RMaxFrac
+	if rmax <= 0 {
+		return make([]float64, len(points))
+	}
+	// Geometric radius sweep (10 levels) up to rmax.
+	const levels = 10
+	radii := make([]float64, levels)
+	for e := 0; e < levels; e++ {
+		radii[e] = rmax / math.Pow(2, float64(levels-1-e))
+	}
+	out := make([]float64, len(points))
+	for i, p := range points {
+		best := 0.0
+		for _, r := range radii {
+			nb := t.RangeQuery(p, r)
+			if len(nb) < nmin {
+				continue
+			}
+			// Counts at radius α·r for the point and for each r-neighbor.
+			nPA := float64(t.RangeCount(p, alpha*r))
+			counts := make([]float64, len(nb))
+			for j, q := range nb {
+				counts[j] = float64(t.RangeCount(points[q], alpha*r))
+			}
+			avg := meanOf(counts)
+			if avg == 0 {
+				continue
+			}
+			mdef := 1 - nPA/avg
+			sigma := stddevOf(counts) / avg
+			if sigma == 0 {
+				continue
+			}
+			if v := mdef / sigma; v > best {
+				best = v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// ALOCI is the approximate, grid-based LOCI variant: counts come from a
+// hierarchy of grid cells (a quadtree generalization via coordinate
+// hashing) instead of exact range queries, trading accuracy for near-
+// linear time. Levels is the number of grid resolutions (Tab. II's g).
+type ALOCI struct {
+	Levels int
+	NMin   int
+}
+
+// Name implements Detector.
+func (d ALOCI) Name() string { return fmt.Sprintf("ALOCI(g=%d)", d.Levels) }
+
+// Score implements Detector.
+func (d ALOCI) Score(points [][]float64) []float64 {
+	n := len(points)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	levels := d.Levels
+	if levels <= 0 {
+		levels = 10
+	}
+	nmin := d.NMin
+	if nmin <= 0 {
+		nmin = 20
+	}
+	dim := len(points[0])
+	// Normalize to the unit box so cells are comparable.
+	lo := append([]float64(nil), points[0]...)
+	hi := append([]float64(nil), points[0]...)
+	for _, p := range points {
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	span := make([]float64, dim)
+	for j := range span {
+		span[j] = hi[j] - lo[j]
+		if span[j] == 0 {
+			span[j] = 1
+		}
+	}
+	// Cell key of a point at a level: the concatenated integer coordinates.
+	cellOf := func(p []float64, level int) string {
+		cells := 1 << level
+		key := make([]byte, 0, dim*3)
+		for j, v := range p {
+			c := int(((v - lo[j]) / span[j]) * float64(cells))
+			if c >= cells {
+				c = cells - 1
+			}
+			key = append(key, byte(c), byte(c>>8), byte(j))
+		}
+		return string(key)
+	}
+	// Per-level cell histograms.
+	counts := make([]map[string]int, levels)
+	for l := 0; l < levels; l++ {
+		counts[l] = make(map[string]int, n)
+		for _, p := range points {
+			counts[l][cellOf(p, l)]++
+		}
+	}
+	// MDEF between consecutive levels: the child cell count versus the
+	// average child count within the parent cell (approximated by the
+	// parent count divided by the number of occupied children ≈ 2^dim).
+	for i, p := range points {
+		best := 0.0
+		for l := 1; l < levels; l++ {
+			child := float64(counts[l][cellOf(p, l)])
+			parent := float64(counts[l-1][cellOf(p, l-1)])
+			if parent < float64(nmin) {
+				continue
+			}
+			expect := parent / math.Min(math.Pow(2, float64(dim)), parent)
+			if expect <= 0 {
+				continue
+			}
+			mdef := 1 - child/expect
+			if mdef > best {
+				best = mdef
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

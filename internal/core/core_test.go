@@ -1,0 +1,355 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// toyDataset builds a Fig. 3-style 2-d scene: a dense inlier blob, one
+// nonsingleton microcluster far from it, and isolated 'one-off' outliers.
+// It returns the points plus the index sets of the planted structures.
+func toyDataset(rng *rand.Rand) (pts [][]float64, mcIdx, isoIdx []int) {
+	for i := 0; i < 900; i++ {
+		pts = append(pts, []float64{10 + rng.NormFloat64(), 10 + rng.NormFloat64()})
+	}
+	// A tight 6-point microcluster far away.
+	for i := 0; i < 6; i++ {
+		mcIdx = append(mcIdx, len(pts))
+		pts = append(pts, []float64{80 + rng.NormFloat64()*0.1, 80 + rng.NormFloat64()*0.1})
+	}
+	// Isolated singles.
+	for _, q := range [][]float64{{10, 95}, {95, 10}} {
+		isoIdx = append(isoIdx, len(pts))
+		pts = append(pts, q)
+	}
+	return pts, mcIdx, isoIdx
+}
+
+func TestRunFindsPlantedMicrocluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, mcIdx, isoIdx := toyDataset(rng)
+	res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 6-point microcluster must come out as one nonsingleton mc.
+	var found *Microcluster
+	for k := range res.Microclusters {
+		mc := &res.Microclusters[k]
+		if len(mc.Members) >= 5 {
+			found = mc
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("planted 6-point microcluster not found; mcs=%v", res.Microclusters)
+	}
+	members := map[int]bool{}
+	for _, m := range found.Members {
+		members[m] = true
+	}
+	for _, want := range mcIdx {
+		if !members[want] {
+			t.Errorf("planted member %d missing from detected mc %v", want, found.Members)
+		}
+	}
+	// The isolated singles must appear as singleton microclusters.
+	for _, iso := range isoIdx {
+		ok := false
+		for _, mc := range res.Microclusters {
+			if len(mc.Members) == 1 && mc.Members[0] == iso {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("isolated point %d not reported as singleton mc", iso)
+		}
+	}
+	// No inlier from the blob may leak into any microcluster.
+	for _, mc := range res.Microclusters {
+		for _, m := range mc.Members {
+			if m < 900 {
+				t.Errorf("inlier %d leaked into a microcluster", m)
+			}
+		}
+	}
+}
+
+func TestRunPointScoresRankOutliersHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, mcIdx, isoIdx := toyDataset(rng)
+	res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every planted outlier must out-score the median inlier.
+	inlierScores := append([]float64(nil), res.PointScores[:900]...)
+	sort.Float64s(inlierScores)
+	median := inlierScores[len(inlierScores)/2]
+	for _, i := range append(append([]int(nil), mcIdx...), isoIdx...) {
+		if res.PointScores[i] <= median {
+			t.Errorf("outlier %d score %v not above median inlier score %v", i, res.PointScores[i], median)
+		}
+	}
+}
+
+func TestRunMicroclustersDisjointAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, _, _ := toyDataset(rng)
+	res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, mc := range res.Microclusters {
+		if len(mc.Members) == 0 {
+			t.Fatal("empty microcluster")
+		}
+		for _, m := range mc.Members {
+			if seen[m] {
+				t.Fatalf("point %d appears in two microclusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	for k := 1; k < len(res.Microclusters); k++ {
+		if res.Microclusters[k].Score > res.Microclusters[k-1].Score {
+			t.Fatal("microclusters not sorted most-strange-first")
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts, _, _ := toyDataset(rng)
+	r1, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Microclusters) != len(r2.Microclusters) {
+		t.Fatal("nondeterministic microcluster count")
+	}
+	for i := range r1.Microclusters {
+		if r1.Microclusters[i].Score != r2.Microclusters[i].Score {
+			t.Fatal("nondeterministic scores")
+		}
+	}
+	for i := range r1.PointScores {
+		if r1.PointScores[i] != r2.PointScores[i] {
+			t.Fatal("nondeterministic point scores")
+		}
+	}
+}
+
+func TestRunEmptyDataset(t *testing.T) {
+	_, err := Run(nil, metric.Euclidean, Params{})
+	if err != ErrEmptyDataset {
+		t.Errorf("err = %v, want ErrEmptyDataset", err)
+	}
+}
+
+func TestRunDegenerateDatasets(t *testing.T) {
+	// Single point.
+	res, err := Run([][]float64{{1, 2}}, metric.Euclidean, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Microclusters) != 0 {
+		t.Error("single point should yield no microclusters")
+	}
+	if res.PointScores[0] <= 0 {
+		t.Error("point score should be positive")
+	}
+	// All duplicates.
+	dups := make([][]float64, 50)
+	for i := range dups {
+		dups[i] = []float64{3, 3}
+	}
+	res, err = Run(dups, metric.Euclidean, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Microclusters) != 0 {
+		t.Error("identical points should yield no microclusters")
+	}
+	// Two points.
+	res, err = Run([][]float64{{0, 0}, {1, 1}}, metric.Euclidean, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PointScores) != 2 {
+		t.Error("two-point dataset should score both points")
+	}
+}
+
+func TestRunParamValidation(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}}
+	if _, err := Run(pts, metric.Euclidean, Params{NumRadii: 1}); err == nil {
+		t.Error("NumRadii=1 should error")
+	}
+	if _, err := Run(pts, metric.Euclidean, Params{MaxSlope: -0.5}); err == nil {
+		t.Error("negative MaxSlope should error")
+	}
+	if _, err := Run(pts, metric.Euclidean, Params{MaxCardinality: -3}); err == nil {
+		t.Error("negative MaxCardinality should error")
+	}
+}
+
+func TestRunNondimensionalStrings(t *testing.T) {
+	// 60 near-identical English-style names + 3 very different ones.
+	var words []string
+	base := []string{"smith", "smyth", "smithe", "smitt", "smiith", "zmith"}
+	for i := 0; i < 10; i++ {
+		for _, b := range base {
+			words = append(words, b)
+		}
+	}
+	outliers := []string{"xylophonist", "qqqqqqqq", "wolkenkratzer"}
+	outStart := len(words)
+	words = append(words, outliers...)
+	res, err := Run(words, metric.Levenshtein, Params{Cost: metric.WordCost(26, 13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each planted string outlier must be in some microcluster.
+	caught := map[int]bool{}
+	for _, mc := range res.Microclusters {
+		for _, m := range mc.Members {
+			caught[m] = true
+		}
+	}
+	for i := outStart; i < len(words); i++ {
+		if !caught[i] {
+			t.Errorf("string outlier %q not caught; mcs=%v cutoff=%v", words[i], res.Microclusters, res.Cutoff)
+		}
+	}
+}
+
+func TestOraclePlotShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, mcIdx, isoIdx := toyDataset(rng)
+	res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Microcluster points sit high on the Y axis (Group 1NN Distance):
+	// their middle plateau spans from mc scale to blob scale.
+	for _, i := range mcIdx {
+		if res.OracleY[i] < res.Cutoff {
+			t.Errorf("mc point %d has Y=%v below cutoff %v", i, res.OracleY[i], res.Cutoff)
+		}
+	}
+	// Isolated points sit far right on the X axis.
+	for _, i := range isoIdx {
+		if res.OracleX[i] < res.Cutoff {
+			t.Errorf("isolated point %d has X=%v below cutoff %v", i, res.OracleX[i], res.Cutoff)
+		}
+	}
+	// The histogram counts every point exactly once.
+	total := 0
+	for _, h := range res.Histogram {
+		total += h
+	}
+	if total != len(pts) {
+		t.Errorf("histogram total = %d, want %d", total, len(pts))
+	}
+}
+
+func TestScoreObeysIsolationAxiom(t *testing.T) {
+	// Identical cardinality and mean 1NN distance; larger bridge must score
+	// strictly higher (Def. 7, Isolation Axiom).
+	s1 := mcScore(10, 1000, 5.0, 0.5, 0.1, 2)
+	s2 := mcScore(10, 1000, 50.0, 0.5, 0.1, 2)
+	if s2 <= s1 {
+		t.Errorf("isolation axiom violated: far=%v ≤ near=%v", s2, s1)
+	}
+}
+
+func TestScoreObeysCardinalityAxiom(t *testing.T) {
+	// Identical bridge; fewer members must score strictly higher.
+	s10 := mcScore(10, 1000, 20.0, 0.5, 0.1, 2)
+	s100 := mcScore(100, 1000, 20.0, 0.5, 0.1, 2)
+	if s10 <= s100 {
+		t.Errorf("cardinality axiom violated: small=%v ≤ big=%v", s10, s100)
+	}
+}
+
+func TestScoreAxiomsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 500; trial++ {
+		n := 100 + rng.Intn(100000)
+		card := 2 + rng.Intn(50)
+		bridge := 1 + rng.Float64()*100
+		meanX := rng.Float64()
+		r1 := 0.01 + rng.Float64()*0.2
+		cost := 1 + rng.Float64()*10
+		// Isolation: doubling the bridge never lowers the score, and raises
+		// it when the coded integer changes.
+		sNear := mcScore(card, n, bridge, meanX, r1, cost)
+		sFar := mcScore(card, n, bridge*4, meanX, r1, cost)
+		if sFar < sNear {
+			t.Fatalf("isolation: %v < %v (card=%d bridge=%v)", sFar, sNear, card, bridge)
+		}
+		// Cardinality: more members never raises the score.
+		sBig := mcScore(card*3, n, bridge, meanX, r1, cost)
+		if sBig > sNear+1e-9 {
+			t.Fatalf("cardinality: %v > %v (card=%d)", sBig, sNear, card)
+		}
+	}
+}
+
+func TestPointScorePositiveAndMonotone(t *testing.T) {
+	prev := 0.0
+	for _, g := range []float64{0, 0.1, 1, 5, 100, 1e6} {
+		w := pointScore(g, 1)
+		if w <= 0 {
+			t.Errorf("pointScore(%v) = %v, want > 0", g, w)
+		}
+		if w < prev {
+			t.Errorf("pointScore not monotone at g=%v", g)
+		}
+		prev = w
+	}
+}
+
+func TestCeilRatio(t *testing.T) {
+	cases := []struct {
+		x, r float64
+		want int
+	}{
+		{5, 1, 5}, {4.2, 1, 5}, {0.3, 1, 1}, {0, 1, 1}, {5, 0, 1}, {-1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := ceilRatio(c.x, c.r); got != c.want {
+			t.Errorf("ceilRatio(%v,%v) = %d, want %d", c.x, c.r, got, c.want)
+		}
+	}
+}
+
+func TestCutoffSeparatesInliersFromOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts, _, _ := toyDataset(rng)
+	res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The typical inlier 1NN distance must fall below the cutoff.
+	sum := 0.0
+	for i := 0; i < 900; i++ {
+		sum += res.OracleX[i]
+	}
+	if avg := sum / 900; avg >= res.Cutoff {
+		t.Errorf("average inlier 1NN distance %v ≥ cutoff %v", avg, res.Cutoff)
+	}
+	if res.Cutoff <= 0 || math.IsNaN(res.Cutoff) {
+		t.Errorf("bad cutoff %v", res.Cutoff)
+	}
+}

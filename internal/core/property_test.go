@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// TestPipelineInvariantsOnRandomDatasets fuzzes the full pipeline over
+// random mixtures of blobs, scatter and duplicates, checking structural
+// invariants that must hold on ANY input:
+//
+//   - every reported member index is valid and appears in exactly one mc,
+//   - every microcluster is nonempty with a finite, positive score,
+//   - point scores are positive and finite for every point,
+//   - the radii are geometric with ratio 2 ending at the diameter,
+//   - the histogram sums to n,
+//   - the cutoff is one of the radii.
+func TestPipelineInvariantsOnRandomDatasets(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		var pts [][]float64
+		nBlobs := 1 + rng.Intn(3)
+		for b := 0; b < nBlobs; b++ {
+			cx, cy := rng.Float64()*100, rng.Float64()*100
+			sigma := 0.5 + rng.Float64()*3
+			for i := 0; i < 50+rng.Intn(300); i++ {
+				pts = append(pts, []float64{cx + rng.NormFloat64()*sigma, cy + rng.NormFloat64()*sigma})
+			}
+		}
+		for i := rng.Intn(10); i > 0; i-- { // scatter
+			pts = append(pts, []float64{rng.Float64()*300 - 100, rng.Float64()*300 - 100})
+		}
+		for i := rng.Intn(20); i > 0; i-- { // duplicates
+			pts = append(pts, append([]float64(nil), pts[rng.Intn(len(pts))]...))
+		}
+
+		res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		seen := map[int]bool{}
+		for _, mc := range res.Microclusters {
+			if len(mc.Members) == 0 {
+				t.Fatalf("trial %d: empty microcluster", trial)
+			}
+			if math.IsNaN(mc.Score) || math.IsInf(mc.Score, 0) || mc.Score <= 0 {
+				t.Fatalf("trial %d: bad mc score %v", trial, mc.Score)
+			}
+			if mc.Bridge <= 0 || math.IsInf(mc.Bridge, 0) {
+				t.Fatalf("trial %d: bad bridge %v", trial, mc.Bridge)
+			}
+			for _, m := range mc.Members {
+				if m < 0 || m >= len(pts) {
+					t.Fatalf("trial %d: member %d out of range", trial, m)
+				}
+				if seen[m] {
+					t.Fatalf("trial %d: member %d in two mcs", trial, m)
+				}
+				seen[m] = true
+			}
+		}
+		if len(res.PointScores) != len(pts) {
+			t.Fatalf("trial %d: %d point scores for %d points", trial, len(res.PointScores), len(pts))
+		}
+		for i, s := range res.PointScores {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+				t.Fatalf("trial %d: bad point score %v at %d", trial, s, i)
+			}
+		}
+		for e := 1; e < len(res.Radii); e++ {
+			if math.Abs(res.Radii[e]/res.Radii[e-1]-2) > 1e-9 {
+				t.Fatalf("trial %d: radii not geometric", trial)
+			}
+		}
+		if len(res.Radii) > 0 && math.Abs(res.Radii[len(res.Radii)-1]-res.Diameter) > 1e-9 {
+			t.Fatalf("trial %d: last radius != diameter", trial)
+		}
+		total := 0
+		for _, h := range res.Histogram {
+			total += h
+		}
+		if total != len(pts) {
+			t.Fatalf("trial %d: histogram sums to %d, want %d", trial, total, len(pts))
+		}
+		if res.CutoffIndex < 0 || res.CutoffIndex >= len(res.Radii) || res.Cutoff != res.Radii[res.CutoffIndex] {
+			t.Fatalf("trial %d: cutoff %v not at radius index %d", trial, res.Cutoff, res.CutoffIndex)
+		}
+	}
+}
+
+// TestOutlierSetMatchesOraclePlot: A = {x≥d or y≥d} must be exactly the
+// union of the microcluster members (Alg. 3 L7).
+func TestOutlierSetMatchesOraclePlot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _, _ := toyDataset(rng)
+	res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMC := map[int]bool{}
+	for _, mc := range res.Microclusters {
+		for _, m := range mc.Members {
+			inMC[m] = true
+		}
+	}
+	for i := range pts {
+		wantOutlier := res.OracleX[i] >= res.Cutoff || res.OracleY[i] >= res.Cutoff
+		if wantOutlier != inMC[i] {
+			t.Errorf("point %d: x=%.3f y=%.3f d=%.3f — outlier=%v but inMC=%v",
+				i, res.OracleX[i], res.OracleY[i], res.Cutoff, wantOutlier, inMC[i])
+		}
+	}
+}
+
+// TestNonsingletonMembersShareProximity: members of one nonsingleton mc
+// must be chained within the gel radius of each other (connectivity), and
+// two different mcs must not be mutually that close.
+func TestNonsingletonMembersShareProximity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var pts [][]float64
+	for i := 0; i < 600; i++ {
+		pts = append(pts, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	// Two far-apart planted mcs.
+	for i := 0; i < 5; i++ {
+		pts = append(pts, []float64{50 + rng.Float64()*0.2, 50 + rng.Float64()*0.2})
+	}
+	for i := 0; i < 5; i++ {
+		pts = append(pts, []float64{-50 + rng.Float64()*0.2, -50 + rng.Float64()*0.2})
+	}
+	res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big []Microcluster
+	for _, mc := range res.Microclusters {
+		if len(mc.Members) >= 4 {
+			big = append(big, mc)
+		}
+	}
+	if len(big) != 2 {
+		t.Fatalf("expected the two planted mcs, got %d: %v", len(big), res.Microclusters)
+	}
+	// Cross-mc distance must dwarf intra-mc distances.
+	intra := 0.0
+	for _, mc := range big {
+		for _, a := range mc.Members {
+			for _, b := range mc.Members {
+				if d := metric.Euclidean(pts[a], pts[b]); d > intra {
+					intra = d
+				}
+			}
+		}
+	}
+	cross := math.Inf(1)
+	for _, a := range big[0].Members {
+		for _, b := range big[1].Members {
+			if d := metric.Euclidean(pts[a], pts[b]); d < cross {
+				cross = d
+			}
+		}
+	}
+	if cross < intra*10 {
+		t.Errorf("mcs not separated: intra=%v cross=%v", intra, cross)
+	}
+}
+
+// TestWithRadiiControlsResolution: more radii resolve smaller 1NN
+// distances (fewer x=0 points).
+func TestWithRadiiControlsResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pts [][]float64
+	for i := 0; i < 500; i++ {
+		pts = append(pts, []float64{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+	count0 := func(a int) int {
+		res, err := Run(pts, metric.Euclidean, Params{NumRadii: a, Cost: metric.VectorCost(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeros := 0
+		for _, x := range res.OracleX {
+			if x == 0 {
+				zeros++
+			}
+		}
+		return zeros
+	}
+	if z5, z20 := count0(5), count0(20); z20 > z5 {
+		t.Errorf("more radii should resolve more first plateaus: zeros(a=5)=%d zeros(a=20)=%d", z5, z20)
+	}
+}

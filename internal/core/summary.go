@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a human-readable account of a run: the radii schedule,
+// the MDL cutoff, and the ranked microclusters with the quantities behind
+// their scores — the explainability the paper credits to the 'Oracle'
+// plot's plateaus (Sec. II-B, "Explainable Results").
+func (r *Result) Summary() string {
+	var b strings.Builder
+	n := len(r.PointScores)
+	fmt.Fprintf(&b, "MCCATCH: n=%d, diameter l=%.4g, %d radii (r1=%.4g ... ra=l)\n",
+		n, r.Diameter, len(r.Radii), firstRadius(r))
+	fmt.Fprintf(&b, "MDL cutoff d=%.4g (radius bin %d of %d): a microcluster must be at least\n",
+		r.Cutoff, r.CutoffIndex+1, len(r.Radii))
+	fmt.Fprintf(&b, "this far from its nearest inlier to be reported.\n")
+	total := 0
+	for _, mc := range r.Microclusters {
+		total += len(mc.Members)
+	}
+	fmt.Fprintf(&b, "%d of %d elements are outliers, in %d microclusters:\n",
+		total, n, len(r.Microclusters))
+	for i, mc := range r.Microclusters {
+		kind := "microcluster"
+		if len(mc.Members) == 1 {
+			kind = "'one-off' outlier"
+		}
+		fmt.Fprintf(&b, "#%d %s: %d member(s), score %.2f bits/point, bridge %.4g",
+			i+1, kind, len(mc.Members), mc.Score, mc.Bridge)
+		if len(mc.Members) <= 8 {
+			fmt.Fprintf(&b, ", members %v", mc.Members)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func firstRadius(r *Result) float64 {
+	if len(r.Radii) == 0 {
+		return 0
+	}
+	return r.Radii[0]
+}
+
+// ExplainPoint describes why one element scored the way it did, in terms
+// of its 'Oracle' plot coordinates and the cutoff.
+func (r *Result) ExplainPoint(i int) string {
+	if i < 0 || i >= len(r.PointScores) {
+		return fmt.Sprintf("point %d: out of range", i)
+	}
+	x, y := r.OracleX[i], r.OracleY[i]
+	var verdict string
+	switch {
+	case y >= r.Cutoff && x >= r.Cutoff:
+		verdict = "an isolated member of a microcluster (both its 1NN distance and its group's 1NN distance exceed the cutoff)"
+	case y >= r.Cutoff:
+		verdict = "a member of a microcluster: it has close neighbors, but the little group they form is far from everything else"
+	case x >= r.Cutoff:
+		verdict = "a 'one-off' outlier: even its nearest neighbor is farther than the cutoff"
+	default:
+		verdict = "an inlier: it has close neighbors and so does its neighborhood"
+	}
+	return fmt.Sprintf("point %d: score %.2f, 1NN distance ≈ %.4g, group 1NN distance ≈ %.4g, cutoff %.4g — %s",
+		i, r.PointScores[i], x, y, r.Cutoff, verdict)
+}

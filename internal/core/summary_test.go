@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+func TestSummaryAndExplain(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, mcIdx, isoIdx := toyDataset(rng)
+	res, err := Run(pts, metric.Euclidean, Params{Cost: metric.VectorCost(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	for _, want := range []string{"MCCATCH:", "MDL cutoff", "microcluster"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q:\n%s", want, s)
+		}
+	}
+	// Explain: an inlier, a microcluster member and a singleton each get
+	// the right verdict.
+	if got := res.ExplainPoint(0); !strings.Contains(got, "inlier") {
+		t.Errorf("inlier explanation wrong: %s", got)
+	}
+	if got := res.ExplainPoint(mcIdx[0]); !strings.Contains(got, "microcluster") {
+		t.Errorf("mc-member explanation wrong: %s", got)
+	}
+	if got := res.ExplainPoint(isoIdx[0]); !strings.Contains(got, "one-off") {
+		t.Errorf("singleton explanation wrong: %s", got)
+	}
+	if got := res.ExplainPoint(-1); !strings.Contains(got, "out of range") {
+		t.Errorf("range guard broken: %s", got)
+	}
+	if got := res.ExplainPoint(1 << 30); !strings.Contains(got, "out of range") {
+		t.Errorf("range guard broken: %s", got)
+	}
+}
+
+func TestSummaryDegenerate(t *testing.T) {
+	res, err := Run([][]float64{{1, 1}}, metric.Euclidean, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	if !strings.Contains(s, "0 microclusters") {
+		t.Errorf("degenerate summary should mention zero microclusters:\n%s", s)
+	}
+}

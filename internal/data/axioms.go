@@ -1,0 +1,188 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Shape selects the inlier-cluster shape of an axiom scenario (Fig. 2).
+type Shape int
+
+const (
+	Gaussian Shape = iota
+	Cross
+	Arc
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Gaussian:
+		return "Gaussian"
+	case Cross:
+		return "Cross"
+	case Arc:
+		return "Arc"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Axiom selects which axiom a scenario instantiates.
+type Axiom int
+
+const (
+	// Isolation: equal cardinalities, different bridge lengths; the
+	// farther (green) microcluster must score higher.
+	Isolation Axiom = iota
+	// Cardinality: equal bridge lengths, different cardinalities; the less
+	// populous (green) microcluster must score higher.
+	Cardinality
+)
+
+func (a Axiom) String() string {
+	if a == Isolation {
+		return "Isolation"
+	}
+	return "Cardinality"
+}
+
+// AxiomScenario is one Fig. 2 dataset: an inlier cluster plus a 'red'
+// reference microcluster and a 'green' microcluster that differs from red
+// in exactly one property, so that green must receive the larger score.
+type AxiomScenario struct {
+	Vector
+	Red, Green []int // indices of the two planted microclusters
+}
+
+// AxiomDataset generates a Fig. 2 scenario with nInliers inlier points.
+// For the Isolation axiom both mcs have 10 points, with bridge lengths 8
+// (red) and 24 (green); for the Cardinality axiom both bridges are 8, with
+// 100 (red) versus 10 (green) points — the figure's proportions.
+func AxiomDataset(shape Shape, axiom Axiom, nInliers int, seed int64) *AxiomScenario {
+	rng := rand.New(rand.NewSource(seed))
+	pts := inlierShape(rng, shape, nInliers)
+
+	redCard, greenCard := 10, 10
+	redBridge, greenBridge := 8.0, 24.0
+	if axiom == Cardinality {
+		redCard, greenCard = 100, 10
+		redBridge, greenBridge = 8.0, 8.0
+	}
+
+	sc := &AxiomScenario{}
+	sc.Name = fmt.Sprintf("%s (%s Axiom)", shape, axiom)
+	// "All else being equal": in the isolation scenario the two mcs share
+	// one internal layout, so only the bridge differs. In the cardinality
+	// scenario the cardinalities differ by design, so each mc gets its own
+	// full ring over the same footprint (like the figure: same visual size,
+	// more points means denser spacing).
+	redOffsets := mcOffsets(rng, redCard)
+	greenOffsets := redOffsets
+	if greenCard != redCard {
+		greenOffsets = mcOffsets(rng, greenCard)
+	}
+	sc.Red = appendMC(&pts, [2]float64{-1, 0}, redBridge, redOffsets)
+	sc.Green = appendMC(&pts, [2]float64{0, -1}, greenBridge, greenOffsets)
+	sc.Points = pts
+	sc.Labels = make([]bool, len(pts))
+	for _, i := range sc.Red {
+		sc.Labels[i] = true
+	}
+	for _, i := range sc.Green {
+		sc.Labels[i] = true
+	}
+	return sc
+}
+
+// inlierShape draws n inlier points in [0,100]² forming the given shape.
+func inlierShape(rng *rand.Rand, shape Shape, n int) [][]float64 {
+	pts := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		switch shape {
+		case Gaussian:
+			// Truncated at 2σ: the figure's blob is compact, and an
+			// unbounded tail would blur the bridge at small n.
+			p := gaussianPoint(rng, []float64{50, 50}, 8)
+			for math.Hypot(p[0]-50, p[1]-50) > 16 {
+				p = gaussianPoint(rng, []float64{50, 50}, 8)
+			}
+			pts = append(pts, p)
+		case Cross:
+			// Two orthogonal bars through the center.
+			if rng.Intn(2) == 0 {
+				pts = append(pts, []float64{20 + rng.Float64()*60, 50 + rng.NormFloat64()})
+			} else {
+				pts = append(pts, []float64{50 + rng.NormFloat64(), 20 + rng.Float64()*60})
+			}
+		case Arc:
+			// Upper half-circle arc centered at (50, 30), radius 30.
+			theta := math.Pi * (0.15 + 0.7*rng.Float64())
+			r := 30 + rng.NormFloat64()
+			pts = append(pts, []float64{50 + r*math.Cos(theta), 30 + r*math.Sin(theta)})
+		}
+	}
+	return pts
+}
+
+// mcOffsets draws a reusable internal microcluster layout: card offsets
+// around the (to-be-chosen) center.
+func mcOffsets(rng *rand.Rand, card int) [][2]float64 {
+	// Members sit on a small jittered ring: each member's nearest neighbors
+	// are its ring neighbors, so the 1NN graph is a connected cycle and
+	// MCCATCH's gel step (whose radius is just above the largest member 1NN
+	// distance, Alg. 3 L10-12) keeps the microcluster in one piece. A plain
+	// Gaussian blob can fragment into mutual-nearest-neighbor pairs more
+	// distant than the gel radius, which the paper's scenarios evidently
+	// avoid.
+	const radius = 0.5
+	jitter := 0.01 * radius
+	out := make([][2]float64, card)
+	for i := range out {
+		theta := 2 * math.Pi * float64(i) / float64(card)
+		out[i] = [2]float64{
+			radius*math.Cos(theta) + rng.NormFloat64()*jitter,
+			radius*math.Sin(theta) + rng.NormFloat64()*jitter,
+		}
+	}
+	return out
+}
+
+// appendMC plants a microcluster with the given internal layout in
+// direction dir from the inlier cloud so that the gap between the
+// microcluster and its nearest inlier is bridge. It appends to *pts and
+// returns the planted indices.
+func appendMC(pts *[][]float64, dir [2]float64, bridge float64, offsets [][2]float64) []int {
+	norm := math.Hypot(dir[0], dir[1])
+	ux, uy := dir[0]/norm, dir[1]/norm
+	// Support point: the inlier with the largest projection onto dir.
+	best := math.Inf(-1)
+	var sx, sy float64
+	for _, p := range *pts {
+		if proj := p[0]*ux + p[1]*uy; proj > best {
+			best, sx, sy = proj, p[0], p[1]
+		}
+	}
+	// Half-width of the layout along dir, so the bridge is measured from
+	// the microcluster's closest member, not its center.
+	maxToward := 0.0
+	for _, o := range offsets {
+		if t := -(o[0]*ux + o[1]*uy); t > maxToward {
+			maxToward = t
+		}
+	}
+	cx := sx + ux*(bridge+maxToward)
+	cy := sy + uy*(bridge+maxToward)
+	idx := make([]int, 0, len(offsets))
+	for _, o := range offsets {
+		idx = append(idx, len(*pts))
+		*pts = append(*pts, []float64{cx + o[0], cy + o[1]})
+	}
+	return idx
+}
+
+// Shapes and Axioms enumerate all Fig. 2 combinations, in paper order.
+var (
+	Shapes = []Shape{Gaussian, Cross, Arc}
+	Axioms = []Axiom{Isolation, Cardinality}
+)

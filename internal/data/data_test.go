@@ -1,0 +1,269 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+func TestUniformAndDiagonal(t *testing.T) {
+	u := Uniform(500, 4, 1)
+	if len(u.Points) != 500 || u.Dim() != 4 || u.NumOutliers() != 0 {
+		t.Errorf("Uniform shape wrong: n=%d dim=%d out=%d", len(u.Points), u.Dim(), u.NumOutliers())
+	}
+	d := Diagonal(300, 10, 2)
+	if len(d.Points) != 300 || d.Dim() != 10 {
+		t.Error("Diagonal shape wrong")
+	}
+	// Diagonal points have (nearly) equal coordinates.
+	for _, p := range d.Points[:10] {
+		for j := 1; j < len(p); j++ {
+			if math.Abs(p[j]-p[0]) > 0.1 {
+				t.Fatal("Diagonal point not on the diagonal")
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Uniform(100, 2, 7)
+	b := Uniform(100, 2, 7)
+	for i := range a.Points {
+		if a.Points[i][0] != b.Points[i][0] {
+			t.Fatal("Uniform not deterministic")
+		}
+	}
+	s1 := AxiomDataset(Cross, Isolation, 1000, 9)
+	s2 := AxiomDataset(Cross, Isolation, 1000, 9)
+	if len(s1.Points) != len(s2.Points) || s1.Points[0][0] != s2.Points[0][0] {
+		t.Fatal("AxiomDataset not deterministic")
+	}
+}
+
+func TestAxiomDatasetStructure(t *testing.T) {
+	for _, shape := range Shapes {
+		for _, axiom := range Axioms {
+			sc := AxiomDataset(shape, axiom, 2000, 3)
+			wantRed, wantGreen := 10, 10
+			if axiom == Cardinality {
+				wantRed = 100
+			}
+			if len(sc.Red) != wantRed || len(sc.Green) != wantGreen {
+				t.Errorf("%v/%v: |red|=%d |green|=%d", shape, axiom, len(sc.Red), len(sc.Green))
+			}
+			if len(sc.Points) != 2000+wantRed+wantGreen {
+				t.Errorf("%v/%v: n=%d", shape, axiom, len(sc.Points))
+			}
+			if got := sc.NumOutliers(); got != wantRed+wantGreen {
+				t.Errorf("%v/%v: outliers=%d", shape, axiom, got)
+			}
+			// The bridges must be respected: the nearest inlier of each mc
+			// should be at roughly the configured distance.
+			checkBridge := func(idx []int, wantBridge float64) {
+				minD := math.Inf(1)
+				for _, i := range idx {
+					for j := 0; j < 2000; j++ {
+						if d := metric.Euclidean(sc.Points[i], sc.Points[j]); d < minD {
+							minD = d
+						}
+					}
+				}
+				if minD < wantBridge*0.5 || minD > wantBridge*2.5 {
+					t.Errorf("%v/%v: bridge=%v, want ≈%v", shape, axiom, minD, wantBridge)
+				}
+			}
+			checkBridge(sc.Red, 8)
+			if axiom == Isolation {
+				checkBridge(sc.Green, 24)
+			} else {
+				checkBridge(sc.Green, 8)
+			}
+		}
+	}
+}
+
+func TestBenchmarkSpecsGenerate(t *testing.T) {
+	for _, spec := range BenchmarkSpecs {
+		v := spec.Generate(0.02, 11)
+		if len(v.Points) < 40 {
+			t.Errorf("%s: too few points %d", spec.Name, len(v.Points))
+		}
+		if v.Dim() != spec.Dim {
+			t.Errorf("%s: dim=%d, want %d", spec.Name, v.Dim(), spec.Dim)
+		}
+		if v.NumOutliers() == 0 {
+			t.Errorf("%s: no outliers planted", spec.Name)
+		}
+		// Outlier rate should be in the ballpark of the spec (small scales
+		// round up, so allow generous slack).
+		rate := 100 * float64(v.NumOutliers()) / float64(len(v.Points))
+		if rate > spec.OutlierPct*3+3 {
+			t.Errorf("%s: rate %.2f%% vs spec %.2f%%", spec.Name, rate, spec.OutlierPct)
+		}
+	}
+}
+
+func TestBenchmarkFullScaleCardinalities(t *testing.T) {
+	spec, ok := SpecByName("Parkinson") // smallest: cheap at scale 1
+	if !ok {
+		t.Fatal("Parkinson spec missing")
+	}
+	v := spec.Generate(1, 5)
+	if len(v.Points) != spec.N {
+		t.Errorf("full-scale n=%d, want %d", len(v.Points), spec.N)
+	}
+	if _, ok := SpecByName("nope"); ok {
+		t.Error("SpecByName should miss unknown names")
+	}
+}
+
+func TestOutliersAreFarFromInliers(t *testing.T) {
+	spec, _ := SpecByName("Mammography")
+	v := spec.Generate(0.05, 13)
+	// Every planted outlier must be farther from the inlier mass than the
+	// typical inlier spacing.
+	var inliers, outliers [][]float64
+	for i, p := range v.Points {
+		if v.Labels[i] {
+			outliers = append(outliers, p)
+		} else {
+			inliers = append(inliers, p)
+		}
+	}
+	for _, o := range outliers {
+		minD := math.Inf(1)
+		for _, in := range inliers {
+			if d := metric.Euclidean(o, in); d < minD {
+				minD = d
+			}
+		}
+		if minD < 3 {
+			t.Errorf("outlier too close to inliers: %v", minD)
+		}
+	}
+}
+
+func TestShanghaiAndVolcanoes(t *testing.T) {
+	sh := Shanghai(1)
+	if len(sh.Points) != 1296 {
+		t.Errorf("Shanghai n=%d, want 1296", len(sh.Points))
+	}
+	if len(sh.MCs) != 2 {
+		t.Errorf("Shanghai should plant 2 mcs, got %d", len(sh.MCs))
+	}
+	for _, mc := range sh.MCs {
+		if len(mc) != 2 {
+			t.Errorf("Shanghai mc size %d, want 2", len(mc))
+		}
+	}
+	vo := Volcanoes(2)
+	if len(vo.Points) != 3721 {
+		t.Errorf("Volcanoes n=%d, want 3721", len(vo.Points))
+	}
+	if len(vo.MCs) != 1 || len(vo.MCs[0]) != 3 {
+		t.Errorf("Volcanoes should plant one 3-tile mc, got %v", vo.MCs)
+	}
+}
+
+func TestHTTPLike(t *testing.T) {
+	h := HTTPLike(0.02, 3)
+	if len(h.DoS) != 30 {
+		t.Errorf("DoS cluster size %d, want 30", len(h.DoS))
+	}
+	if h.NumOutliers() < 31 {
+		t.Errorf("HTTP outliers=%d, want ≥31", h.NumOutliers())
+	}
+	// The attack cluster is tight.
+	maxSpread := 0.0
+	for _, i := range h.DoS {
+		for _, j := range h.DoS {
+			if d := metric.Euclidean(h.Points[i], h.Points[j]); d > maxSpread {
+				maxSpread = d
+			}
+		}
+	}
+	if maxSpread > 1 {
+		t.Errorf("DoS cluster spread %v too large", maxSpread)
+	}
+	full := HTTPLike(1, 3)
+	if len(full.Points) != 222027 {
+		t.Errorf("full HTTP n=%d, want 222027", len(full.Points))
+	}
+}
+
+func TestLastNames(t *testing.T) {
+	d := LastNames(500, 20, 4)
+	if len(d.Words) != 520 || len(d.Outliers) != 20 {
+		t.Fatalf("LastNames sizes wrong: %d words, %d outliers", len(d.Words), len(d.Outliers))
+	}
+	seen := map[string]bool{}
+	for _, w := range d.Words {
+		if w == "" {
+			t.Fatal("empty name")
+		}
+		if seen[w] {
+			t.Fatalf("duplicate name %q", w)
+		}
+		seen[w] = true
+	}
+	// Outlier names should be farther from their nearest inlier than
+	// inliers are from each other, on average.
+	avgNN := func(idx []int) float64 {
+		sum := 0.0
+		for _, i := range idx {
+			minD := math.Inf(1)
+			for j := 0; j < 500; j++ {
+				if j == i {
+					continue
+				}
+				if dd := metric.Levenshtein(d.Words[i], d.Words[j]); dd < minD {
+					minD = dd
+				}
+			}
+			sum += minD
+		}
+		return sum / float64(len(idx))
+	}
+	inSample := []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+	if a, b := avgNN(d.Outliers), avgNN(inSample); a <= b {
+		t.Errorf("outlier avg 1NN %v should exceed inlier avg %v", a, b)
+	}
+}
+
+func TestFingerprints(t *testing.T) {
+	d := Fingerprints(60, 4, 5)
+	if len(d.Sets) != 64 || len(d.Outliers) != 4 {
+		t.Fatal("Fingerprints sizes wrong")
+	}
+	// Partial prints are far from full prints; full prints are mutually close.
+	fullFull := metric.Hausdorff(d.Sets[0], d.Sets[1])
+	partFull := metric.Hausdorff(d.Sets[d.Outliers[0]], d.Sets[0])
+	if partFull <= fullFull*2 {
+		t.Errorf("partial-full distance %v should dwarf full-full %v", partFull, fullFull)
+	}
+}
+
+func TestSkeletons(t *testing.T) {
+	d := Skeletons(50, 3, 6)
+	if len(d.Graphs) != 53 || len(d.Outliers) != 3 {
+		t.Fatal("Skeletons sizes wrong")
+	}
+	humanHuman := metric.GraphDistance(d.Graphs[0], d.Graphs[1])
+	wildHuman := metric.GraphDistance(d.Graphs[d.Outliers[0]], d.Graphs[0])
+	if wildHuman <= humanHuman {
+		t.Errorf("wild-human distance %v should exceed human-human %v", wildHuman, humanHuman)
+	}
+}
+
+func TestSkeletonTrees(t *testing.T) {
+	d := SkeletonTrees(40, 3, 7)
+	if len(d.Trees) != 43 || len(d.Outliers) != 3 {
+		t.Fatal("SkeletonTrees sizes wrong")
+	}
+	humanHuman := metric.TreeEditDistance(d.Trees[0], d.Trees[1])
+	wildHuman := metric.TreeEditDistance(d.Trees[d.Outliers[0]], d.Trees[0])
+	if wildHuman <= humanHuman {
+		t.Errorf("tree distance: wild-human %v should exceed human-human %v", wildHuman, humanHuman)
+	}
+}

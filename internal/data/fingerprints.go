@@ -1,0 +1,58 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"mccatch/internal/metric"
+)
+
+// FingerprintsData is the Fingerprints stand-in: point sets sampled along
+// concentric ridge arcs. Full prints cover the whole angular range; partial
+// prints (the outliers) cover only a fragment, which drives their Hausdorff
+// distance to every full print up — the property the paper's experiment
+// relies on.
+type FingerprintsData struct {
+	Name     string
+	Sets     []metric.PointSet
+	Labels   []bool
+	Outliers []int
+}
+
+// Fingerprints generates nFull full and nPartial partial prints (the paper
+// uses 398 and 10).
+func Fingerprints(nFull, nPartial int, seed int64) *FingerprintsData {
+	rng := rand.New(rand.NewSource(seed))
+	d := &FingerprintsData{Name: "Fingerprints"}
+	for i := 0; i < nFull; i++ {
+		d.Sets = append(d.Sets, ridges(rng, 0, math.Pi))
+		d.Labels = append(d.Labels, false)
+	}
+	for i := 0; i < nPartial; i++ {
+		d.Outliers = append(d.Outliers, len(d.Sets))
+		// A narrow angular fragment: most of the print is missing.
+		start := rng.Float64() * math.Pi * 0.75
+		d.Sets = append(d.Sets, ridges(rng, start, start+math.Pi/4))
+		d.Labels = append(d.Labels, true)
+	}
+	return d
+}
+
+// ridges samples points along 3 concentric arcs between angles a0 and a1,
+// with per-print jitter so prints differ but remain mutually close.
+func ridges(rng *rand.Rand, a0, a1 float64) metric.PointSet {
+	var s metric.PointSet
+	perArc := 14
+	span := a1 - a0
+	for arc := 0; arc < 3; arc++ {
+		r := 4 + 2*float64(arc)
+		for i := 0; i < perArc; i++ {
+			theta := a0 + span*float64(i)/float64(perArc-1)
+			s = append(s, []float64{
+				r*math.Cos(theta) + rng.NormFloat64()*0.1,
+				r*math.Sin(theta) + rng.NormFloat64()*0.1,
+			})
+		}
+	}
+	return s
+}

@@ -1,0 +1,78 @@
+package data
+
+import "math/rand"
+
+// LastNamesData is the Last Names stand-in: nInliers English-phonotactics
+// surnames plus nOutliers surnames generated from other phonotactic models
+// (Slavic consonant clusters, pinyin-style syllables, diacritic-free
+// romanizations), compared with the Levenshtein distance as in Fig. 1(ii).
+type LastNamesData struct {
+	Name     string
+	Words    []string
+	Labels   []bool
+	Outliers []int
+}
+
+var (
+	engOnsets  = []string{"b", "br", "c", "ch", "cl", "d", "f", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "r", "s", "sh", "sm", "st", "t", "th", "w", "wh"}
+	engVowels  = []string{"a", "e", "i", "o", "u", "ee", "oo", "ea", "ai"}
+	engCodas   = []string{"ll", "n", "nd", "ns", "r", "rd", "rs", "s", "t", "tt", "ck", "m", "mp", "ng"}
+	engSuffix  = []string{"son", "ton", "er", "ley", "field", "man", "wood", "ford", "well", "worth", "ing", "by"}
+	slavOnsets = []string{"brz", "chm", "cz", "dzw", "grz", "krz", "prz", "szcz", "tr", "wr", "zb", "szn"}
+	slavEnds   = []string{"ski", "wicz", "czyk", "szek", "owski", "ewski", "yński"}
+	pinyinSyll = []string{"zh", "x", "q", "ji", "xu", "zha", "qiu", "xiao", "zhou", "feng", "quan"}
+	pinyinEnd  = []string{"ang", "ong", "uan", "iao", "un", "ing"}
+)
+
+// LastNames generates the dataset; the paper's version has 5,000 inliers
+// and 50 outliers.
+func LastNames(nInliers, nOutliers int, seed int64) *LastNamesData {
+	rng := rand.New(rand.NewSource(seed))
+	d := &LastNamesData{Name: "Last Names"}
+	seen := map[string]bool{}
+	for len(d.Words) < nInliers {
+		w := englishName(rng)
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		d.Words = append(d.Words, w)
+		d.Labels = append(d.Labels, false)
+	}
+	for i := 0; i < nOutliers; i++ {
+		var w string
+		for {
+			if rng.Intn(2) == 0 {
+				w = slavicName(rng)
+			} else {
+				w = pinyinName(rng)
+			}
+			if !seen[w] {
+				break
+			}
+		}
+		seen[w] = true
+		d.Outliers = append(d.Outliers, len(d.Words))
+		d.Words = append(d.Words, w)
+		d.Labels = append(d.Labels, true)
+	}
+	return d
+}
+
+func englishName(rng *rand.Rand) string {
+	w := engOnsets[rng.Intn(len(engOnsets))] + engVowels[rng.Intn(len(engVowels))]
+	if rng.Intn(2) == 0 {
+		w += engCodas[rng.Intn(len(engCodas))]
+	}
+	w += engSuffix[rng.Intn(len(engSuffix))]
+	return w
+}
+
+func slavicName(rng *rand.Rand) string {
+	return slavOnsets[rng.Intn(len(slavOnsets))] + engVowels[rng.Intn(len(engVowels))] +
+		slavOnsets[rng.Intn(len(slavOnsets))] + slavEnds[rng.Intn(len(slavEnds))]
+}
+
+func pinyinName(rng *rand.Rand) string {
+	return pinyinSyll[rng.Intn(len(pinyinSyll))] + pinyinEnd[rng.Intn(len(pinyinEnd))]
+}

@@ -1,0 +1,122 @@
+package data
+
+import "math/rand"
+
+// SatelliteTiles builds a Shanghai/Volcanoes-style showcase: average RGB
+// values of image tiles, dominated by a smooth background palette, with
+// planted small microclusters of unusually colored tiles (the paper's
+// red/blue roofs and summit snow) plus a few scattered odd tiles. Ground
+// truth is returned even though the paper treats these sets as unlabeled,
+// so tests can assert the planted structure is recovered.
+type SatelliteTiles struct {
+	Vector
+	MCs [][]int // planted microclusters (tile indices)
+}
+
+// Shanghai generates the 1,296-tile scene of Fig. 1(i): two 2-tile
+// microclusters (a red-roof pair and a blue-roof pair) and three scattered
+// outlying tiles.
+func Shanghai(seed int64) *SatelliteTiles {
+	return tiles("Shanghai", 1296, [][]float64{{200, 40, 35}, {30, 90, 200}}, [2]int{2, 2}, 3, seed)
+}
+
+// Volcanoes generates the 3,721-tile scene of Fig. 8(i): one 3-tile
+// microcluster of snow on the summit and four scattered outlying tiles.
+func Volcanoes(seed int64) *SatelliteTiles {
+	return tiles("Volcanoes", 3721, [][]float64{{245, 245, 250}}, [2]int{3, 3}, 4, seed)
+}
+
+// tiles plants len(mcColors) microclusters whose sizes range over mcSize,
+// plus nScatter scattered outliers, on a two-tone urban/terrain background.
+func tiles(name string, n int, mcColors [][]float64, mcSize [2]int, nScatter int, seed int64) *SatelliteTiles {
+	rng := rand.New(rand.NewSource(seed))
+	st := &SatelliteTiles{}
+	st.Name = name
+	background := [][]float64{{105, 105, 100}, {90, 100, 85}, {120, 115, 110}}
+	nOut := nScatter
+	sizes := make([]int, len(mcColors))
+	for i := range sizes {
+		sizes[i] = mcSize[0]
+		if mcSize[1] > mcSize[0] {
+			sizes[i] += rng.Intn(mcSize[1] - mcSize[0] + 1)
+		}
+		nOut += sizes[i]
+	}
+	for i := 0; i < n-nOut; i++ {
+		base := background[rng.Intn(len(background))]
+		st.Points = append(st.Points, gaussianPoint(rng, base, 6))
+		st.Labels = append(st.Labels, false)
+	}
+	for k, color := range mcColors {
+		var mc []int
+		for i := 0; i < sizes[k]; i++ {
+			mc = append(mc, len(st.Points))
+			st.Points = append(st.Points, gaussianPoint(rng, color, 1.5))
+			st.Labels = append(st.Labels, true)
+		}
+		st.MCs = append(st.MCs, mc)
+	}
+	for i := 0; i < nScatter; i++ {
+		// Each scattered tile gets its own odd color, far from the
+		// background and from the other outliers.
+		odd := []float64{float64(rng.Intn(2)) * 255, 180 + rng.Float64()*60, float64(rng.Intn(2)) * 230}
+		st.Points = append(st.Points, gaussianPoint(rng, odd, 1))
+		st.Labels = append(st.Labels, true)
+	}
+	return st
+}
+
+// HTTPLike builds the Fig. 8(ii) network-connection scene at the given
+// scale: 3-d points (bytes sent, bytes received, duration; log-ish scale),
+// a dense mass of normal connections, a tight 30-connection 'DoS back'
+// microcluster that sends oddly many bytes, and a few scattered anomalous
+// connections. At scale 1 it has 222,027 points like HTTP.
+type HTTPLikeData struct {
+	Vector
+	DoS []int // the planted attack microcluster
+}
+
+// HTTPLike generates the scene; scale shrinks n (minimum 2,000) while
+// keeping the 30-point attack cluster and the outlier rate.
+func HTTPLike(scale float64, seed int64) *HTTPLikeData {
+	n := int(222027 * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &HTTPLikeData{}
+	d.Name = "HTTP"
+	nAttack := 30
+	nScatter := n / 5000
+	if nScatter < 5 {
+		nScatter = 5
+	}
+	nIn := n - nAttack - nScatter
+	for i := 0; i < nIn; i++ {
+		// Normal traffic: moderate bytes both ways, short durations.
+		d.Points = append(d.Points, []float64{
+			5 + rng.NormFloat64()*0.8,
+			7 + rng.NormFloat64()*0.9,
+			1 + rng.Float64()*2,
+		})
+		d.Labels = append(d.Labels, false)
+	}
+	for i := 0; i < nAttack; i++ {
+		// 'DoS back': oddly many bytes sent to the server, tiny replies.
+		d.DoS = append(d.DoS, len(d.Points))
+		d.Points = append(d.Points, []float64{
+			13.5 + rng.NormFloat64()*0.05,
+			2 + rng.NormFloat64()*0.05,
+			1.5 + rng.NormFloat64()*0.05,
+		})
+		d.Labels = append(d.Labels, true)
+	}
+	for i := 0; i < nScatter; i++ {
+		// Rare one-off oddities: huge durations or byte counts.
+		p := []float64{5 + rng.NormFloat64(), 7 + rng.NormFloat64(), 1 + rng.Float64()*2}
+		p[rng.Intn(3)] += 15 + rng.Float64()*10
+		d.Points = append(d.Points, p)
+		d.Labels = append(d.Labels, true)
+	}
+	return d
+}

@@ -1,0 +1,157 @@
+package data
+
+import (
+	"math/rand"
+
+	"mccatch/internal/metric"
+)
+
+// SkeletonsData is the Skeletons stand-in: graphs extracted from
+// silhouettes. Human skeletons share a bipedal tree topology (with small
+// per-silhouette variations); the outliers are quadruped (wild animal)
+// skeletons with a different branch structure, far away under the graph
+// distance — mirroring Fig. 1(iii).
+type SkeletonsData struct {
+	Name     string
+	Graphs   []metric.Graph
+	Labels   []bool
+	Outliers []int
+}
+
+// Skeletons generates nHuman human and nWild wild-animal skeleton graphs
+// (the paper uses 200 and 3).
+func Skeletons(nHuman, nWild int, seed int64) *SkeletonsData {
+	rng := rand.New(rand.NewSource(seed))
+	d := &SkeletonsData{Name: "Skeletons"}
+	for i := 0; i < nHuman; i++ {
+		d.Graphs = append(d.Graphs, humanSkeleton(rng))
+		d.Labels = append(d.Labels, false)
+	}
+	for i := 0; i < nWild; i++ {
+		d.Outliers = append(d.Outliers, len(d.Graphs))
+		d.Graphs = append(d.Graphs, quadrupedSkeleton(rng))
+		d.Labels = append(d.Labels, true)
+	}
+	return d
+}
+
+// humanSkeleton builds a bipedal tree: head–neck–torso–pelvis spine, two
+// 3-segment arms off the neck, two 3-segment legs off the pelvis, plus 0-2
+// extra leaf nodes (silhouette noise) attached at random.
+func humanSkeleton(rng *rand.Rand) metric.Graph {
+	// 0 head, 1 neck, 2 torso, 3 pelvis.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	n := 4
+	attachChain := func(at, length int) {
+		prev := at
+		for i := 0; i < length; i++ {
+			edges = append(edges, [2]int{prev, n})
+			prev = n
+			n++
+		}
+	}
+	attachChain(1, 3) // left arm
+	attachChain(1, 3) // right arm
+	attachChain(3, 3) // left leg
+	attachChain(3, 3) // right leg
+	for i := rng.Intn(3); i > 0; i-- {
+		edges = append(edges, [2]int{rng.Intn(n), n})
+		n++
+	}
+	return metric.NewGraph(n, edges)
+}
+
+// quadrupedSkeleton builds a four-legged body: a 5-node horizontal spine,
+// four 2-segment legs off the spine ends, a 3-segment tail and a head —
+// different degree and eccentricity structure from the bipeds.
+func quadrupedSkeleton(rng *rand.Rand) metric.Graph {
+	// 0..4 spine.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	n := 5
+	attachChain := func(at, length int) {
+		prev := at
+		for i := 0; i < length; i++ {
+			edges = append(edges, [2]int{prev, n})
+			prev = n
+			n++
+		}
+	}
+	attachChain(0, 2)     // front-left leg
+	attachChain(0, 2)     // front-right leg
+	attachChain(4, 2)     // hind-left leg
+	attachChain(4, 2)     // hind-right leg
+	attachChain(4, 3)     // tail
+	attachChain(0, 1)     // head
+	if rng.Intn(2) == 0 { // ear / horn
+		edges = append(edges, [2]int{n - 1, n})
+		n++
+	}
+	return metric.NewGraph(n, edges)
+}
+
+// SkeletonTreesData is an alternative Skeletons representation: rooted
+// ordered trees compared with the exact Zhang–Shasha tree edit distance —
+// the other skeleton metric the paper cites (Pawlik & Augsten).
+type SkeletonTreesData struct {
+	Name     string
+	Trees    []*metric.Tree
+	Labels   []bool
+	Outliers []int
+}
+
+// SkeletonTrees generates nHuman human and nWild quadruped skeleton trees.
+func SkeletonTrees(nHuman, nWild int, seed int64) *SkeletonTreesData {
+	rng := rand.New(rand.NewSource(seed))
+	d := &SkeletonTreesData{Name: "Skeletons (trees)"}
+	for i := 0; i < nHuman; i++ {
+		d.Trees = append(d.Trees, humanTree(rng))
+		d.Labels = append(d.Labels, false)
+	}
+	for i := 0; i < nWild; i++ {
+		d.Outliers = append(d.Outliers, len(d.Trees))
+		d.Trees = append(d.Trees, quadrupedTree(rng))
+		d.Labels = append(d.Labels, true)
+	}
+	return d
+}
+
+func chainTree(label rune, length int) *metric.Tree {
+	t := &metric.Tree{Label: label}
+	cur := t
+	for i := 1; i < length; i++ {
+		child := &metric.Tree{Label: label}
+		cur.Children = []*metric.Tree{child}
+		cur = child
+	}
+	return t
+}
+
+// humanTree roots at the torso: head chain up, two 3-segment arms, two
+// 3-segment legs, with 0-2 noise leaves.
+func humanTree(rng *rand.Rand) *metric.Tree {
+	torso := &metric.Tree{Label: 't'}
+	torso.Children = append(torso.Children,
+		chainTree('h', 2),                    // neck+head
+		chainTree('a', 3), chainTree('a', 3), // arms
+		chainTree('l', 3), chainTree('l', 3), // legs
+	)
+	for i := rng.Intn(3); i > 0; i-- {
+		torso.Children = append(torso.Children, &metric.Tree{Label: 'x'})
+	}
+	return torso
+}
+
+// quadrupedTree roots at the spine: head, four 2-segment legs and a
+// 3-segment tail.
+func quadrupedTree(rng *rand.Rand) *metric.Tree {
+	spine := &metric.Tree{Label: 's'}
+	spine.Children = append(spine.Children,
+		chainTree('h', 1),
+		chainTree('g', 2), chainTree('g', 2), chainTree('g', 2), chainTree('g', 2), // legs
+		chainTree('q', 3), // tail
+	)
+	if rng.Intn(2) == 0 {
+		spine.Children = append(spine.Children, &metric.Tree{Label: 'x'})
+	}
+	return spine
+}

@@ -1,0 +1,164 @@
+// Package eval provides the evaluation machinery of the paper's Sec. V:
+// AUROC, Average Precision and Max-F1 over per-point anomaly scores
+// (Tab. IV, Fig. 6), per-dataset method rankings with harmonic-mean
+// aggregation (Tab. IV), and Welch's two-sample t-test for the axiom
+// experiments (Tab. V).
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// AUROC returns the Area Under the ROC Curve of scores against binary
+// labels (true = outlier). Higher scores should mean more anomalous. Tied
+// scores are handled by mid-rank, matching the Mann–Whitney formulation.
+// Degenerate label sets (all positive or all negative) return 0.5.
+func AUROC(scores []float64, labels []bool) float64 {
+	n := len(scores)
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Mid-ranks with ties.
+	rank := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			rank[idx[k]] = mid
+		}
+		i = j
+	}
+	sumPos := 0.0
+	for i, l := range labels {
+		if l {
+			sumPos += rank[i]
+		}
+	}
+	u := sumPos - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}
+
+// AveragePrecision returns the AP of scores against labels: the mean of the
+// precision values at each true-positive rank, descending by score. Ties
+// are broken by index for determinism. All-negative labels return 0.
+func AveragePrecision(scores []float64, labels []bool) float64 {
+	idx := sortedByScoreDesc(scores)
+	tp, sum := 0, 0.0
+	for k, i := range idx {
+		if labels[i] {
+			tp++
+			sum += float64(tp) / float64(k+1)
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	return sum / float64(tp)
+}
+
+// MaxF1 returns the maximum F1 score over all score thresholds.
+func MaxF1(scores []float64, labels []bool) float64 {
+	idx := sortedByScoreDesc(scores)
+	pos := 0
+	for _, l := range labels {
+		if l {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return 0
+	}
+	best, tp := 0.0, 0
+	for k, i := range idx {
+		if labels[i] {
+			tp++
+		}
+		// Threshold after rank k: k+1 predicted positives.
+		prec := float64(tp) / float64(k+1)
+		rec := float64(tp) / float64(pos)
+		if prec+rec > 0 {
+			if f1 := 2 * prec * rec / (prec + rec); f1 > best {
+				best = f1
+			}
+		}
+	}
+	return best
+}
+
+func sortedByScoreDesc(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// Ranks assigns competition ranks (1 = best) to method metric values,
+// higher-is-better, with mid-rank ties. NaN values rank last.
+func Ranks(values []float64) []float64 {
+	n := len(values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	key := func(i int) float64 {
+		if math.IsNaN(values[i]) {
+			return math.Inf(-1)
+		}
+		return values[i]
+	}
+	sort.Slice(idx, func(a, b int) bool { return key(idx[a]) > key(idx[b]) })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && key(idx[j]) == key(idx[i]) {
+			j++
+		}
+		mid := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	return ranks
+}
+
+// HarmonicMean returns the harmonic mean of positive values, ignoring NaNs.
+// It is the aggregation Tab. IV uses over per-dataset ranking positions.
+func HarmonicMean(values []float64) float64 {
+	sum, count := 0.0, 0
+	for _, v := range values {
+		if math.IsNaN(v) || v <= 0 {
+			continue
+		}
+		sum += 1 / v
+		count++
+	}
+	if count == 0 || sum == 0 {
+		return math.NaN()
+	}
+	return float64(count) / sum
+}

@@ -1,0 +1,225 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUROCPerfectAndWorst(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if got := AUROC(scores, labels); got != 1 {
+		t.Errorf("perfect AUROC = %v, want 1", got)
+	}
+	inverted := []bool{false, false, true, true}
+	if got := AUROC(scores, inverted); got != 0 {
+		t.Errorf("worst AUROC = %v, want 0", got)
+	}
+}
+
+func TestAUROCTies(t *testing.T) {
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	if got := AUROC(scores, labels); got != 0.5 {
+		t.Errorf("all-tied AUROC = %v, want 0.5", got)
+	}
+}
+
+func TestAUROCDegenerateLabels(t *testing.T) {
+	scores := []float64{1, 2, 3}
+	if got := AUROC(scores, []bool{true, true, true}); got != 0.5 {
+		t.Errorf("all-positive AUROC = %v, want 0.5", got)
+	}
+	if got := AUROC(scores, []bool{false, false, false}); got != 0.5 {
+		t.Errorf("all-negative AUROC = %v, want 0.5", got)
+	}
+}
+
+func TestAUROCKnownValue(t *testing.T) {
+	// One inversion among 2 pos × 2 neg = 4 pairs → 3/4.
+	scores := []float64{0.9, 0.3, 0.5, 0.1}
+	labels := []bool{true, true, false, false}
+	if got := AUROC(scores, labels); got != 0.75 {
+		t.Errorf("AUROC = %v, want 0.75", got)
+	}
+}
+
+func TestAUROCInvariantUnderMonotoneMap(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		for i, r := range raw {
+			scores[i] = float64(r % 50)
+			labels[i] = r%3 == 0
+		}
+		mapped := make([]float64, len(scores))
+		for i, s := range scores {
+			mapped[i] = math.Exp(s/10) + 7 // strictly increasing map
+		}
+		return math.Abs(AUROC(scores, labels)-AUROC(mapped, labels)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Ranked: pos, neg, pos → AP = (1/1 + 2/3)/2 = 5/6.
+	scores := []float64{0.9, 0.5, 0.3}
+	labels := []bool{true, false, true}
+	if got := AveragePrecision(scores, labels); math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("AP = %v, want 5/6", got)
+	}
+	if got := AveragePrecision(scores, []bool{false, false, false}); got != 0 {
+		t.Errorf("all-negative AP = %v, want 0", got)
+	}
+	if got := AveragePrecision([]float64{1, 0.5}, []bool{true, true}); got != 1 {
+		t.Errorf("all-positive-top AP = %v, want 1", got)
+	}
+}
+
+func TestMaxF1(t *testing.T) {
+	// Perfect separation → F1 = 1 at the right threshold.
+	scores := []float64{0.9, 0.8, 0.1}
+	labels := []bool{true, true, false}
+	if got := MaxF1(scores, labels); got != 1 {
+		t.Errorf("MaxF1 = %v, want 1", got)
+	}
+	// pos, neg, pos: thresholds give F1 ∈ {2/3, 1/2, 0.8}; max 0.8.
+	scores = []float64{0.9, 0.5, 0.3}
+	labels = []bool{true, false, true}
+	if got := MaxF1(scores, labels); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("MaxF1 = %v, want 0.8", got)
+	}
+	if got := MaxF1(scores, []bool{false, false, false}); got != 0 {
+		t.Errorf("all-negative MaxF1 = %v, want 0", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	vals := []float64{0.9, 0.7, 0.9, math.NaN(), 0.1}
+	got := Ranks(vals)
+	want := []float64{1.5, 3, 1.5, 5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ranks[%d] = %v, want %v (all=%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("HM(1,1,1) = %v", got)
+	}
+	if got := HarmonicMean([]float64{2, 2}); got != 2 {
+		t.Errorf("HM(2,2) = %v", got)
+	}
+	// HM(1,2) = 2/(1+0.5) = 4/3.
+	if got := HarmonicMean([]float64{1, 2}); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("HM(1,2) = %v, want 4/3", got)
+	}
+	// NaNs ignored.
+	if got := HarmonicMean([]float64{math.NaN(), 2, 2}); got != 2 {
+		t.Errorf("HM with NaN = %v, want 2", got)
+	}
+	if got := HarmonicMean(nil); !math.IsNaN(got) {
+		t.Errorf("HM(empty) = %v, want NaN", got)
+	}
+}
+
+func TestWelchTTestSeparatedSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = 10 + rng.NormFloat64()
+		b[i] = 5 + rng.NormFloat64()
+	}
+	res := WelchTTest(a, b)
+	if res.Stat < 10 {
+		t.Errorf("t = %v, want large positive", res.Stat)
+	}
+	if res.PValue > 1e-10 {
+		t.Errorf("p = %v, want ≈ 0", res.PValue)
+	}
+	// Reversed: mean(b) < mean(a) → p near 1.
+	rev := WelchTTest(b, a)
+	if rev.PValue < 0.999 {
+		t.Errorf("reversed p = %v, want ≈ 1", rev.PValue)
+	}
+}
+
+func TestWelchTTestNoEffect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res := WelchTTest(a, b)
+	if res.PValue < 0.01 || res.PValue > 0.99 {
+		t.Errorf("same-distribution p = %v, want moderate", res.PValue)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	res := WelchTTest([]float64{1}, []float64{2, 3})
+	if !math.IsNaN(res.Stat) {
+		t.Error("n<2 should give NaN stat")
+	}
+	// Two constant samples.
+	res = WelchTTest([]float64{5, 5, 5}, []float64{2, 2, 2})
+	if res.PValue != 0 {
+		t.Errorf("constant a>b should give p=0, got %v", res.PValue)
+	}
+	res = WelchTTest([]float64{2, 2}, []float64{5, 5})
+	if res.PValue != 1 {
+		t.Errorf("constant a<b should give p=1, got %v", res.PValue)
+	}
+	res = WelchTTest([]float64{3, 3}, []float64{3, 3})
+	if res.PValue != 0.5 {
+		t.Errorf("identical constants should give p=0.5, got %v", res.PValue)
+	}
+}
+
+func TestStudentCDFKnownValues(t *testing.T) {
+	// For df → large, t=1.96 → p ≈ 0.025; with df=1000 close to normal.
+	p := studentCDFUpper(1.96, 1000)
+	if math.Abs(p-0.025) > 0.002 {
+		t.Errorf("P(T>1.96, df=1000) = %v, want ≈ 0.025", p)
+	}
+	// t distribution symmetric: P(T>0) = 0.5.
+	if p := studentCDFUpper(0, 10); math.Abs(p-0.5) > 1e-9 {
+		t.Errorf("P(T>0) = %v, want 0.5", p)
+	}
+	// df=1 (Cauchy): P(T>1) = 0.25.
+	if p := studentCDFUpper(1, 1); math.Abs(p-0.25) > 1e-6 {
+		t.Errorf("P(T>1, df=1) = %v, want 0.25", p)
+	}
+	// Symmetry: P(T > -t) = 1 - P(T > t).
+	if p1, p2 := studentCDFUpper(-2, 7), studentCDFUpper(2, 7); math.Abs(p1+p2-1) > 1e-9 {
+		t.Errorf("symmetry broken: %v + %v != 1", p1, p2)
+	}
+}
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("I_0 = 0 and I_1 = 1 required")
+	}
+	// I_x(1,1) = x (uniform).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-9 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_x(a,b) + I_{1-x}(b,a) = 1.
+	if got := regIncBeta(2.5, 4, 0.3) + regIncBeta(4, 2.5, 0.7); math.Abs(got-1) > 1e-9 {
+		t.Errorf("reflection identity = %v, want 1", got)
+	}
+}

@@ -1,0 +1,146 @@
+package eval
+
+import "math"
+
+// TTestResult reports a Welch two-sample t-test.
+type TTestResult struct {
+	Stat   float64 // t statistic
+	DF     float64 // Welch–Satterthwaite degrees of freedom
+	PValue float64 // one-sided p-value for H1: mean(a) > mean(b)
+}
+
+// WelchTTest performs Welch's unequal-variance two-sample t-test of
+// H1: mean(a) > mean(b) against H0: the means are equal — the test Tab. V
+// uses to check that the 'green' microcluster's score exceeds the 'red'
+// one's across trials. Samples with fewer than 2 values, or two zero-
+// variance samples, return NaN statistics (p = 1 when the means do not
+// already differ in the right direction).
+func WelchTTest(a, b []float64) TTestResult {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return TTestResult{Stat: math.NaN(), DF: math.NaN(), PValue: math.NaN()}
+	}
+	ma, va := meanVar(a)
+	mb, vb := meanVar(b)
+	if va == 0 && vb == 0 {
+		// Degenerate but decidable: identical constants on both sides.
+		switch {
+		case ma > mb:
+			return TTestResult{Stat: math.Inf(1), DF: na + nb - 2, PValue: 0}
+		case ma < mb:
+			return TTestResult{Stat: math.Inf(-1), DF: na + nb - 2, PValue: 1}
+		default:
+			return TTestResult{Stat: 0, DF: na + nb - 2, PValue: 0.5}
+		}
+	}
+	se := math.Sqrt(va/na + vb/nb)
+	t := (ma - mb) / se
+	df := math.Pow(va/na+vb/nb, 2) /
+		(math.Pow(va/na, 2)/(na-1) + math.Pow(vb/nb, 2)/(nb-1))
+	// One-sided p-value: P(T_df > t) via the regularized incomplete beta.
+	p := studentCDFUpper(t, df)
+	return TTestResult{Stat: t, DF: df, PValue: p}
+}
+
+func meanVar(x []float64) (mean, variance float64) {
+	n := float64(len(x))
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	for _, v := range x {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= n - 1
+	return mean, variance
+}
+
+// studentCDFUpper returns P(T > t) for Student's t with df degrees of
+// freedom, using the standard identity with the regularized incomplete
+// beta function I_x(df/2, 1/2) where x = df/(df+t²).
+func studentCDFUpper(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	if math.IsInf(t, -1) {
+		return 1
+	}
+	x := df / (df + t*t)
+	p := 0.5 * regIncBeta(df/2, 0.5, x)
+	if t < 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// by the continued-fraction expansion (Numerical Recipes §6.4).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mccatch/internal/baselines"
+	"mccatch/internal/data"
+	"mccatch/internal/eval"
+)
+
+// Table5Axioms runs the Tab. V experiment: over Trials independently
+// seeded Fig. 2 datasets per (axiom, shape), compare the score of the
+// green microcluster against the red one with a one-sided Welch t-test.
+// A method "fails" a cell when it misses either microcluster in any trial
+// — Gen2Out's fate on the cross- and arc-shaped inliers in the paper.
+// Only MCCATCH and Gen2Out provide microcluster scores; every other
+// competitor fails by design (no group output), which the footer records.
+func Table5Axioms(w io.Writer, cfg Config, trials int) {
+	cfg = cfg.withDefaults()
+	if trials <= 0 {
+		trials = 10
+	}
+	hr(w, fmt.Sprintf("Table V — axiom obedience (t-tests over %d trials per cell)", trials))
+	fmt.Fprintf(w, "%-10s", "Method")
+	for _, axiom := range data.Axioms {
+		for _, shape := range data.Shapes {
+			fmt.Fprintf(w, " %18s", fmt.Sprintf("%s/%s", axiom, shape))
+		}
+	}
+	fmt.Fprintln(w)
+
+	for _, methodName := range []string{"MCCATCH", "Gen2Out"} {
+		fmt.Fprintf(w, "%-10s", methodName)
+		for _, axiom := range data.Axioms {
+			for _, shape := range data.Shapes {
+				green, red, misses := axiomScores(methodName, shape, axiom, cfg, trials)
+				if misses > 0 {
+					fmt.Fprintf(w, " %18s", fmt.Sprintf("Fail (%d/%d missed)", misses, trials))
+					continue
+				}
+				res := eval.WelchTTest(green, red)
+				fmt.Fprintf(w, " %18s", fmt.Sprintf("t=%.1f p=%.1e", res.Stat, res.PValue))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(all other methods: N.A. — no score per microcluster, failing G2/G3 by design)")
+}
+
+// axiomScores collects the matched green/red microcluster scores over the
+// trials; misses counts trials where either planted mc went undetected.
+func axiomScores(methodName string, shape data.Shape, axiom data.Axiom, cfg Config, trials int) (green, red []float64, misses int) {
+	for trial := 0; trial < trials; trial++ {
+		sc := axiomScenario(shape, axiom, cfg, trial)
+		var gScore, rScore float64
+		var gOK, rOK bool
+		switch methodName {
+		case "MCCATCH":
+			res, _ := runMCCatch(sc.Points)
+			gScore, gOK = matchPlanted(res.Microclusters, sc.Green)
+			rScore, rOK = matchPlanted(res.Microclusters, sc.Red)
+		case "Gen2Out":
+			groups, _ := baselines.Gen2Out{Trees: 100, MD: 2, Seed: cfg.Seed + int64(trial)}.Microclusters(sc.Points)
+			gl := make([]groupLike, len(groups))
+			for i, g := range groups {
+				gl[i] = groupLike{members: g.Members, score: g.Score}
+			}
+			gScore, gOK = matchPlantedGroups(gl, sc.Green)
+			rScore, rOK = matchPlantedGroups(gl, sc.Red)
+		}
+		if !gOK || !rOK {
+			misses++
+			continue
+		}
+		green = append(green, gScore)
+		red = append(red, rScore)
+	}
+	return green, red, misses
+}
+
+// Fig2Axioms prints the six Fig. 2 scenarios with MCCATCH's verdict on
+// each: the green microcluster must receive the larger score.
+func Fig2Axioms(w io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	hr(w, "Figure 2 — proposed axioms (green mc must out-score red mc)")
+	for _, axiom := range data.Axioms {
+		for _, shape := range data.Shapes {
+			sc := axiomScenario(shape, axiom, cfg, 0)
+			res, _ := runMCCatch(sc.Points)
+			gScore, gOK := matchPlanted(res.Microclusters, sc.Green)
+			rScore, rOK := matchPlanted(res.Microclusters, sc.Red)
+			verdict := "OBEYED"
+			if !gOK || !rOK {
+				verdict = "MC MISSED"
+			} else if gScore <= rScore {
+				verdict = "VIOLATED"
+			}
+			fmt.Fprintf(w, "%-28s green=%8.2f red=%8.2f -> %s\n", sc.Name, gScore, rScore, verdict)
+		}
+	}
+}

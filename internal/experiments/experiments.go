@@ -1,0 +1,132 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Sec. V) on the synthetic stand-in datasets of
+// internal/data. Each runner prints the same rows/series the paper
+// reports; cmd/experiments exposes them on the command line and
+// bench_test.go wires them into testing.B benchmarks at CI-friendly
+// scales. Absolute numbers differ from the paper (different hardware, Go
+// instead of Java/C++, synthetic data) but the shapes — who wins, by
+// roughly what factor, where crossovers fall — are the reproduction
+// target; EXPERIMENTS.md records paper-versus-measured for each item.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mccatch/internal/core"
+	"mccatch/internal/data"
+	"mccatch/internal/metric"
+)
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// Scale in (0,1] shrinks dataset cardinalities; 1 is paper-size.
+	Scale float64
+	// Seed drives all generators and randomized detectors.
+	Seed int64
+	// Runs is how many times nondeterministic competitors are repeated
+	// (the paper uses 10); their metrics are averaged.
+	Runs int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 0.02
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Runs <= 0 {
+		c.Runs = 3
+	}
+	return c
+}
+
+// runMCCatch executes MCCATCH with paper defaults on vector data and
+// returns the result plus the wall-clock duration.
+func runMCCatch(points [][]float64) (*core.Result, time.Duration) {
+	dim := 0
+	if len(points) > 0 {
+		dim = len(points[0])
+	}
+	start := time.Now()
+	res, err := core.Run(points, metric.Euclidean, core.Params{Cost: metric.VectorCost(dim)})
+	elapsed := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("mccatch failed: %v", err)) // generators never emit empty data
+	}
+	return res, elapsed
+}
+
+// scaled returns a dataset cardinality under the config's scale with a floor.
+func scaled(n int, cfg Config, floor int) int {
+	v := int(float64(n) * cfg.Scale)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// matchPlanted finds the detected microcluster that best matches a planted
+// member set and returns its score; ok is false when no detected cluster
+// contains a majority of the planted members.
+func matchPlanted(mcs []core.Microcluster, planted []int) (score float64, ok bool) {
+	want := make(map[int]bool, len(planted))
+	for _, i := range planted {
+		want[i] = true
+	}
+	bestHit := 0
+	for _, mc := range mcs {
+		hit := 0
+		for _, m := range mc.Members {
+			if want[m] {
+				hit++
+			}
+		}
+		if hit > bestHit {
+			bestHit = hit
+			score = mc.Score
+		}
+	}
+	return score, bestHit*2 > len(planted)
+}
+
+// matchPlantedGroups does the same for baseline Group output.
+func matchPlantedGroups(groups []groupLike, planted []int) (score float64, ok bool) {
+	want := make(map[int]bool, len(planted))
+	for _, i := range planted {
+		want[i] = true
+	}
+	bestHit := 0
+	for _, g := range groups {
+		hit := 0
+		for _, m := range g.members {
+			if want[m] {
+				hit++
+			}
+		}
+		if hit > bestHit {
+			bestHit = hit
+			score = g.score
+		}
+	}
+	return score, bestHit*2 > len(planted)
+}
+
+type groupLike struct {
+	members []int
+	score   float64
+}
+
+// hr prints a section rule.
+func hr(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}
+
+// axiomScenario regenerates one Fig. 2 dataset for the harness.
+func axiomScenario(shape data.Shape, axiom data.Axiom, cfg Config, trial int) *data.AxiomScenario {
+	n := scaled(1_000_000, cfg, 1500)
+	return data.AxiomDataset(shape, axiom, n, cfg.Seed+int64(trial)*7919)
+}

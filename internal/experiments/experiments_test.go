@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns a config small enough for unit tests.
+func tiny() Config { return Config{Scale: 0.004, Seed: 1, Runs: 1} }
+
+func TestTable1And2AreStatic(t *testing.T) {
+	var buf bytes.Buffer
+	Table1Specs(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "MCCATCH") || !strings.Contains(out, "Gen2Out") {
+		t.Error("Table I missing methods")
+	}
+	// MCCATCH is the only all-yes row.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "MCCATCH") && strings.Contains(line, "-") {
+			t.Error("MCCATCH row should fulfill every spec")
+		}
+	}
+	buf.Reset()
+	Table2Hyperparams(&buf)
+	if !strings.Contains(buf.String(), "a = 15, b = 0.1") {
+		t.Error("Table II missing MCCATCH defaults")
+	}
+}
+
+func TestTable3DatasetsRuns(t *testing.T) {
+	var buf bytes.Buffer
+	Table3Datasets(&buf, tiny())
+	out := buf.String()
+	for _, want := range []string{"Last Names", "Fingerprints", "Skeletons", "HTTP", "Uniform-2d", "Diagonal-50d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5AxiomsMCCatchObeys(t *testing.T) {
+	var buf bytes.Buffer
+	Table5Axioms(&buf, tiny(), 3)
+	out := buf.String()
+	lines := strings.Split(out, "\n")
+	var mcLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "MCCATCH") {
+			mcLine = l
+		}
+	}
+	if mcLine == "" {
+		t.Fatalf("no MCCATCH row in Table V output:\n%s", out)
+	}
+	if strings.Contains(mcLine, "Fail") {
+		t.Errorf("MCCATCH missed planted microclusters:\n%s", out)
+	}
+}
+
+func TestFig2AxiomsObeyed(t *testing.T) {
+	var buf bytes.Buffer
+	Fig2Axioms(&buf, tiny())
+	out := buf.String()
+	if strings.Contains(out, "VIOLATED") || strings.Contains(out, "MC MISSED") {
+		t.Errorf("Fig. 2 axioms not obeyed:\n%s", out)
+	}
+	if strings.Count(out, "OBEYED") != 6 {
+		t.Errorf("expected 6 OBEYED cells:\n%s", out)
+	}
+}
+
+func TestFig1ShowcaseRecoversPlantedStructure(t *testing.T) {
+	var buf bytes.Buffer
+	Fig1Showcase(&buf, tiny())
+	out := buf.String()
+	if strings.Contains(out, "recovered: false") {
+		t.Errorf("showcase failed to recover planted mcs:\n%s", out)
+	}
+	if !strings.Contains(out, "AUROC") {
+		t.Errorf("showcase missing AUROC lines:\n%s", out)
+	}
+}
+
+func TestFig8ShowcaseFindsDoS(t *testing.T) {
+	var buf bytes.Buffer
+	Fig8Showcase(&buf, tiny())
+	out := buf.String()
+	if !strings.Contains(out, "'DoS back' attack mc recovered: true") {
+		t.Errorf("DoS microcluster not recovered:\n%s", out)
+	}
+	if strings.Contains(out, "snow mc recovered: false") {
+		t.Errorf("volcano snow mc not recovered:\n%s", out)
+	}
+}
+
+func TestFig3OraclePlotArtifacts(t *testing.T) {
+	var buf bytes.Buffer
+	Fig3OraclePlot(&buf, tiny())
+	out := buf.String()
+	for _, want := range []string{"radii:", "Histogram", "inlier 'A'", "mc-point 'C'"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 3 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9SensitivityRuns(t *testing.T) {
+	var buf bytes.Buffer
+	Fig9Sensitivity(&buf, tiny())
+	out := buf.String()
+	for _, want := range []string{"a=13", "b=0.08", "c=n*0.08", "HTTP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig. 9 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("sensitivity sweep produced NaN:\n%s", out)
+	}
+}
+
+func TestTable6RuntimeRuns(t *testing.T) {
+	var buf bytes.Buffer
+	Table6Runtime(&buf, tiny())
+	out := buf.String()
+	for _, want := range []string{"MCCATCH", "Gen2Out", "D.MCA", "HTTP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table VI output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7ScalabilityRuns(t *testing.T) {
+	var buf bytes.Buffer
+	Fig7Scalability(&buf, tiny(), 2000)
+	out := buf.String()
+	if !strings.Contains(out, "Uniform 2-d") || !strings.Contains(out, "measured slope") {
+		t.Errorf("Fig. 7 output incomplete:\n%s", out)
+	}
+}
+
+func TestNondimensionalAUROCsAreHigh(t *testing.T) {
+	res := nondimensionalAUROCs(tiny())
+	if len(res) != 3 {
+		t.Fatalf("expected 3 nondimensional datasets, got %d", len(res))
+	}
+	for _, r := range res {
+		if r.auroc < 0.6 {
+			t.Errorf("%s: AUROC=%.2f, want ≥ 0.6", r.name, r.auroc)
+		}
+	}
+}
+
+func TestMatchPlanted(t *testing.T) {
+	mcs := []struct {
+		members []int
+		score   float64
+	}{
+		{[]int{1, 2, 3}, 5},
+		{[]int{9}, 9},
+	}
+	var cores []groupLike
+	for _, m := range mcs {
+		cores = append(cores, groupLike{m.members, m.score})
+	}
+	if s, ok := matchPlantedGroups(cores, []int{1, 2, 3, 4}); !ok || s != 5 {
+		t.Errorf("majority match failed: %v %v", s, ok)
+	}
+	if _, ok := matchPlantedGroups(cores, []int{4, 5, 6}); ok {
+		t.Error("no-overlap should not match")
+	}
+	if _, ok := matchPlantedGroups(cores, []int{1, 4, 5, 6}); ok {
+		t.Error("minority overlap should not match")
+	}
+}
+
+func TestTable4AndFig6Accuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy harness is slow")
+	}
+	var buf bytes.Buffer
+	AccuracyReport(&buf, tiny())
+	out := buf.String()
+	for _, want := range []string{"AUROC", "AP", "Max-F1", "MCCATCH", "iForest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table IV missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "Totals vs competitors") {
+		t.Errorf("Fig. 6 missing totals:\n%s", out)
+	}
+	if !strings.Contains(out, "NON APPL") {
+		t.Errorf("Fig. 6 missing nondimensional rows:\n%s", out)
+	}
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtendedAccuracyRuns(t *testing.T) {
+	var buf bytes.Buffer
+	ExtendedAccuracy(&buf, tiny())
+	out := buf.String()
+	for _, want := range []string{"MCCATCH", "GLOSH", "SCiForest", "Sparkx", "DBSCAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extended accuracy missing %q:\n%s", want, out)
+		}
+	}
+}

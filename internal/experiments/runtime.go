@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"mccatch/internal/baselines"
+	"mccatch/internal/data"
+	"mccatch/internal/fractal"
+	"mccatch/internal/metric"
+)
+
+// Table6Runtime compares wall-clock runtime of the three microcluster
+// detectors (MCCATCH, Gen2Out, D.MCA) on the paper's large datasets —
+// Tab. VI's claim is that MCCATCH is the fastest (and the only principled
+// one) on data of large cardinality or dimensionality.
+func Table6Runtime(w io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	hr(w, fmt.Sprintf("Table VI — runtime evaluation (scale=%.3f)", cfg.Scale))
+	fmt.Fprintf(w, "%-30s %12s %12s %12s\n", "Dataset", "D.MCA", "Gen2Out", "MCCATCH")
+
+	type ds struct {
+		name   string
+		points [][]float64
+	}
+	sets := []ds{}
+	sc := axiomScenario(data.Gaussian, data.Isolation, cfg, 0)
+	sets = append(sets, ds{"Gauss/Cross/Arc (Axioms)", sc.Points})
+	http := data.HTTPLike(cfg.Scale, cfg.Seed)
+	sets = append(sets, ds{"HTTP", http.Points})
+	if spec, ok := data.SpecByName("Satellite"); ok {
+		sets = append(sets, ds{"Satellite", spec.Generate(math.Min(1, cfg.Scale*10), cfg.Seed).Points})
+	}
+	if spec, ok := data.SpecByName("Speech"); ok {
+		sets = append(sets, ds{"Speech", spec.Generate(math.Min(1, cfg.Scale*10), cfg.Seed).Points})
+	}
+
+	for _, d := range sets {
+		tDMCA := timeIt(func() { baselines.DMCA{Trees: 16, Seed: cfg.Seed}.Score(d.points) })
+		tGen := timeIt(func() { baselines.Gen2Out{Trees: 100, Seed: cfg.Seed}.Score(d.points) })
+		var tMc time.Duration
+		_, tMc = runMCCatch(d.points)
+		fmt.Fprintf(w, "%-30s %12s %12s %12s\n",
+			fmt.Sprintf("%s (n=%d)", d.name, len(d.points)),
+			tDMCA.Round(time.Millisecond), tGen.Round(time.Millisecond), tMc.Round(time.Millisecond))
+	}
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Fig7Scalability measures MCCATCH runtime against the data size for
+// Uniform and Diagonal at several embedding dimensions, fits the log-log
+// slope, and compares it with Lemma 1's expectation 2−1/u (the dashed
+// lines of Fig. 7). maxN bounds the largest sample.
+func Fig7Scalability(w io.Writer, cfg Config, maxN int) {
+	cfg = cfg.withDefaults()
+	if maxN <= 0 {
+		maxN = 16000
+	}
+	hr(w, fmt.Sprintf("Figure 7 — runtime vs data size (up to n=%d)", maxN))
+
+	type family struct {
+		name string
+		gen  func(n, dim int) [][]float64
+		dims []int
+	}
+	families := []family{
+		{"Uniform", func(n, dim int) [][]float64 { return data.Uniform(n, dim, cfg.Seed).Points }, []int{2, 20, 50}},
+		{"Diagonal", func(n, dim int) [][]float64 { return data.Diagonal(n, dim, cfg.Seed).Points }, []int{2, 20, 50}},
+	}
+	for _, fam := range families {
+		for _, dim := range fam.dims {
+			// Geometric sweep of sample sizes.
+			var ns []int
+			for n := maxN / 8; n <= maxN; n *= 2 {
+				ns = append(ns, n)
+			}
+			full := fam.gen(maxN, dim)
+			u := fractal.Dimension(full, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+			var logN, logT []float64
+			fmt.Fprintf(w, "%s %d-d (fractal dim u=%.1f, expected slope %.2f):\n",
+				fam.name, dim, u, fractal.ExpectedRuntimeSlope(u))
+			for _, n := range ns {
+				_, elapsed := runMCCatch(full[:n])
+				fmt.Fprintf(w, "  n=%7d  runtime=%v\n", n, elapsed.Round(time.Millisecond))
+				logN = append(logN, math.Log2(float64(n)))
+				logT = append(logT, math.Log2(float64(elapsed.Nanoseconds())))
+			}
+			fmt.Fprintf(w, "  measured slope: %.2f\n", slope(logN, logT))
+		}
+	}
+}
+
+// slope is the least-squares slope of y on x.
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mccatch/internal/core"
+	"mccatch/internal/data"
+	"mccatch/internal/eval"
+	"mccatch/internal/metric"
+)
+
+// Fig9Sensitivity sweeps each hyperparameter around its default —
+// a ∈ {13..17}, b ∈ {0.08..0.12}, c ∈ {⌈n·0.08⌉..⌈n·0.12⌉} — on a set of
+// labeled datasets and prints the AUROC per setting. The paper's claim is
+// a smooth plateau: accuracy is insensitive to the exact values.
+func Fig9Sensitivity(w io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	hr(w, "Figure 9 — hyperparameter sensitivity (AUROC per setting)")
+
+	type ds struct {
+		name   string
+		points [][]float64
+		labels []bool
+	}
+	var sets []ds
+	http := data.HTTPLike(cfg.Scale, cfg.Seed)
+	sets = append(sets, ds{"HTTP", http.Points, http.Labels})
+	for _, name := range []string{"Mammography", "Glass", "Ionosphere"} {
+		if spec, ok := data.SpecByName(name); ok {
+			v := spec.Generate(math.Min(1, cfg.Scale*5), cfg.Seed)
+			sets = append(sets, ds{v.Name, v.Points, v.Labels})
+		}
+	}
+	sc := data.AxiomDataset(data.Arc, data.Isolation, scaled(1_000_000, cfg, 1500), cfg.Seed)
+	sets = append(sets, ds{sc.Name, sc.Points, sc.Labels})
+
+	run := func(points [][]float64, labels []bool, p core.Params) float64 {
+		dim := len(points[0])
+		p.Cost = metric.VectorCost(dim)
+		res, err := core.Run(points, metric.Euclidean, p)
+		if err != nil {
+			return math.NaN()
+		}
+		return eval.AUROC(res.PointScores, labels)
+	}
+
+	fmt.Fprintf(w, "-- varying a (number of radii), b and c at defaults --\n")
+	fmt.Fprintf(w, "%-28s", "Dataset")
+	for a := 13; a <= 17; a++ {
+		fmt.Fprintf(w, "   a=%-4d", a)
+	}
+	fmt.Fprintln(w)
+	for _, d := range sets {
+		fmt.Fprintf(w, "%-28s", d.name)
+		for a := 13; a <= 17; a++ {
+			fmt.Fprintf(w, "   %.3f", run(d.points, d.labels, core.Params{NumRadii: a}))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "-- varying b (maximum plateau slope) --\n")
+	fmt.Fprintf(w, "%-28s", "Dataset")
+	bs := []float64{0.08, 0.09, 0.10, 0.11, 0.12}
+	for _, b := range bs {
+		fmt.Fprintf(w, "  b=%-5.2f", b)
+	}
+	fmt.Fprintln(w)
+	for _, d := range sets {
+		fmt.Fprintf(w, "%-28s", d.name)
+		for _, b := range bs {
+			fmt.Fprintf(w, "   %.3f", run(d.points, d.labels, core.Params{MaxSlope: b}))
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "-- varying c (maximum microcluster cardinality) --\n")
+	fmt.Fprintf(w, "%-28s", "Dataset")
+	fracs := []float64{0.08, 0.09, 0.10, 0.11, 0.12}
+	for _, f := range fracs {
+		fmt.Fprintf(w, " c=n*%-4.2f", f)
+	}
+	fmt.Fprintln(w)
+	for _, d := range sets {
+		fmt.Fprintf(w, "%-28s", d.name)
+		for _, f := range fracs {
+			c := int(math.Ceil(float64(len(d.points)) * f))
+			fmt.Fprintf(w, "   %.3f", run(d.points, d.labels, core.Params{MaxCardinality: c}))
+		}
+		fmt.Fprintln(w)
+	}
+}

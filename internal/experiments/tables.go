@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mccatch/internal/data"
+	"mccatch/internal/fractal"
+	"mccatch/internal/metric"
+)
+
+// Table1Specs prints Tab. I: the feature matrix of methods versus the
+// paper's five goals. The matrix is the paper's qualitative claim set; it
+// is static by nature.
+func Table1Specs(w io.Writer) {
+	hr(w, "Table I — MCCATCH matches all specs")
+	type row struct {
+		name                                             string
+		g1, g2, g3, g4, g5, deterministic, explain, rank bool
+	}
+	rows := []row{
+		{"ABOD", false, false, false, false, true, true, true, true},
+		{"ALOCI", false, false, false, true, false, false, true, true},
+		{"DB-Out", true, false, false, false, false, true, true, true},
+		{"DIAD", false, false, false, false, false, false, true, true},
+		{"D.MCA", true, false, false, false, true, false, true, true},
+		{"FastABOD", false, false, false, false, true, true, true, true},
+		{"Gen2Out", false, true, false, true, true, false, true, true},
+		{"GLOSH", true, false, false, false, true, true, true, true},
+		{"iForest", false, false, false, true, true, false, true, true},
+		{"kNN-Out", true, false, false, false, false, true, true, true},
+		{"LDOF", true, false, false, false, false, true, true, true},
+		{"LOCI", true, false, false, false, true, true, true, true},
+		{"LOF", true, false, false, false, false, true, true, true},
+		{"ODIN", true, false, false, false, false, true, true, true},
+		{"PLDOF", false, false, false, true, false, true, true, true},
+		{"SCiForest", false, false, false, true, true, false, true, true},
+		{"Sparkx", false, false, false, true, false, false, true, true},
+		{"XTreK", false, false, false, true, true, true, true, true},
+		{"Deep SVDD", false, false, false, true, false, false, false, true},
+		{"DOIForest", false, false, false, true, false, false, false, true},
+		{"RDA", false, false, false, true, false, false, false, true},
+		{"DBSCAN", true, false, false, false, false, true, true, false},
+		{"KMeans--", false, false, false, true, false, false, true, false},
+		{"OPTICS", true, false, false, false, false, true, true, false},
+		{"MCCATCH", true, true, true, true, true, true, true, true},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "-"
+	}
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+		"Method", "G1.Input", "G2.Outpt", "G3.Princ", "G4.Scale", "G5.Hands", "Determ", "Explain", "Rank")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+			r.name, mark(r.g1), mark(r.g2), mark(r.g3), mark(r.g4), mark(r.g5),
+			mark(r.deterministic), mark(r.explain), mark(r.rank))
+	}
+}
+
+// Table2Hyperparams prints Tab. II: the hyperparameter grids used for the
+// competitors and MCCATCH's fixed defaults.
+func Table2Hyperparams(w io.Writer) {
+	hr(w, "Table II — hyperparameter configuration")
+	rows := [][2]string{
+		{"ALOCI", "g in {10, 15, 20}, nmin = 20"},
+		{"DB-Out", "r in {l*0.05, l*0.1, l*0.25, l*0.5}"},
+		{"D.MCA", "psi in {2,4,8,...min(1024, n*0.3)}, t in {8, 32}, p = n*0.1"},
+		{"FastABOD", "k in {1, 5, 10}"},
+		{"Gen2Out", "md in {2, 3}, t = 100"},
+		{"iForest", "t in {32, 128}, psi in {64, 256}"},
+		{"LOCI", "r in {l*0.05, l*0.1, l*0.25, l*0.5}, nmin = 20, alpha = 0.5"},
+		{"LOF", "k in {1, 5, 10}"},
+		{"ODIN", "k in {1, 5, 10}"},
+		{"RDA", "k in {1, 2, 4} latent components (PCA stand-in)"},
+		{"MCCATCH", "a = 15, b = 0.1, c = ceil(n*0.1)  (fixed; never tuned)"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %s\n", r[0], r[1])
+	}
+}
+
+// Table3Datasets prints Tab. III: every dataset with its cardinality,
+// embedding dimension, measured intrinsic (fractal) dimension, and outlier
+// percentage, at the configured scale.
+func Table3Datasets(w io.Writer, cfg Config) {
+	cfg = cfg.withDefaults()
+	hr(w, fmt.Sprintf("Table III — dataset summary (scale=%.3f)", cfg.Scale))
+	fmt.Fprintf(w, "%-22s %9s %6s %8s %9s\n", "Dataset", "#Points", "#Feat", "FracDim", "%Outlier")
+	row := func(name string, n, dim int, u float64, pct float64) {
+		dimStr := "-"
+		if dim > 0 {
+			dimStr = fmt.Sprint(dim)
+		}
+		fmt.Fprintf(w, "%-22s %9d %6s %8.1f %9.2f\n", name, n, dimStr, u, pct)
+	}
+
+	// Nondimensional datasets.
+	ln := data.LastNames(scaled(5000, cfg, 300), scaled(50, cfg, 8), cfg.Seed)
+	u := fractal.Dimension(ln.Words, metric.Levenshtein, fractal.Options{Seed: cfg.Seed, Sample: 400})
+	row(ln.Name, len(ln.Words), 0, u, 100*float64(len(ln.Outliers))/float64(len(ln.Words)))
+
+	fp := data.Fingerprints(scaled(398, cfg, 60), scaled(10, cfg, 4), cfg.Seed)
+	u = fractal.Dimension(fp.Sets, metric.Hausdorff, fractal.Options{Seed: cfg.Seed, Sample: 100})
+	row(fp.Name, len(fp.Sets), 0, u, 100*float64(len(fp.Outliers))/float64(len(fp.Sets)))
+
+	sk := data.Skeletons(scaled(200, cfg, 50), 3, cfg.Seed)
+	u = fractal.Dimension(sk.Graphs, metric.GraphDistance, fractal.Options{Seed: cfg.Seed, Sample: 100})
+	row(sk.Name, len(sk.Graphs), 0, u, 100*3/float64(len(sk.Graphs)))
+
+	// Axiom datasets.
+	for _, axiom := range data.Axioms {
+		sc := axiomScenario(data.Gaussian, axiom, cfg, 0)
+		u = fractal.Dimension(sc.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		row(sc.Name, len(sc.Points), 2, u, 100*float64(sc.NumOutliers())/float64(len(sc.Points)))
+	}
+
+	// Popular benchmarks.
+	for _, spec := range data.BenchmarkSpecs {
+		v := spec.Generate(cfg.Scale, cfg.Seed)
+		u = fractal.Dimension(v.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		row(v.Name, len(v.Points), v.Dim(), u, 100*float64(v.NumOutliers())/float64(len(v.Points)))
+	}
+
+	// Satellite showcases (outliers unknown to the paper; planted here).
+	for _, v := range []*data.SatelliteTiles{data.Shanghai(cfg.Seed), data.Volcanoes(cfg.Seed)} {
+		u = fractal.Dimension(v.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		row(v.Name, len(v.Points), 3, u, -1)
+	}
+
+	// Synthetic scalability sets.
+	for _, dim := range []int{2, 50} {
+		v := data.Uniform(scaled(1_000_000, cfg, 2000), dim, cfg.Seed)
+		u = fractal.Dimension(v.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		row(fmt.Sprintf("Uniform-%dd", dim), len(v.Points), dim, u, 0)
+		v = data.Diagonal(scaled(1_000_000, cfg, 2000), dim, cfg.Seed)
+		u = fractal.Dimension(v.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		row(fmt.Sprintf("Diagonal-%dd", dim), len(v.Points), dim, u, 0)
+	}
+}

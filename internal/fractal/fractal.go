@@ -1,0 +1,135 @@
+// Package fractal estimates the intrinsic (correlation fractal) dimension
+// u of a metric dataset: how quickly the number of neighbors grows with the
+// distance, u = d log(pair count) / d log(r). MCCATCH's Lemma 1 bounds its
+// runtime by O(n · n^(1-1/u)), the dataset table (Tab. III) reports u per
+// dataset, and Fig. 7 derives expected runtime slopes 2−1/u from it. Only
+// distances are needed, so it works for nondimensional data too (paper
+// footnote 7).
+package fractal
+
+import (
+	"math"
+	"math/rand"
+
+	"mccatch/internal/metric"
+	"mccatch/internal/slimtree"
+)
+
+// Options configures the estimator.
+type Options struct {
+	// Sample caps how many elements are probed (the correlation integral
+	// needs pair counts; probing a uniform sample against the full tree
+	// keeps the cost subquadratic, after Traina Jr. et al.). 0 means 1000.
+	Sample int
+	// Radii is the number of geometric radii in the sweep. 0 means 12.
+	Radii int
+	// Seed drives the sampling; estimates are deterministic given a seed.
+	Seed int64
+}
+
+// Dimension estimates the correlation fractal dimension of items under
+// dist. It sweeps geometric radii r_e, computes the correlation sum
+// S(r_e) = Σ_i count(i, r_e) over a sample, and fits the slope of
+// log S versus log r over the scaling range by least squares. Datasets with
+// fewer than 3 elements or zero diameter report dimension 0.
+func Dimension[T any](items []T, dist metric.Distance[T], opt Options) float64 {
+	if len(items) < 3 {
+		return 0
+	}
+	if opt.Sample <= 0 {
+		opt.Sample = 1000
+	}
+	if opt.Radii <= 0 {
+		opt.Radii = 12
+	}
+	tree := slimtree.New(dist, 0, items)
+	diam := tree.DiameterEstimate()
+	if diam <= 0 {
+		return 0
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	sample := items
+	if len(items) > opt.Sample {
+		idx := rng.Perm(len(items))[:opt.Sample]
+		sample = make([]T, opt.Sample)
+		for i, j := range idx {
+			sample[i] = items[j]
+		}
+	}
+
+	// Geometric radii with ratio √2 spanning diam/2^12 .. diam/2. The slope
+	// is fit only over the scaling range — average neighbor counts between 2
+	// and 5% of n — because below it only self-counts register and above it
+	// boundary effects and saturation flatten the curve.
+	steps := 2 * opt.Radii
+	lo, hi := 2.0, 0.05*float64(len(items))
+	if hi < lo+1 {
+		hi = lo + 1
+	}
+	logr := make([]float64, 0, steps)
+	logS := make([]float64, 0, steps)
+	looseR := make([]float64, 0, steps)
+	looseS := make([]float64, 0, steps)
+	for e := 0; e < steps; e++ {
+		r := diam / math.Pow(2, float64(steps-e)/2)
+		sum := 0.0
+		for _, q := range sample {
+			sum += float64(tree.RangeCount(q, r))
+		}
+		avg := sum / float64(len(sample))
+		if avg > 1.02 && avg < 0.9*float64(len(items)) {
+			looseR = append(looseR, math.Log2(r))
+			looseS = append(looseS, math.Log2(sum))
+		}
+		if avg < lo {
+			continue
+		}
+		if avg > hi {
+			break
+		}
+		logr = append(logr, math.Log2(r))
+		logS = append(logS, math.Log2(sum))
+	}
+	u := 0.0
+	if len(logr) >= 2 {
+		u = slope(logr, logS)
+	}
+	if u <= 0.05 && len(looseR) >= 2 {
+		// Discrete metrics (e.g. edit distance) can leave the strict window
+		// empty or flat; fall back to the loose window before giving up.
+		u = slope(looseR, looseS)
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// slope returns the least-squares slope of y on x.
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// ExpectedRuntimeSlope returns the paper's predicted log-log runtime slope
+// for MCCATCH on a dataset of intrinsic dimension u: the cost is
+// O(n · n^(1-1/u)), so runtime grows as n^(2-1/u) (Fig. 7's dashed lines).
+// u ≤ 1 gives slope 1 (linear).
+func ExpectedRuntimeSlope(u float64) float64 {
+	if u <= 1 {
+		return 1
+	}
+	return 2 - 1/u
+}

@@ -1,0 +1,116 @@
+package fractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+func TestDimensionOfLine(t *testing.T) {
+	// Points on a diagonal line embedded in 3-d: intrinsic dimension 1.
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 2000)
+	for i := range pts {
+		v := rng.Float64() * 100
+		pts[i] = []float64{v, v, v}
+	}
+	u := Dimension(pts, metric.Euclidean, Options{Seed: 1})
+	if u < 0.7 || u > 1.3 {
+		t.Errorf("diagonal line: u=%v, want ≈1", u)
+	}
+}
+
+func TestDimensionOfPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 3000)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	u := Dimension(pts, metric.Euclidean, Options{Seed: 2})
+	if u < 1.6 || u > 2.4 {
+		t.Errorf("uniform 2-d: u=%v, want ≈2", u)
+	}
+}
+
+func TestDimensionOfCube3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 4000)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	u := Dimension(pts, metric.Euclidean, Options{Seed: 3})
+	if u < 2.3 || u > 3.7 {
+		t.Errorf("uniform 3-d: u=%v, want ≈3", u)
+	}
+}
+
+func TestDimensionDegenerateInputs(t *testing.T) {
+	if u := Dimension(nil, metric.Euclidean, Options{}); u != 0 {
+		t.Errorf("empty: u=%v, want 0", u)
+	}
+	two := [][]float64{{0}, {1}}
+	if u := Dimension(two, metric.Euclidean, Options{}); u != 0 {
+		t.Errorf("n=2: u=%v, want 0", u)
+	}
+	same := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	if u := Dimension(same, metric.Euclidean, Options{}); u != 0 {
+		t.Errorf("zero diameter: u=%v, want 0", u)
+	}
+}
+
+func TestDimensionDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := make([][]float64, 1500)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	u1 := Dimension(pts, metric.Euclidean, Options{Seed: 9})
+	u2 := Dimension(pts, metric.Euclidean, Options{Seed: 9})
+	if u1 != u2 {
+		t.Errorf("same seed gave %v and %v", u1, u2)
+	}
+}
+
+func TestDimensionNondimensionalStrings(t *testing.T) {
+	// Random 8-letter strings over a 4-letter alphabet under edit distance:
+	// the estimator must run (and return something positive) with no
+	// coordinates at all.
+	rng := rand.New(rand.NewSource(5))
+	words := make([]string, 400)
+	letters := []byte("acgt")
+	for i := range words {
+		b := make([]byte, 8)
+		for j := range b {
+			b[j] = letters[rng.Intn(4)]
+		}
+		words[i] = string(b)
+	}
+	u := Dimension(words, metric.Levenshtein, Options{Seed: 5, Sample: 200})
+	if u <= 0 {
+		t.Errorf("string dataset: u=%v, want > 0", u)
+	}
+}
+
+func TestExpectedRuntimeSlope(t *testing.T) {
+	cases := []struct{ u, want float64 }{
+		{1, 1}, {0.5, 1}, {2, 1.5}, {4, 1.75}, {20, 1.95}, {50, 1.98},
+	}
+	for _, c := range cases {
+		if got := ExpectedRuntimeSlope(c.u); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ExpectedRuntimeSlope(%v)=%v, want %v", c.u, got, c.want)
+		}
+	}
+}
+
+func TestSlopeFitsPerfectLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // slope 2
+	if got := slope(x, y); math.Abs(got-2) > 1e-12 {
+		t.Errorf("slope=%v, want 2", got)
+	}
+	if got := slope([]float64{1, 1}, []float64{2, 3}); got != 0 {
+		t.Errorf("degenerate slope=%v, want 0", got)
+	}
+}

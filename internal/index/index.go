@@ -1,0 +1,24 @@
+// Package index defines the access-method interface MCCATCH's joins run
+// on. The paper's footnote 4 prescribes metric trees (Slim-tree, M-tree)
+// for nondimensional data and kd-trees for main-memory vector data; both
+// of this repository's trees satisfy Index, so the pipeline can swap them
+// (and the benchmarks can ablate the choice).
+package index
+
+// Index answers range queries over an indexed dataset of element type T.
+type Index[T any] interface {
+	// RangeCount returns how many indexed elements lie within distance r
+	// of q (inclusive).
+	RangeCount(q T, r float64) int
+	// RangeQuery returns the ids (insertion positions) of elements within
+	// distance r of q.
+	RangeQuery(q T, r float64) []int
+	// Size returns the number of indexed elements.
+	Size() int
+	// DiameterEstimate estimates the diameter of the indexed set.
+	DiameterEstimate() float64
+}
+
+// Builder constructs an Index over a dataset; MCCATCH builds several trees
+// per run (full set, group candidates, inliers).
+type Builder[T any] func(items []T) Index[T]

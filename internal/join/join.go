@@ -1,0 +1,190 @@
+// Package join provides the spatial-join primitives MCCATCH runs on top of
+// its metric tree: count-only self-joins (Alg. 2 L2), count-only joins
+// between two sets (Alg. 4 L5), and a pair-producing self-join used to gel
+// microclusters (Alg. 3 L12). It implements the paper's Sec. IV-G speed-up
+// principles: count-only (never materialize pairs unless asked),
+// using-index (every probe goes through the tree), sparse-focused (at radii
+// beyond the first, only points still below the microcluster-cardinality
+// cap are probed), and small-radii-only (the largest radius equals the
+// dataset diameter, so its counts are known to be n without any probing).
+//
+// Probes are read-only on the tree, so each join fans out across
+// GOMAXPROCS goroutines.
+package join
+
+import (
+	"runtime"
+	"sync"
+
+	"mccatch/internal/index"
+)
+
+// parallelFor runs fn(i) for i in [0,n) across workers.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// SelfCounts returns, for every item, the number of indexed elements within
+// distance r (each point counts itself, so the minimum is 1 when items are
+// the indexed set).
+func SelfCounts[T any](t index.Index[T], items []T, r float64) []int {
+	counts := make([]int, len(items))
+	parallelFor(len(items), func(i int) {
+		counts[i] = t.RangeCount(items[i], r)
+	})
+	return counts
+}
+
+// CrossCounts returns, for every query, the number of elements of the
+// indexed set (the tree) within distance r. Queries that are not in the
+// tree are not counted as their own neighbors.
+func CrossCounts[T any](t index.Index[T], queries []T, r float64) []int {
+	return SelfCounts(t, queries, r)
+}
+
+// SelfPairs returns all unordered pairs (i, j), i < j, of items within
+// distance r of each other, using one tree probe per item. The result is
+// sorted lexicographically, so it is deterministic.
+func SelfPairs[T any](t index.Index[T], items []T, r float64) [][2]int {
+	perItem := make([][]int, len(items))
+	parallelFor(len(items), func(i int) {
+		ids := t.RangeQuery(items[i], r)
+		var keep []int
+		for _, j := range ids {
+			if j > i {
+				keep = append(keep, j)
+			}
+		}
+		perItem[i] = keep
+	})
+	var pairs [][2]int
+	for i, ids := range perItem {
+		for _, j := range ids {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	sortPairs(pairs)
+	return pairs
+}
+
+func sortPairs(pairs [][2]int) {
+	// Insertion sort is fine: the pair lists MCCATCH gels are tiny (|A| ≪ n).
+	for a := 1; a < len(pairs); a++ {
+		for b := a; b > 0 && lessPair(pairs[b], pairs[b-1]); b-- {
+			pairs[b], pairs[b-1] = pairs[b-1], pairs[b]
+		}
+	}
+}
+
+func lessPair(x, y [2]int) bool {
+	if x[0] != y[0] {
+		return x[0] < y[0]
+	}
+	return x[1] < y[1]
+}
+
+// MultiRadiusCounts computes the neighbor counts q[e][i] of every item i at
+// every radius radii[e], applying the sparse-focused principle: radius 0
+// probes every item; at each later radius only items whose previous count
+// was ≤ cap are probed, because counts are monotone in the radius and
+// plateaus higher than cap are excused (paper Sec. IV-G). Unprobed items
+// carry their previous count forward, which keeps them above cap and
+// therefore excused at all later radii.
+//
+// When lastIsDiameter is true the final radius is known to cover the whole
+// dataset (small-radii-only principle), so its counts are set to t.Size()
+// without probing.
+func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap int, lastIsDiameter bool) [][]int {
+	a := len(radii)
+	q := make([][]int, a)
+	if a == 0 {
+		return q
+	}
+	n := t.Size()
+	q[0] = SelfCounts(t, items, radii[0])
+	for e := 1; e < a; e++ {
+		q[e] = make([]int, len(items))
+		if e == a-1 && lastIsDiameter {
+			for i := range q[e] {
+				q[e][i] = n
+			}
+			break
+		}
+		prev := q[e-1]
+		// Gather the still-active items, probe them, scatter results.
+		var active []int
+		for i, c := range prev {
+			if c <= cap {
+				active = append(active, i)
+			} else {
+				q[e][i] = c // carried forward: stays excused
+			}
+		}
+		res := make([]int, len(active))
+		parallelFor(len(active), func(k int) {
+			res[k] = t.RangeCount(items[active[k]], radii[e])
+		})
+		for k, i := range active {
+			q[e][i] = res[k]
+		}
+	}
+	return q
+}
+
+// BridgeRadii finds, for every outlier, the index e of the smallest radius
+// at which it has at least one inlier neighbor (paper Alg. 4 L4-12): the
+// bridge length is then radii[e-1]. It probes the inlier tree radius by
+// radius, dropping outliers as soon as they find an inlier. Outliers that
+// never meet an inlier get len(radii) (callers treat the bridge as the
+// largest radius).
+func BridgeRadii[T any](inliers index.Index[T], outliers []T, radii []float64) []int {
+	first := make([]int, len(outliers))
+	for i := range first {
+		first[i] = len(radii)
+	}
+	active := make([]int, len(outliers))
+	for i := range active {
+		active[i] = i
+	}
+	for e := 0; e < len(radii) && len(active) > 0; e++ {
+		hits := make([]bool, len(active))
+		parallelFor(len(active), func(k int) {
+			hits[k] = inliers.RangeCount(outliers[active[k]], radii[e]) > 0
+		})
+		var still []int
+		for k, i := range active {
+			if hits[k] {
+				first[i] = e
+			} else {
+				still = append(still, i)
+			}
+		}
+		active = still
+	}
+	return first
+}

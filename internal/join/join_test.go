@@ -1,0 +1,162 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/metric"
+	"mccatch/internal/slimtree"
+)
+
+func randPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestSelfCountsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 300, 2)
+	tr := slimtree.New(metric.Euclidean, 16, pts)
+	for _, r := range []float64{0, 1, 5, 20, 200} {
+		got := SelfCounts(tr, pts, r)
+		for i := range pts {
+			want := 0
+			for j := range pts {
+				if metric.Euclidean(pts[i], pts[j]) <= r {
+					want++
+				}
+			}
+			if got[i] != want {
+				t.Fatalf("r=%v: SelfCounts[%d]=%d, want %d", r, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestCrossCountsExcludesQueriesNotInTree(t *testing.T) {
+	inliers := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	outliers := [][]float64{{0.5, 0.5}, {50, 50}}
+	tr := slimtree.New(metric.Euclidean, 0, inliers)
+	got := CrossCounts(tr, outliers, 1.0)
+	if got[0] != 3 {
+		t.Errorf("CrossCounts[0]=%d, want 3", got[0])
+	}
+	if got[1] != 0 {
+		t.Errorf("CrossCounts[1]=%d, want 0", got[1])
+	}
+}
+
+func TestSelfPairsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 120, 2)
+	tr := slimtree.New(metric.Euclidean, 8, pts)
+	r := 8.0
+	got := SelfPairs(tr, pts, r)
+	var want [][2]int
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if metric.Euclidean(pts[i], pts[j]) <= r {
+				want = append(want, [2]int{i, j})
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SelfPairs len=%d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SelfPairs[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMultiRadiusCountsSparsePrinciple(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 400, 2)
+	tr := slimtree.New(metric.Euclidean, 16, pts)
+	radii := []float64{1, 4, 16, 64, 200}
+	cap := 40
+	q := MultiRadiusCounts(tr, pts, radii, cap, true)
+
+	if len(q) != len(radii) {
+		t.Fatalf("got %d radii rows, want %d", len(q), len(radii))
+	}
+	// Last radius covers everything: counts are n without probing.
+	for i := range pts {
+		if q[len(radii)-1][i] != len(pts) {
+			t.Fatalf("last radius count = %d, want n=%d", q[len(radii)-1][i], len(pts))
+		}
+	}
+	// Counts are exact while ≤ cap, and monotone nondecreasing.
+	for e := 0; e < len(radii)-1; e++ {
+		for i := range pts {
+			if e > 0 && q[e][i] < q[e-1][i] {
+				t.Fatalf("counts not monotone at e=%d i=%d", e, i)
+			}
+			if e == 0 || q[e-1][i] <= cap {
+				want := 0
+				for j := range pts {
+					if metric.Euclidean(pts[i], pts[j]) <= radii[e] {
+						want++
+					}
+				}
+				if q[e][i] != want {
+					t.Fatalf("active count q[%d][%d]=%d, want %d", e, i, q[e][i], want)
+				}
+			} else if q[e][i] != q[e-1][i] {
+				t.Fatalf("excused point should carry count forward")
+			}
+		}
+	}
+}
+
+func TestMultiRadiusCountsEmptyRadii(t *testing.T) {
+	pts := [][]float64{{0}, {1}}
+	tr := slimtree.New(metric.Euclidean, 0, pts)
+	if got := MultiRadiusCounts(tr, pts, nil, 1, false); len(got) != 0 {
+		t.Error("no radii should give no rows")
+	}
+}
+
+func TestBridgeRadii(t *testing.T) {
+	inliers := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	outliers := [][]float64{
+		{0, 3},     // first inlier within radius 4 → index 2 of radii below
+		{0, 0.5},   // within 0.5 → index 0
+		{900, 900}, // never within any radius
+	}
+	tr := slimtree.New(metric.Euclidean, 0, inliers)
+	radii := []float64{0.5, 1, 4, 8}
+	got := BridgeRadii(tr, outliers, radii)
+	want := []int{2, 0, len(radii)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("BridgeRadii[%d]=%d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	n := 1000
+	seen := make([]int32, n)
+	parallelFor(n, func(i int) { seen[i]++ })
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d visited %d times", i, s)
+		}
+	}
+	// n smaller than worker count.
+	small := make([]int32, 2)
+	parallelFor(2, func(i int) { small[i]++ })
+	if small[0] != 1 || small[1] != 1 {
+		t.Error("small parallelFor broken")
+	}
+	parallelFor(0, func(i int) { t.Error("should not be called") })
+}

@@ -1,0 +1,244 @@
+// Package kdtree implements a main-memory kd-tree for vector data. The
+// paper's footnote 4 recommends kd-trees for main-memory-based vector
+// datasets (and metric trees for everything else); this package exists so
+// the benchmark harness can ablate the index choice. The query interface
+// mirrors internal/slimtree.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"mccatch/internal/metric"
+)
+
+type node struct {
+	point       []float64
+	id          int
+	axis        int
+	size        int       // elements in this subtree (including the point)
+	lo, hi      []float64 // bounding box of the subtree
+	left, right *node
+}
+
+// minMaxDistToBox returns the smallest and largest Euclidean distances from
+// q to the axis-aligned box [lo, hi].
+func minMaxDistToBox(q, lo, hi []float64) (dmin, dmax float64) {
+	var smin, smax float64
+	for j := range q {
+		nearest := q[j]
+		if nearest < lo[j] {
+			nearest = lo[j]
+		}
+		if nearest > hi[j] {
+			nearest = hi[j]
+		}
+		d := q[j] - nearest
+		smin += d * d
+		fl := math.Abs(q[j] - lo[j])
+		fh := math.Abs(q[j] - hi[j])
+		far := math.Max(fl, fh)
+		smax += far * far
+	}
+	return math.Sqrt(smin), math.Sqrt(smax)
+}
+
+// Tree is a kd-tree over d-dimensional points under the Euclidean metric.
+type Tree struct {
+	root *node
+	size int
+	dim  int
+}
+
+// New builds a balanced kd-tree by recursive median splits. Item i is
+// reported by queries as id i. All points must share the same dimension.
+func New(points [][]float64) *Tree {
+	t := &Tree{size: len(points)}
+	if len(points) == 0 {
+		return t
+	}
+	t.dim = len(points[0])
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = build(points, idx, 0, t.dim)
+	return t
+}
+
+func build(points [][]float64, idx []int, depth, dim int) *node {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % dim
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa[axis] != pb[axis] {
+			return pa[axis] < pb[axis]
+		}
+		return idx[a] < idx[b] // deterministic tiebreak
+	})
+	mid := len(idx) / 2
+	n := &node{point: points[idx[mid]], id: idx[mid], axis: axis, size: len(idx)}
+	n.lo = append([]float64(nil), points[idx[0]]...)
+	n.hi = append([]float64(nil), points[idx[0]]...)
+	for _, i := range idx {
+		for j, v := range points[i] {
+			if v < n.lo[j] {
+				n.lo[j] = v
+			}
+			if v > n.hi[j] {
+				n.hi[j] = v
+			}
+		}
+	}
+	n.left = build(points, append([]int(nil), idx[:mid]...), depth+1, dim)
+	n.right = build(points, append([]int(nil), idx[mid+1:]...), depth+1, dim)
+	return n
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.size }
+
+// RangeCount returns the number of points within Euclidean distance r of q
+// (inclusive). Subtrees whose bounding boxes lie entirely inside (or
+// outside) the query ball contribute their stored sizes (or nothing)
+// without being descended — the count-only principle that keeps large-
+// radius counting cheap.
+func (t *Tree) RangeCount(q []float64, r float64) int {
+	count := 0
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		dmin, dmax := minMaxDistToBox(q, n.lo, n.hi)
+		if dmin > r {
+			return
+		}
+		if dmax <= r {
+			count += n.size
+			return
+		}
+		if metric.Euclidean(q, n.point) <= r {
+			count++
+		}
+		visit(n.left)
+		visit(n.right)
+	}
+	visit(t.root)
+	return count
+}
+
+// RangeQuery returns the ids of points within distance r of q (inclusive).
+func (t *Tree) RangeQuery(q []float64, r float64) []int {
+	var ids []int
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		if metric.Euclidean(q, n.point) <= r {
+			ids = append(ids, n.id)
+		}
+		diff := q[n.axis] - n.point[n.axis]
+		if diff <= r {
+			visit(n.left)
+		}
+		if diff >= -r {
+			visit(n.right)
+		}
+	}
+	visit(t.root)
+	return ids
+}
+
+// KNN returns ids and distances of the k nearest points to q, closest
+// first; ties break by id.
+func (t *Tree) KNN(q []float64, k int) ([]int, []float64) {
+	if t.root == nil || k <= 0 {
+		return nil, nil
+	}
+	type cand struct {
+		id int
+		d  float64
+	}
+	var best []cand // kept sorted ascending, max length k
+	worse := func(a, b cand) bool {
+		if a.d != b.d {
+			return a.d > b.d
+		}
+		return a.id > b.id
+	}
+	bound := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[len(best)-1].d
+	}
+	insert := func(c cand) {
+		pos := len(best)
+		best = append(best, c)
+		for pos > 0 && worse(best[pos-1], best[pos]) {
+			best[pos-1], best[pos] = best[pos], best[pos-1]
+			pos--
+		}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		d := metric.Euclidean(q, n.point)
+		if d < bound() || (d == bound() && len(best) < k) {
+			insert(cand{id: n.id, d: d})
+		}
+		diff := q[n.axis] - n.point[n.axis]
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		visit(near)
+		if math.Abs(diff) <= bound() {
+			visit(far)
+		}
+	}
+	visit(t.root)
+	ids := make([]int, len(best))
+	dists := make([]float64, len(best))
+	for i, c := range best {
+		ids[i], dists[i] = c.id, c.d
+	}
+	return ids, dists
+}
+
+// DiameterEstimate estimates the diameter of the point set as the diagonal
+// of its bounding box (an upper bound within √d of the true diameter).
+func (t *Tree) DiameterEstimate() float64 {
+	if t.root == nil {
+		return 0
+	}
+	lo := append([]float64(nil), t.root.point...)
+	hi := append([]float64(nil), t.root.point...)
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		for j, v := range n.point {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+		visit(n.left)
+		visit(n.right)
+	}
+	visit(t.root)
+	return metric.Euclidean(lo, hi)
+}

@@ -1,0 +1,114 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+func randPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if tr.Size() != 0 || tr.RangeCount([]float64{0}, 5) != 0 || tr.DiameterEstimate() != 0 {
+		t.Error("empty tree should be inert")
+	}
+	ids, _ := tr.KNN([]float64{0}, 2)
+	if len(ids) != 0 {
+		t.Error("empty KNN should return nothing")
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(300)
+		dim := 1 + rng.Intn(5)
+		pts := randPoints(rng, n, dim)
+		tr := New(pts)
+		for q := 0; q < 10; q++ {
+			query := pts[rng.Intn(n)]
+			r := rng.Float64() * 50
+			got := tr.RangeQuery(query, r)
+			sort.Ints(got)
+			var want []int
+			for i, p := range pts {
+				if metric.Euclidean(query, p) <= r {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("RangeQuery len=%d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatal("RangeQuery ids mismatch")
+				}
+			}
+			if c := tr.RangeCount(query, r); c != len(want) {
+				t.Fatalf("RangeCount=%d, want %d", c, len(want))
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		n := 20 + rng.Intn(200)
+		pts := randPoints(rng, n, 3)
+		tr := New(pts)
+		query := randPoints(rng, 1, 3)[0]
+		k := 1 + rng.Intn(8)
+		_, dists := tr.KNN(query, k)
+		all := make([]float64, n)
+		for i, p := range pts {
+			all[i] = metric.Euclidean(query, p)
+		}
+		sort.Float64s(all)
+		for i := 0; i < k && i < n; i++ {
+			if math.Abs(dists[i]-all[i]) > 1e-9 {
+				t.Fatalf("trial %d: kNN dist[%d]=%v, want %v", trial, i, dists[i], all[i])
+			}
+		}
+	}
+}
+
+func TestDiameterEstimateBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 200, 2)
+	tr := New(pts)
+	true_ := 0.0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := metric.Euclidean(pts[i], pts[j]); d > true_ {
+				true_ = d
+			}
+		}
+	}
+	est := tr.DiameterEstimate()
+	if est < true_ || est > true_*math.Sqrt2+1e-9 {
+		t.Errorf("bbox diagonal %v should be in [true diameter %v, √2×]", est, true_)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {9, 9}}
+	tr := New(pts)
+	if got := tr.RangeCount([]float64{1, 1}, 0); got != 3 {
+		t.Errorf("duplicates RangeCount = %d, want 3", got)
+	}
+}

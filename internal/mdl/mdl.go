@@ -1,0 +1,74 @@
+// Package mdl implements the Minimum Description Length primitives MCCATCH
+// uses to stay hands-off: the universal code length for integers (Rissanen),
+// the two-part compression cost of an integer set (paper Def. 5), and the
+// histogram-partition cutoff search (paper Def. 6).
+package mdl
+
+import "math"
+
+// CodeLen returns the universal code length for integers ⟨z⟩ in bits:
+// log2(z) + log2(log2(z)) + ..., retaining only the positive terms.
+// This is the optimal length when the range of z is unknown a priori
+// (Rissanen 1983). By convention ⟨z⟩ = 0 for z ≤ 1, since log2(1) = 0 and
+// no positive terms remain.
+func CodeLen(z int) float64 {
+	if z <= 1 {
+		return 0
+	}
+	sum := 0.0
+	term := math.Log2(float64(z))
+	for term > 0 {
+		sum += term
+		term = math.Log2(term)
+	}
+	return sum
+}
+
+// Cost returns the two-part compression cost of a nonempty integer set V
+// (paper Def. 5): the cost of the cardinality, of the (ceiled) average, and
+// of each value's absolute difference to the average. Ones are added where a
+// zero could otherwise appear, so every code length argument is ≥ 1.
+// Cost panics if v is empty: Def. 5 is only defined for nonempty sets.
+func Cost(v []int) float64 {
+	if len(v) == 0 {
+		panic("mdl: Cost of empty set is undefined (Def. 5 requires a nonempty set)")
+	}
+	sum := 0
+	for _, x := range v {
+		sum += x
+	}
+	avg := float64(sum) / float64(len(v))
+	cost := CodeLen(len(v)) + CodeLen(1+int(math.Ceil(avg)))
+	for _, x := range v {
+		cost += CodeLen(1 + int(math.Ceil(math.Abs(float64(x)-avg))))
+	}
+	return cost
+}
+
+// PartitionCut finds, over all cut positions e in (from, len(h)], the e that
+// minimizes Cost(h[from:e]) + Cost(h[e:]), i.e. the split that best separates
+// the tall bins from the short ones (paper Def. 6). from is the index of the
+// peak (mode) bin; the cut must leave at least one bin on each side, so e
+// ranges over [from+1, len(h)-1]. It returns the winning cut index.
+//
+// If no valid cut exists (fewer than two bins after the peak), PartitionCut
+// returns len(h)-1 when that is > from, and from+1 otherwise, so callers
+// always receive an index in (from, len(h)).
+func PartitionCut(h []int, from int) int {
+	best, bestCost := -1, math.Inf(1)
+	for e := from + 1; e < len(h); e++ {
+		c := Cost(h[from:e]) + Cost(h[e:])
+		if c < bestCost {
+			bestCost = c
+			best = e
+		}
+	}
+	if best < 0 {
+		// Degenerate histogram: fall back to the last bin if possible.
+		if from+1 < len(h) {
+			return len(h) - 1
+		}
+		return from + 1
+	}
+	return best
+}

@@ -1,0 +1,141 @@
+package mdl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeLenSmallValues(t *testing.T) {
+	cases := []struct {
+		z    int
+		want float64
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},                      // log2(2)=1, log2(1)=0 → stop
+		{4, 3},                      // 2 + 1
+		{16, 4 + 2 + 1},             // log2(16)=4, log2(4)=2, log2(2)=1
+		{256, 8 + 3 + math.Log2(3)}, // 8, 3, log2(3)≈1.585, log2(1.585)>0
+		{-5, 0},                     // negative treated as ≤1
+	}
+	for _, c := range cases {
+		got := CodeLen(c.z)
+		if c.z == 256 {
+			// 256: 8 + 3 + log2(3) + log2(log2(3)) ≈ 8+3+1.585+0.664
+			want := 8.0
+			term := 8.0
+			for {
+				term = math.Log2(term)
+				if term <= 0 {
+					break
+				}
+				want += term
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("CodeLen(256) = %v, want %v", got, want)
+			}
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CodeLen(%d) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestCodeLenMonotone(t *testing.T) {
+	f := func(a uint16) bool {
+		z := int(a)
+		return CodeLen(z) <= CodeLen(z+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeLenNonNegative(t *testing.T) {
+	f := func(a int32) bool {
+		return CodeLen(int(a)) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostHomogeneousIsCheaper(t *testing.T) {
+	// A homogeneous set must compress better than a heterogeneous one of the
+	// same cardinality and comparable magnitude.
+	homog := []int{100, 100, 100, 100}
+	heter := []int{1, 400, 3, 0}
+	if Cost(homog) >= Cost(heter) {
+		t.Errorf("Cost(homog)=%v should be < Cost(heter)=%v", Cost(homog), Cost(heter))
+	}
+}
+
+func TestCostSingleton(t *testing.T) {
+	got := Cost([]int{5})
+	// ⟨1⟩ + ⟨1+5⟩ + ⟨1+0⟩ = 0 + CodeLen(6) + 0
+	want := CodeLen(6)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Cost([5]) = %v, want %v", got, want)
+	}
+}
+
+func TestCostEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cost(nil) should panic")
+		}
+	}()
+	Cost(nil)
+}
+
+func TestPartitionCutSeparatesTallFromShort(t *testing.T) {
+	// Tall bins then short bins: best cut is at the boundary.
+	h := []int{900, 850, 920, 3, 1, 2, 0, 1}
+	got := PartitionCut(h, 0)
+	if got != 3 {
+		t.Errorf("PartitionCut = %d, want 3", got)
+	}
+}
+
+func TestPartitionCutFromPeak(t *testing.T) {
+	// Peak at index 2; cut considers only bins from the peak on.
+	h := []int{5, 40, 990, 940, 2, 1, 0}
+	got := PartitionCut(h, 2)
+	if got != 4 {
+		t.Errorf("PartitionCut = %d, want 4", got)
+	}
+}
+
+func TestPartitionCutDegenerate(t *testing.T) {
+	// Only one bin after the peak: no valid split, falls back in range.
+	h := []int{9, 1}
+	got := PartitionCut(h, 0)
+	if got != 1 {
+		t.Errorf("PartitionCut degenerate = %d, want 1", got)
+	}
+	// Peak at the last bin.
+	got = PartitionCut([]int{1, 9}, 1)
+	if got != 2 {
+		t.Errorf("PartitionCut peak-at-end = %d, want 2", got)
+	}
+}
+
+func TestPartitionCutAlwaysInRange(t *testing.T) {
+	f := func(raw []uint8, fromRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		h := make([]int, len(raw))
+		for i, r := range raw {
+			h[i] = int(r)
+		}
+		from := int(fromRaw) % (len(h) - 1)
+		e := PartitionCut(h, from)
+		return e > from && e <= len(h)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package metric
+
+import "mccatch/internal/mdl"
+
+// TransformationCost is the cost t of Def. 7: the number of bits needed to
+// describe how to transform one data element into another element that is
+// one unit of distance away. It parameterizes MCCATCH's compression-based
+// anomaly scores per metric space.
+type TransformationCost float64
+
+// VectorCost returns t for a d-dimensional vector space under any Lp
+// metric: the dimensionality, because a unit move must be described in each
+// feature (Def. 7).
+func VectorCost(dim int) TransformationCost {
+	if dim < 1 {
+		dim = 1
+	}
+	return TransformationCost(dim)
+}
+
+// WordCost returns t for strings under the edit distance (Def. 7): the cost
+// of describing one edit — ⟨3⟩ bits to pick among insertion/deletion/
+// replacement, ⟨distinctChars⟩ bits for the new character, and
+// ⟨longestWordLen⟩ bits for the position.
+func WordCost(distinctChars, longestWordLen int) TransformationCost {
+	return TransformationCost(mdl.CodeLen(3) + mdl.CodeLen(distinctChars) + mdl.CodeLen(longestWordLen))
+}
+
+// CustomCost wraps a caller-supplied per-unit transformation cost for any
+// other metric space (graphs, point sets, DNA, ...).
+func CustomCost(bitsPerUnit float64) TransformationCost {
+	if bitsPerUnit <= 0 {
+		bitsPerUnit = 1
+	}
+	return TransformationCost(bitsPerUnit)
+}

@@ -1,0 +1,117 @@
+package metric
+
+import (
+	"math"
+	"sort"
+)
+
+// Graph is an undirected, unweighted graph given by adjacency lists, e.g. a
+// skeleton graph extracted from a silhouette. Node identity carries no
+// meaning: graph distances must be invariant under node relabeling.
+type Graph struct {
+	Adj [][]int // Adj[i] lists the neighbors of node i
+}
+
+// NewGraph builds a Graph on n nodes from an undirected edge list.
+func NewGraph(n int, edges [][2]int) Graph {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	return Graph{Adj: adj}
+}
+
+// NumEdges returns the number of undirected edges.
+func (g Graph) NumEdges() int {
+	sum := 0
+	for _, nb := range g.Adj {
+		sum += len(nb)
+	}
+	return sum / 2
+}
+
+// degreeSequence returns the sorted (ascending) degree sequence.
+func (g Graph) degreeSequence() []int {
+	deg := make([]int, len(g.Adj))
+	for i, nb := range g.Adj {
+		deg[i] = len(nb)
+	}
+	sort.Ints(deg)
+	return deg
+}
+
+// eccentricities returns the sorted (ascending) BFS eccentricity of every
+// node; unreachable pairs contribute the node count as a finite ceiling.
+func (g Graph) eccentricities() []int {
+	n := len(g.Adj)
+	ecc := make([]int, n)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		maxd := 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					if dist[v] > maxd {
+						maxd = dist[v]
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i := range dist {
+			if dist[i] < 0 { // disconnected: finite ceiling
+				maxd = n
+				break
+			}
+		}
+		ecc[s] = maxd
+	}
+	sort.Ints(ecc)
+	return ecc
+}
+
+// GraphDistance is a graph-edit-distance surrogate that is a pseudometric
+// (symmetric, non-negative, triangle inequality): the sum of
+//
+//   - the L1 distance between zero-padded sorted degree sequences,
+//   - the L1 distance between zero-padded sorted eccentricity sequences, and
+//   - the absolute difference in edge counts.
+//
+// Each term is the L1 distance between canonical integer signatures, so the
+// triangle inequality holds termwise; non-isomorphic graphs with identical
+// signatures get distance 0, which metric trees tolerate (pseudometric).
+// Exact graph edit distance is NP-hard; this surrogate preserves what the
+// Skeletons experiment needs — topologically unusual graphs are far away.
+func GraphDistance(a, b Graph) float64 {
+	d := paddedL1(a.degreeSequence(), b.degreeSequence())
+	d += paddedL1(a.eccentricities(), b.eccentricities())
+	d += math.Abs(float64(a.NumEdges() - b.NumEdges()))
+	return d
+}
+
+// paddedL1 returns the L1 distance between two ascending integer sequences
+// after left-padding the shorter one with zeros. Padding at the low end
+// keeps both sequences sorted, which makes the comparison canonical.
+func paddedL1(a, b []int) float64 {
+	for len(a) < len(b) {
+		a = append([]int{0}, a...)
+	}
+	for len(b) < len(a) {
+		b = append([]int{0}, b...)
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(float64(a[i] - b[i]))
+	}
+	return s
+}

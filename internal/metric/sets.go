@@ -1,0 +1,62 @@
+package metric
+
+import "math"
+
+// PointSet is a finite set of points in R^d, e.g. the ridge minutiae of a
+// fingerprint. The paper's Fingerprints dataset is nondimensional: each data
+// element is a whole point set, compared with a set distance.
+type PointSet [][]float64
+
+// Hausdorff returns the Hausdorff distance between two point sets under the
+// Euclidean ground metric:
+//
+//	H(A,B) = max( max_{a∈A} min_{b∈B} d(a,b), max_{b∈B} min_{a∈A} d(a,b) ).
+//
+// It is a true metric on nonempty compact sets. Empty sets are handled by
+// convention: H(∅,∅)=0 and H(A,∅)=+Inf is replaced by the diameter proxy of
+// the nonempty set so distances stay finite for indexing.
+func Hausdorff(a, b PointSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		ne := a
+		if len(ne) == 0 {
+			ne = b
+		}
+		// Farthest point from the origin-side bounding sphere: use the set's
+		// diameter as a finite stand-in for the degenerate case.
+		m := 0.0
+		for i := range ne {
+			for j := i + 1; j < len(ne); j++ {
+				if d := Euclidean(ne[i], ne[j]); d > m {
+					m = d
+				}
+			}
+		}
+		if m == 0 {
+			m = 1
+		}
+		return m
+	}
+	return math.Max(directed(a, b), directed(b, a))
+}
+
+func directed(a, b PointSet) float64 {
+	worst := 0.0
+	for _, p := range a {
+		best := math.Inf(1)
+		for _, q := range b {
+			if d := Euclidean(p, q); d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}

@@ -1,0 +1,66 @@
+package metric
+
+import "strings"
+
+// Soundex returns the American Soundex code of a word (letter + 3 digits),
+// the phonetic encoding the paper cites (PostgreSQL fuzzystrmatch) as an
+// alternative string distance for names. Non-ASCII-letter characters are
+// ignored; an empty word encodes to "0000".
+func Soundex(word string) string {
+	code := func(r rune) byte {
+		switch r {
+		case 'b', 'f', 'p', 'v':
+			return '1'
+		case 'c', 'g', 'j', 'k', 'q', 's', 'x', 'z':
+			return '2'
+		case 'd', 't':
+			return '3'
+		case 'l':
+			return '4'
+		case 'm', 'n':
+			return '5'
+		case 'r':
+			return '6'
+		default:
+			return 0 // vowels, h, w, and anything else
+		}
+	}
+	w := strings.ToLower(word)
+	var letters []rune
+	for _, r := range w {
+		if r >= 'a' && r <= 'z' {
+			letters = append(letters, r)
+		}
+	}
+	if len(letters) == 0 {
+		return "0000"
+	}
+	out := []byte{byte(letters[0] - 'a' + 'A')}
+	prev := code(letters[0])
+	for _, r := range letters[1:] {
+		c := code(r)
+		// h and w do not reset the previous code; vowels do.
+		if r == 'h' || r == 'w' {
+			continue
+		}
+		if c != 0 && c != prev {
+			out = append(out, c)
+			if len(out) == 4 {
+				break
+			}
+		}
+		prev = c
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+// SoundexDistance compares two words by the edit distance between their
+// Soundex codes: phonetically alike names are at distance 0. It is a
+// pseudometric (distinct words can share a code), which the metric tree
+// tolerates.
+func SoundexDistance(a, b string) float64 {
+	return Levenshtein(Soundex(a), Soundex(b))
+}

@@ -1,0 +1,41 @@
+package metric
+
+// Levenshtein returns the edit distance between two strings: the minimum
+// number of single-character insertions, deletions, and replacements needed
+// to transform a into b. It is a true metric on strings. The paper uses it
+// ("L-Edit") for the Last Names dataset.
+func Levenshtein(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return float64(len(rb))
+	}
+	if len(rb) == 0 {
+		return float64(len(ra))
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			sub := prev[j-1]
+			if ra[i-1] != rb[j-1] {
+				sub++
+			}
+			del := prev[j] + 1
+			ins := cur[j-1] + 1
+			m := sub
+			if del < m {
+				m = del
+			}
+			if ins < m {
+				m = ins
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[len(rb)])
+}

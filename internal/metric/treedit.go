@@ -1,0 +1,167 @@
+package metric
+
+// Tree is a rooted, ordered, labeled tree for the tree edit distance. The
+// paper cites tree-editing distance (Pawlik & Augsten) as a domain-expert
+// metric for shapes and skeleton graphs; this file implements the classic
+// Zhang–Shasha algorithm, which computes the exact edit distance between
+// rooted ordered trees in O(n²·depth²) time.
+type Tree struct {
+	Label    rune
+	Children []*Tree
+}
+
+// Node count of the tree.
+func (t *Tree) size() int {
+	if t == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range t.Children {
+		n += c.size()
+	}
+	return n
+}
+
+// postorder assigns post-order numbers and records, for each node, its
+// label and the post-order number of its leftmost leaf descendant.
+type zsIndex struct {
+	labels []rune // labels in post-order (1-based; index 0 unused)
+	lmld   []int  // leftmost leaf descendant per node (1-based)
+	keys   []int  // keyroots: nodes with a left sibling, plus the root
+}
+
+func buildZS(t *Tree) zsIndex {
+	n := t.size()
+	idx := zsIndex{
+		labels: make([]rune, n+1),
+		lmld:   make([]int, n+1),
+	}
+	counter := 0
+	post := map[*Tree]int{}
+	var walk func(node *Tree)
+	walk = func(node *Tree) {
+		for _, c := range node.Children {
+			walk(c)
+		}
+		counter++
+		post[node] = counter
+		idx.labels[counter] = node.Label
+	}
+	walk(t)
+	// lmld: leftmost leaf descendant by structure.
+	var fill func(node *Tree) int
+	fill = func(node *Tree) int {
+		if len(node.Children) == 0 {
+			idx.lmld[post[node]] = post[node]
+			return post[node]
+		}
+		first := 0
+		for i, c := range node.Children {
+			l := fill(c)
+			if i == 0 {
+				first = l
+			}
+		}
+		idx.lmld[post[node]] = first
+		return first
+	}
+	fill(t)
+	// Keyroots: the highest node of every distinct leftmost-leaf chain.
+	highest := map[int]int{}
+	for i := 1; i <= n; i++ {
+		highest[idx.lmld[i]] = i
+	}
+	for _, v := range highest {
+		idx.keys = append(idx.keys, v)
+	}
+	// Sort ascending (insertion sort: keyroot lists are small).
+	for a := 1; a < len(idx.keys); a++ {
+		for b := a; b > 0 && idx.keys[b] < idx.keys[b-1]; b-- {
+			idx.keys[b], idx.keys[b-1] = idx.keys[b-1], idx.keys[b]
+		}
+	}
+	return idx
+}
+
+// TreeEditDistance returns the exact edit distance between two rooted
+// ordered labeled trees under unit costs for insert, delete, and relabel.
+// It is a true metric on such trees.
+func TreeEditDistance(a, b *Tree) float64 {
+	if a == nil && b == nil {
+		return 0
+	}
+	if a == nil {
+		return float64(b.size())
+	}
+	if b == nil {
+		return float64(a.size())
+	}
+	ia, ib := buildZS(a), buildZS(b)
+	na, nb := a.size(), b.size()
+	td := make([][]float64, na+1)
+	for i := range td {
+		td[i] = make([]float64, nb+1)
+	}
+	for _, ka := range ia.keys {
+		for _, kb := range ib.keys {
+			treeDist(ia, ib, ka, kb, td)
+		}
+	}
+	return td[na][nb]
+}
+
+// treeDist fills td[i][j] for the subtree pair rooted at keyroots (ka, kb)
+// using the Zhang–Shasha forest-distance recurrence.
+func treeDist(ia, ib zsIndex, ka, kb int, td [][]float64) {
+	la, lb := ia.lmld[ka], ib.lmld[kb]
+	m := ka - la + 2
+	n := kb - lb + 2
+	fd := make([][]float64, m)
+	for i := range fd {
+		fd[i] = make([]float64, n)
+	}
+	for i := 1; i < m; i++ {
+		fd[i][0] = fd[i-1][0] + 1 // delete
+	}
+	for j := 1; j < n; j++ {
+		fd[0][j] = fd[0][j-1] + 1 // insert
+	}
+	for i := 1; i < m; i++ {
+		for j := 1; j < n; j++ {
+			ai := la + i - 1 // node in a (post-order)
+			bj := lb + j - 1
+			if ia.lmld[ai] == la && ib.lmld[bj] == lb {
+				// Both forests are whole trees: record the tree distance.
+				rel := 0.0
+				if ia.labels[ai] != ib.labels[bj] {
+					rel = 1
+				}
+				fd[i][j] = min3(
+					fd[i-1][j]+1,
+					fd[i][j-1]+1,
+					fd[i-1][j-1]+rel,
+				)
+				td[ai][bj] = fd[i][j]
+			} else {
+				// General forests: reuse the stored subtree distance.
+				pi := ia.lmld[ai] - la // forest prefix before subtree ai
+				pj := ib.lmld[bj] - lb
+				fd[i][j] = min3(
+					fd[i-1][j]+1,
+					fd[i][j-1]+1,
+					fd[pi][pj]+td[ai][bj],
+				)
+			}
+		}
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,151 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func leaf(l rune) *Tree              { return &Tree{Label: l} }
+func tr(l rune, kids ...*Tree) *Tree { return &Tree{Label: l, Children: kids} }
+
+func TestTreeEditDistanceKnownValues(t *testing.T) {
+	// Identical trees.
+	a := tr('a', leaf('b'), leaf('c'))
+	b := tr('a', leaf('b'), leaf('c'))
+	if got := TreeEditDistance(a, b); got != 0 {
+		t.Errorf("identical trees: %v", got)
+	}
+	// One relabel.
+	c := tr('a', leaf('b'), leaf('x'))
+	if got := TreeEditDistance(a, c); got != 1 {
+		t.Errorf("one relabel: %v, want 1", got)
+	}
+	// One insertion: a(b,c) vs a(b,c,d).
+	d := tr('a', leaf('b'), leaf('c'), leaf('d'))
+	if got := TreeEditDistance(a, d); got != 1 {
+		t.Errorf("one insert: %v, want 1", got)
+	}
+	// Empty versus tree: cost = node count.
+	if got := TreeEditDistance(nil, d); got != 4 {
+		t.Errorf("nil vs tree: %v, want 4", got)
+	}
+	if got := TreeEditDistance(a, nil); got != 3 {
+		t.Errorf("tree vs nil: %v, want 3", got)
+	}
+	if got := TreeEditDistance(nil, nil); got != 0 {
+		t.Errorf("nil vs nil: %v, want 0", got)
+	}
+}
+
+func TestTreeEditDistanceClassicExample(t *testing.T) {
+	// The Zhang–Shasha paper's classic pair:
+	// T1: f(d(a, c(b)), e)   T2: f(c(d(a, b)), e) — distance 2.
+	t1 := tr('f', tr('d', leaf('a'), tr('c', leaf('b'))), leaf('e'))
+	t2 := tr('f', tr('c', tr('d', leaf('a'), leaf('b'))), leaf('e'))
+	if got := TreeEditDistance(t1, t2); got != 2 {
+		t.Errorf("classic example: %v, want 2", got)
+	}
+}
+
+func TestTreeEditDistanceDeepChains(t *testing.T) {
+	// Chains of different lengths: distance = length difference.
+	chain := func(n int) *Tree {
+		root := leaf('x')
+		cur := root
+		for i := 1; i < n; i++ {
+			child := leaf('x')
+			cur.Children = []*Tree{child}
+			cur = child
+		}
+		return root
+	}
+	if got := TreeEditDistance(chain(5), chain(9)); got != 4 {
+		t.Errorf("chains: %v, want 4", got)
+	}
+}
+
+func randTree(rng *rand.Rand, maxNodes int) *Tree {
+	labels := []rune("abc")
+	var build func(budget *int) *Tree
+	build = func(budget *int) *Tree {
+		*budget--
+		node := leaf(labels[rng.Intn(len(labels))])
+		for *budget > 0 && rng.Float64() < 0.6 {
+			node.Children = append(node.Children, build(budget))
+		}
+		return node
+	}
+	budget := 1 + rng.Intn(maxNodes)
+	return build(&budget)
+}
+
+func TestTreeEditDistanceMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		a := randTree(rng, 10)
+		b := randTree(rng, 10)
+		c := randTree(rng, 10)
+		dab := TreeEditDistance(a, b)
+		dba := TreeEditDistance(b, a)
+		if dab != dba {
+			t.Fatalf("not symmetric: %v vs %v", dab, dba)
+		}
+		if TreeEditDistance(a, a) != 0 {
+			t.Fatal("d(a,a) != 0")
+		}
+		dac := TreeEditDistance(a, c)
+		dbc := TreeEditDistance(b, c)
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("triangle violated: %v > %v + %v", dac, dab, dbc)
+		}
+		// Distance bounded by total size (delete all + insert all).
+		if dab > float64(a.size()+b.size()) {
+			t.Fatalf("distance exceeds size bound")
+		}
+	}
+}
+
+func TestSoundexKnownCodes(t *testing.T) {
+	cases := []struct{ word, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"},
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", "0000"},
+		{"123", "0000"},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.word); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.word, got, c.want)
+		}
+	}
+}
+
+func TestSoundexDistance(t *testing.T) {
+	if got := SoundexDistance("Robert", "Rupert"); got != 0 {
+		t.Errorf("phonetic twins should be at distance 0, got %v", got)
+	}
+	if got := SoundexDistance("Smith", "Przybylski"); got == 0 {
+		t.Error("unlike names should differ")
+	}
+	// Pseudometric sanity on random words.
+	rng := rand.New(rand.NewSource(2))
+	words := make([]string, 30)
+	for i := range words {
+		b := make([]byte, 3+rng.Intn(8))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		words[i] = string(b)
+	}
+	for _, a := range words {
+		for _, b := range words {
+			if SoundexDistance(a, b) != SoundexDistance(b, a) {
+				t.Fatal("SoundexDistance not symmetric")
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package rtree implements an R-tree over vector data, bulk-loaded with
+// the Sort-Tile-Recursive (STR) algorithm. It is the third access method
+// the paper names for MCCATCH's tree T (Alg. 1 L1: "Like a Slim-tree,
+// M-tree, or R-tree" — R-trees being the disk-oriented choice for vector
+// data). The query interface satisfies internal/index.Index, so the
+// pipeline and the benchmarks can ablate it against the slim-tree and the
+// kd-tree. RangeCount applies the count-only principle: a node whose
+// bounding box lies entirely inside the query ball contributes its stored
+// element count without being descended.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"mccatch/internal/metric"
+)
+
+// DefaultFanout is the default number of children per node.
+const DefaultFanout = 16
+
+type node struct {
+	leaf     bool
+	lo, hi   []float64 // bounding box
+	size     int       // elements under this node
+	children []*node   // internal nodes
+	points   [][]float64
+	ids      []int // leaf nodes
+}
+
+// Tree is an STR bulk-loaded R-tree under the Euclidean metric.
+type Tree struct {
+	root   *node
+	dim    int
+	sizeN  int
+	fanout int
+}
+
+// New bulk-loads an R-tree with the given fanout (DefaultFanout if < 2).
+// Point i is reported by queries as id i.
+func New(points [][]float64, fanout int) *Tree {
+	if fanout < 2 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{sizeN: len(points), fanout: fanout}
+	if len(points) == 0 {
+		return t
+	}
+	t.dim = len(points[0])
+	ids := make([]int, len(points))
+	for i := range ids {
+		ids[i] = i
+	}
+	leaves := t.buildLeaves(points, ids)
+	t.root = t.pack(leaves)
+	return t
+}
+
+// buildLeaves tiles the points into leaf nodes with the STR recursion:
+// sort by the first axis, slice into vertical runs, recurse on the next
+// axis within each run, and emit capacity-sized leaves.
+func (t *Tree) buildLeaves(points [][]float64, ids []int) []*node {
+	var leaves []*node
+	var tile func(idx []int, axis int)
+	tile = func(idx []int, axis int) {
+		if len(idx) <= t.fanout {
+			leaf := &node{leaf: true, size: len(idx)}
+			for _, i := range idx {
+				leaf.points = append(leaf.points, points[i])
+				leaf.ids = append(leaf.ids, i)
+			}
+			leaf.computeBox(nil)
+			leaves = append(leaves, leaf)
+			return
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			pa, pb := points[idx[a]], points[idx[b]]
+			if pa[axis] != pb[axis] {
+				return pa[axis] < pb[axis]
+			}
+			return idx[a] < idx[b]
+		})
+		// Number of vertical slices: ceil(sqrt(#leaves needed)).
+		nLeaves := (len(idx) + t.fanout - 1) / t.fanout
+		slices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+		per := (len(idx) + slices - 1) / slices
+		next := (axis + 1) % t.dim
+		for s := 0; s < len(idx); s += per {
+			e := s + per
+			if e > len(idx) {
+				e = len(idx)
+			}
+			tile(idx[s:e], next)
+		}
+	}
+	tile(ids, 0)
+	return leaves
+}
+
+// pack groups nodes into parents level by level until one root remains.
+func (t *Tree) pack(nodes []*node) *node {
+	for len(nodes) > 1 {
+		// Sort by box center on alternating axes for locality.
+		sort.Slice(nodes, func(a, b int) bool {
+			return nodes[a].lo[0]+nodes[a].hi[0] < nodes[b].lo[0]+nodes[b].hi[0]
+		})
+		var parents []*node
+		for s := 0; s < len(nodes); s += t.fanout {
+			e := s + t.fanout
+			if e > len(nodes) {
+				e = len(nodes)
+			}
+			p := &node{children: append([]*node(nil), nodes[s:e]...)}
+			for _, c := range p.children {
+				p.size += c.size
+			}
+			p.computeBox(p.children)
+			parents = append(parents, p)
+		}
+		nodes = parents
+	}
+	return nodes[0]
+}
+
+// computeBox fills the node's bounding box from its points or children.
+func (n *node) computeBox(children []*node) {
+	if n.leaf {
+		n.lo = append([]float64(nil), n.points[0]...)
+		n.hi = append([]float64(nil), n.points[0]...)
+		for _, p := range n.points {
+			for j, v := range p {
+				if v < n.lo[j] {
+					n.lo[j] = v
+				}
+				if v > n.hi[j] {
+					n.hi[j] = v
+				}
+			}
+		}
+		return
+	}
+	n.lo = append([]float64(nil), children[0].lo...)
+	n.hi = append([]float64(nil), children[0].hi...)
+	for _, c := range children {
+		for j := range n.lo {
+			if c.lo[j] < n.lo[j] {
+				n.lo[j] = c.lo[j]
+			}
+			if c.hi[j] > n.hi[j] {
+				n.hi[j] = c.hi[j]
+			}
+		}
+	}
+}
+
+// minMaxDist returns the smallest and largest distances from q to the box.
+func (n *node) minMaxDist(q []float64) (dmin, dmax float64) {
+	var smin, smax float64
+	for j := range q {
+		nearest := q[j]
+		if nearest < n.lo[j] {
+			nearest = n.lo[j]
+		}
+		if nearest > n.hi[j] {
+			nearest = n.hi[j]
+		}
+		d := q[j] - nearest
+		smin += d * d
+		far := math.Max(math.Abs(q[j]-n.lo[j]), math.Abs(q[j]-n.hi[j]))
+		smax += far * far
+	}
+	return math.Sqrt(smin), math.Sqrt(smax)
+}
+
+// Size returns the number of indexed points.
+func (t *Tree) Size() int { return t.sizeN }
+
+// RangeCount returns how many points lie within distance r of q.
+func (t *Tree) RangeCount(q []float64, r float64) int {
+	if t.root == nil {
+		return 0
+	}
+	count := 0
+	var visit func(n *node)
+	visit = func(n *node) {
+		dmin, dmax := n.minMaxDist(q)
+		if dmin > r {
+			return
+		}
+		if dmax <= r {
+			count += n.size
+			return
+		}
+		if n.leaf {
+			for _, p := range n.points {
+				if metric.Euclidean(q, p) <= r {
+					count++
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			visit(c)
+		}
+	}
+	visit(t.root)
+	return count
+}
+
+// RangeQuery returns the ids of points within distance r of q.
+func (t *Tree) RangeQuery(q []float64, r float64) []int {
+	if t.root == nil {
+		return nil
+	}
+	var ids []int
+	var visit func(n *node)
+	visit = func(n *node) {
+		dmin, _ := n.minMaxDist(q)
+		if dmin > r {
+			return
+		}
+		if n.leaf {
+			for k, p := range n.points {
+				if metric.Euclidean(q, p) <= r {
+					ids = append(ids, n.ids[k])
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			visit(c)
+		}
+	}
+	visit(t.root)
+	return ids
+}
+
+// DiameterEstimate returns the root bounding box diagonal, an upper bound
+// on the true diameter within a factor of √d.
+func (t *Tree) DiameterEstimate() float64 {
+	if t.root == nil {
+		return 0
+	}
+	return metric.Euclidean(t.root.lo, t.root.hi)
+}
+
+// Height returns the tree height (0 when empty).
+func (t *Tree) Height() int {
+	h := 0
+	n := t.root
+	for n != nil {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}

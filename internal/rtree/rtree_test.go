@@ -1,0 +1,123 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+func randPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	tr := New(nil, 0)
+	if tr.Size() != 0 || tr.RangeCount([]float64{0}, 5) != 0 || tr.DiameterEstimate() != 0 {
+		t.Error("empty tree should be inert")
+	}
+	if tr.Height() != 0 {
+		t.Error("empty height should be 0")
+	}
+	one := New([][]float64{{3, 4}}, 0)
+	if one.RangeCount([]float64{3, 4}, 0) != 1 || one.Size() != 1 {
+		t.Error("singleton tree broken")
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(500)
+		dim := 1 + rng.Intn(4)
+		pts := randPoints(rng, n, dim)
+		tr := New(pts, 8)
+		for q := 0; q < 10; q++ {
+			query := pts[rng.Intn(n)]
+			r := rng.Float64() * 60
+			got := tr.RangeQuery(query, r)
+			sort.Ints(got)
+			var want []int
+			for i, p := range pts {
+				if metric.Euclidean(query, p) <= r {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: RangeQuery len=%d, want %d", trial, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatal("RangeQuery ids mismatch")
+				}
+			}
+			if c := tr.RangeCount(query, r); c != len(want) {
+				t.Fatalf("RangeCount=%d, want %d", c, len(want))
+			}
+		}
+	}
+}
+
+func TestCountAggregationFullCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 3000, 2)
+	tr := New(pts, 16)
+	// A radius covering everything must count n exactly (and fast).
+	if c := tr.RangeCount([]float64{50, 50}, 1e6); c != 3000 {
+		t.Fatalf("full-cover count = %d, want 3000", c)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	pts := make([][]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{7, 7}
+	}
+	pts = append(pts, []float64{50, 50})
+	tr := New(pts, 8)
+	if c := tr.RangeCount([]float64{7, 7}, 0); c != 100 {
+		t.Errorf("duplicate count = %d, want 100", c)
+	}
+}
+
+func TestDiameterAndHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 2000, 3)
+	tr := New(pts, 8)
+	trueD := 0.0
+	for i := 0; i < 200; i++ { // sampled lower bound
+		for j := i + 1; j < 200; j++ {
+			if d := metric.Euclidean(pts[i], pts[j]); d > trueD {
+				trueD = d
+			}
+		}
+	}
+	est := tr.DiameterEstimate()
+	if est < trueD {
+		t.Errorf("bbox diagonal %v below sampled diameter %v", est, trueD)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("2000 points at fanout 8 should be ≥ 3 levels, got %d", tr.Height())
+	}
+}
+
+func TestMCCatchRunsOnRTree(t *testing.T) {
+	// The R-tree satisfies index.Index, so the whole pipeline runs on it;
+	// asserted via the public API in the root package's tests — here just
+	// check interface conformance at compile time.
+	var _ interface {
+		RangeCount(q []float64, r float64) int
+		RangeQuery(q []float64, r float64) []int
+		Size() int
+		DiameterEstimate() float64
+	} = New(nil, 0)
+}

@@ -1,0 +1,227 @@
+package slimtree
+
+import "math"
+
+// FatFactor measures how much the tree's node regions overlap (Traina Jr.
+// et al., TKDE 2002): the fraction of avoidable node visits over point
+// queries for every indexed element,
+//
+//	fat(T) = (Ic − h·n) / (n·(M − h))
+//
+// where Ic is the total number of nodes whose region covers each element,
+// h the height, n the element count and M the node count. 0 means a
+// point query never visits more than one node per level; 1 means every
+// query visits every node. Trees with ≤ 1 node report 0.
+func (t *Tree[T]) FatFactor() float64 {
+	if t.root == nil || t.size == 0 {
+		return 0
+	}
+	h := t.Height()
+	m := t.nodeCount(t.root)
+	if m <= h {
+		return 0
+	}
+	// For every element, count covering nodes by reusing the element set
+	// collected from the leaves.
+	elems := make([]T, 0, t.size)
+	var collect func(n *node[T])
+	collect = func(n *node[T]) {
+		for i := range n.entries {
+			if n.leaf {
+				elems = append(elems, n.entries[i].pivot)
+			} else {
+				collect(n.entries[i].child)
+			}
+		}
+	}
+	collect(t.root)
+	ic := 0
+	for _, q := range elems {
+		ic += t.coveringNodes(t.root, q)
+	}
+	n := float64(t.size)
+	return (float64(ic) - float64(h)*n) / (n * float64(m-h))
+}
+
+func (t *Tree[T]) nodeCount(n *node[T]) int {
+	c := 1
+	if n.leaf {
+		return c
+	}
+	for i := range n.entries {
+		c += t.nodeCount(n.entries[i].child)
+	}
+	return c
+}
+
+// coveringNodes counts the nodes (including this one) whose region covers q.
+func (t *Tree[T]) coveringNodes(n *node[T], q T) int {
+	c := 1
+	if n.leaf {
+		return c
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if t.d(q, e.pivot) <= e.radius {
+			c += t.coveringNodes(e.child, q)
+		}
+	}
+	return c
+}
+
+// SlimDown runs the Slim-tree's post-construction reorganization: for every
+// internal node, leaf entries that lie inside a sibling leaf's region are
+// moved to that sibling when it has room, and covering radii are shrunk to
+// the farthest remaining entry. Overlap (the fat factor) can only decrease,
+// so queries afterwards prune at least as well. passes bounds the number of
+// sweeps (the classic heuristic converges in a few).
+func (t *Tree[T]) SlimDown(passes int) {
+	if t.root == nil || passes <= 0 {
+		return
+	}
+	for p := 0; p < passes; p++ {
+		moved := t.slimNode(t.root)
+		t.shrinkRadii(t.root)
+		if !moved {
+			break
+		}
+	}
+}
+
+// slimNode applies one slim-down sweep below n and reports whether any
+// entry moved.
+func (t *Tree[T]) slimNode(n *node[T]) bool {
+	if n.leaf {
+		return false
+	}
+	moved := false
+	for i := range n.entries {
+		if t.slimNode(n.entries[i].child) {
+			moved = true
+		}
+	}
+	// Only the leaf level directly below n is reorganized here.
+	if len(n.entries) < 2 || !n.entries[0].child.leaf {
+		return moved
+	}
+	// Actual member spread per leaf: moving into a region that already
+	// covers the candidate guarantees overlap can only shrink; the stored
+	// radii can be loose overestimates from insertion-time growth.
+	actual := make([]float64, len(n.entries))
+	for j := range n.entries {
+		sib := &n.entries[j]
+		for k := range sib.child.entries {
+			if d := t.d(sib.child.entries[k].pivot, sib.pivot); d > actual[j] {
+				actual[j] = d
+			}
+		}
+	}
+	for i := range n.entries {
+		src := &n.entries[i]
+		leafI := src.child
+		// The farthest entry from its pivot is the move candidate.
+		for {
+			far, farD := -1, -1.0
+			for k := range leafI.entries {
+				if d := t.d(leafI.entries[k].pivot, src.pivot); d > farD {
+					far, farD = k, d
+				}
+			}
+			if far < 0 || len(leafI.entries) <= 1 {
+				break
+			}
+			cand := leafI.entries[far]
+			dst := -1
+			for j := range n.entries {
+				if j == i {
+					continue
+				}
+				sib := &n.entries[j]
+				if len(sib.child.entries) >= t.capacity {
+					continue
+				}
+				if t.d(cand.pivot, sib.pivot) <= actual[j] {
+					dst = j
+					break
+				}
+			}
+			if dst < 0 {
+				break
+			}
+			// Move cand from leafI to the sibling leaf.
+			sib := &n.entries[dst]
+			cand.dPar = t.d(cand.pivot, sib.pivot)
+			sib.child.entries = append(sib.child.entries, cand)
+			sib.count++
+			leafI.entries = append(leafI.entries[:far], leafI.entries[far+1:]...)
+			src.count--
+			moved = true
+		}
+	}
+	return moved
+}
+
+// shrinkRadii tightens every covering radius to the exact farthest leaf
+// descendant after reorganization and refreshes stored parent distances.
+// Exact radii (not the dPar+childRadius triangle bound, which can exceed
+// the insertion-time values) guarantee regions only shrink, so overlap —
+// and with it the fat factor — cannot grow. The pass costs O(n·h) metric
+// evaluations, paid once per SlimDown sweep.
+func (t *Tree[T]) shrinkRadii(n *node[T]) {
+	if n.leaf {
+		return
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		t.shrinkRadii(e.child)
+		r := 0.0
+		t.visitLeafPivots(e.child, func(p T) {
+			if d := t.d(p, e.pivot); d > r {
+				r = d
+			}
+		})
+		e.radius = r
+		for k := range e.child.entries {
+			ce := &e.child.entries[k]
+			ce.dPar = t.d(ce.pivot, e.pivot)
+		}
+	}
+}
+
+// visitLeafPivots calls fn for every element stored under n.
+func (t *Tree[T]) visitLeafPivots(n *node[T], fn func(T)) {
+	for i := range n.entries {
+		if n.leaf {
+			fn(n.entries[i].pivot)
+			continue
+		}
+		t.visitLeafPivots(n.entries[i].child, fn)
+	}
+}
+
+// MaxCoverError returns the largest violation of the covering invariant
+// (every element within its ancestors' covering balls); it must be 0 on a
+// well-formed tree. Tests use it to validate SlimDown.
+func (t *Tree[T]) MaxCoverError() float64 {
+	if t.root == nil {
+		return 0
+	}
+	worst := 0.0
+	var visit func(n *node[T], anc []entry[T])
+	visit = func(n *node[T], anc []entry[T]) {
+		for i := range n.entries {
+			e := n.entries[i]
+			if n.leaf {
+				for _, a := range anc {
+					if v := t.d(e.pivot, a.pivot) - a.radius; v > worst {
+						worst = v
+					}
+				}
+				continue
+			}
+			visit(e.child, append(anc, e))
+		}
+	}
+	visit(t.root, nil)
+	return math.Max(worst, 0)
+}

@@ -1,0 +1,102 @@
+package slimtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+func clusteredPoints(rng *rand.Rand, n int) [][]float64 {
+	pts := make([][]float64, 0, n)
+	for len(pts) < n {
+		cx, cy := rng.Float64()*100, rng.Float64()*100
+		for i := 0; i < 20 && len(pts) < n; i++ {
+			pts = append(pts, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+		}
+	}
+	return pts
+}
+
+func TestSlimDownPreservesCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := clusteredPoints(rng, 600)
+	tr := New(metric.Euclidean, 8, pts)
+	tr.SlimDown(4)
+	if v := tr.MaxCoverError(); v > 1e-9 {
+		t.Fatalf("covering invariant violated after SlimDown: %v", v)
+	}
+	// Queries must still match brute force.
+	for q := 0; q < 20; q++ {
+		query := pts[rng.Intn(len(pts))]
+		r := rng.Float64() * 30
+		got := tr.RangeQuery(query, r)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if metric.Euclidean(query, p) <= r {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("RangeQuery len %d != brute %d after SlimDown", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatal("RangeQuery ids mismatch after SlimDown")
+			}
+		}
+		if c := tr.RangeCount(query, r); c != len(want) {
+			t.Fatalf("RangeCount %d != brute %d after SlimDown", c, len(want))
+		}
+	}
+}
+
+func TestSlimDownReducesFatFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := clusteredPoints(rng, 800)
+	tr := New(metric.Euclidean, 8, pts)
+	before := tr.FatFactor()
+	tr.SlimDown(4)
+	after := tr.FatFactor()
+	if after > before+1e-9 {
+		t.Errorf("fat factor rose after SlimDown: %v -> %v", before, after)
+	}
+	if before < 0 || before > 1 || after < 0 || after > 1 {
+		t.Errorf("fat factor out of [0,1]: before=%v after=%v", before, after)
+	}
+}
+
+func TestSlimDownDegenerate(t *testing.T) {
+	empty := New(metric.Euclidean, 8, nil)
+	empty.SlimDown(3) // must not panic
+	if empty.FatFactor() != 0 {
+		t.Error("empty tree fat factor should be 0")
+	}
+	one := New(metric.Euclidean, 8, [][]float64{{1, 2}})
+	one.SlimDown(3)
+	if one.RangeCount([]float64{1, 2}, 0) != 1 {
+		t.Error("singleton tree broken by SlimDown")
+	}
+	flat := New(metric.Euclidean, 32, clusteredPoints(rand.New(rand.NewSource(3)), 20))
+	flat.SlimDown(3) // leaf root: no-op
+	if flat.Size() != 20 {
+		t.Error("leaf-root tree broken by SlimDown")
+	}
+}
+
+func TestSlimDownKeepsSizeAndCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := clusteredPoints(rng, 500)
+	tr := New(metric.Euclidean, 8, pts)
+	tr.SlimDown(4)
+	if tr.Size() != 500 {
+		t.Fatalf("size changed: %d", tr.Size())
+	}
+	// Aggregated counts must still be exact (count-only principle relies
+	// on them): a whole-space query counts everything.
+	if c := tr.RangeCount(pts[0], 1e9); c != 500 {
+		t.Fatalf("full-cover count %d != 500 after SlimDown", c)
+	}
+}

@@ -1,0 +1,429 @@
+// Package slimtree implements a main-memory Slim-tree (Traina Jr. et al.,
+// IEEE TKDE 2002): a balanced metric access method in the M-tree family that
+// indexes data using only a distance function, never coordinates. MCCATCH
+// builds one tree per input set and runs all of its neighbor-counting joins
+// through it (paper Alg. 1 L1, Alg. 3 L9, Alg. 4 L2-3).
+//
+// The tree supports any element type via generics. Insertion uses the
+// min-distance ChooseSubtree policy with minMax node splits; queries use
+// triangle-inequality pruning on covering radii and stored parent distances,
+// so a range query touches O(n^(1-1/u)) nodes on data of intrinsic
+// (correlation fractal) dimension u — the bound MCCATCH's Lemma 1 builds on.
+package slimtree
+
+import (
+	"math"
+	"sync/atomic"
+
+	"mccatch/internal/metric"
+)
+
+// DefaultCapacity is the default maximum number of entries per node. 32
+// keeps splits cheap (minMax split is quadratic in the capacity) while
+// keeping the tree shallow.
+const DefaultCapacity = 32
+
+type entry[T any] struct {
+	pivot  T
+	id     int      // element index for leaf entries, -1 for internal
+	radius float64  // covering radius; 0 for leaf entries
+	dPar   float64  // distance from pivot to the parent entry's pivot
+	child  *node[T] // nil for leaf entries
+	count  int      // elements under this entry (1 for leaf entries)
+}
+
+type node[T any] struct {
+	leaf    bool
+	entries []entry[T]
+}
+
+// Tree is a Slim-tree over elements of type T.
+type Tree[T any] struct {
+	dist     metric.Distance[T]
+	capacity int
+	root     *node[T]
+	size     int
+	// distCalls counts metric evaluations (atomically, so concurrent
+	// read-only queries may share a tree); experiments use it to verify the
+	// subquadratic query behavior that Lemma 1 predicts.
+	distCalls atomic.Int64
+}
+
+// DistCalls returns the number of metric evaluations performed so far.
+func (t *Tree[T]) DistCalls() int64 { return t.distCalls.Load() }
+
+// ResetDistCalls zeroes the metric-evaluation counter.
+func (t *Tree[T]) ResetDistCalls() { t.distCalls.Store(0) }
+
+// New builds a Slim-tree with the given distance and node capacity
+// (DefaultCapacity if cap < 4), inserting the items in order. Item i is
+// reported by queries as id i.
+func New[T any](dist metric.Distance[T], capacity int, items []T) *Tree[T] {
+	if capacity < 4 {
+		capacity = DefaultCapacity
+	}
+	t := &Tree[T]{dist: dist, capacity: capacity}
+	for i, it := range items {
+		t.insert(it, i)
+	}
+	return t
+}
+
+// Size returns the number of indexed elements.
+func (t *Tree[T]) Size() int { return t.size }
+
+func (t *Tree[T]) d(a, b T) float64 {
+	t.distCalls.Add(1)
+	return t.dist(a, b)
+}
+
+// insert adds one element with the given id.
+func (t *Tree[T]) insert(item T, id int) {
+	t.size++
+	if t.root == nil {
+		t.root = &node[T]{leaf: true, entries: []entry[T]{{pivot: item, id: id, count: 1}}}
+		return
+	}
+	e1, e2, split := t.insertAt(t.root, nil, item, id)
+	if split {
+		// Root entries have no parent pivot; their dPar is never consulted
+		// because queries start with dq = NaN.
+		t.root = &node[T]{leaf: false, entries: []entry[T]{e1, e2}}
+	}
+}
+
+// insertAt inserts into the subtree rooted at n, whose entries hang under
+// parentPivot (nil at the root). When n overflows it splits and returns the
+// two promoted entries with split=true; the CALLER must fix their dPar
+// against its own parent pivot before storing them, since promoted entries
+// move one level up.
+func (t *Tree[T]) insertAt(n *node[T], parentPivot *T, item T, id int) (e1, e2 entry[T], split bool) {
+	if n.leaf {
+		ne := entry[T]{pivot: item, id: id, count: 1}
+		if parentPivot != nil {
+			ne.dPar = t.d(item, *parentPivot)
+		}
+		n.entries = append(n.entries, ne)
+		if len(n.entries) > t.capacity {
+			return t.splitNode(n)
+		}
+		return entry[T]{}, entry[T]{}, false
+	}
+	// ChooseSubtree (minDist policy): prefer the child whose region already
+	// covers the item; among those pick the closest pivot. If none covers,
+	// pick the one needing the smallest radius increase.
+	best := -1
+	bestD := math.Inf(1)
+	covered := false
+	dists := make([]float64, len(n.entries))
+	for i := range n.entries {
+		dists[i] = t.d(item, n.entries[i].pivot)
+		c := dists[i] <= n.entries[i].radius
+		switch {
+		case c && !covered:
+			covered, best, bestD = true, i, dists[i]
+		case c && covered && dists[i] < bestD:
+			best, bestD = i, dists[i]
+		case !c && !covered:
+			if inc := dists[i] - n.entries[i].radius; inc < bestD {
+				best, bestD = i, inc
+			}
+		}
+	}
+	ch := &n.entries[best]
+	if dists[best] > ch.radius {
+		ch.radius = dists[best]
+	}
+	ch.count++
+	c1, c2, didSplit := t.insertAt(ch.child, &ch.pivot, item, id)
+	if didSplit {
+		// Promoted entries now live in n: recompute their parent distance
+		// against n's own parent pivot.
+		if parentPivot != nil {
+			c1.dPar = t.d(c1.pivot, *parentPivot)
+			c2.dPar = t.d(c2.pivot, *parentPivot)
+		}
+		// Replace the overflowed child entry by the two promoted ones.
+		n.entries[best] = c1
+		n.entries = append(n.entries, c2)
+		if len(n.entries) > t.capacity {
+			return t.splitNode(n)
+		}
+	}
+	return entry[T]{}, entry[T]{}, false
+}
+
+// splitNode performs a minMax split: it tries pivot pairs and keeps the pair
+// whose balanced assignment yields the smallest larger covering radius, then
+// returns the two promoted entries. To bound the cost on large capacities it
+// examines a deterministic subset of candidate pairs.
+func (t *Tree[T]) splitNode(n *node[T]) (entry[T], entry[T], bool) {
+	m := len(n.entries)
+	// Pairwise distances among entry pivots.
+	dm := make([][]float64, m)
+	for i := range dm {
+		dm[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := t.d(n.entries[i].pivot, n.entries[j].pivot)
+			dm[i][j], dm[j][i] = d, d
+		}
+	}
+	bestI, bestJ := 0, 1
+	bestScore := math.Inf(1)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			r1, r2 := assignRadii(dm, n.entries, i, j)
+			score := math.Max(r1, r2)
+			if score < bestScore {
+				bestScore, bestI, bestJ = score, i, j
+			}
+		}
+	}
+	// Distribute each entry to the closer pivot, breaking ties toward bestI
+	// except for bestJ itself, so both sides are nonempty even when every
+	// pairwise distance is zero (duplicate-heavy data).
+	var side1, side2 []int
+	for k := 0; k < m; k++ {
+		if dm[k][bestI] <= dm[k][bestJ] && k != bestJ {
+			side1 = append(side1, k)
+		} else {
+			side2 = append(side2, k)
+		}
+	}
+	build := func(pivotIdx int, side []int) (*node[T], float64, int) {
+		nn := &node[T]{leaf: n.leaf, entries: make([]entry[T], 0, len(side))}
+		r := 0.0
+		total := 0
+		for _, k := range side {
+			e := n.entries[k]
+			e.dPar = dm[k][pivotIdx]
+			nn.entries = append(nn.entries, e)
+			total += e.count
+			if cover := e.dPar + e.radius; cover > r {
+				r = cover
+			}
+		}
+		return nn, r, total
+	}
+	n1, r1, c1 := build(bestI, side1)
+	n2, r2, c2 := build(bestJ, side2)
+	e1 := entry[T]{pivot: n.entries[bestI].pivot, id: -1, radius: r1, child: n1, count: c1}
+	e2 := entry[T]{pivot: n.entries[bestJ].pivot, id: -1, radius: r2, child: n2, count: c2}
+	return e1, e2, true
+}
+
+// assignRadii simulates assigning every entry to the closer of pivots i and
+// j and returns the two covering radii that would result.
+func assignRadii[T any](dm [][]float64, entries []entry[T], i, j int) (r1, r2 float64) {
+	for k := range entries {
+		d1 := dm[k][i] + entries[k].radius
+		d2 := dm[k][j] + entries[k].radius
+		if dm[k][i] <= dm[k][j] {
+			if d1 > r1 {
+				r1 = d1
+			}
+		} else {
+			if d2 > r2 {
+				r2 = d2
+			}
+		}
+	}
+	return r1, r2
+}
+
+// RangeCount returns the number of indexed elements within distance r of q
+// (inclusive).
+func (t *Tree[T]) RangeCount(q T, r float64) int {
+	if t.root == nil {
+		return 0
+	}
+	return t.rangeVisit(t.root, q, r, math.NaN(), nil)
+}
+
+// RangeQuery returns the ids of elements within distance r of q (inclusive),
+// in no particular order.
+func (t *Tree[T]) RangeQuery(q T, r float64) []int {
+	if t.root == nil {
+		return nil
+	}
+	var ids []int
+	t.rangeVisit(t.root, q, r, math.NaN(), &ids)
+	return ids
+}
+
+// rangeVisit counts (and optionally collects) elements within r of q in the
+// subtree at n. dq is the distance from q to n's parent pivot (NaN at the
+// root), used with stored parent distances to skip metric evaluations.
+//
+// When only counting (ids == nil), a subtree whose covering ball lies
+// entirely within the query ball contributes its stored element count
+// without being descended — the paper's count-only principle, which makes
+// large-radius counting cost proportional to the ball boundary rather than
+// the ball volume.
+func (t *Tree[T]) rangeVisit(n *node[T], q T, r float64, dq float64, ids *[]int) int {
+	count := 0
+	for i := range n.entries {
+		e := &n.entries[i]
+		// Triangle prefilter: |d(q,parent) - d(pivot,parent)| ≤ d(q,pivot).
+		if !math.IsNaN(dq) && math.Abs(dq-e.dPar) > r+e.radius {
+			continue
+		}
+		d := t.d(q, e.pivot)
+		if n.leaf {
+			if d <= r {
+				count++
+				if ids != nil {
+					*ids = append(*ids, e.id)
+				}
+			}
+			continue
+		}
+		if ids == nil && d+e.radius <= r {
+			count += e.count // subtree fully inside the query ball
+			continue
+		}
+		if d <= r+e.radius {
+			count += t.rangeVisit(e.child, q, r, d, ids)
+		}
+	}
+	return count
+}
+
+// kCand is a max-heap entry for KNN.
+type kCand struct {
+	id int
+	d  float64
+}
+
+// KNN returns the ids and distances of the k nearest elements to q, closest
+// first. Ties break by insertion id. If the tree has fewer than k elements
+// all of them are returned.
+func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
+	if t.root == nil || k <= 0 {
+		return nil, nil
+	}
+	heap := make([]kCand, 0, k+1)   // max-heap on (d, id)
+	less := func(a, b kCand) bool { // a has lower priority than b for removal
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		return a.id < b.id
+	}
+	push := func(c kCand) {
+		heap = append(heap, c)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if less(heap[p], heap[i]) {
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			} else {
+				break
+			}
+		}
+	}
+	pop := func() {
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, rr := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && less(heap[big], heap[l]) {
+				big = l
+			}
+			if rr < len(heap) && less(heap[big], heap[rr]) {
+				big = rr
+			}
+			if big == i {
+				break
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+	}
+	bound := func() float64 {
+		if len(heap) < k {
+			return math.Inf(1)
+		}
+		return heap[0].d
+	}
+	var visit func(n *node[T], dq float64)
+	visit = func(n *node[T], dq float64) {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if !math.IsNaN(dq) && math.Abs(dq-e.dPar) > bound()+e.radius {
+				continue
+			}
+			d := t.d(q, e.pivot)
+			if n.leaf {
+				if d < bound() || (d == bound() && len(heap) < k) {
+					push(kCand{id: e.id, d: d})
+					if len(heap) > k {
+						pop()
+					}
+				}
+				continue
+			}
+			if d-e.radius <= bound() {
+				visit(e.child, d)
+			}
+		}
+	}
+	visit(t.root, math.NaN())
+	// Extract sorted ascending.
+	out := make([]kCand, len(heap))
+	copy(out, heap)
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && less(out[b], out[b-1]); b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	ids = make([]int, len(out))
+	dists = make([]float64, len(out))
+	for i, c := range out {
+		ids[i], dists[i] = c.id, c.d
+	}
+	return ids, dists
+}
+
+// DiameterEstimate estimates the diameter of the indexed set as the maximum
+// of d(pivot_i, pivot_j) + radius_i + radius_j over pairs of root entries
+// (paper Alg. 1 L2: "maximum distance between any child of the root"). For a
+// leaf root it is the exact max pairwise distance; for one element it is 0.
+func (t *Tree[T]) DiameterEstimate() float64 {
+	if t.root == nil || len(t.root.entries) == 0 {
+		return 0
+	}
+	es := t.root.entries
+	if len(es) == 1 {
+		return 2 * es[0].radius
+	}
+	m := 0.0
+	for i := 0; i < len(es); i++ {
+		for j := i + 1; j < len(es); j++ {
+			d := t.d(es[i].pivot, es[j].pivot) + es[i].radius + es[j].radius
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// Height returns the tree height (0 for an empty tree, 1 for a leaf root).
+func (t *Tree[T]) Height() int {
+	h := 0
+	n := t.root
+	for n != nil {
+		h++
+		if n.leaf || len(n.entries) == 0 {
+			break
+		}
+		n = n.entries[0].child
+	}
+	return h
+}

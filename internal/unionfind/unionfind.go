@@ -1,0 +1,84 @@
+// Package unionfind provides a disjoint-set forest with union by rank and
+// path compression. MCCATCH uses it to gel outliers into nonsingleton
+// microclusters by finding the connected components of the neighborhood
+// graph (paper Alg. 3, line 14).
+package unionfind
+
+// DSU is a disjoint-set forest over the integers [0, n).
+type DSU struct {
+	parent []int
+	rank   []byte
+	count  int // number of disjoint sets
+}
+
+// New returns a DSU with n singleton sets {0}, {1}, ... {n-1}.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		count:  n,
+	}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Find returns the canonical representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// happened (false when they were already in the same set).
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Count returns the current number of disjoint sets.
+func (d *DSU) Count() int { return d.count }
+
+// Components returns the sets as slices of member indices. The outer slice
+// is ordered by the smallest member of each component, and members within a
+// component appear in increasing order, so the output is deterministic.
+func (d *DSU) Components() [][]int {
+	byRoot := make(map[int][]int)
+	for i := range d.parent {
+		r := d.Find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	out := make([][]int, 0, len(byRoot))
+	for i := range d.parent {
+		if d.Find(i) == i {
+			out = append(out, byRoot[i])
+		}
+	}
+	// Order by smallest member: members are appended in increasing i, so
+	// byRoot[r][0] is the smallest; roots are visited in index order, but a
+	// root need not be the smallest member. Sort by first element.
+	for a := 1; a < len(out); a++ {
+		for b := a; b > 0 && out[b][0] < out[b-1][0]; b-- {
+			out[b], out[b-1] = out[b-1], out[b]
+		}
+	}
+	return out
+}

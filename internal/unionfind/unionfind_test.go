@@ -1,0 +1,117 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	d := New(6)
+	if d.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", d.Count())
+	}
+	if !d.Union(0, 1) {
+		t.Error("Union(0,1) should merge")
+	}
+	if d.Union(1, 0) {
+		t.Error("Union(1,0) should not merge twice")
+	}
+	d.Union(2, 3)
+	d.Union(1, 2)
+	if !d.Same(0, 3) {
+		t.Error("0 and 3 should be connected")
+	}
+	if d.Same(0, 4) {
+		t.Error("0 and 4 should not be connected")
+	}
+	if d.Count() != 3 {
+		t.Errorf("Count = %d, want 3 ({0,1,2,3},{4},{5})", d.Count())
+	}
+}
+
+func TestComponentsDeterministicOrder(t *testing.T) {
+	d := New(7)
+	d.Union(5, 2)
+	d.Union(6, 0)
+	d.Union(2, 1)
+	got := d.Components()
+	want := [][]int{{0, 6}, {1, 2, 5}, {3}, {4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d components, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	d := New(0)
+	if d.Count() != 0 || len(d.Components()) != 0 {
+		t.Error("empty DSU should have 0 sets")
+	}
+	d = New(1)
+	if d.Count() != 1 || !d.Same(0, 0) {
+		t.Error("singleton DSU broken")
+	}
+}
+
+// TestAgainstNaive cross-checks DSU connectivity against a naive
+// adjacency-matrix transitive closure on random union sequences.
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		d := New(n)
+		adj := make([][]bool, n)
+		for i := range adj {
+			adj[i] = make([]bool, n)
+			adj[i][i] = true
+		}
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			d.Union(a, b)
+			adj[a][b], adj[b][a] = true, true
+		}
+		// Floyd–Warshall closure.
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if adj[i][k] && adj[k][j] {
+						adj[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.Same(i, j) != adj[i][j] {
+					t.Fatalf("trial %d: Same(%d,%d)=%v, naive=%v", trial, i, j, d.Same(i, j), adj[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestCountMatchesComponents(t *testing.T) {
+	f := func(pairs []uint16, nRaw uint8) bool {
+		n := 1 + int(nRaw)%40
+		d := New(n)
+		for _, p := range pairs {
+			a := int(p>>8) % n
+			b := int(p&0xff) % n
+			d.Union(a, b)
+		}
+		return d.Count() == len(d.Components())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package mccatch detects microclusters of outliers in any metric dataset —
+// dimensional (vectors) or nondimensional (strings, graphs, point sets,
+// anything with a distance function) — and ranks singleton ('one-off')
+// outliers and nonsingleton microclusters together by principled,
+// compression-based anomaly scores.
+//
+// It implements MCCATCH from "MCCATCH: Scalable Microcluster Detection in
+// Dimensional and Nondimensional Datasets" (Sánchez Vinces, Cordeiro,
+// Faloutsos; ICDE 2024). The method is deterministic, needs no manual
+// tuning (its three hyperparameters have data-driven defaults used in every
+// experiment of the paper), and runs in subquadratic time
+// O(n·n^(1-1/u)) on data of intrinsic dimension u.
+//
+// # Quick start
+//
+//	points := [][]float64{ ... }
+//	res, err := mccatch.RunVectors(points)
+//	for _, mc := range res.Microclusters { // most-strange-first
+//		fmt.Println(mc.Members, mc.Score)
+//	}
+//
+// For nondimensional data provide any metric:
+//
+//	res, err := mccatch.Run(words, mccatch.Levenshtein,
+//		mccatch.WithWordCost(26, 12))
+package mccatch
+
+import (
+	"fmt"
+	"math"
+
+	"mccatch/internal/core"
+	"mccatch/internal/index"
+	"mccatch/internal/kdtree"
+	"mccatch/internal/metric"
+	"mccatch/internal/rtree"
+)
+
+// Microcluster is one detected microcluster. Members are indices into the
+// input dataset; Score is the anomaly score s_j (bits per point, larger is
+// more anomalous); Bridge is the smallest distance from a member to its
+// nearest inlier.
+type Microcluster = core.Microcluster
+
+// Result carries the ranked microclusters, per-point scores, and the
+// explainability artifacts ('Oracle' plot, radii, histogram, MDL cutoff).
+type Result = core.Result
+
+// Distance is a metric between two elements. It must be symmetric,
+// non-negative, zero on identical arguments, and satisfy the triangle
+// inequality.
+type Distance[T any] = metric.Distance[T]
+
+// Ready-made metrics re-exported for callers.
+var (
+	// Euclidean is the L2 distance between equal-length vectors.
+	Euclidean = metric.Euclidean
+	// Manhattan is the L1 distance between equal-length vectors.
+	Manhattan = metric.Manhattan
+	// Levenshtein is the edit distance between strings.
+	Levenshtein = metric.Levenshtein
+	// Hausdorff is the Hausdorff distance between point sets.
+	Hausdorff = metric.Hausdorff
+	// GraphDistance is a graph-edit-distance surrogate between graphs.
+	GraphDistance = metric.GraphDistance
+	// TreeEditDistance is the exact Zhang-Shasha edit distance between
+	// rooted ordered labeled trees.
+	TreeEditDistance = metric.TreeEditDistance
+	// SoundexDistance compares words by the edit distance of their Soundex
+	// phonetic codes.
+	SoundexDistance = metric.SoundexDistance
+)
+
+// MetricTree re-exports the rooted ordered tree type for TreeEditDistance.
+type MetricTree = metric.Tree
+
+// Graph re-exports the graph element type used with GraphDistance.
+type Graph = metric.Graph
+
+// PointSet re-exports the point-set element type used with Hausdorff.
+type PointSet = metric.PointSet
+
+// NewGraph builds a Graph on n nodes from an undirected edge list.
+func NewGraph(n int, edges [][2]int) Graph { return metric.NewGraph(n, edges) }
+
+// Option configures a run.
+type Option func(*core.Params)
+
+// WithRadii sets a, the number of neighborhood radii (default 15).
+func WithRadii(a int) Option { return func(p *core.Params) { p.NumRadii = a } }
+
+// WithMaxSlope sets b, the maximum plateau slope (default 0.1).
+func WithMaxSlope(b float64) Option { return func(p *core.Params) { p.MaxSlope = b } }
+
+// WithMaxCardinality sets c, the maximum microcluster cardinality
+// (default ⌈n·0.1⌉).
+func WithMaxCardinality(c int) Option { return func(p *core.Params) { p.MaxCardinality = c } }
+
+// WithVectorCost sets the transformation cost t for a dim-dimensional
+// vector space (Def. 7: t = dimensionality).
+func WithVectorCost(dim int) Option {
+	return func(p *core.Params) { p.Cost = metric.VectorCost(dim) }
+}
+
+// WithWordCost sets t for strings under the edit distance (Def. 7).
+func WithWordCost(distinctChars, longestWordLen int) Option {
+	return func(p *core.Params) { p.Cost = metric.WordCost(distinctChars, longestWordLen) }
+}
+
+// WithCustomCost sets t to a caller-supplied bits-per-unit-distance cost
+// for any other metric space.
+func WithCustomCost(bitsPerUnit float64) Option {
+	return func(p *core.Params) { p.Cost = metric.CustomCost(bitsPerUnit) }
+}
+
+// WithTreeCapacity sets the slim-tree node capacity (default 32).
+func WithTreeCapacity(k int) Option { return func(p *core.Params) { p.TreeCapacity = k } }
+
+// WithSlimDown enables the Slim-tree's slim-down reorganization (Traina
+// Jr. et al.) with the given number of passes after each tree build. It
+// reduces node overlap, which can cut distance computations on clustered
+// data; results are unchanged.
+func WithSlimDown(passes int) Option {
+	return func(p *core.Params) { p.SlimDownPasses = passes }
+}
+
+// Run executes MCCATCH on items under dist with the given options and
+// returns the ranked microclusters, their scores, and a score per point.
+func Run[T any](items []T, dist Distance[T], opts ...Option) (*Result, error) {
+	var p core.Params
+	for _, o := range opts {
+		o(&p)
+	}
+	return core.Run(items, dist, p)
+}
+
+// RunVectors runs MCCATCH on vector data under the Euclidean distance with
+// the transformation cost set to the dimensionality, the paper's default
+// configuration for dimensional datasets. Points must share one dimension
+// and be free of NaN/Inf values; otherwise an error is returned before any
+// work is done.
+func RunVectors(points [][]float64, opts ...Option) (*Result, error) {
+	dim, err := validateVectors(points)
+	if err != nil {
+		return nil, err
+	}
+	all := append([]Option{WithVectorCost(dim)}, opts...)
+	return Run(points, metric.Euclidean, all...)
+}
+
+// validateVectors checks dimensional consistency and finiteness; metric
+// trees silently misbehave on NaN distances, so bad input is rejected up
+// front.
+func validateVectors(points [][]float64) (dim int, err error) {
+	if len(points) == 0 {
+		return 0, nil // core returns ErrEmptyDataset with full context
+	}
+	dim = len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return 0, fmt.Errorf("mccatch: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for j, v := range p {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("mccatch: point %d has non-finite value at feature %d", i, j)
+			}
+		}
+	}
+	return dim, nil
+}
+
+// RunVectorsKD is RunVectors with the index swapped from the slim-tree to
+// a kd-tree — the paper's footnote-4 recommendation for main-memory vector
+// data. Results are identical (both indexes answer exact range counts);
+// only the constant factors differ.
+func RunVectorsKD(points [][]float64, opts ...Option) (*Result, error) {
+	dim, err := validateVectors(points)
+	if err != nil {
+		return nil, err
+	}
+	var p core.Params
+	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
+		o(&p)
+	}
+	builder := func(sub [][]float64) index.Index[[]float64] { return kdtree.New(sub) }
+	return core.RunWithIndex(points, metric.Euclidean, builder, p)
+}
+
+// RunVectorsR is RunVectors with the index swapped to an STR bulk-loaded
+// R-tree — the paper's disk-oriented choice for vector data (Alg. 1's
+// "Slim-tree, M-tree, or R-tree"). Like RunVectorsKD, only constant
+// factors change.
+func RunVectorsR(points [][]float64, opts ...Option) (*Result, error) {
+	dim, err := validateVectors(points)
+	if err != nil {
+		return nil, err
+	}
+	var p core.Params
+	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
+		o(&p)
+	}
+	builder := func(sub [][]float64) index.Index[[]float64] { return rtree.New(sub, 0) }
+	return core.RunWithIndex(points, metric.Euclidean, builder, p)
+}
+
+// RunStrings runs MCCATCH on strings under the Levenshtein edit distance,
+// deriving the word transformation cost (alphabet size, longest word) from
+// the data itself.
+func RunStrings(words []string, opts ...Option) (*Result, error) {
+	distinct := map[rune]bool{}
+	longest := 0
+	for _, w := range words {
+		runes := []rune(w)
+		if len(runes) > longest {
+			longest = len(runes)
+		}
+		for _, r := range runes {
+			distinct[r] = true
+		}
+	}
+	all := append([]Option{WithWordCost(len(distinct), longest)}, opts...)
+	return Run(words, metric.Levenshtein, all...)
+}
