@@ -21,6 +21,7 @@ import (
 	"mccatch/internal/join"
 	"mccatch/internal/kdtree"
 	"mccatch/internal/metric"
+	"mccatch/internal/rtree"
 	"mccatch/internal/slimtree"
 )
 
@@ -117,6 +118,67 @@ func BenchmarkPipelineN4k2d(b *testing.B)  { benchPipeline(b, 4000, 2) }
 func BenchmarkPipelineN16k2d(b *testing.B) { benchPipeline(b, 16000, 2) }
 func BenchmarkPipelineN4k20d(b *testing.B) { benchPipeline(b, 4000, 20) }
 
+// --- Serial vs parallel pairs (the WithWorkers speedup microscope) ---
+//
+// Each pair runs the identical workload once pinned to a single worker and
+// once across all cores; compare the pair's ns/op to read the speedup. On
+// a machine with ≥ 4 cores the parallel RunVectors on 10k points runs ≥ 2×
+// faster than its serial twin.
+
+func benchPipelineWorkers(b *testing.B, n, dim, workers int) {
+	b.Helper()
+	pts := data.Uniform(n, dim, 1).Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mccatch.RunVectors(pts, mccatch.WithWorkers(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineN10k2dSerial(b *testing.B)   { benchPipelineWorkers(b, 10000, 2, 1) }
+func BenchmarkPipelineN10k2dParallel(b *testing.B) { benchPipelineWorkers(b, 10000, 2, 0) }
+func BenchmarkPipelineN4k20dSerial(b *testing.B)   { benchPipelineWorkers(b, 4000, 20, 1) }
+func BenchmarkPipelineN4k20dParallel(b *testing.B) { benchPipelineWorkers(b, 4000, 20, 0) }
+
+func benchKDPipelineWorkers(b *testing.B, n, dim, workers int) {
+	b.Helper()
+	pts := data.Uniform(n, dim, 1).Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mccatch.RunVectorsKD(pts, mccatch.WithWorkers(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineKDN10k2dSerial(b *testing.B)   { benchKDPipelineWorkers(b, 10000, 2, 1) }
+func BenchmarkPipelineKDN10k2dParallel(b *testing.B) { benchKDPipelineWorkers(b, 10000, 2, 0) }
+
+func BenchmarkKDTreeBuild100kSerial(b *testing.B)   { benchKDBuild(b, 1) }
+func BenchmarkKDTreeBuild100kParallel(b *testing.B) { benchKDBuild(b, 0) }
+
+func benchKDBuild(b *testing.B, workers int) {
+	b.Helper()
+	pts := randPoints(100000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kdtree.NewWithWorkers(pts, workers)
+	}
+}
+
+func BenchmarkRTreeBuild100kSerial(b *testing.B)   { benchRBuild(b, 1) }
+func BenchmarkRTreeBuild100kParallel(b *testing.B) { benchRBuild(b, 0) }
+
+func benchRBuild(b *testing.B, workers int) {
+	b.Helper()
+	pts := randPoints(100000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtree.NewWithWorkers(pts, 0, workers)
+	}
+}
+
 // BenchmarkPipelineStrings exercises the nondimensional path end to end.
 func BenchmarkPipelineStrings(b *testing.B) {
 	d := data.LastNames(800, 12, 1)
@@ -204,7 +266,7 @@ func BenchmarkJoinSparseFocused(b *testing.B) {
 	cap := len(pts) / 10
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		join.MultiRadiusCounts(t, pts, radii, cap, true)
+		join.MultiRadiusCounts(t, pts, radii, cap, true, 0)
 	}
 }
 
@@ -215,7 +277,7 @@ func BenchmarkJoinNaiveAllRadii(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, r := range radii {
-			join.SelfCounts(t, pts, r)
+			join.SelfCounts(t, pts, r, 0)
 		}
 	}
 }

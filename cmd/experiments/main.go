@@ -29,9 +29,10 @@ func main() {
 		runs   = flag.Int("runs", 3, "repetitions for nondeterministic competitors")
 		trials = flag.Int("trials", 10, "trials per cell for the axiom t-tests (paper: 50)")
 		maxn   = flag.Int("maxn", 16000, "largest sample size for the scalability sweep")
+		quick  = flag.Bool("quick", false, "trim the expensive sweeps to a representative subset (same rows/labels)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Runs: *runs}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Runs: *runs, Quick: *quick}
 	w := os.Stdout
 
 	if *ext {

@@ -39,6 +39,7 @@ func main() {
 		top     = flag.Int("top", 10, "print at most this many microclusters")
 		summary = flag.Bool("summary", false, "print the explainability summary (radii, cutoff, ranked mcs)")
 		explain = flag.Int("explain", -1, "explain why one point (by index) scored the way it did")
+		workers = flag.Int("workers", 0, "concurrent workers (0 = all cores, 1 = serial; output is identical)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,9 @@ func main() {
 	}
 	if *c != 0 {
 		opts = append(opts, mccatch.WithMaxCardinality(*c))
+	}
+	if *workers != 0 {
+		opts = append(opts, mccatch.WithWorkers(*workers))
 	}
 
 	var res *mccatch.Result

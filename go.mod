@@ -1,0 +1,3 @@
+module mccatch
+
+go 1.24

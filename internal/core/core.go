@@ -54,6 +54,12 @@ type Params struct {
 	// tree after construction (0 = off). It reduces node overlap, which
 	// can cut metric evaluations on clustered data.
 	SlimDownPasses int
+	// Workers is the number of concurrent workers the pipeline fans
+	// per-point work out on (joins, plateau extraction, scoring, bulk
+	// index builds). ≤ 0 → runtime.GOMAXPROCS(0); 1 → fully serial.
+	// Results are identical for every value: workers write into
+	// preallocated per-index slots and no reduction order is observable.
+	Workers int
 }
 
 // withDefaults validates p and fills zero values, given the dataset size n.

@@ -5,6 +5,7 @@ import (
 
 	"mccatch/internal/index"
 	"mccatch/internal/join"
+	"mccatch/internal/parallel"
 )
 
 // plateau is a maximal run of radii over which a point's neighbor count is
@@ -20,8 +21,8 @@ type plateau struct {
 // res.OracleX (1NN Distance = first-plateau length) and res.OracleY
 // (Group 1NN Distance = middle-plateau length).
 func buildOraclePlot[T any](tree index.Index[T], items []T, radii []float64, p Params, res *Result) {
-	counts := join.MultiRadiusCounts(tree, items, radii, p.MaxCardinality, true)
-	for i := range items {
+	counts := join.MultiRadiusCounts(tree, items, radii, p.MaxCardinality, true, p.Workers)
+	parallel.For(p.Workers, len(items), func(i int) {
 		q := make([]int, len(radii))
 		for e := range radii {
 			q[e] = counts[e][i]
@@ -29,7 +30,7 @@ func buildOraclePlot[T any](tree index.Index[T], items []T, radii []float64, p P
 		ps := plateaus(q, p.MaxSlope)
 		res.OracleX[i] = firstPlateauLength(ps, radii)
 		res.OracleY[i] = middlePlateauLength(ps, radii, p.MaxCardinality)
-	}
+	})
 }
 
 // plateaus segments the neighbor-count curve of one point into maximal runs

@@ -6,6 +6,7 @@ import (
 	"mccatch/internal/index"
 	"mccatch/internal/join"
 	"mccatch/internal/mdl"
+	"mccatch/internal/parallel"
 )
 
 // scoreMCs runs Alg. 4: it finds each outlier's distance to its nearest
@@ -51,7 +52,7 @@ func scoreMCs[T any](items []T, builder index.Builder[T], mcs [][]int, p Params,
 			}
 		} else {
 			inTree := builder(inItems)
-			firsts := join.BridgeRadii(inTree, outItems, radii)
+			firsts := join.BridgeRadii(inTree, outItems, radii, p.Workers)
 			for k, i := range outIdx {
 				e := firsts[k]
 				switch {
@@ -66,9 +67,12 @@ func scoreMCs[T any](items []T, builder index.Builder[T], mcs [][]int, p Params,
 		}
 	}
 
-	// Microcluster scores (Def. 7).
-	res.Microclusters = make([]Microcluster, 0, len(mcs))
-	for _, mc := range mcs {
+	// Microcluster scores (Def. 7). Each microcluster is one independent
+	// unit of work writing its own slot; the bridge/mean reductions stay
+	// inside the unit, so no floating-point order depends on scheduling.
+	res.Microclusters = make([]Microcluster, len(mcs))
+	parallel.For(p.Workers, len(mcs), func(j int) {
+		mc := mcs[j]
 		bridge := math.Inf(1)
 		sumX := 0.0
 		for _, i := range mc {
@@ -78,17 +82,17 @@ func scoreMCs[T any](items []T, builder index.Builder[T], mcs [][]int, p Params,
 			sumX += res.OracleX[i]
 		}
 		meanX := sumX / float64(len(mc))
-		res.Microclusters = append(res.Microclusters, Microcluster{
+		res.Microclusters[j] = Microcluster{
 			Members: mc,
 			Score:   mcScore(len(mc), n, bridge, meanX, r1, float64(p.Cost)),
 			Bridge:  bridge,
-		})
-	}
+		}
+	})
 
 	// Per-point scores (Alg. 4 L21-24).
-	for i := range items {
+	parallel.For(p.Workers, n, func(i int) {
 		res.PointScores[i] = pointScore(g[i], r1)
-	}
+	})
 }
 
 // mcScore evaluates Def. 7: the per-point bit cost of describing a

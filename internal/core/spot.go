@@ -81,7 +81,7 @@ func spotMCs[T any](items []T, builder index.Builder[T], res *Result) [][]int {
 		if e+1 < a {
 			e++
 		}
-		pairs := join.SelfPairs(t, groupItems, radii[e])
+		pairs := join.SelfPairs(t, groupItems, radii[e], res.Params.Workers)
 
 		dsu := unionfind.New(len(groupIdx))
 		for _, pr := range pairs {

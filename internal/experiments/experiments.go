@@ -28,6 +28,11 @@ type Config struct {
 	// Runs is how many times nondeterministic competitors are repeated
 	// (the paper uses 10); their metrics are averaged.
 	Runs int
+	// Quick trims the most expensive sweeps to a representative subset
+	// (fewer sensitivity datasets, sampled fractal dimensions, smaller
+	// scalability floors) so `go test -short` stays fast. The printed
+	// row/column labels are unchanged; nightly full runs leave it false.
+	Quick bool
 }
 
 // withDefaults fills zero fields.
@@ -125,7 +130,9 @@ func hr(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n== %s ==\n", title)
 }
 
-// axiomScenario regenerates one Fig. 2 dataset for the harness.
+// axiomScenario regenerates one Fig. 2 dataset for the harness. The floor
+// is the smallest size at which the planted microclusters stay reliably
+// detectable (they vanish around n ≈ 750), so Quick mode must not lower it.
 func axiomScenario(shape data.Shape, axiom data.Axiom, cfg Config, trial int) *data.AxiomScenario {
 	n := scaled(1_000_000, cfg, 1500)
 	return data.AxiomDataset(shape, axiom, n, cfg.Seed+int64(trial)*7919)

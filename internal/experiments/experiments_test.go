@@ -6,8 +6,27 @@ import (
 	"testing"
 )
 
-// tiny returns a config small enough for unit tests.
-func tiny() Config { return Config{Scale: 0.004, Seed: 1, Runs: 1} }
+// tiny returns a config small enough for unit tests. Under -short it also
+// flips Quick, which trims the expensive sweeps (see Config.Quick) so the
+// whole package stays CI-fast; the nightly full run exercises the
+// untrimmed versions.
+func tiny() Config {
+	if testing.Short() {
+		// Quarter-scale datasets (floors keep every set detectable) plus
+		// the Quick sweep trims; the nightly full run uses the line below.
+		return Config{Scale: 0.001, Seed: 1, Runs: 1, Quick: true}
+	}
+	return Config{Scale: 0.004, Seed: 1, Runs: 1}
+}
+
+// shortOr returns full, or the reduced value under -short. Call sites use
+// it for whatever knob -short shrinks (trial counts, sweep sample sizes).
+func shortOr(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
 
 func TestTable1And2AreStatic(t *testing.T) {
 	var buf bytes.Buffer
@@ -42,7 +61,7 @@ func TestTable3DatasetsRuns(t *testing.T) {
 
 func TestTable5AxiomsMCCatchObeys(t *testing.T) {
 	var buf bytes.Buffer
-	Table5Axioms(&buf, tiny(), 3)
+	Table5Axioms(&buf, tiny(), shortOr(3, 1))
 	out := buf.String()
 	lines := strings.Split(out, "\n")
 	var mcLine string
@@ -133,7 +152,7 @@ func TestTable6RuntimeRuns(t *testing.T) {
 
 func TestFig7ScalabilityRuns(t *testing.T) {
 	var buf bytes.Buffer
-	Fig7Scalability(&buf, tiny(), 2000)
+	Fig7Scalability(&buf, tiny(), shortOr(2000, 800))
 	out := buf.String()
 	if !strings.Contains(out, "Uniform 2-d") || !strings.Contains(out, "measured slope") {
 		t.Errorf("Fig. 7 output incomplete:\n%s", out)

@@ -75,7 +75,13 @@ func Fig7Scalability(w io.Writer, cfg Config, maxN int) {
 		{"Diagonal", func(n, dim int) [][]float64 { return data.Diagonal(n, dim, cfg.Seed).Points }, []int{2, 20, 50}},
 	}
 	for _, fam := range families {
-		for _, dim := range fam.dims {
+		dims := fam.dims
+		if cfg.Quick {
+			// Quick mode measures one dimension per family; the slope fit
+			// and its Lemma-1 comparison still print for each.
+			dims = dims[:1]
+		}
+		for _, dim := range dims {
 			// Geometric sweep of sample sizes.
 			var ns []int
 			for n := maxN / 8; n <= maxN; n *= 2 {

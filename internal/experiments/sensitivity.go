@@ -26,14 +26,30 @@ func Fig9Sensitivity(w io.Writer, cfg Config) {
 	}
 	var sets []ds
 	http := data.HTTPLike(cfg.Scale, cfg.Seed)
-	sets = append(sets, ds{"HTTP", http.Points, http.Labels})
-	for _, name := range []string{"Mammography", "Glass", "Ionosphere"} {
-		if spec, ok := data.SpecByName(name); ok {
-			v := spec.Generate(math.Min(1, cfg.Scale*5), cfg.Seed)
-			sets = append(sets, ds{v.Name, v.Points, v.Labels})
+	httpPts, httpLabels := http.Points, http.Labels
+	if cfg.Quick {
+		httpPts, httpLabels = subsampleLabeled(httpPts, httpLabels, 600)
+	}
+	sets = append(sets, ds{"HTTP", httpPts, httpLabels})
+	// Quick mode keeps the sweep grid (every printed setting label) but
+	// trims the dataset roster to HTTP plus one axiom scenario — the
+	// plateau claim is per-setting, not per-dataset.
+	if !cfg.Quick {
+		for _, name := range []string{"Mammography", "Glass", "Ionosphere"} {
+			if spec, ok := data.SpecByName(name); ok {
+				v := spec.Generate(math.Min(1, cfg.Scale*5), cfg.Seed)
+				sets = append(sets, ds{v.Name, v.Points, v.Labels})
+			}
 		}
 	}
-	sc := data.AxiomDataset(data.Arc, data.Isolation, scaled(1_000_000, cfg, 1500), cfg.Seed)
+	arcFloor := 1500
+	if cfg.Quick {
+		// Stay above the ~750-point detectability threshold the axiom
+		// scenarios need (see axiomScenario); the sweep's AUROC rows are
+		// only meaningful while the planted structure is findable.
+		arcFloor = 800
+	}
+	sc := data.AxiomDataset(data.Arc, data.Isolation, scaled(1_000_000, cfg, arcFloor), cfg.Seed)
 	sets = append(sets, ds{sc.Name, sc.Points, sc.Labels})
 
 	run := func(points [][]float64, labels []bool, p core.Params) float64 {
@@ -90,4 +106,25 @@ func Fig9Sensitivity(w io.Writer, cfg Config) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// subsampleLabeled deterministically shrinks a labeled dataset to about
+// target points by striding over the negatives while keeping every
+// positive (outlier) — the AUROC stays meaningful on the smaller set.
+func subsampleLabeled(points [][]float64, labels []bool, target int) ([][]float64, []bool) {
+	if len(points) <= target {
+		return points, labels
+	}
+	// Ceil division: floor would keep up to 2× target (or everything when
+	// len < 2×target).
+	stride := (len(points) + target - 1) / target
+	var ps [][]float64
+	var ls []bool
+	for i := range points {
+		if labels[i] || i%stride == 0 {
+			ps = append(ps, points[i])
+			ls = append(ls, labels[i])
+		}
+	}
+	return ps, ls
 }

@@ -87,6 +87,15 @@ func Table2Hyperparams(w io.Writer) {
 // percentage, at the configured scale.
 func Table3Datasets(w io.Writer, cfg Config) {
 	cfg = cfg.withDefaults()
+	// Fractal-dimension estimation dominates this table's cost; Quick mode
+	// probes a smaller sample (the estimator subsamples anyway, so only
+	// the estimate's variance changes, never the row set).
+	fopt := func(sample int) fractal.Options {
+		if cfg.Quick && (sample == 0 || sample > 150) {
+			sample = 150
+		}
+		return fractal.Options{Seed: cfg.Seed, Sample: sample}
+	}
 	hr(w, fmt.Sprintf("Table III — dataset summary (scale=%.3f)", cfg.Scale))
 	fmt.Fprintf(w, "%-22s %9s %6s %8s %9s\n", "Dataset", "#Points", "#Feat", "FracDim", "%Outlier")
 	row := func(name string, n, dim int, u float64, pct float64) {
@@ -99,44 +108,44 @@ func Table3Datasets(w io.Writer, cfg Config) {
 
 	// Nondimensional datasets.
 	ln := data.LastNames(scaled(5000, cfg, 300), scaled(50, cfg, 8), cfg.Seed)
-	u := fractal.Dimension(ln.Words, metric.Levenshtein, fractal.Options{Seed: cfg.Seed, Sample: 400})
+	u := fractal.Dimension(ln.Words, metric.Levenshtein, fopt(400))
 	row(ln.Name, len(ln.Words), 0, u, 100*float64(len(ln.Outliers))/float64(len(ln.Words)))
 
 	fp := data.Fingerprints(scaled(398, cfg, 60), scaled(10, cfg, 4), cfg.Seed)
-	u = fractal.Dimension(fp.Sets, metric.Hausdorff, fractal.Options{Seed: cfg.Seed, Sample: 100})
+	u = fractal.Dimension(fp.Sets, metric.Hausdorff, fopt(100))
 	row(fp.Name, len(fp.Sets), 0, u, 100*float64(len(fp.Outliers))/float64(len(fp.Sets)))
 
 	sk := data.Skeletons(scaled(200, cfg, 50), 3, cfg.Seed)
-	u = fractal.Dimension(sk.Graphs, metric.GraphDistance, fractal.Options{Seed: cfg.Seed, Sample: 100})
+	u = fractal.Dimension(sk.Graphs, metric.GraphDistance, fopt(100))
 	row(sk.Name, len(sk.Graphs), 0, u, 100*3/float64(len(sk.Graphs)))
 
 	// Axiom datasets.
 	for _, axiom := range data.Axioms {
 		sc := axiomScenario(data.Gaussian, axiom, cfg, 0)
-		u = fractal.Dimension(sc.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		u = fractal.Dimension(sc.Points, metric.Euclidean, fopt(0))
 		row(sc.Name, len(sc.Points), 2, u, 100*float64(sc.NumOutliers())/float64(len(sc.Points)))
 	}
 
 	// Popular benchmarks.
 	for _, spec := range data.BenchmarkSpecs {
 		v := spec.Generate(cfg.Scale, cfg.Seed)
-		u = fractal.Dimension(v.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		u = fractal.Dimension(v.Points, metric.Euclidean, fopt(0))
 		row(v.Name, len(v.Points), v.Dim(), u, 100*float64(v.NumOutliers())/float64(len(v.Points)))
 	}
 
 	// Satellite showcases (outliers unknown to the paper; planted here).
 	for _, v := range []*data.SatelliteTiles{data.Shanghai(cfg.Seed), data.Volcanoes(cfg.Seed)} {
-		u = fractal.Dimension(v.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		u = fractal.Dimension(v.Points, metric.Euclidean, fopt(0))
 		row(v.Name, len(v.Points), 3, u, -1)
 	}
 
 	// Synthetic scalability sets.
 	for _, dim := range []int{2, 50} {
 		v := data.Uniform(scaled(1_000_000, cfg, 2000), dim, cfg.Seed)
-		u = fractal.Dimension(v.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		u = fractal.Dimension(v.Points, metric.Euclidean, fopt(0))
 		row(fmt.Sprintf("Uniform-%dd", dim), len(v.Points), dim, u, 0)
 		v = data.Diagonal(scaled(1_000_000, cfg, 2000), dim, cfg.Seed)
-		u = fractal.Dimension(v.Points, metric.Euclidean, fractal.Options{Seed: cfg.Seed})
+		u = fractal.Dimension(v.Points, metric.Euclidean, fopt(0))
 		row(fmt.Sprintf("Diagonal-%dd", dim), len(v.Points), dim, u, 0)
 	}
 }

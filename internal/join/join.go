@@ -8,53 +8,23 @@
 // cap are probed), and small-radii-only (the largest radius equals the
 // dataset diameter, so its counts are known to be n without any probing).
 //
-// Probes are read-only on the tree, so each join fans out across
-// GOMAXPROCS goroutines.
+// Probes are read-only on the tree, so each join fans out across the
+// caller's worker budget (internal/parallel; ≤ 0 means all cores, 1 means
+// serial). Every worker writes into its own preallocated slot, so results
+// are identical for every worker count.
 package join
 
 import (
-	"runtime"
-	"sync"
-
 	"mccatch/internal/index"
+	"mccatch/internal/parallel"
 )
-
-// parallelFor runs fn(i) for i in [0,n) across workers.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
 
 // SelfCounts returns, for every item, the number of indexed elements within
 // distance r (each point counts itself, so the minimum is 1 when items are
 // the indexed set).
-func SelfCounts[T any](t index.Index[T], items []T, r float64) []int {
+func SelfCounts[T any](t index.Index[T], items []T, r float64, workers int) []int {
 	counts := make([]int, len(items))
-	parallelFor(len(items), func(i int) {
+	parallel.For(workers, len(items), func(i int) {
 		counts[i] = t.RangeCount(items[i], r)
 	})
 	return counts
@@ -63,16 +33,16 @@ func SelfCounts[T any](t index.Index[T], items []T, r float64) []int {
 // CrossCounts returns, for every query, the number of elements of the
 // indexed set (the tree) within distance r. Queries that are not in the
 // tree are not counted as their own neighbors.
-func CrossCounts[T any](t index.Index[T], queries []T, r float64) []int {
-	return SelfCounts(t, queries, r)
+func CrossCounts[T any](t index.Index[T], queries []T, r float64, workers int) []int {
+	return SelfCounts(t, queries, r, workers)
 }
 
 // SelfPairs returns all unordered pairs (i, j), i < j, of items within
 // distance r of each other, using one tree probe per item. The result is
 // sorted lexicographically, so it is deterministic.
-func SelfPairs[T any](t index.Index[T], items []T, r float64) [][2]int {
+func SelfPairs[T any](t index.Index[T], items []T, r float64, workers int) [][2]int {
 	perItem := make([][]int, len(items))
-	parallelFor(len(items), func(i int) {
+	parallel.For(workers, len(items), func(i int) {
 		ids := t.RangeQuery(items[i], r)
 		var keep []int
 		for _, j := range ids {
@@ -119,14 +89,14 @@ func lessPair(x, y [2]int) bool {
 // When lastIsDiameter is true the final radius is known to cover the whole
 // dataset (small-radii-only principle), so its counts are set to t.Size()
 // without probing.
-func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap int, lastIsDiameter bool) [][]int {
+func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap int, lastIsDiameter bool, workers int) [][]int {
 	a := len(radii)
 	q := make([][]int, a)
 	if a == 0 {
 		return q
 	}
 	n := t.Size()
-	q[0] = SelfCounts(t, items, radii[0])
+	q[0] = SelfCounts(t, items, radii[0], workers)
 	for e := 1; e < a; e++ {
 		q[e] = make([]int, len(items))
 		if e == a-1 && lastIsDiameter {
@@ -146,7 +116,7 @@ func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap 
 			}
 		}
 		res := make([]int, len(active))
-		parallelFor(len(active), func(k int) {
+		parallel.For(workers, len(active), func(k int) {
 			res[k] = t.RangeCount(items[active[k]], radii[e])
 		})
 		for k, i := range active {
@@ -162,7 +132,7 @@ func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap 
 // radius, dropping outliers as soon as they find an inlier. Outliers that
 // never meet an inlier get len(radii) (callers treat the bridge as the
 // largest radius).
-func BridgeRadii[T any](inliers index.Index[T], outliers []T, radii []float64) []int {
+func BridgeRadii[T any](inliers index.Index[T], outliers []T, radii []float64, workers int) []int {
 	first := make([]int, len(outliers))
 	for i := range first {
 		first[i] = len(radii)
@@ -173,7 +143,7 @@ func BridgeRadii[T any](inliers index.Index[T], outliers []T, radii []float64) [
 	}
 	for e := 0; e < len(radii) && len(active) > 0; e++ {
 		hits := make([]bool, len(active))
-		parallelFor(len(active), func(k int) {
+		parallel.For(workers, len(active), func(k int) {
 			hits[k] = inliers.RangeCount(outliers[active[k]], radii[e]) > 0
 		})
 		var still []int

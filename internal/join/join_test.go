@@ -25,7 +25,7 @@ func TestSelfCountsMatchesBruteForce(t *testing.T) {
 	pts := randPoints(rng, 300, 2)
 	tr := slimtree.New(metric.Euclidean, 16, pts)
 	for _, r := range []float64{0, 1, 5, 20, 200} {
-		got := SelfCounts(tr, pts, r)
+		got := SelfCounts(tr, pts, r, 0)
 		for i := range pts {
 			want := 0
 			for j := range pts {
@@ -44,7 +44,7 @@ func TestCrossCountsExcludesQueriesNotInTree(t *testing.T) {
 	inliers := [][]float64{{0, 0}, {1, 0}, {0, 1}}
 	outliers := [][]float64{{0.5, 0.5}, {50, 50}}
 	tr := slimtree.New(metric.Euclidean, 0, inliers)
-	got := CrossCounts(tr, outliers, 1.0)
+	got := CrossCounts(tr, outliers, 1.0, 0)
 	if got[0] != 3 {
 		t.Errorf("CrossCounts[0]=%d, want 3", got[0])
 	}
@@ -58,7 +58,7 @@ func TestSelfPairsMatchesBruteForce(t *testing.T) {
 	pts := randPoints(rng, 120, 2)
 	tr := slimtree.New(metric.Euclidean, 8, pts)
 	r := 8.0
-	got := SelfPairs(tr, pts, r)
+	got := SelfPairs(tr, pts, r, 0)
 	var want [][2]int
 	for i := range pts {
 		for j := i + 1; j < len(pts); j++ {
@@ -83,7 +83,7 @@ func TestMultiRadiusCountsSparsePrinciple(t *testing.T) {
 	tr := slimtree.New(metric.Euclidean, 16, pts)
 	radii := []float64{1, 4, 16, 64, 200}
 	cap := 40
-	q := MultiRadiusCounts(tr, pts, radii, cap, true)
+	q := MultiRadiusCounts(tr, pts, radii, cap, true, 0)
 
 	if len(q) != len(radii) {
 		t.Fatalf("got %d radii rows, want %d", len(q), len(radii))
@@ -120,7 +120,7 @@ func TestMultiRadiusCountsSparsePrinciple(t *testing.T) {
 func TestMultiRadiusCountsEmptyRadii(t *testing.T) {
 	pts := [][]float64{{0}, {1}}
 	tr := slimtree.New(metric.Euclidean, 0, pts)
-	if got := MultiRadiusCounts(tr, pts, nil, 1, false); len(got) != 0 {
+	if got := MultiRadiusCounts(tr, pts, nil, 1, false, 0); len(got) != 0 {
 		t.Error("no radii should give no rows")
 	}
 }
@@ -134,29 +134,11 @@ func TestBridgeRadii(t *testing.T) {
 	}
 	tr := slimtree.New(metric.Euclidean, 0, inliers)
 	radii := []float64{0.5, 1, 4, 8}
-	got := BridgeRadii(tr, outliers, radii)
+	got := BridgeRadii(tr, outliers, radii, 0)
 	want := []int{2, 0, len(radii)}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("BridgeRadii[%d]=%d, want %d", i, got[i], want[i])
 		}
 	}
-}
-
-func TestParallelForCoversAll(t *testing.T) {
-	n := 1000
-	seen := make([]int32, n)
-	parallelFor(n, func(i int) { seen[i]++ })
-	for i, s := range seen {
-		if s != 1 {
-			t.Fatalf("index %d visited %d times", i, s)
-		}
-	}
-	// n smaller than worker count.
-	small := make([]int32, 2)
-	parallelFor(2, func(i int) { small[i]++ })
-	if small[0] != 1 || small[1] != 1 {
-		t.Error("small parallelFor broken")
-	}
-	parallelFor(0, func(i int) { t.Error("should not be called") })
 }

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"mccatch/internal/metric"
+	"mccatch/internal/parallel"
 )
 
 type node struct {
@@ -53,6 +54,20 @@ type Tree struct {
 // New builds a balanced kd-tree by recursive median splits. Item i is
 // reported by queries as id i. All points must share the same dimension.
 func New(points [][]float64) *Tree {
+	return NewWithWorkers(points, 1)
+}
+
+// parallelBuildMin is the subtree size below which a build recursion stays
+// on the current goroutine: splitting smaller ranges costs more in
+// scheduling than the sort saves.
+const parallelBuildMin = 1024
+
+// NewWithWorkers is New with the recursive median splits fanned out across
+// up to workers goroutines (≤ 0 → all cores, 1 → serial). Subtrees above
+// a size threshold build concurrently; the resulting tree is identical to
+// the serial build because the median choice and the id tiebreaks are
+// deterministic and the branches work on disjoint index ranges.
+func NewWithWorkers(points [][]float64, workers int) *Tree {
 	t := &Tree{size: len(points)}
 	if len(points) == 0 {
 		return t
@@ -62,11 +77,11 @@ func New(points [][]float64) *Tree {
 	for i := range idx {
 		idx[i] = i
 	}
-	t.root = build(points, idx, 0, t.dim)
+	t.root = build(points, idx, 0, t.dim, parallel.NewLimiter(workers))
 	return t
 }
 
-func build(points [][]float64, idx []int, depth, dim int) *node {
+func build(points [][]float64, idx []int, depth, dim int, lim *parallel.Limiter) *node {
 	if len(idx) == 0 {
 		return nil
 	}
@@ -92,8 +107,15 @@ func build(points [][]float64, idx []int, depth, dim int) *node {
 			}
 		}
 	}
-	n.left = build(points, append([]int(nil), idx[:mid]...), depth+1, dim)
-	n.right = build(points, append([]int(nil), idx[mid+1:]...), depth+1, dim)
+	left, right := idx[:mid], idx[mid+1:]
+	if len(idx) >= parallelBuildMin {
+		wait := lim.Go(func() { n.left = build(points, left, depth+1, dim, lim) })
+		n.right = build(points, right, depth+1, dim, lim)
+		wait()
+		return n
+	}
+	n.left = build(points, left, depth+1, dim, lim)
+	n.right = build(points, right, depth+1, dim, lim)
 	return n
 }
 

@@ -112,3 +112,46 @@ func TestDuplicates(t *testing.T) {
 		t.Errorf("duplicates RangeCount = %d, want 3", got)
 	}
 }
+
+// sameTree asserts the two kd-trees are structurally identical, node by
+// node — the parallel build's determinism contract.
+func sameTree(t *testing.T, a, b *node, path string) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: one side nil", path)
+	}
+	if a == nil {
+		return
+	}
+	if a.id != b.id || a.axis != b.axis || a.size != b.size {
+		t.Fatalf("%s: node mismatch: id %d/%d axis %d/%d size %d/%d",
+			path, a.id, b.id, a.axis, b.axis, a.size, b.size)
+	}
+	for j := range a.lo {
+		if a.lo[j] != b.lo[j] || a.hi[j] != b.hi[j] {
+			t.Fatalf("%s: box mismatch at dim %d", path, j)
+		}
+	}
+	sameTree(t, a.left, b.left, path+"L")
+	sameTree(t, a.right, b.right, path+"R")
+}
+
+// TestParallelBuildIdenticalToSerial builds well above the fan-out
+// threshold (with duplicate coordinates to stress the tiebreaks) and
+// demands bit-identical trees for every worker count.
+func TestParallelBuildIdenticalToSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 3 * parallelBuildMin
+	pts := randPoints(rng, n, 3)
+	for i := 0; i < n/10; i++ { // duplicated coordinates stress tiebreaks
+		pts[rng.Intn(n)] = append([]float64(nil), pts[rng.Intn(n)]...)
+	}
+	serial := NewWithWorkers(pts, 1)
+	for _, w := range []int{0, 2, 8} {
+		par := NewWithWorkers(pts, w)
+		sameTree(t, serial.root, par.root, "·")
+		if serial.DiameterEstimate() != par.DiameterEstimate() {
+			t.Errorf("workers=%d: diameter differs", w)
+		}
+	}
+}

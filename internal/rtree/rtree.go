@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"mccatch/internal/metric"
+	"mccatch/internal/parallel"
 )
 
 // DefaultFanout is the default number of children per node.
@@ -39,6 +40,18 @@ type Tree struct {
 // New bulk-loads an R-tree with the given fanout (DefaultFanout if < 2).
 // Point i is reported by queries as id i.
 func New(points [][]float64, fanout int) *Tree {
+	return NewWithWorkers(points, fanout, 1)
+}
+
+// parallelTileMin is the tile size below which the STR recursion stays on
+// the current goroutine.
+const parallelTileMin = 1024
+
+// NewWithWorkers is New with the STR tiling recursion fanned out across up
+// to workers goroutines (≤ 0 → all cores, 1 → serial). Sibling tiles sort
+// disjoint index ranges and return their leaves in tile order, so the
+// packed tree is identical to the serial build for every worker count.
+func NewWithWorkers(points [][]float64, fanout, workers int) *Tree {
 	if fanout < 2 {
 		fanout = DefaultFanout
 	}
@@ -51,18 +64,19 @@ func New(points [][]float64, fanout int) *Tree {
 	for i := range ids {
 		ids[i] = i
 	}
-	leaves := t.buildLeaves(points, ids)
+	leaves := t.buildLeaves(points, ids, parallel.NewLimiter(workers))
 	t.root = t.pack(leaves)
 	return t
 }
 
 // buildLeaves tiles the points into leaf nodes with the STR recursion:
 // sort by the first axis, slice into vertical runs, recurse on the next
-// axis within each run, and emit capacity-sized leaves.
-func (t *Tree) buildLeaves(points [][]float64, ids []int) []*node {
-	var leaves []*node
-	var tile func(idx []int, axis int)
-	tile = func(idx []int, axis int) {
+// axis within each run, and emit capacity-sized leaves. Each call returns
+// its leaves in tile order; large runs recurse on other goroutines (their
+// index ranges are disjoint) and are stitched back in order.
+func (t *Tree) buildLeaves(points [][]float64, ids []int, lim *parallel.Limiter) []*node {
+	var tile func(idx []int, axis int) []*node
+	tile = func(idx []int, axis int) []*node {
 		if len(idx) <= t.fanout {
 			leaf := &node{leaf: true, size: len(idx)}
 			for _, i := range idx {
@@ -70,8 +84,7 @@ func (t *Tree) buildLeaves(points [][]float64, ids []int) []*node {
 				leaf.ids = append(leaf.ids, i)
 			}
 			leaf.computeBox(nil)
-			leaves = append(leaves, leaf)
-			return
+			return []*node{leaf}
 		}
 		sort.Slice(idx, func(a, b int) bool {
 			pa, pb := points[idx[a]], points[idx[b]]
@@ -85,16 +98,34 @@ func (t *Tree) buildLeaves(points [][]float64, ids []int) []*node {
 		slices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
 		per := (len(idx) + slices - 1) / slices
 		next := (axis + 1) % t.dim
-		for s := 0; s < len(idx); s += per {
+		nRuns := (len(idx) + per - 1) / per
+		runs := make([][]*node, nRuns)
+		var waits []func()
+		for k := 0; k < nRuns; k++ {
+			s := k * per
 			e := s + per
 			if e > len(idx) {
 				e = len(idx)
 			}
-			tile(idx[s:e], next)
+			k, sub := k, idx[s:e]
+			// Fan all runs but the last out to spare workers; the last one
+			// keeps the current goroutine busy instead of idling in waits.
+			if len(idx) >= parallelTileMin && k < nRuns-1 {
+				waits = append(waits, lim.Go(func() { runs[k] = tile(sub, next) }))
+			} else {
+				runs[k] = tile(sub, next)
+			}
 		}
+		for _, wait := range waits {
+			wait()
+		}
+		var leaves []*node
+		for _, r := range runs {
+			leaves = append(leaves, r...)
+		}
+		return leaves
 	}
-	tile(ids, 0)
-	return leaves
+	return tile(ids, 0)
 }
 
 // pack groups nodes into parents level by level until one root remains.

@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -120,4 +121,52 @@ func TestMCCatchRunsOnRTree(t *testing.T) {
 		Size() int
 		DiameterEstimate() float64
 	} = New(nil, 0)
+}
+
+// sameTree asserts two R-trees are structurally identical — the parallel
+// STR build's determinism contract.
+func sameTree(t *testing.T, a, b *node, path string) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: one side nil", path)
+	}
+	if a == nil {
+		return
+	}
+	if a.leaf != b.leaf || a.size != b.size || len(a.children) != len(b.children) || len(a.ids) != len(b.ids) {
+		t.Fatalf("%s: node shape mismatch", path)
+	}
+	for k := range a.ids {
+		if a.ids[k] != b.ids[k] {
+			t.Fatalf("%s: leaf id %d/%d at slot %d", path, a.ids[k], b.ids[k], k)
+		}
+	}
+	for j := range a.lo {
+		if a.lo[j] != b.lo[j] || a.hi[j] != b.hi[j] {
+			t.Fatalf("%s: box mismatch at dim %d", path, j)
+		}
+	}
+	for k := range a.children {
+		sameTree(t, a.children[k], b.children[k], fmt.Sprintf("%s.%d", path, k))
+	}
+}
+
+// TestParallelBuildIdenticalToSerial bulk-loads well above the tile
+// fan-out threshold and demands bit-identical trees for every worker
+// count.
+func TestParallelBuildIdenticalToSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 3 * parallelTileMin
+	pts := randPoints(rng, n, 3)
+	for i := 0; i < n/10; i++ { // duplicated coordinates stress tiebreaks
+		pts[rng.Intn(n)] = append([]float64(nil), pts[rng.Intn(n)]...)
+	}
+	serial := NewWithWorkers(pts, 0, 1)
+	for _, w := range []int{0, 2, 8} {
+		par := NewWithWorkers(pts, 0, w)
+		sameTree(t, serial.root, par.root, "·")
+		if serial.Height() != par.Height() {
+			t.Errorf("workers=%d: height differs", w)
+		}
+	}
 }

@@ -23,6 +23,16 @@
 //
 //	res, err := mccatch.Run(words, mccatch.Levenshtein,
 //		mccatch.WithWordCost(26, 12))
+//
+// # Concurrency
+//
+// Every run fans its per-point work (range-count curves, gelling range
+// queries, bridge searches, scoring) out across runtime.GOMAXPROCS(0)
+// workers by default; the kd-tree and R-tree backends additionally
+// bulk-build in parallel (the default slim-tree's insert-based build
+// stays serial). Use WithWorkers to pin the worker count —
+// WithWorkers(1) forces a fully serial run. The result is byte-identical
+// for every worker count; see WithWorkers for the determinism guarantee.
 package mccatch
 
 import (
@@ -124,6 +134,23 @@ func WithSlimDown(passes int) Option {
 	return func(p *core.Params) { p.SlimDownPasses = passes }
 }
 
+// WithWorkers sets the number of concurrent workers the pipeline uses for
+// its per-point work: the Step II neighbor-count curves, the Step III
+// gelling range queries, the Step IV bridge searches and scoring, and —
+// under RunVectorsKD/RunVectorsR — the kd-tree/R-tree bulk builds (the
+// slim-tree's insert-based build is serial). n ≤ 0 (the default) means
+// runtime.GOMAXPROCS(0); n = 1 forces a fully serial run.
+//
+// Determinism guarantee: the Result is byte-identical for every worker
+// count. Workers write into preallocated per-index slots, every
+// floating-point reduction happens in a fixed order inside a single unit
+// of work, and all tiebreaks (microcluster ranking, index construction)
+// are deterministic — so WithWorkers trades only wall-clock time, never
+// output.
+func WithWorkers(n int) Option {
+	return func(p *core.Params) { p.Workers = n }
+}
+
 // Run executes MCCATCH on items under dist with the given options and
 // returns the ranked microclusters, their scores, and a score per point.
 func Run[T any](items []T, dist Distance[T], opts ...Option) (*Result, error) {
@@ -182,7 +209,7 @@ func RunVectorsKD(points [][]float64, opts ...Option) (*Result, error) {
 	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
 		o(&p)
 	}
-	builder := func(sub [][]float64) index.Index[[]float64] { return kdtree.New(sub) }
+	builder := func(sub [][]float64) index.Index[[]float64] { return kdtree.NewWithWorkers(sub, p.Workers) }
 	return core.RunWithIndex(points, metric.Euclidean, builder, p)
 }
 
@@ -199,7 +226,7 @@ func RunVectorsR(points [][]float64, opts ...Option) (*Result, error) {
 	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
 		o(&p)
 	}
-	builder := func(sub [][]float64) index.Index[[]float64] { return rtree.New(sub, 0) }
+	builder := func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, 0, p.Workers) }
 	return core.RunWithIndex(points, metric.Euclidean, builder, p)
 }
 

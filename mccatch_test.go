@@ -3,6 +3,7 @@ package mccatch
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -287,6 +288,47 @@ func TestRunTreesWithEditDistance(t *testing.T) {
 	for i := wildStart; i < len(trees); i++ {
 		if !caught[i] {
 			t.Errorf("quadruped tree %d not flagged; mcs=%v", i, res.Microclusters)
+		}
+	}
+}
+
+// TestWithWorkersIdenticalResults exercises the public plumbing of the
+// concurrency option end to end: for each Run* entry point, WithWorkers(k)
+// must return a Result deep-equal to the serial run (the exhaustive
+// per-backend property tests live in internal/core; this guards the
+// Option → Params → builder wiring).
+func TestWithWorkersIdenticalResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var pts [][]float64
+	for i := 0; i < 900; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+	}
+	for i := 0; i < 3; i++ {
+		pts = append(pts, []float64{55 + rng.Float64()*0.1, 55 + rng.Float64()*0.1})
+	}
+	words := []string{"anna", "anne", "annie", "anna", "hannah", "ann", "anina",
+		"bob", "bobby", "robert", "roberta", "xqzwjvk9017253"}
+
+	runs := map[string]func(k int) (*Result, error){
+		"RunVectors":   func(k int) (*Result, error) { return RunVectors(pts, WithWorkers(k)) },
+		"RunVectorsKD": func(k int) (*Result, error) { return RunVectorsKD(pts, WithWorkers(k)) },
+		"RunVectorsR":  func(k int) (*Result, error) { return RunVectorsR(pts, WithWorkers(k)) },
+		"RunStrings":   func(k int) (*Result, error) { return RunStrings(words, WithWorkers(k)) },
+	}
+	for name, run := range runs {
+		serial, err := run(1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, k := range []int{2, 8} {
+			par, err := run(k)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, k, err)
+			}
+			serial.Params.Workers, par.Params.Workers = 0, 0
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("%s: workers=%d differs from serial", name, k)
+			}
 		}
 	}
 }
