@@ -18,6 +18,7 @@ import (
 	"mccatch/internal/eval"
 	"mccatch/internal/experiments"
 	"mccatch/internal/fractal"
+	"mccatch/internal/index"
 	"mccatch/internal/join"
 	"mccatch/internal/kdtree"
 	"mccatch/internal/metric"
@@ -33,6 +34,7 @@ func benchConfig() experiments.Config {
 // output so `-v` shows the regenerated rows.
 func logged(b *testing.B, f func(buf *bytes.Buffer)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
 		f(&buf)
@@ -104,6 +106,7 @@ func BenchmarkExtendedAccuracy(b *testing.B) {
 
 func benchPipeline(b *testing.B, n, dim int) {
 	b.Helper()
+	b.ReportAllocs()
 	pts := data.Uniform(n, dim, 1).Points
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -127,6 +130,7 @@ func BenchmarkPipelineN4k20d(b *testing.B) { benchPipeline(b, 4000, 20) }
 
 func benchPipelineWorkers(b *testing.B, n, dim, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	pts := data.Uniform(n, dim, 1).Points
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -143,6 +147,7 @@ func BenchmarkPipelineN4k20dParallel(b *testing.B) { benchPipelineWorkers(b, 400
 
 func benchKDPipelineWorkers(b *testing.B, n, dim, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	pts := data.Uniform(n, dim, 1).Points
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -160,6 +165,7 @@ func BenchmarkKDTreeBuild100kParallel(b *testing.B) { benchKDBuild(b, 0) }
 
 func benchKDBuild(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	pts := randPoints(100000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -172,6 +178,7 @@ func BenchmarkRTreeBuild100kParallel(b *testing.B) { benchRBuild(b, 0) }
 
 func benchRBuild(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	pts := randPoints(100000, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -181,6 +188,7 @@ func benchRBuild(b *testing.B, workers int) {
 
 // BenchmarkPipelineStrings exercises the nondimensional path end to end.
 func BenchmarkPipelineStrings(b *testing.B) {
+	b.ReportAllocs()
 	d := data.LastNames(800, 12, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -206,6 +214,7 @@ func randPoints(n, dim int) [][]float64 {
 }
 
 func BenchmarkSlimTreeBuild10k(b *testing.B) {
+	b.ReportAllocs()
 	pts := randPoints(10000, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -214,6 +223,7 @@ func BenchmarkSlimTreeBuild10k(b *testing.B) {
 }
 
 func BenchmarkSlimTreeRangeQuery(b *testing.B) {
+	b.ReportAllocs()
 	pts := randPoints(10000, 2)
 	t := slimtree.New(metric.Euclidean, 0, pts)
 	b.ResetTimer()
@@ -223,6 +233,7 @@ func BenchmarkSlimTreeRangeQuery(b *testing.B) {
 }
 
 func BenchmarkSlimTreeKNN(b *testing.B) {
+	b.ReportAllocs()
 	pts := randPoints(10000, 2)
 	t := slimtree.New(metric.Euclidean, 0, pts)
 	b.ResetTimer()
@@ -234,6 +245,7 @@ func BenchmarkSlimTreeKNN(b *testing.B) {
 // Ablation (DESIGN.md): the kd-tree index against the slim-tree on the
 // same vector workload — the paper's footnote 4 trade-off.
 func BenchmarkAblationKDTreeRangeQuery(b *testing.B) {
+	b.ReportAllocs()
 	pts := randPoints(10000, 2)
 	t := kdtree.New(pts)
 	b.ResetTimer()
@@ -248,6 +260,7 @@ func BenchmarkAblationTreeCapacity64(b *testing.B) { benchCapacity(b, 64) }
 
 func benchCapacity(b *testing.B, capacity int) {
 	b.Helper()
+	b.ReportAllocs()
 	pts := randPoints(4000, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -260,6 +273,7 @@ func benchCapacity(b *testing.B, capacity int) {
 // Ablation: the sparse-focused multi-radius join against naive per-radius
 // full self-joins (Sec. IV-G's main speed-up principle).
 func BenchmarkJoinSparseFocused(b *testing.B) {
+	b.ReportAllocs()
 	pts := randPoints(4000, 2)
 	t := slimtree.New(metric.Euclidean, 0, pts)
 	radii := geomRadii(t.DiameterEstimate(), 15)
@@ -271,6 +285,7 @@ func BenchmarkJoinSparseFocused(b *testing.B) {
 }
 
 func BenchmarkJoinNaiveAllRadii(b *testing.B) {
+	b.ReportAllocs()
 	pts := randPoints(4000, 2)
 	t := slimtree.New(metric.Euclidean, 0, pts)
 	radii := geomRadii(t.DiameterEstimate(), 15)
@@ -278,6 +293,42 @@ func BenchmarkJoinNaiveAllRadii(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, r := range radii {
 			join.SelfCounts(t, pts, r, 0)
+		}
+	}
+}
+
+// The single-traversal counter against one RangeCount per radius, on each
+// backend — the amortization RangeCountMulti buys at a = 15 nested radii.
+func BenchmarkMultiCountBatchedSlim(b *testing.B)  { benchMultiCount(b, "slim", true) }
+func BenchmarkMultiCountRepeatedSlim(b *testing.B) { benchMultiCount(b, "slim", false) }
+func BenchmarkMultiCountBatchedKD(b *testing.B)    { benchMultiCount(b, "kd", true) }
+func BenchmarkMultiCountRepeatedKD(b *testing.B)   { benchMultiCount(b, "kd", false) }
+func BenchmarkMultiCountBatchedR(b *testing.B)     { benchMultiCount(b, "r", true) }
+func BenchmarkMultiCountRepeatedR(b *testing.B)    { benchMultiCount(b, "r", false) }
+
+func benchMultiCount(b *testing.B, kind string, batched bool) {
+	b.Helper()
+	b.ReportAllocs()
+	pts := randPoints(10000, 2)
+	var t index.Index[[]float64]
+	switch kind {
+	case "slim":
+		t = slimtree.New(metric.Euclidean, 0, pts)
+	case "kd":
+		t = kdtree.New(pts)
+	case "r":
+		t = rtree.New(pts, 0)
+	}
+	radii := geomRadii(t.DiameterEstimate(), 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := pts[i%len(pts)]
+		if batched {
+			index.RangeCountMulti(t, q, radii)
+		} else {
+			for _, r := range radii {
+				t.RangeCount(q, r)
+			}
 		}
 	}
 }
@@ -294,6 +345,7 @@ func geomRadii(l float64, a int) []float64 {
 }
 
 func BenchmarkFractalDimension(b *testing.B) {
+	b.ReportAllocs()
 	pts := randPoints(5000, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -302,12 +354,14 @@ func BenchmarkFractalDimension(b *testing.B) {
 }
 
 func BenchmarkLevenshtein(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		metric.Levenshtein("brzezinski", "breszinsky")
 	}
 }
 
 func BenchmarkAUROC(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(9))
 	scores := make([]float64, 100000)
 	labels := make([]bool, len(scores))
@@ -328,6 +382,7 @@ func BenchmarkAblationSlimDownOn(b *testing.B)  { benchSlimDown(b, 3) }
 
 func benchSlimDown(b *testing.B, passes int) {
 	b.Helper()
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(13))
 	var pts [][]float64
 	for len(pts) < 6000 {
@@ -356,6 +411,7 @@ func BenchmarkAblationPipelineRTree(b *testing.B)    { benchIndexPipeline(b, "r"
 
 func benchIndexPipeline(b *testing.B, kind string) {
 	b.Helper()
+	b.ReportAllocs()
 	pts := data.Uniform(4000, 2, 1).Points
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/index"
+	"mccatch/internal/kdtree"
+	"mccatch/internal/metric"
+	"mccatch/internal/rtree"
+	"mccatch/internal/slimtree"
+)
+
+// The index layer's batched-counting contract (index.MultiCounter) is that
+// RangeCountMulti equals [RangeCount(r) for r in radii] element for
+// element. The pipeline's batched joins (Steps II and IV) are byte-
+// identical to the per-radius joins exactly when this holds, so these
+// property tests drive it through the index interface — native dispatch
+// and all — on the same random vector/string/point-set data shapes the
+// parallel-equivalence suite uses, for every backend. Run under -race they
+// also prove concurrent batched probes share a tree safely.
+
+// assertMultiCountEquiv checks the contract on the pipeline's own radius
+// schedule (geometric, diameter-topped — the schedule Step II probes).
+func assertMultiCountEquiv[T any](t *testing.T, label string, tr index.Index[T], queries []T) {
+	t.Helper()
+	l := tr.DiameterEstimate()
+	if l <= 0 {
+		l = 1
+	}
+	radii := makeRadii(l, DefaultNumRadii)
+	for qi, q := range queries {
+		got := index.RangeCountMulti(tr, q, radii)
+		for e, r := range radii {
+			if want := tr.RangeCount(q, r); got[e] != want {
+				t.Fatalf("%s: query %d radius %d (r=%v): RangeCountMulti = %d, RangeCount = %d",
+					label, qi, e, r, got[e], want)
+			}
+		}
+	}
+}
+
+func TestRangeCountMultiEquivalenceVectorsAllBackends(t *testing.T) {
+	backends := map[string]func(pts [][]float64) index.Index[[]float64]{
+		"slimtree": func(pts [][]float64) index.Index[[]float64] {
+			return slimtree.New(metric.Euclidean, 0, pts)
+		},
+		"kdtree": func(pts [][]float64) index.Index[[]float64] {
+			return kdtree.New(pts)
+		},
+		"rtree": func(pts [][]float64) index.Index[[]float64] {
+			return rtree.New(pts, 0)
+		},
+	}
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		pts := randomVectorDataset(rng)
+		for name, build := range backends {
+			assertMultiCountEquiv(t, fmt.Sprintf("vectors/%s/trial%d", name, trial),
+				build(pts), pts[:40])
+		}
+	}
+}
+
+func TestRangeCountMultiEquivalenceStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	words := make([]string, 0, 200)
+	for i := 0; i < 190; i++ {
+		stem := []byte("microclustering")
+		for j := rng.Intn(4); j > 0; j-- {
+			stem[rng.Intn(len(stem))] = byte('a' + rng.Intn(26))
+		}
+		words = append(words, string(stem[:8+rng.Intn(7)]))
+	}
+	for i := 0; i < 10; i++ {
+		w := make([]byte, 20+rng.Intn(10))
+		for j := range w {
+			w[j] = byte('0' + rng.Intn(10))
+		}
+		words = append(words, string(w))
+	}
+	tr := slimtree.New(metric.Levenshtein, 0, words)
+	assertMultiCountEquiv(t, "strings/slimtree", tr, words[:30])
+}
+
+func TestRangeCountMultiEquivalencePointSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sets := make([]metric.PointSet, 0, 130)
+	for i := 0; i < 120; i++ {
+		cx, cy := rng.Float64()*10, rng.Float64()*10
+		s := make(metric.PointSet, 3+rng.Intn(5))
+		for j := range s {
+			s[j] = []float64{cx + rng.NormFloat64()*0.3, cy + rng.NormFloat64()*0.3}
+		}
+		sets = append(sets, s)
+	}
+	for i := 0; i < 5; i++ {
+		s := make(metric.PointSet, 3+rng.Intn(5))
+		for j := range s {
+			s[j] = []float64{100 + rng.Float64(), 100 + rng.Float64()}
+		}
+		sets = append(sets, s)
+	}
+	tr := slimtree.New(metric.Hausdorff, 0, sets)
+	assertMultiCountEquiv(t, "pointsets/slimtree", tr, sets[:25])
+}

@@ -17,11 +17,12 @@ type plateau struct {
 }
 
 // buildOraclePlot runs Alg. 2: it counts neighbors per radius with the
-// sparse-focused self-join, extracts each point's plateaus, and fills
-// res.OracleX (1NN Distance = first-plateau length) and res.OracleY
-// (Group 1NN Distance = middle-plateau length).
+// batched self-join (one dual-tree traversal on indexes that support it,
+// gated per-point batched probes otherwise), extracts each point's
+// plateaus, and fills res.OracleX (1NN Distance = first-plateau length)
+// and res.OracleY (Group 1NN Distance = middle-plateau length).
 func buildOraclePlot[T any](tree index.Index[T], items []T, radii []float64, p Params, res *Result) {
-	counts := join.MultiRadiusCounts(tree, items, radii, p.MaxCardinality, true, p.Workers)
+	counts := join.SelfMultiRadiusCounts(tree, items, radii, p.MaxCardinality, true, p.Workers)
 	parallel.For(p.Workers, len(items), func(i int) {
 		q := make([]int, len(radii))
 		for e := range radii {

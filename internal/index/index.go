@@ -3,6 +3,19 @@
 // for nondimensional data and kd-trees for main-memory vector data; both
 // of this repository's trees satisfy Index, so the pipeline can swap them
 // (and the benchmarks can ablate the choice).
+//
+// Beyond the base Index contract, backends may implement two optional
+// extensions that the joins detect dynamically:
+//
+//   - MultiCounter batches the neighbor counts at several nested radii
+//     into one tree traversal. MCCATCH's Step II probes every point at up
+//     to a radii, and the radii are nested, so each traversal can classify
+//     a subtree once for the whole radius schedule instead of re-deriving
+//     the same pruning decisions per radius. All three bundled trees
+//     implement it natively; RangeCountMulti falls back to one RangeCount
+//     per radius for any other backend.
+//   - QueryAppender lets callers pass a reusable scratch buffer to range
+//     queries, cutting per-probe garbage on the hot paths.
 package index
 
 // Index answers range queries over an indexed dataset of element type T.
@@ -17,6 +30,65 @@ type Index[T any] interface {
 	Size() int
 	// DiameterEstimate estimates the diameter of the indexed set.
 	DiameterEstimate() float64
+}
+
+// MultiCounter is the optional batched-counting extension: one traversal
+// answers the neighbor count at every radius of an ascending schedule.
+type MultiCounter[T any] interface {
+	// RangeCountMulti returns, for each radius of radii (which MUST be
+	// sorted ascending), how many indexed elements lie within that radius
+	// of q (inclusive). The result is element-wise identical to calling
+	// RangeCount once per radius; native implementations produce it from a
+	// single root-to-leaf traversal.
+	RangeCountMulti(q T, radii []float64) []int
+}
+
+// SelfMultiCounter is the optional self-join extension: the neighbor
+// counts of every INDEXED element at every radius of an ascending
+// schedule, from one dual traversal of the index against itself. Where
+// MultiCounter amortizes one query's traversals across radii, this
+// amortizes across query points too: subtree-against-subtree bounds
+// classify whole blocks of element pairs at once. It is keyed by element
+// id rather than by query value, so it applies only when the query set is
+// exactly the indexed set.
+type SelfMultiCounter interface {
+	// CountAllMulti returns counts[e][id] = the number of indexed
+	// elements within radii[e] of element id (inclusive, so ≥ 1). radii
+	// must be sorted ascending. Results are identical for every worker
+	// count (≤ 0 means all cores, 1 means serial).
+	CountAllMulti(radii []float64, workers int) [][]int
+}
+
+// QueryAppender is the optional allocation-saving extension: range queries
+// that append into a caller-provided buffer instead of allocating one.
+type QueryAppender[T any] interface {
+	// RangeQueryAppend appends the ids of elements within distance r of q
+	// (inclusive) to dst — reusing dst's capacity — and returns the
+	// extended slice.
+	RangeQueryAppend(q T, r float64, dst []int) []int
+}
+
+// RangeCountMulti dispatches to the index's native batched counter when it
+// has one, and otherwise falls back to one RangeCount probe per radius.
+// radii must be sorted ascending.
+func RangeCountMulti[T any](t Index[T], q T, radii []float64) []int {
+	if mc, ok := t.(MultiCounter[T]); ok {
+		return mc.RangeCountMulti(q, radii)
+	}
+	counts := make([]int, len(radii))
+	for e, r := range radii {
+		counts[e] = t.RangeCount(q, r)
+	}
+	return counts
+}
+
+// RangeQueryAppend dispatches to the index's buffer-reusing range query
+// when it has one, and otherwise appends the result of a plain RangeQuery.
+func RangeQueryAppend[T any](t Index[T], q T, r float64, dst []int) []int {
+	if qa, ok := t.(QueryAppender[T]); ok {
+		return qa.RangeQueryAppend(q, r, dst)
+	}
+	return append(dst, t.RangeQuery(q, r)...)
 }
 
 // Builder constructs an Index over a dataset; MCCATCH builds several trees

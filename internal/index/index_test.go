@@ -1,0 +1,99 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+// line is a minimal Index over 1-d points: enough to test the optional-
+// extension dispatch without pulling in a real tree.
+type line struct{ xs []float64 }
+
+func (l line) RangeCount(q float64, r float64) int {
+	c := 0
+	for _, x := range l.xs {
+		if abs(x-q) <= r {
+			c++
+		}
+	}
+	return c
+}
+
+func (l line) RangeQuery(q float64, r float64) []int {
+	var ids []int
+	for i, x := range l.xs {
+		if abs(x-q) <= r {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+func (l line) Size() int                 { return len(l.xs) }
+func (l line) DiameterEstimate() float64 { return 0 }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// batchedLine additionally implements MultiCounter and QueryAppender, and
+// records that the native paths were taken.
+type batchedLine struct {
+	line
+	multiCalls, appendCalls int
+}
+
+func (b *batchedLine) RangeCountMulti(q float64, radii []float64) []int {
+	b.multiCalls++
+	counts := make([]int, len(radii))
+	for e, r := range radii {
+		counts[e] = b.RangeCount(q, r)
+	}
+	return counts
+}
+
+func (b *batchedLine) RangeQueryAppend(q float64, r float64, dst []int) []int {
+	b.appendCalls++
+	return append(dst, b.RangeQuery(q, r)...)
+}
+
+func TestRangeCountMultiFallsBackToRepeatedRangeCount(t *testing.T) {
+	l := line{xs: []float64{0, 1, 2, 10}}
+	radii := []float64{0.5, 1.5, 20}
+	got := RangeCountMulti[float64](l, 1, radii)
+	want := []int{1, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback RangeCountMulti = %v, want %v", got, want)
+	}
+	if got := RangeCountMulti[float64](l, 1, nil); len(got) != 0 {
+		t.Errorf("fallback with no radii = %v, want empty", got)
+	}
+}
+
+func TestRangeCountMultiDispatchesToNativeImplementation(t *testing.T) {
+	b := &batchedLine{line: line{xs: []float64{0, 1, 2}}}
+	got := RangeCountMulti[float64](b, 0, []float64{1.5})
+	if b.multiCalls != 1 {
+		t.Errorf("native RangeCountMulti called %d times, want 1", b.multiCalls)
+	}
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("dispatched RangeCountMulti = %v, want [2]", got)
+	}
+}
+
+func TestRangeQueryAppendFallbackAndDispatch(t *testing.T) {
+	l := line{xs: []float64{0, 1, 9}}
+	buf := make([]int, 0, 4)
+	got := RangeQueryAppend[float64](l, 0, 1.5, buf)
+	if !reflect.DeepEqual(got, []int{0, 1}) || cap(got) != 4 {
+		t.Errorf("fallback RangeQueryAppend = %v (cap %d), want [0 1] in the caller's buffer", got, cap(got))
+	}
+	b := &batchedLine{line: l}
+	RangeQueryAppend[float64](b, 0, 1.5, nil)
+	if b.appendCalls != 1 {
+		t.Errorf("native RangeQueryAppend called %d times, want 1", b.appendCalls)
+	}
+}

@@ -8,6 +8,17 @@
 // cap are probed), and small-radii-only (the largest radius equals the
 // dataset diameter, so its counts are known to be n without any probing).
 //
+// The multi-radius joins consume the index layer's batched counter
+// (index.RangeCountMulti): because the radius schedule is nested, one tree
+// traversal classifies every subtree for the whole schedule at once, so a
+// point pays a single traversal where it used to pay one per radius. The
+// sparse-focused gating happens around the batched probes: each point
+// walks the schedule in adaptive chunks — one traversal per chunk over
+// the still-relevant radius suffix — and stops once its count exceeds the
+// cap. When the query set is the indexed set itself and the index can
+// join itself (index.SelfMultiCounter), the whole counts matrix instead
+// comes from ONE dual-tree traversal of the index against itself.
+//
 // Probes are read-only on the tree, so each join fans out across the
 // caller's worker budget (internal/parallel; ≤ 0 means all cores, 1 means
 // serial). Every worker writes into its own preallocated slot, so results
@@ -15,6 +26,9 @@
 package join
 
 import (
+	"sort"
+	"sync"
+
 	"mccatch/internal/index"
 	"mccatch/internal/parallel"
 )
@@ -37,13 +51,20 @@ func CrossCounts[T any](t index.Index[T], queries []T, r float64, workers int) [
 	return SelfCounts(t, queries, r, workers)
 }
 
+// queryScratch pools the transient id buffers of pair-producing probes, so
+// each worker recycles one allocation across all of its probes.
+var queryScratch = sync.Pool{
+	New: func() any { s := make([]int, 0, 64); return &s },
+}
+
 // SelfPairs returns all unordered pairs (i, j), i < j, of items within
 // distance r of each other, using one tree probe per item. The result is
 // sorted lexicographically, so it is deterministic.
 func SelfPairs[T any](t index.Index[T], items []T, r float64, workers int) [][2]int {
 	perItem := make([][]int, len(items))
 	parallel.For(workers, len(items), func(i int) {
-		ids := t.RangeQuery(items[i], r)
+		buf := queryScratch.Get().(*[]int)
+		ids := index.RangeQueryAppend(t, items[i], r, (*buf)[:0])
 		var keep []int
 		for _, j := range ids {
 			if j > i {
@@ -51,6 +72,8 @@ func SelfPairs[T any](t index.Index[T], items []T, r float64, workers int) [][2]
 			}
 		}
 		perItem[i] = keep
+		*buf = ids[:0] // keep any growth for the next probe
+		queryScratch.Put(buf)
 	})
 	var pairs [][2]int
 	for i, ids := range perItem {
@@ -62,8 +85,17 @@ func SelfPairs[T any](t index.Index[T], items []T, r float64, workers int) [][2]
 	return pairs
 }
 
+// sortPairsInsertionMax is the largest pair count sorted by insertion sort.
+// The pair lists MCCATCH gels are usually tiny (|A| ≪ n), where insertion
+// sort beats sort.Slice's overhead; beyond it, sort.Slice keeps
+// adversarially dense gelling radii O(k log k) instead of O(k²).
+const sortPairsInsertionMax = 32
+
 func sortPairs(pairs [][2]int) {
-	// Insertion sort is fine: the pair lists MCCATCH gels are tiny (|A| ≪ n).
+	if len(pairs) > sortPairsInsertionMax {
+		sort.Slice(pairs, func(a, b int) bool { return lessPair(pairs[a], pairs[b]) })
+		return
+	}
 	for a := 1; a < len(pairs); a++ {
 		for b := a; b > 0 && lessPair(pairs[b], pairs[b-1]); b-- {
 			pairs[b], pairs[b-1] = pairs[b-1], pairs[b]
@@ -78,83 +110,174 @@ func lessPair(x, y [2]int) bool {
 	return x[1] < y[1]
 }
 
+// chunkLen picks how many of the remaining radii the next batched probe
+// should cover for an item whose current count is prev: the headroom below
+// the excusal cap, discounted by a conservative 8× count growth per radius
+// (counts grow ~2^dim per doubled radius; 8 covers intrinsic dimensions up
+// to 3 and over-batching merely wastes part of one probe, never changes
+// the counts). Far below the cap, probes are path-dominated and batching
+// several radii amortizes the root-to-shell walk; near the cap, probes are
+// shell-dominated and the chunk shrinks to one radius so the gating stops
+// exactly where the radius-by-radius gating did.
+func chunkLen(prev, cap int) int {
+	if prev < 1 {
+		prev = 1
+	}
+	c := 0
+	for h := cap / prev; h >= 8; h /= 8 {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // MultiRadiusCounts computes the neighbor counts q[e][i] of every item i at
-// every radius radii[e], applying the sparse-focused principle: radius 0
-// probes every item; at each later radius only items whose previous count
-// was ≤ cap are probed, because counts are monotone in the radius and
-// plateaus higher than cap are excused (paper Sec. IV-G). Unprobed items
-// carry their previous count forward, which keeps them above cap and
-// therefore excused at all later radii.
+// every radius radii[e], applying the sparse-focused principle with the
+// index layer's batched counter: each item walks the radius schedule in
+// adaptive chunks, paying ONE tree traversal per chunk
+// (index.RangeCountMulti on the still-relevant radius suffix) instead of
+// one per radius, and stops as soon as its count exceeds cap. Counts are
+// monotone in the radius and plateaus higher than cap are excused (paper
+// Sec. IV-G), so an excused item's count is carried forward to all later
+// radii — also inside a chunk that overshot the excusal point — which
+// keeps it above cap and therefore excused: exactly the counts the
+// radius-by-radius gating produced, in a fraction of the traversals.
 //
-// When lastIsDiameter is true the final radius is known to cover the whole
-// dataset (small-radii-only principle), so its counts are set to t.Size()
-// without probing.
+// When lastIsDiameter is true and there are at least two radii, the final
+// radius is known to cover the whole dataset (small-radii-only principle),
+// so its counts are set to t.Size() without probing and the chunks cover
+// only the radii before it.
 func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap int, lastIsDiameter bool, workers int) [][]int {
 	a := len(radii)
 	q := make([][]int, a)
 	if a == 0 {
 		return q
 	}
-	n := t.Size()
-	q[0] = SelfCounts(t, items, radii[0], workers)
-	for e := 1; e < a; e++ {
+	for e := range q {
 		q[e] = make([]int, len(items))
-		if e == a-1 && lastIsDiameter {
-			for i := range q[e] {
-				q[e][i] = n
-			}
-			break
-		}
-		prev := q[e-1]
-		// Gather the still-active items, probe them, scatter results.
-		var active []int
-		for i, c := range prev {
-			if c <= cap {
-				active = append(active, i)
-			} else {
-				q[e][i] = c // carried forward: stays excused
-			}
-		}
-		res := make([]int, len(active))
-		parallel.For(workers, len(active), func(k int) {
-			res[k] = t.RangeCount(items[active[k]], radii[e])
-		})
-		for k, i := range active {
-			q[e][i] = res[k]
+	}
+	probeHi := a // radii[:probeHi] need probing
+	if lastIsDiameter && a >= 2 {
+		probeHi = a - 1
+		n := t.Size()
+		for i := range q[a-1] {
+			q[a-1][i] = n
 		}
 	}
+	// rowScratch pools the per-item count rows: each worker recycles one
+	// allocation across all of its items.
+	var rowScratch = sync.Pool{New: func() any { s := make([]int, probeHi); return &s }}
+	parallel.For(workers, len(items), func(i int) {
+		rowp := rowScratch.Get().(*[]int)
+		row := *rowp
+		row[0] = t.RangeCount(items[i], radii[0])
+		e := 1
+		for e < probeHi && row[e-1] <= cap {
+			hi := e + chunkLen(row[e-1], cap)
+			if hi > probeHi {
+				hi = probeHi
+			}
+			if hi == e+1 {
+				// Near the cap the chunk degenerates to one radius; a
+				// plain probe skips the batch bookkeeping.
+				row[e] = t.RangeCount(items[i], radii[e])
+				e = hi
+				continue
+			}
+			sub := index.RangeCountMulti(t, items[i], radii[e:hi])
+			for k, c := range sub {
+				if prev := row[e+k-1]; prev > cap {
+					c = prev // overshot the excusal point: carry instead
+				}
+				row[e+k] = c
+			}
+			e = hi
+		}
+		for ; e < probeHi; e++ {
+			row[e] = row[e-1] // excused: carried forward, stays excused
+		}
+		for e, c := range row {
+			q[e][i] = c
+		}
+		rowScratch.Put(rowp)
+	})
+	return q
+}
+
+// SelfMultiRadiusCounts is MultiRadiusCounts for the tree's OWN elements:
+// items must be exactly the indexed elements in insertion order. When the
+// index can join itself (index.SelfMultiCounter — the slim-tree's
+// dual-tree traversal), the whole counts matrix comes from ONE traversal
+// of the tree against itself; other backends fall back to the gated
+// per-item batched probes. Both paths return the exact same matrix: the
+// dual join produces true counts everywhere (wholesale crediting makes
+// that cheap without the cap), and the excused-count carry-forward the
+// gating produces radius by radius is then applied as a post-pass — a
+// count is exact until the radius where it first exceeds cap (that value
+// included) and carried forward after — so results do not depend on which
+// path ran.
+func SelfMultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap int, lastIsDiameter bool, workers int) [][]int {
+	smc, ok := t.(index.SelfMultiCounter)
+	if !ok || t.Size() != len(items) {
+		return MultiRadiusCounts(t, items, radii, cap, lastIsDiameter, workers)
+	}
+	q := smc.CountAllMulti(radii, workers)
+	a := len(radii)
+	if a == 0 {
+		return q
+	}
+	probeHi := a // rows that follow the gated semantics
+	if lastIsDiameter && a >= 2 {
+		// The gated path pins the diameter row to n without probing; pin
+		// it here too so the paths agree even when the diameter ESTIMATE
+		// falls marginally short of covering every pair.
+		probeHi = a - 1
+		n := t.Size()
+		for i := range q[a-1] {
+			q[a-1][i] = n
+		}
+	}
+	parallel.For(workers, len(items), func(i int) {
+		for e := 1; e < probeHi; e++ {
+			if prev := q[e-1][i]; prev > cap {
+				q[e][i] = prev
+			}
+		}
+	})
 	return q
 }
 
 // BridgeRadii finds, for every outlier, the index e of the smallest radius
 // at which it has at least one inlier neighbor (paper Alg. 4 L4-12): the
-// bridge length is then radii[e-1]. It probes the inlier tree radius by
-// radius, dropping outliers as soon as they find an inlier. Outliers that
-// never meet an inlier get len(radii) (callers treat the bridge as the
-// largest radius).
+// bridge length is then radii[e-1]. Each outlier probes the inlier tree in
+// doubling chunks of the radius schedule — one batched traversal per chunk
+// — and stops at the first radius with a nonzero count (counts are
+// monotone in the radius, so this matches probing radius by radius and
+// stopping at the first hit). Outliers that never meet an inlier get
+// len(radii) (callers treat the bridge as the largest radius).
 func BridgeRadii[T any](inliers index.Index[T], outliers []T, radii []float64, workers int) []int {
+	a := len(radii)
 	first := make([]int, len(outliers))
-	for i := range first {
-		first[i] = len(radii)
-	}
-	active := make([]int, len(outliers))
-	for i := range active {
-		active[i] = i
-	}
-	for e := 0; e < len(radii) && len(active) > 0; e++ {
-		hits := make([]bool, len(active))
-		parallel.For(workers, len(active), func(k int) {
-			hits[k] = inliers.RangeCount(outliers[active[k]], radii[e]) > 0
-		})
-		var still []int
-		for k, i := range active {
-			if hits[k] {
-				first[i] = e
-			} else {
-				still = append(still, i)
+	parallel.For(workers, len(outliers), func(i int) {
+		e, chunk := 0, 4
+		for e < a {
+			hi := e + chunk
+			if hi > a {
+				hi = a
 			}
+			counts := index.RangeCountMulti(inliers, outliers[i], radii[e:hi])
+			for k, c := range counts {
+				if c > 0 {
+					first[i] = e + k
+					return
+				}
+			}
+			e = hi
+			chunk *= 2
 		}
-		active = still
-	}
+		first[i] = a
+	})
 	return first
 }

@@ -123,6 +123,172 @@ func TestMultiRadiusCountsEmptyRadii(t *testing.T) {
 	if got := MultiRadiusCounts(tr, pts, nil, 1, false, 0); len(got) != 0 {
 		t.Error("no radii should give no rows")
 	}
+	if got := MultiRadiusCounts(tr, pts, nil, 1, true, 0); len(got) != 0 {
+		t.Error("no radii with lastIsDiameter should give no rows")
+	}
+}
+
+func TestMultiRadiusCountsSingleRadius(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	tr := slimtree.New(metric.Euclidean, 0, pts)
+	got := MultiRadiusCounts(tr, pts, []float64{1.5}, 1, false, 0)
+	want := []int{2, 2, 1}
+	for i := range want {
+		if got[0][i] != want[i] {
+			t.Errorf("single radius counts[%d] = %d, want %d", i, got[0][i], want[i])
+		}
+	}
+}
+
+// TestMultiRadiusCountsDiameterOnlyRadius pins the a == 1 lastIsDiameter
+// edge: with a single radius the small-radii-only shortcut never applies
+// (the shortcut replaces radii AFTER the first), so the lone radius is
+// probed for true counts even when flagged as the diameter.
+func TestMultiRadiusCountsDiameterOnlyRadius(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}}
+	tr := slimtree.New(metric.Euclidean, 0, pts)
+	got := MultiRadiusCounts(tr, pts, []float64{1.5}, 1, true, 0)
+	want := []int{2, 2, 1} // probed, NOT forced to n
+	for i := range want {
+		if got[0][i] != want[i] {
+			t.Errorf("diameter-only counts[%d] = %d, want %d", i, got[0][i], want[i])
+		}
+	}
+}
+
+// TestMultiRadiusCountsAllExcusedAfterFirstRadius pins the gating edge
+// where cap = 0 excuses every point at the first radius (each point counts
+// itself): every later non-diameter radius must carry the first count
+// forward, and the diameter radius must still report n.
+func TestMultiRadiusCountsAllExcusedAfterFirstRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 60, 2)
+	tr := slimtree.New(metric.Euclidean, 0, pts)
+	radii := []float64{0.5, 5, 50, 500}
+	got := MultiRadiusCounts(tr, pts, radii, 0, true, 0)
+	for i := range pts {
+		for e := 1; e < len(radii)-1; e++ {
+			if got[e][i] != got[0][i] {
+				t.Fatalf("counts[%d][%d] = %d, want carried-forward %d", e, i, got[e][i], got[0][i])
+			}
+		}
+		if got[len(radii)-1][i] != len(pts) {
+			t.Fatalf("diameter counts[%d] = %d, want n = %d", i, got[len(radii)-1][i], len(pts))
+		}
+	}
+}
+
+// multiRadiusCountsReference is the pre-batching implementation — one
+// RangeCount probe per point per still-active radius — kept as the oracle
+// the batched rewrite must reproduce bit for bit.
+func multiRadiusCountsReference[T any](t interface {
+	RangeCount(q T, r float64) int
+	Size() int
+}, items []T, radii []float64, cap int, lastIsDiameter bool) [][]int {
+	a := len(radii)
+	q := make([][]int, a)
+	if a == 0 {
+		return q
+	}
+	n := t.Size()
+	q[0] = make([]int, len(items))
+	for i := range items {
+		q[0][i] = t.RangeCount(items[i], radii[0])
+	}
+	for e := 1; e < a; e++ {
+		q[e] = make([]int, len(items))
+		if e == a-1 && lastIsDiameter {
+			for i := range q[e] {
+				q[e][i] = n
+			}
+			break
+		}
+		for i, c := range q[e-1] {
+			if c <= cap {
+				q[e][i] = t.RangeCount(items[i], radii[e])
+			} else {
+				q[e][i] = c
+			}
+		}
+	}
+	return q
+}
+
+// TestMultiRadiusCountsMatchesReference drives the batched implementation
+// against the per-radius reference over random data, caps, schedules and
+// backends-by-capacity, including both lastIsDiameter settings.
+func TestMultiRadiusCountsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 12; trial++ {
+		pts := randPoints(rng, 50+rng.Intn(250), 1+rng.Intn(3))
+		tr := slimtree.New(metric.Euclidean, []int{0, 8}[trial%2], pts)
+		a := 1 + rng.Intn(8)
+		radii := make([]float64, a)
+		r := 0.5 + rng.Float64()
+		for e := range radii {
+			radii[e] = r
+			r *= 2
+		}
+		cap := rng.Intn(len(pts))
+		lastIsDiameter := trial%3 != 0
+		got := MultiRadiusCounts(tr, pts, radii, cap, lastIsDiameter, 0)
+		want := multiRadiusCountsReference[[]float64](tr, pts, radii, cap, lastIsDiameter)
+		for e := range want {
+			for i := range want[e] {
+				if got[e][i] != want[e][i] {
+					t.Fatalf("trial %d (cap=%d diam=%v): counts[%d][%d] = %d, reference = %d",
+						trial, cap, lastIsDiameter, e, i, got[e][i], want[e][i])
+				}
+			}
+		}
+	}
+}
+
+// TestSelfMultiRadiusCountsMatchesReference pins the dual-tree self-join
+// path (the slim-tree implements index.SelfMultiCounter) to the per-radius
+// gated reference bit for bit: the dual join returns true counts and
+// SelfMultiRadiusCounts re-applies the excusal carry-forward, so no caller
+// can tell which path ran. Tight caps force counts to straddle the excusal
+// boundary, the shape where true and carried counts diverge most.
+func TestSelfMultiRadiusCountsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		pts := randPoints(rng, 80+rng.Intn(300), 2)
+		tr := slimtree.New(metric.Euclidean, 0, pts)
+		a := 2 + rng.Intn(10)
+		radii := make([]float64, a)
+		r := tr.DiameterEstimate()
+		for e := a - 1; e >= 0; e-- {
+			radii[e] = r
+			r /= 2
+		}
+		cap := 1 + rng.Intn(len(pts))
+		lastIsDiameter := trial%3 != 0
+		got := SelfMultiRadiusCounts(tr, pts, radii, cap, lastIsDiameter, 0)
+		want := multiRadiusCountsReference[[]float64](tr, pts, radii, cap, lastIsDiameter)
+		for e := range want {
+			for i := range want[e] {
+				if got[e][i] != want[e][i] {
+					t.Fatalf("trial %d (cap=%d diam=%v): counts[%d][%d] = %d, reference = %d",
+						trial, cap, lastIsDiameter, e, i, got[e][i], want[e][i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortPairsLargeMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pairs := make([][2]int, 5000) // far above the insertion-sort threshold
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(50), rng.Intn(50)}
+	}
+	sortPairs(pairs)
+	for i := 1; i < len(pairs); i++ {
+		if lessPair(pairs[i], pairs[i-1]) {
+			t.Fatalf("pairs out of order at %d: %v > %v", i, pairs[i-1], pairs[i])
+		}
+	}
 }
 
 func TestBridgeRadii(t *testing.T) {

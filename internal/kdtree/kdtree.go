@@ -22,10 +22,10 @@ type node struct {
 	left, right *node
 }
 
-// minMaxDistToBox returns the smallest and largest Euclidean distances from
-// q to the axis-aligned box [lo, hi].
-func minMaxDistToBox(q, lo, hi []float64) (dmin, dmax float64) {
-	var smin, smax float64
+// sqMinMaxDistToBox returns the smallest and largest SQUARED Euclidean
+// distances from q to the axis-aligned box [lo, hi]. The query paths
+// compare these against squared radii, saving two math.Sqrt per node.
+func sqMinMaxDistToBox(q, lo, hi []float64) (smin, smax float64) {
 	for j := range q {
 		nearest := q[j]
 		if nearest < lo[j] {
@@ -41,7 +41,7 @@ func minMaxDistToBox(q, lo, hi []float64) (dmin, dmax float64) {
 		far := math.Max(fl, fh)
 		smax += far * far
 	}
-	return math.Sqrt(smin), math.Sqrt(smax)
+	return smin, smax
 }
 
 // Tree is a kd-tree over d-dimensional points under the Euclidean metric.
@@ -126,23 +126,25 @@ func (t *Tree) Size() int { return t.size }
 // (inclusive). Subtrees whose bounding boxes lie entirely inside (or
 // outside) the query ball contribute their stored sizes (or nothing)
 // without being descended — the count-only principle that keeps large-
-// radius counting cheap.
+// radius counting cheap. All comparisons are on squared distances, so the
+// traversal never takes a square root.
 func (t *Tree) RangeCount(q []float64, r float64) int {
+	r2 := r * r
 	count := 0
 	var visit func(n *node)
 	visit = func(n *node) {
 		if n == nil {
 			return
 		}
-		dmin, dmax := minMaxDistToBox(q, n.lo, n.hi)
-		if dmin > r {
+		smin, smax := sqMinMaxDistToBox(q, n.lo, n.hi)
+		if smin > r2 {
 			return
 		}
-		if dmax <= r {
+		if smax <= r2 {
 			count += n.size
 			return
 		}
-		if metric.Euclidean(q, n.point) <= r {
+		if metric.SquaredEuclidean(q, n.point) <= r2 {
 			count++
 		}
 		visit(n.left)
@@ -152,16 +154,79 @@ func (t *Tree) RangeCount(q []float64, r float64) int {
 	return count
 }
 
+// RangeCountMulti returns the neighbor count at every radius of the
+// ascending schedule radii from ONE tree traversal. Each node keeps the
+// window [lo, hi) of radii its box leaves unresolved: radii the box cannot
+// reach are dropped, radii that contain the whole box are credited with
+// the subtree's stored size via a difference array, and only the radii in
+// between descend. Squared distances throughout — no per-node math.Sqrt.
+// The result is element-wise identical to calling RangeCount per radius.
+func (t *Tree) RangeCountMulti(q []float64, radii []float64) []int {
+	a := len(radii)
+	diff := make([]int, a+1)
+	if t.root != nil && a > 0 {
+		r2 := make([]float64, a)
+		for e, r := range radii {
+			r2[e] = r * r
+		}
+		multiCount(t.root, q, r2, 0, a, diff)
+	}
+	for e := 1; e < a; e++ {
+		diff[e] += diff[e-1]
+	}
+	return diff[:a]
+}
+
+// multiCount resolves the squared-radius window r2[lo:hi] for the subtree
+// at n; diff is the difference array crediting element ranges in O(1).
+func multiCount(n *node, q []float64, r2 []float64, lo, hi int, diff []int) {
+	if n == nil {
+		return
+	}
+	smin, smax := sqMinMaxDistToBox(q, n.lo, n.hi)
+	for lo < hi && smin > r2[lo] {
+		lo++ // box out of reach of the smallest radii
+	}
+	nh := lo
+	for nh < hi && smax > r2[nh] {
+		nh++ // box fully inside radii [nh, hi): settle them at once
+	}
+	if nh < hi {
+		diff[nh] += n.size
+		diff[hi] -= n.size
+	}
+	if lo >= nh {
+		return
+	}
+	if d2 := metric.SquaredEuclidean(q, n.point); d2 <= r2[nh-1] {
+		b := lo
+		for d2 > r2[b] {
+			b++
+		}
+		diff[b]++
+		diff[nh]--
+	}
+	multiCount(n.left, q, r2, lo, nh, diff)
+	multiCount(n.right, q, r2, lo, nh, diff)
+}
+
 // RangeQuery returns the ids of points within distance r of q (inclusive).
 func (t *Tree) RangeQuery(q []float64, r float64) []int {
-	var ids []int
+	return t.RangeQueryAppend(q, r, nil)
+}
+
+// RangeQueryAppend appends the ids of points within distance r of q
+// (inclusive) to dst, reusing dst's capacity, and returns the extended
+// slice. It lets hot loops recycle one scratch buffer across probes.
+func (t *Tree) RangeQueryAppend(q []float64, r float64, dst []int) []int {
+	r2 := r * r
 	var visit func(n *node)
 	visit = func(n *node) {
 		if n == nil {
 			return
 		}
-		if metric.Euclidean(q, n.point) <= r {
-			ids = append(ids, n.id)
+		if metric.SquaredEuclidean(q, n.point) <= r2 {
+			dst = append(dst, n.id)
 		}
 		diff := q[n.axis] - n.point[n.axis]
 		if diff <= r {
@@ -172,7 +237,7 @@ func (t *Tree) RangeQuery(q []float64, r float64) []int {
 		}
 	}
 	visit(t.root)
-	return ids
+	return dst
 }
 
 // KNN returns ids and distances of the k nearest points to q, closest

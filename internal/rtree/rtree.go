@@ -184,9 +184,10 @@ func (n *node) computeBox(children []*node) {
 	}
 }
 
-// minMaxDist returns the smallest and largest distances from q to the box.
-func (n *node) minMaxDist(q []float64) (dmin, dmax float64) {
-	var smin, smax float64
+// sqMinMaxDist returns the smallest and largest SQUARED distances from q
+// to the box; query paths compare them against squared radii, saving two
+// math.Sqrt per node.
+func (n *node) sqMinMaxDist(q []float64) (smin, smax float64) {
 	for j := range q {
 		nearest := q[j]
 		if nearest < n.lo[j] {
@@ -200,31 +201,33 @@ func (n *node) minMaxDist(q []float64) (dmin, dmax float64) {
 		far := math.Max(math.Abs(q[j]-n.lo[j]), math.Abs(q[j]-n.hi[j]))
 		smax += far * far
 	}
-	return math.Sqrt(smin), math.Sqrt(smax)
+	return smin, smax
 }
 
 // Size returns the number of indexed points.
 func (t *Tree) Size() int { return t.sizeN }
 
-// RangeCount returns how many points lie within distance r of q.
+// RangeCount returns how many points lie within distance r of q. All
+// comparisons are on squared distances — no per-node math.Sqrt.
 func (t *Tree) RangeCount(q []float64, r float64) int {
 	if t.root == nil {
 		return 0
 	}
+	r2 := r * r
 	count := 0
 	var visit func(n *node)
 	visit = func(n *node) {
-		dmin, dmax := n.minMaxDist(q)
-		if dmin > r {
+		smin, smax := n.sqMinMaxDist(q)
+		if smin > r2 {
 			return
 		}
-		if dmax <= r {
+		if smax <= r2 {
 			count += n.size
 			return
 		}
 		if n.leaf {
 			for _, p := range n.points {
-				if metric.Euclidean(q, p) <= r {
+				if metric.SquaredEuclidean(q, p) <= r2 {
 					count++
 				}
 			}
@@ -238,22 +241,88 @@ func (t *Tree) RangeCount(q []float64, r float64) int {
 	return count
 }
 
+// RangeCountMulti returns the neighbor count at every radius of the
+// ascending schedule radii from ONE tree traversal. Each node keeps the
+// window [lo, hi) of radii its MBR leaves unresolved: radii the box cannot
+// reach are dropped, radii that contain the whole box are credited with
+// the subtree's stored size via a difference array, and only the radii in
+// between descend. The result is element-wise identical to calling
+// RangeCount per radius.
+func (t *Tree) RangeCountMulti(q []float64, radii []float64) []int {
+	a := len(radii)
+	diff := make([]int, a+1)
+	if t.root != nil && a > 0 {
+		r2 := make([]float64, a)
+		for e, r := range radii {
+			r2[e] = r * r
+		}
+		t.root.multiCount(q, r2, 0, a, diff)
+	}
+	for e := 1; e < a; e++ {
+		diff[e] += diff[e-1]
+	}
+	return diff[:a]
+}
+
+// multiCount resolves the squared-radius window r2[lo:hi] for the subtree
+// at n; diff is the difference array crediting element ranges in O(1).
+func (n *node) multiCount(q []float64, r2 []float64, lo, hi int, diff []int) {
+	smin, smax := n.sqMinMaxDist(q)
+	for lo < hi && smin > r2[lo] {
+		lo++ // box out of reach of the smallest radii
+	}
+	nh := lo
+	for nh < hi && smax > r2[nh] {
+		nh++ // box fully inside radii [nh, hi): settle them at once
+	}
+	if nh < hi {
+		diff[nh] += n.size
+		diff[hi] -= n.size
+	}
+	if lo >= nh {
+		return
+	}
+	if n.leaf {
+		for _, p := range n.points {
+			if d2 := metric.SquaredEuclidean(q, p); d2 <= r2[nh-1] {
+				b := lo
+				for d2 > r2[b] {
+					b++
+				}
+				diff[b]++
+				diff[nh]--
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		c.multiCount(q, r2, lo, nh, diff)
+	}
+}
+
 // RangeQuery returns the ids of points within distance r of q.
 func (t *Tree) RangeQuery(q []float64, r float64) []int {
+	return t.RangeQueryAppend(q, r, nil)
+}
+
+// RangeQueryAppend appends the ids of points within distance r of q
+// (inclusive) to dst, reusing dst's capacity, and returns the extended
+// slice. It lets hot loops recycle one scratch buffer across probes.
+func (t *Tree) RangeQueryAppend(q []float64, r float64, dst []int) []int {
 	if t.root == nil {
-		return nil
+		return dst
 	}
-	var ids []int
+	r2 := r * r
 	var visit func(n *node)
 	visit = func(n *node) {
-		dmin, _ := n.minMaxDist(q)
-		if dmin > r {
+		smin, _ := n.sqMinMaxDist(q)
+		if smin > r2 {
 			return
 		}
 		if n.leaf {
 			for k, p := range n.points {
-				if metric.Euclidean(q, p) <= r {
-					ids = append(ids, n.ids[k])
+				if metric.SquaredEuclidean(q, p) <= r2 {
+					dst = append(dst, n.ids[k])
 				}
 			}
 			return
@@ -263,7 +332,7 @@ func (t *Tree) RangeQuery(q []float64, r float64) []int {
 		}
 	}
 	visit(t.root)
-	return ids
+	return dst
 }
 
 // DiameterEstimate returns the root bounding box diagonal, an upper bound

@@ -1,0 +1,267 @@
+package slimtree
+
+import (
+	"sync"
+
+	"mccatch/internal/parallel"
+)
+
+// This file implements the dual-tree multi-radius self-join: the neighbor
+// counts of EVERY indexed element at EVERY radius of a nested schedule,
+// from one traversal of the tree against itself. Per-point probing — even
+// batched across radii — must re-discover the same subtree-level geometry
+// once per query point; the dual traversal instead classifies pairs of
+// subtrees: one pivot-to-pivot distance d with the two covering radii
+// bounds every element pair under the entries by [d-r1-r2, d+r1+r2], so
+// whole blocks of pairs are credited (or discarded) wholesale and only
+// pairs straddling some radius descend toward element-level distances.
+// The join is symmetric — d(x,y) = d(y,x) — so unordered entry pairs are
+// visited once and credited in both directions, halving the metric
+// evaluations again.
+
+// selfAcc collects one worker's credits: flat per-element difference rows
+// plus lazily allocated per-subtree accumulators for wholesale credits
+// (applied to every element under the node during the final merge).
+// Workers pool these and the merge just sums them, so the result is
+// identical for every worker count and schedule.
+type selfAcc[T any] struct {
+	point []int // element id i, radius e → point[i*stride+e]
+	nodes map[*node[T]][]int
+}
+
+// dualCtx is one traversal unit's context: the distance-call counter, the
+// radius schedule and the unit's accumulator.
+type dualCtx[T any] struct {
+	visitState[T]
+	radii  []float64
+	stride int // len(radii)+1
+	acc    *selfAcc[T]
+}
+
+// CountAllMulti returns counts[e][id] = the number of indexed elements
+// within radii[e] of element id (inclusive, so ≥ 1), for every indexed
+// element and every radius of the ascending schedule radii — the Step II
+// self-join — computed by a dual-tree traversal instead of per-element
+// probes. Counts are exact: bounds only ever defer ambiguous pairs, never
+// approximate them. workers ≤ 0 means all cores, 1 means serial; the
+// result is identical for every value.
+func (t *Tree[T]) CountAllMulti(radii []float64, workers int) [][]int {
+	a := len(radii)
+	counts := make([][]int, a)
+	n := t.size
+	for e := range counts {
+		counts[e] = make([]int, n)
+	}
+	if t.root == nil || a == 0 || n == 0 {
+		return counts
+	}
+	stride := a + 1
+
+	// The units are the unordered pairs of root entries (self-pairs
+	// included). Each takes a pooled accumulator; the pool keeps every
+	// accumulator it ever creates on a list, so the merge sees all of
+	// them no matter how units were scheduled.
+	root := t.root.entries
+	k := len(root)
+	type unit struct{ i, j int }
+	units := make([]unit, 0, k*(k+1)/2)
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			units = append(units, unit{i, j})
+		}
+	}
+	var mu sync.Mutex
+	var accs []*selfAcc[T]
+	pool := sync.Pool{New: func() any {
+		ac := &selfAcc[T]{point: make([]int, n*stride), nodes: make(map[*node[T]][]int)}
+		mu.Lock()
+		accs = append(accs, ac)
+		mu.Unlock()
+		return ac
+	}}
+	parallel.For(workers, len(units), func(u int) {
+		c := dualCtx[T]{visitState: visitState[T]{t: t}, radii: radii, stride: stride}
+		c.acc = pool.Get().(*selfAcc[T])
+		if units[u].i == units[u].j {
+			// Root entries have no live parent pivot (their dPar is
+			// stale by construction), so no prefilter applies up here.
+			c.selfVisit(&root[units[u].i], 0, a)
+		} else {
+			c.symVisit(&root[units[u].i], &root[units[u].j], 0, a)
+		}
+		pool.Put(c.acc)
+		t.distCalls.Add(c.calls)
+	})
+
+	// Merge: sum the flat rows, push the wholesale subtree credits down
+	// to their elements, then prefix-sum each element's difference row.
+	merged := make([]int, n*stride)
+	for _, ac := range accs {
+		for i, v := range ac.point {
+			merged[i] += v
+		}
+		for nd, diff := range ac.nodes {
+			addToSubtree(nd, diff, merged, stride)
+		}
+	}
+	parallel.For(workers, n, func(i int) {
+		run := 0
+		row := merged[i*stride:]
+		for e := 0; e < a; e++ {
+			run += row[e]
+			counts[e][i] = run
+		}
+	})
+	return counts
+}
+
+// addToSubtree adds a difference row to every element under n.
+func addToSubtree[T any](n *node[T], diff, merged []int, stride int) {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.child != nil {
+			addToSubtree(e.child, diff, merged, stride)
+			continue
+		}
+		row := merged[e.id*stride:]
+		for k, v := range diff {
+			row[k] += v
+		}
+	}
+}
+
+// credit adds c to every radius in [from, to) for every element under e:
+// directly into the element's difference row for leaf entries, into the
+// subtree's wholesale accumulator otherwise.
+func (c *dualCtx[T]) credit(e *entry[T], from, to, cnt int) {
+	if e.child == nil {
+		row := c.acc.point[e.id*c.stride:]
+		row[from] += cnt
+		row[to] -= cnt
+		return
+	}
+	diff := c.acc.nodes[e.child]
+	if diff == nil {
+		diff = make([]int, c.stride)
+		c.acc.nodes[e.child] = diff
+	}
+	diff[from] += cnt
+	diff[to] -= cnt
+}
+
+// symVisit classifies the unordered pair of DISTINCT entries (ae, be) for
+// the radius window [lo, hi): radii below lo are already known to
+// separate the two subtrees, radii at and above hi have already been
+// credited by an ancestor pair. Every credit goes both ways — be's
+// elements to ae's rows and vice versa — so each unordered pair is
+// traversed exactly once.
+func (c *dualCtx[T]) symVisit(ae, be *entry[T], lo, hi int) {
+	d := c.d(ae.pivot, be.pivot)
+	sum := ae.radius + be.radius
+	radii := c.radii
+	// Any pair of elements under (ae, be) lies within [d-sum, d+sum].
+	lb := d - sum
+	for lo < hi && lb > radii[lo] {
+		lo++ // the subtrees are fully separated at the smallest radii
+	}
+	nh := lo
+	ub := d + sum
+	for nh < hi && ub > radii[nh] {
+		nh++ // radii [nh, hi) contain every pair: settle them at once
+	}
+	if nh < hi {
+		c.credit(ae, nh, hi, be.count)
+		c.credit(be, nh, hi, ae.count)
+	}
+	if lo >= nh {
+		return // nothing ambiguous (always the case for element pairs)
+	}
+	// Descend the side with the larger covering ball; ties and leaf
+	// entries keep the descent deterministic. Child pairs are prefiltered
+	// with the stored parent distances (the triangle trick rangeVisit
+	// uses): |d - dPar| bounds the child pivot distance from below and
+	// d + dPar from above — the upper bound can settle a child pair
+	// wholesale without a metric evaluation.
+	down, other := ae, be
+	if ae.child == nil || (be.child != nil && be.radius > ae.radius) {
+		down, other = be, ae
+	}
+	entries := down.child.entries
+	for i := range entries {
+		ce := &entries[i]
+		csum := ce.radius + other.radius
+		clb := d - ce.dPar
+		if clb < ce.dPar-d {
+			clb = ce.dPar - d
+		}
+		clb -= csum
+		b := lo
+		for b < nh && clb > radii[b] {
+			b++
+		}
+		if b == nh {
+			continue
+		}
+		if d+ce.dPar+csum <= radii[b] {
+			c.credit(ce, b, nh, other.count)
+			c.credit(other, b, nh, ce.count)
+			continue
+		}
+		c.symVisit(ce, other, b, nh)
+	}
+}
+
+// selfVisit classifies the pair of entry ae's subtree with itself for the
+// radius window [lo, hi). All pairs lie within 2·ae.radius, so radii at
+// and above that settle wholesale (each element gains the whole subtree,
+// itself included); the ambiguous radii descend into child pairs —
+// unordered cross pairs plus each child against itself. An element's self
+// pair bottoms out here, crediting 1 at every remaining radius.
+func (c *dualCtx[T]) selfVisit(ae *entry[T], lo, hi int) {
+	if ae.child == nil {
+		c.credit(ae, lo, hi, 1) // d(x, x) = 0 ≤ every radius
+		return
+	}
+	radii := c.radii
+	nh := lo
+	ub := 2 * ae.radius
+	for nh < hi && ub > radii[nh] {
+		nh++
+	}
+	if nh < hi {
+		c.credit(ae, nh, hi, ae.count)
+	}
+	if lo >= nh {
+		return
+	}
+	entries := ae.child.entries
+	for i := range entries {
+		ci := &entries[i]
+		c.selfVisit(ci, lo, nh)
+		for j := i + 1; j < len(entries); j++ {
+			cj := &entries[j]
+			// Siblings share a parent pivot: their stored parent
+			// distances bound d(ci, cj) within |dPar_i - dPar_j| and
+			// dPar_i + dPar_j.
+			csum := ci.radius + cj.radius
+			clb := ci.dPar - cj.dPar
+			if clb < 0 {
+				clb = -clb
+			}
+			clb -= csum
+			b := lo
+			for b < nh && clb > radii[b] {
+				b++
+			}
+			if b == nh {
+				continue
+			}
+			if ci.dPar+cj.dPar+csum <= radii[b] {
+				c.credit(ci, b, nh, cj.count)
+				c.credit(cj, b, nh, ci.count)
+				continue
+			}
+			c.symVisit(ci, cj, b, nh)
+		}
+	}
+}

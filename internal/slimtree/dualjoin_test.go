@@ -1,0 +1,120 @@
+package slimtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// assertCountAllMatches checks the dual-tree self-join contract: for every
+// indexed element and every radius, CountAllMulti must equal the
+// per-element RangeCount — for every worker count.
+func assertCountAllMatches[T any](t *testing.T, label string, tr *Tree[T], items []T, radii []float64) {
+	t.Helper()
+	for _, workers := range []int{1, 4} {
+		got := tr.CountAllMulti(radii, workers)
+		if len(got) != len(radii) {
+			t.Fatalf("%s: %d rows, want %d", label, len(got), len(radii))
+		}
+		for e, r := range radii {
+			for i, it := range items {
+				if want := tr.RangeCount(it, r); got[e][i] != want {
+					t.Fatalf("%s (workers=%d): counts[%d][%d] (r=%v) = %d, want RangeCount = %d",
+						label, workers, e, i, r, got[e][i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountAllMultiMatchesRangeCountVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 20 + rng.Intn(300)
+		dim := 1 + rng.Intn(4)
+		pts := randPoints(rng, n, dim)
+		for i := rng.Intn(25); i > 0; i-- { // duplicates stress zero radii
+			pts = append(pts, append([]float64(nil), pts[rng.Intn(len(pts))]...))
+		}
+		capacity := []int{0, 4, 8}[trial%3]
+		tr := New(metric.Euclidean, capacity, pts)
+		assertCountAllMatches(t, fmt.Sprintf("vectors/trial%d", trial), tr, pts, randRadii(rng, 150))
+	}
+}
+
+func TestCountAllMultiMatchesRangeCountStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	words := make([]string, 0, 150)
+	for i := 0; i < 150; i++ {
+		stem := []byte("dualtreetraversal")
+		for j := rng.Intn(5); j > 0; j-- {
+			stem[rng.Intn(len(stem))] = byte('a' + rng.Intn(26))
+		}
+		words = append(words, string(stem[:5+rng.Intn(11)]))
+	}
+	tr := New(metric.Levenshtein, 8, words)
+	assertCountAllMatches(t, "strings", tr, words, []float64{0, 1, 2, 3, 5, 8, 13, 21})
+}
+
+func TestCountAllMultiMatchesRangeCountPointSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sets := make([]metric.PointSet, 0, 100)
+	for i := 0; i < 100; i++ {
+		cx, cy := rng.Float64()*10, rng.Float64()*10
+		s := make(metric.PointSet, 2+rng.Intn(5))
+		for j := range s {
+			s[j] = []float64{cx + rng.NormFloat64()*0.4, cy + rng.NormFloat64()*0.4}
+		}
+		sets = append(sets, s)
+	}
+	tr := New(metric.Hausdorff, 0, sets)
+	assertCountAllMatches(t, "pointsets", tr, sets, randRadii(rng, 15))
+}
+
+func TestCountAllMultiEdges(t *testing.T) {
+	// Empty tree.
+	empty := New(metric.Euclidean, 0, nil)
+	if got := empty.CountAllMulti([]float64{1, 2}, 1); len(got) != 2 || len(got[0]) != 0 {
+		t.Errorf("empty tree: got %v, want two empty rows", got)
+	}
+	// Empty radii.
+	tr := New(metric.Euclidean, 0, [][]float64{{0, 0}, {3, 0}})
+	if got := tr.CountAllMulti(nil, 1); len(got) != 0 {
+		t.Errorf("empty radii: got %v, want no rows", got)
+	}
+	// Singleton and all-duplicates (zero distances everywhere).
+	dup := New(metric.Euclidean, 0, [][]float64{{5, 5}, {5, 5}, {5, 5}})
+	got := dup.CountAllMulti([]float64{0, 1}, 1)
+	for e := range got {
+		for i := range got[e] {
+			if got[e][i] != 3 {
+				t.Errorf("duplicates: counts[%d][%d] = %d, want 3", e, i, got[e][i])
+			}
+		}
+	}
+}
+
+// TestCountAllMultiRepeatable guards the scratch-space cleanup: a second
+// call on the same tree must see clean accumulators and return the same
+// matrix.
+func TestCountAllMultiRepeatable(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts := randPoints(rng, 200, 2)
+	tr := New(metric.Euclidean, 0, pts)
+	radii := randRadii(rng, 150)
+	first := tr.CountAllMulti(radii, 1)
+	second := tr.CountAllMulti(radii, 2)
+	for e := range first {
+		for i := range first[e] {
+			if first[e][i] != second[e][i] {
+				t.Fatalf("second call differs at [%d][%d]: %d vs %d", e, i, first[e][i], second[e][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package slimtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// randRadii returns an ascending radius schedule mixing tiny, mid and
+// beyond-diameter values, optionally with duplicates.
+func randRadii(rng *rand.Rand, a float64) []float64 {
+	n := 1 + rng.Intn(16)
+	radii := make([]float64, n)
+	r := a * (0.001 + rng.Float64()*0.01)
+	for e := range radii {
+		radii[e] = r
+		if rng.Intn(6) > 0 {
+			r *= 1.3 + rng.Float64()*1.5
+		}
+	}
+	return radii
+}
+
+// assertMultiMatches checks the batched-counting contract on one tree: one
+// traversal must return exactly [RangeCount(r) for r in radii].
+func assertMultiMatches[T any](t *testing.T, label string, tr *Tree[T], queries []T, radii []float64) {
+	t.Helper()
+	for _, q := range queries {
+		got := tr.RangeCountMulti(q, radii)
+		for e, r := range radii {
+			if want := tr.RangeCount(q, r); got[e] != want {
+				t.Fatalf("%s: RangeCountMulti[%d] (r=%v) = %d, want RangeCount = %d",
+					label, e, r, got[e], want)
+			}
+		}
+	}
+}
+
+func TestRangeCountMultiMatchesRepeatedRangeCountVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + rng.Intn(400)
+		dim := 1 + rng.Intn(5)
+		pts := randPoints(rng, n, dim)
+		for i := rng.Intn(20); i > 0; i-- { // duplicates stress zero distances
+			pts = append(pts, append([]float64(nil), pts[rng.Intn(len(pts))]...))
+		}
+		capacity := []int{0, 4, 8}[trial%3]
+		tr := New(metric.Euclidean, capacity, pts)
+		var queries [][]float64
+		for q := 0; q < 10; q++ {
+			if q%3 == 0 {
+				queries = append(queries, randPoints(rng, 1, dim)[0])
+			} else {
+				queries = append(queries, pts[rng.Intn(len(pts))])
+			}
+		}
+		assertMultiMatches(t, "vectors", tr, queries, randRadii(rng, 150))
+	}
+}
+
+func TestRangeCountMultiMatchesRepeatedRangeCountStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	words := make([]string, 0, 200)
+	for i := 0; i < 200; i++ {
+		stem := []byte("metricaccessmethod")
+		for j := rng.Intn(5); j > 0; j-- {
+			stem[rng.Intn(len(stem))] = byte('a' + rng.Intn(26))
+		}
+		words = append(words, string(stem[:6+rng.Intn(10)]))
+	}
+	tr := New(metric.Levenshtein, 8, words)
+	// Integer-valued metric: probe at integer and fractional radii.
+	radii := []float64{0, 1, 1.5, 2, 3, 5, 8, 13, 21}
+	assertMultiMatches(t, "strings", tr, words[:25], radii)
+}
+
+func TestRangeCountMultiMatchesRepeatedRangeCountPointSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	sets := make([]metric.PointSet, 0, 120)
+	for i := 0; i < 120; i++ {
+		cx, cy := rng.Float64()*10, rng.Float64()*10
+		s := make(metric.PointSet, 2+rng.Intn(6))
+		for j := range s {
+			s[j] = []float64{cx + rng.NormFloat64()*0.4, cy + rng.NormFloat64()*0.4}
+		}
+		sets = append(sets, s)
+	}
+	tr := New(metric.Hausdorff, 0, sets)
+	assertMultiMatches(t, "pointsets", tr, sets[:20], randRadii(rng, 15))
+}
+
+func TestRangeCountMultiEdges(t *testing.T) {
+	tr := New(metric.Euclidean, 0, [][]float64{{0, 0}, {1, 0}, {4, 0}})
+	if got := tr.RangeCountMulti([]float64{0, 0}, nil); len(got) != 0 {
+		t.Errorf("empty radii should give empty counts, got %v", got)
+	}
+	if got := tr.RangeCountMulti([]float64{0, 0}, []float64{2}); len(got) != 1 || got[0] != 2 {
+		t.Errorf("single radius: got %v, want [2]", got)
+	}
+	var empty Tree[[]float64]
+	empty.dist = metric.Euclidean
+	if got := empty.RangeCountMulti([]float64{0, 0}, []float64{1, 2}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty tree should count 0 everywhere, got %v", got)
+	}
+}
+
+func TestRangeQueryAppendReusesBuffer(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {9, 9}}
+	tr := New(metric.Euclidean, 0, pts)
+	buf := make([]int, 0, 8)
+	got := tr.RangeQueryAppend([]float64{0, 0}, 1.5, buf)
+	if len(got) != 2 || cap(got) != 8 {
+		t.Errorf("RangeQueryAppend = %v (cap %d), want 2 ids in the caller's buffer", got, cap(got))
+	}
+}

@@ -239,18 +239,125 @@ func (t *Tree[T]) RangeCount(q T, r float64) int {
 	if t.root == nil {
 		return 0
 	}
-	return t.rangeVisit(t.root, q, r, math.NaN(), nil)
+	v := visitState[T]{t: t}
+	count := v.rangeVisit(t.root, q, r, math.NaN(), nil)
+	t.distCalls.Add(v.calls)
+	return count
 }
 
 // RangeQuery returns the ids of elements within distance r of q (inclusive),
 // in no particular order.
 func (t *Tree[T]) RangeQuery(q T, r float64) []int {
+	return t.RangeQueryAppend(q, r, nil)
+}
+
+// RangeQueryAppend appends the ids of elements within distance r of q
+// (inclusive) to dst, reusing dst's capacity, and returns the extended
+// slice. It lets hot loops recycle one scratch buffer across probes.
+func (t *Tree[T]) RangeQueryAppend(q T, r float64, dst []int) []int {
 	if t.root == nil {
-		return nil
+		return dst
 	}
-	var ids []int
-	t.rangeVisit(t.root, q, r, math.NaN(), &ids)
-	return ids
+	v := visitState[T]{t: t}
+	v.rangeVisit(t.root, q, r, math.NaN(), &dst)
+	t.distCalls.Add(v.calls)
+	return dst
+}
+
+// visitState carries one query's traversal context: the metric evaluations
+// are counted locally and flushed to the tree's atomic counter once per
+// query, keeping an atomic read-modify-write (and its cache-line
+// contention under concurrent probes) out of the innermost loop.
+type visitState[T any] struct {
+	t     *Tree[T]
+	calls int64
+}
+
+func (v *visitState[T]) d(a, b T) float64 {
+	v.calls++
+	return v.t.dist(a, b)
+}
+
+// RangeCountMulti returns the neighbor count at every radius of the
+// ascending schedule radii from ONE tree traversal. The traversal keeps,
+// per subtree, the window [lo, hi) of radii still unresolved: an entry
+// whose covering ball lies inside radii[e] is credited (via its stored
+// element count) to every radius ≥ e without being descended, and radii
+// the entry's ball cannot reach are dropped from the window, so each
+// node-pruning decision is derived once for the whole schedule instead of
+// once per radius. The result is element-wise identical to calling
+// RangeCount per radius: every classification reuses the exact comparison
+// expressions of rangeVisit on the same computed distances.
+func (t *Tree[T]) RangeCountMulti(q T, radii []float64) []int {
+	a := len(radii)
+	// diff is a difference array: crediting c elements to radii [b, hi)
+	// costs O(1); the final counts are its prefix sums.
+	diff := make([]int, a+1)
+	if t.root != nil && a > 0 {
+		v := visitState[T]{t: t}
+		v.multiVisit(t.root, q, radii, math.NaN(), 0, a, diff)
+		t.distCalls.Add(v.calls)
+	}
+	for e := 1; e < a; e++ {
+		diff[e] += diff[e-1]
+	}
+	return diff[:a]
+}
+
+// multiVisit resolves the radius window [lo, hi) for the subtree at n:
+// radii below lo are already known to exclude the whole subtree, radii at
+// and above hi have already been credited with it by an ancestor. dq is
+// the distance from q to n's parent pivot (NaN at the root). All radius
+// thresholds are scanned linearly: the schedule is tiny (a ≤ ~15) and the
+// predicates are monotone in the radius, so the scans stop early.
+func (v *visitState[T]) multiVisit(n *node[T], q T, radii []float64, dq float64, lo, hi int, diff []int) {
+	for i := range n.entries {
+		e := &n.entries[i]
+		// Triangle prefilter, per radius: the smallest radius the entry
+		// can touch is the first with |d(q,parent) - d(pivot,parent)| ≤
+		// radii[b] + e.radius (the same test rangeVisit applies per probe).
+		b := lo
+		if !math.IsNaN(dq) {
+			for b < hi && math.Abs(dq-e.dPar) > radii[b]+e.radius {
+				b++
+			}
+			if b == hi {
+				continue // outside every unresolved radius
+			}
+		}
+		d := v.d(q, e.pivot)
+		if n.leaf {
+			// Element at distance d: credit radii [b', hi) where b' is the
+			// first unfiltered radius with d ≤ radii[b'].
+			for b < hi && d > radii[b] {
+				b++
+			}
+			if b < hi {
+				diff[b]++
+				diff[hi]--
+			}
+			continue
+		}
+		// Internal entry: radii below newLo cannot reach the covering ball
+		// (rangeVisit's descend test d ≤ r + radius fails); radii at and
+		// above newHi contain it entirely (rangeVisit's count-only test
+		// d + radius ≤ r holds), so its stored count settles them at once.
+		newLo := b
+		for newLo < hi && d > radii[newLo]+e.radius {
+			newLo++
+		}
+		newHi := newLo
+		for newHi < hi && d+e.radius > radii[newHi] {
+			newHi++
+		}
+		if newHi < hi {
+			diff[newHi] += e.count
+			diff[hi] -= e.count
+		}
+		if newLo < newHi {
+			v.multiVisit(e.child, q, radii, d, newLo, newHi, diff)
+		}
+	}
 }
 
 // rangeVisit counts (and optionally collects) elements within r of q in the
@@ -262,7 +369,7 @@ func (t *Tree[T]) RangeQuery(q T, r float64) []int {
 // without being descended — the paper's count-only principle, which makes
 // large-radius counting cost proportional to the ball boundary rather than
 // the ball volume.
-func (t *Tree[T]) rangeVisit(n *node[T], q T, r float64, dq float64, ids *[]int) int {
+func (v *visitState[T]) rangeVisit(n *node[T], q T, r float64, dq float64, ids *[]int) int {
 	count := 0
 	for i := range n.entries {
 		e := &n.entries[i]
@@ -270,7 +377,7 @@ func (t *Tree[T]) rangeVisit(n *node[T], q T, r float64, dq float64, ids *[]int)
 		if !math.IsNaN(dq) && math.Abs(dq-e.dPar) > r+e.radius {
 			continue
 		}
-		d := t.d(q, e.pivot)
+		d := v.d(q, e.pivot)
 		if n.leaf {
 			if d <= r {
 				count++
@@ -285,7 +392,7 @@ func (t *Tree[T]) rangeVisit(n *node[T], q T, r float64, dq float64, ids *[]int)
 			continue
 		}
 		if d <= r+e.radius {
-			count += t.rangeVisit(e.child, q, r, d, ids)
+			count += v.rangeVisit(e.child, q, r, d, ids)
 		}
 	}
 	return count
