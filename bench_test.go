@@ -213,12 +213,36 @@ func randPoints(n, dim int) [][]float64 {
 	return pts
 }
 
-func BenchmarkSlimTreeBuild10k(b *testing.B) {
+// The build pair the CI bench gate watches: the bulk load must stay well
+// ahead of the incremental insert path it replaced as the default.
+func BenchmarkSlimTreeBuildInsert10k(b *testing.B) {
 	b.ReportAllocs()
 	pts := randPoints(10000, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		slimtree.New(metric.Euclidean, 0, pts)
+	}
+}
+
+func BenchmarkSlimTreeBuildBulk10k(b *testing.B) {
+	b.ReportAllocs()
+	pts := randPoints(10000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimtree.NewBulk(metric.Euclidean, 0, pts)
+	}
+}
+
+// The legacy insertion-built pipeline against the bulk-loaded default —
+// the end-to-end read on what the low-overlap tree buys Step II-IV.
+func BenchmarkPipelineN10k2dInsertionBuild(b *testing.B) {
+	b.ReportAllocs()
+	pts := data.Uniform(10000, 2, 1).Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mccatch.RunVectors(pts, mccatch.WithWorkers(1), mccatch.WithInsertionBuild()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -329,6 +353,42 @@ func benchMultiCount(b *testing.B, kind string, batched bool) {
 			for _, r := range radii {
 				t.RangeCount(q, r)
 			}
+		}
+	}
+}
+
+// The Step II self-join on each backend, gated per-point probes against
+// the dual-tree traversal (all three trees implement
+// index.SelfMultiCounter as of this PR). Identical matrices, very
+// different traversal counts.
+func BenchmarkSelfJoinGatedSlim(b *testing.B) { benchSelfJoin(b, "slim", false) }
+func BenchmarkSelfJoinDualSlim(b *testing.B)  { benchSelfJoin(b, "slim", true) }
+func BenchmarkSelfJoinGatedKD(b *testing.B)   { benchSelfJoin(b, "kd", false) }
+func BenchmarkSelfJoinDualKD(b *testing.B)    { benchSelfJoin(b, "kd", true) }
+func BenchmarkSelfJoinGatedR(b *testing.B)    { benchSelfJoin(b, "r", false) }
+func BenchmarkSelfJoinDualR(b *testing.B)     { benchSelfJoin(b, "r", true) }
+
+func benchSelfJoin(b *testing.B, kind string, dual bool) {
+	b.Helper()
+	b.ReportAllocs()
+	pts := randPoints(10000, 2)
+	var t index.Index[[]float64]
+	switch kind {
+	case "slim":
+		t = slimtree.NewBulk(metric.Euclidean, 0, pts)
+	case "kd":
+		t = kdtree.New(pts)
+	case "r":
+		t = rtree.New(pts, 0)
+	}
+	radii := geomRadii(t.DiameterEstimate(), 15)
+	cap := len(pts) / 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dual {
+			join.SelfMultiRadiusCounts(t, pts, radii, cap, true, 1)
+		} else {
+			join.MultiRadiusCounts(t, pts, radii, cap, true, 1)
 		}
 	}
 }

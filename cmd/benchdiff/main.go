@@ -1,0 +1,225 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares the
+// medians of a fresh `go test -bench -count=N` run against the committed
+// baseline (BENCH_3.json's "ci_baseline" section) and exits nonzero when
+// any gated benchmark's median ns/op regressed by more than the threshold.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '<gate pattern>' -count=5 -benchtime=200ms . | tee bench.txt
+//	go run ./cmd/benchdiff -baseline BENCH_3.json bench.txt
+//
+// Medians (not means) absorb the odd scheduling hiccup of shared CI
+// runners; the -count repetitions exist precisely to feed them. Every
+// baseline benchmark must appear in the fresh run — a missing benchmark
+// fails the gate, so a renamed or deleted benchmark cannot silently
+// disable its guard. Benchmarks in the run but not in the baseline are
+// reported and ignored, so adding benchmarks does not require touching
+// the gate. To refresh the baseline after an intentional perf change, run
+// the same bench command on the reference machine and copy the medians
+// into the "ci_baseline" map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the subset of BENCH_3.json the gate consumes.
+type baselineFile struct {
+	CIBaseline map[string]float64 `json:"ci_baseline"`
+}
+
+// pairFlag collects repeated -pair FAST<SLOW assertions.
+type pairFlag []string
+
+func (p *pairFlag) String() string     { return strings.Join(*p, ",") }
+func (p *pairFlag) Set(s string) error { *p = append(*p, s); return nil }
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_3.json", "committed baseline JSON with a ci_baseline map of benchmark → median ns/op")
+	threshold := flag.Float64("threshold", 1.25, "fail when median ns/op exceeds baseline × threshold (1.25 = >25% regression)")
+	var pairs pairFlag
+	flag.Var(&pairs, "pair", "same-run relative gate 'BenchmarkFast<BenchmarkSlow': fail unless Fast's median beats Slow's; repeatable, machine-independent (both sides share the runner), so it holds even where the absolute baseline does not transfer")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("open bench output: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	medians, err := parseMedians(in)
+	if err != nil {
+		fatalf("parse bench output: %v", err)
+	}
+	report, failures := compare(base, medians, *threshold)
+	fmt.Print(report)
+	pairReport, pairFailures, err := comparePairs(pairs, medians)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(pairReport)
+	failures = append(failures, pairFailures...)
+	if len(failures) > 0 {
+		fmt.Printf("FAIL: %d benchmark(s) regressed beyond %.0f%% of baseline\n", len(failures), (*threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("OK: no benchmark regressed beyond the threshold")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func loadBaseline(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("decode baseline %s: %w", path, err)
+	}
+	if len(bf.CIBaseline) == 0 {
+		return nil, fmt.Errorf("baseline %s has no ci_baseline entries", path)
+	}
+	return bf.CIBaseline, nil
+}
+
+// parseMedians extracts per-benchmark median ns/op from `go test -bench`
+// output. Result lines look like
+//
+//	BenchmarkPipelineN10k2dSerial-4   3   421647908 ns/op   1234 B/op ...
+//
+// The -4 GOMAXPROCS suffix is stripped so baselines survive runner-shape
+// changes; with -count=N the same name repeats N times and the median of
+// the repetitions is returned.
+func parseMedians(r io.Reader) (map[string]float64, error) {
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// Find the "ns/op" column; its left neighbor is the value.
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value on line %q", sc.Text())
+			}
+			samples[name] = append(samples[name], v)
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	medians := make(map[string]float64, len(samples))
+	for name, vs := range samples {
+		sort.Float64s(vs)
+		m := len(vs) / 2
+		if len(vs)%2 == 0 {
+			medians[name] = (vs[m-1] + vs[m]) / 2
+		} else {
+			medians[name] = vs[m]
+		}
+	}
+	return medians, nil
+}
+
+// compare renders a per-benchmark table and returns the names that failed
+// the gate: regressed beyond the threshold, or missing from the run.
+func compare(base, medians map[string]float64, threshold float64) (report string, failures []string) {
+	var b strings.Builder
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base[name]
+		got, ok := medians[name]
+		if !ok {
+			fmt.Fprintf(&b, "%-44s baseline %14.0f ns/op  MISSING from bench output\n", name, want)
+			failures = append(failures, name)
+			continue
+		}
+		ratio := got / want
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSED"
+			failures = append(failures, name)
+		}
+		fmt.Fprintf(&b, "%-44s baseline %14.0f  median %14.0f  ratio %5.2fx  %s\n", name, want, got, ratio, verdict)
+	}
+	extra := make([]string, 0)
+	for name := range medians {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(&b, "%-44s (not gated: no baseline entry)\n", name)
+	}
+	return b.String(), failures
+}
+
+// comparePairs checks the -pair relative gates: each "Fast<Slow" spec
+// requires Fast's median to be strictly below Slow's in THIS run. Both
+// sides ran on the same machine minutes apart, so the assertion transfers
+// across runner hardware where the absolute baseline cannot. A side
+// missing from the run fails the gate like a missing baseline benchmark.
+func comparePairs(specs []string, medians map[string]float64) (report string, failures []string, err error) {
+	var b strings.Builder
+	for _, spec := range specs {
+		fast, slow, ok := strings.Cut(spec, "<")
+		if !ok {
+			return "", nil, fmt.Errorf("bad -pair %q: want 'BenchmarkFast<BenchmarkSlow'", spec)
+		}
+		fv, fok := medians[fast]
+		sv, sok := medians[slow]
+		switch {
+		case !fok || !sok:
+			missing := fast
+			if fok {
+				missing = slow
+			}
+			fmt.Fprintf(&b, "pair %-40s MISSING %s from bench output\n", spec, missing)
+			failures = append(failures, spec)
+		case fv < sv:
+			fmt.Fprintf(&b, "pair %-40s ok (%.0f < %.0f, %.2fx)\n", spec, fv, sv, sv/fv)
+		default:
+			fmt.Fprintf(&b, "pair %-40s INVERTED (%.0f >= %.0f)\n", spec, fv, sv)
+			failures = append(failures, spec)
+		}
+	}
+	return b.String(), failures, nil
+}

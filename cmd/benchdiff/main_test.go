@@ -1,0 +1,133 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: mccatch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineN10k2dSerial-4   	       3	 400000000 ns/op	  100 B/op	 10 allocs/op
+BenchmarkPipelineN10k2dSerial-4   	       3	 440000000 ns/op	  100 B/op	 10 allocs/op
+BenchmarkPipelineN10k2dSerial-4   	       3	 980000000 ns/op	  100 B/op	 10 allocs/op
+BenchmarkSlimTreeBuildBulk10k-4   	     100	  14000000 ns/op
+BenchmarkSlimTreeBuildBulk10k-4   	     100	  15000000 ns/op
+BenchmarkSlimTreeBuildBulk10k-4   	     100	  13000000 ns/op
+BenchmarkExtraUngated-4           	       1	   1000000 ns/op
+PASS
+`
+
+func TestParseMediansStripsSuffixAndTakesMedian(t *testing.T) {
+	m, err := parseMedians(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median of {400ms, 440ms, 980ms} is 440ms: the one-off 980ms spike
+	// (a noisy neighbor on a shared runner) must not move the gate.
+	if got := m["BenchmarkPipelineN10k2dSerial"]; got != 440000000 {
+		t.Errorf("median = %v, want 440000000 (suffix stripped, spike absorbed)", got)
+	}
+	if got := m["BenchmarkSlimTreeBuildBulk10k"]; got != 14000000 {
+		t.Errorf("median = %v, want 14000000", got)
+	}
+	if _, ok := m["BenchmarkPipelineN10k2dSerial-4"]; ok {
+		t.Error("GOMAXPROCS suffix not stripped")
+	}
+}
+
+// TestCatchesSeededSlowdown is the proof the ISSUE asks for: a run whose
+// median is 30% above baseline must trip the >25% gate.
+func TestCatchesSeededSlowdown(t *testing.T) {
+	base := map[string]float64{"BenchmarkPipelineN10k2dSerial": 440000000}
+	slowed := map[string]float64{"BenchmarkPipelineN10k2dSerial": 440000000 * 1.30}
+	_, failures := compare(base, slowed, 1.25)
+	if len(failures) != 1 || failures[0] != "BenchmarkPipelineN10k2dSerial" {
+		t.Fatalf("seeded 30%% slowdown not caught: failures = %v", failures)
+	}
+}
+
+func TestPassesWithinThreshold(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkA": 100,
+		"BenchmarkB": 100,
+	}
+	run := map[string]float64{
+		"BenchmarkA": 110, // 10% slower: within the 25% budget
+		"BenchmarkB": 60,  // faster is always fine
+	}
+	report, failures := compare(base, run, 1.25)
+	if len(failures) != 0 {
+		t.Fatalf("within-threshold run failed the gate: %v\n%s", failures, report)
+	}
+}
+
+func TestMissingBenchmarkFailsGate(t *testing.T) {
+	base := map[string]float64{"BenchmarkGone": 100}
+	_, failures := compare(base, map[string]float64{}, 1.25)
+	if len(failures) != 1 {
+		t.Fatal("a baseline benchmark missing from the run must fail the gate")
+	}
+}
+
+func TestUngatedBenchmarksAreReportedNotGated(t *testing.T) {
+	base := map[string]float64{"BenchmarkA": 100}
+	run := map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 1e12}
+	report, failures := compare(base, run, 1.25)
+	if len(failures) != 0 {
+		t.Fatalf("ungated benchmark affected the gate: %v", failures)
+	}
+	if !strings.Contains(report, "BenchmarkNew") {
+		t.Error("ungated benchmark not reported")
+	}
+}
+
+// TestPairGates covers the machine-independent relative assertions: the
+// fast side must beat the slow side within the same run, and a missing
+// or malformed side must fail loudly.
+func TestPairGates(t *testing.T) {
+	medians := map[string]float64{
+		"BenchmarkBulk":   14e6,
+		"BenchmarkInsert": 76e6,
+	}
+	if _, failures, err := comparePairs([]string{"BenchmarkBulk<BenchmarkInsert"}, medians); err != nil || len(failures) != 0 {
+		t.Fatalf("healthy pair failed: %v %v", failures, err)
+	}
+	if _, failures, err := comparePairs([]string{"BenchmarkInsert<BenchmarkBulk"}, medians); err != nil || len(failures) != 1 {
+		t.Fatalf("inverted pair not caught: %v %v", failures, err)
+	}
+	if _, failures, err := comparePairs([]string{"BenchmarkBulk<BenchmarkGone"}, medians); err != nil || len(failures) != 1 {
+		t.Fatalf("missing pair side not caught: %v %v", failures, err)
+	}
+	if _, _, err := comparePairs([]string{"no-separator"}, medians); err == nil {
+		t.Fatal("malformed -pair accepted")
+	}
+}
+
+// TestEndToEndAgainstParsedOutput wires parse + compare the way main does:
+// the committed-style baseline catches a 2x inflation of the same output.
+func TestEndToEndAgainstParsedOutput(t *testing.T) {
+	m, err := parseMedians(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]float64{
+		"BenchmarkPipelineN10k2dSerial": 440000000,
+		"BenchmarkSlimTreeBuildBulk10k": 14000000,
+	}
+	if _, failures := compare(base, m, 1.25); len(failures) != 0 {
+		t.Fatalf("clean run tripped the gate: %v", failures)
+	}
+	inflated := strings.ReplaceAll(benchOut, " 14000000 ns/op", " 28000000 ns/op")
+	inflated = strings.ReplaceAll(inflated, " 15000000 ns/op", " 30000000 ns/op")
+	inflated = strings.ReplaceAll(inflated, " 13000000 ns/op", " 26000000 ns/op")
+	m2, err := parseMedians(strings.NewReader(inflated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, failures := compare(base, m2, 1.25)
+	if len(failures) != 1 || failures[0] != "BenchmarkSlimTreeBuildBulk10k" {
+		t.Fatalf("2x inflated build pair not caught: %v", failures)
+	}
+}

@@ -40,6 +40,7 @@ func main() {
 		summary = flag.Bool("summary", false, "print the explainability summary (radii, cutoff, ranked mcs)")
 		explain = flag.Int("explain", -1, "explain why one point (by index) scored the way it did")
 		workers = flag.Int("workers", 0, "concurrent workers (0 = all cores, 1 = serial; output is identical)")
+		insert  = flag.Bool("insertion-build", false, "build slim-trees with the legacy insert path instead of bulk loading (slower; output is identical)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,9 @@ func main() {
 	}
 	if *workers != 0 {
 		opts = append(opts, mccatch.WithWorkers(*workers))
+	}
+	if *insert {
+		opts = append(opts, mccatch.WithInsertionBuild())
 	}
 
 	var res *mccatch.Result

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// TestBulkAndInsertionBuildsAgree pins the bulk-load guarantee at the
+// pipeline level: because the bulk-loaded and insertion-built slim-trees
+// are query-equivalent and the diameter estimate depends only on the data,
+// the ENTIRE detection Result — microclusters, scores, oracle plot, radii,
+// histogram, cutoff — must be identical whichever build produced the
+// trees, on every data modality.
+func TestBulkAndInsertionBuildsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		var pts [][]float64
+		for b := 0; b < 1+rng.Intn(3); b++ {
+			cx, cy := rng.Float64()*80, rng.Float64()*80
+			sigma := 0.3 + rng.Float64()*2
+			for i := 0; i < 80+rng.Intn(400); i++ {
+				pts = append(pts, []float64{cx + rng.NormFloat64()*sigma, cy + rng.NormFloat64()*sigma})
+			}
+		}
+		for i := 2 + rng.Intn(6); i > 0; i-- { // scatter
+			pts = append(pts, []float64{rng.Float64()*200 - 60, rng.Float64()*200 - 60})
+		}
+		for i := rng.Intn(15); i > 0; i-- { // duplicates
+			pts = append(pts, append([]float64(nil), pts[rng.Intn(len(pts))]...))
+		}
+		base := Params{Cost: metric.VectorCost(2), TreeCapacity: []int{0, 8}[trial%2]}
+
+		bulk, err := Run(pts, metric.Euclidean, base)
+		if err != nil {
+			t.Fatalf("trial %d bulk: %v", trial, err)
+		}
+		ins := base
+		ins.InsertionBuild = true
+		legacy, err := Run(pts, metric.Euclidean, ins)
+		if err != nil {
+			t.Fatalf("trial %d insertion: %v", trial, err)
+		}
+		assertSameResult(t, trial, bulk, legacy)
+	}
+}
+
+func TestBulkAndInsertionBuildsAgreeStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	words := []string{"zzyzxqwv"}
+	for i := 0; i < 120; i++ {
+		stem := []byte("andersson")
+		for j := rng.Intn(3); j > 0; j-- {
+			stem[rng.Intn(len(stem))] = byte('a' + rng.Intn(26))
+		}
+		words = append(words, string(stem))
+	}
+	base := Params{Cost: metric.WordCost(26, 9)}
+	bulk, err := Run(words, metric.Levenshtein, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := base
+	ins.InsertionBuild = true
+	legacy, err := Run(words, metric.Levenshtein, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, 0, bulk, legacy)
+}
+
+// assertSameResult requires two Results to be deep-equal except for the
+// Params they record (which legitimately differ in InsertionBuild).
+func assertSameResult(t *testing.T, trial int, a, b *Result) {
+	t.Helper()
+	ca, cb := *a, *b
+	ca.Params, cb.Params = Params{}, Params{}
+	if !reflect.DeepEqual(ca, cb) {
+		if !reflect.DeepEqual(a.Radii, b.Radii) {
+			t.Fatalf("trial %d: radii differ: %v vs %v", trial, a.Radii, b.Radii)
+		}
+		if !reflect.DeepEqual(a.Microclusters, b.Microclusters) {
+			t.Fatalf("trial %d: microclusters differ:\n%v\nvs\n%v", trial, a.Microclusters, b.Microclusters)
+		}
+		if !reflect.DeepEqual(a.PointScores, b.PointScores) {
+			t.Fatalf("trial %d: point scores differ", trial)
+		}
+		t.Fatalf("trial %d: results differ outside microclusters/scores/radii", trial)
+	}
+}

@@ -50,6 +50,13 @@ type Params struct {
 	Cost metric.TransformationCost
 	// TreeCapacity is the slim-tree node capacity. 0 → default.
 	TreeCapacity int
+	// InsertionBuild reverts the slim-tree construction to the legacy
+	// one-element-at-a-time insert path. The default (false) bulk-loads
+	// each tree level by level with sample-based k-medoid pivots, which
+	// builds faster and yields compact, low-overlap nodes; both builds
+	// answer every query identically, so the pipeline output does not
+	// depend on this switch (pinned by TestBulkAndInsertionBuildsAgree).
+	InsertionBuild bool
 	// SlimDownPasses runs the Slim-tree's slim-down reorganization on each
 	// tree after construction (0 = off). It reduces node overlap, which
 	// can cut metric evaluations on clustered data.
@@ -139,10 +146,17 @@ type Result struct {
 var ErrEmptyDataset = errors.New("core: empty dataset")
 
 // Run executes MCCATCH (Alg. 1) on items under dist, indexing with a
-// slim-tree — the paper's choice for metric (and general) data.
+// slim-tree — the paper's choice for metric (and general) data. Trees are
+// bulk-loaded by default (Params.InsertionBuild reverts to the legacy
+// incremental build; results are identical either way).
 func Run[T any](items []T, dist metric.Distance[T], params Params) (*Result, error) {
 	builder := func(sub []T) index.Index[T] {
-		t := slimtree.New(dist, params.TreeCapacity, sub)
+		var t *slimtree.Tree[T]
+		if params.InsertionBuild {
+			t = slimtree.New(dist, params.TreeCapacity, sub)
+		} else {
+			t = slimtree.NewBulkWithWorkers(dist, params.TreeCapacity, sub, params.Workers)
+		}
 		if params.SlimDownPasses > 0 {
 			t.SlimDown(params.SlimDownPasses)
 		}

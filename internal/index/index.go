@@ -14,6 +14,12 @@
 //     the same pruning decisions per radius. All three bundled trees
 //     implement it natively; RangeCountMulti falls back to one RangeCount
 //     per radius for any other backend.
+//   - SelfMultiCounter answers the Step II self-join — every indexed
+//     element's counts at every radius — from ONE dual traversal of the
+//     index against itself. All three bundled trees implement it natively
+//     (the slim-tree with covering-ball bounds, the kd-tree and R-tree
+//     with min/max box-distance bounds); join.SelfMultiRadiusCounts falls
+//     back to gated per-point probes for any other backend.
 //   - QueryAppender lets callers pass a reusable scratch buffer to range
 //     queries, cutting per-probe garbage on the hot paths.
 package index
@@ -50,7 +56,7 @@ type MultiCounter[T any] interface {
 // amortizes across query points too: subtree-against-subtree bounds
 // classify whole blocks of element pairs at once. It is keyed by element
 // id rather than by query value, so it applies only when the query set is
-// exactly the indexed set.
+// exactly the indexed set. All three bundled trees implement it.
 type SelfMultiCounter interface {
 	// CountAllMulti returns counts[e][id] = the number of indexed
 	// elements within radii[e] of element id (inclusive, so ≥ 1). radii

@@ -208,10 +208,10 @@ func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap 
 
 // SelfMultiRadiusCounts is MultiRadiusCounts for the tree's OWN elements:
 // items must be exactly the indexed elements in insertion order. When the
-// index can join itself (index.SelfMultiCounter — the slim-tree's
-// dual-tree traversal), the whole counts matrix comes from ONE traversal
-// of the tree against itself; other backends fall back to the gated
-// per-item batched probes. Both paths return the exact same matrix: the
+// index can join itself (index.SelfMultiCounter — the dual-tree traversal
+// every bundled backend now implements), the whole counts matrix comes
+// from ONE traversal of the tree against itself; other backends fall back
+// to the gated per-item batched probes. Both paths return the exact same matrix: the
 // dual join produces true counts everywhere (wholesale crediting makes
 // that cheap without the cap), and the excused-count carry-forward the
 // gating produces radius by radius is then applied as a post-pass — a

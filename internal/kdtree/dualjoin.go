@@ -1,0 +1,269 @@
+package kdtree
+
+import (
+	"mccatch/internal/metric"
+	"mccatch/internal/selfjoin"
+)
+
+// This file implements the dual-tree multi-radius self-join for the
+// kd-tree (index.SelfMultiCounter): the neighbor counts of EVERY indexed
+// point at EVERY radius of a nested schedule, from one traversal of the
+// tree against itself. Where per-point probing re-derives the same
+// box-level geometry once per query point, the dual traversal classifies
+// PAIRS of subtrees: the min/max squared distances between two bounding
+// boxes bracket every point pair under them, so whole blocks of pairs are
+// credited (or discarded) wholesale, and only pairs straddling some
+// radius descend toward point-level distances. The join is symmetric, so
+// unordered subtree pairs are visited once and credited both ways. All
+// comparisons are on squared distances — no math.Sqrt anywhere.
+//
+// A kd-tree node carries its own point besides two subtrees, so the
+// decomposition of an ambiguous pair has three shapes: subtree-vs-subtree
+// (symVisit), point-vs-subtree (pointVisit) and point-vs-point (inline).
+// The accumulator, scheduling and merge machinery is internal/selfjoin's.
+
+// dualCtx is one traversal unit's context: the squared radius schedule
+// and the unit's accumulator.
+type dualCtx struct {
+	radii2 []float64
+	acc    *selfjoin.Acc[*node]
+}
+
+// creditPoint and creditNode write the accumulator rows raw — crediting
+// sits in the join's innermost loop and the concrete-receiver helpers
+// inline where selfjoin.Acc's generic methods cannot (see selfjoin.Acc).
+func (c *dualCtx) creditPoint(id, from, to, cnt int) {
+	row := c.acc.Point[id*c.acc.Stride:]
+	row[from] += cnt
+	row[to] -= cnt
+}
+
+func (c *dualCtx) creditNode(n *node, from, to, cnt int) {
+	row := c.acc.Nodes[n]
+	if row == nil {
+		row = make([]int, c.acc.Stride)
+		c.acc.Nodes[n] = row
+	}
+	row[from] += cnt
+	row[to] -= cnt
+}
+
+// CountAllMulti returns counts[e][id] = the number of indexed points
+// within radii[e] of point id (inclusive, so ≥ 1), for every indexed
+// point and every radius of the ascending schedule radii — computed by a
+// dual-tree traversal instead of per-point probes. Counts are exact:
+// bounds only ever defer ambiguous pairs, never approximate them.
+// workers ≤ 0 means all cores, 1 means serial; the result is identical
+// for every value.
+func (t *Tree) CountAllMulti(radii []float64, workers int) [][]int {
+	a := len(radii)
+	units := []func(*dualCtx){}
+	if t.root != nil {
+		units = seedUnits(t.root)
+	}
+	radii2 := make([]float64, a)
+	for e, r := range radii {
+		radii2[e] = r * r
+	}
+	return selfjoin.CountMatrix(a, t.size, workers, len(units),
+		func(u int, acc *selfjoin.Acc[*node]) {
+			c := dualCtx{radii2: radii2, acc: acc}
+			units[u](&c)
+		},
+		addSubtree)
+}
+
+// addSubtree adds a difference row to every point under n — n's own
+// point included.
+func addSubtree(n *node, diff, merged []int) {
+	if n == nil {
+		return
+	}
+	row := merged[n.id*len(diff):]
+	for k, v := range diff {
+		row[k] += v
+	}
+	addSubtree(n.left, diff, merged)
+	addSubtree(n.right, diff, merged)
+}
+
+// seedUnitTarget is how many seeds (subtrees plus loose points) the root
+// is expanded into before pairing them up as work units: ~24 seeds give
+// ~300 units, plenty of slack for rebalancing across any realistic
+// worker count while keeping per-unit accumulator overhead negligible.
+const seedUnitTarget = 24
+
+// seedUnits deterministically expands the root into seeds — disjoint
+// subtrees plus the points of the expanded internal nodes — and returns
+// one closure per unordered seed pair (self-pairs included). The unit set
+// depends only on the tree, never on the worker count, and together the
+// units cover every unordered point pair exactly once.
+func seedUnits(root *node) []func(*dualCtx) {
+	subs := []*node{root}
+	var pts []*node // expanded nodes: only their own point participates
+	for len(subs)+len(pts) < seedUnitTarget {
+		// Expand the largest subtree (ties toward the smaller point id,
+		// which is unique per node).
+		best := -1
+		for i, s := range subs {
+			if s.size < 2 {
+				continue
+			}
+			if best < 0 || s.size > subs[best].size ||
+				(s.size == subs[best].size && s.id < subs[best].id) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s := subs[best]
+		subs = append(subs[:best], subs[best+1:]...)
+		pts = append(pts, s)
+		if s.left != nil {
+			subs = append(subs, s.left)
+		}
+		if s.right != nil {
+			subs = append(subs, s.right)
+		}
+	}
+	var units []func(*dualCtx)
+	for i, s := range subs {
+		s := s
+		units = append(units, func(c *dualCtx) { c.selfVisit(s, 0, len(c.radii2)) })
+		for _, o := range subs[i+1:] {
+			o := o
+			units = append(units, func(c *dualCtx) { c.symVisit(s, o, 0, len(c.radii2)) })
+		}
+		for _, p := range pts {
+			p := p
+			units = append(units, func(c *dualCtx) { c.pointVisit(p.point, p.id, s, 0, len(c.radii2)) })
+		}
+	}
+	for i, p := range pts {
+		p := p
+		// A point with itself: d = 0 lies within every radius.
+		units = append(units, func(c *dualCtx) { c.creditPoint(p.id, 0, len(c.radii2), 1) })
+		for _, q := range pts[i+1:] {
+			q := q
+			units = append(units, func(c *dualCtx) {
+				a := len(c.radii2)
+				d2 := metric.SquaredEuclidean(p.point, q.point)
+				b := 0
+				for b < a && d2 > c.radii2[b] {
+					b++
+				}
+				if b < a {
+					c.creditPoint(p.id, b, a, 1)
+					c.creditPoint(q.id, b, a, 1)
+				}
+			})
+		}
+	}
+	return units
+}
+
+// boxDiag2 is the squared diagonal of n's bounding box — the largest
+// squared distance any pair of points under n can realize.
+func boxDiag2(n *node) float64 {
+	return selfjoin.SqBoxDiag(n.lo, n.hi)
+}
+
+// selfVisit classifies the pair of subtree A with itself for the radius
+// window [lo, hi): radii at and above hi have already been credited with
+// the whole subtree by an ancestor pair. Self-pairs put the minimum
+// distance at 0, so no radius ever drops from the bottom of the window.
+func (c *dualCtx) selfVisit(A *node, lo, hi int) {
+	if A == nil {
+		return
+	}
+	smax := boxDiag2(A)
+	nh := lo
+	for nh < hi && smax > c.radii2[nh] {
+		nh++ // radii [nh, hi) contain every pair: settle them at once
+	}
+	if nh < hi {
+		c.creditNode(A, nh, hi, A.size)
+	}
+	if lo >= nh {
+		return
+	}
+	// Ambiguous radii [lo, nh): decompose into A's own point against
+	// itself (d = 0: within every radius) and against each subtree, the
+	// two subtrees against themselves, and against each other.
+	c.creditPoint(A.id, lo, nh, 1)
+	c.pointVisit(A.point, A.id, A.left, lo, nh)
+	c.pointVisit(A.point, A.id, A.right, lo, nh)
+	c.selfVisit(A.left, lo, nh)
+	c.selfVisit(A.right, lo, nh)
+	c.symVisit(A.left, A.right, lo, nh)
+}
+
+// symVisit classifies the unordered pair of DISJOINT subtrees (A, B) for
+// the radius window [lo, hi): radii below lo are already known to
+// separate the two boxes, radii at and above hi have been credited by an
+// ancestor pair. Every credit goes both ways, so each unordered pair is
+// traversed exactly once.
+func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
+	if A == nil || B == nil {
+		return
+	}
+	smin, smax := selfjoin.SqMinMaxBoxBox(A.lo, A.hi, B.lo, B.hi)
+	for lo < hi && smin > c.radii2[lo] {
+		lo++ // the boxes are fully separated at the smallest radii
+	}
+	nh := lo
+	for nh < hi && smax > c.radii2[nh] {
+		nh++
+	}
+	if nh < hi {
+		c.creditNode(A, nh, hi, B.size)
+		c.creditNode(B, nh, hi, A.size)
+	}
+	if lo >= nh {
+		return
+	}
+	// Descend the side with the larger box; ties split A, keeping the
+	// descent deterministic.
+	down, other := A, B
+	if boxDiag2(B) > boxDiag2(A) {
+		down, other = B, A
+	}
+	c.pointVisit(down.point, down.id, other, lo, nh)
+	c.symVisit(down.left, other, lo, nh)
+	c.symVisit(down.right, other, lo, nh)
+}
+
+// pointVisit classifies the pair of a single point (id) with subtree B
+// for the radius window [lo, hi), crediting both directions: B's points
+// into the point's row, and the point into B's rows.
+func (c *dualCtx) pointVisit(p []float64, id int, B *node, lo, hi int) {
+	if B == nil {
+		return
+	}
+	smin, smax := sqMinMaxDistToBox(p, B.lo, B.hi)
+	for lo < hi && smin > c.radii2[lo] {
+		lo++
+	}
+	nh := lo
+	for nh < hi && smax > c.radii2[nh] {
+		nh++
+	}
+	if nh < hi {
+		c.creditPoint(id, nh, hi, B.size)
+		c.creditNode(B, nh, hi, 1)
+	}
+	if lo >= nh {
+		return
+	}
+	if d2 := metric.SquaredEuclidean(p, B.point); d2 <= c.radii2[nh-1] {
+		b := lo
+		for d2 > c.radii2[b] {
+			b++
+		}
+		c.creditPoint(id, b, nh, 1)
+		c.creditPoint(B.id, b, nh, 1)
+	}
+	c.pointVisit(p, id, B.left, lo, nh)
+	c.pointVisit(p, id, B.right, lo, nh)
+}

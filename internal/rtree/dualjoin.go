@@ -1,0 +1,195 @@
+package rtree
+
+import (
+	"mccatch/internal/metric"
+	"mccatch/internal/selfjoin"
+)
+
+// This file implements the dual-tree multi-radius self-join for the
+// R-tree (index.SelfMultiCounter): the neighbor counts of EVERY indexed
+// point at EVERY radius of a nested schedule, from one traversal of the
+// tree against itself. The min/max squared distances between two MBRs
+// bracket every point pair under them, so whole blocks of pairs are
+// credited (or discarded) wholesale; only pairs straddling some radius
+// descend, bottoming out in leaf-vs-leaf scans. The join is symmetric, so
+// unordered node pairs are visited once and credited both ways. All
+// comparisons are on squared distances — no math.Sqrt anywhere. The
+// accumulator, scheduling and merge machinery is internal/selfjoin's.
+
+// boxDiag2 is the squared diagonal of n's MBR — the largest squared
+// distance any pair of points under n can realize.
+func boxDiag2(n *node) float64 {
+	return selfjoin.SqBoxDiag(n.lo, n.hi)
+}
+
+type dualCtx struct {
+	radii2 []float64
+	acc    *selfjoin.Acc[*node]
+}
+
+// creditPoint and creditNode write the accumulator rows raw — crediting
+// sits in the join's innermost loop and the concrete-receiver helpers
+// inline where selfjoin.Acc's generic methods cannot (see selfjoin.Acc).
+func (c *dualCtx) creditPoint(id, from, to, cnt int) {
+	row := c.acc.Point[id*c.acc.Stride:]
+	row[from] += cnt
+	row[to] -= cnt
+}
+
+func (c *dualCtx) creditNode(n *node, from, to, cnt int) {
+	row := c.acc.Nodes[n]
+	if row == nil {
+		row = make([]int, c.acc.Stride)
+		c.acc.Nodes[n] = row
+	}
+	row[from] += cnt
+	row[to] -= cnt
+}
+
+// CountAllMulti returns counts[e][id] = the number of indexed points
+// within radii[e] of point id (inclusive, so ≥ 1), for every indexed
+// point and every radius of the ascending schedule radii — computed by a
+// dual-tree traversal instead of per-point probes. Counts are exact.
+// workers ≤ 0 means all cores, 1 means serial; the result is identical
+// for every value.
+func (t *Tree) CountAllMulti(radii []float64, workers int) [][]int {
+	a := len(radii)
+	radii2 := make([]float64, a)
+	for e, r := range radii {
+		radii2[e] = r * r
+	}
+
+	// Work units: the unordered pairs of the root's children (self-pairs
+	// included) — up to fanout·(fanout+1)/2 of them — or the root itself
+	// when it is a single leaf.
+	type unit struct{ i, j int }
+	var units []unit
+	if t.root != nil {
+		if kids := t.root.children; t.root.leaf {
+			units = []unit{{-1, -1}}
+		} else {
+			for i := range kids {
+				for j := i; j < len(kids); j++ {
+					units = append(units, unit{i, j})
+				}
+			}
+		}
+	}
+	return selfjoin.CountMatrix(a, t.sizeN, workers, len(units),
+		func(u int, acc *selfjoin.Acc[*node]) {
+			c := dualCtx{radii2: radii2, acc: acc}
+			switch kids := t.root.children; {
+			case units[u].i < 0:
+				c.selfVisit(t.root, 0, a)
+			case units[u].i == units[u].j:
+				c.selfVisit(kids[units[u].i], 0, a)
+			default:
+				c.symVisit(kids[units[u].i], kids[units[u].j], 0, a)
+			}
+		},
+		addSubtree)
+}
+
+// addSubtree adds a difference row to every point under n.
+func addSubtree(n *node, diff, merged []int) {
+	if n.leaf {
+		for _, id := range n.ids {
+			row := merged[id*len(diff):]
+			for k, v := range diff {
+				row[k] += v
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		addSubtree(c, diff, merged)
+	}
+}
+
+// selfVisit classifies the pair of subtree A with itself for the radius
+// window [lo, hi). Self-pairs put the minimum distance at 0, so no radius
+// ever drops from the bottom of the window.
+func (c *dualCtx) selfVisit(A *node, lo, hi int) {
+	smax := boxDiag2(A)
+	nh := lo
+	for nh < hi && smax > c.radii2[nh] {
+		nh++ // radii [nh, hi) contain every pair: settle them at once
+	}
+	if nh < hi {
+		c.creditNode(A, nh, hi, A.size)
+	}
+	if lo >= nh {
+		return
+	}
+	if A.leaf {
+		for i, p := range A.points {
+			c.creditPoint(A.ids[i], lo, nh, 1) // self-pair: d = 0
+			for j := i + 1; j < len(A.points); j++ {
+				d2 := metric.SquaredEuclidean(p, A.points[j])
+				if d2 > c.radii2[nh-1] {
+					continue
+				}
+				b := lo
+				for d2 > c.radii2[b] {
+					b++
+				}
+				c.creditPoint(A.ids[i], b, nh, 1)
+				c.creditPoint(A.ids[j], b, nh, 1)
+			}
+		}
+		return
+	}
+	for i, ci := range A.children {
+		c.selfVisit(ci, lo, nh)
+		for j := i + 1; j < len(A.children); j++ {
+			c.symVisit(ci, A.children[j], lo, nh)
+		}
+	}
+}
+
+// symVisit classifies the unordered pair of DISJOINT subtrees (A, B) for
+// the radius window [lo, hi). Every credit goes both ways, so each
+// unordered pair is traversed exactly once.
+func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
+	smin, smax := selfjoin.SqMinMaxBoxBox(A.lo, A.hi, B.lo, B.hi)
+	for lo < hi && smin > c.radii2[lo] {
+		lo++ // the boxes are fully separated at the smallest radii
+	}
+	nh := lo
+	for nh < hi && smax > c.radii2[nh] {
+		nh++
+	}
+	if nh < hi {
+		c.creditNode(A, nh, hi, B.size)
+		c.creditNode(B, nh, hi, A.size)
+	}
+	if lo >= nh {
+		return
+	}
+	if A.leaf && B.leaf {
+		for i, p := range A.points {
+			for j, q := range B.points {
+				d2 := metric.SquaredEuclidean(p, q)
+				if d2 > c.radii2[nh-1] {
+					continue
+				}
+				b := lo
+				for d2 > c.radii2[b] {
+					b++
+				}
+				c.creditPoint(A.ids[i], b, nh, 1)
+				c.creditPoint(B.ids[j], b, nh, 1)
+			}
+		}
+		return
+	}
+	// Descend the internal side — the one with the larger box when both
+	// are internal (ties split A, keeping the descent deterministic).
+	down, other := A, B
+	if A.leaf || (!B.leaf && boxDiag2(B) > boxDiag2(A)) {
+		down, other = B, A
+	}
+	for _, ch := range down.children {
+		c.symVisit(ch, other, lo, nh)
+	}
+}

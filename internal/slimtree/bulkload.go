@@ -1,0 +1,285 @@
+package slimtree
+
+import (
+	"math"
+
+	"mccatch/internal/metric"
+	"mccatch/internal/parallel"
+)
+
+// This file implements bulk loading: building the whole Slim-tree top-down
+// from the full dataset instead of inserting elements one at a time.
+//
+// The incremental insert path grows node regions greedily — each arriving
+// element inflates whichever region is cheapest RIGHT NOW — so covering
+// balls end up overlapping badly, and overlapping balls are exactly what
+// every query and the dual-tree self-join pay for: a probe that falls in
+// the overlap of k sibling regions descends k subtrees. Bulk loading sees
+// all elements before committing to any region: each level picks pivots
+// from a sample of its elements (k-medoid style: a medoid seed, spread-out
+// companions, then a medoid refinement of each tentative cluster) and
+// partitions the elements to the nearest pivot under a balance cap, so
+// sibling regions are compact, near-disjoint, and the tree height matches
+// the information-theoretic minimum. Queries are unchanged: the bulk build
+// produces the same node/entry invariants (exact covering radii, stored
+// parent distances, subtree counts) the insert path maintains, so every
+// traversal — RangeCount, RangeCountMulti, KNN, CountAllMulti, SlimDown —
+// runs on it untouched and returns identical results.
+
+// bulkSampleMax bounds the pivot-selection sample per node. Pivot quality
+// saturates quickly with the sample size while the pairwise distance
+// matrix below it grows quadratically; 128 keeps the matrix ≤ ~8k metric
+// evaluations on the biggest nodes.
+const bulkSampleMax = 128
+
+// NewBulk bulk-loads a Slim-tree with the given distance and node capacity
+// (DefaultCapacity if cap < 4). Item i is reported by queries as id i,
+// exactly as with New; only the tree's internal arrangement differs.
+func NewBulk[T any](dist metric.Distance[T], capacity int, items []T) *Tree[T] {
+	return NewBulkWithWorkers(dist, capacity, items, 1)
+}
+
+// bulkParallelMin is the group size below which a subtree build stays on
+// the current goroutine.
+const bulkParallelMin = 512
+
+// NewBulkWithWorkers is NewBulk with the per-level subtree builds fanned
+// out across up to workers goroutines (≤ 0 → all cores, 1 → serial).
+// Pivot selection and partitioning are deterministic and sibling groups
+// are disjoint, so the resulting tree is identical for every worker count.
+func NewBulkWithWorkers[T any](dist metric.Distance[T], capacity int, items []T, workers int) *Tree[T] {
+	if capacity < 4 {
+		capacity = DefaultCapacity
+	}
+	t := &Tree[T]{dist: dist, capacity: capacity}
+	t.size = len(items)
+	if len(items) == 0 {
+		return t
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Height: the smallest h with capacity^h ≥ n, i.e. the balanced
+	// minimum. Every level partitions into groups of at most
+	// capacity^(h-1), so the recursion bottoms out in leaves exactly at
+	// height 1.
+	height := 1
+	for span := t.capacity; span < len(items); span *= t.capacity {
+		height++
+	}
+	t.root = t.bulkNode(items, idx, nil, height, parallel.NewLimiter(workers))
+	return t
+}
+
+// bulkNode builds the subtree over items[idx]. dToParent[k] is the known
+// distance from items[idx[k]] to the parent entry's pivot (nil at the
+// root, whose entries never consult dPar). height is the number of levels
+// remaining; height 1 builds a leaf.
+func (t *Tree[T]) bulkNode(items []T, idx []int, dToParent []float64, height int, lim *parallel.Limiter) *node[T] {
+	if height <= 1 || len(idx) <= t.capacity {
+		n := &node[T]{leaf: true, entries: make([]entry[T], len(idx))}
+		for k, id := range idx {
+			e := entry[T]{pivot: items[id], id: id, count: 1}
+			if dToParent != nil {
+				e.dPar = dToParent[k]
+			}
+			n.entries[k] = e
+		}
+		return n
+	}
+
+	// Balance cap per group and number of groups. The cap k·subcap ≥
+	// len(idx) holds by construction, so the capacity-bounded assignment
+	// below always finds room and every group fits a (height-1)-level
+	// subtree. Beyond that floor, the fanout is raised to about the
+	// geometric mean n^(1/height): the minimum fanout (a couple of huge
+	// groups) would force cluster structure to be split across balance
+	// caps — exactly the overlap bulk loading exists to avoid — while a
+	// spread of ~n^(1/h) pivots per level lets every level track the
+	// clusters present at its scale.
+	subcap := 1
+	for i := 0; i < height-1; i++ {
+		subcap *= t.capacity
+	}
+	k := (len(idx) + subcap - 1) / subcap
+	if spread := int(math.Ceil(math.Pow(float64(len(idx)), 1/float64(height)))); spread > k {
+		k = spread
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > t.capacity {
+		k = t.capacity
+	}
+
+	pivots := t.selectPivots(items, idx, k)
+
+	// Assign every element to the nearest pivot that still has room
+	// (ties toward the earlier pivot), recording its distance — which the
+	// child level reuses as the stored parent distance, and whose
+	// per-group maximum IS the entry's exact covering radius.
+	groups := make([][]int, k)
+	groupD := make([][]float64, k)
+	dists := make([]float64, k)
+	for _, id := range idx {
+		for g, p := range pivots {
+			dists[g] = t.d(items[id], items[idx[p]])
+		}
+		best := -1
+		for g := 0; g < k; g++ {
+			if len(groups[g]) >= subcap {
+				continue
+			}
+			if best < 0 || dists[g] < dists[best] {
+				best = g
+			}
+		}
+		groups[best] = append(groups[best], id)
+		groupD[best] = append(groupD[best], dists[best])
+	}
+
+	n := &node[T]{entries: make([]entry[T], 0, k)}
+	var waits []func()
+	for g := 0; g < k; g++ {
+		if len(groups[g]) == 0 {
+			continue
+		}
+		radius := 0.0
+		for _, d := range groupD[g] {
+			if d > radius {
+				radius = d
+			}
+		}
+		e := entry[T]{
+			pivot:  items[idx[pivots[g]]],
+			id:     -1,
+			radius: radius,
+			count:  len(groups[g]),
+		}
+		if dToParent != nil {
+			e.dPar = dToParent[pivots[g]]
+		}
+		n.entries = append(n.entries, e)
+		ent := &n.entries[len(n.entries)-1]
+		gi, gd := groups[g], groupD[g]
+		build := func() { ent.child = t.bulkNode(items, gi, gd, height-1, lim) }
+		if len(gi) >= bulkParallelMin {
+			waits = append(waits, lim.Go(build))
+		} else {
+			build()
+		}
+	}
+	for _, w := range waits {
+		w()
+	}
+	return n
+}
+
+// selectPivots picks k pivot positions (indices into idx) k-medoid style
+// from a deterministic sample: the sample medoid seeds the set, companions
+// join farthest-first (maximizing the distance to the nearest chosen
+// pivot, so the initial regions spread across the data), and one
+// refinement pass replaces each tentative pivot by the medoid of the
+// sample elements nearest to it. All ties break toward the smaller sample
+// position, so the choice is deterministic.
+func (t *Tree[T]) selectPivots(items []T, idx []int, k int) []int {
+	// Deterministic strided sample of at most bulkSampleMax positions.
+	s := len(idx)
+	if s > bulkSampleMax {
+		s = bulkSampleMax
+	}
+	if s < k {
+		s = k // len(idx) > capacity ≥ k whenever this runs
+	}
+	sample := make([]int, s)
+	step := len(idx) / s
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < s; i++ {
+		sample[i] = (i * step) % len(idx)
+	}
+
+	// Pairwise distances within the sample; everything below reads them.
+	dm := make([][]float64, s)
+	for i := range dm {
+		dm[i] = make([]float64, s)
+	}
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			d := t.d(items[idx[sample[i]]], items[idx[sample[j]]])
+			dm[i][j], dm[j][i] = d, d
+		}
+	}
+
+	// Seed: the sample medoid (smallest distance sum).
+	chosen := make([]int, 0, k)
+	bestSum := math.Inf(1)
+	seed := 0
+	for i := 0; i < s; i++ {
+		sum := 0.0
+		for j := 0; j < s; j++ {
+			sum += dm[i][j]
+		}
+		if sum < bestSum {
+			bestSum, seed = sum, i
+		}
+	}
+	chosen = append(chosen, seed)
+
+	// Companions: farthest-first on the min distance to the chosen set.
+	minD := make([]float64, s)
+	for i := range minD {
+		minD[i] = dm[i][seed]
+	}
+	taken := make([]bool, s)
+	taken[seed] = true
+	for len(chosen) < k {
+		far, farD := -1, -1.0
+		for i := 0; i < s; i++ {
+			if !taken[i] && minD[i] > farD {
+				far, farD = i, minD[i]
+			}
+		}
+		taken[far] = true
+		chosen = append(chosen, far)
+		for i := range minD {
+			if dm[i][far] < minD[i] {
+				minD[i] = dm[i][far]
+			}
+		}
+	}
+
+	// Refinement: cluster the sample to the nearest chosen pivot, then
+	// replace each pivot by its cluster's medoid.
+	cluster := make([][]int, k)
+	for i := 0; i < s; i++ {
+		best := 0
+		for g := 1; g < k; g++ {
+			if dm[i][chosen[g]] < dm[i][chosen[best]] {
+				best = g
+			}
+		}
+		cluster[best] = append(cluster[best], i)
+	}
+	out := make([]int, 0, k)
+	for g := 0; g < k; g++ {
+		if len(cluster[g]) == 0 {
+			out = append(out, sample[chosen[g]])
+			continue
+		}
+		med, medSum := cluster[g][0], math.Inf(1)
+		for _, i := range cluster[g] {
+			sum := 0.0
+			for _, j := range cluster[g] {
+				sum += dm[i][j]
+			}
+			if sum < medSum {
+				med, medSum = i, sum
+			}
+		}
+		out = append(out, sample[med])
+	}
+	return out
+}

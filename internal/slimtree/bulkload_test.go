@@ -1,0 +1,221 @@
+package slimtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// assertQueryEquivalent pins the bulk-load contract: a bulk-loaded tree
+// must answer every query — RangeCount, RangeCountMulti, RangeQuery, KNN,
+// CountAllMulti, DiameterEstimate — exactly like the insertion-built tree
+// over the same items. Only the internal arrangement may differ.
+func assertQueryEquivalent[T any](t *testing.T, label string, ins, blk *Tree[T], items []T, radii []float64) {
+	t.Helper()
+	if ins.Size() != blk.Size() {
+		t.Fatalf("%s: sizes differ: %d vs %d", label, ins.Size(), blk.Size())
+	}
+	if di, db := ins.DiameterEstimate(), blk.DiameterEstimate(); di != db {
+		t.Fatalf("%s: DiameterEstimate differs: %v vs %v", label, di, db)
+	}
+	for qi, q := range items {
+		if qi%7 != 0 { // every 7th element keeps the quadratic check fast
+			continue
+		}
+		for _, r := range radii {
+			if ci, cb := ins.RangeCount(q, r), blk.RangeCount(q, r); ci != cb {
+				t.Fatalf("%s: RangeCount(q%d, %v) = %d (insert) vs %d (bulk)", label, qi, r, ci, cb)
+			}
+		}
+		mi, mb := ins.RangeCountMulti(q, radii), blk.RangeCountMulti(q, radii)
+		for e := range radii {
+			if mi[e] != mb[e] {
+				t.Fatalf("%s: RangeCountMulti(q%d)[%d] = %d vs %d", label, qi, e, mi[e], mb[e])
+			}
+		}
+		idsI := ins.RangeQuery(q, radii[len(radii)/2])
+		idsB := blk.RangeQuery(q, radii[len(radii)/2])
+		sortInts(idsI)
+		sortInts(idsB)
+		if fmt.Sprint(idsI) != fmt.Sprint(idsB) {
+			t.Fatalf("%s: RangeQuery(q%d) ids differ: %v vs %v", label, qi, idsI, idsB)
+		}
+		ki, kdi := ins.KNN(q, 5)
+		kb, kdb := blk.KNN(q, 5)
+		if fmt.Sprint(ki) != fmt.Sprint(kb) || fmt.Sprint(kdi) != fmt.Sprint(kdb) {
+			t.Fatalf("%s: KNN(q%d) differs: %v/%v vs %v/%v", label, qi, ki, kdi, kb, kdb)
+		}
+	}
+	ci := ins.CountAllMulti(radii, 1)
+	cb := blk.CountAllMulti(radii, 3)
+	for e := range ci {
+		for i := range ci[e] {
+			if ci[e][i] != cb[e][i] {
+				t.Fatalf("%s: CountAllMulti[%d][%d] = %d vs %d", label, e, i, ci[e][i], cb[e][i])
+			}
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestNewBulkQueryEquivalentVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	trials := 12
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 20 + rng.Intn(1500)
+		dim := 1 + rng.Intn(4)
+		pts := randPoints(rng, n, dim)
+		for i := rng.Intn(30); i > 0; i-- { // duplicates stress zero distances
+			pts = append(pts, append([]float64(nil), pts[rng.Intn(len(pts))]...))
+		}
+		capacity := []int{0, 4, 8}[trial%3]
+		ins := New(metric.Euclidean, capacity, pts)
+		blk := NewBulk(metric.Euclidean, capacity, pts)
+		assertQueryEquivalent(t, fmt.Sprintf("vectors/trial%d", trial), ins, blk, pts, randRadii(rng, 150))
+	}
+}
+
+func TestNewBulkQueryEquivalentStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	words := make([]string, 0, 260)
+	for i := 0; i < 260; i++ {
+		stem := []byte("bulkloadedslimtree")
+		for j := rng.Intn(6); j > 0; j-- {
+			stem[rng.Intn(len(stem))] = byte('a' + rng.Intn(26))
+		}
+		words = append(words, string(stem[:4+rng.Intn(13)]))
+	}
+	ins := New(metric.Levenshtein, 8, words)
+	blk := NewBulk(metric.Levenshtein, 8, words)
+	assertQueryEquivalent(t, "strings", ins, blk, words, []float64{0, 1, 2, 3, 5, 8, 13})
+}
+
+// TestNewBulkWorkerInvariant: the bulk-built tree must be identical for
+// every worker count — proven by comparing probe-by-probe metric work
+// (DistCalls on identical query sequences) and query results.
+func TestNewBulkWorkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pts := randPoints(rng, 3000, 2)
+	radii := randRadii(rng, 150)
+	serial := NewBulkWithWorkers(metric.Euclidean, 0, pts, 1)
+	buildCalls := serial.DistCalls()
+	if buildCalls == 0 {
+		t.Fatal("serial bulk build performed no metric evaluations")
+	}
+	for _, workers := range []int{2, 8} {
+		par := NewBulkWithWorkers(metric.Euclidean, 0, pts, workers)
+		if p := par.DistCalls(); p != buildCalls {
+			t.Fatalf("workers=%d: build dist calls differ (%d vs %d): trees are not identical", workers, buildCalls, p)
+		}
+		serial.ResetDistCalls()
+		par.ResetDistCalls()
+		for qi := 0; qi < 200; qi++ {
+			q := pts[rng.Intn(len(pts))]
+			cs := serial.RangeCountMulti(q, radii)
+			cp := par.RangeCountMulti(q, radii)
+			for e := range radii {
+				if cs[e] != cp[e] {
+					t.Fatalf("workers=%d: counts differ at q%d radius %d", workers, qi, e)
+				}
+			}
+		}
+		if s, p := serial.DistCalls(), par.DistCalls(); s != p {
+			t.Fatalf("workers=%d: query dist calls differ (%d vs %d): tree shapes diverged", workers, s, p)
+		}
+	}
+}
+
+// TestNewBulkBalancedHeight: the bulk build must hit the balanced minimum
+// height ⌈log_cap(n)⌉ — the property the insert path cannot guarantee.
+func TestNewBulkBalancedHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for _, n := range []int{1, 30, 33, 1000, 5000} {
+		pts := randPoints(rng, n, 2)
+		blk := NewBulk(metric.Euclidean, 32, pts)
+		want := 1
+		for span := 32; span < n; span *= 32 {
+			want++
+		}
+		if got := blk.Height(); got != want {
+			t.Errorf("n=%d: bulk height %d, want balanced %d", n, got, want)
+		}
+		if err := blk.MaxCoverError(); err != 0 {
+			t.Errorf("n=%d: covering invariant violated by %v", n, err)
+		}
+	}
+}
+
+// TestNewBulkLowerOverlap pins the point of bulk loading: on clustered
+// data the bulk-built tree must overlap (fat factor) no more than the
+// insertion-built tree.
+func TestNewBulkLowerOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	var pts [][]float64
+	for b := 0; b < 12; b++ {
+		cx, cy := rng.Float64()*100, rng.Float64()*100
+		for i := 0; i < 150; i++ {
+			pts = append(pts, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+		}
+	}
+	ins := New(metric.Euclidean, 0, pts)
+	blk := NewBulk(metric.Euclidean, 0, pts)
+	fi, fb := ins.FatFactor(), blk.FatFactor()
+	if fb > fi {
+		t.Errorf("bulk fat factor %v exceeds insertion build's %v", fb, fi)
+	}
+}
+
+// TestDiameterEstimateNonMonotoneVectorMetric guards the bbox shortcut's
+// self-validation: for a valid (pseudo-)metric over vectors that is NOT
+// monotone in the box corners, the corner distance collapses to 0 and the
+// estimate must fall through to the exact branch-and-bound instead of
+// silently underestimating the radii schedule.
+func TestDiameterEstimateNonMonotoneVectorMetric(t *testing.T) {
+	// Projection pseudo-metric: distance of the points' projections onto
+	// the (1,-1) axis. Symmetric, zero on identical args, triangular —
+	// but d(boxLo, boxHi) = 0 while the true diameter is √2.
+	proj := func(a, b []float64) float64 {
+		return math.Abs((a[0]-a[1])-(b[0]-b[1])) / math.Sqrt2
+	}
+	pts := [][]float64{{0, 1}, {1, 0}, {0.5, 0.5}, {0.2, 0.8}, {0.9, 0.1}, {0, 0}, {1, 1}}
+	for _, tr := range []*Tree[[]float64]{New(proj, 4, pts), NewBulk(proj, 4, pts)} {
+		if got := tr.DiameterEstimate(); math.Abs(got-math.Sqrt2) > 1e-12 {
+			t.Errorf("diameter = %v, want √2 via the exact path", got)
+		}
+	}
+}
+
+func TestNewBulkEdges(t *testing.T) {
+	empty := NewBulk(metric.Euclidean, 0, nil)
+	if empty.Size() != 0 || empty.RangeCount([]float64{0}, 10) != 0 {
+		t.Error("empty bulk tree misbehaves")
+	}
+	one := NewBulk(metric.Euclidean, 0, [][]float64{{1, 2}})
+	if one.Size() != 1 || one.RangeCount([]float64{1, 2}, 0) != 1 {
+		t.Error("singleton bulk tree misbehaves")
+	}
+	dups := make([][]float64, 200)
+	for i := range dups {
+		dups[i] = []float64{7, 7}
+	}
+	dup := NewBulk(metric.Euclidean, 4, dups)
+	if got := dup.RangeCount([]float64{7, 7}, 0); got != 200 {
+		t.Errorf("all-duplicates bulk tree counts %d at r=0, want 200", got)
+	}
+	if dup.MaxCoverError() != 0 {
+		t.Error("all-duplicates bulk tree violates covering invariant")
+	}
+}

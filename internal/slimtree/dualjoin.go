@@ -1,9 +1,7 @@
 package slimtree
 
 import (
-	"sync"
-
-	"mccatch/internal/parallel"
+	"mccatch/internal/selfjoin"
 )
 
 // This file implements the dual-tree multi-radius self-join: the neighbor
@@ -17,25 +15,15 @@ import (
 // pairs straddling some radius descend toward element-level distances.
 // The join is symmetric — d(x,y) = d(y,x) — so unordered entry pairs are
 // visited once and credited in both directions, halving the metric
-// evaluations again.
-
-// selfAcc collects one worker's credits: flat per-element difference rows
-// plus lazily allocated per-subtree accumulators for wholesale credits
-// (applied to every element under the node during the final merge).
-// Workers pool these and the merge just sums them, so the result is
-// identical for every worker count and schedule.
-type selfAcc[T any] struct {
-	point []int // element id i, radius e → point[i*stride+e]
-	nodes map[*node[T]][]int
-}
+// evaluations again. The accumulator, scheduling and merge machinery is
+// internal/selfjoin's.
 
 // dualCtx is one traversal unit's context: the distance-call counter, the
 // radius schedule and the unit's accumulator.
 type dualCtx[T any] struct {
 	visitState[T]
-	radii  []float64
-	stride int // len(radii)+1
-	acc    *selfAcc[T]
+	radii []float64
+	acc   *selfjoin.Acc[*node[T]]
 }
 
 // CountAllMulti returns counts[e][id] = the number of indexed elements
@@ -47,83 +35,45 @@ type dualCtx[T any] struct {
 // result is identical for every value.
 func (t *Tree[T]) CountAllMulti(radii []float64, workers int) [][]int {
 	a := len(radii)
-	counts := make([][]int, a)
-	n := t.size
-	for e := range counts {
-		counts[e] = make([]int, n)
-	}
-	if t.root == nil || a == 0 || n == 0 {
-		return counts
-	}
-	stride := a + 1
 
 	// The units are the unordered pairs of root entries (self-pairs
-	// included). Each takes a pooled accumulator; the pool keeps every
-	// accumulator it ever creates on a list, so the merge sees all of
-	// them no matter how units were scheduled.
-	root := t.root.entries
-	k := len(root)
+	// included).
 	type unit struct{ i, j int }
-	units := make([]unit, 0, k*(k+1)/2)
-	for i := 0; i < k; i++ {
-		for j := i; j < k; j++ {
-			units = append(units, unit{i, j})
+	var units []unit
+	if t.root != nil {
+		k := len(t.root.entries)
+		units = make([]unit, 0, k*(k+1)/2)
+		for i := 0; i < k; i++ {
+			for j := i; j < k; j++ {
+				units = append(units, unit{i, j})
+			}
 		}
 	}
-	var mu sync.Mutex
-	var accs []*selfAcc[T]
-	pool := sync.Pool{New: func() any {
-		ac := &selfAcc[T]{point: make([]int, n*stride), nodes: make(map[*node[T]][]int)}
-		mu.Lock()
-		accs = append(accs, ac)
-		mu.Unlock()
-		return ac
-	}}
-	parallel.For(workers, len(units), func(u int) {
-		c := dualCtx[T]{visitState: visitState[T]{t: t}, radii: radii, stride: stride}
-		c.acc = pool.Get().(*selfAcc[T])
-		if units[u].i == units[u].j {
-			// Root entries have no live parent pivot (their dPar is
-			// stale by construction), so no prefilter applies up here.
-			c.selfVisit(&root[units[u].i], 0, a)
-		} else {
-			c.symVisit(&root[units[u].i], &root[units[u].j], 0, a)
-		}
-		pool.Put(c.acc)
-		t.distCalls.Add(c.calls)
-	})
-
-	// Merge: sum the flat rows, push the wholesale subtree credits down
-	// to their elements, then prefix-sum each element's difference row.
-	merged := make([]int, n*stride)
-	for _, ac := range accs {
-		for i, v := range ac.point {
-			merged[i] += v
-		}
-		for nd, diff := range ac.nodes {
-			addToSubtree(nd, diff, merged, stride)
-		}
-	}
-	parallel.For(workers, n, func(i int) {
-		run := 0
-		row := merged[i*stride:]
-		for e := 0; e < a; e++ {
-			run += row[e]
-			counts[e][i] = run
-		}
-	})
-	return counts
+	return selfjoin.CountMatrix(a, t.size, workers, len(units),
+		func(u int, acc *selfjoin.Acc[*node[T]]) {
+			c := dualCtx[T]{visitState: visitState[T]{t: t}, radii: radii, acc: acc}
+			root := t.root.entries
+			if units[u].i == units[u].j {
+				// Root entries have no live parent pivot (their dPar is
+				// stale by construction), so no prefilter applies up here.
+				c.selfVisit(&root[units[u].i], 0, a)
+			} else {
+				c.symVisit(&root[units[u].i], &root[units[u].j], 0, a)
+			}
+			t.distCalls.Add(c.calls)
+		},
+		addSubtree)
 }
 
-// addToSubtree adds a difference row to every element under n.
-func addToSubtree[T any](n *node[T], diff, merged []int, stride int) {
+// addSubtree adds a difference row to every element stored under n.
+func addSubtree[T any](n *node[T], diff, merged []int) {
 	for i := range n.entries {
 		e := &n.entries[i]
 		if e.child != nil {
-			addToSubtree(e.child, diff, merged, stride)
+			addSubtree(e.child, diff, merged)
 			continue
 		}
-		row := merged[e.id*stride:]
+		row := merged[e.id*len(diff):]
 		for k, v := range diff {
 			row[k] += v
 		}
@@ -132,21 +82,21 @@ func addToSubtree[T any](n *node[T], diff, merged []int, stride int) {
 
 // credit adds c to every radius in [from, to) for every element under e:
 // directly into the element's difference row for leaf entries, into the
-// subtree's wholesale accumulator otherwise.
+// subtree's wholesale accumulator otherwise. The rows are written raw —
+// this is the join's innermost loop (see selfjoin.Acc).
 func (c *dualCtx[T]) credit(e *entry[T], from, to, cnt int) {
+	var row []int
 	if e.child == nil {
-		row := c.acc.point[e.id*c.stride:]
-		row[from] += cnt
-		row[to] -= cnt
-		return
+		row = c.acc.Point[e.id*c.acc.Stride:]
+	} else {
+		row = c.acc.Nodes[e.child]
+		if row == nil {
+			row = make([]int, c.acc.Stride)
+			c.acc.Nodes[e.child] = row
+		}
 	}
-	diff := c.acc.nodes[e.child]
-	if diff == nil {
-		diff = make([]int, c.stride)
-		c.acc.nodes[e.child] = diff
-	}
-	diff[from] += cnt
-	diff[to] -= cnt
+	row[from] += cnt
+	row[to] -= cnt
 }
 
 // symVisit classifies the unordered pair of DISTINCT entries (ae, be) for

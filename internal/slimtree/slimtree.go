@@ -467,7 +467,13 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 			}
 			d := t.d(q, e.pivot)
 			if n.leaf {
-				if d < bound() || (d == bound() && len(heap) < k) {
+				// Admit while below capacity, and past it whenever (d, id)
+				// beats the current worst — the id comparison keeps ties at
+				// the k-th distance settled by insertion id alone, never by
+				// traversal order, so any tree arrangement over the same
+				// elements (insert-built, bulk-loaded, slimmed-down)
+				// returns the same k ids.
+				if len(heap) < k || d < heap[0].d || (d == heap[0].d && e.id < heap[0].id) {
 					push(kCand{id: e.id, d: d})
 					if len(heap) > k {
 						pop()
@@ -497,28 +503,139 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 	return ids, dists
 }
 
-// DiameterEstimate estimates the diameter of the indexed set as the maximum
-// of d(pivot_i, pivot_j) + radius_i + radius_j over pairs of root entries
-// (paper Alg. 1 L2: "maximum distance between any child of the root"). For a
-// leaf root it is the exact max pairwise distance; for one element it is 0.
+// DiameterEstimate estimates the diameter of the indexed set (paper
+// Alg. 1 L2's l). Unlike the root-entry heuristic it replaces, the value
+// depends only on the indexed DATA, never on the tree's arrangement: the
+// incremental and bulk-loaded builds (and any SlimDown reorganization)
+// report the same value, so the radii schedule derived from it — and with
+// it the whole pipeline output — is identical across build paths.
+//
+// Vector elements get the bounding-box corner distance d(lo, hi): an
+// upper bound on every pairwise distance for any coordinate-monotone
+// metric (all Lp norms — every vector metric this module ships),
+// computed in O(n·dim), and — under the Euclidean metric — the exact
+// same value the kd-tree and R-tree backends report, so all three access
+// methods now share one radii schedule on vector data. The shortcut
+// validates itself against a double farthest-point sweep (2n metric
+// evaluations, within 2× of the true diameter by the triangle
+// inequality): a corner distance below the sweep's lower bound proves
+// the metric is NOT coordinate-monotone, and the estimate falls through
+// to the exact path. A non-monotone caller-supplied vector metric whose
+// corner distance lands between the sweep bound and the true diameter
+// still passes the check and undershoots by at most 2× — one slot of the
+// halving radii schedule, the same slack the sweep itself (and the
+// root-entry heuristic this replaced, which ignored pairs under a single
+// root entry) permits; joins never rely on the last radius truly
+// covering every pair (join.SelfMultiRadiusCounts pins that row to n
+// explicitly).
+//
+// Every other element type gets the EXACT diameter: the sweep seeds a
+// lower bound and a branch-and-bound over subtree pairs closes the gap —
+// a pair of entries can only contain a farther element pair if
+// d(pivots) + r₁ + r₂ beats the best pair seen, so with a tight seed and
+// the low intrinsic (fractal) dimension the paper's cost model assumes
+// (Lemma 1) almost every subtree pair prunes. Data with near-uniform
+// pairwise distances defeats the pruning and degenerates toward n²/2
+// evaluations — but such data defeats every tree traversal in the
+// pipeline the same way; a budget cap is deliberately NOT applied
+// because aborting mid-search would make the value depend on the tree's
+// arrangement and break the bulk-vs-insert output identity.
 func (t *Tree[T]) DiameterEstimate() float64 {
-	if t.root == nil || len(t.root.entries) == 0 {
+	if t.root == nil || t.size < 2 {
 		return 0
 	}
-	es := t.root.entries
-	if len(es) == 1 {
-		return 2 * es[0].radius
-	}
-	m := 0.0
-	for i := 0; i < len(es); i++ {
-		for j := i + 1; j < len(es); j++ {
-			d := t.d(es[i].pivot, es[j].pivot) + es[i].radius + es[j].radius
-			if d > m {
-				m = d
+	elems := make([]T, t.size)
+	var collect func(n *node[T])
+	collect = func(n *node[T]) {
+		for i := range n.entries {
+			if n.leaf {
+				elems[n.entries[i].id] = n.entries[i].pivot
+			} else {
+				collect(n.entries[i].child)
 			}
 		}
 	}
-	return m
+	collect(t.root)
+	farthest := func(from int) (int, float64) {
+		best, bestD := from, -1.0
+		for i := range elems {
+			if d := t.d(elems[from], elems[i]); d > bestD {
+				best, bestD = i, d
+			}
+		}
+		return best, bestD
+	}
+	x, _ := farthest(0)
+	_, best := farthest(x)
+	if pts, ok := any(elems).([][]float64); ok {
+		lo := append([]float64(nil), pts[0]...)
+		hi := append([]float64(nil), pts[0]...)
+		for _, p := range pts {
+			for j, v := range p {
+				if v < lo[j] {
+					lo[j] = v
+				}
+				if v > hi[j] {
+					hi[j] = v
+				}
+			}
+		}
+		if corner := t.d(any(lo).(T), any(hi).(T)); corner >= best {
+			return corner
+		}
+		// corner < the sweep's lower bound: the metric is not
+		// coordinate-monotone, so the box says nothing — fall through to
+		// the exact branch-and-bound.
+	}
+
+	// Exact refinement. Every pivot-to-pivot distance computed on the way
+	// down is itself a pairwise element distance, so it tightens the bound
+	// too. visitPair descends the wider side of a cross pair; visitSelf
+	// expands a subtree against itself.
+	var visitPair func(a, b *entry[T], d float64)
+	visitPair = func(a, b *entry[T], d float64) {
+		if d > best {
+			best = d
+		}
+		if d+a.radius+b.radius <= best || (a.child == nil && b.child == nil) {
+			return
+		}
+		down, other := a, b
+		if a.child == nil || (b.child != nil && b.radius > a.radius) {
+			down, other = b, a
+		}
+		for i := range down.child.entries {
+			ce := &down.child.entries[i]
+			if d+ce.dPar+ce.radius+other.radius <= best {
+				continue // triangle upper bound needs no new evaluation
+			}
+			visitPair(ce, other, t.d(ce.pivot, other.pivot))
+		}
+	}
+	var visitSelf func(a *entry[T])
+	visitSelf = func(a *entry[T]) {
+		if a.child == nil || 2*a.radius <= best {
+			return
+		}
+		es := a.child.entries
+		for i := range es {
+			visitSelf(&es[i])
+			for j := i + 1; j < len(es); j++ {
+				if es[i].dPar+es[j].dPar+es[i].radius+es[j].radius <= best {
+					continue
+				}
+				visitPair(&es[i], &es[j], t.d(es[i].pivot, es[j].pivot))
+			}
+		}
+	}
+	root := t.root.entries
+	for i := range root {
+		visitSelf(&root[i])
+		for j := i + 1; j < len(root); j++ {
+			visitPair(&root[i], &root[j], t.d(root[i].pivot, root[j].pivot))
+		}
+	}
+	return best
 }
 
 // Height returns the tree height (0 for an empty tree, 1 for a leaf root).

@@ -28,9 +28,9 @@
 //
 // Every run fans its per-point work (range-count curves, gelling range
 // queries, bridge searches, scoring) out across runtime.GOMAXPROCS(0)
-// workers by default; the kd-tree and R-tree backends additionally
-// bulk-build in parallel (the default slim-tree's insert-based build
-// stays serial). Use WithWorkers to pin the worker count —
+// workers by default, and all three index backends — the bulk-loaded
+// slim-tree, the kd-tree and the R-tree — build their trees in parallel
+// too. Use WithWorkers to pin the worker count —
 // WithWorkers(1) forces a fully serial run. The result is byte-identical
 // for every worker count; see WithWorkers for the determinism guarantee.
 package mccatch
@@ -126,6 +126,19 @@ func WithCustomCost(bitsPerUnit float64) Option {
 // WithTreeCapacity sets the slim-tree node capacity (default 32).
 func WithTreeCapacity(k int) Option { return func(p *core.Params) { p.TreeCapacity = k } }
 
+// WithInsertionBuild reverts slim-tree construction to the legacy
+// incremental insert path (ChooseSubtree + minMax splits). By default
+// every slim-tree is bulk-loaded: each level picks pivots from a sample of
+// its elements (k-medoid style) and partitions the elements under a
+// balance cap, which builds several times faster and yields compact,
+// low-overlap nodes that all queries — and the Step II dual-tree self-join
+// — prune against far more effectively. The two builds are
+// query-equivalent, so the detection Result is byte-identical either way;
+// this option exists for benchmarking the build paths against each other.
+func WithInsertionBuild() Option {
+	return func(p *core.Params) { p.InsertionBuild = true }
+}
+
 // WithSlimDown enables the Slim-tree's slim-down reorganization (Traina
 // Jr. et al.) with the given number of passes after each tree build. It
 // reduces node overlap, which can cut distance computations on clustered
@@ -136,10 +149,11 @@ func WithSlimDown(passes int) Option {
 
 // WithWorkers sets the number of concurrent workers the pipeline uses for
 // its per-point work: the Step II neighbor-count curves, the Step III
-// gelling range queries, the Step IV bridge searches and scoring, and —
-// under RunVectorsKD/RunVectorsR — the kd-tree/R-tree bulk builds (the
-// slim-tree's insert-based build is serial). n ≤ 0 (the default) means
-// runtime.GOMAXPROCS(0); n = 1 forces a fully serial run.
+// gelling range queries, the Step IV bridge searches and scoring, and the
+// index builds (the default bulk-loaded slim-tree as well as the
+// kd-tree/R-tree under RunVectorsKD/RunVectorsR; only the legacy
+// WithInsertionBuild slim-tree path is inherently serial). n ≤ 0 (the
+// default) means runtime.GOMAXPROCS(0); n = 1 forces a fully serial run.
 //
 // Determinism guarantee: the Result is byte-identical for every worker
 // count. Workers write into preallocated per-index slots, every
