@@ -393,6 +393,76 @@ func benchSelfJoin(b *testing.B, kind string, dual bool) {
 	}
 }
 
+// The Step IV bridge search on each backend, per-point doubling-chunk
+// probes against the cross-set dual-tree join (all three trees implement
+// index.CrossMultiCounter as of this PR). 10k x 2d with ~10% outliers —
+// the microcluster-heavy split Step IV sees — identical firsts, very
+// different traversal counts. The CI bench gate asserts Dual < PerPoint
+// per backend within the same run.
+func BenchmarkBridgePerPointSlim(b *testing.B) { benchBridge(b, "slim", false) }
+func BenchmarkBridgeDualSlim(b *testing.B)     { benchBridge(b, "slim", true) }
+func BenchmarkBridgePerPointKD(b *testing.B)   { benchBridge(b, "kd", false) }
+func BenchmarkBridgeDualKD(b *testing.B)       { benchBridge(b, "kd", true) }
+func BenchmarkBridgePerPointR(b *testing.B)    { benchBridge(b, "r", false) }
+func BenchmarkBridgeDualR(b *testing.B)        { benchBridge(b, "r", true) }
+
+// bridgeWorkload fabricates the inlier/outlier split Step IV scores on a
+// 10k x 2d dataset: 9k uniform inliers, ~1k outliers in far microclusters
+// plus scattered singletons, radii derived from the combined diameter the
+// pipeline would use.
+func bridgeWorkload() (in, out [][]float64, radii []float64) {
+	rng := rand.New(rand.NewSource(17))
+	in = make([][]float64, 0, 9000)
+	for i := 0; i < 9000; i++ {
+		in = append(in, []float64{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	out = make([][]float64, 0, 1000)
+	for len(out) < 950 { // tight microclusters on a far ring
+		cx, cy := 150+rng.Float64()*150, 150+rng.Float64()*150
+		for k := 2 + rng.Intn(4); k > 0 && len(out) < 950; k-- {
+			out = append(out, []float64{cx + rng.NormFloat64()*0.2, cy + rng.NormFloat64()*0.2})
+		}
+	}
+	for len(out) < 1000 { // scattered singletons, some near the inliers
+		out = append(out, []float64{rng.Float64() * 300, rng.Float64() * 300})
+	}
+	lo, hi := []float64{0, 0}, []float64{0, 0}
+	for _, p := range append(append([][]float64{}, in...), out...) {
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	return in, out, geomRadii(metric.Euclidean(lo, hi), 15)
+}
+
+func benchBridge(b *testing.B, kind string, dual bool) {
+	b.Helper()
+	b.ReportAllocs()
+	in, out, radii := bridgeWorkload()
+	var t index.Index[[]float64]
+	switch kind {
+	case "slim":
+		t = slimtree.NewBulk(metric.Euclidean, 0, in)
+	case "kd":
+		t = kdtree.New(in)
+	case "r":
+		t = rtree.New(in, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dual {
+			join.BridgeRadii(t, out, radii, 1)
+		} else {
+			join.BridgeRadiiPerPoint(t, out, radii, 1)
+		}
+	}
+}
+
 func geomRadii(l float64, a int) []float64 {
 	radii := make([]float64, a)
 	for e := 0; e < a; e++ {

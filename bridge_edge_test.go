@@ -1,0 +1,191 @@
+package mccatch_test
+
+import (
+	"testing"
+
+	"mccatch"
+)
+
+// Step IV (Alg. 4) edge cases asserted through the public API: the
+// degenerate inlier/outlier splits the bridge search must survive —
+// no outliers at all, every point an outlier (the empty-inlier-tree
+// branch), a single inlier, and an outlier whose nearest inlier lies
+// beyond the largest radius (e == len(radii), reachable only when the
+// diameter estimate legitimately undershoots under a non-coordinate-
+// monotone custom metric).
+
+// outlierSet collects the union of all microcluster members.
+func outlierSet(res *mccatch.Result) map[int]bool {
+	out := map[int]bool{}
+	for _, mc := range res.Microclusters {
+		for _, m := range mc.Members {
+			out[m] = true
+		}
+	}
+	return out
+}
+
+// TestStepIVZeroOutliers: on a uniform grid nothing is anomalous, Step IV
+// scores no microclusters, and every point still gets a positive score.
+func TestStepIVZeroOutliers(t *testing.T) {
+	var grid [][]float64
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			grid = append(grid, []float64{float64(i), float64(j)})
+		}
+	}
+	res, err := mccatch.RunVectors(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Microclusters) != 0 {
+		t.Fatalf("uniform grid: %d microclusters, want 0", len(res.Microclusters))
+	}
+	for i, w := range res.PointScores {
+		if w <= 0 {
+			t.Fatalf("point %d: score %v, want > 0", i, w)
+		}
+	}
+}
+
+// TestStepIVAllOutliers: two tight pairs very far apart with c = 2 turn
+// EVERY point into a microcluster member, so the inlier set is empty and
+// the bridge of each microcluster defaults to the largest radius (the
+// len(inItems) == 0 branch of Step IV).
+func TestStepIVAllOutliers(t *testing.T) {
+	pts := [][]float64{{0, 0}, {0.1, 0}, {100, 100}, {100.1, 100}}
+	res, err := mccatch.RunVectors(pts, mccatch.WithMaxCardinality(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(outlierSet(res)); got != len(pts) {
+		t.Fatalf("all-outliers dataset: %d outliers, want %d", got, len(pts))
+	}
+	last := res.Radii[len(res.Radii)-1]
+	for j, mc := range res.Microclusters {
+		if mc.Bridge != last {
+			t.Errorf("microcluster %d: bridge %v, want the largest radius %v (no inlier exists)",
+				j, mc.Bridge, last)
+		}
+		if mc.Score <= 0 {
+			t.Errorf("microcluster %d: score %v, want > 0", j, mc.Score)
+		}
+	}
+}
+
+// TestStepIVSingleInlier: a configuration whose spotting leaves exactly
+// one inlier, so Step IV's bridge searches run against an inlier tree of
+// size 1.
+func TestStepIVSingleInlier(t *testing.T) {
+	pts := [][]float64{
+		{42, 5}, {126, 6}, {72, 8}, {128, 3}, {0, 10}, {62, 2}, {174, 1}, {36, 4},
+	}
+	res, err := mccatch.RunVectors(pts, mccatch.WithMaxCardinality(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := outlierSet(res)
+	if got := len(pts) - len(out); got != 1 {
+		t.Fatalf("single-inlier dataset: %d inliers, want 1 (microclusters %v)", got, res.Microclusters)
+	}
+	last := res.Radii[len(res.Radii)-1]
+	for j, mc := range res.Microclusters {
+		if mc.Bridge <= 0 || mc.Bridge > last {
+			t.Errorf("microcluster %d: bridge %v outside (0, %v]", j, mc.Bridge, last)
+		}
+	}
+}
+
+// TestStepIVOutlierBeyondLargestRadius reaches e == len(radii): a bridge
+// search that finds no inlier even at the largest radius, so the bridge
+// clamps to it. With a coordinate-monotone metric this cannot happen —
+// the corner estimate upper-bounds every pairwise distance — so the test
+// uses a hand-built finite metric (triangle inequality verified below)
+// whose bounding-box corner distance passes the slim-tree's sweep
+// self-check while undershooting the true diameter: exactly the ≤ 2×
+// slack the estimator documents. The outlier 'o' sits 18 away from every
+// inlier while the radii top out at 13.
+func TestStepIVOutlierBeyondLargestRadius(t *testing.T) {
+	// Elements (ids in order): e0, x, o, i1, i2, i3. The coordinates only
+	// serve as dictionary keys and bounding-box material; distances come
+	// from the table. lo = (0,0) and hi = (1,1) are not elements.
+	pts := [][]float64{
+		{0, 1},     // e0
+		{1, 0},     // x
+		{0.5, 0.2}, // o
+		{0.2, 0.3}, // i1
+		{0.3, 0.4}, // i2
+		{0.4, 0.5}, // i3
+	}
+	type pair [2][2]float64
+	key := func(p []float64) [2]float64 { return [2]float64{p[0], p[1]} }
+	dists := map[pair]float64{}
+	set := func(a, b []float64, d float64) { dists[pair{key(a), key(b)}] = d }
+	e0, x, o, i1, i2, i3 := pts[0], pts[1], pts[2], pts[3], pts[4], pts[5]
+	corner := [][]float64{{0, 0}, {1, 1}}
+	// Every triangle checks out: e.g. d(o,i) = 18 ≤ d(o,e0)+d(e0,i) =
+	// 9.5+9, and the sweep from e0 finds x (10), whose own farthest is o
+	// (13) — so the corner's 13 passes the "corner ≥ sweep" self-check
+	// while the true diameter is 18.
+	set(e0, x, 10)
+	set(e0, o, 9.5)
+	set(x, o, 13)
+	for _, i := range [][]float64{i1, i2, i3} {
+		set(e0, i, 9)
+		set(x, i, 9)
+		set(o, i, 18)
+	}
+	set(i1, i2, 1)
+	set(i1, i3, 1)
+	set(i2, i3, 1)
+	set(corner[0], corner[1], 13)
+	dist := func(a, b []float64) float64 {
+		ka, kb := key(a), key(b)
+		if ka == kb {
+			return 0
+		}
+		if d, ok := dists[pair{ka, kb}]; ok {
+			return d
+		}
+		if d, ok := dists[pair{kb, ka}]; ok {
+			return d
+		}
+		t.Fatalf("metric queried on unexpected pair %v, %v", a, b)
+		return 0
+	}
+
+	res, err := mccatch.Run(pts, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Radii[len(res.Radii)-1]
+	if res.Diameter != 13 {
+		t.Fatalf("diameter estimate %v, want the corner's 13", res.Diameter)
+	}
+	out := outlierSet(res)
+	for _, id := range []int{3, 4, 5} {
+		if out[id] {
+			t.Fatalf("inlier i%d was flagged as outlier; microclusters %v", id-2, res.Microclusters)
+		}
+	}
+	if !out[2] {
+		t.Fatalf("o was not flagged as outlier; microclusters %v", res.Microclusters)
+	}
+	// o's nearest inlier is 18 > 13 away: its bridge search exhausts the
+	// schedule (e == len(radii)) and the bridge clamps to the largest
+	// radius.
+	for _, mc := range res.Microclusters {
+		for _, m := range mc.Members {
+			if m != 2 {
+				continue
+			}
+			if len(mc.Members) != 1 {
+				t.Fatalf("o gelled into %v, want a singleton", mc.Members)
+			}
+			if mc.Bridge != last {
+				t.Fatalf("o's bridge %v, want the largest radius %v (nearest inlier is 18 away)",
+					mc.Bridge, last)
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Command coverdiff is the CI coverage gate: it reads a Go cover profile
+// (go test -coverprofile), aggregates statement coverage per package and
+// in total, and exits nonzero when total coverage falls below the
+// threshold recorded next to the benchmark baseline (BENCH_4.json's
+// "coverage_baseline" section). It always prints the per-package delta
+// against the recorded per-package numbers, so a regression names the
+// package that lost coverage instead of just moving a repo-wide figure.
+//
+// Usage:
+//
+//	go test -short -coverprofile=cover.out ./...
+//	go run ./cmd/coverdiff -baseline BENCH_4.json cover.out
+//
+// The gate is on TOTAL coverage only: per-package numbers drift a little
+// as code moves between packages, and gating each one would turn every
+// refactor into a baseline edit. The recorded packages map exists for
+// the delta report. To refresh after intentional changes, run the same
+// commands and copy coverdiff's printed totals into the baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// coverageBaseline is the subset of the baseline JSON the gate consumes.
+type coverageBaseline struct {
+	// ThresholdPercent is the gate: total statement coverage below this
+	// fails. It is recorded a couple of points below the measured total,
+	// so legitimate churn does not trip it but a dropped test suite does.
+	ThresholdPercent float64 `json:"threshold_percent"`
+	// TotalPercent is the measured total at recording time (informational).
+	TotalPercent float64 `json:"total_percent"`
+	// Packages maps import path → percent at recording time, for the
+	// delta report.
+	Packages map[string]float64 `json:"packages"`
+}
+
+type baselineFile struct {
+	Coverage *coverageBaseline `json:"coverage_baseline"`
+}
+
+// pkgCover accumulates statement totals for one package.
+type pkgCover struct {
+	stmts, covered int
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_4.json", "baseline JSON with a coverage_baseline section")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatalf("open cover profile: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	perPkg, err := parseProfile(in)
+	if err != nil {
+		fatalf("parse cover profile: %v", err)
+	}
+	report, total := compare(base, perPkg)
+	fmt.Print(report)
+	if total < base.ThresholdPercent {
+		fmt.Printf("FAIL: total coverage %.1f%% is below the recorded threshold %.1f%%\n",
+			total, base.ThresholdPercent)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: total coverage %.1f%% meets the recorded threshold %.1f%%\n",
+		total, base.ThresholdPercent)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "coverdiff: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func loadBaseline(p string) (*coverageBaseline, error) {
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("read baseline: %w", err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("decode baseline %s: %w", p, err)
+	}
+	if bf.Coverage == nil || bf.Coverage.ThresholdPercent <= 0 {
+		return nil, fmt.Errorf("baseline %s has no coverage_baseline.threshold_percent", p)
+	}
+	return bf.Coverage, nil
+}
+
+// parseProfile aggregates a cover profile into per-package statement
+// counts. Profile lines look like
+//
+//	mccatch/internal/join/join.go:39.93,44.2 3 1
+//
+// — numStmts statements, covered when count > 0. Blocks repeat across
+// per-package test binaries only within their own package, so summing is
+// safe.
+func parseProfile(r io.Reader) (map[string]*pkgCover, error) {
+	perPkg := map[string]*pkgCover{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		file, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("malformed line %q", line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed line %q", line)
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		count, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("malformed counts on line %q", line)
+		}
+		pkg := path.Dir(file)
+		pc := perPkg[pkg]
+		if pc == nil {
+			pc = &pkgCover{}
+			perPkg[pkg] = pc
+		}
+		pc.stmts += stmts
+		if count > 0 {
+			pc.covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(perPkg) == 0 {
+		return nil, fmt.Errorf("profile contains no coverage blocks")
+	}
+	return perPkg, nil
+}
+
+func pct(covered, stmts int) float64 {
+	if stmts == 0 {
+		return 0
+	}
+	return 100 * float64(covered) / float64(stmts)
+}
+
+// compare renders the per-package table with deltas against the baseline
+// and returns the total percentage. Packages new since the recording and
+// packages that vanished are both called out — a vanished package is
+// usually a test suite that stopped running, which is exactly what the
+// gate exists to catch.
+func compare(base *coverageBaseline, perPkg map[string]*pkgCover) (string, float64) {
+	var b strings.Builder
+	names := make([]string, 0, len(perPkg))
+	totStmts, totCovered := 0, 0
+	for name, pc := range perPkg {
+		names = append(names, name)
+		totStmts += pc.stmts
+		totCovered += pc.covered
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pc := perPkg[name]
+		p := pct(pc.covered, pc.stmts)
+		if want, ok := base.Packages[name]; ok {
+			fmt.Fprintf(&b, "%-36s %6.1f%%  baseline %6.1f%%  delta %+5.1f\n", name, p, want, p-want)
+		} else {
+			fmt.Fprintf(&b, "%-36s %6.1f%%  (new: no baseline entry)\n", name, p)
+		}
+	}
+	missing := make([]string, 0)
+	for name := range base.Packages {
+		if _, ok := perPkg[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(&b, "%-36s MISSING from profile (baseline %.1f%%)\n", name, base.Packages[name])
+	}
+	total := pct(totCovered, totStmts)
+	fmt.Fprintf(&b, "%-36s %6.1f%%  recorded %6.1f%%  threshold %6.1f%%\n", "TOTAL", total, base.TotalPercent, base.ThresholdPercent)
+	return b.String(), total
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+mccatch/internal/join/join.go:10.2,12.3 4 1
+mccatch/internal/join/join.go:14.2,16.3 6 0
+mccatch/internal/core/core.go:5.1,9.2 10 1
+mccatch/internal/core/score.go:5.1,9.2 10 1
+`
+
+func TestParseProfileAggregatesPerPackage(t *testing.T) {
+	perPkg, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := perPkg["mccatch/internal/join"]
+	if join == nil || join.stmts != 10 || join.covered != 4 {
+		t.Fatalf("join: %+v, want 10 stmts / 4 covered", join)
+	}
+	core := perPkg["mccatch/internal/core"]
+	if core == nil || core.stmts != 20 || core.covered != 20 {
+		t.Fatalf("core: %+v, want 20 stmts / 20 covered", core)
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	if _, err := parseProfile(strings.NewReader("mode: set\nnot a profile line\n")); err == nil {
+		t.Error("garbage line should error")
+	}
+	if _, err := parseProfile(strings.NewReader("mode: set\n")); err == nil {
+		t.Error("empty profile should error")
+	}
+}
+
+// TestGateTripsBelowThreshold proves the gate catches a dropped test
+// suite: the sample profile totals 24/30 = 80%, so an 85% threshold must
+// fail and a 75% one must pass.
+func TestGateTripsBelowThreshold(t *testing.T) {
+	perPkg, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &coverageBaseline{ThresholdPercent: 85, TotalPercent: 85}
+	report, total := compare(base, perPkg)
+	if total >= base.ThresholdPercent {
+		t.Fatalf("total %.1f should be below threshold %.1f\n%s", total, base.ThresholdPercent, report)
+	}
+	base.ThresholdPercent = 75
+	if _, total := compare(base, perPkg); total < base.ThresholdPercent {
+		t.Fatalf("total %.1f should clear threshold %.1f", total, base.ThresholdPercent)
+	}
+}
+
+// TestCompareNamesRegressingPackage: the delta report must name the
+// package whose coverage moved, and call out packages missing from the
+// profile entirely.
+func TestCompareNamesRegressingPackage(t *testing.T) {
+	perPkg, err := parseProfile(strings.NewReader(sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &coverageBaseline{
+		ThresholdPercent: 10,
+		Packages: map[string]float64{
+			"mccatch/internal/join": 90, // regressed: now 40%
+			"mccatch/internal/mdl":  80, // vanished from the profile
+		},
+	}
+	report, _ := compare(base, perPkg)
+	if !strings.Contains(report, "mccatch/internal/join") || !strings.Contains(report, "-50.0") {
+		t.Errorf("report does not name the regressed package with its delta:\n%s", report)
+	}
+	if !strings.Contains(report, "mccatch/internal/mdl") || !strings.Contains(report, "MISSING") {
+		t.Errorf("report does not call out the vanished package:\n%s", report)
+	}
+	if !strings.Contains(report, "(new: no baseline entry)") {
+		t.Errorf("report does not mark packages new since the baseline:\n%s", report)
+	}
+}

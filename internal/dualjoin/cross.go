@@ -1,0 +1,86 @@
+package dualjoin
+
+import (
+	"sync"
+
+	"mccatch/internal/parallel"
+)
+
+// This file holds the cross-join half of the shared machinery: where the
+// self-join accumulates additive per-radius count differences (Acc /
+// CountMatrix), the cross-join accumulates per-query MINIMUM radius
+// indices — the first radius of the schedule at which a query of the
+// outer set meets an element of the indexed set. Minima merge
+// commutatively just like sums, so the same pooled-unit scheduling keeps
+// the result identical for every worker count; and because every credit
+// is a valid upper bound on a query's true first index, accumulators can
+// be reused across units without resetting.
+
+// MinAcc collects one traversal unit's bridge bounds: a flat per-query
+// best-index row plus lazily recorded per-subtree bounds (pushed down to
+// every query under the node during the final merge). N is the backend's
+// node-pointer type. Like Acc, the fields are exported raw and every
+// backend writes its credits directly — crediting sits in the innermost
+// loop of the join, and a method on a generic receiver goes through a
+// dictionary the compiler will not inline. A point credit lowers
+// Best[id] to b if smaller; a node credit lowers Nodes[n] the same way
+// (allocating the entry on first use). Both rows start at len(radii),
+// the "never meets an indexed element" sentinel.
+type MinAcc[N comparable] struct {
+	Best  []int     // query id → smallest credited radius index
+	Nodes map[N]int // subtree → smallest wholesale radius index
+}
+
+// FirstMatrix runs units traversal units across the worker budget with
+// pooled MinAccs and assembles firsts[id] — the smallest radius index
+// credited to query id by any unit, or a (the sentinel) when no unit
+// credited it — for a radii and n queries. visit performs unit u's
+// traversal, crediting into acc; pushSubtree pushes a wholesale bound
+// down to every query under a node — for each query id under it, it must
+// lower merged[id] to bound if that is smaller (a direct recursion in
+// each backend, mirroring CountMatrix's addSubtree). Minima are
+// commutative and idempotent, so the result is identical for every
+// worker count and unit schedule.
+func FirstMatrix[N comparable](a, n, workers, units int,
+	visit func(u int, acc *MinAcc[N]),
+	pushSubtree func(node N, bound int, merged []int)) []int {
+
+	firsts := make([]int, n)
+	for i := range firsts {
+		firsts[i] = a
+	}
+	if n == 0 || units == 0 {
+		return firsts
+	}
+	var mu sync.Mutex
+	var accs []*MinAcc[N]
+	pool := sync.Pool{New: func() any {
+		ac := &MinAcc[N]{Best: make([]int, n), Nodes: make(map[N]int)}
+		for i := range ac.Best {
+			ac.Best[i] = a
+		}
+		mu.Lock()
+		accs = append(accs, ac)
+		mu.Unlock()
+		return ac
+	}}
+	parallel.For(workers, units, func(u int) {
+		ac := pool.Get().(*MinAcc[N])
+		visit(u, ac)
+		pool.Put(ac)
+	})
+
+	// Merge: minimum of the flat rows, then push the wholesale subtree
+	// bounds down to their queries.
+	for _, ac := range accs {
+		for i, v := range ac.Best {
+			if v < firsts[i] {
+				firsts[i] = v
+			}
+		}
+		for nd, b := range ac.Nodes {
+			pushSubtree(nd, b, firsts)
+		}
+	}
+	return firsts
+}

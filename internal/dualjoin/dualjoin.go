@@ -1,12 +1,18 @@
-// Package selfjoin provides the machinery shared by the dual-tree
-// multi-radius self-joins of the three index backends
-// (index.SelfMultiCounter): per-worker credit accumulators, their pooled
-// scheduling across traversal units, the commutative merge, and the
-// min/max bounds between bounding boxes. Each backend keeps only what is
-// genuinely its own — the subtree-pair classification geometry — so a fix
-// to the crediting or merge logic lands in one place and cannot diverge
-// the backends the equivalence tests promise are identical.
-package selfjoin
+// Package dualjoin provides the machinery shared by the dual-tree joins
+// of the three index backends: the SELF-join (index.SelfMultiCounter —
+// every indexed element's neighbor counts at every radius) and the
+// CROSS-join (index.CrossMultiCounter — for every query of a second set,
+// the first radius with an indexed neighbor). Both walk the full radius
+// schedule once with per-pair window narrowing; what lives here is
+// everything the traversals share: per-worker accumulators (additive
+// difference rows for the self-join, min-bound rows for the cross-join),
+// their pooled scheduling across traversal units, the commutative merges,
+// the window-narrowing step, and the min/max bounds between bounding
+// boxes. Each backend keeps only what is genuinely its own — the
+// subtree-pair classification geometry — so a fix to the crediting or
+// merge logic lands in one place and cannot diverge the backends the
+// equivalence tests promise are identical.
+package dualjoin
 
 import (
 	"sync"
@@ -106,6 +112,29 @@ func CountMatrix[N comparable](a, n, workers, units int,
 		}
 	})
 	return counts
+}
+
+// Window narrows the radius window [lo, hi) for a pair of subtrees whose
+// element distances (in whatever unit the caller's schedule uses — plain
+// for metric balls, squared for box bounds) all lie in [dmin, dmax]:
+// radii below the returned from cannot reach any pair, and radii at and
+// above the returned settled contain every pair, so the caller can credit
+// them wholesale and recurse only on [from, settled). The thresholds are
+// scanned linearly — the schedule is tiny (a ≤ ~15) and both predicates
+// are monotone in the radius, so the scans stop early. The cross-joins of
+// every backend classify through this one function; the self-joins
+// predate it and keep the same two scans inlined in their hot visit
+// loops — when changing the boundary semantics here, change them there
+// too (kdtree/rtree/slimtree dualjoin.go).
+func Window(radii []float64, dmin, dmax float64, lo, hi int) (from, settled int) {
+	for lo < hi && dmin > radii[lo] {
+		lo++ // the pair is fully separated at the smallest radii
+	}
+	nh := lo
+	for nh < hi && dmax > radii[nh] {
+		nh++ // radii [nh, hi) contain every pair: settle them at once
+	}
+	return lo, nh
 }
 
 // SqMinMaxBoxBox returns the smallest and largest SQUARED Euclidean

@@ -1,0 +1,195 @@
+package dualjoin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The backends' equivalence suites prove the joins end to end; these
+// tests pin the shared machinery's own contracts — window narrowing,
+// box bounds, and the two accumulator merges — directly, so a future
+// backend gets them pre-verified.
+
+func TestWindow(t *testing.T) {
+	radii := []float64{1, 2, 4, 8}
+	cases := []struct {
+		dmin, dmax   float64
+		lo, hi       int
+		from, settle int
+	}{
+		{0, 0.5, 0, 4, 0, 0}, // settles everywhere immediately
+		{0, 100, 0, 4, 0, 4}, // straddles the whole schedule
+		{3, 3, 0, 4, 2, 2},   // a single distance: its bucket
+		{9, 10, 0, 4, 4, 4},  // beyond every radius: empty window
+		{0, 5, 2, 4, 2, 3},   // only the suffix is open
+		{1.5, 3, 1, 1, 1, 1}, // empty incoming window stays empty
+		{1, 1, 0, 4, 0, 0},   // dmin == radius: inclusive, not separated
+	}
+	for i, c := range cases {
+		from, settle := Window(radii, c.dmin, c.dmax, c.lo, c.hi)
+		if from != c.from || settle != c.settle {
+			t.Errorf("case %d: Window([%v,%v], [%d,%d)) = (%d, %d), want (%d, %d)",
+				i, c.dmin, c.dmax, c.lo, c.hi, from, settle, c.from, c.settle)
+		}
+	}
+}
+
+func TestSqMinMaxBoxBox(t *testing.T) {
+	// Disjoint boxes on one axis: gap 2, farthest corners 7 apart.
+	smin, smax := SqMinMaxBoxBox([]float64{0}, []float64{1}, []float64{3}, []float64{7})
+	if smin != 4 || smax != 49 {
+		t.Errorf("disjoint: (%v, %v), want (4, 49)", smin, smax)
+	}
+	// Identical boxes degenerate to (0, squared diagonal).
+	lo, hi := []float64{0, 0}, []float64{3, 4}
+	smin, smax = SqMinMaxBoxBox(lo, hi, lo, hi)
+	if smin != 0 || smax != 25 {
+		t.Errorf("self: (%v, %v), want (0, 25)", smin, smax)
+	}
+	if d := SqBoxDiag(lo, hi); d != 25 {
+		t.Errorf("SqBoxDiag = %v, want 25", d)
+	}
+	// Overlapping boxes: min distance 0.
+	smin, _ = SqMinMaxBoxBox([]float64{0, 0}, []float64{2, 2}, []float64{1, 1}, []float64{3, 3})
+	if smin != 0 {
+		t.Errorf("overlapping: smin = %v, want 0", smin)
+	}
+}
+
+// TestCountMatrixMergesAcrossWorkers drives CountMatrix with synthetic
+// units — point credits plus a wholesale node credit — and checks the
+// assembled matrix is the prefix-summed union at every worker count.
+func TestCountMatrixMergesAcrossWorkers(t *testing.T) {
+	type nd int // fake node type: one node "0" covering elements 1 and 2
+	push := func(node nd, diff, merged []int) {
+		for _, id := range []int{1, 2} {
+			row := merged[id*len(diff):]
+			for k, v := range diff {
+				row[k] += v
+			}
+		}
+	}
+	const a, n, units = 3, 4, 6
+	visit := func(u int, acc *Acc[nd]) {
+		acc.CreditPoint(u%n, 0, a, 1) // each unit credits one element everywhere
+		if u == 2 {
+			row := acc.NodeRow(0) // elements 1, 2 gain 5 at radii [1, 3)
+			row[1] += 5
+			row[3] -= 5
+		}
+	}
+	var want [][]int
+	for _, workers := range []int{1, 2, 8} {
+		got := CountMatrix(a, n, workers, units, visit, push)
+		if want == nil {
+			want = got
+			// Spot-check the serial result itself: element 0 was credited
+			// by units 0 and 4, element 1 by units 1 and 5 plus the node
+			// credit from radius 1 on, elements 2 and 3 by one unit each.
+			if got[0][0] != 2 || got[0][1] != 2 || got[1][1] != 7 || got[2][2] != 6 || got[0][3] != 1 {
+				t.Fatalf("unexpected serial matrix %v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: matrix %v differs from serial %v", workers, got, want)
+		}
+	}
+	empty := CountMatrix(0, 0, 1, 0, visit, push)
+	if len(empty) != 0 {
+		t.Errorf("degenerate CountMatrix: %v, want empty", empty)
+	}
+}
+
+// TestFirstMatrixMergesMinima drives FirstMatrix with synthetic units and
+// checks that point credits, wholesale node credits and the sentinel all
+// merge to the same minima at every worker count — including when the
+// pooled accumulators are reused across many units.
+func TestFirstMatrixMergesMinima(t *testing.T) {
+	type nd int
+	push := func(node nd, bound int, merged []int) {
+		for _, id := range []int{1, 2} {
+			if bound < merged[id] {
+				merged[id] = bound
+			}
+		}
+	}
+	// Credits are written raw, exactly as the backends write them.
+	creditPoint := func(acc *MinAcc[nd], id, b int) {
+		if b < acc.Best[id] {
+			acc.Best[id] = b
+		}
+	}
+	creditNode := func(acc *MinAcc[nd], n nd, b int) {
+		if cur, ok := acc.Nodes[n]; !ok || b < cur {
+			acc.Nodes[n] = b
+		}
+	}
+	const a, n, units = 5, 4, 16
+	visit := func(u int, acc *MinAcc[nd]) {
+		creditPoint(acc, 0, 4-u%5) // element 0: repeated credits, min 0
+		if u == 3 {
+			creditNode(acc, 0, 2) // elements 1, 2: bound 2 wholesale
+		}
+		if u == 7 {
+			creditNode(acc, 0, 3) // worse wholesale bound must not win
+		}
+		// Element 3 never credited: stays at the sentinel.
+	}
+	want := []int{0, 2, 2, a}
+	for _, workers := range []int{1, 2, 8} {
+		got := FirstMatrix(a, n, workers, units, visit, push)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: firsts %v, want %v", workers, got, want)
+		}
+	}
+	if got := FirstMatrix(a, 0, 1, units, visit, push); len(got) != 0 {
+		t.Errorf("no queries: %v, want empty", got)
+	}
+	if got := FirstMatrix(a, n, 1, 0, visit, push); !reflect.DeepEqual(got, []int{a, a, a, a}) {
+		t.Errorf("no units: %v, want all-sentinel", got)
+	}
+}
+
+// TestFirstMatrixRandomizedAgainstSerial cross-checks the pooled merge on
+// random credit schedules: whatever the unit/worker interleaving, the
+// result equals the brute-force minimum of all credits.
+func TestFirstMatrixRandomizedAgainstSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		a := 1 + rng.Intn(12)
+		n := 1 + rng.Intn(40)
+		units := rng.Intn(30)
+		type credit struct{ id, b int }
+		perUnit := make([][]credit, units)
+		want := make([]int, n)
+		for i := range want {
+			want[i] = a
+		}
+		for u := range perUnit {
+			for k := rng.Intn(6); k > 0; k-- {
+				c := credit{id: rng.Intn(n), b: rng.Intn(a)}
+				perUnit[u] = append(perUnit[u], c)
+				if c.b < want[c.id] {
+					want[c.id] = c.b
+				}
+			}
+		}
+		type nd int
+		visit := func(u int, acc *MinAcc[nd]) {
+			for _, c := range perUnit[u] {
+				if c.b < acc.Best[c.id] {
+					acc.Best[c.id] = c.b
+				}
+			}
+		}
+		push := func(nd, int, []int) { t.Fatal("no node credits in this trial") }
+		for _, workers := range []int{1, 3} {
+			got := FirstMatrix(a, n, workers, units, visit, push)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d workers=%d: %v, want %v", trial, workers, got, want)
+			}
+		}
+	}
+}

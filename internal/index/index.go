@@ -20,6 +20,12 @@
 //     (the slim-tree with covering-ball bounds, the kd-tree and R-tree
 //     with min/max box-distance bounds); join.SelfMultiRadiusCounts falls
 //     back to gated per-point probes for any other backend.
+//   - CrossMultiCounter answers the Step IV bridge search — for every
+//     outlier, the first radius with an inlier neighbor — from ONE dual
+//     traversal of the inlier index against a throwaway tree over the
+//     outliers. All three bundled trees implement it natively;
+//     join.BridgeRadii falls back to batched per-point probes for any
+//     other backend.
 //   - QueryAppender lets callers pass a reusable scratch buffer to range
 //     queries, cutting per-probe garbage on the hot paths.
 package index
@@ -63,6 +69,28 @@ type SelfMultiCounter interface {
 	// must be sorted ascending. Results are identical for every worker
 	// count (≤ 0 means all cores, 1 means serial).
 	CountAllMulti(radii []float64, workers int) [][]int
+}
+
+// CrossMultiCounter is the optional cross-set dual-join extension, serving
+// Step IV's bridge searches (paper Alg. 4 L4-12): given a batch of query
+// elements DISJOINT from the indexed set (the outliers, probing the inlier
+// tree), one subtree-vs-subtree traversal finds for every query the first
+// radius of an ascending schedule at which it has at least one indexed
+// neighbor. Where MultiCounter amortizes one query's traversal across
+// radii, this amortizes across the query set too: the implementation
+// bulk-builds a throwaway tree over the queries and classifies query
+// subtrees against index subtrees with min/max-distance windows, so whole
+// blocks of query×element pairs settle at once. All three bundled trees
+// implement it; join.BridgeRadii falls back to batched per-query probes
+// for any other backend, and both paths return identical results.
+type CrossMultiCounter[T any] interface {
+	// BridgeFirsts returns, for each query, the index e of the first
+	// radius with at least one indexed element within radii[e]
+	// (inclusive), or len(radii) when even the largest radius finds
+	// none. radii must be sorted ascending. The result is identical to
+	// probing each query radius by radius and identical for every
+	// worker count (≤ 0 means all cores, 1 means serial).
+	BridgeFirsts(queries []T, radii []float64, workers int) []int
 }
 
 // QueryAppender is the optional allocation-saving extension: range queries

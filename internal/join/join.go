@@ -17,7 +17,10 @@
 // the still-relevant radius suffix — and stops once its count exceeds the
 // cap. When the query set is the indexed set itself and the index can
 // join itself (index.SelfMultiCounter), the whole counts matrix instead
-// comes from ONE dual-tree traversal of the index against itself.
+// comes from ONE dual-tree traversal of the index against itself; when
+// the query set is a second, disjoint set and the index can join it
+// (index.CrossMultiCounter), the Step IV bridge search likewise comes
+// from ONE dual-tree traversal against a throwaway tree over the queries.
 //
 // Probes are read-only on the tree, so each join fans out across the
 // caller's worker budget (internal/parallel; ≤ 0 means all cores, 1 means
@@ -251,13 +254,31 @@ func SelfMultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, 
 
 // BridgeRadii finds, for every outlier, the index e of the smallest radius
 // at which it has at least one inlier neighbor (paper Alg. 4 L4-12): the
-// bridge length is then radii[e-1]. Each outlier probes the inlier tree in
-// doubling chunks of the radius schedule — one batched traversal per chunk
-// — and stops at the first radius with a nonzero count (counts are
-// monotone in the radius, so this matches probing radius by radius and
-// stopping at the first hit). Outliers that never meet an inlier get
-// len(radii) (callers treat the bridge as the largest radius).
+// bridge length is then radii[e-1]. Outliers that never meet an inlier get
+// len(radii) (callers treat the bridge as the largest radius). When the
+// inlier index can join a second set (index.CrossMultiCounter — every
+// bundled backend), the whole answer comes from ONE dual traversal of the
+// inlier tree against a throwaway tree over the outliers; other backends
+// fall back to the batched per-point probes of BridgeRadiiPerPoint. Both
+// paths return bit-identical results at every worker count: the dual join
+// resolves each outlier's true first index exactly (bounds only ever
+// defer ambiguous pairs, never approximate them), which is the quantity
+// the per-point probing stops at.
 func BridgeRadii[T any](inliers index.Index[T], outliers []T, radii []float64, workers int) []int {
+	if cmc, ok := inliers.(index.CrossMultiCounter[T]); ok {
+		return cmc.BridgeFirsts(outliers, radii, workers)
+	}
+	return BridgeRadiiPerPoint(inliers, outliers, radii, workers)
+}
+
+// BridgeRadiiPerPoint is the generic bridge search: each outlier probes
+// the inlier tree in doubling chunks of the radius schedule — one batched
+// traversal per chunk (index.RangeCountMulti) — and stops at the first
+// radius with a nonzero count (counts are monotone in the radius, so this
+// matches probing radius by radius and stopping at the first hit). It is
+// the fallback for indexes without a native cross-join, and the reference
+// the equivalence tests and benchmarks hold BridgeRadii's dual path to.
+func BridgeRadiiPerPoint[T any](inliers index.Index[T], outliers []T, radii []float64, workers int) []int {
 	a := len(radii)
 	first := make([]int, len(outliers))
 	parallel.For(workers, len(outliers), func(i int) {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"mccatch/internal/index"
 	"mccatch/internal/metric"
 	"mccatch/internal/slimtree"
 )
@@ -300,11 +301,34 @@ func TestBridgeRadii(t *testing.T) {
 	}
 	tr := slimtree.New(metric.Euclidean, 0, inliers)
 	radii := []float64{0.5, 1, 4, 8}
-	got := BridgeRadii(tr, outliers, radii, 0)
+	got := BridgeRadii(tr, outliers, radii, 0) // dispatches to the dual join
 	want := []int{2, 0, len(radii)}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("BridgeRadii[%d]=%d, want %d", i, got[i], want[i])
 		}
 	}
+	perPoint := BridgeRadiiPerPoint(tr, outliers, radii, 0)
+	for i := range want {
+		if perPoint[i] != want[i] {
+			t.Errorf("BridgeRadiiPerPoint[%d]=%d, want %d", i, perPoint[i], want[i])
+		}
+	}
+	// An index without the cross-join capability must fall back to the
+	// per-point probes and still return the same firsts.
+	fallback := BridgeRadii[[]float64](noCross{tr}, outliers, radii, 0)
+	for i := range want {
+		if fallback[i] != want[i] {
+			t.Errorf("fallback BridgeRadii[%d]=%d, want %d", i, fallback[i], want[i])
+		}
+	}
 }
+
+// noCross hides every optional capability of the wrapped index, so the
+// generic fallbacks run.
+type noCross struct{ inner index.Index[[]float64] }
+
+func (n noCross) RangeCount(q []float64, r float64) int   { return n.inner.RangeCount(q, r) }
+func (n noCross) RangeQuery(q []float64, r float64) []int { return n.inner.RangeQuery(q, r) }
+func (n noCross) Size() int                               { return n.inner.Size() }
+func (n noCross) DiameterEstimate() float64               { return n.inner.DiameterEstimate() }

@@ -1,0 +1,200 @@
+package kdtree
+
+import (
+	"mccatch/internal/dualjoin"
+	"mccatch/internal/metric"
+)
+
+// This file implements the cross-set dual-tree bridge join for the
+// kd-tree (index.CrossMultiCounter): for every query of a second point
+// set — MCCATCH's outliers probing the inlier tree — the index of the
+// first radius of a nested schedule with at least one indexed neighbor,
+// from one traversal of the inlier tree against a throwaway kd-tree
+// bulk-built over the queries. Per-query probing re-derives the same
+// box-level geometry once per query; the dual traversal classifies PAIRS
+// of subtrees with the min/max squared box distances the self-join uses,
+// so whole blocks of query×point pairs settle at once. Unlike the
+// self-join it accumulates per-query MINIMA instead of counts, which
+// makes early termination cheap: a bound credited to a query (or a whole
+// query subtree) narrows every later pair's radius window from above.
+// All comparisons are on squared distances — no math.Sqrt anywhere. The
+// accumulator, scheduling and merge machinery is internal/dualjoin's.
+
+// crossCtx is one traversal unit's context: the squared radius schedule
+// and the unit's min-accumulator. Queries live in the outlier tree's id
+// space; indexed points are only ever counted as "some neighbor", never
+// identified.
+type crossCtx struct {
+	radii2 []float64
+	acc    *dualjoin.MinAcc[*node]
+}
+
+// creditPoint and creditNode write the accumulator rows raw — crediting
+// sits in the join's innermost loop, and these concrete-receiver helpers
+// inline where a generic method would not (see dualjoin.MinAcc).
+func (c *crossCtx) creditPoint(id, b int) {
+	if b < c.acc.Best[id] {
+		c.acc.Best[id] = b
+	}
+}
+
+func (c *crossCtx) creditNode(n *node, b int) {
+	if cur, ok := c.acc.Nodes[n]; !ok || b < cur {
+		c.acc.Nodes[n] = b
+	}
+}
+
+// BridgeFirsts returns, for each query point, the index of the first
+// radius of the ascending schedule radii with at least one indexed point
+// within that radius (inclusive), or len(radii) when even the largest
+// radius finds none — computed by a dual-tree traversal of the index
+// against a throwaway tree over the queries. Results are exact (bounds
+// only ever defer ambiguous pairs, never approximate them) and identical
+// for every worker count.
+func (t *Tree) BridgeFirsts(queries [][]float64, radii []float64, workers int) []int {
+	a := len(radii)
+	var subs, pts []*node
+	if t.root != nil && len(queries) > 0 && a > 0 {
+		out := NewWithWorkers(queries, workers)
+		subs, pts = seedSplit(out.root)
+	}
+	radii2 := make([]float64, a)
+	for e, r := range radii {
+		radii2[e] = r * r
+	}
+	return dualjoin.FirstMatrix(a, len(queries), workers, len(subs)+len(pts),
+		func(u int, acc *dualjoin.MinAcc[*node]) {
+			c := crossCtx{radii2: radii2, acc: acc}
+			if u < len(subs) {
+				c.crossVisit(subs[u], t.root, 0, a)
+			} else {
+				p := pts[u-len(subs)]
+				c.probeFirst(p.point, p.id, t.root, 0, a)
+			}
+		},
+		pushSubtreeMin)
+}
+
+// pushSubtreeMin lowers the merged first-index of every query under n to
+// bound, pushing a wholesale subtree credit down to its points.
+func pushSubtreeMin(n *node, bound int, merged []int) {
+	if n == nil {
+		return
+	}
+	if bound < merged[n.id] {
+		merged[n.id] = bound
+	}
+	pushSubtreeMin(n.left, bound, merged)
+	pushSubtreeMin(n.right, bound, merged)
+}
+
+// crossVisit classifies the pair of query subtree O against index subtree
+// I for the radius window [lo, hi): radii below lo are already known to
+// separate the two boxes, and every query under O is already known to
+// have an indexed neighbor within radii[hi] (an ancestor pair's credit or
+// the schedule's end), so only smaller radii matter. Crediting is
+// one-directional — only the query side accumulates — which is what lets
+// a previously recorded bound on O clamp the window from above.
+func (c *crossCtx) crossVisit(O, I *node, lo, hi int) {
+	if O == nil || I == nil {
+		return
+	}
+	if b, ok := c.acc.Nodes[O]; ok && b < hi {
+		hi = b // every query under O already meets a point by radii[b]
+	}
+	if lo >= hi {
+		return
+	}
+	smin, smax := dualjoin.SqMinMaxBoxBox(O.lo, O.hi, I.lo, I.hi)
+	lo, nh := dualjoin.Window(c.radii2, smin, smax, lo, hi)
+	if nh < hi {
+		c.creditNode(O, nh) // every pair lies within radii[nh]
+	}
+	if lo >= nh {
+		return
+	}
+	// Ambiguous radii [lo, nh): decompose the side with the larger box
+	// (ties descend the query side, keeping the descent deterministic). A
+	// kd node carries its own point, so descending O peels its point off
+	// as a single-query probe, and descending I peels its point off as a
+	// single-index-point visit.
+	if boxDiag2(I) > boxDiag2(O) {
+		c.indexPointVisit(I.point, O, lo, nh)
+		c.crossVisit(O, I.left, lo, nh)
+		c.crossVisit(O, I.right, lo, nh)
+		return
+	}
+	c.probeFirst(O.point, O.id, I, lo, nh)
+	c.crossVisit(O.left, I, lo, nh)
+	c.crossVisit(O.right, I, lo, nh)
+}
+
+// probeFirst resolves a single query point against index subtree I for
+// the window [lo, hi): the first-nonzero-count specialization of the
+// self-join's pointVisit. Every bound found — the subtree settling
+// wholesale, or I's own point landing in a bucket — immediately narrows
+// the window of the remaining descent.
+func (c *crossCtx) probeFirst(p []float64, id int, I *node, lo, hi int) {
+	if I == nil {
+		return
+	}
+	if b := c.acc.Best[id]; b < hi {
+		hi = b // a neighbor within radii[b] is already on record
+	}
+	if lo >= hi {
+		return
+	}
+	smin, smax := sqMinMaxDistToBox(p, I.lo, I.hi)
+	lo, nh := dualjoin.Window(c.radii2, smin, smax, lo, hi)
+	if nh < hi {
+		c.creditPoint(id, nh)
+	}
+	if lo >= nh {
+		return
+	}
+	if d2 := metric.SquaredEuclidean(p, I.point); d2 <= c.radii2[nh-1] {
+		b := lo
+		for d2 > c.radii2[b] {
+			b++
+		}
+		c.creditPoint(id, b)
+		nh = b // only radii below the fresh bound are still open
+		if lo >= nh {
+			return
+		}
+	}
+	c.probeFirst(p, id, I.left, lo, nh)
+	c.probeFirst(p, id, I.right, lo, nh)
+}
+
+// indexPointVisit resolves a single INDEX point against query subtree O
+// for the window [lo, hi): the one-directional mirror of probeFirst,
+// crediting O's queries with q as their neighbor.
+func (c *crossCtx) indexPointVisit(q []float64, O *node, lo, hi int) {
+	if O == nil {
+		return
+	}
+	if b, ok := c.acc.Nodes[O]; ok && b < hi {
+		hi = b
+	}
+	if lo >= hi {
+		return
+	}
+	smin, smax := sqMinMaxDistToBox(q, O.lo, O.hi)
+	lo, nh := dualjoin.Window(c.radii2, smin, smax, lo, hi)
+	if nh < hi {
+		c.creditNode(O, nh) // q is within radii[nh] of every query under O
+	}
+	if lo >= nh {
+		return
+	}
+	if d2 := metric.SquaredEuclidean(q, O.point); d2 <= c.radii2[nh-1] {
+		b := lo
+		for d2 > c.radii2[b] {
+			b++
+		}
+		c.creditPoint(O.id, b)
+	}
+	c.indexPointVisit(q, O.left, lo, nh)
+	c.indexPointVisit(q, O.right, lo, nh)
+}

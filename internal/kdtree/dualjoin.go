@@ -1,8 +1,8 @@
 package kdtree
 
 import (
+	"mccatch/internal/dualjoin"
 	"mccatch/internal/metric"
-	"mccatch/internal/selfjoin"
 )
 
 // This file implements the dual-tree multi-radius self-join for the
@@ -20,18 +20,18 @@ import (
 // A kd-tree node carries its own point besides two subtrees, so the
 // decomposition of an ambiguous pair has three shapes: subtree-vs-subtree
 // (symVisit), point-vs-subtree (pointVisit) and point-vs-point (inline).
-// The accumulator, scheduling and merge machinery is internal/selfjoin's.
+// The accumulator, scheduling and merge machinery is internal/dualjoin's.
 
 // dualCtx is one traversal unit's context: the squared radius schedule
 // and the unit's accumulator.
 type dualCtx struct {
 	radii2 []float64
-	acc    *selfjoin.Acc[*node]
+	acc    *dualjoin.Acc[*node]
 }
 
 // creditPoint and creditNode write the accumulator rows raw — crediting
 // sits in the join's innermost loop and the concrete-receiver helpers
-// inline where selfjoin.Acc's generic methods cannot (see selfjoin.Acc).
+// inline where dualjoin.Acc's generic methods cannot (see dualjoin.Acc).
 func (c *dualCtx) creditPoint(id, from, to, cnt int) {
 	row := c.acc.Point[id*c.acc.Stride:]
 	row[from] += cnt
@@ -65,8 +65,8 @@ func (t *Tree) CountAllMulti(radii []float64, workers int) [][]int {
 	for e, r := range radii {
 		radii2[e] = r * r
 	}
-	return selfjoin.CountMatrix(a, t.size, workers, len(units),
-		func(u int, acc *selfjoin.Acc[*node]) {
+	return dualjoin.CountMatrix(a, t.size, workers, len(units),
+		func(u int, acc *dualjoin.Acc[*node]) {
 			c := dualCtx{radii2: radii2, acc: acc}
 			units[u](&c)
 		},
@@ -99,34 +99,7 @@ const seedUnitTarget = 24
 // depends only on the tree, never on the worker count, and together the
 // units cover every unordered point pair exactly once.
 func seedUnits(root *node) []func(*dualCtx) {
-	subs := []*node{root}
-	var pts []*node // expanded nodes: only their own point participates
-	for len(subs)+len(pts) < seedUnitTarget {
-		// Expand the largest subtree (ties toward the smaller point id,
-		// which is unique per node).
-		best := -1
-		for i, s := range subs {
-			if s.size < 2 {
-				continue
-			}
-			if best < 0 || s.size > subs[best].size ||
-				(s.size == subs[best].size && s.id < subs[best].id) {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		s := subs[best]
-		subs = append(subs[:best], subs[best+1:]...)
-		pts = append(pts, s)
-		if s.left != nil {
-			subs = append(subs, s.left)
-		}
-		if s.right != nil {
-			subs = append(subs, s.right)
-		}
-	}
+	subs, pts := seedSplit(root)
 	var units []func(*dualCtx)
 	for i, s := range subs {
 		s := s
@@ -163,10 +136,47 @@ func seedUnits(root *node) []func(*dualCtx) {
 	return units
 }
 
+// seedSplit deterministically expands root into ~seedUnitTarget seeds:
+// disjoint subtrees plus the loose points of the expanded internal nodes.
+// Together the seeds cover every point exactly once, and the split
+// depends only on the tree — never on the worker count — so both the
+// self-join's pair units and the cross-join's per-seed units are
+// schedule-independent.
+func seedSplit(root *node) (subs, pts []*node) {
+	subs = []*node{root}
+	for len(subs)+len(pts) < seedUnitTarget {
+		// Expand the largest subtree (ties toward the smaller point id,
+		// which is unique per node).
+		best := -1
+		for i, s := range subs {
+			if s.size < 2 {
+				continue
+			}
+			if best < 0 || s.size > subs[best].size ||
+				(s.size == subs[best].size && s.id < subs[best].id) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		s := subs[best]
+		subs = append(subs[:best], subs[best+1:]...)
+		pts = append(pts, s)
+		if s.left != nil {
+			subs = append(subs, s.left)
+		}
+		if s.right != nil {
+			subs = append(subs, s.right)
+		}
+	}
+	return subs, pts
+}
+
 // boxDiag2 is the squared diagonal of n's bounding box — the largest
 // squared distance any pair of points under n can realize.
 func boxDiag2(n *node) float64 {
-	return selfjoin.SqBoxDiag(n.lo, n.hi)
+	return dualjoin.SqBoxDiag(n.lo, n.hi)
 }
 
 // selfVisit classifies the pair of subtree A with itself for the radius
@@ -208,7 +218,7 @@ func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
 	if A == nil || B == nil {
 		return
 	}
-	smin, smax := selfjoin.SqMinMaxBoxBox(A.lo, A.hi, B.lo, B.hi)
+	smin, smax := dualjoin.SqMinMaxBoxBox(A.lo, A.hi, B.lo, B.hi)
 	for lo < hi && smin > c.radii2[lo] {
 		lo++ // the boxes are fully separated at the smallest radii
 	}

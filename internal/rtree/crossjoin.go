@@ -1,0 +1,153 @@
+package rtree
+
+import (
+	"mccatch/internal/dualjoin"
+	"mccatch/internal/metric"
+)
+
+// This file implements the cross-set dual-tree bridge join for the
+// R-tree (index.CrossMultiCounter): for every query of a second point
+// set — MCCATCH's outliers probing the inlier tree — the index of the
+// first radius of a nested schedule with at least one indexed neighbor,
+// from one traversal of the inlier tree against a throwaway STR tree
+// bulk-built over the queries. The min/max squared distances between two
+// MBRs bracket every query×point pair under them, so whole blocks settle
+// wholesale; only pairs straddling some radius descend, bottoming out in
+// leaf-vs-leaf scans. Accumulation is per-query MINIMA (see
+// internal/dualjoin's MinAcc), so any bound already credited to a query
+// or a query subtree narrows later pairs' windows from above. All
+// comparisons are on squared distances — no math.Sqrt anywhere.
+
+type crossCtx struct {
+	radii2 []float64
+	acc    *dualjoin.MinAcc[*node]
+}
+
+// creditPoint and creditNode write the accumulator rows raw — crediting
+// sits in the join's innermost loop, and these concrete-receiver helpers
+// inline where a generic method would not (see dualjoin.MinAcc).
+func (c *crossCtx) creditPoint(id, b int) {
+	if b < c.acc.Best[id] {
+		c.acc.Best[id] = b
+	}
+}
+
+func (c *crossCtx) creditNode(n *node, b int) {
+	if cur, ok := c.acc.Nodes[n]; !ok || b < cur {
+		c.acc.Nodes[n] = b
+	}
+}
+
+// BridgeFirsts returns, for each query point, the index of the first
+// radius of the ascending schedule radii with at least one indexed point
+// within that radius (inclusive), or len(radii) when even the largest
+// radius finds none — computed by a dual-tree traversal of the index
+// against a throwaway tree over the queries. Results are exact and
+// identical for every worker count.
+func (t *Tree) BridgeFirsts(queries [][]float64, radii []float64, workers int) []int {
+	a := len(radii)
+	radii2 := make([]float64, a)
+	for e, r := range radii {
+		radii2[e] = r * r
+	}
+
+	// Work units: the cross product of the query tree's top-level nodes
+	// with the index tree's — each unit resolves one (query subtree,
+	// index subtree) pair completely, and their minima merge across any
+	// schedule.
+	var outSeeds, inSeeds []*node
+	if t.root != nil && len(queries) > 0 && a > 0 {
+		out := NewWithWorkers(queries, t.fanout, workers)
+		outSeeds = topNodes(out.root)
+		inSeeds = topNodes(t.root)
+	}
+	return dualjoin.FirstMatrix(a, len(queries), workers, len(outSeeds)*len(inSeeds),
+		func(u int, acc *dualjoin.MinAcc[*node]) {
+			c := crossCtx{radii2: radii2, acc: acc}
+			c.crossVisit(outSeeds[u/len(inSeeds)], inSeeds[u%len(inSeeds)], 0, a)
+		},
+		pushSubtreeMin)
+}
+
+// topNodes returns a node's children, or the node itself when it is a
+// leaf — the deterministic top-level decomposition the units pair up.
+func topNodes(n *node) []*node {
+	if n.leaf {
+		return []*node{n}
+	}
+	return n.children
+}
+
+// pushSubtreeMin lowers the merged first-index of every query under n to
+// bound, pushing a wholesale subtree credit down to its points.
+func pushSubtreeMin(n *node, bound int, merged []int) {
+	if n.leaf {
+		for _, id := range n.ids {
+			if bound < merged[id] {
+				merged[id] = bound
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		pushSubtreeMin(c, bound, merged)
+	}
+}
+
+// crossVisit classifies the pair of query subtree O against index subtree
+// I for the radius window [lo, hi): radii below lo cannot bridge the two
+// MBRs, and every query under O is already known to meet an indexed
+// point by radii[hi]. Crediting is one-directional — only the query side
+// accumulates.
+func (c *crossCtx) crossVisit(O, I *node, lo, hi int) {
+	if b, ok := c.acc.Nodes[O]; ok && b < hi {
+		hi = b // every query under O already meets a point by radii[b]
+	}
+	if lo >= hi {
+		return
+	}
+	smin, smax := dualjoin.SqMinMaxBoxBox(O.lo, O.hi, I.lo, I.hi)
+	lo, nh := dualjoin.Window(c.radii2, smin, smax, lo, hi)
+	if nh < hi {
+		c.creditNode(O, nh) // every pair lies within radii[nh]
+	}
+	if lo >= nh {
+		return
+	}
+	if O.leaf && I.leaf {
+		for i, p := range O.points {
+			ph := nh
+			if b := c.acc.Best[O.ids[i]]; b < ph {
+				ph = b // a bound from an earlier pair narrows this scan
+			}
+			for _, q := range I.points {
+				if ph <= lo {
+					break // nothing below the bound left to resolve
+				}
+				d2 := metric.SquaredEuclidean(p, q)
+				if d2 > c.radii2[ph-1] {
+					continue
+				}
+				b := lo
+				for d2 > c.radii2[b] {
+					b++
+				}
+				c.creditPoint(O.ids[i], b)
+				ph = b
+			}
+		}
+		return
+	}
+	// Descend the internal side — the one with the larger box when both
+	// are internal (ties descend the query side, keeping the descent
+	// deterministic).
+	if O.leaf || (!I.leaf && boxDiag2(I) > boxDiag2(O)) {
+		for _, ch := range I.children {
+			c.crossVisit(O, ch, lo, nh)
+		}
+		return
+	}
+	for _, ch := range O.children {
+		c.crossVisit(ch, I, lo, nh)
+	}
+}

@@ -1,0 +1,129 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// bruteFirsts is the brute-force oracle for the cross join: for every
+// query, the index of the first radius at or above the distance to its
+// nearest indexed point, or len(radii) when even the largest radius
+// falls short. Comparisons happen on squared distances, the domain every
+// R-tree query path uses.
+func bruteFirsts(in, queries [][]float64, radii []float64) []int {
+	firsts := make([]int, len(queries))
+	for i, q := range queries {
+		e := len(radii)
+		for _, p := range in {
+			d2 := metric.SquaredEuclidean(q, p)
+			b := 0
+			for b < e && d2 > radii[b]*radii[b] {
+				b++
+			}
+			if b < e {
+				e = b
+			}
+		}
+		firsts[i] = e
+	}
+	return firsts
+}
+
+var crossWorkerCounts = []int{1, 2, 8}
+
+func assertBridgeFirstsMatch(t *testing.T, label string, tr *Tree, in, queries [][]float64, radii []float64) {
+	t.Helper()
+	want := bruteFirsts(in, queries, radii)
+	for _, workers := range crossWorkerCounts {
+		got := tr.BridgeFirsts(queries, radii, workers)
+		if len(got) != len(want) {
+			t.Fatalf("%s (workers=%d): %d results, want %d", label, workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s (workers=%d): firsts[%d] = %d, want %d (query %v)",
+					label, workers, i, got[i], want[i], queries[i])
+			}
+		}
+	}
+}
+
+func TestBridgeFirstsMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rng.Intn(400)
+		dim := 1 + rng.Intn(4)
+		in := randPoints(rng, n, dim)
+		queries := randPoints(rng, rng.Intn(80), dim)
+		for i := rng.Intn(10); i > 0; i-- {
+			queries = append(queries, append([]float64(nil), in[rng.Intn(len(in))]...))
+		}
+		// Small fanouts force deep trees; 0 takes the default.
+		fanout := []int{0, 4, 8}[rng.Intn(3)]
+		tr := New(in, fanout)
+		assertBridgeFirstsMatch(t, fmt.Sprintf("trial%d", trial), tr, in, queries, randRadii(rng, 150))
+	}
+}
+
+func TestBridgeFirstsClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	var in, queries [][]float64
+	for b := 0; b < 5; b++ {
+		cx, cy := rng.Float64()*50, rng.Float64()*50
+		for i := 0; i < 50; i++ {
+			in = append(in, []float64{cx + rng.NormFloat64()*0.5, cy + rng.NormFloat64()*0.5})
+		}
+	}
+	for b := 0; b < 8; b++ {
+		cx, cy := 100+rng.Float64()*200, 100+rng.Float64()*200
+		for i := 0; i < 6; i++ {
+			queries = append(queries, []float64{cx + rng.NormFloat64()*0.3, cy + rng.NormFloat64()*0.3})
+		}
+	}
+	tr := New(in, 0)
+	assertBridgeFirstsMatch(t, "clustered", tr, in, queries,
+		[]float64{0.1, 1, 5, 20, 80, 160, 320, 640})
+}
+
+func TestBridgeFirstsEdges(t *testing.T) {
+	tr := New([][]float64{{0, 0}, {1, 0}}, 0)
+	if got := tr.BridgeFirsts(nil, []float64{1, 2}, 1); len(got) != 0 {
+		t.Errorf("no queries: got %v, want empty", got)
+	}
+	if got := tr.BridgeFirsts([][]float64{{5, 5}}, nil, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("empty radii: got %v, want [0]", got)
+	}
+	empty := New(nil, 0)
+	if got := empty.BridgeFirsts([][]float64{{1, 1}}, []float64{1, 2}, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("empty tree: got %v, want [len(radii)]", got)
+	}
+	one := New([][]float64{{0, 0}}, 0)
+	got := one.BridgeFirsts([][]float64{{100, 0}, {0.5, 0}, {0, 0}}, []float64{1, 2, 4}, 1)
+	if got[0] != 3 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("single indexed point: got %v, want [3 0 0]", got)
+	}
+}
+
+// TestBridgeFirstsRepeatable guards accumulator reuse: repeated calls on
+// the same tree must agree with each other at every worker count.
+func TestBridgeFirstsRepeatable(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	in := randPoints(rng, 300, 2)
+	queries := randPoints(rng, 60, 2)
+	tr := New(in, 0)
+	radii := randRadii(rng, 150)
+	first := tr.BridgeFirsts(queries, radii, 1)
+	second := tr.BridgeFirsts(queries, radii, 4)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("second call differs at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}

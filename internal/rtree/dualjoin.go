@@ -1,8 +1,8 @@
 package rtree
 
 import (
+	"mccatch/internal/dualjoin"
 	"mccatch/internal/metric"
-	"mccatch/internal/selfjoin"
 )
 
 // This file implements the dual-tree multi-radius self-join for the
@@ -14,22 +14,22 @@ import (
 // descend, bottoming out in leaf-vs-leaf scans. The join is symmetric, so
 // unordered node pairs are visited once and credited both ways. All
 // comparisons are on squared distances — no math.Sqrt anywhere. The
-// accumulator, scheduling and merge machinery is internal/selfjoin's.
+// accumulator, scheduling and merge machinery is internal/dualjoin's.
 
 // boxDiag2 is the squared diagonal of n's MBR — the largest squared
 // distance any pair of points under n can realize.
 func boxDiag2(n *node) float64 {
-	return selfjoin.SqBoxDiag(n.lo, n.hi)
+	return dualjoin.SqBoxDiag(n.lo, n.hi)
 }
 
 type dualCtx struct {
 	radii2 []float64
-	acc    *selfjoin.Acc[*node]
+	acc    *dualjoin.Acc[*node]
 }
 
 // creditPoint and creditNode write the accumulator rows raw — crediting
 // sits in the join's innermost loop and the concrete-receiver helpers
-// inline where selfjoin.Acc's generic methods cannot (see selfjoin.Acc).
+// inline where dualjoin.Acc's generic methods cannot (see dualjoin.Acc).
 func (c *dualCtx) creditPoint(id, from, to, cnt int) {
 	row := c.acc.Point[id*c.acc.Stride:]
 	row[from] += cnt
@@ -75,8 +75,8 @@ func (t *Tree) CountAllMulti(radii []float64, workers int) [][]int {
 			}
 		}
 	}
-	return selfjoin.CountMatrix(a, t.sizeN, workers, len(units),
-		func(u int, acc *selfjoin.Acc[*node]) {
+	return dualjoin.CountMatrix(a, t.sizeN, workers, len(units),
+		func(u int, acc *dualjoin.Acc[*node]) {
 			c := dualCtx{radii2: radii2, acc: acc}
 			switch kids := t.root.children; {
 			case units[u].i < 0:
@@ -151,7 +151,7 @@ func (c *dualCtx) selfVisit(A *node, lo, hi int) {
 // the radius window [lo, hi). Every credit goes both ways, so each
 // unordered pair is traversed exactly once.
 func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
-	smin, smax := selfjoin.SqMinMaxBoxBox(A.lo, A.hi, B.lo, B.hi)
+	smin, smax := dualjoin.SqMinMaxBoxBox(A.lo, A.hi, B.lo, B.hi)
 	for lo < hi && smin > c.radii2[lo] {
 		lo++ // the boxes are fully separated at the smallest radii
 	}

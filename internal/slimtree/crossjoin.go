@@ -1,0 +1,193 @@
+package slimtree
+
+import (
+	"mccatch/internal/dualjoin"
+)
+
+// This file implements the cross-set dual-tree bridge join
+// (index.CrossMultiCounter): for every query of a second element set —
+// MCCATCH's outliers probing the inlier tree — the index of the first
+// radius of a nested schedule with at least one indexed neighbor, from
+// one traversal of the inlier tree against a throwaway slim-tree
+// bulk-built over the queries. One pivot-to-pivot distance d with the
+// two covering radii bounds every query×element pair under an entry pair
+// by [d-r1-r2, d+r1+r2] — the self-join's geometry — but accumulation is
+// per-query MINIMA (internal/dualjoin's MinAcc) rather than counts, so
+// any bound already credited to a query entry narrows later pairs'
+// windows from above and prunes their metric evaluations entirely. The
+// descent prefilters child pairs with stored parent distances (the
+// triangle trick rangeVisit uses), so many blocks settle without a fresh
+// metric evaluation.
+
+// crossCtx is one traversal unit's context: the distance-call counter,
+// the radius schedule and the unit's min-accumulator.
+type crossCtx[T any] struct {
+	visitState[T]
+	radii []float64
+	acc   *dualjoin.MinAcc[*node[T]]
+}
+
+// credit records that every query under qe has an indexed neighbor
+// within radii[b]: directly into the query's best row for leaf entries,
+// into the subtree's wholesale bound otherwise. The rows are written raw
+// — this is the join's innermost loop (see dualjoin.MinAcc).
+func (c *crossCtx[T]) credit(qe *entry[T], b int) {
+	if qe.child == nil {
+		if b < c.acc.Best[qe.id] {
+			c.acc.Best[qe.id] = b
+		}
+		return
+	}
+	if cur, ok := c.acc.Nodes[qe.child]; !ok || b < cur {
+		c.acc.Nodes[qe.child] = b
+	}
+}
+
+// bound returns the smallest radius index already credited to every
+// query under qe, or hi when none is on record.
+func (c *crossCtx[T]) bound(qe *entry[T], hi int) int {
+	if qe.child == nil {
+		if b := c.acc.Best[qe.id]; b < hi {
+			return b
+		}
+		return hi
+	}
+	if b, ok := c.acc.Nodes[qe.child]; ok && b < hi {
+		return b
+	}
+	return hi
+}
+
+// BridgeFirsts returns, for each query element, the index of the first
+// radius of the ascending schedule radii with at least one indexed
+// element within that radius (inclusive), or len(radii) when even the
+// largest radius finds none — computed by a dual-tree traversal of the
+// index against a throwaway bulk-built tree over the queries. Results
+// are exact (bounds only ever defer ambiguous pairs, never approximate
+// them) and identical for every worker count.
+func (t *Tree[T]) BridgeFirsts(queries []T, radii []float64, workers int) []int {
+	a := len(radii)
+
+	// The units are the pairs of (query root entry, index root entry):
+	// each resolves its block of query×element pairs completely, and the
+	// per-query minima merge across any schedule.
+	type unit struct{ i, j int }
+	var units []unit
+	var qt *Tree[T]
+	if t.root != nil && len(queries) > 0 && a > 0 {
+		qt = NewBulkWithWorkers(t.dist, t.capacity, queries, workers)
+		for i := range qt.root.entries {
+			for j := range t.root.entries {
+				units = append(units, unit{i, j})
+			}
+		}
+	}
+	return dualjoin.FirstMatrix(a, len(queries), workers, len(units),
+		func(u int, acc *dualjoin.MinAcc[*node[T]]) {
+			c := crossCtx[T]{visitState: visitState[T]{t: t}, radii: radii, acc: acc}
+			// Root entries have no live parent pivot (their dPar is stale
+			// by construction), so no prefilter applies up here.
+			c.crossVisit(&qt.root.entries[units[u].i], &t.root.entries[units[u].j], 0, a)
+			t.distCalls.Add(c.calls)
+		},
+		pushSubtreeMin[T])
+}
+
+// pushSubtreeMin lowers the merged first-index of every query element
+// stored under n to bound, pushing a wholesale subtree credit down.
+func pushSubtreeMin[T any](n *node[T], bound int, merged []int) {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.child != nil {
+			pushSubtreeMin(e.child, bound, merged)
+			continue
+		}
+		if bound < merged[e.id] {
+			merged[e.id] = bound
+		}
+	}
+}
+
+// crossVisit classifies the pair of query entry qe against index entry
+// ie for the radius window [lo, hi): radii below lo are already known to
+// separate the two subtrees, and every query under qe is already known
+// to meet an indexed element by radii[hi] (an ancestor's or an earlier
+// pair's credit, consulted again here so pairs resolved elsewhere prune
+// before paying a metric evaluation). Crediting is one-directional —
+// only the query side accumulates. A leaf×leaf pair settles inside
+// Window: with both covering radii zero the settled index IS the
+// element pair's bucket.
+func (c *crossCtx[T]) crossVisit(qe, ie *entry[T], lo, hi int) {
+	hi = c.bound(qe, hi)
+	if lo >= hi {
+		return
+	}
+	d := c.d(qe.pivot, ie.pivot)
+	sum := qe.radius + ie.radius
+	lo, nh := dualjoin.Window(c.radii, d-sum, d+sum, lo, hi)
+	if nh < hi {
+		c.credit(qe, nh) // every pair lies within radii[nh]
+	}
+	if lo >= nh {
+		return
+	}
+	radii := c.radii
+	// Descend the side with the larger covering ball; ties and leaf
+	// entries keep the descent deterministic. Child pairs are prefiltered
+	// with the stored parent distances: |d - dPar| bounds the child pivot
+	// distance from below and d + dPar from above — the upper bound can
+	// settle a child block without a metric evaluation.
+	if qe.child == nil || (ie.child != nil && ie.radius > qe.radius) {
+		// Index side descends: qe's queries accumulate bounds as the
+		// children resolve, so the window re-narrows between children.
+		entries := ie.child.entries
+		for i := range entries {
+			nh = c.bound(qe, nh)
+			if lo >= nh {
+				return
+			}
+			ce := &entries[i]
+			csum := ce.radius + qe.radius
+			clb := d - ce.dPar
+			if clb < ce.dPar-d {
+				clb = ce.dPar - d
+			}
+			clb -= csum
+			b := lo
+			for b < nh && clb > radii[b] {
+				b++
+			}
+			if b == nh {
+				continue
+			}
+			if d+ce.dPar+csum <= radii[b] {
+				c.credit(qe, b)
+				continue
+			}
+			c.crossVisit(qe, ce, b, nh)
+		}
+		return
+	}
+	entries := qe.child.entries
+	for i := range entries {
+		ce := &entries[i]
+		csum := ce.radius + ie.radius
+		clb := d - ce.dPar
+		if clb < ce.dPar-d {
+			clb = ce.dPar - d
+		}
+		clb -= csum
+		b := lo
+		for b < nh && clb > radii[b] {
+			b++
+		}
+		if b == nh {
+			continue
+		}
+		if d+ce.dPar+csum <= radii[b] {
+			c.credit(ce, b)
+			continue
+		}
+		c.crossVisit(ce, ie, b, nh)
+	}
+}

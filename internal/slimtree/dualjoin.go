@@ -1,7 +1,7 @@
 package slimtree
 
 import (
-	"mccatch/internal/selfjoin"
+	"mccatch/internal/dualjoin"
 )
 
 // This file implements the dual-tree multi-radius self-join: the neighbor
@@ -16,14 +16,14 @@ import (
 // The join is symmetric — d(x,y) = d(y,x) — so unordered entry pairs are
 // visited once and credited in both directions, halving the metric
 // evaluations again. The accumulator, scheduling and merge machinery is
-// internal/selfjoin's.
+// internal/dualjoin's.
 
 // dualCtx is one traversal unit's context: the distance-call counter, the
 // radius schedule and the unit's accumulator.
 type dualCtx[T any] struct {
 	visitState[T]
 	radii []float64
-	acc   *selfjoin.Acc[*node[T]]
+	acc   *dualjoin.Acc[*node[T]]
 }
 
 // CountAllMulti returns counts[e][id] = the number of indexed elements
@@ -49,8 +49,8 @@ func (t *Tree[T]) CountAllMulti(radii []float64, workers int) [][]int {
 			}
 		}
 	}
-	return selfjoin.CountMatrix(a, t.size, workers, len(units),
-		func(u int, acc *selfjoin.Acc[*node[T]]) {
+	return dualjoin.CountMatrix(a, t.size, workers, len(units),
+		func(u int, acc *dualjoin.Acc[*node[T]]) {
 			c := dualCtx[T]{visitState: visitState[T]{t: t}, radii: radii, acc: acc}
 			root := t.root.entries
 			if units[u].i == units[u].j {
@@ -83,7 +83,7 @@ func addSubtree[T any](n *node[T], diff, merged []int) {
 // credit adds c to every radius in [from, to) for every element under e:
 // directly into the element's difference row for leaf entries, into the
 // subtree's wholesale accumulator otherwise. The rows are written raw —
-// this is the join's innermost loop (see selfjoin.Acc).
+// this is the join's innermost loop (see dualjoin.Acc).
 func (c *dualCtx[T]) credit(e *entry[T], from, to, cnt int) {
 	var row []int
 	if e.child == nil {
