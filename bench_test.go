@@ -233,6 +233,20 @@ func BenchmarkSlimTreeBuildBulk10k(b *testing.B) {
 	}
 }
 
+// BenchmarkSlimTreeBuildBulk4k is the scale where the bulk loader's
+// shared global pivot sample pays off (its cost model builds the shared
+// matrix only when it undercuts the per-node matrices it replaces; at
+// 10k×2d with the default capacity it declines, at 4k it cuts the
+// build's metric evaluations by ~15%).
+func BenchmarkSlimTreeBuildBulk4k(b *testing.B) {
+	b.ReportAllocs()
+	pts := randPoints(4000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slimtree.NewBulk(metric.Euclidean, 0, pts)
+	}
+}
+
 // The legacy insertion-built pipeline against the bulk-loaded default —
 // the end-to-end read on what the low-overlap tree buys Step II-IV.
 func BenchmarkPipelineN10k2dInsertionBuild(b *testing.B) {
@@ -323,6 +337,10 @@ func BenchmarkJoinNaiveAllRadii(b *testing.B) {
 
 // The single-traversal counter against one RangeCount per radius, on each
 // backend — the amortization RangeCountMulti buys at a = 15 nested radii.
+// The batched side probes through the buffer-reusing append API, the way
+// the joins do: with the arena layouts and pooled traversal scratch a
+// steady-state probe performs ZERO allocations (the CI bench gate pins
+// allocs/op for these benchmarks).
 func BenchmarkMultiCountBatchedSlim(b *testing.B)  { benchMultiCount(b, "slim", true) }
 func BenchmarkMultiCountRepeatedSlim(b *testing.B) { benchMultiCount(b, "slim", false) }
 func BenchmarkMultiCountBatchedKD(b *testing.B)    { benchMultiCount(b, "kd", true) }
@@ -344,11 +362,12 @@ func benchMultiCount(b *testing.B, kind string, batched bool) {
 		t = rtree.New(pts, 0)
 	}
 	radii := geomRadii(t.DiameterEstimate(), 15)
+	buf := make([]int, 0, len(radii)+1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := pts[i%len(pts)]
 		if batched {
-			index.RangeCountMulti(t, q, radii)
+			buf = index.RangeCountMultiAppend(t, q, radii, buf[:0])
 		} else {
 			for _, r := range radii {
 				t.RangeCount(q, r)
@@ -528,6 +547,45 @@ func benchSlimDown(b *testing.B, passes int) {
 			opts = append(opts, mccatch.WithSlimDown(passes))
 		}
 		if _, err := mccatch.RunVectors(pts, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The backend sweep behind RunVectors' default choice (2d/8d x 4k/10k,
+// serial so the numbers read as pure per-backend cost): the R-tree wins
+// three of the four cells and nearly ties the kd-tree on the fourth,
+// while the kd-tree collapses at 8 dimensions — see BENCH_5.json and
+// the README backend notes for recorded medians.
+func BenchmarkSweepSlim4k2d(b *testing.B)  { benchSweep(b, "slim", 4000, 2) }
+func BenchmarkSweepKD4k2d(b *testing.B)    { benchSweep(b, "kd", 4000, 2) }
+func BenchmarkSweepR4k2d(b *testing.B)     { benchSweep(b, "r", 4000, 2) }
+func BenchmarkSweepSlim10k2d(b *testing.B) { benchSweep(b, "slim", 10000, 2) }
+func BenchmarkSweepKD10k2d(b *testing.B)   { benchSweep(b, "kd", 10000, 2) }
+func BenchmarkSweepR10k2d(b *testing.B)    { benchSweep(b, "r", 10000, 2) }
+func BenchmarkSweepSlim4k8d(b *testing.B)  { benchSweep(b, "slim", 4000, 8) }
+func BenchmarkSweepKD4k8d(b *testing.B)    { benchSweep(b, "kd", 4000, 8) }
+func BenchmarkSweepR4k8d(b *testing.B)     { benchSweep(b, "r", 4000, 8) }
+func BenchmarkSweepSlim10k8d(b *testing.B) { benchSweep(b, "slim", 10000, 8) }
+func BenchmarkSweepKD10k8d(b *testing.B)   { benchSweep(b, "kd", 10000, 8) }
+func BenchmarkSweepR10k8d(b *testing.B)    { benchSweep(b, "r", 10000, 8) }
+
+func benchSweep(b *testing.B, kind string, n, dim int) {
+	b.Helper()
+	b.ReportAllocs()
+	pts := data.Uniform(n, dim, 1).Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		switch kind {
+		case "slim":
+			_, err = mccatch.RunVectorsSlim(pts, mccatch.WithWorkers(1))
+		case "kd":
+			_, err = mccatch.RunVectorsKD(pts, mccatch.WithWorkers(1))
+		case "r":
+			_, err = mccatch.RunVectorsR(pts, mccatch.WithWorkers(1))
+		}
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,12 +1,18 @@
 // Command benchdiff is the CI benchmark-regression gate: it compares the
 // medians of a fresh `go test -bench -count=N` run against the committed
-// baseline (BENCH_3.json's "ci_baseline" section) and exits nonzero when
-// any gated benchmark's median ns/op regressed by more than the threshold.
+// baseline (the "ci_baseline" section of the current BENCH_*.json) and
+// exits nonzero when any gated benchmark's median ns/op regressed by more
+// than the threshold. A second, optional "ci_baseline_allocs" map gates
+// allocs/op the same way (the run must then use -benchmem): allocation
+// regressions — a pooled buffer dropped, a scratch slice escaping — slip
+// through time gates on noisy runners but show up exactly in allocs/op,
+// and a 0 baseline pins a zero-allocation steady state (0 × threshold is
+// 0, so ANY allocation fails).
 //
 // Usage:
 //
-//	go test -run '^$' -bench '<gate pattern>' -count=5 -benchtime=200ms . | tee bench.txt
-//	go run ./cmd/benchdiff -baseline BENCH_3.json bench.txt
+//	go test -run '^$' -bench '<gate pattern>' -count=5 -benchtime=200ms -benchmem . | tee bench.txt
+//	go run ./cmd/benchdiff -baseline BENCH_5.json bench.txt
 //
 // Medians (not means) absorb the odd scheduling hiccup of shared CI
 // runners; the -count repetitions exist precisely to feed them. Every
@@ -31,9 +37,11 @@ import (
 	"strings"
 )
 
-// baselineFile is the subset of BENCH_3.json the gate consumes.
+// baselineFile is the subset of the committed BENCH_*.json the gate
+// consumes. CIBaselineAllocs is optional: absent, only ns/op is gated.
 type baselineFile struct {
-	CIBaseline map[string]float64 `json:"ci_baseline"`
+	CIBaseline       map[string]float64 `json:"ci_baseline"`
+	CIBaselineAllocs map[string]float64 `json:"ci_baseline_allocs"`
 }
 
 // pairFlag collects repeated -pair FAST<SLOW assertions.
@@ -59,16 +67,19 @@ func main() {
 		in = f
 	}
 
-	base, err := loadBaseline(*baselinePath)
+	base, baseAllocs, err := loadBaseline(*baselinePath)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	medians, err := parseMedians(in)
+	medians, allocMedians, err := parseBench(in)
 	if err != nil {
 		fatalf("parse bench output: %v", err)
 	}
 	report, failures := compare(base, medians, *threshold)
 	fmt.Print(report)
+	allocReport, allocFailures := compareAllocs(baseAllocs, allocMedians, *threshold)
+	fmt.Print(allocReport)
+	failures = append(failures, allocFailures...)
 	pairReport, pairFailures, err := comparePairs(pairs, medians)
 	if err != nil {
 		fatalf("%v", err)
@@ -87,31 +98,33 @@ func fatalf(format string, args ...any) {
 	os.Exit(2)
 }
 
-func loadBaseline(path string) (map[string]float64, error) {
+func loadBaseline(path string) (ns, allocs map[string]float64, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("read baseline: %w", err)
+		return nil, nil, fmt.Errorf("read baseline: %w", err)
 	}
 	var bf baselineFile
 	if err := json.Unmarshal(raw, &bf); err != nil {
-		return nil, fmt.Errorf("decode baseline %s: %w", path, err)
+		return nil, nil, fmt.Errorf("decode baseline %s: %w", path, err)
 	}
 	if len(bf.CIBaseline) == 0 {
-		return nil, fmt.Errorf("baseline %s has no ci_baseline entries", path)
+		return nil, nil, fmt.Errorf("baseline %s has no ci_baseline entries", path)
 	}
-	return bf.CIBaseline, nil
+	return bf.CIBaseline, bf.CIBaselineAllocs, nil
 }
 
-// parseMedians extracts per-benchmark median ns/op from `go test -bench`
-// output. Result lines look like
+// parseBench extracts per-benchmark median ns/op — and, when -benchmem
+// was on, median allocs/op — from `go test -bench` output. Result lines
+// look like
 //
-//	BenchmarkPipelineN10k2dSerial-4   3   421647908 ns/op   1234 B/op ...
+//	BenchmarkPipelineN10k2dSerial-4   3   421647908 ns/op   1234 B/op   56 allocs/op
 //
 // The -4 GOMAXPROCS suffix is stripped so baselines survive runner-shape
 // changes; with -count=N the same name repeats N times and the median of
 // the repetitions is returned.
-func parseMedians(r io.Reader) (map[string]float64, error) {
-	samples := map[string][]float64{}
+func parseBench(r io.Reader) (ns, allocs map[string]float64, err error) {
+	nsSamples := map[string][]float64{}
+	allocSamples := map[string][]float64{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -125,33 +138,42 @@ func parseMedians(r io.Reader) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		// Find the "ns/op" column; its left neighbor is the value.
+		// Unit columns carry their value as the left neighbor.
 		for i := 2; i < len(fields); i++ {
-			if fields[i] != "ns/op" {
-				continue
+			switch fields[i] {
+			case "ns/op":
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bad ns/op value on line %q", sc.Text())
+				}
+				nsSamples[name] = append(nsSamples[name], v)
+			case "allocs/op":
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bad allocs/op value on line %q", sc.Text())
+				}
+				allocSamples[name] = append(allocSamples[name], v)
 			}
-			v, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad ns/op value on line %q", sc.Text())
-			}
-			samples[name] = append(samples[name], v)
-			break
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	medians := make(map[string]float64, len(samples))
+	return medians(nsSamples), medians(allocSamples), nil
+}
+
+func medians(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
 	for name, vs := range samples {
 		sort.Float64s(vs)
 		m := len(vs) / 2
 		if len(vs)%2 == 0 {
-			medians[name] = (vs[m-1] + vs[m]) / 2
+			out[name] = (vs[m-1] + vs[m]) / 2
 		} else {
-			medians[name] = vs[m]
+			out[name] = vs[m]
 		}
 	}
-	return medians, nil
+	return out
 }
 
 // compare renders a per-benchmark table and returns the names that failed
@@ -188,6 +210,41 @@ func compare(base, medians map[string]float64, threshold float64) (report string
 	sort.Strings(extra)
 	for _, name := range extra {
 		fmt.Fprintf(&b, "%-44s (not gated: no baseline entry)\n", name)
+	}
+	return b.String(), failures
+}
+
+// compareAllocs gates median allocs/op against the optional allocation
+// baseline: a gated benchmark fails when its median exceeds baseline ×
+// threshold — so a 0 baseline pins an exactly-zero steady state — or
+// when the run carries no allocs/op for it at all (the gate must fail
+// loud, not silently disable, when -benchmem is dropped). Benchmarks
+// without a baseline entry are untouched, so the map can gate just the
+// allocation-sensitive query paths.
+func compareAllocs(base, medians map[string]float64, threshold float64) (report string, failures []string) {
+	if len(base) == 0 {
+		return "", nil
+	}
+	var b strings.Builder
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base[name]
+		got, ok := medians[name]
+		if !ok {
+			fmt.Fprintf(&b, "%-44s baseline %10.0f allocs/op  MISSING from bench output (run with -benchmem)\n", name, want)
+			failures = append(failures, name+" (allocs)")
+			continue
+		}
+		verdict := "ok"
+		if got > want*threshold {
+			verdict = "REGRESSED"
+			failures = append(failures, name+" (allocs)")
+		}
+		fmt.Fprintf(&b, "%-44s baseline %10.0f  median %10.0f allocs/op  %s\n", name, want, got, verdict)
 	}
 	return b.String(), failures
 }

@@ -1,9 +1,17 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
+
+// parseMedians is parseBench's ns/op half; the tests that predate the
+// alloc gate read through it.
+func parseMedians(r io.Reader) (map[string]float64, error) {
+	ns, _, err := parseBench(r)
+	return ns, err
+}
 
 const benchOut = `goos: linux
 goarch: amd64
@@ -34,6 +42,48 @@ func TestParseMediansStripsSuffixAndTakesMedian(t *testing.T) {
 	}
 	if _, ok := m["BenchmarkPipelineN10k2dSerial-4"]; ok {
 		t.Error("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestParseBenchAllocs(t *testing.T) {
+	_, allocs, err := parseBench(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := allocs["BenchmarkPipelineN10k2dSerial"]; got != 10 {
+		t.Errorf("alloc median = %v, want 10", got)
+	}
+	if _, ok := allocs["BenchmarkSlimTreeBuildBulk10k"]; ok {
+		t.Error("benchmark without -benchmem columns must not gain an alloc median")
+	}
+}
+
+// TestCatchesSeededAllocInflation is the proof the ISSUE asks for: a run
+// whose median allocs/op is inflated beyond 25% of baseline must trip the
+// gate, and a zero baseline must reject ANY allocation.
+func TestCatchesSeededAllocInflation(t *testing.T) {
+	base := map[string]float64{"BenchmarkMultiCountBatchedKD": 0, "BenchmarkPipelineN10k2dSerial": 65000}
+	healthy := map[string]float64{"BenchmarkMultiCountBatchedKD": 0, "BenchmarkPipelineN10k2dSerial": 66000}
+	if _, failures := compareAllocs(base, healthy, 1.25); len(failures) != 0 {
+		t.Fatalf("healthy run tripped the alloc gate: %v", failures)
+	}
+	// Seeded inflation: the zero-alloc query path gains one allocation per
+	// op (a dropped scratch pool), the pipeline gains 30%.
+	inflated := map[string]float64{"BenchmarkMultiCountBatchedKD": 1, "BenchmarkPipelineN10k2dSerial": 65000 * 1.30}
+	_, failures := compareAllocs(base, inflated, 1.25)
+	if len(failures) != 2 {
+		t.Fatalf("seeded alloc inflation not caught: failures = %v", failures)
+	}
+}
+
+func TestAllocGateFailsWithoutBenchmem(t *testing.T) {
+	base := map[string]float64{"BenchmarkMultiCountBatchedKD": 0}
+	_, failures := compareAllocs(base, map[string]float64{}, 1.25)
+	if len(failures) != 1 {
+		t.Fatal("a gated benchmark with no allocs/op in the run must fail, not silently pass")
+	}
+	if report, failures := compareAllocs(nil, map[string]float64{"BenchmarkX": 5}, 1.25); report != "" || len(failures) != 0 {
+		t.Fatal("an absent alloc baseline must disable the alloc gate entirely")
 	}
 }
 

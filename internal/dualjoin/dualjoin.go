@@ -4,14 +4,27 @@
 // CROSS-join (index.CrossMultiCounter — for every query of a second set,
 // the first radius with an indexed neighbor). Both walk the full radius
 // schedule once with per-pair window narrowing; what lives here is
-// everything the traversals share: per-worker accumulators (additive
-// difference rows for the self-join, min-bound rows for the cross-join),
-// their pooled scheduling across traversal units, the commutative merges,
-// the window-narrowing step, and the min/max bounds between bounding
-// boxes. Each backend keeps only what is genuinely its own — the
-// subtree-pair classification geometry — so a fix to the crediting or
-// merge logic lands in one place and cannot diverge the backends the
-// equivalence tests promise are identical.
+// everything the traversals share: the credit accumulators, their pooled
+// scheduling across traversal units, the commutative merges, the
+// window-narrowing step, and the min/max bounds between bounding boxes.
+//
+// Since the backends moved to flat arena layouts, every tree identifies
+// its nodes by dense int32 indices and stores the elements under a
+// subtree as ONE contiguous range of "positions" (the arena's packed
+// element order). The accumulators exploit both: credits address flat
+// rows by position or node index — no maps, no pointer keys — and a
+// wholesale subtree credit is pushed down by a linear walk over the
+// node's position range, shared here instead of re-implemented as a
+// recursion in every backend.
+//
+// Memory model (ROADMAP d): CountMatrix keeps ONE merged difference
+// matrix for the whole join — never one full matrix per pooled
+// accumulator. A serial run writes it in place; a parallel run gives
+// each worker fixed-budget per-shard credit buffers that flush into the
+// shared matrix under that shard's lock, so per-worker peak memory is
+// O(n·a/workers) (plus a constant per shard) instead of O(n·a). Every
+// credit is a commutative integer add, so the result is identical for
+// every worker count and flush interleaving.
 package dualjoin
 
 import (
@@ -20,54 +33,169 @@ import (
 	"mccatch/internal/parallel"
 )
 
-// Acc collects one traversal unit's credits: flat per-element difference
-// rows plus lazily allocated per-subtree accumulators for wholesale
-// credits (pushed down to every element under the node during the final
-// merge). N is the backend's node-pointer type. The fields are exported
-// raw — the backends' traversals write them directly, because crediting
-// sits in the innermost loop of the join and a method on a generic
-// receiver goes through a dictionary the compiler will not inline
-// (measured ~10% on the 10k×2d pipeline).
-type Acc[N comparable] struct {
-	Stride int   // len(radii) + 1
-	Point  []int // element id i, radius e → Point[i*Stride+e]
-	Nodes  map[N][]int
+// quadStride is the flat encoding of one buffered credit:
+// (row index, from, to, count) as four int32s.
+const quadStride = 4
+
+// minShardQuads is the smallest per-shard buffer; below it the flush
+// locks would outweigh the buffered adds.
+const minShardQuads = 64
+
+// BudgetHook, when non-nil, receives the buffered-mode sizing of every
+// parallel CountMatrix call: the resolved worker count, the shard counts
+// and the per-worker buffer budget in quads. Tests use it to pin the
+// O(n·a/workers) per-worker bound; production leaves it nil.
+var BudgetHook func(workers, pointShards, nodeShards, quadsPerWorker int)
+
+// matrices is the shared credit sink of one CountMatrix call: the merged
+// per-position difference rows, the per-node wholesale rows, and the
+// shard locks parallel workers flush under.
+type matrices struct {
+	stride  int
+	point   []int // position p, radius e → point[p*stride+e]
+	node    []int // node index d, radius e → node[d*stride+e]
+	pointMu []sync.Mutex
+	nodeMu  []sync.Mutex
+	// pointsPerShard / nodesPerShard map a row index to its lock.
+	pointsPerShard, nodesPerShard int
 }
 
-// CreditPoint adds cnt to element id's count at every radius in
-// [from, to). Convenience for cold call sites; hot paths inline the two
-// writes themselves.
-func (a *Acc[N]) CreditPoint(id, from, to, cnt int) {
-	row := a.Point[id*a.Stride:]
-	row[from] += cnt
-	row[to] -= cnt
+// Acc is one worker's credit sink. In direct mode (serial runs) the
+// credits go straight into the shared matrices, held right on the Acc so
+// the fast path is two indexed adds; in buffered mode each credit is
+// appended to a small per-shard buffer that flushes into the shared
+// matrix under that shard's lock when full. Crediting sits in the
+// innermost loop of every join, so the methods are concrete (the former
+// generic accumulator went through a dictionary the compiler would not
+// inline) and the buffered slow path lives in separate functions to keep
+// CreditPos/CreditNode within the inlining budget.
+type Acc struct {
+	Stride int // len(radii) + 1
+	// Point and Node are the shared matrices themselves in direct mode
+	// (element position p's difference row is Point[p*Stride:], node d's
+	// is Node[d*Stride:]) and nil in buffered mode. They are exported
+	// raw: crediting sits in the innermost loops of the joins, and the
+	// method call below — with its buffered fallback — exceeds the
+	// inlining budget, so the backends' hottest credit sites write the
+	// two row adds directly when Point is non-nil and fall back to
+	// CreditPos/CreditNode otherwise.
+	Point, Node []int
+	m           *matrices
+	// buffered mode: flat quads per shard, fixed capacity each.
+	pointBuf [][]int32
+	nodeBuf  [][]int32
+	shardCap int
 }
 
-// NodeRow returns n's wholesale difference row, allocating it on first
-// use. Hot paths cache the returned slice's writes the same way.
-func (a *Acc[N]) NodeRow(n N) []int {
-	diff := a.Nodes[n]
-	if diff == nil {
-		diff = make([]int, a.Stride)
-		a.Nodes[n] = diff
+// CreditPos adds cnt to the element position's count at every radius in
+// [from, to).
+func (a *Acc) CreditPos(pos int32, from, to, cnt int) {
+	if row := a.Point; row != nil {
+		row = row[int(pos)*a.Stride:]
+		row[from] += cnt
+		row[to] -= cnt
+		return
 	}
-	return diff
+	a.bufferPos(pos, from, to, cnt)
 }
 
-// CountMatrix runs units traversal units across the worker budget with
-// pooled accumulators and assembles counts[e][i] for a radii and n
-// elements. visit performs unit u's traversal, crediting into acc;
-// addSubtree pushes a wholesale difference row down to every element
-// under a node — for each element id it must add diff into
-// merged[id*len(diff):] (a direct recursion in each backend: the merge
-// touches every credited element, so a per-id closure would be measurable
-// overhead). The pool keeps every accumulator it ever creates on a list,
-// so the merge sees all of them no matter how units were scheduled, and
-// every credit is an integer add — commutative — so the result is
-// identical for every worker count.
-func CountMatrix[N comparable](a, n, workers, units int,
-	visit func(u int, acc *Acc[N]),
-	addSubtree func(node N, diff, merged []int)) [][]int {
+// CreditNode adds cnt wholesale to every element under node at every
+// radius in [from, to); the range is pushed down to the node's positions
+// during the final merge.
+func (a *Acc) CreditNode(node int32, from, to, cnt int) {
+	if row := a.Node; row != nil {
+		row = row[int(node)*a.Stride:]
+		row[from] += cnt
+		row[to] -= cnt
+		return
+	}
+	a.bufferNode(node, from, to, cnt)
+}
+
+func (a *Acc) bufferPos(pos int32, from, to, cnt int) {
+	s := int(pos) / a.m.pointsPerShard
+	a.pointBuf[s] = append(a.pointBuf[s], pos, int32(from), int32(to), int32(cnt))
+	if len(a.pointBuf[s]) >= a.shardCap*quadStride {
+		a.flushPoint(s)
+	}
+}
+
+func (a *Acc) bufferNode(node int32, from, to, cnt int) {
+	s := int(node) / a.m.nodesPerShard
+	a.nodeBuf[s] = append(a.nodeBuf[s], node, int32(from), int32(to), int32(cnt))
+	if len(a.nodeBuf[s]) >= a.shardCap*quadStride {
+		a.flushNode(s)
+	}
+}
+
+func applyQuads(dst []int, stride int, buf []int32) {
+	for i := 0; i+3 < len(buf); i += quadStride {
+		row := dst[int(buf[i])*stride:]
+		row[buf[i+1]] += int(buf[i+3])
+		row[buf[i+2]] -= int(buf[i+3])
+	}
+}
+
+func (a *Acc) flushPoint(s int) {
+	a.m.pointMu[s].Lock()
+	applyQuads(a.m.point, a.Stride, a.pointBuf[s])
+	a.m.pointMu[s].Unlock()
+	a.pointBuf[s] = a.pointBuf[s][:0]
+}
+
+func (a *Acc) flushNode(s int) {
+	a.m.nodeMu[s].Lock()
+	applyQuads(a.m.node, a.Stride, a.nodeBuf[s])
+	a.m.nodeMu[s].Unlock()
+	a.nodeBuf[s] = a.nodeBuf[s][:0]
+}
+
+// flushAll drains every remaining buffered credit into the shared
+// matrices; CountMatrix calls it once per pooled accumulator after the
+// traversal units finish.
+func (a *Acc) flushAll() {
+	if a.Point != nil {
+		return
+	}
+	for s := range a.pointBuf {
+		if len(a.pointBuf[s]) > 0 {
+			a.flushPoint(s)
+		}
+	}
+	for s := range a.nodeBuf {
+		if len(a.nodeBuf[s]) > 0 {
+			a.flushNode(s)
+		}
+	}
+}
+
+// shardsFor splits rows across one lock per ~rowsPerWorker rows, capped
+// so tiny inputs do not drown in mutexes.
+func shardsFor(rows, workers int) int {
+	shards := 4 * workers
+	if shards > rows {
+		shards = rows
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// CountMatrix runs units traversal units across the worker budget and
+// assembles counts[e][id] for a radii, n element positions and nodes
+// arena nodes. visit performs unit u's traversal, crediting into acc;
+// elemRange returns the contiguous position range [first, last) of the
+// elements under a node (the arena layouts guarantee contiguity), and
+// idOf maps a position to its element id. The merged matrix exists ONCE
+// regardless of the worker count: serial runs write it directly, and
+// parallel workers buffer credits per shard — O(n·a/workers) per worker
+// — flushing under shard locks. Credits are commutative integer adds,
+// so the result is identical for every worker count.
+func CountMatrix(a, n, nodes, workers, units int,
+	visit func(u int, acc *Acc),
+	elemRange func(node int32) (int32, int32),
+	idOf func(pos int32) int) [][]int {
 
 	counts := make([][]int, a)
 	for e := range counts {
@@ -77,38 +205,98 @@ func CountMatrix[N comparable](a, n, workers, units int,
 		return counts
 	}
 	stride := a + 1
-	var mu sync.Mutex
-	var accs []*Acc[N]
-	pool := sync.Pool{New: func() any {
-		ac := &Acc[N]{Stride: stride, Point: make([]int, n*stride), Nodes: make(map[N][]int)}
-		mu.Lock()
-		accs = append(accs, ac)
-		mu.Unlock()
-		return ac
-	}}
-	parallel.For(workers, units, func(u int) {
-		ac := pool.Get().(*Acc[N])
-		visit(u, ac)
-		pool.Put(ac)
-	})
-
-	// Merge: sum the flat rows, push the wholesale subtree credits down
-	// to their elements, then prefix-sum each element's difference row.
-	merged := make([]int, n*stride)
-	for _, ac := range accs {
-		for i, v := range ac.Point {
-			merged[i] += v
+	w := parallel.Workers(workers)
+	if w > units {
+		w = units
+	}
+	m := &matrices{
+		stride: stride,
+		point:  make([]int, n*stride),
+		node:   make([]int, nodes*stride),
+	}
+	if w <= 1 {
+		acc := &Acc{Stride: stride, Point: m.point, Node: m.node}
+		for u := 0; u < units; u++ {
+			visit(u, acc)
 		}
-		for nd, diff := range ac.Nodes {
-			addSubtree(nd, diff, merged)
+	} else {
+		pShards := shardsFor(n, w)
+		nShards := shardsFor(nodes, w)
+		m.pointsPerShard = (n + pShards - 1) / pShards
+		m.nodesPerShard = (nodes + nShards - 1) / nShards
+		if m.nodesPerShard < 1 {
+			m.nodesPerShard = 1
+		}
+		m.pointMu = make([]sync.Mutex, pShards)
+		m.nodeMu = make([]sync.Mutex, nShards)
+		// Per-worker budget: one worker's buffers hold at most ~1/w of the
+		// merged matrix (in quads), floored per shard so flushes stay
+		// amortized — the O(n·a/workers) bound of ROADMAP (d).
+		budget := (n + nodes) * stride / (2 * w)
+		shardCap := budget / (pShards + nShards)
+		if shardCap < minShardQuads {
+			shardCap = minShardQuads
+		}
+		if BudgetHook != nil {
+			BudgetHook(w, pShards, nShards, shardCap*(pShards+nShards))
+		}
+		var mu sync.Mutex
+		var accs []*Acc
+		pool := sync.Pool{New: func() any {
+			ac := &Acc{Stride: stride, m: m, shardCap: shardCap,
+				pointBuf: make([][]int32, pShards),
+				nodeBuf:  make([][]int32, nShards)}
+			for s := range ac.pointBuf {
+				ac.pointBuf[s] = make([]int32, 0, shardCap*quadStride)
+			}
+			for s := range ac.nodeBuf {
+				ac.nodeBuf[s] = make([]int32, 0, shardCap*quadStride)
+			}
+			mu.Lock()
+			accs = append(accs, ac)
+			mu.Unlock()
+			return ac
+		}}
+		parallel.For(w, units, func(u int) {
+			ac := pool.Get().(*Acc)
+			visit(u, ac)
+			pool.Put(ac)
+		})
+		for _, ac := range accs {
+			ac.flushAll()
 		}
 	}
-	parallel.For(workers, n, func(i int) {
+
+	// Push the wholesale node credits down to their contiguous position
+	// ranges, then prefix-sum each position's difference row into the
+	// id-keyed result.
+	for d := 0; d < nodes; d++ {
+		row := m.node[d*stride : d*stride+stride]
+		dirty := false
+		for _, v := range row {
+			if v != 0 {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			continue
+		}
+		first, last := elemRange(int32(d))
+		for p := first; p < last; p++ {
+			dst := m.point[int(p)*stride:]
+			for k, v := range row {
+				dst[k] += v
+			}
+		}
+	}
+	parallel.For(workers, n, func(p int) {
 		run := 0
-		row := merged[i*stride:]
+		row := m.point[p*stride:]
+		id := idOf(int32(p))
 		for e := 0; e < a; e++ {
 			run += row[e]
-			counts[e][i] = run
+			counts[e][id] = run
 		}
 	})
 	return counts
@@ -135,6 +323,71 @@ func Window(radii []float64, dmin, dmax float64, lo, hi int) (from, settled int)
 		nh++ // radii [nh, hi) contain every pair: settle them at once
 	}
 	return lo, nh
+}
+
+// sqScratch pools the squared-radius schedules of AppendMultiCounts, so
+// steady-state batched probes allocate nothing.
+var sqScratch = sync.Pool{
+	New: func() any { s := make([]float64, 0, 16); return &s },
+}
+
+// AppendMultiCounts is the difference-array scaffolding every backend's
+// RangeCountMultiAppend shares: it appends len(radii)+1 zeroed slots to
+// dst (the counts plus the difference array's sentinel), hands visit the
+// schedule — squared through a pooled scratch slice when squared is true
+// (the box-bound backends compare squared distances), the caller's own
+// schedule otherwise — along with the difference row to credit,
+// prefix-sums the row and returns dst trimmed to the counts. With a warm
+// dst a probe allocates zero bytes. Centralizing this here keeps the
+// credit/prefix-sum semantics from diverging across the backends.
+func AppendMultiCounts(radii []float64, dst []int, squared bool, visit func(sched []float64, diff []int)) []int {
+	a := len(radii)
+	base := len(dst)
+	for i := 0; i <= a; i++ {
+		dst = append(dst, 0)
+	}
+	diff := dst[base:]
+	if a > 0 {
+		if squared {
+			sp := sqScratch.Get().(*[]float64)
+			r2 := (*sp)[:0]
+			for _, r := range radii {
+				r2 = append(r2, r*r)
+			}
+			visit(r2, diff)
+			*sp = r2
+			sqScratch.Put(sp)
+		} else {
+			visit(radii, diff)
+		}
+	}
+	for e := 1; e < a; e++ {
+		diff[e] += diff[e-1]
+	}
+	return dst[:base+a]
+}
+
+// SqMinMaxPointBox returns the smallest and largest SQUARED Euclidean
+// distances from point q to the axis-aligned box [lo, hi]. Open-coded
+// min/max: with lo[j] ≤ hi[j] the farthest corner distance per axis is
+// max(q-lo, hi-q) even outside the box, and keeping math.Max/math.Abs
+// out keeps the kernel inlinable — it runs once per node of every
+// box-tree traversal.
+func SqMinMaxPointBox(q, lo, hi []float64) (smin, smax float64) {
+	for j := range q {
+		v := q[j]
+		if d := lo[j] - v; d > 0 {
+			smin += d * d
+		} else if d := v - hi[j]; d > 0 {
+			smin += d * d
+		}
+		far := v - lo[j]
+		if f := hi[j] - v; f > far {
+			far = f
+		}
+		smax += far * far
+	}
+	return smin, smax
 }
 
 // SqMinMaxBoxBox returns the smallest and largest SQUARED Euclidean

@@ -8,8 +8,9 @@ import (
 
 // The backends' equivalence suites prove the joins end to end; these
 // tests pin the shared machinery's own contracts — window narrowing,
-// box bounds, and the two accumulator merges — directly, so a future
-// backend gets them pre-verified.
+// box bounds, the two accumulator merges, and the buffered mode's
+// per-worker memory bound — directly, so a future backend gets them
+// pre-verified.
 
 func TestWindow(t *testing.T) {
 	radii := []float64{1, 2, 4, 8}
@@ -57,31 +58,28 @@ func TestSqMinMaxBoxBox(t *testing.T) {
 	}
 }
 
+// The synthetic arena the merge tests run on: 4 element positions with
+// the identity position→id map, plus one "node" 0 covering positions
+// [1, 3) — the contiguous-range contract every backend arena satisfies.
+func testRange(node int32) (int32, int32) { return 1, 3 }
+func testIDOf(pos int32) int              { return int(pos) }
+
 // TestCountMatrixMergesAcrossWorkers drives CountMatrix with synthetic
 // units — point credits plus a wholesale node credit — and checks the
-// assembled matrix is the prefix-summed union at every worker count.
+// assembled matrix is the prefix-summed union at every worker count,
+// covering both the serial direct-write mode and the parallel buffered
+// mode.
 func TestCountMatrixMergesAcrossWorkers(t *testing.T) {
-	type nd int // fake node type: one node "0" covering elements 1 and 2
-	push := func(node nd, diff, merged []int) {
-		for _, id := range []int{1, 2} {
-			row := merged[id*len(diff):]
-			for k, v := range diff {
-				row[k] += v
-			}
-		}
-	}
 	const a, n, units = 3, 4, 6
-	visit := func(u int, acc *Acc[nd]) {
-		acc.CreditPoint(u%n, 0, a, 1) // each unit credits one element everywhere
+	visit := func(u int, acc *Acc) {
+		acc.CreditPos(int32(u%n), 0, a, 1) // each unit credits one element everywhere
 		if u == 2 {
-			row := acc.NodeRow(0) // elements 1, 2 gain 5 at radii [1, 3)
-			row[1] += 5
-			row[3] -= 5
+			acc.CreditNode(0, 1, a, 5) // positions 1, 2 gain 5 at radii [1, 3)
 		}
 	}
 	var want [][]int
 	for _, workers := range []int{1, 2, 8} {
-		got := CountMatrix(a, n, workers, units, visit, push)
+		got := CountMatrix(a, n, 1, workers, units, visit, testRange, testIDOf)
 		if want == nil {
 			want = got
 			// Spot-check the serial result itself: element 0 was credited
@@ -96,9 +94,102 @@ func TestCountMatrixMergesAcrossWorkers(t *testing.T) {
 			t.Errorf("workers=%d: matrix %v differs from serial %v", workers, got, want)
 		}
 	}
-	empty := CountMatrix(0, 0, 1, 0, visit, push)
+	empty := CountMatrix(0, 0, 0, 1, 0, visit, testRange, testIDOf)
 	if len(empty) != 0 {
 		t.Errorf("degenerate CountMatrix: %v, want empty", empty)
+	}
+}
+
+// TestCountMatrixRandomized floods CountMatrix with random credit
+// schedules heavy enough to force buffer flushes mid-traversal and
+// cross-checks every worker count against the brute-force union.
+func TestCountMatrixRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		a := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(60)
+		nodes := 1 + rng.Intn(8)
+		units := 1 + rng.Intn(20)
+		ranges := make([][2]int32, nodes)
+		for d := range ranges {
+			f := rng.Intn(n)
+			l := f + rng.Intn(n-f)
+			ranges[d] = [2]int32{int32(f), int32(l)}
+		}
+		type credit struct{ pos, from, to, cnt, node int }
+		perUnit := make([][]credit, units)
+		want := make([][]int, a)
+		for e := range want {
+			want[e] = make([]int, n)
+		}
+		apply := func(pos, from, to, cnt int) {
+			for e := from; e < to && e < a; e++ {
+				want[e][pos] += cnt
+			}
+		}
+		for u := range perUnit {
+			for k := 200 + rng.Intn(400); k > 0; k-- {
+				c := credit{pos: rng.Intn(n), from: rng.Intn(a), cnt: 1 + rng.Intn(3), node: -1}
+				c.to = c.from + 1 + rng.Intn(a-c.from)
+				if rng.Intn(8) == 0 {
+					c.node = rng.Intn(nodes)
+				}
+				perUnit[u] = append(perUnit[u], c)
+				if c.node >= 0 {
+					r := ranges[c.node]
+					for p := r[0]; p < r[1]; p++ {
+						apply(int(p), c.from, c.to, c.cnt)
+					}
+				} else {
+					apply(c.pos, c.from, c.to, c.cnt)
+				}
+			}
+		}
+		visit := func(u int, acc *Acc) {
+			for _, c := range perUnit[u] {
+				if c.node >= 0 {
+					acc.CreditNode(int32(c.node), c.from, c.to, c.cnt)
+				} else {
+					acc.CreditPos(int32(c.pos), c.from, c.to, c.cnt)
+				}
+			}
+		}
+		elemRange := func(d int32) (int32, int32) { return ranges[d][0], ranges[d][1] }
+		for _, workers := range []int{1, 3, 8} {
+			got := CountMatrix(a, n, nodes, workers, units, visit, elemRange, testIDOf)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d workers=%d: matrix differs from brute force", trial, workers)
+			}
+		}
+	}
+}
+
+// TestCountMatrixPerWorkerBudget pins ROADMAP (d)'s memory bound: in
+// buffered mode every worker's credit buffers hold at most ~1/workers of
+// the merged matrix (plus the per-shard floor), never a full copy.
+func TestCountMatrixPerWorkerBudget(t *testing.T) {
+	const a, n, nodes, units = 15, 4096, 4096, 64
+	stride := a + 1
+	for _, workers := range []int{2, 4, 8} {
+		var gotWorkers, gotQuads int
+		BudgetHook = func(w, pShards, nShards, quadsPerWorker int) {
+			gotWorkers, gotQuads = w, quadsPerWorker
+		}
+		CountMatrix(a, n, nodes, workers, units,
+			func(u int, acc *Acc) { acc.CreditPos(int32(u), 0, a, 1) },
+			testRange, testIDOf)
+		BudgetHook = nil
+		if gotWorkers != workers {
+			t.Fatalf("workers=%d: hook saw %d", workers, gotWorkers)
+		}
+		// The merged matrix holds (n+nodes)*stride ints; a worker's buffers
+		// must stay within ~1/workers of that (each quad is 4 int32s = 2
+		// ints' worth), with the minShardQuads floor as slack.
+		bound := (n+nodes)*stride/workers + (4*workers+4*workers)*minShardQuads
+		if gotQuads*2 > bound {
+			t.Errorf("workers=%d: per-worker buffer %d quads exceeds bound %d ints",
+				workers, gotQuads, bound)
+		}
 	}
 }
 
@@ -107,47 +198,30 @@ func TestCountMatrixMergesAcrossWorkers(t *testing.T) {
 // merge to the same minima at every worker count — including when the
 // pooled accumulators are reused across many units.
 func TestFirstMatrixMergesMinima(t *testing.T) {
-	type nd int
-	push := func(node nd, bound int, merged []int) {
-		for _, id := range []int{1, 2} {
-			if bound < merged[id] {
-				merged[id] = bound
-			}
-		}
-	}
-	// Credits are written raw, exactly as the backends write them.
-	creditPoint := func(acc *MinAcc[nd], id, b int) {
-		if b < acc.Best[id] {
-			acc.Best[id] = b
-		}
-	}
-	creditNode := func(acc *MinAcc[nd], n nd, b int) {
-		if cur, ok := acc.Nodes[n]; !ok || b < cur {
-			acc.Nodes[n] = b
-		}
-	}
 	const a, n, units = 5, 4, 16
-	visit := func(u int, acc *MinAcc[nd]) {
-		creditPoint(acc, 0, 4-u%5) // element 0: repeated credits, min 0
-		if u == 3 {
-			creditNode(acc, 0, 2) // elements 1, 2: bound 2 wholesale
+	visit := func(u int, acc *MinAcc) {
+		if b := int32(4 - u%5); b < acc.Best[0] {
+			acc.Best[0] = b // element 0: repeated credits, min 0
 		}
-		if u == 7 {
-			creditNode(acc, 0, 3) // worse wholesale bound must not win
+		if u == 3 && 2 < acc.NodeBest[0] {
+			acc.NodeBest[0] = 2 // elements 1, 2: bound 2 wholesale
+		}
+		if u == 7 && 3 < acc.NodeBest[0] {
+			acc.NodeBest[0] = 3 // worse wholesale bound must not win
 		}
 		// Element 3 never credited: stays at the sentinel.
 	}
 	want := []int{0, 2, 2, a}
 	for _, workers := range []int{1, 2, 8} {
-		got := FirstMatrix(a, n, workers, units, visit, push)
+		got := FirstMatrix(a, n, 1, workers, units, visit, testRange, testIDOf)
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("workers=%d: firsts %v, want %v", workers, got, want)
 		}
 	}
-	if got := FirstMatrix(a, 0, 1, units, visit, push); len(got) != 0 {
+	if got := FirstMatrix(a, 0, 0, 1, units, visit, testRange, testIDOf); len(got) != 0 {
 		t.Errorf("no queries: %v, want empty", got)
 	}
-	if got := FirstMatrix(a, n, 1, 0, visit, push); !reflect.DeepEqual(got, []int{a, a, a, a}) {
+	if got := FirstMatrix(a, n, 1, 1, 0, visit, testRange, testIDOf); !reflect.DeepEqual(got, []int{a, a, a, a}) {
 		t.Errorf("no units: %v, want all-sentinel", got)
 	}
 }
@@ -176,17 +250,16 @@ func TestFirstMatrixRandomizedAgainstSerial(t *testing.T) {
 				}
 			}
 		}
-		type nd int
-		visit := func(u int, acc *MinAcc[nd]) {
+		visit := func(u int, acc *MinAcc) {
 			for _, c := range perUnit[u] {
-				if c.b < acc.Best[c.id] {
-					acc.Best[c.id] = c.b
+				if int32(c.b) < acc.Best[c.id] {
+					acc.Best[c.id] = int32(c.b)
 				}
 			}
 		}
-		push := func(nd, int, []int) { t.Fatal("no node credits in this trial") }
+		noNodes := func(int32) (int32, int32) { t.Fatal("no node credits in this trial"); return 0, 0 }
 		for _, workers := range []int{1, 3} {
-			got := FirstMatrix(a, n, workers, units, visit, push)
+			got := FirstMatrix(a, n, 0, workers, units, visit, noNodes, testIDOf)
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("trial %d workers=%d: %v, want %v", trial, workers, got, want)
 			}

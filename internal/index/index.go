@@ -102,6 +102,18 @@ type QueryAppender[T any] interface {
 	RangeQueryAppend(q T, r float64, dst []int) []int
 }
 
+// MultiCountAppender is the allocation-free form of MultiCounter: the
+// batched counts are appended into a caller-provided buffer, so a hot
+// loop recycling one scratch slice per worker pays ZERO allocations per
+// probe in steady state (all three bundled arena trees also keep their
+// internal traversal scratch in pooled per-worker slices). All three
+// bundled trees implement it.
+type MultiCountAppender[T any] interface {
+	// RangeCountMultiAppend appends RangeCountMulti(q, radii)'s counts to
+	// dst — reusing dst's capacity — and returns the extended slice.
+	RangeCountMultiAppend(q T, radii []float64, dst []int) []int
+}
+
 // RangeCountMulti dispatches to the index's native batched counter when it
 // has one, and otherwise falls back to one RangeCount probe per radius.
 // radii must be sorted ascending.
@@ -114,6 +126,18 @@ func RangeCountMulti[T any](t Index[T], q T, radii []float64) []int {
 		counts[e] = t.RangeCount(q, r)
 	}
 	return counts
+}
+
+// RangeCountMultiAppend dispatches to the index's buffer-reusing batched
+// counter when it has one, and otherwise appends the result of
+// RangeCountMulti (which itself falls back to per-radius probes on
+// backends without a native batched counter). radii must be sorted
+// ascending.
+func RangeCountMultiAppend[T any](t Index[T], q T, radii []float64, dst []int) []int {
+	if mc, ok := t.(MultiCountAppender[T]); ok {
+		return mc.RangeCountMultiAppend(q, radii, dst)
+	}
+	return append(dst, RangeCountMulti(t, q, radii)...)
 }
 
 // RangeQueryAppend dispatches to the index's buffer-reusing range query

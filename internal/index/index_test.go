@@ -84,6 +84,35 @@ func TestRangeCountMultiDispatchesToNativeImplementation(t *testing.T) {
 	}
 }
 
+// appendLine additionally implements MultiCountAppender, recording the
+// native dispatch.
+type appendLine struct {
+	batchedLine
+	multiAppendCalls int
+}
+
+func (a *appendLine) RangeCountMultiAppend(q float64, radii []float64, dst []int) []int {
+	a.multiAppendCalls++
+	return append(dst, a.RangeCountMulti(q, radii)...)
+}
+
+func TestRangeCountMultiAppendFallbackAndDispatch(t *testing.T) {
+	l := line{xs: []float64{0, 1, 2, 10}}
+	buf := make([]int, 0, 8)
+	got := RangeCountMultiAppend[float64](l, 1, []float64{0.5, 1.5, 20}, buf)
+	if !reflect.DeepEqual(got, []int{1, 3, 4}) || cap(got) != 8 {
+		t.Errorf("fallback RangeCountMultiAppend = %v (cap %d), want [1 3 4] in the caller's buffer", got, cap(got))
+	}
+	a := &appendLine{batchedLine: batchedLine{line: l}}
+	got = RangeCountMultiAppend[float64](a, 1, []float64{0.5}, nil)
+	if a.multiAppendCalls != 1 {
+		t.Errorf("native RangeCountMultiAppend called %d times, want 1", a.multiAppendCalls)
+	}
+	if !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("dispatched RangeCountMultiAppend = %v, want [1]", got)
+	}
+}
+
 func TestRangeQueryAppendFallbackAndDispatch(t *testing.T) {
 	l := line{xs: []float64{0, 1, 9}}
 	buf := make([]int, 0, 4)

@@ -169,12 +169,14 @@ func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap 
 			q[a-1][i] = n
 		}
 	}
-	// rowScratch pools the per-item count rows: each worker recycles one
-	// allocation across all of its items.
-	var rowScratch = sync.Pool{New: func() any { s := make([]int, probeHi); return &s }}
+	// rowScratch pools the per-item count rows plus the batched-probe
+	// buffer: each worker recycles one allocation across all of its
+	// items, so steady-state probing allocates zero bytes.
+	type scratch struct{ row, buf []int }
+	var rowScratch = sync.Pool{New: func() any { return &scratch{row: make([]int, probeHi)} }}
 	parallel.For(workers, len(items), func(i int) {
-		rowp := rowScratch.Get().(*[]int)
-		row := *rowp
+		sc := rowScratch.Get().(*scratch)
+		row := sc.row
 		row[0] = t.RangeCount(items[i], radii[0])
 		e := 1
 		for e < probeHi && row[e-1] <= cap {
@@ -189,7 +191,8 @@ func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap 
 				e = hi
 				continue
 			}
-			sub := index.RangeCountMulti(t, items[i], radii[e:hi])
+			sub := index.RangeCountMultiAppend(t, items[i], radii[e:hi], sc.buf[:0])
+			sc.buf = sub[:0] // keep any growth for the next probe
 			for k, c := range sub {
 				if prev := row[e+k-1]; prev > cap {
 					c = prev // overshot the excusal point: carry instead
@@ -204,7 +207,7 @@ func MultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, cap 
 		for e, c := range row {
 			q[e][i] = c
 		}
-		rowScratch.Put(rowp)
+		rowScratch.Put(sc)
 	})
 	return q
 }
@@ -281,14 +284,18 @@ func BridgeRadii[T any](inliers index.Index[T], outliers []T, radii []float64, w
 func BridgeRadiiPerPoint[T any](inliers index.Index[T], outliers []T, radii []float64, workers int) []int {
 	a := len(radii)
 	first := make([]int, len(outliers))
+	var bufScratch = sync.Pool{New: func() any { s := make([]int, 0, a+1); return &s }}
 	parallel.For(workers, len(outliers), func(i int) {
+		bufp := bufScratch.Get().(*[]int)
+		defer bufScratch.Put(bufp)
 		e, chunk := 0, 4
 		for e < a {
 			hi := e + chunk
 			if hi > a {
 				hi = a
 			}
-			counts := index.RangeCountMulti(inliers, outliers[i], radii[e:hi])
+			counts := index.RangeCountMultiAppend(inliers, outliers[i], radii[e:hi], (*bufp)[:0])
+			*bufp = counts[:0] // keep any growth for the next probe
 			for k, c := range counts {
 				if c > 0 {
 					first[i] = e + k

@@ -1,0 +1,250 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// This file pins the arena layout itself: the structural invariants every
+// query and dual join relies on (preorder subtree ranges, implicit child
+// positions, parent links, coordinate block offsets), and — via a
+// retained copy of the pre-arena pointer implementation — that the
+// flattened tree answers queries identically to the linked build it
+// replaced.
+
+// TestArenaInvariants checks, on random trees:
+//   - slot p's subtree is exactly the contiguous preorder range
+//     [p, p+count[p]), with left = p+1 and right = p+1+count[p]/2
+//     whenever the children exist (the implicit layout);
+//   - parent links invert the child links;
+//   - every slot's coordinate block holds the original point of its id;
+//   - every slot's box bounds exactly the points of its range.
+func TestArenaInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(500)
+		dim := 1 + rng.Intn(4)
+		pts := randPoints(rng, n, dim)
+		tr := New(pts)
+		seen := make([]bool, n)
+		for p := int32(0); p < int32(n); p++ {
+			cnt := tr.count[p]
+			if cnt < 1 || int(p)+int(cnt) > n {
+				t.Fatalf("slot %d: count %d out of range", p, cnt)
+			}
+			// Implicit child positions.
+			mid := cnt / 2
+			wantLeft, wantRight := int32(noChild), int32(noChild)
+			if mid > 0 {
+				wantLeft = p + 1
+			}
+			if cnt-1-mid > 0 {
+				wantRight = p + 1 + mid
+			}
+			if tr.left[p] != wantLeft || tr.right[p] != wantRight {
+				t.Fatalf("slot %d: links (%d,%d), implicit layout wants (%d,%d)",
+					p, tr.left[p], tr.right[p], wantLeft, wantRight)
+			}
+			// Children sizes partition the range: count = 1 + left + right.
+			sub := int32(1)
+			for _, c := range []int32{tr.left[p], tr.right[p]} {
+				if c >= 0 {
+					if tr.parent[c] != p {
+						t.Fatalf("slot %d: parent link of child %d is %d", p, c, tr.parent[c])
+					}
+					sub += tr.count[c]
+				}
+			}
+			if sub != cnt {
+				t.Fatalf("slot %d: children sizes %d != count %d", p, sub, cnt)
+			}
+			// Coordinate block matches the original point of the id.
+			id := tr.ids[p]
+			if seen[id] {
+				t.Fatalf("id %d stored twice", id)
+			}
+			seen[id] = true
+			for j, v := range pts[id] {
+				if tr.pts[int(p)*dim+j] != v {
+					t.Fatalf("slot %d: coordinate block does not match point %d", p, id)
+				}
+			}
+			// Box bounds exactly the subtree's points.
+			lo, hi := tr.box(p)
+			for j := 0; j < dim; j++ {
+				mn, mx := tr.pts[int(p)*dim+j], tr.pts[int(p)*dim+j]
+				for q := p; q < p+cnt; q++ {
+					v := tr.pts[int(q)*dim+j]
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				if lo[j] != mn || hi[j] != mx {
+					t.Fatalf("slot %d: box axis %d is [%v,%v], points span [%v,%v]",
+						p, j, lo[j], hi[j], mn, mx)
+				}
+			}
+		}
+		if tr.parent[0] != noChild {
+			t.Fatal("root must have no parent")
+		}
+	}
+}
+
+// --- Retained reference: the pre-arena pointer kd-tree. ---
+
+type refNode struct {
+	point       []float64
+	id, axis    int
+	size        int
+	lo, hi      []float64
+	left, right *refNode
+}
+
+func refBuild(points [][]float64, idx []int, depth, dim int) *refNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % dim
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa[axis] != pb[axis] {
+			return pa[axis] < pb[axis]
+		}
+		return idx[a] < idx[b]
+	})
+	mid := len(idx) / 2
+	n := &refNode{point: points[idx[mid]], id: idx[mid], axis: axis, size: len(idx)}
+	n.lo = append([]float64(nil), points[idx[0]]...)
+	n.hi = append([]float64(nil), points[idx[0]]...)
+	for _, i := range idx {
+		for j, v := range points[i] {
+			if v < n.lo[j] {
+				n.lo[j] = v
+			}
+			if v > n.hi[j] {
+				n.hi[j] = v
+			}
+		}
+	}
+	n.left = refBuild(points, idx[:mid], depth+1, dim)
+	n.right = refBuild(points, idx[mid+1:], depth+1, dim)
+	return n
+}
+
+func refRangeCount(n *refNode, q []float64, r2 float64) int {
+	if n == nil {
+		return 0
+	}
+	smin, smax := sqMinMaxDistToBox(q, n.lo, n.hi)
+	if smin > r2 {
+		return 0
+	}
+	if smax <= r2 {
+		return n.size
+	}
+	count := 0
+	if metric.SquaredEuclidean(q, n.point) <= r2 {
+		count++
+	}
+	return count + refRangeCount(n.left, q, r2) + refRangeCount(n.right, q, r2)
+}
+
+func refRangeIDs(n *refNode, q []float64, r2 float64, dst []int) []int {
+	if n == nil {
+		return dst
+	}
+	if metric.SquaredEuclidean(q, n.point) <= r2 {
+		dst = append(dst, n.id)
+	}
+	dst = refRangeIDs(n.left, q, r2, dst)
+	return refRangeIDs(n.right, q, r2, dst)
+}
+
+// TestArenaMatchesReferencePointerBuild builds the same random inputs
+// into the arena tree and the retained pointer reference and demands
+// identical answers: range counts, multi-radius counts, id sets, and the
+// pointer tree's structure mirrored slot by slot.
+func TestArenaMatchesReferencePointerBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(400)
+		dim := 1 + rng.Intn(3)
+		pts := randPoints(rng, n, dim)
+		for i := 0; i < n/10; i++ { // duplicates stress tiebreaks
+			pts[rng.Intn(n)] = append([]float64(nil), pts[rng.Intn(n)]...)
+		}
+		tr := New(pts)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		ref := refBuild(pts, idx, 0, dim)
+
+		// Structure: a preorder walk of the reference must visit the arena
+		// slots 0, 1, 2, ... with identical fields.
+		slot := int32(0)
+		var walk func(r *refNode)
+		walk = func(r *refNode) {
+			if r == nil {
+				return
+			}
+			p := slot
+			slot++
+			if int(tr.ids[p]) != r.id || int(tr.axis[p]) != r.axis || int(tr.count[p]) != r.size {
+				t.Fatalf("slot %d: (id,axis,count)=(%d,%d,%d), reference (%d,%d,%d)",
+					p, tr.ids[p], tr.axis[p], tr.count[p], r.id, r.axis, r.size)
+			}
+			lo, hi := tr.box(p)
+			for j := range r.lo {
+				if lo[j] != r.lo[j] || hi[j] != r.hi[j] {
+					t.Fatalf("slot %d: box differs from reference", p)
+				}
+			}
+			walk(r.left)
+			walk(r.right)
+		}
+		walk(ref)
+		if slot != int32(n) {
+			t.Fatalf("reference walk covered %d slots, want %d", slot, n)
+		}
+
+		// Queries: counts, batched counts and id sets agree everywhere.
+		diam := tr.DiameterEstimate()
+		radii := make([]float64, 8)
+		for e := range radii {
+			radii[e] = diam / float64(int(1)<<(len(radii)-1-e))
+		}
+		for probe := 0; probe < 10; probe++ {
+			q := pts[rng.Intn(n)]
+			r := rng.Float64() * diam
+			if got, want := tr.RangeCount(q, r), refRangeCount(ref, q, r*r); got != want {
+				t.Fatalf("RangeCount=%d, reference %d", got, want)
+			}
+			multi := tr.RangeCountMulti(q, radii)
+			for e, rr := range radii {
+				if want := refRangeCount(ref, q, rr*rr); multi[e] != want {
+					t.Fatalf("RangeCountMulti[%d]=%d, reference %d", e, multi[e], want)
+				}
+			}
+			got := tr.RangeQuery(q, r)
+			want := refRangeIDs(ref, q, r*r, nil)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("RangeQuery returned %d ids, reference %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatal("RangeQuery id sets differ from reference")
+				}
+			}
+		}
+	}
+}

@@ -17,30 +17,34 @@ import (
 // self-join it accumulates per-query MINIMA instead of counts, which
 // makes early termination cheap: a bound credited to a query (or a whole
 // query subtree) narrows every later pair's radius window from above.
-// All comparisons are on squared distances — no math.Sqrt anywhere. The
-// accumulator, scheduling and merge machinery is internal/dualjoin's.
+// All comparisons are on squared distances — no math.Sqrt anywhere.
+//
+// Both trees are arenas, so the accumulator rows are flat: a query slot
+// of the throwaway tree is both its position (MinAcc.Best) and its node
+// index (MinAcc.NodeBest), and a wholesale bound pushes down over the
+// slot's contiguous preorder range. The accumulator, scheduling and
+// merge machinery is internal/dualjoin's.
 
-// crossCtx is one traversal unit's context: the squared radius schedule
-// and the unit's min-accumulator. Queries live in the outlier tree's id
-// space; indexed points are only ever counted as "some neighbor", never
+// crossCtx is one traversal unit's context: the inlier (index) tree, the
+// throwaway query tree, the squared radius schedule and the unit's
+// min-accumulator. Queries live in the outlier tree's slot space;
+// indexed points are only ever counted as "some neighbor", never
 // identified.
 type crossCtx struct {
-	radii2 []float64
-	acc    *dualjoin.MinAcc[*node]
+	in, out *Tree
+	radii2  []float64
+	acc     *dualjoin.MinAcc
 }
 
-// creditPoint and creditNode write the accumulator rows raw — crediting
-// sits in the join's innermost loop, and these concrete-receiver helpers
-// inline where a generic method would not (see dualjoin.MinAcc).
-func (c *crossCtx) creditPoint(id, b int) {
-	if b < c.acc.Best[id] {
-		c.acc.Best[id] = b
+func (c *crossCtx) creditPos(p int32, b int) {
+	if int32(b) < c.acc.Best[p] {
+		c.acc.Best[p] = int32(b)
 	}
 }
 
-func (c *crossCtx) creditNode(n *node, b int) {
-	if cur, ok := c.acc.Nodes[n]; !ok || b < cur {
-		c.acc.Nodes[n] = b
+func (c *crossCtx) creditNode(n int32, b int) {
+	if int32(b) < c.acc.NodeBest[n] {
+		c.acc.NodeBest[n] = int32(b)
 	}
 }
 
@@ -53,39 +57,31 @@ func (c *crossCtx) creditNode(n *node, b int) {
 // for every worker count.
 func (t *Tree) BridgeFirsts(queries [][]float64, radii []float64, workers int) []int {
 	a := len(radii)
-	var subs, pts []*node
-	if t.root != nil && len(queries) > 0 && a > 0 {
-		out := NewWithWorkers(queries, workers)
-		subs, pts = seedSplit(out.root)
+	var out *Tree
+	var subs, pts []int32
+	if t.size > 0 && len(queries) > 0 && a > 0 {
+		out = NewWithWorkers(queries, workers)
+		subs, pts = out.seedSplit()
 	}
 	radii2 := make([]float64, a)
 	for e, r := range radii {
 		radii2[e] = r * r
 	}
-	return dualjoin.FirstMatrix(a, len(queries), workers, len(subs)+len(pts),
-		func(u int, acc *dualjoin.MinAcc[*node]) {
-			c := crossCtx{radii2: radii2, acc: acc}
+	nodes := 0
+	if out != nil {
+		nodes = out.size
+	}
+	return dualjoin.FirstMatrix(a, len(queries), nodes, workers, len(subs)+len(pts),
+		func(u int, acc *dualjoin.MinAcc) {
+			c := crossCtx{in: t, out: out, radii2: radii2, acc: acc}
 			if u < len(subs) {
-				c.crossVisit(subs[u], t.root, 0, a)
+				c.crossVisit(subs[u], 0, 0, a)
 			} else {
-				p := pts[u-len(subs)]
-				c.probeFirst(p.point, p.id, t.root, 0, a)
+				c.probeFirst(pts[u-len(subs)], 0, 0, a)
 			}
 		},
-		pushSubtreeMin)
-}
-
-// pushSubtreeMin lowers the merged first-index of every query under n to
-// bound, pushing a wholesale subtree credit down to its points.
-func pushSubtreeMin(n *node, bound int, merged []int) {
-	if n == nil {
-		return
-	}
-	if bound < merged[n.id] {
-		merged[n.id] = bound
-	}
-	pushSubtreeMin(n.left, bound, merged)
-	pushSubtreeMin(n.right, bound, merged)
+		func(node int32) (int32, int32) { return node, node + out.count[node] },
+		func(pos int32) int { return int(out.ids[pos]) })
 }
 
 // crossVisit classifies the pair of query subtree O against index subtree
@@ -95,17 +91,16 @@ func pushSubtreeMin(n *node, bound int, merged []int) {
 // the schedule's end), so only smaller radii matter. Crediting is
 // one-directional — only the query side accumulates — which is what lets
 // a previously recorded bound on O clamp the window from above.
-func (c *crossCtx) crossVisit(O, I *node, lo, hi int) {
-	if O == nil || I == nil {
-		return
-	}
-	if b, ok := c.acc.Nodes[O]; ok && b < hi {
+func (c *crossCtx) crossVisit(O, I int32, lo, hi int) {
+	if b := int(c.acc.NodeBest[O]); b < hi {
 		hi = b // every query under O already meets a point by radii[b]
 	}
 	if lo >= hi {
 		return
 	}
-	smin, smax := dualjoin.SqMinMaxBoxBox(O.lo, O.hi, I.lo, I.hi)
+	olo, ohi := c.out.box(O)
+	ilo, ihi := c.in.box(I)
+	smin, smax := dualjoin.SqMinMaxBoxBox(olo, ohi, ilo, ihi)
 	lo, nh := dualjoin.Window(c.radii2, smin, smax, lo, hi)
 	if nh < hi {
 		c.creditNode(O, nh) // every pair lies within radii[nh]
@@ -115,72 +110,81 @@ func (c *crossCtx) crossVisit(O, I *node, lo, hi int) {
 	}
 	// Ambiguous radii [lo, nh): decompose the side with the larger box
 	// (ties descend the query side, keeping the descent deterministic). A
-	// kd node carries its own point, so descending O peels its point off
+	// kd slot carries its own point, so descending O peels its point off
 	// as a single-query probe, and descending I peels its point off as a
 	// single-index-point visit.
-	if boxDiag2(I) > boxDiag2(O) {
-		c.indexPointVisit(I.point, O, lo, nh)
-		c.crossVisit(O, I.left, lo, nh)
-		c.crossVisit(O, I.right, lo, nh)
+	if c.in.boxDiag2(I) > c.out.boxDiag2(O) {
+		c.indexPointVisit(c.in.point(I), O, lo, nh)
+		if l := c.in.left[I]; l >= 0 {
+			c.crossVisit(O, l, lo, nh)
+		}
+		if r := c.in.right[I]; r >= 0 {
+			c.crossVisit(O, r, lo, nh)
+		}
 		return
 	}
-	c.probeFirst(O.point, O.id, I, lo, nh)
-	c.crossVisit(O.left, I, lo, nh)
-	c.crossVisit(O.right, I, lo, nh)
+	c.probeFirst(O, I, lo, nh)
+	if l := c.out.left[O]; l >= 0 {
+		c.crossVisit(l, I, lo, nh)
+	}
+	if r := c.out.right[O]; r >= 0 {
+		c.crossVisit(r, I, lo, nh)
+	}
 }
 
-// probeFirst resolves a single query point against index subtree I for
-// the window [lo, hi): the first-nonzero-count specialization of the
-// self-join's pointVisit. Every bound found — the subtree settling
-// wholesale, or I's own point landing in a bucket — immediately narrows
-// the window of the remaining descent.
-func (c *crossCtx) probeFirst(p []float64, id int, I *node, lo, hi int) {
-	if I == nil {
-		return
-	}
-	if b := c.acc.Best[id]; b < hi {
+// probeFirst resolves the single query point at slot p against index
+// subtree I for the window [lo, hi): the first-nonzero-count
+// specialization of the self-join's pointVisit. Every bound found — the
+// subtree settling wholesale, or I's own point landing in a bucket —
+// immediately narrows the window of the remaining descent.
+func (c *crossCtx) probeFirst(p, I int32, lo, hi int) {
+	if b := int(c.acc.Best[p]); b < hi {
 		hi = b // a neighbor within radii[b] is already on record
 	}
 	if lo >= hi {
 		return
 	}
-	smin, smax := sqMinMaxDistToBox(p, I.lo, I.hi)
+	q := c.out.point(p)
+	ilo, ihi := c.in.box(I)
+	smin, smax := sqMinMaxDistToBox(q, ilo, ihi)
 	lo, nh := dualjoin.Window(c.radii2, smin, smax, lo, hi)
 	if nh < hi {
-		c.creditPoint(id, nh)
+		c.creditPos(p, nh)
 	}
 	if lo >= nh {
 		return
 	}
-	if d2 := metric.SquaredEuclidean(p, I.point); d2 <= c.radii2[nh-1] {
+	if d2 := metric.SquaredEuclidean(q, c.in.point(I)); d2 <= c.radii2[nh-1] {
 		b := lo
 		for d2 > c.radii2[b] {
 			b++
 		}
-		c.creditPoint(id, b)
+		c.creditPos(p, b)
 		nh = b // only radii below the fresh bound are still open
 		if lo >= nh {
 			return
 		}
 	}
-	c.probeFirst(p, id, I.left, lo, nh)
-	c.probeFirst(p, id, I.right, lo, nh)
+	if l := c.in.left[I]; l >= 0 {
+		c.probeFirst(p, l, lo, nh)
+	}
+	if r := c.in.right[I]; r >= 0 {
+		c.probeFirst(p, r, lo, nh)
+	}
 }
 
 // indexPointVisit resolves a single INDEX point against query subtree O
 // for the window [lo, hi): the one-directional mirror of probeFirst,
 // crediting O's queries with q as their neighbor.
-func (c *crossCtx) indexPointVisit(q []float64, O *node, lo, hi int) {
-	if O == nil {
-		return
-	}
-	if b, ok := c.acc.Nodes[O]; ok && b < hi {
+func (c *crossCtx) indexPointVisit(q []float64, O int32, lo, hi int) {
+	if b := int(c.acc.NodeBest[O]); b < hi {
 		hi = b
 	}
 	if lo >= hi {
 		return
 	}
-	smin, smax := sqMinMaxDistToBox(q, O.lo, O.hi)
+	olo, ohi := c.out.box(O)
+	smin, smax := sqMinMaxDistToBox(q, olo, ohi)
 	lo, nh := dualjoin.Window(c.radii2, smin, smax, lo, hi)
 	if nh < hi {
 		c.creditNode(O, nh) // q is within radii[nh] of every query under O
@@ -188,13 +192,17 @@ func (c *crossCtx) indexPointVisit(q []float64, O *node, lo, hi int) {
 	if lo >= nh {
 		return
 	}
-	if d2 := metric.SquaredEuclidean(q, O.point); d2 <= c.radii2[nh-1] {
+	if d2 := metric.SquaredEuclidean(q, c.out.point(O)); d2 <= c.radii2[nh-1] {
 		b := lo
 		for d2 > c.radii2[b] {
 			b++
 		}
-		c.creditPoint(O.id, b)
+		c.creditPos(O, b)
 	}
-	c.indexPointVisit(q, O.left, lo, nh)
-	c.indexPointVisit(q, O.right, lo, nh)
+	if l := c.out.left[O]; l >= 0 {
+		c.indexPointVisit(q, l, lo, nh)
+	}
+	if r := c.out.right[O]; r >= 0 {
+		c.indexPointVisit(q, r, lo, nh)
+	}
 }

@@ -17,35 +17,41 @@ import (
 // unordered subtree pairs are visited once and credited both ways. All
 // comparisons are on squared distances — no math.Sqrt anywhere.
 //
-// A kd-tree node carries its own point besides two subtrees, so the
-// decomposition of an ambiguous pair has three shapes: subtree-vs-subtree
-// (symVisit), point-vs-subtree (pointVisit) and point-vs-point (inline).
-// The accumulator, scheduling and merge machinery is internal/dualjoin's.
+// The arena layout makes the crediting flat: a kd slot IS both a node
+// index and an element position (preorder), so point credits address
+// Acc's position rows directly and a subtree credit is the slot's
+// contiguous preorder range [p, p+count[p]). A kd slot carries its own
+// point besides two subtrees, so the decomposition of an ambiguous pair
+// has three shapes: subtree-vs-subtree (symVisit), point-vs-subtree
+// (pointVisit) and point-vs-point (inline). The accumulator, scheduling
+// and merge machinery is internal/dualjoin's.
 
-// dualCtx is one traversal unit's context: the squared radius schedule
-// and the unit's accumulator.
+// dualCtx is one traversal unit's context: the tree, the squared radius
+// schedule and the unit's accumulator.
 type dualCtx struct {
+	t      *Tree
 	radii2 []float64
-	acc    *dualjoin.Acc[*node]
+	acc    *dualjoin.Acc
+	// rows/stride cache acc.Point: in direct (serial) mode the hottest
+	// credit sites write the two row adds in place — the accumulator
+	// method with its buffered fallback is beyond the inlining budget.
+	rows   []int
+	stride int
 }
 
-// creditPoint and creditNode write the accumulator rows raw — crediting
-// sits in the join's innermost loop and the concrete-receiver helpers
-// inline where dualjoin.Acc's generic methods cannot (see dualjoin.Acc).
-func (c *dualCtx) creditPoint(id, from, to, cnt int) {
-	row := c.acc.Point[id*c.acc.Stride:]
-	row[from] += cnt
-	row[to] -= cnt
-}
-
-func (c *dualCtx) creditNode(n *node, from, to, cnt int) {
-	row := c.acc.Nodes[n]
-	if row == nil {
-		row = make([]int, c.acc.Stride)
-		c.acc.Nodes[n] = row
+// creditPair buckets one close point pair, crediting both slots.
+func (c *dualCtx) creditPair(p, q int32, b, nh int) {
+	if rows := c.rows; rows != nil {
+		rp := rows[int(p)*c.stride:]
+		rp[b]++
+		rp[nh]--
+		rq := rows[int(q)*c.stride:]
+		rq[b]++
+		rq[nh]--
+		return
 	}
-	row[from] += cnt
-	row[to] -= cnt
+	c.acc.CreditPos(p, b, nh, 1)
+	c.acc.CreditPos(q, b, nh, 1)
 }
 
 // CountAllMulti returns counts[e][id] = the number of indexed points
@@ -57,34 +63,21 @@ func (c *dualCtx) creditNode(n *node, from, to, cnt int) {
 // for every value.
 func (t *Tree) CountAllMulti(radii []float64, workers int) [][]int {
 	a := len(radii)
-	units := []func(*dualCtx){}
-	if t.root != nil {
-		units = seedUnits(t.root)
+	var units []func(*dualCtx)
+	if t.size > 0 {
+		units = t.seedUnits()
 	}
 	radii2 := make([]float64, a)
 	for e, r := range radii {
 		radii2[e] = r * r
 	}
-	return dualjoin.CountMatrix(a, t.size, workers, len(units),
-		func(u int, acc *dualjoin.Acc[*node]) {
-			c := dualCtx{radii2: radii2, acc: acc}
+	return dualjoin.CountMatrix(a, t.size, t.size, workers, len(units),
+		func(u int, acc *dualjoin.Acc) {
+			c := dualCtx{t: t, radii2: radii2, acc: acc, rows: acc.Point, stride: acc.Stride}
 			units[u](&c)
 		},
-		addSubtree)
-}
-
-// addSubtree adds a difference row to every point under n — n's own
-// point included.
-func addSubtree(n *node, diff, merged []int) {
-	if n == nil {
-		return
-	}
-	row := merged[n.id*len(diff):]
-	for k, v := range diff {
-		row[k] += v
-	}
-	addSubtree(n.left, diff, merged)
-	addSubtree(n.right, diff, merged)
+		func(node int32) (int32, int32) { return node, node + t.count[node] },
+		func(pos int32) int { return int(t.ids[pos]) })
 }
 
 // seedUnitTarget is how many seeds (subtrees plus loose points) the root
@@ -94,12 +87,12 @@ func addSubtree(n *node, diff, merged []int) {
 const seedUnitTarget = 24
 
 // seedUnits deterministically expands the root into seeds — disjoint
-// subtrees plus the points of the expanded internal nodes — and returns
+// subtrees plus the points of the expanded internal slots — and returns
 // one closure per unordered seed pair (self-pairs included). The unit set
 // depends only on the tree, never on the worker count, and together the
 // units cover every unordered point pair exactly once.
-func seedUnits(root *node) []func(*dualCtx) {
-	subs, pts := seedSplit(root)
+func (t *Tree) seedUnits() []func(*dualCtx) {
+	subs, pts := t.seedSplit()
 	var units []func(*dualCtx)
 	for i, s := range subs {
 		s := s
@@ -110,25 +103,24 @@ func seedUnits(root *node) []func(*dualCtx) {
 		}
 		for _, p := range pts {
 			p := p
-			units = append(units, func(c *dualCtx) { c.pointVisit(p.point, p.id, s, 0, len(c.radii2)) })
+			units = append(units, func(c *dualCtx) { c.pointVisit(p, s, 0, len(c.radii2)) })
 		}
 	}
 	for i, p := range pts {
 		p := p
 		// A point with itself: d = 0 lies within every radius.
-		units = append(units, func(c *dualCtx) { c.creditPoint(p.id, 0, len(c.radii2), 1) })
+		units = append(units, func(c *dualCtx) { c.acc.CreditPos(p, 0, len(c.radii2), 1) })
 		for _, q := range pts[i+1:] {
 			q := q
 			units = append(units, func(c *dualCtx) {
 				a := len(c.radii2)
-				d2 := metric.SquaredEuclidean(p.point, q.point)
+				d2 := metric.SquaredEuclidean(c.t.point(p), c.t.point(q))
 				b := 0
 				for b < a && d2 > c.radii2[b] {
 					b++
 				}
 				if b < a {
-					c.creditPoint(p.id, b, a, 1)
-					c.creditPoint(q.id, b, a, 1)
+					c.creditPair(p, q, b, a)
 				}
 			})
 		}
@@ -136,24 +128,24 @@ func seedUnits(root *node) []func(*dualCtx) {
 	return units
 }
 
-// seedSplit deterministically expands root into ~seedUnitTarget seeds:
-// disjoint subtrees plus the loose points of the expanded internal nodes.
-// Together the seeds cover every point exactly once, and the split
-// depends only on the tree — never on the worker count — so both the
-// self-join's pair units and the cross-join's per-seed units are
-// schedule-independent.
-func seedSplit(root *node) (subs, pts []*node) {
-	subs = []*node{root}
+// seedSplit deterministically expands the root into ~seedUnitTarget
+// seeds: disjoint subtree slots plus the loose points (slots) of the
+// expanded internal nodes. Together the seeds cover every point exactly
+// once, and the split depends only on the tree — never on the worker
+// count — so both the self-join's pair units and the cross-join's
+// per-seed units are schedule-independent.
+func (t *Tree) seedSplit() (subs, pts []int32) {
+	subs = []int32{0}
 	for len(subs)+len(pts) < seedUnitTarget {
 		// Expand the largest subtree (ties toward the smaller point id,
-		// which is unique per node).
+		// which is unique per slot).
 		best := -1
 		for i, s := range subs {
-			if s.size < 2 {
+			if t.count[s] < 2 {
 				continue
 			}
-			if best < 0 || s.size > subs[best].size ||
-				(s.size == subs[best].size && s.id < subs[best].id) {
+			if best < 0 || t.count[s] > t.count[subs[best]] ||
+				(t.count[s] == t.count[subs[best]] && t.ids[s] < t.ids[subs[best]]) {
 				best = i
 			}
 		}
@@ -163,37 +155,36 @@ func seedSplit(root *node) (subs, pts []*node) {
 		s := subs[best]
 		subs = append(subs[:best], subs[best+1:]...)
 		pts = append(pts, s)
-		if s.left != nil {
-			subs = append(subs, s.left)
+		if l := t.left[s]; l >= 0 {
+			subs = append(subs, l)
 		}
-		if s.right != nil {
-			subs = append(subs, s.right)
+		if r := t.right[s]; r >= 0 {
+			subs = append(subs, r)
 		}
 	}
 	return subs, pts
 }
 
-// boxDiag2 is the squared diagonal of n's bounding box — the largest
-// squared distance any pair of points under n can realize.
-func boxDiag2(n *node) float64 {
-	return dualjoin.SqBoxDiag(n.lo, n.hi)
+// boxDiag2 is the squared diagonal of slot p's bounding box — the largest
+// squared distance any pair of points under p can realize.
+func (t *Tree) boxDiag2(p int32) float64 {
+	lo, hi := t.box(p)
+	return dualjoin.SqBoxDiag(lo, hi)
 }
 
 // selfVisit classifies the pair of subtree A with itself for the radius
 // window [lo, hi): radii at and above hi have already been credited with
 // the whole subtree by an ancestor pair. Self-pairs put the minimum
 // distance at 0, so no radius ever drops from the bottom of the window.
-func (c *dualCtx) selfVisit(A *node, lo, hi int) {
-	if A == nil {
-		return
-	}
-	smax := boxDiag2(A)
+func (c *dualCtx) selfVisit(A int32, lo, hi int) {
+	t := c.t
+	smax := t.boxDiag2(A)
 	nh := lo
 	for nh < hi && smax > c.radii2[nh] {
 		nh++ // radii [nh, hi) contain every pair: settle them at once
 	}
 	if nh < hi {
-		c.creditNode(A, nh, hi, A.size)
+		c.acc.CreditNode(A, nh, hi, int(t.count[A]))
 	}
 	if lo >= nh {
 		return
@@ -201,12 +192,19 @@ func (c *dualCtx) selfVisit(A *node, lo, hi int) {
 	// Ambiguous radii [lo, nh): decompose into A's own point against
 	// itself (d = 0: within every radius) and against each subtree, the
 	// two subtrees against themselves, and against each other.
-	c.creditPoint(A.id, lo, nh, 1)
-	c.pointVisit(A.point, A.id, A.left, lo, nh)
-	c.pointVisit(A.point, A.id, A.right, lo, nh)
-	c.selfVisit(A.left, lo, nh)
-	c.selfVisit(A.right, lo, nh)
-	c.symVisit(A.left, A.right, lo, nh)
+	c.acc.CreditPos(A, lo, nh, 1)
+	l, r := t.left[A], t.right[A]
+	if l >= 0 {
+		c.pointVisit(A, l, lo, nh)
+		c.selfVisit(l, lo, nh)
+	}
+	if r >= 0 {
+		c.pointVisit(A, r, lo, nh)
+		c.selfVisit(r, lo, nh)
+	}
+	if l >= 0 && r >= 0 {
+		c.symVisit(l, r, lo, nh)
+	}
 }
 
 // symVisit classifies the unordered pair of DISJOINT subtrees (A, B) for
@@ -214,11 +212,11 @@ func (c *dualCtx) selfVisit(A *node, lo, hi int) {
 // separate the two boxes, radii at and above hi have been credited by an
 // ancestor pair. Every credit goes both ways, so each unordered pair is
 // traversed exactly once.
-func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
-	if A == nil || B == nil {
-		return
-	}
-	smin, smax := dualjoin.SqMinMaxBoxBox(A.lo, A.hi, B.lo, B.hi)
+func (c *dualCtx) symVisit(A, B int32, lo, hi int) {
+	t := c.t
+	alo, ahi := t.box(A)
+	blo, bhi := t.box(B)
+	smin, smax := dualjoin.SqMinMaxBoxBox(alo, ahi, blo, bhi)
 	for lo < hi && smin > c.radii2[lo] {
 		lo++ // the boxes are fully separated at the smallest radii
 	}
@@ -227,8 +225,8 @@ func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
 		nh++
 	}
 	if nh < hi {
-		c.creditNode(A, nh, hi, B.size)
-		c.creditNode(B, nh, hi, A.size)
+		c.acc.CreditNode(A, nh, hi, int(t.count[B]))
+		c.acc.CreditNode(B, nh, hi, int(t.count[A]))
 	}
 	if lo >= nh {
 		return
@@ -236,22 +234,26 @@ func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
 	// Descend the side with the larger box; ties split A, keeping the
 	// descent deterministic.
 	down, other := A, B
-	if boxDiag2(B) > boxDiag2(A) {
+	if t.boxDiag2(B) > t.boxDiag2(A) {
 		down, other = B, A
 	}
-	c.pointVisit(down.point, down.id, other, lo, nh)
-	c.symVisit(down.left, other, lo, nh)
-	c.symVisit(down.right, other, lo, nh)
+	c.pointVisit(down, other, lo, nh)
+	if l := t.left[down]; l >= 0 {
+		c.symVisit(l, other, lo, nh)
+	}
+	if r := t.right[down]; r >= 0 {
+		c.symVisit(r, other, lo, nh)
+	}
 }
 
-// pointVisit classifies the pair of a single point (id) with subtree B
+// pointVisit classifies the pair of slot p's single point with subtree B
 // for the radius window [lo, hi), crediting both directions: B's points
 // into the point's row, and the point into B's rows.
-func (c *dualCtx) pointVisit(p []float64, id int, B *node, lo, hi int) {
-	if B == nil {
-		return
-	}
-	smin, smax := sqMinMaxDistToBox(p, B.lo, B.hi)
+func (c *dualCtx) pointVisit(p, B int32, lo, hi int) {
+	t := c.t
+	q := t.point(p)
+	blo, bhi := t.box(B)
+	smin, smax := sqMinMaxDistToBox(q, blo, bhi)
 	for lo < hi && smin > c.radii2[lo] {
 		lo++
 	}
@@ -260,20 +262,23 @@ func (c *dualCtx) pointVisit(p []float64, id int, B *node, lo, hi int) {
 		nh++
 	}
 	if nh < hi {
-		c.creditPoint(id, nh, hi, B.size)
-		c.creditNode(B, nh, hi, 1)
+		c.acc.CreditPos(p, nh, hi, int(t.count[B]))
+		c.acc.CreditNode(B, nh, hi, 1)
 	}
 	if lo >= nh {
 		return
 	}
-	if d2 := metric.SquaredEuclidean(p, B.point); d2 <= c.radii2[nh-1] {
+	if d2 := metric.SquaredEuclidean(q, t.point(B)); d2 <= c.radii2[nh-1] {
 		b := lo
 		for d2 > c.radii2[b] {
 			b++
 		}
-		c.creditPoint(id, b, nh, 1)
-		c.creditPoint(B.id, b, nh, 1)
+		c.creditPair(p, B, b, nh)
 	}
-	c.pointVisit(p, id, B.left, lo, nh)
-	c.pointVisit(p, id, B.right, lo, nh)
+	if l := t.left[B]; l >= 0 {
+		c.pointVisit(p, l, lo, nh)
+	}
+	if r := t.right[B]; r >= 0 {
+		c.pointVisit(p, r, lo, nh)
+	}
 }

@@ -3,52 +3,53 @@
 // datasets (and metric trees for everything else); this package exists so
 // the benchmark harness can ablate the index choice. The query interface
 // mirrors internal/slimtree.
+//
+// The tree is stored as a flat arena rather than linked nodes: one slot
+// per point, laid out in PREORDER, so the slots of a subtree are the
+// contiguous range [p, p+count[p]). Coordinates live in ONE contiguous
+// []float64 block (pts), the per-slot bounding boxes in two more (lo,
+// hi), and the links (left/right/parent) are int32 indices — traversals
+// do index arithmetic over a handful of flat slices instead of chasing
+// heap-scattered node pointers, the boxes stream linearly through the
+// cache, and building n points costs a constant number of allocations
+// instead of 3n. The child positions are implied by the preorder layout
+// (left = p+1, right = p+1+count[p]/2); the explicit link slices exist
+// because loading an int32 is cheaper than recomputing and bounds the
+// invariant tests.
 package kdtree
 
 import (
 	"math"
 	"sort"
 
+	"mccatch/internal/dualjoin"
 	"mccatch/internal/metric"
 	"mccatch/internal/parallel"
 )
 
-type node struct {
-	point       []float64
-	id          int
-	axis        int
-	size        int       // elements in this subtree (including the point)
-	lo, hi      []float64 // bounding box of the subtree
-	left, right *node
-}
+// noChild marks an absent left/right/parent link.
+const noChild = -1
 
-// sqMinMaxDistToBox returns the smallest and largest SQUARED Euclidean
-// distances from q to the axis-aligned box [lo, hi]. The query paths
-// compare these against squared radii, saving two math.Sqrt per node.
+// sqMinMaxDistToBox is the shared point-vs-box bound kernel: the query
+// paths compare the squared distances against squared radii, saving two
+// math.Sqrt per node.
 func sqMinMaxDistToBox(q, lo, hi []float64) (smin, smax float64) {
-	for j := range q {
-		nearest := q[j]
-		if nearest < lo[j] {
-			nearest = lo[j]
-		}
-		if nearest > hi[j] {
-			nearest = hi[j]
-		}
-		d := q[j] - nearest
-		smin += d * d
-		fl := math.Abs(q[j] - lo[j])
-		fh := math.Abs(q[j] - hi[j])
-		far := math.Max(fl, fh)
-		smax += far * far
-	}
-	return smin, smax
+	return dualjoin.SqMinMaxPointBox(q, lo, hi)
 }
 
-// Tree is a kd-tree over d-dimensional points under the Euclidean metric.
+// Tree is a kd-tree over d-dimensional points under the Euclidean metric,
+// flattened into a preorder arena: slot p's subtree occupies slots
+// [p, p+count[p]), its point sits at pts[p*dim:(p+1)*dim], and its
+// bounding box at the same offsets of lo and hi.
 type Tree struct {
-	root *node
-	size int
-	dim  int
+	size                int
+	dim                 int
+	pts                 []float64 // all coordinates, slot-major
+	ids                 []int32   // slot → original point index
+	axis                []int32   // split axis per slot
+	count               []int32   // subtree size per slot (including the slot's point)
+	left, right, parent []int32
+	lo, hi              []float64 // subtree bounding boxes, slot-major
 }
 
 // New builds a balanced kd-tree by recursive median splits. Item i is
@@ -64,28 +65,38 @@ const parallelBuildMin = 1024
 
 // NewWithWorkers is New with the recursive median splits fanned out across
 // up to workers goroutines (≤ 0 → all cores, 1 → serial). Subtrees above
-// a size threshold build concurrently; the resulting tree is identical to
+// a size threshold build concurrently; the resulting arena is identical to
 // the serial build because the median choice and the id tiebreaks are
-// deterministic and the branches work on disjoint index ranges.
+// deterministic, and the preorder slot of every subtree is known up front
+// from the subtree sizes, so the branches fill disjoint slot ranges.
 func NewWithWorkers(points [][]float64, workers int) *Tree {
 	t := &Tree{size: len(points)}
 	if len(points) == 0 {
 		return t
 	}
+	n := len(points)
 	t.dim = len(points[0])
-	idx := make([]int, len(points))
+	t.pts = make([]float64, n*t.dim)
+	t.ids = make([]int32, n)
+	t.axis = make([]int32, n)
+	t.count = make([]int32, n)
+	t.left = make([]int32, n)
+	t.right = make([]int32, n)
+	t.parent = make([]int32, n)
+	t.lo = make([]float64, n*t.dim)
+	t.hi = make([]float64, n*t.dim)
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	t.root = build(points, idx, 0, t.dim, parallel.NewLimiter(workers))
+	t.build(points, idx, 0, 0, noChild, parallel.NewLimiter(workers))
 	return t
 }
 
-func build(points [][]float64, idx []int, depth, dim int, lim *parallel.Limiter) *node {
-	if len(idx) == 0 {
-		return nil
-	}
-	axis := depth % dim
+// build fills the preorder slot range [slot, slot+len(idx)) with the
+// subtree over points[idx] split at depth.
+func (t *Tree) build(points [][]float64, idx []int, slot int32, depth int, par int32, lim *parallel.Limiter) {
+	axis := depth % t.dim
 	sort.Slice(idx, func(a, b int) bool {
 		pa, pb := points[idx[a]], points[idx[b]]
 		if pa[axis] != pb[axis] {
@@ -94,33 +105,66 @@ func build(points [][]float64, idx []int, depth, dim int, lim *parallel.Limiter)
 		return idx[a] < idx[b] // deterministic tiebreak
 	})
 	mid := len(idx) / 2
-	n := &node{point: points[idx[mid]], id: idx[mid], axis: axis, size: len(idx)}
-	n.lo = append([]float64(nil), points[idx[0]]...)
-	n.hi = append([]float64(nil), points[idx[0]]...)
+	base := int(slot) * t.dim
+	copy(t.pts[base:base+t.dim], points[idx[mid]])
+	t.ids[slot] = int32(idx[mid])
+	t.axis[slot] = int32(axis)
+	t.count[slot] = int32(len(idx))
+	t.parent[slot] = par
+	lo := t.lo[base : base+t.dim]
+	hi := t.hi[base : base+t.dim]
+	copy(lo, points[idx[0]])
+	copy(hi, points[idx[0]])
 	for _, i := range idx {
 		for j, v := range points[i] {
-			if v < n.lo[j] {
-				n.lo[j] = v
+			if v < lo[j] {
+				lo[j] = v
 			}
-			if v > n.hi[j] {
-				n.hi[j] = v
+			if v > hi[j] {
+				hi[j] = v
 			}
 		}
 	}
-	left, right := idx[:mid], idx[mid+1:]
-	if len(idx) >= parallelBuildMin {
-		wait := lim.Go(func() { n.left = build(points, left, depth+1, dim, lim) })
-		n.right = build(points, right, depth+1, dim, lim)
-		wait()
-		return n
+	leftIdx, rightIdx := idx[:mid], idx[mid+1:]
+	t.left[slot], t.right[slot] = noChild, noChild
+	lslot := slot + 1
+	rslot := slot + 1 + int32(mid)
+	if len(leftIdx) > 0 {
+		t.left[slot] = lslot
 	}
-	n.left = build(points, left, depth+1, dim, lim)
-	n.right = build(points, right, depth+1, dim, lim)
-	return n
+	if len(rightIdx) > 0 {
+		t.right[slot] = rslot
+	}
+	if len(idx) >= parallelBuildMin && len(leftIdx) > 0 {
+		wait := lim.Go(func() { t.build(points, leftIdx, lslot, depth+1, slot, lim) })
+		if len(rightIdx) > 0 {
+			t.build(points, rightIdx, rslot, depth+1, slot, lim)
+		}
+		wait()
+		return
+	}
+	if len(leftIdx) > 0 {
+		t.build(points, leftIdx, lslot, depth+1, slot, lim)
+	}
+	if len(rightIdx) > 0 {
+		t.build(points, rightIdx, rslot, depth+1, slot, lim)
+	}
 }
 
 // Size returns the number of indexed points.
 func (t *Tree) Size() int { return t.size }
+
+// point returns slot p's coordinates (a view into the arena block).
+func (t *Tree) point(p int32) []float64 {
+	base := int(p) * t.dim
+	return t.pts[base : base+t.dim]
+}
+
+// box returns slot p's bounding box (views into the arena blocks).
+func (t *Tree) box(p int32) (lo, hi []float64) {
+	base := int(p) * t.dim
+	return t.lo[base : base+t.dim], t.hi[base : base+t.dim]
+}
 
 // RangeCount returns the number of points within Euclidean distance r of q
 // (inclusive). Subtrees whose bounding boxes lie entirely inside (or
@@ -129,61 +173,64 @@ func (t *Tree) Size() int { return t.size }
 // radius counting cheap. All comparisons are on squared distances, so the
 // traversal never takes a square root.
 func (t *Tree) RangeCount(q []float64, r float64) int {
-	r2 := r * r
-	count := 0
-	var visit func(n *node)
-	visit = func(n *node) {
-		if n == nil {
-			return
-		}
-		smin, smax := sqMinMaxDistToBox(q, n.lo, n.hi)
-		if smin > r2 {
-			return
-		}
-		if smax <= r2 {
-			count += n.size
-			return
-		}
-		if metric.SquaredEuclidean(q, n.point) <= r2 {
-			count++
-		}
-		visit(n.left)
-		visit(n.right)
+	if t.size == 0 {
+		return 0
 	}
-	visit(t.root)
+	return t.rangeCount(0, q, r*r)
+}
+
+func (t *Tree) rangeCount(p int32, q []float64, r2 float64) int {
+	lo, hi := t.box(p)
+	smin, smax := sqMinMaxDistToBox(q, lo, hi)
+	if smin > r2 {
+		return 0
+	}
+	if smax <= r2 {
+		return int(t.count[p])
+	}
+	count := 0
+	if metric.SquaredEuclidean(q, t.point(p)) <= r2 {
+		count++
+	}
+	if l := t.left[p]; l >= 0 {
+		count += t.rangeCount(l, q, r2)
+	}
+	if r := t.right[p]; r >= 0 {
+		count += t.rangeCount(r, q, r2)
+	}
 	return count
 }
 
 // RangeCountMulti returns the neighbor count at every radius of the
-// ascending schedule radii from ONE tree traversal. Each node keeps the
-// window [lo, hi) of radii its box leaves unresolved: radii the box cannot
-// reach are dropped, radii that contain the whole box are credited with
-// the subtree's stored size via a difference array, and only the radii in
-// between descend. Squared distances throughout — no per-node math.Sqrt.
-// The result is element-wise identical to calling RangeCount per radius.
+// ascending schedule radii from ONE tree traversal; see
+// RangeCountMultiAppend for the allocation-free form.
 func (t *Tree) RangeCountMulti(q []float64, radii []float64) []int {
-	a := len(radii)
-	diff := make([]int, a+1)
-	if t.root != nil && a > 0 {
-		r2 := make([]float64, a)
-		for e, r := range radii {
-			r2[e] = r * r
+	return t.RangeCountMultiAppend(q, radii, nil)
+}
+
+// RangeCountMultiAppend appends the neighbor count at every radius of the
+// ascending schedule radii — computed in ONE tree traversal — to dst,
+// reusing dst's capacity, and returns the extended slice. Each node keeps
+// the window [lo, hi) of radii its box leaves unresolved: radii the box
+// cannot reach are dropped, radii that contain the whole box are credited
+// with the subtree's stored size via a difference array, and only the
+// radii in between descend. Squared distances throughout — no per-node
+// math.Sqrt — and the squared schedule lives in a pooled scratch slice,
+// so a probe with a warm dst allocates zero bytes. The result is
+// element-wise identical to calling RangeCount per radius.
+func (t *Tree) RangeCountMultiAppend(q []float64, radii []float64, dst []int) []int {
+	return dualjoin.AppendMultiCounts(radii, dst, true, func(r2 []float64, diff []int) {
+		if t.size > 0 {
+			t.multiCount(0, q, r2, 0, len(r2), diff)
 		}
-		multiCount(t.root, q, r2, 0, a, diff)
-	}
-	for e := 1; e < a; e++ {
-		diff[e] += diff[e-1]
-	}
-	return diff[:a]
+	})
 }
 
 // multiCount resolves the squared-radius window r2[lo:hi] for the subtree
-// at n; diff is the difference array crediting element ranges in O(1).
-func multiCount(n *node, q []float64, r2 []float64, lo, hi int, diff []int) {
-	if n == nil {
-		return
-	}
-	smin, smax := sqMinMaxDistToBox(q, n.lo, n.hi)
+// at slot p; diff is the difference array crediting element ranges in O(1).
+func (t *Tree) multiCount(p int32, q []float64, r2 []float64, lo, hi int, diff []int) {
+	blo, bhi := t.box(p)
+	smin, smax := sqMinMaxDistToBox(q, blo, bhi)
 	for lo < hi && smin > r2[lo] {
 		lo++ // box out of reach of the smallest radii
 	}
@@ -192,13 +239,13 @@ func multiCount(n *node, q []float64, r2 []float64, lo, hi int, diff []int) {
 		nh++ // box fully inside radii [nh, hi): settle them at once
 	}
 	if nh < hi {
-		diff[nh] += n.size
-		diff[hi] -= n.size
+		diff[nh] += int(t.count[p])
+		diff[hi] -= int(t.count[p])
 	}
 	if lo >= nh {
 		return
 	}
-	if d2 := metric.SquaredEuclidean(q, n.point); d2 <= r2[nh-1] {
+	if d2 := metric.SquaredEuclidean(q, t.point(p)); d2 <= r2[nh-1] {
 		b := lo
 		for d2 > r2[b] {
 			b++
@@ -206,8 +253,12 @@ func multiCount(n *node, q []float64, r2 []float64, lo, hi int, diff []int) {
 		diff[b]++
 		diff[nh]--
 	}
-	multiCount(n.left, q, r2, lo, nh, diff)
-	multiCount(n.right, q, r2, lo, nh, diff)
+	if l := t.left[p]; l >= 0 {
+		t.multiCount(l, q, r2, lo, nh, diff)
+	}
+	if r := t.right[p]; r >= 0 {
+		t.multiCount(r, q, r2, lo, nh, diff)
+	}
 }
 
 // RangeQuery returns the ids of points within distance r of q (inclusive).
@@ -219,31 +270,30 @@ func (t *Tree) RangeQuery(q []float64, r float64) []int {
 // (inclusive) to dst, reusing dst's capacity, and returns the extended
 // slice. It lets hot loops recycle one scratch buffer across probes.
 func (t *Tree) RangeQueryAppend(q []float64, r float64, dst []int) []int {
-	r2 := r * r
-	var visit func(n *node)
-	visit = func(n *node) {
-		if n == nil {
-			return
-		}
-		if metric.SquaredEuclidean(q, n.point) <= r2 {
-			dst = append(dst, n.id)
-		}
-		diff := q[n.axis] - n.point[n.axis]
-		if diff <= r {
-			visit(n.left)
-		}
-		if diff >= -r {
-			visit(n.right)
-		}
+	if t.size == 0 {
+		return dst
 	}
-	visit(t.root)
+	return t.rangeQuery(0, q, r, r*r, dst)
+}
+
+func (t *Tree) rangeQuery(p int32, q []float64, r, r2 float64, dst []int) []int {
+	if metric.SquaredEuclidean(q, t.point(p)) <= r2 {
+		dst = append(dst, int(t.ids[p]))
+	}
+	diff := q[t.axis[p]] - t.pts[int(p)*t.dim+int(t.axis[p])]
+	if l := t.left[p]; l >= 0 && diff <= r {
+		dst = t.rangeQuery(l, q, r, r2, dst)
+	}
+	if rt := t.right[p]; rt >= 0 && diff >= -r {
+		dst = t.rangeQuery(rt, q, r, r2, dst)
+	}
 	return dst
 }
 
 // KNN returns ids and distances of the k nearest points to q, closest
 // first; ties break by id.
 func (t *Tree) KNN(q []float64, k int) ([]int, []float64) {
-	if t.root == nil || k <= 0 {
+	if t.size == 0 || k <= 0 {
 		return nil, nil
 	}
 	type cand struct {
@@ -274,26 +324,25 @@ func (t *Tree) KNN(q []float64, k int) ([]int, []float64) {
 			best = best[:k]
 		}
 	}
-	var visit func(n *node)
-	visit = func(n *node) {
-		if n == nil {
-			return
-		}
-		d := metric.Euclidean(q, n.point)
+	var visit func(p int32)
+	visit = func(p int32) {
+		d := metric.Euclidean(q, t.point(p))
 		if d < bound() || (d == bound() && len(best) < k) {
-			insert(cand{id: n.id, d: d})
+			insert(cand{id: int(t.ids[p]), d: d})
 		}
-		diff := q[n.axis] - n.point[n.axis]
-		near, far := n.left, n.right
+		diff := q[t.axis[p]] - t.pts[int(p)*t.dim+int(t.axis[p])]
+		near, far := t.left[p], t.right[p]
 		if diff > 0 {
-			near, far = n.right, n.left
+			near, far = t.right[p], t.left[p]
 		}
-		visit(near)
-		if math.Abs(diff) <= bound() {
+		if near >= 0 {
+			visit(near)
+		}
+		if far >= 0 && math.Abs(diff) <= bound() {
 			visit(far)
 		}
 	}
-	visit(t.root)
+	visit(0)
 	ids := make([]int, len(best))
 	dists := make([]float64, len(best))
 	for i, c := range best {
@@ -303,29 +352,12 @@ func (t *Tree) KNN(q []float64, k int) ([]int, []float64) {
 }
 
 // DiameterEstimate estimates the diameter of the point set as the diagonal
-// of its bounding box (an upper bound within √d of the true diameter).
+// of its bounding box (an upper bound within √d of the true diameter). The
+// root slot's box already covers every point, so this is one lookup.
 func (t *Tree) DiameterEstimate() float64 {
-	if t.root == nil {
+	if t.size == 0 {
 		return 0
 	}
-	lo := append([]float64(nil), t.root.point...)
-	hi := append([]float64(nil), t.root.point...)
-	var visit func(n *node)
-	visit = func(n *node) {
-		if n == nil {
-			return
-		}
-		for j, v := range n.point {
-			if v < lo[j] {
-				lo[j] = v
-			}
-			if v > hi[j] {
-				hi[j] = v
-			}
-		}
-		visit(n.left)
-		visit(n.right)
-	}
-	visit(t.root)
+	lo, hi := t.box(0)
 	return metric.Euclidean(lo, hi)
 }

@@ -113,27 +113,40 @@ func TestDuplicates(t *testing.T) {
 	}
 }
 
-// sameTree asserts the two kd-trees are structurally identical, node by
-// node — the parallel build's determinism contract.
-func sameTree(t *testing.T, a, b *node, path string) {
+// sameTree asserts the two kd-tree arenas are bit-identical, slice by
+// slice — the parallel build's determinism contract.
+func sameTree(t *testing.T, a, b *Tree) {
 	t.Helper()
-	if (a == nil) != (b == nil) {
-		t.Fatalf("%s: one side nil", path)
+	if a.size != b.size || a.dim != b.dim {
+		t.Fatalf("shape mismatch: size %d/%d dim %d/%d", a.size, b.size, a.dim, b.dim)
 	}
-	if a == nil {
-		return
+	intSlices := map[string][2][]int32{
+		"ids":    {a.ids, b.ids},
+		"axis":   {a.axis, b.axis},
+		"count":  {a.count, b.count},
+		"left":   {a.left, b.left},
+		"right":  {a.right, b.right},
+		"parent": {a.parent, b.parent},
 	}
-	if a.id != b.id || a.axis != b.axis || a.size != b.size {
-		t.Fatalf("%s: node mismatch: id %d/%d axis %d/%d size %d/%d",
-			path, a.id, b.id, a.axis, b.axis, a.size, b.size)
-	}
-	for j := range a.lo {
-		if a.lo[j] != b.lo[j] || a.hi[j] != b.hi[j] {
-			t.Fatalf("%s: box mismatch at dim %d", path, j)
+	for name, s := range intSlices {
+		for i := range s[0] {
+			if s[0][i] != s[1][i] {
+				t.Fatalf("%s[%d] = %d vs %d", name, i, s[0][i], s[1][i])
+			}
 		}
 	}
-	sameTree(t, a.left, b.left, path+"L")
-	sameTree(t, a.right, b.right, path+"R")
+	floatSlices := map[string][2][]float64{
+		"pts": {a.pts, b.pts},
+		"lo":  {a.lo, b.lo},
+		"hi":  {a.hi, b.hi},
+	}
+	for name, s := range floatSlices {
+		for i := range s[0] {
+			if s[0][i] != s[1][i] {
+				t.Fatalf("%s[%d] = %v vs %v", name, i, s[0][i], s[1][i])
+			}
+		}
+	}
 }
 
 // TestParallelBuildIdenticalToSerial builds well above the fan-out
@@ -149,7 +162,7 @@ func TestParallelBuildIdenticalToSerial(t *testing.T) {
 	serial := NewWithWorkers(pts, 1)
 	for _, w := range []int{0, 2, 8} {
 		par := NewWithWorkers(pts, w)
-		sameTree(t, serial.root, par.root, "·")
+		sameTree(t, serial, par)
 		if serial.DiameterEstimate() != par.DiameterEstimate() {
 			t.Errorf("workers=%d: diameter differs", w)
 		}

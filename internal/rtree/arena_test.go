@@ -1,0 +1,226 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mccatch/internal/metric"
+	"mccatch/internal/parallel"
+)
+
+// This file pins the leveled arena layout itself: the structural
+// invariants every query and dual join relies on (children ranges that
+// partition each level, parent links, contiguous per-subtree element
+// ranges over the packed point block), and — via a retained copy of the
+// pre-arena pointer implementation — that the flattened tree answers
+// queries identically to the linked build it replaced.
+
+// TestArenaInvariants checks, on random trees:
+//   - the children ranges of the internal slots partition [1, #slots)
+//     exactly once (level-by-level layout, root at 0), and parent links
+//     invert them;
+//   - the leaf element ranges partition [0, n) in slot order, and every
+//     internal slot's element range is the union of its children's;
+//   - every packed coordinate block matches the original point of its id;
+//   - every slot's box bounds exactly the points of its element range,
+//     and size matches the range length.
+func TestArenaInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(900)
+		dim := 1 + rng.Intn(4)
+		fanout := []int{0, 4, 7}[rng.Intn(3)]
+		pts := randPoints(rng, n, dim)
+		tr := New(pts, fanout)
+		slots := len(tr.leaf)
+		childOf := make([]int, slots) // how many parents claim each slot
+		nextElem := int32(0)
+		for s := 0; s < slots; s++ {
+			if int(tr.size[s]) != int(tr.elemLast[s]-tr.elemFirst[s]) {
+				t.Fatalf("slot %d: size %d != element range %d", s, tr.size[s], tr.elemLast[s]-tr.elemFirst[s])
+			}
+			if tr.leaf[s] {
+				if tr.elemFirst[s] != nextElem {
+					t.Fatalf("slot %d: leaf range starts at %d, want %d (leaves must pack in slot order)",
+						s, tr.elemFirst[s], nextElem)
+				}
+				nextElem = tr.elemLast[s]
+				continue
+			}
+			first, last := tr.childFirst[s], tr.childLast[s]
+			if first <= int32(s) || last > int32(slots) || first >= last {
+				t.Fatalf("slot %d: bad children range [%d,%d)", s, first, last)
+			}
+			for c := first; c < last; c++ {
+				childOf[c]++
+				if tr.parent[c] != int32(s) {
+					t.Fatalf("slot %d: child %d has parent %d", s, c, tr.parent[c])
+				}
+			}
+			if tr.elemFirst[s] != tr.elemFirst[first] || tr.elemLast[s] != tr.elemLast[last-1] {
+				t.Fatalf("slot %d: element range is not the union of its children's", s)
+			}
+		}
+		if nextElem != int32(n) {
+			t.Fatalf("leaf ranges cover %d elements, want %d", nextElem, n)
+		}
+		if childOf[0] != 0 || tr.parent[0] != -1 {
+			t.Fatal("root must be claimed by no parent")
+		}
+		for s := 1; s < slots; s++ {
+			if childOf[s] != 1 {
+				t.Fatalf("slot %d claimed by %d parents, want exactly 1", s, childOf[s])
+			}
+		}
+		// Packed coordinates and boxes.
+		for s := int32(0); s < int32(slots); s++ {
+			lo, hi := tr.box(s)
+			for j := 0; j < dim; j++ {
+				first := tr.elemFirst[s]
+				mn, mx := tr.pts[int(first)*dim+j], tr.pts[int(first)*dim+j]
+				for pos := first; pos < tr.elemLast[s]; pos++ {
+					v := tr.pts[int(pos)*dim+j]
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				if lo[j] != mn || hi[j] != mx {
+					t.Fatalf("slot %d: box axis %d [%v,%v], points span [%v,%v]", s, j, lo[j], hi[j], mn, mx)
+				}
+			}
+		}
+		seen := make([]bool, n)
+		for pos := 0; pos < n; pos++ {
+			id := tr.ids[pos]
+			if seen[id] {
+				t.Fatalf("id %d packed twice", id)
+			}
+			seen[id] = true
+			for j, v := range pts[id] {
+				if tr.pts[pos*dim+j] != v {
+					t.Fatalf("position %d: coordinate block does not match point %d", pos, id)
+				}
+			}
+		}
+	}
+}
+
+// --- Retained reference: the pre-arena pointer R-tree (STR build). ---
+// The build reuses the package's own tiling (buildNode is still the
+// construction shape); the queries below are the pre-arena pointer
+// traversals, kept verbatim.
+
+func refSqMinMax(n *buildNode, q []float64) (smin, smax float64) {
+	for j := range q {
+		v := q[j]
+		if d := n.lo[j] - v; d > 0 {
+			smin += d * d
+		} else if d := v - n.hi[j]; d > 0 {
+			smin += d * d
+		}
+		far := v - n.lo[j]
+		if f := n.hi[j] - v; f > far {
+			far = f
+		}
+		smax += far * far
+	}
+	return smin, smax
+}
+
+func refRangeCount(n *buildNode, q []float64, r2 float64) int {
+	smin, smax := refSqMinMax(n, q)
+	if smin > r2 {
+		return 0
+	}
+	if smax <= r2 {
+		return n.size
+	}
+	count := 0
+	if n.leaf {
+		for _, p := range n.points {
+			if metric.SquaredEuclidean(q, p) <= r2 {
+				count++
+			}
+		}
+		return count
+	}
+	for _, c := range n.children {
+		count += refRangeCount(c, q, r2)
+	}
+	return count
+}
+
+func refRangeIDs(n *buildNode, q []float64, r2 float64, dst []int) []int {
+	smin, _ := refSqMinMax(n, q)
+	if smin > r2 {
+		return dst
+	}
+	if n.leaf {
+		for k, p := range n.points {
+			if metric.SquaredEuclidean(q, p) <= r2 {
+				dst = append(dst, n.ids[k])
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		dst = refRangeIDs(c, q, r2, dst)
+	}
+	return dst
+}
+
+// TestArenaMatchesReferencePointerBuild runs the same random inputs
+// through the arena tree and a pointer tree built by the same STR tiling
+// and demands identical answers for counts, batched counts and id sets.
+func TestArenaMatchesReferencePointerBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(700)
+		dim := 1 + rng.Intn(3)
+		pts := randPoints(rng, n, dim)
+		tr := New(pts, 0)
+		// Reference pointer build with the package's own deterministic
+		// tiling (the arena build froze an identical tree).
+		refT := &Tree{sizeN: n, fanout: DefaultFanout, dim: dim}
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		ref := refT.pack(refT.buildLeaves(pts, ids, parallel.NewLimiter(1)))
+
+		diam := tr.DiameterEstimate()
+		radii := make([]float64, 9)
+		for e := range radii {
+			radii[e] = diam / float64(int(1)<<(len(radii)-1-e))
+		}
+		for probe := 0; probe < 10; probe++ {
+			q := pts[rng.Intn(n)]
+			r := rng.Float64() * diam
+			if got, want := tr.RangeCount(q, r), refRangeCount(ref, q, r*r); got != want {
+				t.Fatalf("RangeCount=%d, reference %d", got, want)
+			}
+			multi := tr.RangeCountMulti(q, radii)
+			for e, rr := range radii {
+				if want := refRangeCount(ref, q, rr*rr); multi[e] != want {
+					t.Fatalf("RangeCountMulti[%d]=%d, reference %d", e, multi[e], want)
+				}
+			}
+			got := tr.RangeQuery(q, r)
+			want := refRangeIDs(ref, q, r*r, nil)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("RangeQuery returned %d ids, reference %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatal("RangeQuery id sets differ from reference")
+				}
+			}
+		}
+	}
+}

@@ -13,28 +13,28 @@ import (
 // bulk-built over the queries. The min/max squared distances between two
 // MBRs bracket every query×point pair under them, so whole blocks settle
 // wholesale; only pairs straddling some radius descend, bottoming out in
-// leaf-vs-leaf scans. Accumulation is per-query MINIMA (see
-// internal/dualjoin's MinAcc), so any bound already credited to a query
-// or a query subtree narrows later pairs' windows from above. All
-// comparisons are on squared distances — no math.Sqrt anywhere.
+// leaf-vs-leaf scans over the packed point blocks. Accumulation is
+// per-query MINIMA (see internal/dualjoin's MinAcc), so any bound
+// already credited to a query or a query subtree narrows later pairs'
+// windows from above; the rows are flat — by the query tree's packed
+// positions and node slots. All comparisons are on squared distances —
+// no math.Sqrt anywhere.
 
 type crossCtx struct {
-	radii2 []float64
-	acc    *dualjoin.MinAcc[*node]
+	in, out *Tree
+	radii2  []float64
+	acc     *dualjoin.MinAcc
 }
 
-// creditPoint and creditNode write the accumulator rows raw — crediting
-// sits in the join's innermost loop, and these concrete-receiver helpers
-// inline where a generic method would not (see dualjoin.MinAcc).
-func (c *crossCtx) creditPoint(id, b int) {
-	if b < c.acc.Best[id] {
-		c.acc.Best[id] = b
+func (c *crossCtx) creditPos(pos int32, b int) {
+	if int32(b) < c.acc.Best[pos] {
+		c.acc.Best[pos] = int32(b)
 	}
 }
 
-func (c *crossCtx) creditNode(n *node, b int) {
-	if cur, ok := c.acc.Nodes[n]; !ok || b < cur {
-		c.acc.Nodes[n] = b
+func (c *crossCtx) creditNode(n int32, b int) {
+	if int32(b) < c.acc.NodeBest[n] {
+		c.acc.NodeBest[n] = int32(b)
 	}
 }
 
@@ -55,43 +55,37 @@ func (t *Tree) BridgeFirsts(queries [][]float64, radii []float64, workers int) [
 	// with the index tree's — each unit resolves one (query subtree,
 	// index subtree) pair completely, and their minima merge across any
 	// schedule.
-	var outSeeds, inSeeds []*node
-	if t.root != nil && len(queries) > 0 && a > 0 {
-		out := NewWithWorkers(queries, t.fanout, workers)
-		outSeeds = topNodes(out.root)
-		inSeeds = topNodes(t.root)
+	var out *Tree
+	var outSeeds, inSeeds []int32
+	if t.sizeN > 0 && len(queries) > 0 && a > 0 {
+		out = NewWithWorkers(queries, t.fanout, workers)
+		outSeeds = out.topNodes()
+		inSeeds = t.topNodes()
 	}
-	return dualjoin.FirstMatrix(a, len(queries), workers, len(outSeeds)*len(inSeeds),
-		func(u int, acc *dualjoin.MinAcc[*node]) {
-			c := crossCtx{radii2: radii2, acc: acc}
+	nodes := 0
+	if out != nil {
+		nodes = len(out.leaf)
+	}
+	return dualjoin.FirstMatrix(a, len(queries), nodes, workers, len(outSeeds)*len(inSeeds),
+		func(u int, acc *dualjoin.MinAcc) {
+			c := crossCtx{in: t, out: out, radii2: radii2, acc: acc}
 			c.crossVisit(outSeeds[u/len(inSeeds)], inSeeds[u%len(inSeeds)], 0, a)
 		},
-		pushSubtreeMin)
+		func(node int32) (int32, int32) { return out.elemFirst[node], out.elemLast[node] },
+		func(pos int32) int { return int(out.ids[pos]) })
 }
 
-// topNodes returns a node's children, or the node itself when it is a
+// topNodes returns the root's children, or the root itself when it is a
 // leaf — the deterministic top-level decomposition the units pair up.
-func topNodes(n *node) []*node {
-	if n.leaf {
-		return []*node{n}
+func (t *Tree) topNodes() []int32 {
+	if t.leaf[0] {
+		return []int32{0}
 	}
-	return n.children
-}
-
-// pushSubtreeMin lowers the merged first-index of every query under n to
-// bound, pushing a wholesale subtree credit down to its points.
-func pushSubtreeMin(n *node, bound int, merged []int) {
-	if n.leaf {
-		for _, id := range n.ids {
-			if bound < merged[id] {
-				merged[id] = bound
-			}
-		}
-		return
+	seeds := make([]int32, 0, t.childLast[0]-t.childFirst[0])
+	for c := t.childFirst[0]; c < t.childLast[0]; c++ {
+		seeds = append(seeds, c)
 	}
-	for _, c := range n.children {
-		pushSubtreeMin(c, bound, merged)
-	}
+	return seeds
 }
 
 // crossVisit classifies the pair of query subtree O against index subtree
@@ -99,14 +93,16 @@ func pushSubtreeMin(n *node, bound int, merged []int) {
 // MBRs, and every query under O is already known to meet an indexed
 // point by radii[hi]. Crediting is one-directional — only the query side
 // accumulates.
-func (c *crossCtx) crossVisit(O, I *node, lo, hi int) {
-	if b, ok := c.acc.Nodes[O]; ok && b < hi {
+func (c *crossCtx) crossVisit(O, I int32, lo, hi int) {
+	if b := int(c.acc.NodeBest[O]); b < hi {
 		hi = b // every query under O already meets a point by radii[b]
 	}
 	if lo >= hi {
 		return
 	}
-	smin, smax := dualjoin.SqMinMaxBoxBox(O.lo, O.hi, I.lo, I.hi)
+	olo, ohi := c.out.box(O)
+	ilo, ihi := c.in.box(I)
+	smin, smax := dualjoin.SqMinMaxBoxBox(olo, ohi, ilo, ihi)
 	lo, nh := dualjoin.Window(c.radii2, smin, smax, lo, hi)
 	if nh < hi {
 		c.creditNode(O, nh) // every pair lies within radii[nh]
@@ -114,17 +110,18 @@ func (c *crossCtx) crossVisit(O, I *node, lo, hi int) {
 	if lo >= nh {
 		return
 	}
-	if O.leaf && I.leaf {
-		for i, p := range O.points {
+	if c.out.leaf[O] && c.in.leaf[I] {
+		for i := c.out.elemFirst[O]; i < c.out.elemLast[O]; i++ {
+			p := c.out.point(i)
 			ph := nh
-			if b := c.acc.Best[O.ids[i]]; b < ph {
+			if b := int(c.acc.Best[i]); b < ph {
 				ph = b // a bound from an earlier pair narrows this scan
 			}
-			for _, q := range I.points {
+			for j := c.in.elemFirst[I]; j < c.in.elemLast[I]; j++ {
 				if ph <= lo {
 					break // nothing below the bound left to resolve
 				}
-				d2 := metric.SquaredEuclidean(p, q)
+				d2 := metric.SquaredEuclidean(p, c.in.point(j))
 				if d2 > c.radii2[ph-1] {
 					continue
 				}
@@ -132,7 +129,7 @@ func (c *crossCtx) crossVisit(O, I *node, lo, hi int) {
 				for d2 > c.radii2[b] {
 					b++
 				}
-				c.creditPoint(O.ids[i], b)
+				c.creditPos(i, b)
 				ph = b
 			}
 		}
@@ -141,13 +138,13 @@ func (c *crossCtx) crossVisit(O, I *node, lo, hi int) {
 	// Descend the internal side — the one with the larger box when both
 	// are internal (ties descend the query side, keeping the descent
 	// deterministic).
-	if O.leaf || (!I.leaf && boxDiag2(I) > boxDiag2(O)) {
-		for _, ch := range I.children {
+	if c.out.leaf[O] || (!c.in.leaf[I] && c.in.boxDiag2(I) > c.out.boxDiag2(O)) {
+		for ch := c.in.childFirst[I]; ch < c.in.childLast[I]; ch++ {
 			c.crossVisit(O, ch, lo, nh)
 		}
 		return
 	}
-	for _, ch := range O.children {
+	for ch := c.out.childFirst[O]; ch < c.out.childLast[O]; ch++ {
 		c.crossVisit(ch, I, lo, nh)
 	}
 }

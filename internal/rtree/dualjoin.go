@@ -11,39 +11,46 @@ import (
 // tree against itself. The min/max squared distances between two MBRs
 // bracket every point pair under them, so whole blocks of pairs are
 // credited (or discarded) wholesale; only pairs straddling some radius
-// descend, bottoming out in leaf-vs-leaf scans. The join is symmetric, so
-// unordered node pairs are visited once and credited both ways. All
-// comparisons are on squared distances — no math.Sqrt anywhere. The
-// accumulator, scheduling and merge machinery is internal/dualjoin's.
+// descend, bottoming out in leaf-vs-leaf scans over the packed point
+// block. The join is symmetric, so unordered node pairs are visited once
+// and credited both ways. All comparisons are on squared distances — no
+// math.Sqrt anywhere. Credits are flat: point credits address the packed
+// element positions, and a wholesale subtree credit is the slot's
+// contiguous element range. The accumulator, scheduling and merge
+// machinery is internal/dualjoin's.
 
-// boxDiag2 is the squared diagonal of n's MBR — the largest squared
-// distance any pair of points under n can realize.
-func boxDiag2(n *node) float64 {
-	return dualjoin.SqBoxDiag(n.lo, n.hi)
+// boxDiag2 is the squared diagonal of slot s's MBR — the largest squared
+// distance any pair of points under s can realize.
+func (t *Tree) boxDiag2(s int32) float64 {
+	lo, hi := t.box(s)
+	return dualjoin.SqBoxDiag(lo, hi)
 }
 
 type dualCtx struct {
+	t      *Tree
 	radii2 []float64
-	acc    *dualjoin.Acc[*node]
+	acc    *dualjoin.Acc
+	// rows/stride cache acc.Point: in direct (serial) mode the leaf-scan
+	// credits below write the two row adds in place — the method call
+	// with its buffered fallback is beyond the inlining budget, and these
+	// scans are the join's innermost loop.
+	rows   []int
+	stride int
 }
 
-// creditPoint and creditNode write the accumulator rows raw — crediting
-// sits in the join's innermost loop and the concrete-receiver helpers
-// inline where dualjoin.Acc's generic methods cannot (see dualjoin.Acc).
-func (c *dualCtx) creditPoint(id, from, to, cnt int) {
-	row := c.acc.Point[id*c.acc.Stride:]
-	row[from] += cnt
-	row[to] -= cnt
-}
-
-func (c *dualCtx) creditNode(n *node, from, to, cnt int) {
-	row := c.acc.Nodes[n]
-	if row == nil {
-		row = make([]int, c.acc.Stride)
-		c.acc.Nodes[n] = row
+// creditPair buckets one close point pair, crediting both positions.
+func (c *dualCtx) creditPair(i, j int32, b, nh int) {
+	if rows := c.rows; rows != nil {
+		ri := rows[int(i)*c.stride:]
+		ri[b]++
+		ri[nh]--
+		rj := rows[int(j)*c.stride:]
+		rj[b]++
+		rj[nh]--
+		return
 	}
-	row[from] += cnt
-	row[to] -= cnt
+	c.acc.CreditPos(i, b, nh, 1)
+	c.acc.CreditPos(j, b, nh, 1)
 }
 
 // CountAllMulti returns counts[e][id] = the number of indexed points
@@ -62,70 +69,58 @@ func (t *Tree) CountAllMulti(radii []float64, workers int) [][]int {
 	// Work units: the unordered pairs of the root's children (self-pairs
 	// included) — up to fanout·(fanout+1)/2 of them — or the root itself
 	// when it is a single leaf.
-	type unit struct{ i, j int }
+	type unit struct{ i, j int32 }
 	var units []unit
-	if t.root != nil {
-		if kids := t.root.children; t.root.leaf {
+	if t.sizeN > 0 {
+		if t.leaf[0] {
 			units = []unit{{-1, -1}}
 		} else {
-			for i := range kids {
-				for j := i; j < len(kids); j++ {
+			for i := t.childFirst[0]; i < t.childLast[0]; i++ {
+				for j := i; j < t.childLast[0]; j++ {
 					units = append(units, unit{i, j})
 				}
 			}
 		}
 	}
-	return dualjoin.CountMatrix(a, t.sizeN, workers, len(units),
-		func(u int, acc *dualjoin.Acc[*node]) {
-			c := dualCtx{radii2: radii2, acc: acc}
-			switch kids := t.root.children; {
+	return dualjoin.CountMatrix(a, t.sizeN, len(t.leaf), workers, len(units),
+		func(u int, acc *dualjoin.Acc) {
+			c := dualCtx{t: t, radii2: radii2, acc: acc, rows: acc.Point, stride: acc.Stride}
+			switch {
 			case units[u].i < 0:
-				c.selfVisit(t.root, 0, a)
+				c.selfVisit(0, 0, a)
 			case units[u].i == units[u].j:
-				c.selfVisit(kids[units[u].i], 0, a)
+				c.selfVisit(units[u].i, 0, a)
 			default:
-				c.symVisit(kids[units[u].i], kids[units[u].j], 0, a)
+				c.symVisit(units[u].i, units[u].j, 0, a)
 			}
 		},
-		addSubtree)
-}
-
-// addSubtree adds a difference row to every point under n.
-func addSubtree(n *node, diff, merged []int) {
-	if n.leaf {
-		for _, id := range n.ids {
-			row := merged[id*len(diff):]
-			for k, v := range diff {
-				row[k] += v
-			}
-		}
-		return
-	}
-	for _, c := range n.children {
-		addSubtree(c, diff, merged)
-	}
+		func(node int32) (int32, int32) { return t.elemFirst[node], t.elemLast[node] },
+		func(pos int32) int { return int(t.ids[pos]) })
 }
 
 // selfVisit classifies the pair of subtree A with itself for the radius
 // window [lo, hi). Self-pairs put the minimum distance at 0, so no radius
 // ever drops from the bottom of the window.
-func (c *dualCtx) selfVisit(A *node, lo, hi int) {
-	smax := boxDiag2(A)
+func (c *dualCtx) selfVisit(A int32, lo, hi int) {
+	t := c.t
+	smax := t.boxDiag2(A)
 	nh := lo
 	for nh < hi && smax > c.radii2[nh] {
 		nh++ // radii [nh, hi) contain every pair: settle them at once
 	}
 	if nh < hi {
-		c.creditNode(A, nh, hi, A.size)
+		c.acc.CreditNode(A, nh, hi, int(t.size[A]))
 	}
 	if lo >= nh {
 		return
 	}
-	if A.leaf {
-		for i, p := range A.points {
-			c.creditPoint(A.ids[i], lo, nh, 1) // self-pair: d = 0
-			for j := i + 1; j < len(A.points); j++ {
-				d2 := metric.SquaredEuclidean(p, A.points[j])
+	if t.leaf[A] {
+		last := t.elemLast[A]
+		for i := t.elemFirst[A]; i < last; i++ {
+			c.acc.CreditPos(i, lo, nh, 1) // self-pair: d = 0
+			p := t.point(i)
+			for j := i + 1; j < last; j++ {
+				d2 := metric.SquaredEuclidean(p, t.point(j))
 				if d2 > c.radii2[nh-1] {
 					continue
 				}
@@ -133,16 +128,15 @@ func (c *dualCtx) selfVisit(A *node, lo, hi int) {
 				for d2 > c.radii2[b] {
 					b++
 				}
-				c.creditPoint(A.ids[i], b, nh, 1)
-				c.creditPoint(A.ids[j], b, nh, 1)
+				c.creditPair(i, j, b, nh)
 			}
 		}
 		return
 	}
-	for i, ci := range A.children {
-		c.selfVisit(ci, lo, nh)
-		for j := i + 1; j < len(A.children); j++ {
-			c.symVisit(ci, A.children[j], lo, nh)
+	for i := t.childFirst[A]; i < t.childLast[A]; i++ {
+		c.selfVisit(i, lo, nh)
+		for j := i + 1; j < t.childLast[A]; j++ {
+			c.symVisit(i, j, lo, nh)
 		}
 	}
 }
@@ -150,8 +144,11 @@ func (c *dualCtx) selfVisit(A *node, lo, hi int) {
 // symVisit classifies the unordered pair of DISJOINT subtrees (A, B) for
 // the radius window [lo, hi). Every credit goes both ways, so each
 // unordered pair is traversed exactly once.
-func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
-	smin, smax := dualjoin.SqMinMaxBoxBox(A.lo, A.hi, B.lo, B.hi)
+func (c *dualCtx) symVisit(A, B int32, lo, hi int) {
+	t := c.t
+	alo, ahi := t.box(A)
+	blo, bhi := t.box(B)
+	smin, smax := dualjoin.SqMinMaxBoxBox(alo, ahi, blo, bhi)
 	for lo < hi && smin > c.radii2[lo] {
 		lo++ // the boxes are fully separated at the smallest radii
 	}
@@ -160,16 +157,18 @@ func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
 		nh++
 	}
 	if nh < hi {
-		c.creditNode(A, nh, hi, B.size)
-		c.creditNode(B, nh, hi, A.size)
+		c.acc.CreditNode(A, nh, hi, int(t.size[B]))
+		c.acc.CreditNode(B, nh, hi, int(t.size[A]))
 	}
 	if lo >= nh {
 		return
 	}
-	if A.leaf && B.leaf {
-		for i, p := range A.points {
-			for j, q := range B.points {
-				d2 := metric.SquaredEuclidean(p, q)
+	if t.leaf[A] && t.leaf[B] {
+		bFirst, bLast := t.elemFirst[B], t.elemLast[B]
+		for i := t.elemFirst[A]; i < t.elemLast[A]; i++ {
+			p := t.point(i)
+			for j := bFirst; j < bLast; j++ {
+				d2 := metric.SquaredEuclidean(p, t.point(j))
 				if d2 > c.radii2[nh-1] {
 					continue
 				}
@@ -177,8 +176,7 @@ func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
 				for d2 > c.radii2[b] {
 					b++
 				}
-				c.creditPoint(A.ids[i], b, nh, 1)
-				c.creditPoint(B.ids[j], b, nh, 1)
+				c.creditPair(i, j, b, nh)
 			}
 		}
 		return
@@ -186,10 +184,10 @@ func (c *dualCtx) symVisit(A, B *node, lo, hi int) {
 	// Descend the internal side — the one with the larger box when both
 	// are internal (ties split A, keeping the descent deterministic).
 	down, other := A, B
-	if A.leaf || (!B.leaf && boxDiag2(B) > boxDiag2(A)) {
+	if t.leaf[A] || (!t.leaf[B] && t.boxDiag2(B) > t.boxDiag2(A)) {
 		down, other = B, A
 	}
-	for _, ch := range down.children {
+	for ch := t.childFirst[down]; ch < t.childLast[down]; ch++ {
 		c.symVisit(ch, other, lo, nh)
 	}
 }

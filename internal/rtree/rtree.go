@@ -7,12 +7,23 @@
 // kd-tree. RangeCount applies the count-only principle: a node whose
 // bounding box lies entirely inside the query ball contributes its stored
 // element count without being descended.
+//
+// The tree is stored as a flat arena rather than linked nodes: nodes are
+// laid out LEVEL BY LEVEL in build order (the root at slot 0), each
+// internal node's children as the contiguous slot range
+// [childFirst, childLast), and every leaf's points packed — coordinates
+// in one shared []float64 block, ids beside them — in leaf order, so a
+// node's whole subtree owns the contiguous element range
+// [elemFirst, elemLast). Traversals do index arithmetic over flat
+// slices instead of chasing node pointers, leaf scans stream linearly,
+// and the dual joins credit whole subtrees as flat position ranges.
 package rtree
 
 import (
 	"math"
 	"sort"
 
+	"mccatch/internal/dualjoin"
 	"mccatch/internal/metric"
 	"mccatch/internal/parallel"
 )
@@ -20,21 +31,33 @@ import (
 // DefaultFanout is the default number of children per node.
 const DefaultFanout = 16
 
-type node struct {
+// buildNode is the transient pointer shape the STR construction works
+// on; freeze flattens the finished tree into the arena and drops it.
+type buildNode struct {
 	leaf     bool
 	lo, hi   []float64 // bounding box
 	size     int       // elements under this node
-	children []*node   // internal nodes
+	children []*buildNode
 	points   [][]float64
 	ids      []int // leaf nodes
 }
 
-// Tree is an STR bulk-loaded R-tree under the Euclidean metric.
+// Tree is an STR bulk-loaded R-tree under the Euclidean metric,
+// flattened into a leveled arena (see the package comment).
 type Tree struct {
-	root   *node
 	dim    int
 	sizeN  int
 	fanout int
+	// Node arrays, level by level, root at slot 0 (no nodes when empty).
+	leaf                  []bool
+	size                  []int32
+	parent                []int32
+	childFirst, childLast []int32   // internal nodes; leaves hold -1
+	elemFirst, elemLast   []int32   // packed element range under the subtree
+	lo, hi                []float64 // boxes, slot-major
+	// Packed leaf elements, in leaf order.
+	pts []float64 // coordinates, position-major
+	ids []int32   // position → original point index
 }
 
 // New bulk-loads an R-tree with the given fanout (DefaultFanout if < 2).
@@ -50,7 +73,7 @@ const parallelTileMin = 1024
 // NewWithWorkers is New with the STR tiling recursion fanned out across up
 // to workers goroutines (≤ 0 → all cores, 1 → serial). Sibling tiles sort
 // disjoint index ranges and return their leaves in tile order, so the
-// packed tree is identical to the serial build for every worker count.
+// packed arena is identical to the serial build for every worker count.
 func NewWithWorkers(points [][]float64, fanout, workers int) *Tree {
 	if fanout < 2 {
 		fanout = DefaultFanout
@@ -65,7 +88,7 @@ func NewWithWorkers(points [][]float64, fanout, workers int) *Tree {
 		ids[i] = i
 	}
 	leaves := t.buildLeaves(points, ids, parallel.NewLimiter(workers))
-	t.root = t.pack(leaves)
+	t.freeze(t.pack(leaves))
 	return t
 }
 
@@ -74,17 +97,17 @@ func NewWithWorkers(points [][]float64, fanout, workers int) *Tree {
 // axis within each run, and emit capacity-sized leaves. Each call returns
 // its leaves in tile order; large runs recurse on other goroutines (their
 // index ranges are disjoint) and are stitched back in order.
-func (t *Tree) buildLeaves(points [][]float64, ids []int, lim *parallel.Limiter) []*node {
-	var tile func(idx []int, axis int) []*node
-	tile = func(idx []int, axis int) []*node {
+func (t *Tree) buildLeaves(points [][]float64, ids []int, lim *parallel.Limiter) []*buildNode {
+	var tile func(idx []int, axis int) []*buildNode
+	tile = func(idx []int, axis int) []*buildNode {
 		if len(idx) <= t.fanout {
-			leaf := &node{leaf: true, size: len(idx)}
+			leaf := &buildNode{leaf: true, size: len(idx)}
 			for _, i := range idx {
 				leaf.points = append(leaf.points, points[i])
 				leaf.ids = append(leaf.ids, i)
 			}
 			leaf.computeBox(nil)
-			return []*node{leaf}
+			return []*buildNode{leaf}
 		}
 		sort.Slice(idx, func(a, b int) bool {
 			pa, pb := points[idx[a]], points[idx[b]]
@@ -99,7 +122,7 @@ func (t *Tree) buildLeaves(points [][]float64, ids []int, lim *parallel.Limiter)
 		per := (len(idx) + slices - 1) / slices
 		next := (axis + 1) % t.dim
 		nRuns := (len(idx) + per - 1) / per
-		runs := make([][]*node, nRuns)
+		runs := make([][]*buildNode, nRuns)
 		var waits []func()
 		for k := 0; k < nRuns; k++ {
 			s := k * per
@@ -119,7 +142,7 @@ func (t *Tree) buildLeaves(points [][]float64, ids []int, lim *parallel.Limiter)
 		for _, wait := range waits {
 			wait()
 		}
-		var leaves []*node
+		var leaves []*buildNode
 		for _, r := range runs {
 			leaves = append(leaves, r...)
 		}
@@ -129,19 +152,19 @@ func (t *Tree) buildLeaves(points [][]float64, ids []int, lim *parallel.Limiter)
 }
 
 // pack groups nodes into parents level by level until one root remains.
-func (t *Tree) pack(nodes []*node) *node {
+func (t *Tree) pack(nodes []*buildNode) *buildNode {
 	for len(nodes) > 1 {
 		// Sort by box center on alternating axes for locality.
 		sort.Slice(nodes, func(a, b int) bool {
 			return nodes[a].lo[0]+nodes[a].hi[0] < nodes[b].lo[0]+nodes[b].hi[0]
 		})
-		var parents []*node
+		var parents []*buildNode
 		for s := 0; s < len(nodes); s += t.fanout {
 			e := s + t.fanout
 			if e > len(nodes) {
 				e = len(nodes)
 			}
-			p := &node{children: append([]*node(nil), nodes[s:e]...)}
+			p := &buildNode{children: append([]*buildNode(nil), nodes[s:e]...)}
 			for _, c := range p.children {
 				p.size += c.size
 			}
@@ -153,8 +176,78 @@ func (t *Tree) pack(nodes []*node) *node {
 	return nodes[0]
 }
 
+// freeze flattens the finished pointer tree into the arena: a BFS walk
+// assigns node slots level by level — each parent's children land in one
+// contiguous slot run — and packs leaf points/ids in leaf order (STR
+// trees are perfectly leveled, so leaf BFS order IS the depth-first
+// element order and every subtree owns a contiguous element range). The
+// element ranges of internal slots are stitched bottom-up; the pointer
+// nodes are garbage once this returns.
+func (t *Tree) freeze(root *buildNode) {
+	// Pre-count nodes so every arena slice is allocated exactly once.
+	nNodes := 0
+	var count func(n *buildNode)
+	count = func(n *buildNode) {
+		nNodes++
+		for _, c := range n.children {
+			count(c)
+		}
+	}
+	count(root)
+	t.leaf = make([]bool, 0, nNodes)
+	t.size = make([]int32, 0, nNodes)
+	t.parent = make([]int32, 0, nNodes)
+	t.childFirst = make([]int32, 0, nNodes)
+	t.childLast = make([]int32, 0, nNodes)
+	t.elemFirst = make([]int32, 0, nNodes)
+	t.elemLast = make([]int32, 0, nNodes)
+	t.lo = make([]float64, 0, nNodes*t.dim)
+	t.hi = make([]float64, 0, nNodes*t.dim)
+	t.pts = make([]float64, 0, t.sizeN*t.dim)
+	t.ids = make([]int32, 0, t.sizeN)
+	queue := make([]*buildNode, 0, nNodes)
+	queue = append(queue, root)
+	parents := make([]int32, 0, nNodes)
+	parents = append(parents, -1)
+	pos := int32(0)
+	for at := 0; at < len(queue); at++ {
+		n := queue[at]
+		t.leaf = append(t.leaf, n.leaf)
+		t.size = append(t.size, int32(n.size))
+		t.parent = append(t.parent, parents[at])
+		t.lo = append(t.lo, n.lo...)
+		t.hi = append(t.hi, n.hi...)
+		if n.leaf {
+			t.childFirst = append(t.childFirst, -1)
+			t.childLast = append(t.childLast, -1)
+			t.elemFirst = append(t.elemFirst, pos)
+			for k, p := range n.points {
+				t.pts = append(t.pts, p...)
+				t.ids = append(t.ids, int32(n.ids[k]))
+				pos++
+			}
+			t.elemLast = append(t.elemLast, pos)
+			continue
+		}
+		t.childFirst = append(t.childFirst, int32(len(queue)))
+		t.childLast = append(t.childLast, int32(len(queue)+len(n.children)))
+		t.elemFirst = append(t.elemFirst, 0) // stitched below
+		t.elemLast = append(t.elemLast, 0)
+		for _, c := range n.children {
+			queue = append(queue, c)
+			parents = append(parents, int32(at))
+		}
+	}
+	for s := len(queue) - 1; s >= 0; s-- {
+		if !t.leaf[s] {
+			t.elemFirst[s] = t.elemFirst[t.childFirst[s]]
+			t.elemLast[s] = t.elemLast[t.childLast[s]-1]
+		}
+	}
+}
+
 // computeBox fills the node's bounding box from its points or children.
-func (n *node) computeBox(children []*node) {
+func (n *buildNode) computeBox(children []*buildNode) {
 	if n.leaf {
 		n.lo = append([]float64(nil), n.points[0]...)
 		n.hi = append([]float64(nil), n.points[0]...)
@@ -184,24 +277,24 @@ func (n *node) computeBox(children []*node) {
 	}
 }
 
+// box returns slot s's bounding box (views into the arena blocks).
+func (t *Tree) box(s int32) (lo, hi []float64) {
+	base := int(s) * t.dim
+	return t.lo[base : base+t.dim], t.hi[base : base+t.dim]
+}
+
+// point returns the coordinates at packed position pos.
+func (t *Tree) point(pos int32) []float64 {
+	base := int(pos) * t.dim
+	return t.pts[base : base+t.dim]
+}
+
 // sqMinMaxDist returns the smallest and largest SQUARED distances from q
-// to the box; query paths compare them against squared radii, saving two
-// math.Sqrt per node.
-func (n *node) sqMinMaxDist(q []float64) (smin, smax float64) {
-	for j := range q {
-		nearest := q[j]
-		if nearest < n.lo[j] {
-			nearest = n.lo[j]
-		}
-		if nearest > n.hi[j] {
-			nearest = n.hi[j]
-		}
-		d := q[j] - nearest
-		smin += d * d
-		far := math.Max(math.Abs(q[j]-n.lo[j]), math.Abs(q[j]-n.hi[j]))
-		smax += far * far
-	}
-	return smin, smax
+// to slot s's box (the shared point-vs-box kernel); query paths compare
+// them against squared radii, saving two math.Sqrt per node.
+func (t *Tree) sqMinMaxDist(s int32, q []float64) (smin, smax float64) {
+	lo, hi := t.box(s)
+	return dualjoin.SqMinMaxPointBox(q, lo, hi)
 }
 
 // Size returns the number of indexed points.
@@ -210,64 +303,63 @@ func (t *Tree) Size() int { return t.sizeN }
 // RangeCount returns how many points lie within distance r of q. All
 // comparisons are on squared distances — no per-node math.Sqrt.
 func (t *Tree) RangeCount(q []float64, r float64) int {
-	if t.root == nil {
+	if t.sizeN == 0 {
 		return 0
 	}
-	r2 := r * r
-	count := 0
-	var visit func(n *node)
-	visit = func(n *node) {
-		smin, smax := n.sqMinMaxDist(q)
-		if smin > r2 {
-			return
-		}
-		if smax <= r2 {
-			count += n.size
-			return
-		}
-		if n.leaf {
-			for _, p := range n.points {
-				if metric.SquaredEuclidean(q, p) <= r2 {
-					count++
-				}
-			}
-			return
-		}
-		for _, c := range n.children {
-			visit(c)
-		}
+	return t.rangeCount(0, q, r*r)
+}
+
+func (t *Tree) rangeCount(s int32, q []float64, r2 float64) int {
+	smin, smax := t.sqMinMaxDist(s, q)
+	if smin > r2 {
+		return 0
 	}
-	visit(t.root)
+	if smax <= r2 {
+		return int(t.size[s])
+	}
+	count := 0
+	if t.leaf[s] {
+		for pos := t.elemFirst[s]; pos < t.elemLast[s]; pos++ {
+			if metric.SquaredEuclidean(q, t.point(pos)) <= r2 {
+				count++
+			}
+		}
+		return count
+	}
+	for c := t.childFirst[s]; c < t.childLast[s]; c++ {
+		count += t.rangeCount(c, q, r2)
+	}
 	return count
 }
 
 // RangeCountMulti returns the neighbor count at every radius of the
-// ascending schedule radii from ONE tree traversal. Each node keeps the
-// window [lo, hi) of radii its MBR leaves unresolved: radii the box cannot
-// reach are dropped, radii that contain the whole box are credited with
-// the subtree's stored size via a difference array, and only the radii in
-// between descend. The result is element-wise identical to calling
-// RangeCount per radius.
+// ascending schedule radii from ONE tree traversal; see
+// RangeCountMultiAppend for the allocation-free form.
 func (t *Tree) RangeCountMulti(q []float64, radii []float64) []int {
-	a := len(radii)
-	diff := make([]int, a+1)
-	if t.root != nil && a > 0 {
-		r2 := make([]float64, a)
-		for e, r := range radii {
-			r2[e] = r * r
+	return t.RangeCountMultiAppend(q, radii, nil)
+}
+
+// RangeCountMultiAppend appends the neighbor count at every radius of the
+// ascending schedule radii — computed in ONE tree traversal — to dst,
+// reusing dst's capacity, and returns the extended slice. Each node keeps
+// the window [lo, hi) of radii its MBR leaves unresolved: radii the box
+// cannot reach are dropped, radii that contain the whole box are credited
+// with the subtree's stored size via a difference array, and only the
+// radii in between descend. The squared schedule lives in a pooled
+// scratch slice, so a probe with a warm dst allocates zero bytes. The
+// result is element-wise identical to calling RangeCount per radius.
+func (t *Tree) RangeCountMultiAppend(q []float64, radii []float64, dst []int) []int {
+	return dualjoin.AppendMultiCounts(radii, dst, true, func(r2 []float64, diff []int) {
+		if t.sizeN > 0 {
+			t.multiCount(0, q, r2, 0, len(r2), diff)
 		}
-		t.root.multiCount(q, r2, 0, a, diff)
-	}
-	for e := 1; e < a; e++ {
-		diff[e] += diff[e-1]
-	}
-	return diff[:a]
+	})
 }
 
 // multiCount resolves the squared-radius window r2[lo:hi] for the subtree
-// at n; diff is the difference array crediting element ranges in O(1).
-func (n *node) multiCount(q []float64, r2 []float64, lo, hi int, diff []int) {
-	smin, smax := n.sqMinMaxDist(q)
+// at slot s; diff is the difference array crediting element ranges in O(1).
+func (t *Tree) multiCount(s int32, q []float64, r2 []float64, lo, hi int, diff []int) {
+	smin, smax := t.sqMinMaxDist(s, q)
 	for lo < hi && smin > r2[lo] {
 		lo++ // box out of reach of the smallest radii
 	}
@@ -276,15 +368,15 @@ func (n *node) multiCount(q []float64, r2 []float64, lo, hi int, diff []int) {
 		nh++ // box fully inside radii [nh, hi): settle them at once
 	}
 	if nh < hi {
-		diff[nh] += n.size
-		diff[hi] -= n.size
+		diff[nh] += int(t.size[s])
+		diff[hi] -= int(t.size[s])
 	}
 	if lo >= nh {
 		return
 	}
-	if n.leaf {
-		for _, p := range n.points {
-			if d2 := metric.SquaredEuclidean(q, p); d2 <= r2[nh-1] {
+	if t.leaf[s] {
+		for pos := t.elemFirst[s]; pos < t.elemLast[s]; pos++ {
+			if d2 := metric.SquaredEuclidean(q, t.point(pos)); d2 <= r2[nh-1] {
 				b := lo
 				for d2 > r2[b] {
 					b++
@@ -295,8 +387,8 @@ func (n *node) multiCount(q []float64, r2 []float64, lo, hi int, diff []int) {
 		}
 		return
 	}
-	for _, c := range n.children {
-		c.multiCount(q, r2, lo, nh, diff)
+	for c := t.childFirst[s]; c < t.childLast[s]; c++ {
+		t.multiCount(c, q, r2, lo, nh, diff)
 	}
 }
 
@@ -309,51 +401,49 @@ func (t *Tree) RangeQuery(q []float64, r float64) []int {
 // (inclusive) to dst, reusing dst's capacity, and returns the extended
 // slice. It lets hot loops recycle one scratch buffer across probes.
 func (t *Tree) RangeQueryAppend(q []float64, r float64, dst []int) []int {
-	if t.root == nil {
+	if t.sizeN == 0 {
 		return dst
 	}
-	r2 := r * r
-	var visit func(n *node)
-	visit = func(n *node) {
-		smin, _ := n.sqMinMaxDist(q)
-		if smin > r2 {
-			return
-		}
-		if n.leaf {
-			for k, p := range n.points {
-				if metric.SquaredEuclidean(q, p) <= r2 {
-					dst = append(dst, n.ids[k])
-				}
-			}
-			return
-		}
-		for _, c := range n.children {
-			visit(c)
-		}
+	return t.rangeQuery(0, q, r*r, dst)
+}
+
+func (t *Tree) rangeQuery(s int32, q []float64, r2 float64, dst []int) []int {
+	smin, _ := t.sqMinMaxDist(s, q)
+	if smin > r2 {
+		return dst
 	}
-	visit(t.root)
+	if t.leaf[s] {
+		for pos := t.elemFirst[s]; pos < t.elemLast[s]; pos++ {
+			if metric.SquaredEuclidean(q, t.point(pos)) <= r2 {
+				dst = append(dst, int(t.ids[pos]))
+			}
+		}
+		return dst
+	}
+	for c := t.childFirst[s]; c < t.childLast[s]; c++ {
+		dst = t.rangeQuery(c, q, r2, dst)
+	}
 	return dst
 }
 
 // DiameterEstimate returns the root bounding box diagonal, an upper bound
 // on the true diameter within a factor of √d.
 func (t *Tree) DiameterEstimate() float64 {
-	if t.root == nil {
+	if t.sizeN == 0 {
 		return 0
 	}
-	return metric.Euclidean(t.root.lo, t.root.hi)
+	lo, hi := t.box(0)
+	return metric.Euclidean(lo, hi)
 }
 
 // Height returns the tree height (0 when empty).
 func (t *Tree) Height() int {
-	h := 0
-	n := t.root
-	for n != nil {
+	if t.sizeN == 0 {
+		return 0
+	}
+	h := 1
+	for s := int32(0); !t.leaf[s]; s = t.childFirst[s] {
 		h++
-		if n.leaf {
-			break
-		}
-		n = n.children[0]
 	}
 	return h
 }

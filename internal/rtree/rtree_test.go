@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -123,31 +122,35 @@ func TestMCCatchRunsOnRTree(t *testing.T) {
 	} = New(nil, 0)
 }
 
-// sameTree asserts two R-trees are structurally identical — the parallel
-// STR build's determinism contract.
-func sameTree(t *testing.T, a, b *node, path string) {
+// sameTree asserts two R-tree arenas are bit-identical, slice by slice —
+// the parallel STR build's determinism contract.
+func sameTree(t *testing.T, a, b *Tree) {
 	t.Helper()
-	if (a == nil) != (b == nil) {
-		t.Fatalf("%s: one side nil", path)
+	if a.sizeN != b.sizeN || a.dim != b.dim || len(a.leaf) != len(b.leaf) {
+		t.Fatalf("shape mismatch: size %d/%d dim %d/%d nodes %d/%d",
+			a.sizeN, b.sizeN, a.dim, b.dim, len(a.leaf), len(b.leaf))
 	}
-	if a == nil {
-		return
-	}
-	if a.leaf != b.leaf || a.size != b.size || len(a.children) != len(b.children) || len(a.ids) != len(b.ids) {
-		t.Fatalf("%s: node shape mismatch", path)
-	}
-	for k := range a.ids {
-		if a.ids[k] != b.ids[k] {
-			t.Fatalf("%s: leaf id %d/%d at slot %d", path, a.ids[k], b.ids[k], k)
+	for s := range a.leaf {
+		if a.leaf[s] != b.leaf[s] || a.size[s] != b.size[s] || a.parent[s] != b.parent[s] ||
+			a.childFirst[s] != b.childFirst[s] || a.childLast[s] != b.childLast[s] ||
+			a.elemFirst[s] != b.elemFirst[s] || a.elemLast[s] != b.elemLast[s] {
+			t.Fatalf("slot %d mismatch", s)
 		}
 	}
-	for j := range a.lo {
-		if a.lo[j] != b.lo[j] || a.hi[j] != b.hi[j] {
-			t.Fatalf("%s: box mismatch at dim %d", path, j)
+	for i := range a.ids {
+		if a.ids[i] != b.ids[i] {
+			t.Fatalf("ids[%d] = %d vs %d", i, a.ids[i], b.ids[i])
 		}
 	}
-	for k := range a.children {
-		sameTree(t, a.children[k], b.children[k], fmt.Sprintf("%s.%d", path, k))
+	for i := range a.pts {
+		if a.pts[i] != b.pts[i] {
+			t.Fatalf("pts[%d] = %v vs %v", i, a.pts[i], b.pts[i])
+		}
+	}
+	for i := range a.lo {
+		if a.lo[i] != b.lo[i] || a.hi[i] != b.hi[i] {
+			t.Fatalf("box value %d mismatch", i)
+		}
 	}
 }
 
@@ -164,7 +167,7 @@ func TestParallelBuildIdenticalToSerial(t *testing.T) {
 	serial := NewWithWorkers(pts, 0, 1)
 	for _, w := range []int{0, 2, 8} {
 		par := NewWithWorkers(pts, 0, w)
-		sameTree(t, serial.root, par.root, "·")
+		sameTree(t, serial, par)
 		if serial.Height() != par.Height() {
 			t.Errorf("workers=%d: height differs", w)
 		}

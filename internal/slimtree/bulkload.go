@@ -25,12 +25,105 @@ import (
 // parent distances, subtree counts) the insert path maintains, so every
 // traversal — RangeCount, RangeCountMulti, KNN, CountAllMulti, SlimDown —
 // runs on it untouched and returns identical results.
+//
+// Pivot selection draws from ONE global deterministic sample whose
+// pairwise distance matrix is computed once up front and shared down the
+// recursion: the sampled elements are partitioned into groups along with
+// everything else, so a node picks its pivots among the sample members it
+// inherited — at zero additional metric evaluations — and only nodes left
+// with too thin a share fall back to sampling locally. Pivot quality
+// changes only the tree's arrangement, never any query answer, so the
+// bulk-vs-insert output identity is unaffected.
 
-// bulkSampleMax bounds the pivot-selection sample per node. Pivot quality
-// saturates quickly with the sample size while the pairwise distance
-// matrix below it grows quadratically; 128 keeps the matrix ≤ ~8k metric
-// evaluations on the biggest nodes.
+// bulkSampleMax bounds the pivot-selection sample per node on the LOCAL
+// fallback path. Pivot quality saturates quickly with the sample size
+// while the pairwise distance matrix below it grows quadratically; 128
+// keeps the matrix ≤ ~8k metric evaluations on the biggest nodes.
 const bulkSampleMax = 128
+
+// globalSampleMax bounds the shared global sample; beyond it the
+// pairwise matrix would dominate the build, so newGlobalSample bails
+// out instead (deep levels fall back to cheap local sampling anyway).
+const globalSampleMax = 8 * bulkSampleMax
+
+// globalSample is the build-wide pivot source: a deterministic strided
+// sample of the dataset with its pairwise distances computed once.
+type globalSample struct {
+	slotOf []int32     // element id → sample slot, or -1
+	dm     [][]float64 // slot × slot pairwise distances
+}
+
+// newGlobalSample sizes the shared sample from the deterministic shape
+// of the top two levels and builds it only when it pays. Coverage: each
+// second-level node must inherit ~its own pivot count of members, so
+// s ≈ 1.5·kRoot·kL2 (the 1.5 absorbs partition imbalance). Cost: the
+// one-off matrix (s²/2 evaluations) must undercut the per-node matrices
+// it replaces — the root's plus one per second-level node. Where the
+// model says the matrix would cost more (large n at this capacity),
+// newGlobalSample returns nil and every node samples locally, exactly
+// as before the shared sample existed: sharing is an optimization the
+// cost model enables, never a tax.
+func newGlobalSample[T any](t *Tree[T], items []T, height int) *globalSample {
+	n := len(items)
+	levelK := func(n, height int) int {
+		subcap := 1
+		for i := 0; i < height-1; i++ {
+			subcap *= t.capacity
+		}
+		k := (n + subcap - 1) / subcap
+		if spread := int(math.Ceil(math.Pow(float64(n), 1/float64(height)))); spread > k {
+			k = spread
+		}
+		if k < 2 {
+			k = 2
+		}
+		if k > t.capacity {
+			k = t.capacity
+		}
+		return k
+	}
+	kRoot := levelK(n, height)
+	group := n / kRoot
+	kL2 := levelK(group, height-1)
+	s := kRoot * kL2 * 3 / 2
+	if s > n {
+		s = n
+	}
+	if s > globalSampleMax {
+		return nil // the matrix alone would dominate the build
+	}
+	local := group
+	if local > bulkSampleMax {
+		local = bulkSampleMax
+	}
+	if s*(s-1)/2 > (1+kRoot)*local*(local-1)/2 {
+		return nil // cheaper to let every node sample locally
+	}
+	gs := &globalSample{slotOf: make([]int32, len(items))}
+	for i := range gs.slotOf {
+		gs.slotOf[i] = -1
+	}
+	step := len(items) / s
+	if step < 1 {
+		step = 1
+	}
+	sample := make([]int, s)
+	for i := 0; i < s; i++ {
+		sample[i] = i * step
+		gs.slotOf[i*step] = int32(i)
+	}
+	gs.dm = make([][]float64, s)
+	for i := range gs.dm {
+		gs.dm[i] = make([]float64, s)
+	}
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			d := t.d(items[sample[i]], items[sample[j]])
+			gs.dm[i][j], gs.dm[j][i] = d, d
+		}
+	}
+	return gs
+}
 
 // NewBulk bulk-loads a Slim-tree with the given distance and node capacity
 // (DefaultCapacity if cap < 4). Item i is reported by queries as id i,
@@ -68,7 +161,18 @@ func NewBulkWithWorkers[T any](dist metric.Distance[T], capacity int, items []T,
 	for span := t.capacity; span < len(items); span *= t.capacity {
 		height++
 	}
-	t.root = t.bulkNode(items, idx, nil, height, parallel.NewLimiter(workers))
+	// The shared pivot sample only pays off when at least one level below
+	// the root also selects pivots (height ≥ 3): its one-off matrix then
+	// replaces every second-level node's local matrix. Two-level trees
+	// select pivots exactly once, so they sample locally at the root —
+	// this keeps throwaway trees over small query sets (the cross-join's)
+	// as cheap to build as before.
+	var gs *globalSample
+	if height > 2 {
+		gs = newGlobalSample(t, items, height)
+	}
+	t.root = t.bulkNode(items, idx, nil, height, gs, parallel.NewLimiter(workers))
+	t.freeze()
 	return t
 }
 
@@ -76,7 +180,7 @@ func NewBulkWithWorkers[T any](dist metric.Distance[T], capacity int, items []T,
 // distance from items[idx[k]] to the parent entry's pivot (nil at the
 // root, whose entries never consult dPar). height is the number of levels
 // remaining; height 1 builds a leaf.
-func (t *Tree[T]) bulkNode(items []T, idx []int, dToParent []float64, height int, lim *parallel.Limiter) *node[T] {
+func (t *Tree[T]) bulkNode(items []T, idx []int, dToParent []float64, height int, gs *globalSample, lim *parallel.Limiter) *node[T] {
 	if height <= 1 || len(idx) <= t.capacity {
 		n := &node[T]{leaf: true, entries: make([]entry[T], len(idx))}
 		for k, id := range idx {
@@ -113,7 +217,7 @@ func (t *Tree[T]) bulkNode(items []T, idx []int, dToParent []float64, height int
 		k = t.capacity
 	}
 
-	pivots := t.selectPivots(items, idx, k)
+	pivots := t.selectPivots(items, idx, k, gs)
 
 	// Assign every element to the nearest pivot that still has room
 	// (ties toward the earlier pivot), recording its distance — which the
@@ -163,7 +267,7 @@ func (t *Tree[T]) bulkNode(items []T, idx []int, dToParent []float64, height int
 		n.entries = append(n.entries, e)
 		ent := &n.entries[len(n.entries)-1]
 		gi, gd := groups[g], groupD[g]
-		build := func() { ent.child = t.bulkNode(items, gi, gd, height-1, lim) }
+		build := func() { ent.child = t.bulkNode(items, gi, gd, height-1, gs, lim) }
 		if len(gi) >= bulkParallelMin {
 			waits = append(waits, lim.Go(build))
 		} else {
@@ -176,15 +280,52 @@ func (t *Tree[T]) bulkNode(items []T, idx []int, dToParent []float64, height int
 	return n
 }
 
-// selectPivots picks k pivot positions (indices into idx) k-medoid style
-// from a deterministic sample: the sample medoid seeds the set, companions
-// join farthest-first (maximizing the distance to the nearest chosen
-// pivot, so the initial regions spread across the data), and one
-// refinement pass replaces each tentative pivot by the medoid of the
-// sample elements nearest to it. All ties break toward the smaller sample
-// position, so the choice is deterministic.
-func (t *Tree[T]) selectPivots(items []T, idx []int, k int) []int {
-	// Deterministic strided sample of at most bulkSampleMax positions.
+// selectPivots picks k pivot positions (indices into idx) k-medoid style:
+// the sample medoid seeds the set, companions join farthest-first
+// (maximizing the distance to the nearest chosen pivot, so the initial
+// regions spread across the data), and one refinement pass replaces each
+// tentative pivot by the medoid of the sample elements nearest to it.
+// All ties break toward the smaller sample position, so the choice is
+// deterministic.
+//
+// The sample is the node's inherited share of the build's global sample
+// whenever that share has at least k members — the pairwise distances
+// then come from the precomputed global matrix, costing ZERO fresh
+// metric evaluations and selecting with the same k-medoid quality as a
+// local sample. Nodes whose share is thinner fall back to a local
+// deterministic strided sample (with its own matrix); the shared
+// sample's sizing (newGlobalSample) makes that the exception on the
+// expensive top levels and the rule only deep down, where the local
+// matrices are cheap.
+func (t *Tree[T]) selectPivots(items []T, idx []int, k int, gs *globalSample) []int {
+	if gs != nil {
+		var memberPos []int // positions within idx, in idx order
+		var memberSlot []int32
+		for pos, id := range idx {
+			if s := gs.slotOf[id]; s >= 0 {
+				memberPos = append(memberPos, pos)
+				memberSlot = append(memberSlot, s)
+			}
+		}
+		if len(memberPos) >= k {
+			// Materialize the members' dense submatrix: pickPivots reads
+			// pair distances in tight quadratic loops, where a direct
+			// index beats a closure call per pair. Copying costs no
+			// metric evaluations.
+			m := len(memberPos)
+			dm := make([][]float64, m)
+			for i := range dm {
+				dm[i] = make([]float64, m)
+				row := gs.dm[memberSlot[i]]
+				for j := range dm[i] {
+					dm[i][j] = row[memberSlot[j]]
+				}
+			}
+			return pickPivots(m, k, dm, memberPos)
+		}
+	}
+	// Local fallback: deterministic strided sample of at most
+	// bulkSampleMax positions, with its own pairwise matrix.
 	s := len(idx)
 	if s > bulkSampleMax {
 		s = bulkSampleMax
@@ -200,8 +341,6 @@ func (t *Tree[T]) selectPivots(items []T, idx []int, k int) []int {
 	for i := 0; i < s; i++ {
 		sample[i] = (i * step) % len(idx)
 	}
-
-	// Pairwise distances within the sample; everything below reads them.
 	dm := make([][]float64, s)
 	for i := range dm {
 		dm[i] = make([]float64, s)
@@ -212,7 +351,15 @@ func (t *Tree[T]) selectPivots(items []T, idx []int, k int) []int {
 			dm[i][j], dm[j][i] = d, d
 		}
 	}
+	return pickPivots(s, k, dm, sample)
+}
 
+// pickPivots runs the k-medoid-style selection over a sample of s
+// candidates with pairwise distance matrix dm: medoid seed,
+// farthest-first companions, one medoid refinement pass. posOf[i] is
+// candidate i's position within the node's idx; the returned slice holds
+// the k chosen positions.
+func pickPivots(s, k int, dm [][]float64, posOf []int) []int {
 	// Seed: the sample medoid (smallest distance sum).
 	chosen := make([]int, 0, k)
 	bestSum := math.Inf(1)
@@ -266,7 +413,7 @@ func (t *Tree[T]) selectPivots(items []T, idx []int, k int) []int {
 	out := make([]int, 0, k)
 	for g := 0; g < k; g++ {
 		if len(cluster[g]) == 0 {
-			out = append(out, sample[chosen[g]])
+			out = append(out, posOf[chosen[g]])
 			continue
 		}
 		med, medSum := cluster[g][0], math.Inf(1)
@@ -279,7 +426,7 @@ func (t *Tree[T]) selectPivots(items []T, idx []int, k int) []int {
 				med, medSum = i, sum
 			}
 		}
-		out = append(out, sample[med])
+		out = append(out, posOf[med])
 	}
 	return out
 }

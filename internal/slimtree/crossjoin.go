@@ -15,45 +15,49 @@ import (
 // per-query MINIMA (internal/dualjoin's MinAcc) rather than counts, so
 // any bound already credited to a query entry narrows later pairs'
 // windows from above and prunes their metric evaluations entirely. The
-// descent prefilters child pairs with stored parent distances (the
-// triangle trick rangeVisit uses), so many blocks settle without a fresh
-// metric evaluation.
+// rows are flat over the throwaway tree's arena — queries by packed
+// element position, subtrees by node slot — and the descent prefilters
+// child pairs with stored parent distances (the triangle trick
+// rangeVisit uses), so many blocks settle without a fresh metric
+// evaluation.
 
-// crossCtx is one traversal unit's context: the distance-call counter,
-// the radius schedule and the unit's min-accumulator.
+// crossCtx is one traversal unit's context: the distance-call counter
+// (on the INDEX tree), the throwaway query tree, the radius schedule and
+// the unit's min-accumulator.
 type crossCtx[T any] struct {
 	visitState[T]
+	out   *Tree[T]
 	radii []float64
-	acc   *dualjoin.MinAcc[*node[T]]
+	acc   *dualjoin.MinAcc
 }
 
-// credit records that every query under qe has an indexed neighbor
-// within radii[b]: directly into the query's best row for leaf entries,
-// into the subtree's wholesale bound otherwise. The rows are written raw
-// — this is the join's innermost loop (see dualjoin.MinAcc).
-func (c *crossCtx[T]) credit(qe *entry[T], b int) {
-	if qe.child == nil {
-		if b < c.acc.Best[qe.id] {
-			c.acc.Best[qe.id] = b
+// credit records that every query under query-tree entry qe has an
+// indexed neighbor within radii[b]: directly into the query's best row
+// for leaf entries, into the subtree's wholesale bound otherwise. This
+// is the join's innermost loop (see dualjoin.MinAcc).
+func (c *crossCtx[T]) credit(qe int32, b int) {
+	if ch := c.out.eChild[qe]; ch >= 0 {
+		if int32(b) < c.acc.NodeBest[ch] {
+			c.acc.NodeBest[ch] = int32(b)
 		}
 		return
 	}
-	if cur, ok := c.acc.Nodes[qe.child]; !ok || b < cur {
-		c.acc.Nodes[qe.child] = b
+	if int32(b) < c.acc.Best[c.out.ePos[qe]] {
+		c.acc.Best[c.out.ePos[qe]] = int32(b)
 	}
 }
 
 // bound returns the smallest radius index already credited to every
 // query under qe, or hi when none is on record.
-func (c *crossCtx[T]) bound(qe *entry[T], hi int) int {
-	if qe.child == nil {
-		if b := c.acc.Best[qe.id]; b < hi {
-			return b
-		}
-		return hi
+func (c *crossCtx[T]) bound(qe int32, hi int) int {
+	var b int32
+	if ch := c.out.eChild[qe]; ch >= 0 {
+		b = c.acc.NodeBest[ch]
+	} else {
+		b = c.acc.Best[c.out.ePos[qe]]
 	}
-	if b, ok := c.acc.Nodes[qe.child]; ok && b < hi {
-		return b
+	if int(b) < hi {
+		return int(b)
 	}
 	return hi
 }
@@ -71,59 +75,51 @@ func (t *Tree[T]) BridgeFirsts(queries []T, radii []float64, workers int) []int 
 	// The units are the pairs of (query root entry, index root entry):
 	// each resolves its block of query×element pairs completely, and the
 	// per-query minima merge across any schedule.
-	type unit struct{ i, j int }
+	type unit struct{ i, j int32 }
 	var units []unit
 	var qt *Tree[T]
-	if t.root != nil && len(queries) > 0 && a > 0 {
+	if t.size > 0 && len(queries) > 0 && a > 0 {
 		qt = NewBulkWithWorkers(t.dist, t.capacity, queries, workers)
-		for i := range qt.root.entries {
-			for j := range t.root.entries {
+		for i := qt.entFirst[0]; i < qt.entLast[0]; i++ {
+			for j := t.entFirst[0]; j < t.entLast[0]; j++ {
 				units = append(units, unit{i, j})
 			}
 		}
 	}
-	return dualjoin.FirstMatrix(a, len(queries), workers, len(units),
-		func(u int, acc *dualjoin.MinAcc[*node[T]]) {
-			c := crossCtx[T]{visitState: visitState[T]{t: t}, radii: radii, acc: acc}
+	nodes := 0
+	if qt != nil {
+		nodes = len(qt.leaf)
+	}
+	return dualjoin.FirstMatrix(a, len(queries), nodes, workers, len(units),
+		func(u int, acc *dualjoin.MinAcc) {
+			c := crossCtx[T]{visitState: visitState[T]{t: t}, out: qt, radii: radii, acc: acc}
 			// Root entries have no live parent pivot (their dPar is stale
 			// by construction), so no prefilter applies up here.
-			c.crossVisit(&qt.root.entries[units[u].i], &t.root.entries[units[u].j], 0, a)
+			c.crossVisit(units[u].i, units[u].j, 0, a)
 			t.distCalls.Add(c.calls)
 		},
-		pushSubtreeMin[T])
+		func(node int32) (int32, int32) { return qt.elemFirst[node], qt.elemLast[node] },
+		func(pos int32) int { return int(qt.leafIDs[pos]) })
 }
 
-// pushSubtreeMin lowers the merged first-index of every query element
-// stored under n to bound, pushing a wholesale subtree credit down.
-func pushSubtreeMin[T any](n *node[T], bound int, merged []int) {
-	for i := range n.entries {
-		e := &n.entries[i]
-		if e.child != nil {
-			pushSubtreeMin(e.child, bound, merged)
-			continue
-		}
-		if bound < merged[e.id] {
-			merged[e.id] = bound
-		}
-	}
-}
-
-// crossVisit classifies the pair of query entry qe against index entry
-// ie for the radius window [lo, hi): radii below lo are already known to
-// separate the two subtrees, and every query under qe is already known
-// to meet an indexed element by radii[hi] (an ancestor's or an earlier
-// pair's credit, consulted again here so pairs resolved elsewhere prune
-// before paying a metric evaluation). Crediting is one-directional —
-// only the query side accumulates. A leaf×leaf pair settles inside
-// Window: with both covering radii zero the settled index IS the
-// element pair's bucket.
-func (c *crossCtx[T]) crossVisit(qe, ie *entry[T], lo, hi int) {
+// crossVisit classifies the pair of query entry qe (in the throwaway
+// tree's arena) against index entry ie (in the index tree's) for the
+// radius window [lo, hi): radii below lo are already known to separate
+// the two subtrees, and every query under qe is already known to meet an
+// indexed element by radii[hi] (an ancestor's or an earlier pair's
+// credit, consulted again here so pairs resolved elsewhere prune before
+// paying a metric evaluation). Crediting is one-directional — only the
+// query side accumulates. A leaf×leaf pair settles inside Window: with
+// both covering radii zero the settled index IS the element pair's
+// bucket.
+func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 	hi = c.bound(qe, hi)
 	if lo >= hi {
 		return
 	}
-	d := c.d(qe.pivot, ie.pivot)
-	sum := qe.radius + ie.radius
+	in, out := c.t, c.out
+	d := c.d(out.ePivot[qe], in.ePivot[ie])
+	sum := out.eRadius[qe] + in.eRadius[ie]
 	lo, nh := dualjoin.Window(c.radii, d-sum, d+sum, lo, hi)
 	if nh < hi {
 		c.credit(qe, nh) // every pair lies within radii[nh]
@@ -137,20 +133,22 @@ func (c *crossCtx[T]) crossVisit(qe, ie *entry[T], lo, hi int) {
 	// with the stored parent distances: |d - dPar| bounds the child pivot
 	// distance from below and d + dPar from above — the upper bound can
 	// settle a child block without a metric evaluation.
-	if qe.child == nil || (ie.child != nil && ie.radius > qe.radius) {
+	if out.eChild[qe] < 0 || (in.eChild[ie] >= 0 && in.eRadius[ie] > out.eRadius[qe]) {
 		// Index side descends: qe's queries accumulate bounds as the
 		// children resolve, so the window re-narrows between children.
-		entries := ie.child.entries
-		for i := range entries {
+		// (A leaf×leaf pair never reaches here: its Window above settles
+		// with an empty ambiguous range, since both covering radii are 0.)
+		child := in.eChild[ie]
+		qrad := out.eRadius[qe]
+		for ce := in.entFirst[child]; ce < in.entLast[child]; ce++ {
 			nh = c.bound(qe, nh)
 			if lo >= nh {
 				return
 			}
-			ce := &entries[i]
-			csum := ce.radius + qe.radius
-			clb := d - ce.dPar
-			if clb < ce.dPar-d {
-				clb = ce.dPar - d
+			csum := in.eRadius[ce] + qrad
+			clb := d - in.eDPar[ce]
+			if clb < in.eDPar[ce]-d {
+				clb = in.eDPar[ce] - d
 			}
 			clb -= csum
 			b := lo
@@ -160,7 +158,7 @@ func (c *crossCtx[T]) crossVisit(qe, ie *entry[T], lo, hi int) {
 			if b == nh {
 				continue
 			}
-			if d+ce.dPar+csum <= radii[b] {
+			if d+in.eDPar[ce]+csum <= radii[b] {
 				c.credit(qe, b)
 				continue
 			}
@@ -168,13 +166,13 @@ func (c *crossCtx[T]) crossVisit(qe, ie *entry[T], lo, hi int) {
 		}
 		return
 	}
-	entries := qe.child.entries
-	for i := range entries {
-		ce := &entries[i]
-		csum := ce.radius + ie.radius
-		clb := d - ce.dPar
-		if clb < ce.dPar-d {
-			clb = ce.dPar - d
+	child := out.eChild[qe]
+	irad := in.eRadius[ie]
+	for ce := out.entFirst[child]; ce < out.entLast[child]; ce++ {
+		csum := out.eRadius[ce] + irad
+		clb := d - out.eDPar[ce]
+		if clb < out.eDPar[ce]-d {
+			clb = out.eDPar[ce] - d
 		}
 		clb -= csum
 		b := lo
@@ -184,7 +182,7 @@ func (c *crossCtx[T]) crossVisit(qe, ie *entry[T], lo, hi int) {
 		if b == nh {
 			continue
 		}
-		if d+ce.dPar+csum <= radii[b] {
+		if d+out.eDPar[ce]+csum <= radii[b] {
 			c.credit(ce, b)
 			continue
 		}

@@ -15,15 +15,25 @@ import (
 // pairs straddling some radius descend toward element-level distances.
 // The join is symmetric — d(x,y) = d(y,x) — so unordered entry pairs are
 // visited once and credited in both directions, halving the metric
-// evaluations again. The accumulator, scheduling and merge machinery is
-// internal/dualjoin's.
+// evaluations again. The traversal walks the arena's SoA entry slices
+// (radius/dPar/count stream linearly through the prefilters) and credits
+// flat rows: leaf entries by their packed element position, subtrees by
+// their child node slot, whose contiguous element range the merge pushes
+// the credit down over. The accumulator, scheduling and merge machinery
+// is internal/dualjoin's.
 
 // dualCtx is one traversal unit's context: the distance-call counter, the
 // radius schedule and the unit's accumulator.
 type dualCtx[T any] struct {
 	visitState[T]
 	radii []float64
-	acc   *dualjoin.Acc[*node[T]]
+	acc   *dualjoin.Acc
+	// rows/stride cache acc.Point: in direct (serial) mode credit writes
+	// the two row adds in place — the accumulator method with its
+	// buffered fallback is beyond the inlining budget, and crediting is
+	// the join's innermost loop.
+	rows   []int
+	stride int
 }
 
 // CountAllMulti returns counts[e][id] = the number of indexed elements
@@ -38,65 +48,52 @@ func (t *Tree[T]) CountAllMulti(radii []float64, workers int) [][]int {
 
 	// The units are the unordered pairs of root entries (self-pairs
 	// included).
-	type unit struct{ i, j int }
+	type unit struct{ i, j int32 }
 	var units []unit
-	if t.root != nil {
-		k := len(t.root.entries)
-		units = make([]unit, 0, k*(k+1)/2)
-		for i := 0; i < k; i++ {
-			for j := i; j < k; j++ {
+	if len(t.leaf) > 0 {
+		first, last := t.entFirst[0], t.entLast[0]
+		units = make([]unit, 0, (last-first)*(last-first+1)/2)
+		for i := first; i < last; i++ {
+			for j := i; j < last; j++ {
 				units = append(units, unit{i, j})
 			}
 		}
 	}
-	return dualjoin.CountMatrix(a, t.size, workers, len(units),
-		func(u int, acc *dualjoin.Acc[*node[T]]) {
-			c := dualCtx[T]{visitState: visitState[T]{t: t}, radii: radii, acc: acc}
-			root := t.root.entries
+	return dualjoin.CountMatrix(a, t.size, len(t.leaf), workers, len(units),
+		func(u int, acc *dualjoin.Acc) {
+			c := dualCtx[T]{visitState: visitState[T]{t: t}, radii: radii, acc: acc,
+				rows: acc.Point, stride: acc.Stride}
 			if units[u].i == units[u].j {
 				// Root entries have no live parent pivot (their dPar is
 				// stale by construction), so no prefilter applies up here.
-				c.selfVisit(&root[units[u].i], 0, a)
+				c.selfVisit(units[u].i, 0, a)
 			} else {
-				c.symVisit(&root[units[u].i], &root[units[u].j], 0, a)
+				c.symVisit(units[u].i, units[u].j, 0, a)
 			}
 			t.distCalls.Add(c.calls)
 		},
-		addSubtree)
+		func(node int32) (int32, int32) { return t.elemFirst[node], t.elemLast[node] },
+		func(pos int32) int { return int(t.leafIDs[pos]) })
 }
 
-// addSubtree adds a difference row to every element stored under n.
-func addSubtree[T any](n *node[T], diff, merged []int) {
-	for i := range n.entries {
-		e := &n.entries[i]
-		if e.child != nil {
-			addSubtree(e.child, diff, merged)
-			continue
-		}
-		row := merged[e.id*len(diff):]
-		for k, v := range diff {
-			row[k] += v
-		}
+// credit adds cnt to every radius in [from, to) for every element under
+// entry e: directly into the element's position row for leaf entries,
+// into the child subtree's wholesale row otherwise. This is the join's
+// innermost loop (see dualjoin.Acc).
+func (c *dualCtx[T]) credit(e int32, from, to, cnt int) {
+	if ch := c.t.eChild[e]; ch >= 0 {
+		// Wholesale subtree credit: rarer than element credits, so the
+		// accumulator method is fine here.
+		c.acc.CreditNode(ch, from, to, cnt)
+		return
 	}
-}
-
-// credit adds c to every radius in [from, to) for every element under e:
-// directly into the element's difference row for leaf entries, into the
-// subtree's wholesale accumulator otherwise. The rows are written raw —
-// this is the join's innermost loop (see dualjoin.Acc).
-func (c *dualCtx[T]) credit(e *entry[T], from, to, cnt int) {
-	var row []int
-	if e.child == nil {
-		row = c.acc.Point[e.id*c.acc.Stride:]
-	} else {
-		row = c.acc.Nodes[e.child]
-		if row == nil {
-			row = make([]int, c.acc.Stride)
-			c.acc.Nodes[e.child] = row
-		}
+	if rows := c.rows; rows != nil {
+		row := rows[int(c.t.ePos[e])*c.stride:]
+		row[from] += cnt
+		row[to] -= cnt
+		return
 	}
-	row[from] += cnt
-	row[to] -= cnt
+	c.acc.CreditPos(c.t.ePos[e], from, to, cnt)
 }
 
 // symVisit classifies the unordered pair of DISTINCT entries (ae, be) for
@@ -105,9 +102,15 @@ func (c *dualCtx[T]) credit(e *entry[T], from, to, cnt int) {
 // credited by an ancestor pair. Every credit goes both ways — be's
 // elements to ae's rows and vice versa — so each unordered pair is
 // traversed exactly once.
-func (c *dualCtx[T]) symVisit(ae, be *entry[T], lo, hi int) {
-	d := c.d(ae.pivot, be.pivot)
-	sum := ae.radius + be.radius
+func (c *dualCtx[T]) symVisit(ae, be int32, lo, hi int) {
+	t := c.t
+	// Hoist the SoA columns into locals: the loop below interleaves
+	// loads with calls (metric, credits, recursion), and local slice
+	// headers stay in registers across them where repeated field loads
+	// off t would not.
+	eRadius, eDPar, eCount, eChild := t.eRadius, t.eDPar, t.eCount, t.eChild
+	d := c.d(t.ePivot[ae], t.ePivot[be])
+	sum := eRadius[ae] + eRadius[be]
 	radii := c.radii
 	// Any pair of elements under (ae, be) lies within [d-sum, d+sum].
 	lb := d - sum
@@ -120,8 +123,8 @@ func (c *dualCtx[T]) symVisit(ae, be *entry[T], lo, hi int) {
 		nh++ // radii [nh, hi) contain every pair: settle them at once
 	}
 	if nh < hi {
-		c.credit(ae, nh, hi, be.count)
-		c.credit(be, nh, hi, ae.count)
+		c.credit(ae, nh, hi, int(eCount[be]))
+		c.credit(be, nh, hi, int(eCount[ae]))
 	}
 	if lo >= nh {
 		return // nothing ambiguous (always the case for element pairs)
@@ -133,16 +136,19 @@ func (c *dualCtx[T]) symVisit(ae, be *entry[T], lo, hi int) {
 	// d + dPar from above — the upper bound can settle a child pair
 	// wholesale without a metric evaluation.
 	down, other := ae, be
-	if ae.child == nil || (be.child != nil && be.radius > ae.radius) {
+	if eChild[ae] < 0 || (eChild[be] >= 0 && eRadius[be] > eRadius[ae]) {
 		down, other = be, ae
 	}
-	entries := down.child.entries
-	for i := range entries {
-		ce := &entries[i]
-		csum := ce.radius + other.radius
-		clb := d - ce.dPar
-		if clb < ce.dPar-d {
-			clb = ce.dPar - d
+	child := eChild[down]
+	otherCount := int(eCount[other])
+	otherRadius := eRadius[other]
+	first, last := t.entFirst[child], t.entLast[child]
+	for ce := first; ce < last; ce++ {
+		csum := eRadius[ce] + otherRadius
+		dp := eDPar[ce]
+		clb := d - dp
+		if clb < dp-d {
+			clb = dp - d
 		}
 		clb -= csum
 		b := lo
@@ -152,9 +158,9 @@ func (c *dualCtx[T]) symVisit(ae, be *entry[T], lo, hi int) {
 		if b == nh {
 			continue
 		}
-		if d+ce.dPar+csum <= radii[b] {
-			c.credit(ce, b, nh, other.count)
-			c.credit(other, b, nh, ce.count)
+		if d+dp+csum <= radii[b] {
+			c.credit(ce, b, nh, otherCount)
+			c.credit(other, b, nh, int(eCount[ce]))
 			continue
 		}
 		c.symVisit(ce, other, b, nh)
@@ -167,34 +173,43 @@ func (c *dualCtx[T]) symVisit(ae, be *entry[T], lo, hi int) {
 // itself included); the ambiguous radii descend into child pairs —
 // unordered cross pairs plus each child against itself. An element's self
 // pair bottoms out here, crediting 1 at every remaining radius.
-func (c *dualCtx[T]) selfVisit(ae *entry[T], lo, hi int) {
-	if ae.child == nil {
-		c.credit(ae, lo, hi, 1) // d(x, x) = 0 ≤ every radius
+func (c *dualCtx[T]) selfVisit(ae int32, lo, hi int) {
+	t := c.t
+	if t.eChild[ae] < 0 {
+		// d(x, x) = 0 ≤ every radius.
+		if rows := c.rows; rows != nil {
+			row := rows[int(t.ePos[ae])*c.stride:]
+			row[lo]++
+			row[hi]--
+			return
+		}
+		c.acc.CreditPos(t.ePos[ae], lo, hi, 1)
 		return
 	}
 	radii := c.radii
 	nh := lo
-	ub := 2 * ae.radius
+	ub := 2 * t.eRadius[ae]
 	for nh < hi && ub > radii[nh] {
 		nh++
 	}
 	if nh < hi {
-		c.credit(ae, nh, hi, ae.count)
+		c.credit(ae, nh, hi, int(t.eCount[ae]))
 	}
 	if lo >= nh {
 		return
 	}
-	entries := ae.child.entries
-	for i := range entries {
-		ci := &entries[i]
-		c.selfVisit(ci, lo, nh)
-		for j := i + 1; j < len(entries); j++ {
-			cj := &entries[j]
+	eRadius, eDPar, eCount := t.eRadius, t.eDPar, t.eCount
+	child := t.eChild[ae]
+	first, last := t.entFirst[child], t.entLast[child]
+	for i := first; i < last; i++ {
+		c.selfVisit(i, lo, nh)
+		di := eDPar[i]
+		for j := i + 1; j < last; j++ {
 			// Siblings share a parent pivot: their stored parent
 			// distances bound d(ci, cj) within |dPar_i - dPar_j| and
 			// dPar_i + dPar_j.
-			csum := ci.radius + cj.radius
-			clb := ci.dPar - cj.dPar
+			csum := eRadius[i] + eRadius[j]
+			clb := di - eDPar[j]
 			if clb < 0 {
 				clb = -clb
 			}
@@ -206,12 +221,12 @@ func (c *dualCtx[T]) selfVisit(ae *entry[T], lo, hi int) {
 			if b == nh {
 				continue
 			}
-			if ci.dPar+cj.dPar+csum <= radii[b] {
-				c.credit(ci, b, nh, cj.count)
-				c.credit(cj, b, nh, ci.count)
+			if di+eDPar[j]+csum <= radii[b] {
+				c.credit(i, b, nh, int(eCount[j]))
+				c.credit(j, b, nh, int(eCount[i]))
 				continue
 			}
-			c.symVisit(ci, cj, b, nh)
+			c.symVisit(i, j, b, nh)
 		}
 	}
 }

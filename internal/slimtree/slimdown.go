@@ -13,57 +13,39 @@ import "math"
 // point query never visits more than one node per level; 1 means every
 // query visits every node. Trees with ≤ 1 node report 0.
 func (t *Tree[T]) FatFactor() float64 {
-	if t.root == nil || t.size == 0 {
+	if t.size == 0 || len(t.leaf) == 0 {
 		return 0
 	}
 	h := t.Height()
-	m := t.nodeCount(t.root)
+	m := len(t.leaf)
 	if m <= h {
 		return 0
 	}
 	// For every element, count covering nodes by reusing the element set
-	// collected from the leaves.
+	// collected from the leaf entries.
 	elems := make([]T, 0, t.size)
-	var collect func(n *node[T])
-	collect = func(n *node[T]) {
-		for i := range n.entries {
-			if n.leaf {
-				elems = append(elems, n.entries[i].pivot)
-			} else {
-				collect(n.entries[i].child)
-			}
+	for k, id := range t.eID {
+		if id >= 0 {
+			elems = append(elems, t.ePivot[k])
 		}
 	}
-	collect(t.root)
 	ic := 0
 	for _, q := range elems {
-		ic += t.coveringNodes(t.root, q)
+		ic += t.coveringNodes(0, q)
 	}
 	n := float64(t.size)
 	return (float64(ic) - float64(h)*n) / (n * float64(m-h))
 }
 
-func (t *Tree[T]) nodeCount(n *node[T]) int {
+// coveringNodes counts the nodes (including node n) whose region covers q.
+func (t *Tree[T]) coveringNodes(n int32, q T) int {
 	c := 1
-	if n.leaf {
+	if t.leaf[n] {
 		return c
 	}
-	for i := range n.entries {
-		c += t.nodeCount(n.entries[i].child)
-	}
-	return c
-}
-
-// coveringNodes counts the nodes (including this one) whose region covers q.
-func (t *Tree[T]) coveringNodes(n *node[T], q T) int {
-	c := 1
-	if n.leaf {
-		return c
-	}
-	for i := range n.entries {
-		e := &n.entries[i]
-		if t.d(q, e.pivot) <= e.radius {
-			c += t.coveringNodes(e.child, q)
+	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
+		if t.d(q, t.ePivot[k]) <= t.eRadius[k] {
+			c += t.coveringNodes(t.eChild[k], q)
 		}
 	}
 	return c
@@ -74,11 +56,14 @@ func (t *Tree[T]) coveringNodes(n *node[T], q T) int {
 // moved to that sibling when it has room, and covering radii are shrunk to
 // the farthest remaining entry. Overlap (the fat factor) can only decrease,
 // so queries afterwards prune at least as well. passes bounds the number of
-// sweeps (the classic heuristic converges in a few).
+// sweeps (the classic heuristic converges in a few). The reorganization
+// works on linked nodes, so the frozen arena is thawed back into pointers
+// first and re-frozen after the last pass.
 func (t *Tree[T]) SlimDown(passes int) {
-	if t.root == nil || passes <= 0 {
+	if t.size == 0 || passes <= 0 {
 		return
 	}
+	t.thaw()
 	for p := 0; p < passes; p++ {
 		moved := t.slimNode(t.root)
 		t.shrinkRadii(t.root)
@@ -86,6 +71,7 @@ func (t *Tree[T]) SlimDown(passes int) {
 			break
 		}
 	}
+	t.freeze()
 }
 
 // slimNode applies one slim-down sweep below n and reports whether any
@@ -203,25 +189,24 @@ func (t *Tree[T]) visitLeafPivots(n *node[T], fn func(T)) {
 // (every element within its ancestors' covering balls); it must be 0 on a
 // well-formed tree. Tests use it to validate SlimDown.
 func (t *Tree[T]) MaxCoverError() float64 {
-	if t.root == nil {
+	if len(t.leaf) == 0 {
 		return 0
 	}
 	worst := 0.0
-	var visit func(n *node[T], anc []entry[T])
-	visit = func(n *node[T], anc []entry[T]) {
-		for i := range n.entries {
-			e := n.entries[i]
-			if n.leaf {
+	var visit func(n int32, anc []int32)
+	visit = func(n int32, anc []int32) {
+		for k := t.entFirst[n]; k < t.entLast[n]; k++ {
+			if t.leaf[n] {
 				for _, a := range anc {
-					if v := t.d(e.pivot, a.pivot) - a.radius; v > worst {
+					if v := t.d(t.ePivot[k], t.ePivot[a]) - t.eRadius[a]; v > worst {
 						worst = v
 					}
 				}
 				continue
 			}
-			visit(e.child, append(anc, e))
+			visit(t.eChild[k], append(anc, k))
 		}
 	}
-	visit(t.root, nil)
+	visit(0, nil)
 	return math.Max(worst, 0)
 }

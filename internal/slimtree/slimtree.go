@@ -9,12 +9,25 @@
 // triangle-inequality pruning on covering radii and stored parent distances,
 // so a range query touches O(n^(1-1/u)) nodes on data of intrinsic
 // (correlation fractal) dimension u — the bound MCCATCH's Lemma 1 builds on.
+//
+// Construction (incremental insert or bulk load) works on linked nodes,
+// but a finished tree is FROZEN into a flat arena before any query runs:
+// nodes are laid out level by level with their entries as one contiguous
+// range [entFirst, entLast) of struct-of-arrays entry slices (pivot,
+// radius, dPar, count, id, child), and the element ids under every
+// subtree as the contiguous range [elemFirst, elemLast) of a packed
+// leafIDs block. Traversals therefore stream radius/dPar/count values
+// linearly instead of chasing per-node entry slices, and the dual joins
+// credit whole subtrees as flat position ranges. The pointer tree is
+// dropped at freeze time; SlimDown thaws it back, reorganizes, and
+// re-freezes.
 package slimtree
 
 import (
 	"math"
 	"sync/atomic"
 
+	"mccatch/internal/dualjoin"
 	"mccatch/internal/metric"
 )
 
@@ -37,12 +50,33 @@ type node[T any] struct {
 	entries []entry[T]
 }
 
-// Tree is a Slim-tree over elements of type T.
+// noEntry marks an absent arena link (no child node, no element id).
+const noEntry = -1
+
+// Tree is a Slim-tree over elements of type T. After construction the
+// tree lives in the flat arena fields (see the package comment); the
+// linked root is non-nil only while building or inside SlimDown.
 type Tree[T any] struct {
 	dist     metric.Distance[T]
 	capacity int
-	root     *node[T]
+	root     *node[T] // construction-time only; nil once frozen
 	size     int
+
+	// Frozen arena. Nodes are slots assigned level by level (root = 0);
+	// entries are slots into the SoA slices below.
+	leaf                []bool
+	entFirst, entLast   []int32 // node → its entries [first, last)
+	elemFirst, elemLast []int32 // node → its element positions [first, last)
+	parent              []int32 // node → parent node (noEntry at the root)
+	ePivot              []T
+	eRadius             []float64
+	eDPar               []float64
+	eCount              []int32
+	eID                 []int32 // leaf entries: element id; internal: noEntry
+	eChild              []int32 // internal entries: child node; leaf: noEntry
+	ePos                []int32 // leaf entries: packed element position; internal: noEntry
+	leafIDs             []int32 // packed element ids, depth-first order
+
 	// distCalls counts metric evaluations (atomically, so concurrent
 	// read-only queries may share a tree); experiments use it to verify the
 	// subquadratic query behavior that Lemma 1 predicts.
@@ -66,6 +100,7 @@ func New[T any](dist metric.Distance[T], capacity int, items []T) *Tree[T] {
 	for i, it := range items {
 		t.insert(it, i)
 	}
+	t.freeze()
 	return t
 }
 
@@ -75,6 +110,125 @@ func (t *Tree[T]) Size() int { return t.size }
 func (t *Tree[T]) d(a, b T) float64 {
 	t.distCalls.Add(1)
 	return t.dist(a, b)
+}
+
+// freeze flattens the linked tree into the arena and drops the linked
+// nodes. A breadth-first walk assigns node slots level by level — each
+// node's entries land in one contiguous SoA range, in entry order — and
+// a depth-first pass packs the element ids under every subtree into one
+// contiguous leafIDs range (slim-trees balance by splitting at the root,
+// and the bulk loader caps group sizes per level, but neither guarantees
+// every leaf sits at the same depth, so the element order is the
+// depth-first one rather than the last level's). No metric is ever
+// evaluated here.
+func (t *Tree[T]) freeze() {
+	if t.root == nil {
+		t.leaf, t.entFirst, t.entLast, t.parent = nil, nil, nil, nil
+		t.ePivot, t.eRadius, t.eDPar = nil, nil, nil
+		t.eCount, t.eID, t.eChild, t.ePos, t.leafIDs = nil, nil, nil, nil, nil
+		return
+	}
+	// Pre-count nodes and entries so every arena slice is allocated
+	// exactly once (append-grown slices would copy log-many times and
+	// strand up to half their capacity).
+	nNodes, nEntries := 0, 0
+	var count func(n *node[T])
+	count = func(n *node[T]) {
+		nNodes++
+		nEntries += len(n.entries)
+		for i := range n.entries {
+			if n.entries[i].child != nil {
+				count(n.entries[i].child)
+			}
+		}
+	}
+	count(t.root)
+	t.leaf = make([]bool, 0, nNodes)
+	t.entFirst = make([]int32, 0, nNodes)
+	t.entLast = make([]int32, 0, nNodes)
+	t.parent = make([]int32, 0, nNodes)
+	t.ePivot = make([]T, 0, nEntries)
+	t.eRadius = make([]float64, 0, nEntries)
+	t.eDPar = make([]float64, 0, nEntries)
+	t.eCount = make([]int32, 0, nEntries)
+	t.eID = make([]int32, 0, nEntries)
+	t.eChild = make([]int32, 0, nEntries)
+	t.ePos = make([]int32, 0, nEntries)
+	t.leafIDs = make([]int32, 0, t.size)
+	type item struct {
+		n   *node[T]
+		par int32
+	}
+	queue := make([]item, 0, nNodes)
+	queue = append(queue, item{t.root, noEntry})
+	for at := 0; at < len(queue); at++ {
+		n := queue[at].n
+		t.leaf = append(t.leaf, n.leaf)
+		t.parent = append(t.parent, queue[at].par)
+		t.entFirst = append(t.entFirst, int32(len(t.eID)))
+		for i := range n.entries {
+			e := &n.entries[i]
+			t.ePivot = append(t.ePivot, e.pivot)
+			t.eRadius = append(t.eRadius, e.radius)
+			t.eDPar = append(t.eDPar, e.dPar)
+			t.eCount = append(t.eCount, int32(e.count))
+			t.eID = append(t.eID, int32(e.id))
+			t.ePos = append(t.ePos, noEntry)
+			if e.child != nil {
+				t.eChild = append(t.eChild, int32(len(queue)))
+				queue = append(queue, item{e.child, int32(at)})
+			} else {
+				t.eChild = append(t.eChild, noEntry)
+			}
+		}
+		t.entLast = append(t.entLast, int32(len(t.eID)))
+	}
+	t.elemFirst = make([]int32, len(t.leaf))
+	t.elemLast = make([]int32, len(t.leaf))
+	t.assignElems(0)
+	t.root = nil
+}
+
+// assignElems packs the element ids under node n depth-first, recording
+// the node's contiguous position range and each leaf entry's position.
+func (t *Tree[T]) assignElems(n int32) {
+	t.elemFirst[n] = int32(len(t.leafIDs))
+	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
+		if c := t.eChild[k]; c >= 0 {
+			t.assignElems(c)
+			continue
+		}
+		t.ePos[k] = int32(len(t.leafIDs))
+		t.leafIDs = append(t.leafIDs, t.eID[k])
+	}
+	t.elemLast[n] = int32(len(t.leafIDs))
+}
+
+// thaw rebuilds the linked tree from the arena (the inverse of freeze),
+// so construction-time algorithms — SlimDown — can reorganize it.
+func (t *Tree[T]) thaw() {
+	if t.root != nil || len(t.leaf) == 0 {
+		return
+	}
+	var build func(n int32) *node[T]
+	build = func(n int32) *node[T] {
+		nn := &node[T]{leaf: t.leaf[n], entries: make([]entry[T], 0, t.entLast[n]-t.entFirst[n])}
+		for k := t.entFirst[n]; k < t.entLast[n]; k++ {
+			e := entry[T]{
+				pivot:  t.ePivot[k],
+				id:     int(t.eID[k]),
+				radius: t.eRadius[k],
+				dPar:   t.eDPar[k],
+				count:  int(t.eCount[k]),
+			}
+			if c := t.eChild[k]; c >= 0 {
+				e.child = build(c)
+			}
+			nn.entries = append(nn.entries, e)
+		}
+		return nn
+	}
+	t.root = build(0)
 }
 
 // insert adds one element with the given id.
@@ -236,11 +390,11 @@ func assignRadii[T any](dm [][]float64, entries []entry[T], i, j int) (r1, r2 fl
 // RangeCount returns the number of indexed elements within distance r of q
 // (inclusive).
 func (t *Tree[T]) RangeCount(q T, r float64) int {
-	if t.root == nil {
+	if t.size == 0 {
 		return 0
 	}
 	v := visitState[T]{t: t}
-	count := v.rangeVisit(t.root, q, r, math.NaN(), nil)
+	count := v.rangeVisit(0, q, r, math.NaN(), nil)
 	t.distCalls.Add(v.calls)
 	return count
 }
@@ -255,11 +409,11 @@ func (t *Tree[T]) RangeQuery(q T, r float64) []int {
 // (inclusive) to dst, reusing dst's capacity, and returns the extended
 // slice. It lets hot loops recycle one scratch buffer across probes.
 func (t *Tree[T]) RangeQueryAppend(q T, r float64, dst []int) []int {
-	if t.root == nil {
+	if t.size == 0 {
 		return dst
 	}
 	v := visitState[T]{t: t}
-	v.rangeVisit(t.root, q, r, math.NaN(), &dst)
+	v.rangeVisit(0, q, r, math.NaN(), &dst)
 	t.distCalls.Add(v.calls)
 	return dst
 }
@@ -279,54 +433,59 @@ func (v *visitState[T]) d(a, b T) float64 {
 }
 
 // RangeCountMulti returns the neighbor count at every radius of the
-// ascending schedule radii from ONE tree traversal. The traversal keeps,
-// per subtree, the window [lo, hi) of radii still unresolved: an entry
-// whose covering ball lies inside radii[e] is credited (via its stored
-// element count) to every radius ≥ e without being descended, and radii
-// the entry's ball cannot reach are dropped from the window, so each
-// node-pruning decision is derived once for the whole schedule instead of
-// once per radius. The result is element-wise identical to calling
-// RangeCount per radius: every classification reuses the exact comparison
-// expressions of rangeVisit on the same computed distances.
+// ascending schedule radii from ONE tree traversal; see
+// RangeCountMultiAppend for the allocation-free form.
 func (t *Tree[T]) RangeCountMulti(q T, radii []float64) []int {
-	a := len(radii)
-	// diff is a difference array: crediting c elements to radii [b, hi)
-	// costs O(1); the final counts are its prefix sums.
-	diff := make([]int, a+1)
-	if t.root != nil && a > 0 {
-		v := visitState[T]{t: t}
-		v.multiVisit(t.root, q, radii, math.NaN(), 0, a, diff)
-		t.distCalls.Add(v.calls)
-	}
-	for e := 1; e < a; e++ {
-		diff[e] += diff[e-1]
-	}
-	return diff[:a]
+	return t.RangeCountMultiAppend(q, radii, nil)
 }
 
-// multiVisit resolves the radius window [lo, hi) for the subtree at n:
-// radii below lo are already known to exclude the whole subtree, radii at
-// and above hi have already been credited with it by an ancestor. dq is
-// the distance from q to n's parent pivot (NaN at the root). All radius
-// thresholds are scanned linearly: the schedule is tiny (a ≤ ~15) and the
-// predicates are monotone in the radius, so the scans stop early.
-func (v *visitState[T]) multiVisit(n *node[T], q T, radii []float64, dq float64, lo, hi int, diff []int) {
-	for i := range n.entries {
-		e := &n.entries[i]
+// RangeCountMultiAppend appends the neighbor count at every radius of the
+// ascending schedule radii — computed in ONE tree traversal — to dst,
+// reusing dst's capacity, and returns the extended slice. The traversal
+// keeps, per subtree, the window [lo, hi) of radii still unresolved: an
+// entry whose covering ball lies inside radii[e] is credited (via its
+// stored element count) to every radius ≥ e without being descended, and
+// radii the entry's ball cannot reach are dropped from the window, so
+// each node-pruning decision is derived once for the whole schedule
+// instead of once per radius. With a warm dst the probe allocates zero
+// bytes. The result is element-wise identical to calling RangeCount per
+// radius: every classification reuses the exact comparison expressions
+// of rangeVisit on the same computed distances.
+func (t *Tree[T]) RangeCountMultiAppend(q T, radii []float64, dst []int) []int {
+	return dualjoin.AppendMultiCounts(radii, dst, false, func(sched []float64, diff []int) {
+		if t.size == 0 {
+			return
+		}
+		v := visitState[T]{t: t}
+		v.multiVisit(0, q, sched, math.NaN(), 0, len(sched), diff)
+		t.distCalls.Add(v.calls)
+	})
+}
+
+// multiVisit resolves the radius window [lo, hi) for the subtree at node
+// n: radii below lo are already known to exclude the whole subtree, radii
+// at and above hi have already been credited with it by an ancestor. dq
+// is the distance from q to n's parent pivot (NaN at the root). All
+// radius thresholds are scanned linearly: the schedule is tiny (a ≤ ~15)
+// and the predicates are monotone in the radius, so the scans stop early.
+func (v *visitState[T]) multiVisit(n int32, q T, radii []float64, dq float64, lo, hi int, diff []int) {
+	t := v.t
+	isLeaf := t.leaf[n]
+	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
 		// Triangle prefilter, per radius: the smallest radius the entry
 		// can touch is the first with |d(q,parent) - d(pivot,parent)| ≤
-		// radii[b] + e.radius (the same test rangeVisit applies per probe).
+		// radii[b] + radius (the same test rangeVisit applies per probe).
 		b := lo
 		if !math.IsNaN(dq) {
-			for b < hi && math.Abs(dq-e.dPar) > radii[b]+e.radius {
+			for b < hi && math.Abs(dq-t.eDPar[k]) > radii[b]+t.eRadius[k] {
 				b++
 			}
 			if b == hi {
 				continue // outside every unresolved radius
 			}
 		}
-		d := v.d(q, e.pivot)
-		if n.leaf {
+		d := v.d(q, t.ePivot[k])
+		if isLeaf {
 			// Element at distance d: credit radii [b', hi) where b' is the
 			// first unfiltered radius with d ≤ radii[b'].
 			for b < hi && d > radii[b] {
@@ -343,56 +502,57 @@ func (v *visitState[T]) multiVisit(n *node[T], q T, radii []float64, dq float64,
 		// above newHi contain it entirely (rangeVisit's count-only test
 		// d + radius ≤ r holds), so its stored count settles them at once.
 		newLo := b
-		for newLo < hi && d > radii[newLo]+e.radius {
+		for newLo < hi && d > radii[newLo]+t.eRadius[k] {
 			newLo++
 		}
 		newHi := newLo
-		for newHi < hi && d+e.radius > radii[newHi] {
+		for newHi < hi && d+t.eRadius[k] > radii[newHi] {
 			newHi++
 		}
 		if newHi < hi {
-			diff[newHi] += e.count
-			diff[hi] -= e.count
+			diff[newHi] += int(t.eCount[k])
+			diff[hi] -= int(t.eCount[k])
 		}
 		if newLo < newHi {
-			v.multiVisit(e.child, q, radii, d, newLo, newHi, diff)
+			v.multiVisit(t.eChild[k], q, radii, d, newLo, newHi, diff)
 		}
 	}
 }
 
 // rangeVisit counts (and optionally collects) elements within r of q in the
-// subtree at n. dq is the distance from q to n's parent pivot (NaN at the
-// root), used with stored parent distances to skip metric evaluations.
+// subtree at node n. dq is the distance from q to n's parent pivot (NaN at
+// the root), used with stored parent distances to skip metric evaluations.
 //
 // When only counting (ids == nil), a subtree whose covering ball lies
 // entirely within the query ball contributes its stored element count
 // without being descended — the paper's count-only principle, which makes
 // large-radius counting cost proportional to the ball boundary rather than
 // the ball volume.
-func (v *visitState[T]) rangeVisit(n *node[T], q T, r float64, dq float64, ids *[]int) int {
+func (v *visitState[T]) rangeVisit(n int32, q T, r float64, dq float64, ids *[]int) int {
+	t := v.t
+	isLeaf := t.leaf[n]
 	count := 0
-	for i := range n.entries {
-		e := &n.entries[i]
+	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
 		// Triangle prefilter: |d(q,parent) - d(pivot,parent)| ≤ d(q,pivot).
-		if !math.IsNaN(dq) && math.Abs(dq-e.dPar) > r+e.radius {
+		if !math.IsNaN(dq) && math.Abs(dq-t.eDPar[k]) > r+t.eRadius[k] {
 			continue
 		}
-		d := v.d(q, e.pivot)
-		if n.leaf {
+		d := v.d(q, t.ePivot[k])
+		if isLeaf {
 			if d <= r {
 				count++
 				if ids != nil {
-					*ids = append(*ids, e.id)
+					*ids = append(*ids, int(t.eID[k]))
 				}
 			}
 			continue
 		}
-		if ids == nil && d+e.radius <= r {
-			count += e.count // subtree fully inside the query ball
+		if ids == nil && d+t.eRadius[k] <= r {
+			count += int(t.eCount[k]) // subtree fully inside the query ball
 			continue
 		}
-		if d <= r+e.radius {
-			count += v.rangeVisit(e.child, q, r, d, ids)
+		if d <= r+t.eRadius[k] {
+			count += v.rangeVisit(t.eChild[k], q, r, d, ids)
 		}
 	}
 	return count
@@ -408,7 +568,7 @@ type kCand struct {
 // first. Ties break by insertion id. If the tree has fewer than k elements
 // all of them are returned.
 func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
-	if t.root == nil || k <= 0 {
+	if t.size == 0 || k <= 0 {
 		return nil, nil
 	}
 	heap := make([]kCand, 0, k+1)   // max-heap on (d, id)
@@ -458,35 +618,36 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 		}
 		return heap[0].d
 	}
-	var visit func(n *node[T], dq float64)
-	visit = func(n *node[T], dq float64) {
-		for i := range n.entries {
-			e := &n.entries[i]
-			if !math.IsNaN(dq) && math.Abs(dq-e.dPar) > bound()+e.radius {
+	var visit func(n int32, dq float64)
+	visit = func(n int32, dq float64) {
+		isLeaf := t.leaf[n]
+		for e := t.entFirst[n]; e < t.entLast[n]; e++ {
+			if !math.IsNaN(dq) && math.Abs(dq-t.eDPar[e]) > bound()+t.eRadius[e] {
 				continue
 			}
-			d := t.d(q, e.pivot)
-			if n.leaf {
+			d := t.d(q, t.ePivot[e])
+			if isLeaf {
 				// Admit while below capacity, and past it whenever (d, id)
 				// beats the current worst — the id comparison keeps ties at
 				// the k-th distance settled by insertion id alone, never by
 				// traversal order, so any tree arrangement over the same
 				// elements (insert-built, bulk-loaded, slimmed-down)
 				// returns the same k ids.
-				if len(heap) < k || d < heap[0].d || (d == heap[0].d && e.id < heap[0].id) {
-					push(kCand{id: e.id, d: d})
+				id := int(t.eID[e])
+				if len(heap) < k || d < heap[0].d || (d == heap[0].d && id < heap[0].id) {
+					push(kCand{id: id, d: d})
 					if len(heap) > k {
 						pop()
 					}
 				}
 				continue
 			}
-			if d-e.radius <= bound() {
-				visit(e.child, d)
+			if d-t.eRadius[e] <= bound() {
+				visit(t.eChild[e], d)
 			}
 		}
 	}
-	visit(t.root, math.NaN())
+	visit(0, math.NaN())
 	// Extract sorted ascending.
 	out := make([]kCand, len(heap))
 	copy(out, heap)
@@ -504,11 +665,11 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 }
 
 // DiameterEstimate estimates the diameter of the indexed set (paper
-// Alg. 1 L2's l). Unlike the root-entry heuristic it replaces, the value
-// depends only on the indexed DATA, never on the tree's arrangement: the
-// incremental and bulk-loaded builds (and any SlimDown reorganization)
-// report the same value, so the radii schedule derived from it — and with
-// it the whole pipeline output — is identical across build paths.
+// Alg. 1 L2's l). The value depends only on the indexed DATA, never on
+// the tree's arrangement: the incremental and bulk-loaded builds (and any
+// SlimDown reorganization) report the same value, so the radii schedule
+// derived from it — and with it the whole pipeline output — is identical
+// across build paths.
 //
 // Vector elements get the bounding-box corner distance d(lo, hi): an
 // upper bound on every pairwise distance for any coordinate-monotone
@@ -523,11 +684,9 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 // to the exact path. A non-monotone caller-supplied vector metric whose
 // corner distance lands between the sweep bound and the true diameter
 // still passes the check and undershoots by at most 2× — one slot of the
-// halving radii schedule, the same slack the sweep itself (and the
-// root-entry heuristic this replaced, which ignored pairs under a single
-// root entry) permits; joins never rely on the last radius truly
-// covering every pair (join.SelfMultiRadiusCounts pins that row to n
-// explicitly).
+// halving radii schedule, the same slack the sweep itself permits; joins
+// never rely on the last radius truly covering every pair
+// (join.SelfMultiRadiusCounts pins that row to n explicitly).
 //
 // Every other element type gets the EXACT diameter: the sweep seeds a
 // lower bound and a branch-and-bound over subtree pairs closes the gap —
@@ -541,21 +700,15 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 // because aborting mid-search would make the value depend on the tree's
 // arrangement and break the bulk-vs-insert output identity.
 func (t *Tree[T]) DiameterEstimate() float64 {
-	if t.root == nil || t.size < 2 {
+	if t.size < 2 || len(t.leaf) == 0 {
 		return 0
 	}
 	elems := make([]T, t.size)
-	var collect func(n *node[T])
-	collect = func(n *node[T]) {
-		for i := range n.entries {
-			if n.leaf {
-				elems[n.entries[i].id] = n.entries[i].pivot
-			} else {
-				collect(n.entries[i].child)
-			}
+	for k, id := range t.eID {
+		if id >= 0 {
+			elems[id] = t.ePivot[k]
 		}
 	}
-	collect(t.root)
 	farthest := func(from int) (int, float64) {
 		best, bestD := from, -1.0
 		for i := range elems {
@@ -588,51 +741,50 @@ func (t *Tree[T]) DiameterEstimate() float64 {
 		// the exact branch-and-bound.
 	}
 
-	// Exact refinement. Every pivot-to-pivot distance computed on the way
-	// down is itself a pairwise element distance, so it tightens the bound
-	// too. visitPair descends the wider side of a cross pair; visitSelf
-	// expands a subtree against itself.
-	var visitPair func(a, b *entry[T], d float64)
-	visitPair = func(a, b *entry[T], d float64) {
+	// Exact refinement over arena entries. Every pivot-to-pivot distance
+	// computed on the way down is itself a pairwise element distance, so
+	// it tightens the bound too. visitPair descends the wider side of a
+	// cross pair; visitSelf expands a subtree against itself.
+	var visitPair func(a, b int32, d float64)
+	visitPair = func(a, b int32, d float64) {
 		if d > best {
 			best = d
 		}
-		if d+a.radius+b.radius <= best || (a.child == nil && b.child == nil) {
+		if d+t.eRadius[a]+t.eRadius[b] <= best || (t.eChild[a] < 0 && t.eChild[b] < 0) {
 			return
 		}
 		down, other := a, b
-		if a.child == nil || (b.child != nil && b.radius > a.radius) {
+		if t.eChild[a] < 0 || (t.eChild[b] >= 0 && t.eRadius[b] > t.eRadius[a]) {
 			down, other = b, a
 		}
-		for i := range down.child.entries {
-			ce := &down.child.entries[i]
-			if d+ce.dPar+ce.radius+other.radius <= best {
+		child := t.eChild[down]
+		for ce := t.entFirst[child]; ce < t.entLast[child]; ce++ {
+			if d+t.eDPar[ce]+t.eRadius[ce]+t.eRadius[other] <= best {
 				continue // triangle upper bound needs no new evaluation
 			}
-			visitPair(ce, other, t.d(ce.pivot, other.pivot))
+			visitPair(ce, other, t.d(t.ePivot[ce], t.ePivot[other]))
 		}
 	}
-	var visitSelf func(a *entry[T])
-	visitSelf = func(a *entry[T]) {
-		if a.child == nil || 2*a.radius <= best {
+	var visitSelf func(a int32)
+	visitSelf = func(a int32) {
+		if t.eChild[a] < 0 || 2*t.eRadius[a] <= best {
 			return
 		}
-		es := a.child.entries
-		for i := range es {
-			visitSelf(&es[i])
-			for j := i + 1; j < len(es); j++ {
-				if es[i].dPar+es[j].dPar+es[i].radius+es[j].radius <= best {
+		child := t.eChild[a]
+		for i := t.entFirst[child]; i < t.entLast[child]; i++ {
+			visitSelf(i)
+			for j := i + 1; j < t.entLast[child]; j++ {
+				if t.eDPar[i]+t.eDPar[j]+t.eRadius[i]+t.eRadius[j] <= best {
 					continue
 				}
-				visitPair(&es[i], &es[j], t.d(es[i].pivot, es[j].pivot))
+				visitPair(i, j, t.d(t.ePivot[i], t.ePivot[j]))
 			}
 		}
 	}
-	root := t.root.entries
-	for i := range root {
-		visitSelf(&root[i])
-		for j := i + 1; j < len(root); j++ {
-			visitPair(&root[i], &root[j], t.d(root[i].pivot, root[j].pivot))
+	for i := t.entFirst[0]; i < t.entLast[0]; i++ {
+		visitSelf(i)
+		for j := i + 1; j < t.entLast[0]; j++ {
+			visitPair(i, j, t.d(t.ePivot[i], t.ePivot[j]))
 		}
 	}
 	return best
@@ -640,14 +792,17 @@ func (t *Tree[T]) DiameterEstimate() float64 {
 
 // Height returns the tree height (0 for an empty tree, 1 for a leaf root).
 func (t *Tree[T]) Height() int {
+	if len(t.leaf) == 0 {
+		return 0
+	}
 	h := 0
-	n := t.root
-	for n != nil {
+	n := int32(0)
+	for {
 		h++
-		if n.leaf || len(n.entries) == 0 {
+		if t.leaf[n] || t.entFirst[n] == t.entLast[n] {
 			break
 		}
-		n = n.entries[0].child
+		n = t.eChild[t.entFirst[n]]
 	}
 	return h
 }

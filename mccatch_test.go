@@ -188,6 +188,62 @@ func TestKDTreeIndexMatchesSlimTree(t *testing.T) {
 	}
 }
 
+// TestRunVectorsDefaultBackend pins the backend dispatch of RunVectors:
+// by default it runs on the R-tree (byte-identical to RunVectorsR), a
+// slim-specific option pins it back to the slim-tree (byte-identical to
+// RunVectorsSlim with the same option), and RunVectorsSlim is the
+// always-slim path (byte-identical to the generic Run under the
+// Euclidean metric with the vector cost).
+func TestRunVectorsDefaultBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var pts [][]float64
+	for i := 0; i < 300; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3})
+	}
+	pts = append(pts, []float64{55, 55})
+
+	def, err := RunVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := RunVectorsR(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, rt) {
+		t.Error("RunVectors must run on the R-tree by default (Result differs from RunVectorsR)")
+	}
+
+	slim, err := RunVectorsSlim(pts, WithTreeCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := RunVectors(pts, WithTreeCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(slim, pinned) {
+		t.Error("a slim-specific option must pin RunVectors to the slim-tree")
+	}
+
+	gen, err := Run(pts, Euclidean, WithVectorCost(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slimPlain, err := RunVectorsSlim(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gen, slimPlain) {
+		t.Error("RunVectorsSlim must match the generic slim-tree Run")
+	}
+
+	// And the backends agree on the detected structure end to end.
+	if !reflect.DeepEqual(def.Microclusters, slimPlain.Microclusters) {
+		t.Error("R-tree and slim-tree runs disagree on the microclusters")
+	}
+}
+
 func TestRunVectorsRejectsBadInput(t *testing.T) {
 	if _, err := RunVectors([][]float64{{1, 2}, {3}}); err == nil {
 		t.Error("ragged dimensions should error")
