@@ -23,6 +23,7 @@ import (
 	"mccatch/internal/kdtree"
 	"mccatch/internal/metric"
 	"mccatch/internal/rtree"
+	"mccatch/internal/segment"
 	"mccatch/internal/slimtree"
 )
 
@@ -479,6 +480,46 @@ func benchBridge(b *testing.B, kind string, dual bool) {
 		} else {
 			join.BridgeRadiiPerPoint(t, out, radii, 1)
 		}
+	}
+}
+
+// The incremental-layer query pair the CI bench gate watches: a merged
+// steady-state probe (one frozen 9.9k segment + a 100-point memtable,
+// i.e. memtable = 1% of n) must stay within 1.3x of the identical probe
+// against a single frozen arena, and both must stay at ZERO allocations
+// per probe (the pooled scratch and cached memtable tree absorb the
+// merge bookkeeping).
+func BenchmarkIncrementalQueryFrozen(b *testing.B) {
+	b.ReportAllocs()
+	pts := randPoints(10000, 2)
+	t := rtree.New(pts, 0)
+	radii := geomRadii(t.DiameterEstimate(), 15)
+	buf := make([]int, 0, len(radii)+1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = index.RangeCountMultiAppend(t, pts[i%len(pts)], radii, buf[:0])
+	}
+}
+
+func BenchmarkIncrementalQueryMerged(b *testing.B) {
+	b.ReportAllocs()
+	pts := randPoints(10000, 2)
+	m := segment.NewMutable(metric.Euclidean, func(sub [][]float64) index.Index[[]float64] {
+		return rtree.New(sub, 0)
+	}, len(pts)+1)
+	for _, p := range pts[:9900] {
+		m.Insert(p)
+	}
+	m.Freeze()
+	for _, p := range pts[9900:] {
+		m.Insert(p)
+	}
+	radii := geomRadii(m.DiameterEstimate(), 15)
+	buf := make([]int, 0, len(radii)+1)
+	buf = m.RangeCountMultiAppend(pts[0], radii, buf[:0]) // warm the lazy memtable tree
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.RangeCountMultiAppend(pts[i%len(pts)], radii, buf[:0])
 	}
 }
 

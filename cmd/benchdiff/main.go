@@ -12,7 +12,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench '<gate pattern>' -count=5 -benchtime=200ms -benchmem . | tee bench.txt
-//	go run ./cmd/benchdiff -baseline BENCH_5.json bench.txt
+//	go run ./cmd/benchdiff -baseline BENCH_6.json bench.txt
 //
 // Medians (not means) absorb the odd scheduling hiccup of shared CI
 // runners; the -count repetitions exist precisely to feed them. Every
@@ -51,7 +51,7 @@ func (p *pairFlag) String() string     { return strings.Join(*p, ",") }
 func (p *pairFlag) Set(s string) error { *p = append(*p, s); return nil }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_3.json", "committed baseline JSON with a ci_baseline map of benchmark → median ns/op")
+	baselinePath := flag.String("baseline", "BENCH_6.json", "committed baseline JSON with a ci_baseline map of benchmark → median ns/op")
 	threshold := flag.Float64("threshold", 1.25, "fail when median ns/op exceeds baseline × threshold (1.25 = >25% regression)")
 	var pairs pairFlag
 	flag.Var(&pairs, "pair", "same-run relative gate 'BenchmarkFast<BenchmarkSlow': fail unless Fast's median beats Slow's; repeatable, machine-independent (both sides share the runner), so it holds even where the absolute baseline does not transfer")
@@ -250,7 +250,10 @@ func compareAllocs(base, medians map[string]float64, threshold float64) (report 
 }
 
 // comparePairs checks the -pair relative gates: each "Fast<Slow" spec
-// requires Fast's median to be strictly below Slow's in THIS run. Both
+// requires Fast's median to be strictly below Slow's in THIS run, and
+// "Fast<1.3*Slow" relaxes the bound to a ratio (Fast may cost up to 1.3×
+// Slow — the shape of an "overhead stays bounded" assertion, e.g. the
+// merged incremental probe against its single-frozen-arena twin). Both
 // sides ran on the same machine minutes apart, so the assertion transfers
 // across runner hardware where the absolute baseline cannot. A side
 // missing from the run fails the gate like a missing baseline benchmark.
@@ -259,7 +262,15 @@ func comparePairs(specs []string, medians map[string]float64) (report string, fa
 	for _, spec := range specs {
 		fast, slow, ok := strings.Cut(spec, "<")
 		if !ok {
-			return "", nil, fmt.Errorf("bad -pair %q: want 'BenchmarkFast<BenchmarkSlow'", spec)
+			return "", nil, fmt.Errorf("bad -pair %q: want 'BenchmarkFast<[coef*]BenchmarkSlow'", spec)
+		}
+		coef := 1.0
+		if cs, rest, hasCoef := strings.Cut(slow, "*"); hasCoef {
+			c, err := strconv.ParseFloat(cs, 64)
+			if err != nil || c <= 0 {
+				return "", nil, fmt.Errorf("bad -pair %q: coefficient %q must be a positive number", spec, cs)
+			}
+			coef, slow = c, rest
 		}
 		fv, fok := medians[fast]
 		sv, sok := medians[slow]
@@ -271,10 +282,10 @@ func comparePairs(specs []string, medians map[string]float64) (report string, fa
 			}
 			fmt.Fprintf(&b, "pair %-40s MISSING %s from bench output\n", spec, missing)
 			failures = append(failures, spec)
-		case fv < sv:
-			fmt.Fprintf(&b, "pair %-40s ok (%.0f < %.0f, %.2fx)\n", spec, fv, sv, sv/fv)
+		case fv < coef*sv:
+			fmt.Fprintf(&b, "pair %-40s ok (%.0f < %g*%.0f, %.2fx)\n", spec, fv, coef, sv, fv/sv)
 		default:
-			fmt.Fprintf(&b, "pair %-40s INVERTED (%.0f >= %.0f)\n", spec, fv, sv)
+			fmt.Fprintf(&b, "pair %-40s INVERTED (%.0f >= %g*%.0f)\n", spec, fv, coef, sv)
 			failures = append(failures, spec)
 		}
 	}

@@ -155,6 +155,34 @@ func TestPairGates(t *testing.T) {
 	}
 }
 
+// TestPairGatesWithRatio covers the 'Fast<coef*Slow' bounded-overhead
+// form: the fast side may cost up to coef times the slow side.
+func TestPairGatesWithRatio(t *testing.T) {
+	medians := map[string]float64{
+		"BenchmarkMerged": 52e3,
+		"BenchmarkFrozen": 46e3, // Merged is ~1.13x Frozen
+	}
+	if _, failures, err := comparePairs([]string{"BenchmarkMerged<1.3*BenchmarkFrozen"}, medians); err != nil || len(failures) != 0 {
+		t.Fatalf("within-ratio pair failed: %v %v", failures, err)
+	}
+	if _, failures, err := comparePairs([]string{"BenchmarkMerged<1.1*BenchmarkFrozen"}, medians); err != nil || len(failures) != 1 {
+		t.Fatalf("beyond-ratio pair not caught: %v %v", failures, err)
+	}
+	// Plain form still means coefficient 1 (strictly faster).
+	if _, failures, err := comparePairs([]string{"BenchmarkMerged<BenchmarkFrozen"}, medians); err != nil || len(failures) != 1 {
+		t.Fatalf("plain pair lost its strict semantics: %v %v", failures, err)
+	}
+	if _, failures, err := comparePairs([]string{"BenchmarkMerged<1.3*BenchmarkGone"}, medians); err != nil || len(failures) != 1 {
+		t.Fatalf("missing ratio-pair side not caught: %v %v", failures, err)
+	}
+	if _, _, err := comparePairs([]string{"BenchmarkMerged<x*BenchmarkFrozen"}, medians); err == nil {
+		t.Fatal("non-numeric coefficient accepted")
+	}
+	if _, _, err := comparePairs([]string{"BenchmarkMerged<-2*BenchmarkFrozen"}, medians); err == nil {
+		t.Fatal("negative coefficient accepted")
+	}
+}
+
 // TestEndToEndAgainstParsedOutput wires parse + compare the way main does:
 // the committed-style baseline catches a 2x inflation of the same output.
 func TestEndToEndAgainstParsedOutput(t *testing.T) {

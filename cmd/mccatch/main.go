@@ -41,6 +41,7 @@ func main() {
 		explain = flag.Int("explain", -1, "explain why one point (by index) scored the way it did")
 		workers = flag.Int("workers", 0, "concurrent workers (0 = all cores, 1 = serial; output is identical)")
 		insert  = flag.Bool("insertion-build", false, "build slim-trees with the legacy insert path instead of bulk loading (slower; output is identical)")
+		incr    = flag.Bool("incremental", false, "feed the data through the mutable incremental layer (insert-all, compact, detect; output is identical)")
 	)
 	flag.Parse()
 
@@ -71,31 +72,9 @@ func main() {
 		opts = append(opts, mccatch.WithInsertionBuild())
 	}
 
-	var res *mccatch.Result
-	var describe func(i int) string
-	switch *format {
-	case "csv":
-		pts, err := readCSV(r)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err = mccatch.RunVectors(pts, opts...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		describe = func(i int) string { return fmt.Sprintf("row %d %v", i, pts[i]) }
-	case "text":
-		words, err := readLines(r)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err = mccatch.RunStrings(words, opts...)
-		if err != nil {
-			log.Fatal(err)
-		}
-		describe = func(i int) string { return fmt.Sprintf("line %d %q", i, words[i]) }
-	default:
-		log.Fatalf("unknown -format %q (want csv or text)", *format)
+	res, describe, err := detect(*format, r, *incr, opts)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *summary {
@@ -104,22 +83,77 @@ func main() {
 	if *explain >= 0 {
 		fmt.Println(res.ExplainPoint(*explain))
 	}
-	fmt.Printf("n=%d  diameter=%.4g  cutoff=%.4g  microclusters=%d\n",
+	printResult(os.Stdout, res, describe, *top, *points)
+}
+
+// detect reads the dataset in the given format and runs the detector —
+// one-shot by default, or through the incremental layer (insert every
+// element, compact, detect) when incremental is set. Both paths produce
+// byte-identical output; TestIncrementalCLIByteIdentical pins it.
+func detect(format string, r io.Reader, incremental bool, opts []mccatch.Option) (*mccatch.Result, func(i int) string, error) {
+	switch format {
+	case "csv":
+		pts, err := readCSV(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		describe := func(i int) string { return fmt.Sprintf("row %d %v", i, pts[i]) }
+		if incremental {
+			inc := mccatch.NewIncrementalVectors(len(pts[0]), opts...)
+			for _, p := range pts {
+				if _, err := inc.Insert(p); err != nil {
+					return nil, nil, err
+				}
+			}
+			inc.Compact()
+			res, err := inc.Detect()
+			return res, describe, err
+		}
+		res, err := mccatch.RunVectors(pts, opts...)
+		return res, describe, err
+	case "text":
+		words, err := readLines(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		describe := func(i int) string { return fmt.Sprintf("line %d %q", i, words[i]) }
+		if incremental {
+			all := append([]mccatch.Option{mccatch.DeriveWordCost(words)}, opts...)
+			inc := mccatch.NewIncremental(mccatch.Levenshtein, all...)
+			for _, w := range words {
+				if _, err := inc.Insert(w); err != nil {
+					return nil, nil, err
+				}
+			}
+			inc.Compact()
+			res, err := inc.Detect()
+			return res, describe, err
+		}
+		res, err := mccatch.RunStrings(words, opts...)
+		return res, describe, err
+	default:
+		return nil, nil, fmt.Errorf("unknown -format %q (want csv or text)", format)
+	}
+}
+
+// printResult writes the ranked-microcluster report.
+func printResult(w io.Writer, res *mccatch.Result, describe func(i int) string, top int, points bool) {
+	fmt.Fprintf(w, "n=%d  diameter=%.4g  cutoff=%.4g  microclusters=%d\n",
 		len(res.PointScores), res.Diameter, res.Cutoff, len(res.Microclusters))
 	for i, mc := range res.Microclusters {
-		if i >= *top {
-			fmt.Printf("... and %d more\n", len(res.Microclusters)-*top)
+		if i >= top {
+			fmt.Fprintf(w, "... and %d more\n", len(res.Microclusters)-top)
 			break
 		}
-		fmt.Printf("#%d score=%.3f bridge=%.4g |members|=%d\n", i+1, mc.Score, mc.Bridge, len(mc.Members))
+		fmt.Fprintf(w, "#%d score=%.3f bridge=%.4g |members|=%d\n", i+1, mc.Score, mc.Bridge, len(mc.Members))
 		for _, m := range mc.Members {
-			fmt.Printf("   %s\n", describe(m))
+			fmt.Fprintf(w, "   %s\n", describe(m))
 		}
 	}
-	if *points {
-		fmt.Println("point scores:")
+	if points {
+		fmt.Fprintln(w, "point scores:")
 		for i, s := range res.PointScores {
-			fmt.Printf("%d,%.6f\n", i, s)
+			fmt.Fprintf(w, "%d,%.6f\n", i, s)
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -50,5 +53,71 @@ func TestReadLines(t *testing.T) {
 	}
 	if _, err := readLines(strings.NewReader("\n\n")); err == nil {
 		t.Error("blank-only input should error")
+	}
+}
+
+// genCSV builds a deterministic 2d dataset: two clusters plus a few
+// far-away outliers, serialized as CSV.
+func genCSV() string {
+	var b strings.Builder
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 120; i++ {
+		cx := float64(i%2) * 30
+		fmt.Fprintf(&b, "%g,%g\n", cx+rng.Float64()*4, rng.Float64()*4)
+	}
+	b.WriteString("500,500\n501,500\n-400,250\n")
+	return b.String()
+}
+
+func genText() string {
+	var b strings.Builder
+	rng := rand.New(rand.NewSource(43))
+	alphabet := "abcdef"
+	for i := 0; i < 80; i++ {
+		n := 4 + rng.Intn(4)
+		for j := 0; j < n; j++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("zzzzzzzzzzzzzz\nqqqqqqqqqqqqqq\n")
+	return b.String()
+}
+
+// TestIncrementalCLIByteIdentical pins the acceptance criterion: feeding
+// a dataset through the incremental layer (-incremental: insert-all,
+// compact, detect) prints byte-identical output to the one-shot path, on
+// both a CSV and a text dataset.
+func TestIncrementalCLIByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		format, data string
+	}{
+		{"csv", genCSV()},
+		{"text", genText()},
+	} {
+		t.Run(tc.format, func(t *testing.T) {
+			var fresh, incr bytes.Buffer
+			for _, mode := range []bool{false, true} {
+				res, describe, err := detect(tc.format, strings.NewReader(tc.data), mode, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := &fresh
+				if mode {
+					w = &incr
+				}
+				printResult(w, res, describe, 10, true)
+			}
+			if fresh.String() != incr.String() {
+				t.Fatalf("-incremental output differs from one-shot:\n--- fresh ---\n%s--- incremental ---\n%s",
+					fresh.String(), incr.String())
+			}
+		})
+	}
+}
+
+func TestDetectUnknownFormat(t *testing.T) {
+	if _, _, err := detect("xml", strings.NewReader("x"), false, nil); err == nil {
+		t.Error("unknown format should error")
 	}
 }

@@ -1,0 +1,154 @@
+package mccatch
+
+import (
+	"fmt"
+	"math"
+
+	"mccatch/internal/core"
+	"mccatch/internal/index"
+	"mccatch/internal/metric"
+	"mccatch/internal/rtree"
+	"mccatch/internal/segment"
+)
+
+// Incremental is a mutable MCCATCH detector: a dataset that accepts
+// Insert and Delete between detections, indexed by an LSM-style layer —
+// a small mutable memtable in front of frozen immutable index segments —
+// so no detection ever rebuilds the full index from scratch.
+//
+// Detect is EXACTLY equivalent to a one-shot run over the current live
+// set: inserts and deletes never change the answer, only the work done
+// to produce it. Element indices in the Result (Microcluster.Members,
+// PointScores, the Oracle plot) refer to the live elements in insertion
+// order, i.e. the slice a fresh run would have been given.
+//
+// An Incremental is not safe for concurrent mutation; the worker fan-out
+// inside one Detect call is.
+type Incremental[T any] struct {
+	m        *segment.Mutable[T]
+	builder  index.Builder[T]
+	params   core.Params
+	validate func(T) error
+}
+
+// NewIncremental returns an empty mutable detector over the metric dist,
+// indexing with the same bulk-loaded slim-tree a one-shot Run uses (so
+// Detect matches Run on the live set bit for bit). Options are fixed at
+// construction and apply to every Detect.
+func NewIncremental[T any](dist Distance[T], opts ...Option) *Incremental[T] {
+	var p core.Params
+	for _, o := range opts {
+		o(&p)
+	}
+	builder := core.SlimBuilder(dist, p)
+	return &Incremental[T]{
+		m:       segment.NewMutable(dist, builder, 0),
+		builder: builder,
+		params:  p,
+	}
+}
+
+// NewIncrementalVectors returns an empty mutable detector for
+// dim-dimensional vectors under the Euclidean distance, with the
+// transformation cost set to the dimensionality — the incremental
+// counterpart of RunVectors, down to the same backend choice (STR
+// bulk-loaded R-tree unless a slim-tree-specific option is passed), so
+// Detect matches RunVectors over the live set bit for bit. Insert
+// rejects points of the wrong dimension or with non-finite values.
+func NewIncrementalVectors(dim int, opts ...Option) *Incremental[[]float64] {
+	var p core.Params
+	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
+		o(&p)
+	}
+	var builder index.Builder[[]float64]
+	if p.TreeCapacity != 0 || p.InsertionBuild || p.SlimDownPasses > 0 {
+		builder = core.SlimBuilder(metric.Euclidean, p)
+	} else {
+		builder = func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, 0, p.Workers) }
+	}
+	inc := &Incremental[[]float64]{
+		m:       segment.NewMutable(metric.Euclidean, builder, 0),
+		builder: builder,
+		params:  p,
+	}
+	inc.validate = func(x []float64) error {
+		if len(x) != dim {
+			return fmt.Errorf("mccatch: point has dimension %d, want %d", len(x), dim)
+		}
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("mccatch: point has non-finite value at feature %d", j)
+			}
+		}
+		return nil
+	}
+	return inc
+}
+
+// Insert adds x to the live set and returns its permanent handle, usable
+// with Delete at any later time. The element lands in the memtable; when
+// the memtable reaches its cap it is automatically frozen into a new
+// immutable segment.
+func (inc *Incremental[T]) Insert(x T) (int64, error) {
+	if inc.validate != nil {
+		if err := inc.validate(x); err != nil {
+			return 0, err
+		}
+	}
+	return inc.m.Insert(x), nil
+}
+
+// Delete removes the element behind handle from the live set and reports
+// whether it was present. Frozen elements become tombstones that every
+// query subtracts exactly until the next Compact.
+func (inc *Incremental[T]) Delete(handle int64) bool { return inc.m.Delete(handle) }
+
+// Freeze forces the current memtable into a new immutable segment (no-op
+// when empty), so subsequent detections run entirely over frozen arenas.
+func (inc *Incremental[T]) Freeze() { inc.m.Freeze() }
+
+// Compact rebuilds all segments and the memtable into one fresh segment
+// over the live set, dropping every tombstone — after which the index is
+// indistinguishable from a fresh bulk build.
+func (inc *Incremental[T]) Compact() { inc.m.Compact() }
+
+// Len returns the number of live elements.
+func (inc *Incremental[T]) Len() int { return inc.m.Size() }
+
+// Segments reports the current frozen-segment count.
+func (inc *Incremental[T]) Segments() int { return inc.m.Segments() }
+
+// Tombstones reports the number of deleted-but-not-yet-compacted
+// elements across all segments.
+func (inc *Incremental[T]) Tombstones() int { return inc.m.Tombstones() }
+
+// SetMemtableCap sets the memtable size at which Insert auto-freezes a
+// segment (n ≤ 0 restores the default).
+func (inc *Incremental[T]) SetMemtableCap(n int) { inc.m.SetMemtableCap(n) }
+
+// Detect runs MCCATCH over the current live set, reusing the frozen
+// segments: Steps I, II and IV answer their joins as exact merges across
+// the segments and the memtable instead of rebuilding the full index.
+// The Result is identical to a one-shot run over the live elements.
+func (inc *Incremental[T]) Detect() (*Result, error) {
+	return core.RunIncremental[T](inc.m, inc.builder, inc.params)
+}
+
+// DeriveWordCost returns the WithWordCost option computed from the data
+// itself (distinct runes, longest word) — the same derivation RunStrings
+// applies, exported so an incremental run over strings can match a
+// one-shot RunStrings on the same words bit for bit.
+func DeriveWordCost(words []string) Option {
+	distinct := map[rune]bool{}
+	longest := 0
+	for _, w := range words {
+		runes := []rune(w)
+		if len(runes) > longest {
+			longest = len(runes)
+		}
+		for _, r := range runes {
+			distinct[r] = true
+		}
+	}
+	return WithWordCost(len(distinct), longest)
+}

@@ -1,0 +1,138 @@
+package mccatch
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestIncrementalMatchesRunVectors pins the public contract: after any
+// insert/delete sequence — segments, tombstones and a live memtable all
+// present — Detect returns a Result deep-equal to RunVectors over the
+// live points, under both the default R-tree backend and the slim-tree
+// (selected implicitly by a slim-specific option).
+func TestIncrementalMatchesRunVectors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"rtree-default", nil},
+		{"slimtree-via-capacity", []Option{WithTreeCapacity(16)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			inc := NewIncrementalVectors(2, tc.opts...)
+			inc.SetMemtableCap(10)
+			type entry struct {
+				h int64
+				p []float64
+			}
+			var liveSet []entry
+			for step := 0; step < 90; step++ {
+				if len(liveSet) > 4 && rng.Intn(4) == 0 {
+					j := rng.Intn(len(liveSet))
+					if !inc.Delete(liveSet[j].h) {
+						t.Fatalf("Delete of a live handle failed")
+					}
+					liveSet = append(liveSet[:j], liveSet[j+1:]...)
+					continue
+				}
+				p := []float64{math.Round(rng.Float64()*40) / 2, math.Round(rng.Float64()*40) / 2}
+				if rng.Intn(15) == 0 {
+					p[0] += 300 // far outlier
+				}
+				h, err := inc.Insert(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				liveSet = append(liveSet, entry{h, p})
+			}
+			if inc.Segments() < 2 || inc.Tombstones() == 0 {
+				t.Fatalf("script exercised no real merge: segments=%d tombstones=%d",
+					inc.Segments(), inc.Tombstones())
+			}
+			live := make([][]float64, len(liveSet))
+			for i, e := range liveSet {
+				live[i] = e.p
+			}
+			if inc.Len() != len(live) {
+				t.Fatalf("Len = %d, want %d", inc.Len(), len(live))
+			}
+			want, err := RunVectors(live, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := inc.Detect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("incremental Detect differs from RunVectors\ngot:  %+v\nwant: %+v", got, want)
+			}
+			// And again after compaction (single fresh segment).
+			inc.Compact()
+			got, err = inc.Detect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("post-Compact Detect differs from RunVectors")
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesRunStrings pins the nondimensional path: an
+// incremental run with DeriveWordCost matches RunStrings bit for bit.
+func TestIncrementalMatchesRunStrings(t *testing.T) {
+	words := []string{
+		"smith", "smyth", "smithe", "smitt", "smith", "smiths",
+		"jones", "joness", "jonas", "jone", "jons", "jonez",
+		"zzzzzzzzzzzzzz", "qqqqqqqqqqqqqq",
+	}
+	inc := NewIncremental(Levenshtein, DeriveWordCost(words))
+	inc.SetMemtableCap(5)
+	for _, w := range words {
+		if _, err := inc.Insert(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := RunStrings(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inc.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental Detect differs from RunStrings\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestIncrementalVectorsValidation pins Insert's input checks.
+func TestIncrementalVectorsValidation(t *testing.T) {
+	inc := NewIncrementalVectors(2)
+	if _, err := inc.Insert([]float64{1, 2, 3}); err == nil {
+		t.Error("wrong dimension should error")
+	}
+	if _, err := inc.Insert([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN should error")
+	}
+	if _, err := inc.Insert([]float64{math.Inf(1), 0}); err == nil {
+		t.Error("Inf should error")
+	}
+	if inc.Len() != 0 {
+		t.Fatalf("rejected inserts changed Len: %d", inc.Len())
+	}
+	if _, err := inc.Insert([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", inc.Len())
+	}
+	if _, err := inc.Detect(); err != nil {
+		t.Fatal(err)
+	}
+}

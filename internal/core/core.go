@@ -150,7 +150,15 @@ var ErrEmptyDataset = errors.New("core: empty dataset")
 // bulk-loaded by default (Params.InsertionBuild reverts to the legacy
 // incremental build; results are identical either way).
 func Run[T any](items []T, dist metric.Distance[T], params Params) (*Result, error) {
-	builder := func(sub []T) index.Index[T] {
+	return RunWithIndex(items, dist, SlimBuilder(dist, params), params)
+}
+
+// SlimBuilder returns the slim-tree index builder Run uses under params —
+// exported so the incremental layer (and any other pipeline host) can
+// freeze its segments with exactly the builder a one-shot run would use,
+// which is what makes incremental-vs-fresh equivalence exact.
+func SlimBuilder[T any](dist metric.Distance[T], params Params) index.Builder[T] {
+	return func(sub []T) index.Index[T] {
 		var t *slimtree.Tree[T]
 		if params.InsertionBuild {
 			t = slimtree.New(dist, params.TreeCapacity, sub)
@@ -162,7 +170,22 @@ func Run[T any](items []T, dist metric.Distance[T], params Params) (*Result, err
 		}
 		return t
 	}
-	return RunWithIndex(items, dist, builder, params)
+}
+
+// IncrementalSource is the contract the incremental layer fulfills to
+// host the pipeline without a fresh full-dataset build: a full Index over
+// the live set (answering every merged join), the live elements in dense
+// id order, and a masked inlier view for Step IV's bridge searches.
+// internal/segment's Mutable is the implementation.
+type IncrementalSource[T any] interface {
+	index.Index[T]
+	// Live returns the live elements in the dense id order the source's
+	// query answers are keyed by.
+	Live() []T
+	// InlierView returns a read-only index over the live elements NOT
+	// selected by excluded (indexed by dense id), re-keyed densely over
+	// the kept subset — the ids a fresh build over it would assign.
+	InlierView(excluded []bool) index.Index[T]
 }
 
 // RunWithIndex executes MCCATCH using a caller-supplied access method —
@@ -170,6 +193,26 @@ func Run[T any](items []T, dist metric.Distance[T], params Params) (*Result, err
 // builder is invoked for the full dataset and for the sub-sets the
 // algorithm indexes along the way (group candidates, inliers).
 func RunWithIndex[T any](items []T, dist metric.Distance[T], builder index.Builder[T], params Params) (*Result, error) {
+	return pipeline(items, builder, nil, params)
+}
+
+// RunIncremental executes MCCATCH over an incremental source's live set
+// WITHOUT rebuilding the full index: Steps I, II and IV query src
+// directly (merged across its segments and memtable), and only the small
+// throwaway trees of Step III's gelling use builder. The Result is
+// deep-equal to RunWithIndex over src.Live() with the same builder after
+// ANY insert/delete sequence; the equivalence property and fuzz tests pin
+// this at workers 1/2/8.
+func RunIncremental[T any](src IncrementalSource[T], builder index.Builder[T], params Params) (*Result, error) {
+	return pipeline(src.Live(), builder, src, params)
+}
+
+// pipeline is the shared four-step driver. src == nil is the one-shot
+// mode: the full index is freshly built, and Step IV's inlier index is
+// freshly built over the inlier subset. With a src, both come from the
+// incremental layer instead (the full index IS src; the inlier index is
+// src's masked view) and items is src.Live().
+func pipeline[T any](items []T, builder index.Builder[T], src IncrementalSource[T], params Params) (*Result, error) {
 	n := len(items)
 	if n == 0 {
 		return nil, ErrEmptyDataset
@@ -180,7 +223,12 @@ func RunWithIndex[T any](items []T, dist metric.Distance[T], builder index.Build
 	}
 
 	// Step I — define the neighborhood radii (Alg. 1 L1-3).
-	tree := builder(items)
+	var tree index.Index[T]
+	if src != nil {
+		tree = src
+	} else {
+		tree = builder(items)
+	}
 	l := tree.DiameterEstimate()
 	res := &Result{
 		PointScores: make([]float64, n),
@@ -206,8 +254,17 @@ func RunWithIndex[T any](items []T, dist metric.Distance[T], builder index.Build
 	// Step III — spot the microclusters (Alg. 3).
 	mcs := spotMCs(items, builder, res)
 
-	// Step IV — compute the anomaly scores (Alg. 4).
-	scoreMCs(items, builder, mcs, p, res)
+	// Step IV — compute the anomaly scores (Alg. 4). The inlier index is
+	// a fresh build over the inliers in one-shot mode, and the masked
+	// in-place view of the incremental source otherwise; both answer the
+	// bridge joins exactly, so the scores agree bit for bit.
+	inlierIndex := func(inItems []T, isOutlier []bool) index.Index[T] {
+		if src != nil {
+			return src.InlierView(isOutlier)
+		}
+		return builder(inItems)
+	}
+	scoreMCs(items, inlierIndex, mcs, p, res)
 
 	sortMicroclusters(res.Microclusters)
 	return res, nil

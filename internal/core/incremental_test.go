@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mccatch/internal/index"
+	"mccatch/internal/metric"
+	"mccatch/internal/rtree"
+	"mccatch/internal/segment"
+)
+
+// The incremental-equivalence property: after ANY insert/delete/freeze/
+// compact sequence, RunIncremental over the mutable layer returns a
+// Result deep-equal to RunWithIndex over the live set with the same
+// builder — the merge across segments never changes an answer, only the
+// work done to produce it.
+
+func incrRtreeBuilder(workers int) index.Builder[[]float64] {
+	return func(sub [][]float64) index.Index[[]float64] {
+		return rtree.NewWithWorkers(sub, 0, workers)
+	}
+}
+
+func checkIncrementalEquivalence[T any](t *testing.T, m *segment.Mutable[T], dist metric.Distance[T], builder index.Builder[T], workers int) {
+	t.Helper()
+	params := Params{Workers: workers}
+	fresh, ferr := RunWithIndex(m.Live(), dist, builder, params)
+	incr, ierr := RunIncremental[T](m, builder, params)
+	if (ferr == nil) != (ierr == nil) {
+		t.Fatalf("workers=%d: fresh err = %v, incremental err = %v", workers, ferr, ierr)
+	}
+	if ferr != nil {
+		return
+	}
+	if !reflect.DeepEqual(fresh, incr) {
+		t.Fatalf("workers=%d: incremental Result differs from fresh build\nfresh: %+v\nincremental: %+v",
+			workers, fresh, incr)
+	}
+}
+
+// TestIncrementalEquivalenceVectors drives a random mutation script over
+// 2d points (small memtable cap → several segments, tombstones, live
+// memtable) and checks Result equality at checkpoints, at workers 1/2/8.
+func TestIncrementalEquivalenceVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	builder := incrRtreeBuilder(0)
+	m := segment.NewMutable(metric.Euclidean, builder, 9)
+	var handles []int64
+	randPt := func() []float64 {
+		// Two clusters plus occasional far-flung outliers.
+		cx := float64(rng.Intn(2) * 20)
+		p := []float64{cx + math.Round(rng.Float64()*8)/2, math.Round(rng.Float64()*8) / 2}
+		if rng.Intn(12) == 0 {
+			p[0] += 100
+		}
+		return p
+	}
+	for step := 0; step < 150; step++ {
+		switch {
+		case len(handles) > 4 && rng.Intn(4) == 0:
+			j := rng.Intn(len(handles))
+			m.Delete(handles[j])
+			handles = append(handles[:j], handles[j+1:]...)
+		case rng.Intn(40) == 0:
+			m.Compact()
+		default:
+			handles = append(handles, m.Insert(randPt()))
+		}
+		if step%50 == 49 {
+			for _, workers := range []int{1, 2, 8} {
+				checkIncrementalEquivalence(t, m, metric.Euclidean, builder, workers)
+			}
+		}
+	}
+	if m.Segments() < 2 && m.Tombstones() == 0 {
+		t.Fatalf("script exercised no real merge: segments=%d tombstones=%d", m.Segments(), m.Tombstones())
+	}
+}
+
+// TestIncrementalEquivalenceStrings repeats the property over a
+// nondimensional metric (Levenshtein on words, slim-tree backend).
+func TestIncrementalEquivalenceStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	params := Params{}
+	builder := SlimBuilder(metric.Levenshtein, params)
+	m := segment.NewMutable(metric.Levenshtein, builder, 7)
+	alphabet := "abcde"
+	randWord := func() string {
+		n := 3 + rng.Intn(5)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		if rng.Intn(10) == 0 {
+			return "zzzzzzzzzz" + string(b) // far outlier under edit distance
+		}
+		return string(b)
+	}
+	var handles []int64
+	for step := 0; step < 80; step++ {
+		if len(handles) > 4 && rng.Intn(4) == 0 {
+			j := rng.Intn(len(handles))
+			m.Delete(handles[j])
+			handles = append(handles[:j], handles[j+1:]...)
+		} else {
+			handles = append(handles, m.Insert(randWord()))
+		}
+		if step%40 == 39 {
+			for _, workers := range []int{1, 2, 8} {
+				checkIncrementalEquivalence(t, m, metric.Levenshtein, builder, workers)
+			}
+		}
+	}
+}
+
+// TestRunIncrementalEmpty pins the empty-live-set error path.
+func TestRunIncrementalEmpty(t *testing.T) {
+	builder := incrRtreeBuilder(0)
+	m := segment.NewMutable(metric.Euclidean, builder, 4)
+	if _, err := RunIncremental[[]float64](m, builder, Params{}); err != ErrEmptyDataset {
+		t.Fatalf("RunIncremental on empty live set: err = %v, want ErrEmptyDataset", err)
+	}
+	h := m.Insert([]float64{1, 1})
+	m.Delete(h)
+	if _, err := RunIncremental[[]float64](m, builder, Params{}); err != ErrEmptyDataset {
+		t.Fatalf("RunIncremental after delete-all: err = %v, want ErrEmptyDataset", err)
+	}
+}
+
+// FuzzIncrementalEquivalence decodes raw bytes into a mutation script
+// (insert / delete / freeze / compact over quantized low-dim points) and
+// checks RunIncremental against the fresh-build oracle on the final
+// state. The committed seed corpus lives in
+// internal/core/testdata/fuzz/FuzzIncrementalEquivalence/.
+func FuzzIncrementalEquivalence(f *testing.F) {
+	f.Add([]byte("\x02\x05incremental-mccatch-seed-corpus-0123456789"))
+	f.Add([]byte{1, 3, 0, 0, 10, 20, 30, 40, 250, 251, 252, 1, 2, 3, 4, 5, 6, 7, 8, 9, 200, 100})
+	f.Add([]byte("\x03\x01\xff\x00\xff\x00\xff\x00AAAABBBBCCCCDDDD\xf0\xf1\xf2"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		dim := 1 + int(data[0]%3)
+		memCap := 2 + int(data[1]%9)
+		builder := incrRtreeBuilder(1)
+		m := segment.NewMutable(metric.Euclidean, builder, memCap)
+		var handles []int64
+		rest := data[2:]
+		for i := 0; i+1 < len(rest) && m.Size() < 80; {
+			op := rest[i]
+			i++
+			switch {
+			case op >= 240 && len(handles) > 0: // delete
+				j := int(rest[i]) % len(handles)
+				i++
+				m.Delete(handles[j])
+				handles = append(handles[:j], handles[j+1:]...)
+			case op >= 236: // freeze
+				m.Freeze()
+			case op >= 232: // compact
+				m.Compact()
+			default: // insert, consuming dim coordinate bytes
+				p := make([]float64, dim)
+				for j := range p {
+					if i < len(rest) {
+						p[j] = 0.5 * float64(int8(rest[i]))
+						i++
+					}
+				}
+				handles = append(handles, m.Insert(p))
+			}
+		}
+		if m.Size() == 0 {
+			t.Skip()
+		}
+		checkIncrementalEquivalence(t, m, metric.Euclidean, builder, 1)
+		checkIncrementalEquivalence(t, m, metric.Euclidean, builder, 3)
+	})
+}

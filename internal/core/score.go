@@ -12,8 +12,11 @@ import (
 // scoreMCs runs Alg. 4: it finds each outlier's distance to its nearest
 // inlier via per-radius joins, derives every microcluster's Bridge's Length
 // ĝ(j), and computes the compression-based scores s_j (Def. 7) and the
-// per-point scores w_i. A tree over the inliers answers the bridge joins.
-func scoreMCs[T any](items []T, builder index.Builder[T], mcs [][]int, p Params, res *Result) {
+// per-point scores w_i. inlierIndex supplies the index over the inliers
+// that answers the bridge joins — a fresh build in one-shot mode, the
+// incremental source's masked view otherwise (scoreMCs consumes only
+// counts and firsts, never inlier ids, so any exact inlier index works).
+func scoreMCs[T any](items []T, inlierIndex func(inItems []T, isOutlier []bool) index.Index[T], mcs [][]int, p Params, res *Result) {
 	n := len(items)
 	radii := res.Radii
 	r1 := radii[0]
@@ -51,7 +54,7 @@ func scoreMCs[T any](items []T, builder index.Builder[T], mcs [][]int, p Params,
 				g[i] = radii[len(radii)-1]
 			}
 		} else {
-			inTree := builder(inItems)
+			inTree := inlierIndex(inItems, isOutlier)
 			firsts := join.BridgeRadii(inTree, outItems, radii, p.Workers)
 			for k, i := range outIdx {
 				e := firsts[k]

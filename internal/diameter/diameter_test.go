@@ -1,0 +1,131 @@
+package diameter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+// bruteDiameter is the reference: the true maximum pairwise distance.
+func bruteDiameter[T any](elems []T, d func(a, b T) float64) float64 {
+	best := 0.0
+	for i := range elems {
+		for j := i + 1; j < len(elems); j++ {
+			if dist := d(elems[i], elems[j]); dist > best {
+				best = dist
+			}
+		}
+	}
+	return best
+}
+
+// TestExactBelowThreshold pins that nondimensional sets at or below
+// ExactThreshold get the exact diameter.
+func TestExactBelowThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(ExactThreshold-1)
+		words := make([]string, n)
+		for i := range words {
+			b := make([]byte, 3+rng.Intn(8))
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(6))
+			}
+			words[i] = string(b)
+		}
+		d := func(a, b string) float64 { return metric.Levenshtein(a, b) }
+		if got, want := Estimate(words, d), bruteDiameter(words, d); got != want {
+			t.Fatalf("trial %d (n=%d): Estimate=%v, exact=%v", trial, n, got, want)
+		}
+	}
+}
+
+// TestVectorCornerMatchesBoxDiagonal pins the vector shortcut: under the
+// Euclidean metric the estimate is the bounding-box corner distance — the
+// value the kd/R-tree backends report from their root boxes.
+func TestVectorCornerMatchesBoxDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{2, 50, ExactThreshold + 100} {
+		pts := make([][]float64, n)
+		lo := []float64{math.Inf(1), math.Inf(1)}
+		hi := []float64{math.Inf(-1), math.Inf(-1)}
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 3}
+			for j, v := range pts[i] {
+				lo[j] = math.Min(lo[j], v)
+				hi[j] = math.Max(hi[j], v)
+			}
+		}
+		want := metric.Euclidean(lo, hi)
+		if got := Estimate(pts, metric.Euclidean); got != want {
+			t.Fatalf("n=%d: Estimate=%v, box corner %v", n, got, want)
+		}
+	}
+}
+
+// TestNonMonotoneVectorMetricFallsThrough feeds a vector metric whose
+// corner distance undershoots the sweep bound, so the estimate must come
+// from the generic paths, not the box.
+func TestNonMonotoneVectorMetricFallsThrough(t *testing.T) {
+	// d = Euclidean on the unit circle's angle: points on a circle, metric
+	// ignores radius. Box corner (lo, hi) is far from any data point, and
+	// this metric is minimized there.
+	weird := func(a, b []float64) float64 {
+		// Distance between angle components only; the box corner has an
+		// angle no data point has.
+		return math.Abs(math.Atan2(a[1], a[0]) - math.Atan2(b[1], b[0]))
+	}
+	pts := [][]float64{{1, 0}, {0, 1}, {-1, 0.1}, {0.5, -0.5}}
+	want := bruteDiameter(pts, weird)
+	if got := Estimate(pts, weird); got != want {
+		t.Fatalf("Estimate=%v, exact=%v", got, want)
+	}
+}
+
+// TestUniformDistanceLinearCost is the carried-bug regression: data whose
+// pairwise distances are all equal defeated the old branch-and-bound
+// (toward n²/2 evaluations); the estimator must now stay O(MaxSweeps·n).
+func TestUniformDistanceLinearCost(t *testing.T) {
+	n := 2000
+	elems := make([]int, n)
+	for i := range elems {
+		elems[i] = i
+	}
+	calls := 0
+	d := func(a, b int) float64 {
+		calls++
+		if a == b {
+			return 0
+		}
+		return 1
+	}
+	if got := Estimate(elems, d); got != 1 {
+		t.Fatalf("uniform-distance diameter = %v, want 1", got)
+	}
+	if budget := (MaxSweeps + 2) * n; calls > budget {
+		t.Fatalf("uniform-distance estimate took %d metric evaluations, budget %d (O(k·n))", calls, budget)
+	}
+}
+
+// TestIteratedSweepWithinHalf pins the estimator's guarantee above the
+// threshold: at least half the true diameter, never above it.
+func TestIteratedSweepWithinHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := ExactThreshold * 3
+	words := make([]string, n)
+	for i := range words {
+		b := make([]byte, 2+rng.Intn(12))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		words[i] = string(b)
+	}
+	d := func(a, b string) float64 { return metric.Levenshtein(a, b) }
+	exact := bruteDiameter(words, d)
+	got := Estimate(words, d)
+	if got > exact || got < exact/2 {
+		t.Fatalf("Estimate=%v outside [%v, %v]", got, exact/2, exact)
+	}
+}

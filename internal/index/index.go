@@ -28,6 +28,13 @@
 //     other backend.
 //   - QueryAppender lets callers pass a reusable scratch buffer to range
 //     queries, cutting per-probe garbage on the hot paths.
+//   - KNNer exposes k-nearest-neighbor search where a backend has one.
+//
+// Everything here is also satisfied by internal/segment's Mutable, the
+// LSM-style incremental layer: it merges every answer across a mutable
+// memtable and one or more frozen arena segments (counts add, per-query
+// minima take min, tombstones are subtracted at merge), so the pipeline
+// runs unchanged over a dataset under inserts and deletes.
 package index
 
 // Index answers range queries over an indexed dataset of element type T.
@@ -91,6 +98,18 @@ type CrossMultiCounter[T any] interface {
 	// probing each query radius by radius and identical for every
 	// worker count (≤ 0 means all cores, 1 means serial).
 	BridgeFirsts(queries []T, radii []float64, workers int) []int
+}
+
+// KNNer is the optional k-nearest-neighbor extension. The slim-tree and
+// kd-tree answer it natively (best-first traversals with ties settled by
+// insertion id); callers that need it on another backend — notably the
+// incremental layer's per-segment merge, which falls back to scanning a
+// segment's stored elements — must tolerate its absence.
+type KNNer[T any] interface {
+	// KNN returns the ids of the k indexed elements nearest to q together
+	// with their distances, sorted ascending by (distance, id); fewer than
+	// k when the index holds fewer elements.
+	KNN(q T, k int) (ids []int, dists []float64)
 }
 
 // QueryAppender is the optional allocation-saving extension: range queries

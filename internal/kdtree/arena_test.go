@@ -107,11 +107,30 @@ type refNode struct {
 	left, right *refNode
 }
 
-func refBuild(points [][]float64, idx []int, depth, dim int) *refNode {
+func refBuild(points [][]float64, idx []int, dim int) *refNode {
 	if len(idx) == 0 {
 		return nil
 	}
-	axis := depth % dim
+	// Same split rule as the arena build: the subset box's widest-spread
+	// axis, ties toward the lowest axis.
+	lo := append([]float64(nil), points[idx[0]]...)
+	hi := append([]float64(nil), points[idx[0]]...)
+	for _, i := range idx {
+		for j, v := range points[i] {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	axis := 0
+	for j := 1; j < dim; j++ {
+		if hi[j]-lo[j] > hi[axis]-lo[axis] {
+			axis = j
+		}
+	}
 	sort.Slice(idx, func(a, b int) bool {
 		pa, pb := points[idx[a]], points[idx[b]]
 		if pa[axis] != pb[axis] {
@@ -121,20 +140,9 @@ func refBuild(points [][]float64, idx []int, depth, dim int) *refNode {
 	})
 	mid := len(idx) / 2
 	n := &refNode{point: points[idx[mid]], id: idx[mid], axis: axis, size: len(idx)}
-	n.lo = append([]float64(nil), points[idx[0]]...)
-	n.hi = append([]float64(nil), points[idx[0]]...)
-	for _, i := range idx {
-		for j, v := range points[i] {
-			if v < n.lo[j] {
-				n.lo[j] = v
-			}
-			if v > n.hi[j] {
-				n.hi[j] = v
-			}
-		}
-	}
-	n.left = refBuild(points, idx[:mid], depth+1, dim)
-	n.right = refBuild(points, idx[mid+1:], depth+1, dim)
+	n.lo, n.hi = lo, hi
+	n.left = refBuild(points, idx[:mid], dim)
+	n.right = refBuild(points, idx[mid+1:], dim)
 	return n
 }
 
@@ -185,7 +193,7 @@ func TestArenaMatchesReferencePointerBuild(t *testing.T) {
 		for i := range idx {
 			idx[i] = i
 		}
-		ref := refBuild(pts, idx, 0, dim)
+		ref := refBuild(pts, idx, dim)
 
 		// Structure: a preorder walk of the reference must visit the arena
 		// slots 0, 1, 2, ... with identical fields.

@@ -89,28 +89,24 @@ func NewWithWorkers(points [][]float64, workers int) *Tree {
 	for i := range idx {
 		idx[i] = i
 	}
-	t.build(points, idx, 0, 0, noChild, parallel.NewLimiter(workers))
+	t.build(points, idx, 0, noChild, parallel.NewLimiter(workers))
 	return t
 }
 
 // build fills the preorder slot range [slot, slot+len(idx)) with the
-// subtree over points[idx] split at depth.
-func (t *Tree) build(points [][]float64, idx []int, slot int32, depth int, par int32, lim *parallel.Limiter) {
-	axis := depth % t.dim
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := points[idx[a]], points[idx[b]]
-		if pa[axis] != pb[axis] {
-			return pa[axis] < pb[axis]
-		}
-		return idx[a] < idx[b] // deterministic tiebreak
-	})
-	mid := len(idx) / 2
+// subtree over points[idx], split on the widest-spread axis of the
+// subset's bounding box.
+func (t *Tree) build(points [][]float64, idx []int, slot int32, par int32, lim *parallel.Limiter) {
+	// The subset's bounding box first: it is both the slot's stored box
+	// and the source of the split axis. Cycling axes by depth — the
+	// textbook rule the first arena build used — degrades past a few
+	// dimensions: with a ≈ 2^dim-point fanout per full cycle, an 8d tree
+	// over 10k points never completes one cycle, so most splits cut axes
+	// the data barely varies on and the boxes stop shrinking. Splitting
+	// the widest spread of the actual subset keeps every cut maximally
+	// discriminating at any dimensionality; ties break toward the lowest
+	// axis so the build stays deterministic.
 	base := int(slot) * t.dim
-	copy(t.pts[base:base+t.dim], points[idx[mid]])
-	t.ids[slot] = int32(idx[mid])
-	t.axis[slot] = int32(axis)
-	t.count[slot] = int32(len(idx))
-	t.parent[slot] = par
 	lo := t.lo[base : base+t.dim]
 	hi := t.hi[base : base+t.dim]
 	copy(lo, points[idx[0]])
@@ -125,6 +121,25 @@ func (t *Tree) build(points [][]float64, idx []int, slot int32, depth int, par i
 			}
 		}
 	}
+	axis := 0
+	for j := 1; j < t.dim; j++ {
+		if hi[j]-lo[j] > hi[axis]-lo[axis] {
+			axis = j
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa[axis] != pb[axis] {
+			return pa[axis] < pb[axis]
+		}
+		return idx[a] < idx[b] // deterministic tiebreak
+	})
+	mid := len(idx) / 2
+	copy(t.pts[base:base+t.dim], points[idx[mid]])
+	t.ids[slot] = int32(idx[mid])
+	t.axis[slot] = int32(axis)
+	t.count[slot] = int32(len(idx))
+	t.parent[slot] = par
 	leftIdx, rightIdx := idx[:mid], idx[mid+1:]
 	t.left[slot], t.right[slot] = noChild, noChild
 	lslot := slot + 1
@@ -136,18 +151,18 @@ func (t *Tree) build(points [][]float64, idx []int, slot int32, depth int, par i
 		t.right[slot] = rslot
 	}
 	if len(idx) >= parallelBuildMin && len(leftIdx) > 0 {
-		wait := lim.Go(func() { t.build(points, leftIdx, lslot, depth+1, slot, lim) })
+		wait := lim.Go(func() { t.build(points, leftIdx, lslot, slot, lim) })
 		if len(rightIdx) > 0 {
-			t.build(points, rightIdx, rslot, depth+1, slot, lim)
+			t.build(points, rightIdx, rslot, slot, lim)
 		}
 		wait()
 		return
 	}
 	if len(leftIdx) > 0 {
-		t.build(points, leftIdx, lslot, depth+1, slot, lim)
+		t.build(points, leftIdx, lslot, slot, lim)
 	}
 	if len(rightIdx) > 0 {
-		t.build(points, rightIdx, rslot, depth+1, slot, lim)
+		t.build(points, rightIdx, rslot, slot, lim)
 	}
 }
 

@@ -1,0 +1,336 @@
+package segment
+
+import (
+	"mccatch/internal/diameter"
+	"mccatch/internal/index"
+	"mccatch/internal/parallel"
+)
+
+// Compile-time proof that the incremental layer satisfies the base Index
+// contract and every optional extension the pipeline's joins dispatch on,
+// so a Mutable drops into core's pipeline wherever a frozen tree does.
+var (
+	_ index.Index[string]              = (*Mutable[string])(nil)
+	_ index.MultiCounter[string]       = (*Mutable[string])(nil)
+	_ index.MultiCountAppender[string] = (*Mutable[string])(nil)
+	_ index.SelfMultiCounter           = (*Mutable[string])(nil)
+	_ index.CrossMultiCounter[string]  = (*Mutable[string])(nil)
+	_ index.QueryAppender[string]      = (*Mutable[string])(nil)
+	_ index.KNNer[string]              = (*Mutable[string])(nil)
+
+	_ index.Index[string]             = (*View[string])(nil)
+	_ index.CrossMultiCounter[string] = (*View[string])(nil)
+)
+
+// CountAllMulti answers the Step II self-join over the LIVE set:
+// counts[e][g] = live elements within radii[e] of the element with dense
+// global id g (inclusive, so ≥ 1). Within-segment pairs of a tombstone-
+// free segment come from the segment's own dual-tree self-join — on a
+// compacted Mutable that is the WHOLE answer, so steady state pays no
+// merge penalty; everything else (cross-segment pairs, segments with
+// tombstones, the memtable) is resolved by exact per-element batched
+// probes with tombstone corrections. Exact counts merge by addition, so
+// the matrix is identical to a fresh build's for every worker count.
+func (m *Mutable[T]) CountAllMulti(radii []float64, workers int) [][]int {
+	m.refreshIDs()
+	n, a := m.live, len(radii)
+	counts := make([][]int, a)
+	backing := make([]int, a*n)
+	for e := range counts {
+		counts[e] = backing[e*n : (e+1)*n : (e+1)*n]
+	}
+	if n == 0 || a == 0 {
+		return counts
+	}
+
+	// Within-segment pairs via each clean segment's native self-join.
+	probeSelf := make([]bool, len(m.segs))
+	for si, s := range m.segs {
+		if s.liveCount() == 0 {
+			continue
+		}
+		smc, ok := s.tree.(index.SelfMultiCounter)
+		if s.deadN > 0 || !ok {
+			probeSelf[si] = true // resolved in the per-element pass below
+			continue
+		}
+		sub := smc.CountAllMulti(radii, workers)
+		for e := 0; e < a; e++ {
+			row, srow := counts[e], sub[e]
+			for k, g := range s.global {
+				row[g] += srow[k]
+			}
+		}
+	}
+
+	// Per-element pass: every live element probes the OTHER segments (and
+	// its own when that segment could not self-join), corrects for
+	// tombstones via the dead-element trees, and probes the memtable tree
+	// (which counts the element itself when it lives there — d(x,x) = 0).
+	// Each global id writes only its own column, so the fan-out is
+	// race-free and order-independent. Trees are materialized before the
+	// parallel section so the lazy builds cannot race.
+	memTree := m.memIndex()
+	deadTrees := make([]index.Index[T], len(m.segs))
+	for si, s := range m.segs {
+		deadTrees[si] = m.deadIndex(s)
+	}
+	rmax := radii[a-1]
+	parallel.For(workers, n, func(g int) {
+		x := m.elemAt(g)
+		own := m.refs[g].seg
+		bufp := countScratch.Get().(*[]int)
+		buf := *bufp
+		add := func(t index.Index[T], sign int) {
+			buf = index.RangeCountMultiAppend(t, x, radii, buf[:0])
+			for e := 0; e < a; e++ {
+				counts[e][g] += sign * buf[e]
+			}
+		}
+		for sj, s := range m.segs {
+			if s.liveCount() == 0 || (sj == own && !probeSelf[sj]) {
+				continue
+			}
+			if s.fenced(m.d(x, s.pivot), rmax) {
+				continue
+			}
+			add(s.tree, 1)
+			if deadTrees[sj] != nil {
+				add(deadTrees[sj], -1)
+			}
+		}
+		if memTree != nil {
+			add(memTree, 1)
+		}
+		*bufp = buf
+		countScratch.Put(bufp)
+	})
+	return counts
+}
+
+// BridgeFirsts answers Step IV's bridge search against the live set: for
+// each query, the index of the first radius with at least one live
+// element within it, or len(radii) when none. Per-segment firsts merge by
+// MINIMUM: clean segments answer with their native cross-set dual join,
+// segments with tombstones fall back to corrected per-query batched
+// probes, and the memtable contributes each query's nearest entry.
+func (m *Mutable[T]) BridgeFirsts(queries []T, radii []float64, workers int) []int {
+	return m.bridgeFirsts(queries, radii, workers, nil, nil)
+}
+
+// bridgeFirsts is BridgeFirsts with an optional extra exclusion mask per
+// segment (and for the memtable) — the masked inlier view's temporary
+// tombstones. Masked elements are excluded exactly like dead ones.
+func (m *Mutable[T]) bridgeFirsts(queries []T, radii []float64, workers int, segMask [][]bool, memMask []bool) []int {
+	m.refreshIDs()
+	a := len(radii)
+	firsts := make([]int, len(queries))
+	for i := range firsts {
+		firsts[i] = a
+	}
+	if a == 0 || len(queries) == 0 {
+		return firsts
+	}
+	rmax := radii[a-1]
+	for si, s := range m.segs {
+		if s.liveCount() == 0 {
+			continue
+		}
+		var mask []bool
+		if segMask != nil {
+			mask = segMask[si]
+		}
+		if s.deadN == 0 && mask == nil {
+			if cmc, ok := s.tree.(index.CrossMultiCounter[T]); ok {
+				for i, f := range cmc.BridgeFirsts(queries, radii, workers) {
+					if f < firsts[i] {
+						firsts[i] = f
+					}
+				}
+				continue
+			}
+		}
+		// Excluded elements of this segment — tombstones plus the mask —
+		// indexed with the same backend as the segment itself, so the
+		// subtraction resolves boundary pairs with identical arithmetic.
+		var exclTree index.Index[T]
+		if mask == nil {
+			exclTree = m.deadIndex(s)
+		} else {
+			excl := append(append([]T(nil), s.deadElems...), maskedElems(s, mask)...)
+			if len(excl) == len(s.elems) {
+				continue // every element excluded: nothing to bridge to
+			}
+			if len(excl) > 0 {
+				exclTree = m.build(excl)
+			}
+		}
+		parallel.For(workers, len(queries), func(i int) {
+			q := queries[i]
+			if s.fenced(m.d(q, s.pivot), rmax) {
+				return
+			}
+			bufp := countScratch.Get().(*[]int)
+			buf := index.RangeCountMultiAppend(s.tree, q, radii, (*bufp)[:0])
+			if exclTree != nil {
+				buf = index.RangeCountMultiAppend(exclTree, q, radii, buf)
+			}
+			for e := 0; e < a && e < firsts[i]; e++ {
+				c := buf[e]
+				if exclTree != nil {
+					c -= buf[a+e]
+				}
+				if c > 0 {
+					firsts[i] = e
+					break
+				}
+			}
+			*bufp = buf
+			countScratch.Put(bufp)
+		})
+	}
+	if len(m.mem) > 0 {
+		mt := m.memIndex()
+		if memMask != nil {
+			var kept []T
+			for j, me := range m.mem {
+				if !memMask[j] {
+					kept = append(kept, me.elem)
+				}
+			}
+			mt = nil
+			if len(kept) > 0 {
+				mt = m.build(kept)
+			}
+		}
+		if mt != nil {
+			parallel.For(workers, len(queries), func(i int) {
+				bufp := countScratch.Get().(*[]int)
+				cnt := index.RangeCountMultiAppend(mt, queries[i], radii, (*bufp)[:0])
+				for e := 0; e < a && e < firsts[i]; e++ {
+					if cnt[e] > 0 {
+						firsts[i] = e
+						break
+					}
+				}
+				*bufp = cnt
+				countScratch.Put(bufp)
+			})
+		}
+	}
+	return firsts
+}
+
+// maskedElems collects the live elements of s selected by mask.
+func maskedElems[T any](s *seg[T], mask []bool) []T {
+	var out []T
+	for k, on := range mask {
+		if on && !s.dead[k] {
+			out = append(out, s.elems[k])
+		}
+	}
+	return out
+}
+
+// View is a read-only subset of a Mutable: the live elements minus an
+// excluded set, addressed by DENSE VIEW IDS (position among the kept
+// elements in global id order — exactly the ids a fresh index built over
+// the kept subset would assign). Step IV uses it as the inlier index: the
+// outliers become temporary tombstones, so the bridge joins run over the
+// frozen arenas in place instead of bulk-building an inlier copy.
+type View[T any] struct {
+	m       *Mutable[T]
+	segMask [][]bool // per segment by local id; nil row = none masked
+	memMask []bool   // nil = none masked
+	masked  []T      // all excluded elements (for count corrections)
+	// maskedTree indexes masked with the Mutable's own backend, so count
+	// corrections round boundary pairs exactly like the counts they fix.
+	maskedTree index.Index[T]
+	viewID     []int // dense global id → view id, -1 when excluded
+	size       int
+}
+
+// InlierView returns the subset view that excludes every global id with
+// excluded[g] true. The mask must be indexed by dense global id (length
+// Size()); a nil mask keeps everything.
+func (m *Mutable[T]) InlierView(excluded []bool) index.Index[T] {
+	m.refreshIDs()
+	v := &View[T]{m: m, viewID: make([]int, m.live)}
+	v.segMask = make([][]bool, len(m.segs))
+	for g := 0; g < m.live; g++ {
+		l := m.refs[g]
+		if excluded != nil && excluded[g] {
+			v.viewID[g] = -1
+			if l.seg < 0 {
+				if v.memMask == nil {
+					v.memMask = make([]bool, len(m.mem))
+				}
+				v.memMask[l.local] = true
+				v.masked = append(v.masked, m.mem[l.local].elem)
+			} else {
+				if v.segMask[l.seg] == nil {
+					v.segMask[l.seg] = make([]bool, len(m.segs[l.seg].elems))
+				}
+				v.segMask[l.seg][l.local] = true
+				v.masked = append(v.masked, m.segs[l.seg].elems[l.local])
+			}
+			continue
+		}
+		v.viewID[g] = v.size
+		v.size++
+	}
+	if len(v.masked) > 0 {
+		v.maskedTree = m.build(v.masked)
+	}
+	return v
+}
+
+// Size returns the number of kept elements.
+func (v *View[T]) Size() int { return v.size }
+
+// RangeCount counts the kept elements within r of q: the full merged
+// count minus the excluded elements within r.
+func (v *View[T]) RangeCount(q T, r float64) int {
+	c := v.m.RangeCount(q, r)
+	if v.maskedTree != nil {
+		c -= v.maskedTree.RangeCount(q, r)
+	}
+	return c
+}
+
+// RangeQuery returns the view ids of kept elements within r of q, sorted
+// ascending (viewID is monotone in global id, so the merged order holds).
+func (v *View[T]) RangeQuery(q T, r float64) []int {
+	full := v.m.RangeQuery(q, r)
+	out := full[:0]
+	for _, g := range full {
+		if vid := v.viewID[g]; vid >= 0 {
+			out = append(out, vid)
+		}
+	}
+	return out
+}
+
+// DiameterEstimate estimates the kept subset's diameter with the shared
+// structure-independent estimator.
+func (v *View[T]) DiameterEstimate() float64 {
+	if v.size < 2 {
+		return 0
+	}
+	kept := make([]T, 0, v.size)
+	for g, vid := range v.viewID {
+		if vid >= 0 {
+			kept = append(kept, v.m.elemAt(g))
+		}
+	}
+	return diameter.Estimate(kept, v.m.d)
+}
+
+// BridgeFirsts answers the bridge search against the KEPT subset only:
+// the underlying merge with the view's exclusions applied as temporary
+// tombstones. Results are identical to bulk-building a fresh index over
+// the kept elements and asking it — the pipeline's Step IV equivalence
+// tests pin exactly that.
+func (v *View[T]) BridgeFirsts(queries []T, radii []float64, workers int) []int {
+	return v.m.bridgeFirsts(queries, radii, workers, v.segMask, v.memMask)
+}

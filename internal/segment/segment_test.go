@@ -1,0 +1,419 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mccatch/internal/index"
+	"mccatch/internal/metric"
+	"mccatch/internal/rtree"
+	"mccatch/internal/slimtree"
+)
+
+func rtreeBuilder(sub [][]float64) index.Index[[]float64] { return rtree.New(sub, 0) }
+
+func slimBuilder(sub [][]float64) index.Index[[]float64] {
+	return slimtree.NewBulk(metric.Euclidean, 0, sub)
+}
+
+func randPoint(rng *rand.Rand, dim int) []float64 {
+	p := make([]float64, dim)
+	for j := range p {
+		p[j] = math.Round(rng.Float64()*40-20) / 2 // quantized, exact
+	}
+	return p
+}
+
+// checkAgainstOracle compares every merged query of m against brute force
+// over the live set and against a fresh bulk build (which defines the
+// dense ids m must reproduce).
+func checkAgainstOracle(t *testing.T, m *Mutable[[]float64], build index.Builder[[]float64], radii []float64, queries [][]float64) {
+	t.Helper()
+	live := m.Live()
+	if m.Size() != len(live) {
+		t.Fatalf("Size = %d, len(Live) = %d", m.Size(), len(live))
+	}
+	a := len(radii)
+
+	for qi, q := range queries {
+		// Brute-force multi-radius counts.
+		want := make([]int, a)
+		for _, x := range live {
+			for e := sort.SearchFloat64s(radii, metric.Euclidean(q, x)); e < a; e++ {
+				want[e]++
+			}
+		}
+		got := m.RangeCountMulti(q, radii)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: RangeCountMulti = %v, brute force = %v", qi, got, want)
+		}
+		for e, r := range radii {
+			if c := m.RangeCount(q, r); c != want[e] {
+				t.Fatalf("query %d radius %v: RangeCount = %d, brute force = %d", qi, r, c, want[e])
+			}
+		}
+
+		// Range query ids: ascending dense ids of live elements within r.
+		r := radii[a/2]
+		var wantIDs []int
+		for g, x := range live {
+			if metric.Euclidean(q, x) <= r {
+				wantIDs = append(wantIDs, g)
+			}
+		}
+		gotIDs := m.RangeQuery(q, r)
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("query %d: RangeQuery ids = %v, brute force = %v", qi, gotIDs, wantIDs)
+		}
+		for i := range wantIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("query %d: RangeQuery ids = %v, brute force = %v", qi, gotIDs, wantIDs)
+			}
+		}
+
+		// KNN: top-k by (distance, id).
+		k := 3
+		type cand struct {
+			id int
+			d  float64
+		}
+		cands := make([]cand, len(live))
+		for g, x := range live {
+			cands[g] = cand{id: g, d: metric.Euclidean(q, x)}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].id < cands[j].id
+		})
+		ids, dists := m.KNN(q, k)
+		wk := k
+		if wk > len(cands) {
+			wk = len(cands)
+		}
+		if len(ids) != wk {
+			t.Fatalf("query %d: KNN returned %d ids, want %d", qi, len(ids), wk)
+		}
+		for i := 0; i < wk; i++ {
+			if ids[i] != cands[i].id || dists[i] != cands[i].d {
+				t.Fatalf("query %d: KNN[%d] = (%d, %v), brute force = (%d, %v)",
+					qi, i, ids[i], dists[i], cands[i].id, cands[i].d)
+			}
+		}
+	}
+
+	// Self-join matrix vs brute force, at several worker counts.
+	n := len(live)
+	wantAll := make([][]int, a)
+	for e := range wantAll {
+		wantAll[e] = make([]int, n)
+	}
+	for g, x := range live {
+		for _, y := range live {
+			for e := sort.SearchFloat64s(radii, metric.Euclidean(x, y)); e < a; e++ {
+				wantAll[e][g]++
+			}
+		}
+	}
+	for _, workers := range []int{1, 3} {
+		gotAll := m.CountAllMulti(radii, workers)
+		if !reflect.DeepEqual(gotAll, wantAll) {
+			t.Fatalf("CountAllMulti(workers=%d) = %v, brute force = %v", workers, gotAll, wantAll)
+		}
+	}
+
+	// Bridge firsts vs brute force.
+	wantFirsts := make([]int, len(queries))
+	for i, q := range queries {
+		nearest := math.Inf(1)
+		for _, x := range live {
+			if d := metric.Euclidean(q, x); d < nearest {
+				nearest = d
+			}
+		}
+		wantFirsts[i] = sort.SearchFloat64s(radii, nearest)
+	}
+	for _, workers := range []int{1, 3} {
+		gotFirsts := m.BridgeFirsts(queries, radii, workers)
+		if !reflect.DeepEqual(gotFirsts, wantFirsts) {
+			t.Fatalf("BridgeFirsts(workers=%d) = %v, brute force = %v", workers, gotFirsts, wantFirsts)
+		}
+	}
+
+	// Diameter matches the fresh build's (radii schedules must agree).
+	if n > 0 {
+		fresh := build(live)
+		if g, w := m.DiameterEstimate(), fresh.DiameterEstimate(); g != w {
+			t.Fatalf("DiameterEstimate = %v, fresh build = %v", g, w)
+		}
+	}
+}
+
+// TestMergedQueriesMatchBruteForce drives a random insert/delete script
+// through a small-memtable Mutable (forcing several frozen segments,
+// tombstones, and a live memtable) and checks every merged query at
+// several checkpoints against brute force over the live set.
+func TestMergedQueriesMatchBruteForce(t *testing.T) {
+	for name, build := range map[string]index.Builder[[]float64]{
+		"rtree": rtreeBuilder, "slimtree": slimBuilder,
+	} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			m := NewMutable(metric.Euclidean, build, 8)
+			radii := []float64{0.5, 1, 2, 4, 8, 16, 32}
+			queries := make([][]float64, 6)
+			for i := range queries {
+				queries[i] = randPoint(rng, 2)
+			}
+			var handles []int64
+			for step := 0; step < 120; step++ {
+				if len(handles) > 0 && rng.Intn(4) == 0 {
+					j := rng.Intn(len(handles))
+					if !m.Delete(handles[j]) {
+						t.Fatalf("step %d: Delete(%d) = false for a live handle", step, handles[j])
+					}
+					handles = append(handles[:j], handles[j+1:]...)
+				} else {
+					handles = append(handles, m.Insert(randPoint(rng, 2)))
+				}
+				if step%30 == 29 {
+					checkAgainstOracle(t, m, build, radii, queries)
+				}
+			}
+			if m.Segments() < 2 {
+				t.Fatalf("script froze only %d segments; want ≥ 2 for a real merge", m.Segments())
+			}
+			checkAgainstOracle(t, m, build, radii, queries)
+		})
+	}
+}
+
+// TestEmptyMemtableAfterFreeze pins that queries are answered entirely
+// from frozen segments when the memtable is empty.
+func TestEmptyMemtableAfterFreeze(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMutable(metric.Euclidean, rtreeBuilder, 100)
+	for i := 0; i < 20; i++ {
+		m.Insert(randPoint(rng, 2))
+	}
+	m.Freeze()
+	if m.MemtableLen() != 0 || m.Segments() != 1 {
+		t.Fatalf("after Freeze: memtable = %d, segments = %d", m.MemtableLen(), m.Segments())
+	}
+	checkAgainstOracle(t, m, rtreeBuilder, []float64{1, 4, 16}, [][]float64{{0, 0}, {9, -9}})
+	m.Freeze() // no-op on empty memtable
+	if m.Segments() != 1 {
+		t.Fatalf("Freeze of empty memtable created a segment")
+	}
+}
+
+// TestAllPointsDeletedSegment deletes every element of one frozen segment
+// and checks the segment contributes nothing (and is skipped outright).
+func TestAllPointsDeletedSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewMutable(metric.Euclidean, rtreeBuilder, 10)
+	var first10 []int64
+	for i := 0; i < 10; i++ {
+		first10 = append(first10, m.Insert(randPoint(rng, 2)))
+	}
+	if m.Segments() != 1 {
+		t.Fatalf("expected the cap-10 memtable to freeze, segments = %d", m.Segments())
+	}
+	for i := 0; i < 15; i++ {
+		m.Insert(randPoint(rng, 2))
+	}
+	for _, h := range first10 {
+		if !m.Delete(h) {
+			t.Fatalf("Delete(%d) = false for a live frozen element", h)
+		}
+	}
+	if m.Tombstones() != 10 {
+		t.Fatalf("Tombstones = %d, want 10", m.Tombstones())
+	}
+	checkAgainstOracle(t, m, rtreeBuilder, []float64{1, 4, 16, 64}, [][]float64{{0, 0}, {-5, 5}})
+
+	// Deleting everything leaves a working empty index.
+	m2 := NewMutable(metric.Euclidean, rtreeBuilder, 4)
+	var hs []int64
+	for i := 0; i < 6; i++ {
+		hs = append(hs, m2.Insert(randPoint(rng, 2)))
+	}
+	for _, h := range hs {
+		m2.Delete(h)
+	}
+	if m2.Size() != 0 {
+		t.Fatalf("Size after deleting everything = %d", m2.Size())
+	}
+	if got := m2.RangeCount([]float64{0, 0}, 100); got != 0 {
+		t.Fatalf("RangeCount on empty live set = %d", got)
+	}
+	if ids, _ := m2.KNN([]float64{0, 0}, 3); len(ids) != 0 {
+		t.Fatalf("KNN on empty live set returned %v", ids)
+	}
+	if d := m2.DiameterEstimate(); d != 0 {
+		t.Fatalf("DiameterEstimate on empty live set = %v", d)
+	}
+	m2.Compact()
+	if m2.Segments() != 0 || m2.Size() != 0 {
+		t.Fatalf("Compact of empty live set: segments = %d size = %d", m2.Segments(), m2.Size())
+	}
+}
+
+// TestDeleteThenReinsert pins handle semantics: a deleted handle stays
+// dead (double Delete = false), and re-inserting the same element gets a
+// fresh handle and full query visibility.
+func TestDeleteThenReinsert(t *testing.T) {
+	m := NewMutable(metric.Euclidean, rtreeBuilder, 4)
+	p := []float64{1, 2}
+	h1 := m.Insert(p)
+	for i := 0; i < 6; i++ { // freeze h1's segment
+		m.Insert([]float64{float64(10 + i), 0})
+	}
+	if !m.Delete(h1) {
+		t.Fatal("Delete(h1) = false")
+	}
+	if m.Delete(h1) {
+		t.Fatal("double Delete(h1) = true")
+	}
+	if m.Delete(999) {
+		t.Fatal("Delete of unknown handle = true")
+	}
+	if got := m.RangeCount(p, 0.1); got != 0 {
+		t.Fatalf("deleted element still counted: RangeCount = %d", got)
+	}
+	h2 := m.Insert(p)
+	if h2 == h1 {
+		t.Fatalf("reinsert returned the old handle %d", h1)
+	}
+	if got := m.RangeCount(p, 0.1); got != 1 {
+		t.Fatalf("reinserted element not counted: RangeCount = %d", got)
+	}
+	if !m.Delete(h2) {
+		t.Fatal("Delete(h2) = false")
+	}
+	if got := m.RangeCount(p, 0.1); got != 0 {
+		t.Fatalf("after deleting the reinsert: RangeCount = %d", got)
+	}
+}
+
+// TestQueryStraddlingCompaction pins that every query answers identically
+// before and after Compact (same live set, same dense ids).
+func TestQueryStraddlingCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := NewMutable(metric.Euclidean, rtreeBuilder, 6)
+	var handles []int64
+	for i := 0; i < 40; i++ {
+		handles = append(handles, m.Insert(randPoint(rng, 2)))
+	}
+	for i := 0; i < 10; i++ {
+		j := rng.Intn(len(handles))
+		m.Delete(handles[j])
+		handles = append(handles[:j], handles[j+1:]...)
+	}
+	radii := []float64{0.5, 2, 8, 32}
+	queries := [][]float64{{0, 0}, {7, -3}, {-11, 4}}
+
+	liveBefore := m.Live()
+	counts := make([][]int, len(queries))
+	for i, q := range queries {
+		counts[i] = m.RangeCountMulti(q, radii)
+	}
+	all := m.CountAllMulti(radii, 2)
+	firsts := m.BridgeFirsts(queries, radii, 2)
+	diam := m.DiameterEstimate()
+
+	m.Compact()
+	if m.Segments() != 1 || m.Tombstones() != 0 || m.MemtableLen() != 0 {
+		t.Fatalf("after Compact: segments=%d tombstones=%d memtable=%d",
+			m.Segments(), m.Tombstones(), m.MemtableLen())
+	}
+	if !reflect.DeepEqual(m.Live(), liveBefore) {
+		t.Fatal("Compact changed the live set or its order")
+	}
+	for i, q := range queries {
+		if got := m.RangeCountMulti(q, radii); !reflect.DeepEqual(got, counts[i]) {
+			t.Fatalf("query %d: counts changed across Compact: %v vs %v", i, got, counts[i])
+		}
+	}
+	if got := m.CountAllMulti(radii, 2); !reflect.DeepEqual(got, all) {
+		t.Fatal("CountAllMulti changed across Compact")
+	}
+	if got := m.BridgeFirsts(queries, radii, 2); !reflect.DeepEqual(got, firsts) {
+		t.Fatal("BridgeFirsts changed across Compact")
+	}
+	if got := m.DiameterEstimate(); got != diam {
+		t.Fatalf("DiameterEstimate changed across Compact: %v vs %v", got, diam)
+	}
+	// Handles survive compaction.
+	h := handles[0]
+	if !m.Delete(h) {
+		t.Fatal("Delete of a pre-compaction handle failed after Compact")
+	}
+}
+
+// TestInlierViewMatchesFreshBuild pins the Step IV contract: the masked
+// view answers exactly like a fresh index bulk-built over the kept
+// subset, with the same dense ids.
+func TestInlierViewMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	m := NewMutable(metric.Euclidean, rtreeBuilder, 7)
+	var handles []int64
+	for i := 0; i < 50; i++ {
+		handles = append(handles, m.Insert(randPoint(rng, 2)))
+	}
+	for i := 0; i < 8; i++ {
+		j := rng.Intn(len(handles))
+		m.Delete(handles[j])
+		handles = append(handles[:j], handles[j+1:]...)
+	}
+	live := m.Live()
+	excluded := make([]bool, len(live))
+	var kept [][]float64
+	for g := range live {
+		if rng.Intn(3) == 0 {
+			excluded[g] = true
+		} else {
+			kept = append(kept, live[g])
+		}
+	}
+	view := m.InlierView(excluded)
+	fresh := rtreeBuilder(kept)
+	if view.Size() != fresh.Size() {
+		t.Fatalf("view Size = %d, fresh = %d", view.Size(), fresh.Size())
+	}
+	radii := []float64{0.5, 2, 8, 32}
+	queries := [][]float64{{0, 0}, {6, 6}, {-9, 2}, {3, -8}}
+	for qi, q := range queries {
+		for _, r := range radii {
+			if g, w := view.RangeCount(q, r), fresh.RangeCount(q, r); g != w {
+				t.Fatalf("query %d r=%v: view RangeCount = %d, fresh = %d", qi, r, g, w)
+			}
+		}
+		gotIDs := view.RangeQuery(q, radii[2])
+		wantIDs := fresh.RangeQuery(q, radii[2])
+		sort.Ints(wantIDs)
+		if !reflect.DeepEqual(append([]int{}, gotIDs...), append([]int{}, wantIDs...)) {
+			t.Fatalf("query %d: view RangeQuery = %v, fresh = %v", qi, gotIDs, wantIDs)
+		}
+	}
+	vf := view.(*View[[]float64]).BridgeFirsts(queries, radii, 2)
+	ff := fresh.(index.CrossMultiCounter[[]float64]).BridgeFirsts(queries, radii, 2)
+	if !reflect.DeepEqual(vf, ff) {
+		t.Fatalf("view BridgeFirsts = %v, fresh = %v", vf, ff)
+	}
+	if g, w := view.DiameterEstimate(), fresh.DiameterEstimate(); g != w {
+		t.Fatalf("view DiameterEstimate = %v, fresh = %v", g, w)
+	}
+	// A nil mask keeps everything: the view must agree with the Mutable.
+	full := m.InlierView(nil)
+	if full.Size() != m.Size() {
+		t.Fatalf("nil-mask view Size = %d, want %d", full.Size(), m.Size())
+	}
+	if g, w := full.RangeCount(queries[0], 8), m.RangeCount(queries[0], 8); g != w {
+		t.Fatalf("nil-mask view RangeCount = %d, Mutable = %d", g, w)
+	}
+}

@@ -119,7 +119,7 @@ func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 	}
 	in, out := c.t, c.out
 	d := c.d(out.ePivot[qe], in.ePivot[ie])
-	sum := out.eRadius[qe] + in.eRadius[ie]
+	sum := out.eRD[2*qe] + in.eRD[2*ie]
 	lo, nh := dualjoin.Window(c.radii, d-sum, d+sum, lo, hi)
 	if nh < hi {
 		c.credit(qe, nh) // every pair lies within radii[nh]
@@ -133,22 +133,23 @@ func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 	// with the stored parent distances: |d - dPar| bounds the child pivot
 	// distance from below and d + dPar from above — the upper bound can
 	// settle a child block without a metric evaluation.
-	if out.eChild[qe] < 0 || (in.eChild[ie] >= 0 && in.eRadius[ie] > out.eRadius[qe]) {
+	if out.eChild[qe] < 0 || (in.eChild[ie] >= 0 && in.eRD[2*ie] > out.eRD[2*qe]) {
 		// Index side descends: qe's queries accumulate bounds as the
 		// children resolve, so the window re-narrows between children.
 		// (A leaf×leaf pair never reaches here: its Window above settles
 		// with an empty ambiguous range, since both covering radii are 0.)
 		child := in.eChild[ie]
-		qrad := out.eRadius[qe]
+		qrad := out.eRD[2*qe]
 		for ce := in.entFirst[child]; ce < in.entLast[child]; ce++ {
 			nh = c.bound(qe, nh)
 			if lo >= nh {
 				return
 			}
-			csum := in.eRadius[ce] + qrad
-			clb := d - in.eDPar[ce]
-			if clb < in.eDPar[ce]-d {
-				clb = in.eDPar[ce] - d
+			csum := in.eRD[2*ce] + qrad
+			dp := in.eRD[2*ce+1]
+			clb := d - dp
+			if clb < dp-d {
+				clb = dp - d
 			}
 			clb -= csum
 			b := lo
@@ -158,7 +159,7 @@ func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 			if b == nh {
 				continue
 			}
-			if d+in.eDPar[ce]+csum <= radii[b] {
+			if d+dp+csum <= radii[b] {
 				c.credit(qe, b)
 				continue
 			}
@@ -167,12 +168,13 @@ func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 		return
 	}
 	child := out.eChild[qe]
-	irad := in.eRadius[ie]
+	irad := in.eRD[2*ie]
 	for ce := out.entFirst[child]; ce < out.entLast[child]; ce++ {
-		csum := out.eRadius[ce] + irad
-		clb := d - out.eDPar[ce]
-		if clb < out.eDPar[ce]-d {
-			clb = out.eDPar[ce] - d
+		csum := out.eRD[2*ce] + irad
+		dp := out.eRD[2*ce+1]
+		clb := d - dp
+		if clb < dp-d {
+			clb = dp - d
 		}
 		clb -= csum
 		b := lo
@@ -182,7 +184,7 @@ func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 		if b == nh {
 			continue
 		}
-		if d+out.eDPar[ce]+csum <= radii[b] {
+		if d+dp+csum <= radii[b] {
 			c.credit(ce, b)
 			continue
 		}

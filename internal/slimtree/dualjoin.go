@@ -108,9 +108,9 @@ func (c *dualCtx[T]) symVisit(ae, be int32, lo, hi int) {
 	// loads with calls (metric, credits, recursion), and local slice
 	// headers stay in registers across them where repeated field loads
 	// off t would not.
-	eRadius, eDPar, eCount, eChild := t.eRadius, t.eDPar, t.eCount, t.eChild
+	eRD, eCount, eChild := t.eRD, t.eCount, t.eChild
 	d := c.d(t.ePivot[ae], t.ePivot[be])
-	sum := eRadius[ae] + eRadius[be]
+	sum := eRD[2*ae] + eRD[2*be]
 	radii := c.radii
 	// Any pair of elements under (ae, be) lies within [d-sum, d+sum].
 	lb := d - sum
@@ -136,16 +136,16 @@ func (c *dualCtx[T]) symVisit(ae, be int32, lo, hi int) {
 	// d + dPar from above — the upper bound can settle a child pair
 	// wholesale without a metric evaluation.
 	down, other := ae, be
-	if eChild[ae] < 0 || (eChild[be] >= 0 && eRadius[be] > eRadius[ae]) {
+	if eChild[ae] < 0 || (eChild[be] >= 0 && eRD[2*be] > eRD[2*ae]) {
 		down, other = be, ae
 	}
 	child := eChild[down]
 	otherCount := int(eCount[other])
-	otherRadius := eRadius[other]
+	otherRadius := eRD[2*other]
 	first, last := t.entFirst[child], t.entLast[child]
 	for ce := first; ce < last; ce++ {
-		csum := eRadius[ce] + otherRadius
-		dp := eDPar[ce]
+		csum := eRD[2*ce] + otherRadius
+		dp := eRD[2*ce+1]
 		clb := d - dp
 		if clb < dp-d {
 			clb = dp - d
@@ -188,7 +188,7 @@ func (c *dualCtx[T]) selfVisit(ae int32, lo, hi int) {
 	}
 	radii := c.radii
 	nh := lo
-	ub := 2 * t.eRadius[ae]
+	ub := 2 * t.eRD[2*ae]
 	for nh < hi && ub > radii[nh] {
 		nh++
 	}
@@ -198,18 +198,18 @@ func (c *dualCtx[T]) selfVisit(ae int32, lo, hi int) {
 	if lo >= nh {
 		return
 	}
-	eRadius, eDPar, eCount := t.eRadius, t.eDPar, t.eCount
+	eRD, eCount := t.eRD, t.eCount
 	child := t.eChild[ae]
 	first, last := t.entFirst[child], t.entLast[child]
 	for i := first; i < last; i++ {
 		c.selfVisit(i, lo, nh)
-		di := eDPar[i]
+		di := eRD[2*i+1]
 		for j := i + 1; j < last; j++ {
 			// Siblings share a parent pivot: their stored parent
 			// distances bound d(ci, cj) within |dPar_i - dPar_j| and
 			// dPar_i + dPar_j.
-			csum := eRadius[i] + eRadius[j]
-			clb := di - eDPar[j]
+			csum := eRD[2*i] + eRD[2*j]
+			clb := di - eRD[2*j+1]
 			if clb < 0 {
 				clb = -clb
 			}
@@ -221,7 +221,7 @@ func (c *dualCtx[T]) selfVisit(ae int32, lo, hi int) {
 			if b == nh {
 				continue
 			}
-			if di+eDPar[j]+csum <= radii[b] {
+			if di+eRD[2*j+1]+csum <= radii[b] {
 				c.credit(i, b, nh, int(eCount[j]))
 				c.credit(j, b, nh, int(eCount[i]))
 				continue

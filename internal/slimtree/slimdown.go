@@ -44,7 +44,7 @@ func (t *Tree[T]) coveringNodes(n int32, q T) int {
 		return c
 	}
 	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
-		if t.d(q, t.ePivot[k]) <= t.eRadius[k] {
+		if t.d(q, t.ePivot[k]) <= t.eRD[2*k] {
 			c += t.coveringNodes(t.eChild[k], q)
 		}
 	}
@@ -198,7 +198,7 @@ func (t *Tree[T]) MaxCoverError() float64 {
 		for k := t.entFirst[n]; k < t.entLast[n]; k++ {
 			if t.leaf[n] {
 				for _, a := range anc {
-					if v := t.d(t.ePivot[k], t.ePivot[a]) - t.eRadius[a]; v > worst {
+					if v := t.d(t.ePivot[k], t.ePivot[a]) - t.eRD[2*a]; v > worst {
 						worst = v
 					}
 				}

@@ -13,8 +13,9 @@
 // Construction (incremental insert or bulk load) works on linked nodes,
 // but a finished tree is FROZEN into a flat arena before any query runs:
 // nodes are laid out level by level with their entries as one contiguous
-// range [entFirst, entLast) of struct-of-arrays entry slices (pivot,
-// radius, dPar, count, id, child), and the element ids under every
+// range [entFirst, entLast) of struct-of-arrays entry slices (pivot, the
+// interleaved radius/dPar block, count, id, child), and the element ids
+// under every
 // subtree as the contiguous range [elemFirst, elemLast) of a packed
 // leafIDs block. Traversals therefore stream radius/dPar/count values
 // linearly instead of chasing per-node entry slices, and the dual joins
@@ -27,6 +28,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"mccatch/internal/diameter"
 	"mccatch/internal/dualjoin"
 	"mccatch/internal/metric"
 )
@@ -69,13 +71,19 @@ type Tree[T any] struct {
 	elemFirst, elemLast []int32 // node → its element positions [first, last)
 	parent              []int32 // node → parent node (noEntry at the root)
 	ePivot              []T
-	eRadius             []float64
-	eDPar               []float64
-	eCount              []int32
-	eID                 []int32 // leaf entries: element id; internal: noEntry
-	eChild              []int32 // internal entries: child node; leaf: noEntry
-	ePos                []int32 // leaf entries: packed element position; internal: noEntry
-	leafIDs             []int32 // packed element ids, depth-first order
+	// eRD interleaves the two hottest entry columns — eRD[2k] = covering
+	// radius, eRD[2k+1] = parent distance — because every triangle
+	// prefilter in the query and join hot loops consults both for the
+	// same entry back to back: one block keeps the pair on one cache
+	// line where two parallel columns paid two loads a stride apart
+	// (ROADMAP j: the ~8% constant overhead vs the old pointer joins on
+	// cheap metrics).
+	eRD     []float64
+	eCount  []int32
+	eID     []int32 // leaf entries: element id; internal: noEntry
+	eChild  []int32 // internal entries: child node; leaf: noEntry
+	ePos    []int32 // leaf entries: packed element position; internal: noEntry
+	leafIDs []int32 // packed element ids, depth-first order
 
 	// distCalls counts metric evaluations (atomically, so concurrent
 	// read-only queries may share a tree); experiments use it to verify the
@@ -124,7 +132,7 @@ func (t *Tree[T]) d(a, b T) float64 {
 func (t *Tree[T]) freeze() {
 	if t.root == nil {
 		t.leaf, t.entFirst, t.entLast, t.parent = nil, nil, nil, nil
-		t.ePivot, t.eRadius, t.eDPar = nil, nil, nil
+		t.ePivot, t.eRD = nil, nil
 		t.eCount, t.eID, t.eChild, t.ePos, t.leafIDs = nil, nil, nil, nil, nil
 		return
 	}
@@ -148,8 +156,7 @@ func (t *Tree[T]) freeze() {
 	t.entLast = make([]int32, 0, nNodes)
 	t.parent = make([]int32, 0, nNodes)
 	t.ePivot = make([]T, 0, nEntries)
-	t.eRadius = make([]float64, 0, nEntries)
-	t.eDPar = make([]float64, 0, nEntries)
+	t.eRD = make([]float64, 0, 2*nEntries)
 	t.eCount = make([]int32, 0, nEntries)
 	t.eID = make([]int32, 0, nEntries)
 	t.eChild = make([]int32, 0, nEntries)
@@ -169,8 +176,7 @@ func (t *Tree[T]) freeze() {
 		for i := range n.entries {
 			e := &n.entries[i]
 			t.ePivot = append(t.ePivot, e.pivot)
-			t.eRadius = append(t.eRadius, e.radius)
-			t.eDPar = append(t.eDPar, e.dPar)
+			t.eRD = append(t.eRD, e.radius, e.dPar)
 			t.eCount = append(t.eCount, int32(e.count))
 			t.eID = append(t.eID, int32(e.id))
 			t.ePos = append(t.ePos, noEntry)
@@ -217,8 +223,8 @@ func (t *Tree[T]) thaw() {
 			e := entry[T]{
 				pivot:  t.ePivot[k],
 				id:     int(t.eID[k]),
-				radius: t.eRadius[k],
-				dPar:   t.eDPar[k],
+				radius: t.eRD[2*k],
+				dPar:   t.eRD[2*k+1],
 				count:  int(t.eCount[k]),
 			}
 			if c := t.eChild[k]; c >= 0 {
@@ -472,12 +478,13 @@ func (v *visitState[T]) multiVisit(n int32, q T, radii []float64, dq float64, lo
 	t := v.t
 	isLeaf := t.leaf[n]
 	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
+		rad := t.eRD[2*k]
 		// Triangle prefilter, per radius: the smallest radius the entry
 		// can touch is the first with |d(q,parent) - d(pivot,parent)| ≤
 		// radii[b] + radius (the same test rangeVisit applies per probe).
 		b := lo
 		if !math.IsNaN(dq) {
-			for b < hi && math.Abs(dq-t.eDPar[k]) > radii[b]+t.eRadius[k] {
+			for b < hi && math.Abs(dq-t.eRD[2*k+1]) > radii[b]+rad {
 				b++
 			}
 			if b == hi {
@@ -502,11 +509,11 @@ func (v *visitState[T]) multiVisit(n int32, q T, radii []float64, dq float64, lo
 		// above newHi contain it entirely (rangeVisit's count-only test
 		// d + radius ≤ r holds), so its stored count settles them at once.
 		newLo := b
-		for newLo < hi && d > radii[newLo]+t.eRadius[k] {
+		for newLo < hi && d > radii[newLo]+rad {
 			newLo++
 		}
 		newHi := newLo
-		for newHi < hi && d+t.eRadius[k] > radii[newHi] {
+		for newHi < hi && d+rad > radii[newHi] {
 			newHi++
 		}
 		if newHi < hi {
@@ -533,8 +540,9 @@ func (v *visitState[T]) rangeVisit(n int32, q T, r float64, dq float64, ids *[]i
 	isLeaf := t.leaf[n]
 	count := 0
 	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
+		rad := t.eRD[2*k]
 		// Triangle prefilter: |d(q,parent) - d(pivot,parent)| ≤ d(q,pivot).
-		if !math.IsNaN(dq) && math.Abs(dq-t.eDPar[k]) > r+t.eRadius[k] {
+		if !math.IsNaN(dq) && math.Abs(dq-t.eRD[2*k+1]) > r+rad {
 			continue
 		}
 		d := v.d(q, t.ePivot[k])
@@ -547,11 +555,11 @@ func (v *visitState[T]) rangeVisit(n int32, q T, r float64, dq float64, ids *[]i
 			}
 			continue
 		}
-		if ids == nil && d+t.eRadius[k] <= r {
+		if ids == nil && d+rad <= r {
 			count += int(t.eCount[k]) // subtree fully inside the query ball
 			continue
 		}
-		if d <= r+t.eRadius[k] {
+		if d <= r+rad {
 			count += v.rangeVisit(t.eChild[k], q, r, d, ids)
 		}
 	}
@@ -622,7 +630,7 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 	visit = func(n int32, dq float64) {
 		isLeaf := t.leaf[n]
 		for e := t.entFirst[n]; e < t.entLast[n]; e++ {
-			if !math.IsNaN(dq) && math.Abs(dq-t.eDPar[e]) > bound()+t.eRadius[e] {
+			if !math.IsNaN(dq) && math.Abs(dq-t.eRD[2*e+1]) > bound()+t.eRD[2*e] {
 				continue
 			}
 			d := t.d(q, t.ePivot[e])
@@ -642,7 +650,7 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 				}
 				continue
 			}
-			if d-t.eRadius[e] <= bound() {
+			if d-t.eRD[2*e] <= bound() {
 				visit(t.eChild[e], d)
 			}
 		}
@@ -665,40 +673,17 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 }
 
 // DiameterEstimate estimates the diameter of the indexed set (paper
-// Alg. 1 L2's l). The value depends only on the indexed DATA, never on
-// the tree's arrangement: the incremental and bulk-loaded builds (and any
-// SlimDown reorganization) report the same value, so the radii schedule
-// derived from it — and with it the whole pipeline output — is identical
-// across build paths.
-//
-// Vector elements get the bounding-box corner distance d(lo, hi): an
-// upper bound on every pairwise distance for any coordinate-monotone
-// metric (all Lp norms — every vector metric this module ships),
-// computed in O(n·dim), and — under the Euclidean metric — the exact
-// same value the kd-tree and R-tree backends report, so all three access
-// methods now share one radii schedule on vector data. The shortcut
-// validates itself against a double farthest-point sweep (2n metric
-// evaluations, within 2× of the true diameter by the triangle
-// inequality): a corner distance below the sweep's lower bound proves
-// the metric is NOT coordinate-monotone, and the estimate falls through
-// to the exact path. A non-monotone caller-supplied vector metric whose
-// corner distance lands between the sweep bound and the true diameter
-// still passes the check and undershoots by at most 2× — one slot of the
-// halving radii schedule, the same slack the sweep itself permits; joins
-// never rely on the last radius truly covering every pair
-// (join.SelfMultiRadiusCounts pins that row to n explicitly).
-//
-// Every other element type gets the EXACT diameter: the sweep seeds a
-// lower bound and a branch-and-bound over subtree pairs closes the gap —
-// a pair of entries can only contain a farther element pair if
-// d(pivots) + r₁ + r₂ beats the best pair seen, so with a tight seed and
-// the low intrinsic (fractal) dimension the paper's cost model assumes
-// (Lemma 1) almost every subtree pair prunes. Data with near-uniform
-// pairwise distances defeats the pruning and degenerates toward n²/2
-// evaluations — but such data defeats every tree traversal in the
-// pipeline the same way; a budget cap is deliberately NOT applied
-// because aborting mid-search would make the value depend on the tree's
-// arrangement and break the bulk-vs-insert output identity.
+// Alg. 1 L2's l) via the shared data-only estimator (internal/diameter):
+// the value depends only on the indexed DATA, never on the tree's
+// arrangement, so the insertion and bulk builds (and any SlimDown
+// reorganization) report the same value and the radii schedule derived
+// from it — and with it the whole pipeline output — is identical across
+// build paths. Vector data gets the sweep-validated bounding-box corner
+// distance (the same value the kd/R-trees report); other element types
+// get the exact diameter while small and a capped iterated
+// farthest-point estimate beyond diameter.ExactThreshold — O(k·n) metric
+// evaluations on any data, where the former exact branch-and-bound
+// degenerated toward n²/2 on near-uniform pairwise distances.
 func (t *Tree[T]) DiameterEstimate() float64 {
 	if t.size < 2 || len(t.leaf) == 0 {
 		return 0
@@ -709,85 +694,7 @@ func (t *Tree[T]) DiameterEstimate() float64 {
 			elems[id] = t.ePivot[k]
 		}
 	}
-	farthest := func(from int) (int, float64) {
-		best, bestD := from, -1.0
-		for i := range elems {
-			if d := t.d(elems[from], elems[i]); d > bestD {
-				best, bestD = i, d
-			}
-		}
-		return best, bestD
-	}
-	x, _ := farthest(0)
-	_, best := farthest(x)
-	if pts, ok := any(elems).([][]float64); ok {
-		lo := append([]float64(nil), pts[0]...)
-		hi := append([]float64(nil), pts[0]...)
-		for _, p := range pts {
-			for j, v := range p {
-				if v < lo[j] {
-					lo[j] = v
-				}
-				if v > hi[j] {
-					hi[j] = v
-				}
-			}
-		}
-		if corner := t.d(any(lo).(T), any(hi).(T)); corner >= best {
-			return corner
-		}
-		// corner < the sweep's lower bound: the metric is not
-		// coordinate-monotone, so the box says nothing — fall through to
-		// the exact branch-and-bound.
-	}
-
-	// Exact refinement over arena entries. Every pivot-to-pivot distance
-	// computed on the way down is itself a pairwise element distance, so
-	// it tightens the bound too. visitPair descends the wider side of a
-	// cross pair; visitSelf expands a subtree against itself.
-	var visitPair func(a, b int32, d float64)
-	visitPair = func(a, b int32, d float64) {
-		if d > best {
-			best = d
-		}
-		if d+t.eRadius[a]+t.eRadius[b] <= best || (t.eChild[a] < 0 && t.eChild[b] < 0) {
-			return
-		}
-		down, other := a, b
-		if t.eChild[a] < 0 || (t.eChild[b] >= 0 && t.eRadius[b] > t.eRadius[a]) {
-			down, other = b, a
-		}
-		child := t.eChild[down]
-		for ce := t.entFirst[child]; ce < t.entLast[child]; ce++ {
-			if d+t.eDPar[ce]+t.eRadius[ce]+t.eRadius[other] <= best {
-				continue // triangle upper bound needs no new evaluation
-			}
-			visitPair(ce, other, t.d(t.ePivot[ce], t.ePivot[other]))
-		}
-	}
-	var visitSelf func(a int32)
-	visitSelf = func(a int32) {
-		if t.eChild[a] < 0 || 2*t.eRadius[a] <= best {
-			return
-		}
-		child := t.eChild[a]
-		for i := t.entFirst[child]; i < t.entLast[child]; i++ {
-			visitSelf(i)
-			for j := i + 1; j < t.entLast[child]; j++ {
-				if t.eDPar[i]+t.eDPar[j]+t.eRadius[i]+t.eRadius[j] <= best {
-					continue
-				}
-				visitPair(i, j, t.d(t.ePivot[i], t.ePivot[j]))
-			}
-		}
-	}
-	for i := t.entFirst[0]; i < t.entLast[0]; i++ {
-		visitSelf(i)
-		for j := i + 1; j < t.entLast[0]; j++ {
-			visitPair(i, j, t.d(t.ePivot[i], t.ePivot[j]))
-		}
-	}
-	return best
+	return diameter.Estimate(elems, t.d)
 }
 
 // Height returns the tree height (0 for an empty tree, 1 for a leaf root).

@@ -214,3 +214,29 @@ func TestDistCallsSubquadratic(t *testing.T) {
 		t.Errorf("small-radius range queries average %.0f distance calls on n=%d; pruning is not working", perQuery, n)
 	}
 }
+
+// TestDiameterEstimateUniformDistanceLinear is the carried-bug regression
+// through the tree path: near-uniform pairwise distances degenerated the
+// old exact branch-and-bound toward n²/2 metric evaluations; the shared
+// estimator must answer in O(k·n).
+func TestDiameterEstimateUniformDistanceLinear(t *testing.T) {
+	n := 2000
+	elems := make([]int, n)
+	for i := range elems {
+		elems[i] = i
+	}
+	uniform := func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		return 1
+	}
+	tr := NewBulk(uniform, 0, elems)
+	tr.ResetDistCalls()
+	if got := tr.DiameterEstimate(); got != 1 {
+		t.Fatalf("uniform-distance diameter = %v, want 1", got)
+	}
+	if calls, budget := tr.DistCalls(), int64(12*n); calls > budget {
+		t.Fatalf("DiameterEstimate took %d metric evaluations on uniform-distance data, budget %d (O(k·n))", calls, budget)
+	}
+}

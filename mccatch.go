@@ -284,17 +284,6 @@ func RunVectorsR(points [][]float64, opts ...Option) (*Result, error) {
 // deriving the word transformation cost (alphabet size, longest word) from
 // the data itself.
 func RunStrings(words []string, opts ...Option) (*Result, error) {
-	distinct := map[rune]bool{}
-	longest := 0
-	for _, w := range words {
-		runes := []rune(w)
-		if len(runes) > longest {
-			longest = len(runes)
-		}
-		for _, r := range runes {
-			distinct[r] = true
-		}
-	}
-	all := append([]Option{WithWordCost(len(distinct), longest)}, opts...)
+	all := append([]Option{DeriveWordCost(words)}, opts...)
 	return Run(words, metric.Levenshtein, all...)
 }
