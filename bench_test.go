@@ -10,7 +10,9 @@ package mccatch_test
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"mccatch"
@@ -21,6 +23,7 @@ import (
 	"mccatch/internal/index"
 	"mccatch/internal/join"
 	"mccatch/internal/kdtree"
+	"mccatch/internal/kernel"
 	"mccatch/internal/metric"
 	"mccatch/internal/rtree"
 	"mccatch/internal/segment"
@@ -610,6 +613,74 @@ func BenchmarkSweepR4k8d(b *testing.B)     { benchSweep(b, "r", 4000, 8) }
 func BenchmarkSweepSlim10k8d(b *testing.B) { benchSweep(b, "slim", 10000, 8) }
 func BenchmarkSweepKD10k8d(b *testing.B)   { benchSweep(b, "kd", 10000, 8) }
 func BenchmarkSweepR10k8d(b *testing.B)    { benchSweep(b, "r", 10000, 8) }
+
+// The 32d column re-measures the sweep far past the kd-tree's useful
+// dimensionality (ROADMAP (g)): box-bound pruning is near-dead up here,
+// so the cells mostly price raw leaf-scan arithmetic — the distance
+// kernels' home turf.
+func BenchmarkSweepSlim4k32d(b *testing.B) { benchSweep(b, "slim", 4000, 32) }
+func BenchmarkSweepKD4k32d(b *testing.B)   { benchSweep(b, "kd", 4000, 32) }
+func BenchmarkSweepR4k32d(b *testing.B)    { benchSweep(b, "r", 4000, 32) }
+
+// The block kernels against the per-point scalar loop they replaced
+// (PR 7): one query counted against 4096 contiguous arena slots at a
+// mid-density radius. The Kernel side is kernel.CountRange with the
+// freeze-time quantized summary — blocks the summary proves out of
+// range never reach exact arithmetic — and the Scalar side is the
+// metric.SquaredEuclidean-per-slot loop the leaf scans used to run. CI
+// gates Kernel < Scalar per dimension (hardware-independent) on top of
+// the absolute baselines.
+func BenchmarkKernel2d(b *testing.B)       { benchKernel(b, 2, true) }
+func BenchmarkKernelScalar2d(b *testing.B) { benchKernel(b, 2, false) }
+func BenchmarkKernel8d(b *testing.B)       { benchKernel(b, 8, true) }
+func BenchmarkKernelScalar8d(b *testing.B) { benchKernel(b, 8, false) }
+
+// 32d exercises the generic (non-specialized) kernel fallback — the
+// width the 4k×32d sweep cells run through. Not CI-gated.
+func BenchmarkKernel32d(b *testing.B)       { benchKernel(b, 32, true) }
+func BenchmarkKernelScalar32d(b *testing.B) { benchKernel(b, 32, false) }
+
+func benchKernel(b *testing.B, dim int, kernelized bool) {
+	b.Helper()
+	b.ReportAllocs()
+	const n = 4096
+	pts := data.Uniform(n, dim, 1).Points
+	// Strip-sort so consecutive slots are spatially local, as they are in
+	// the arenas' preorder/STR layouts — without it every 8-slot block
+	// spans the whole space and the summary can never prune.
+	sort.Slice(pts, func(i, j int) bool {
+		si, sj := math.Floor(pts[i][0]*16), math.Floor(pts[j][0]*16)
+		if si != sj {
+			return si < sj
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	flat := make([]float64, 0, n*dim)
+	for _, p := range pts {
+		flat = append(flat, p...)
+	}
+	sum := kernel.NewSummary(flat, dim, n)
+	q := pts[n/2]
+	r2 := 0.02 * float64(dim)
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if kernelized {
+			sink += kernel.CountRange(sum, q, flat, 0, n, r2)
+		} else {
+			c := 0
+			for j := 0; j < n; j++ {
+				if metric.SquaredEuclidean(q, flat[j*dim:(j+1)*dim]) <= r2 {
+					c++
+				}
+			}
+			sink += c
+		}
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}
 
 func benchSweep(b *testing.B, kind string, n, dim int) {
 	b.Helper()

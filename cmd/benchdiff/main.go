@@ -12,7 +12,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench '<gate pattern>' -count=5 -benchtime=200ms -benchmem . | tee bench.txt
-//	go run ./cmd/benchdiff -baseline BENCH_6.json bench.txt
+//	go run ./cmd/benchdiff -baseline BENCH_7.json bench.txt
 //
 // Medians (not means) absorb the odd scheduling hiccup of shared CI
 // runners; the -count repetitions exist precisely to feed them. Every
@@ -51,7 +51,7 @@ func (p *pairFlag) String() string     { return strings.Join(*p, ",") }
 func (p *pairFlag) Set(s string) error { *p = append(*p, s); return nil }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_6.json", "committed baseline JSON with a ci_baseline map of benchmark → median ns/op")
+	baselinePath := flag.String("baseline", "BENCH_7.json", "committed baseline JSON with a ci_baseline map of benchmark → median ns/op")
 	threshold := flag.Float64("threshold", 1.25, "fail when median ns/op exceeds baseline × threshold (1.25 = >25% regression)")
 	var pairs pairFlag
 	flag.Var(&pairs, "pair", "same-run relative gate 'BenchmarkFast<BenchmarkSlow': fail unless Fast's median beats Slow's; repeatable, machine-independent (both sides share the runner), so it holds even where the absolute baseline does not transfer")

@@ -30,6 +30,7 @@ package dualjoin
 import (
 	"sync"
 
+	"mccatch/internal/kernel"
 	"mccatch/internal/parallel"
 )
 
@@ -169,10 +170,31 @@ func (a *Acc) flushAll() {
 	}
 }
 
-// shardsFor splits rows across one lock per ~rowsPerWorker rows, capped
-// so tiny inputs do not drown in mutexes.
+// shardCap bounds the shard count regardless of the worker budget
+// (ROADMAP k). The default 4·workers sizing came from GOMAXPROCS-sized
+// worker pools on small machines; on a many-core host it would mint
+// hundreds of shards, and since every pooled accumulator keeps one
+// buffer per shard, per-worker memory and flush bookkeeping grow with
+// the shard count while the contention relief beyond a few dozen locks
+// is already negligible (each flush holds its lock for a bounded burst
+// of integer adds). 64 shards keep the expected lock collision rate
+// under ~2% even with 4 workers flushing constantly, and
+// BenchmarkCountMatrixShards{Capped,Wide} pins that the cap is no
+// slower than the uncapped sizing it replaces. Declared as a variable
+// only so that benchmark pair can widen it in-process; nothing else may
+// write it.
+var shardCap = 64
+
+// shardsFor splits rows across one lock per ~rowsPerWorker rows: 4 locks
+// per worker (so a worker colliding on one shard has dozens of others to
+// flush meanwhile), capped above by shardCap — the GOMAXPROCS-derived
+// worker count stops driving the shard count past the point of usefulness
+// — and below by the row count so tiny inputs do not drown in mutexes.
 func shardsFor(rows, workers int) int {
 	shards := 4 * workers
+	if shards > shardCap {
+		shards = shardCap
+	}
 	if shards > rows {
 		shards = rows
 	}
@@ -368,55 +390,23 @@ func AppendMultiCounts(radii []float64, dst []int, squared bool, visit func(sche
 }
 
 // SqMinMaxPointBox returns the smallest and largest SQUARED Euclidean
-// distances from point q to the axis-aligned box [lo, hi]. Open-coded
-// min/max: with lo[j] ≤ hi[j] the farthest corner distance per axis is
-// max(q-lo, hi-q) even outside the box, and keeping math.Max/math.Abs
-// out keeps the kernel inlinable — it runs once per node of every
-// box-tree traversal.
+// distances from point q to the axis-aligned box [lo, hi]. The
+// implementation lives in internal/kernel with the rest of the distance
+// kernels; this wrapper (which inlines to a direct call) keeps the
+// historical dualjoin API for callers outside the backends.
 func SqMinMaxPointBox(q, lo, hi []float64) (smin, smax float64) {
-	for j := range q {
-		v := q[j]
-		if d := lo[j] - v; d > 0 {
-			smin += d * d
-		} else if d := v - hi[j]; d > 0 {
-			smin += d * d
-		}
-		far := v - lo[j]
-		if f := hi[j] - v; f > far {
-			far = f
-		}
-		smax += far * far
-	}
-	return smin, smax
+	return kernel.SqMinMaxPointBox(q, lo, hi)
 }
 
 // SqMinMaxBoxBox returns the smallest and largest SQUARED Euclidean
 // distances between any two points of the axis-aligned boxes [alo, ahi]
-// and [blo, bhi]. With alo == blo and ahi == bhi it degenerates to
-// (0, squared box diagonal) — the self-pair bounds.
+// and [blo, bhi]; see kernel.SqMinMaxBoxBox.
 func SqMinMaxBoxBox(alo, ahi, blo, bhi []float64) (smin, smax float64) {
-	for j := range alo {
-		if g := blo[j] - ahi[j]; g > 0 {
-			smin += g * g
-		} else if g := alo[j] - bhi[j]; g > 0 {
-			smin += g * g
-		}
-		far := ahi[j] - blo[j]
-		if f := bhi[j] - alo[j]; f > far {
-			far = f
-		}
-		smax += far * far
-	}
-	return smin, smax
+	return kernel.SqMinMaxBoxBox(alo, ahi, blo, bhi)
 }
 
-// SqBoxDiag is the squared diagonal of the box [lo, hi] — the largest
-// squared distance any pair of points inside it can realize.
+// SqBoxDiag is the squared diagonal of the box [lo, hi]; see
+// kernel.SqBoxDiag.
 func SqBoxDiag(lo, hi []float64) float64 {
-	s := 0.0
-	for j := range lo {
-		d := hi[j] - lo[j]
-		s += d * d
-	}
-	return s
+	return kernel.SqBoxDiag(lo, hi)
 }

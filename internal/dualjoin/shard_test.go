@@ -1,0 +1,73 @@
+package dualjoin
+
+import (
+	"testing"
+)
+
+// TestShardsFor pins the shard-count heuristic (ROADMAP k): 4 locks per
+// worker while that stays useful, capped by shardCap so a many-core
+// GOMAXPROCS cannot mint hundreds of per-accumulator buffers, and never
+// more shards than rows.
+func TestShardsFor(t *testing.T) {
+	cases := []struct{ rows, workers, want int }{
+		{1000, 1, 4},
+		{1000, 4, 16},
+		{1000, 16, 64},
+		{1000, 64, 64},  // capped: 256 locks would buy nothing
+		{1000, 256, 64}, // still capped
+		{10, 16, 10},    // row-bounded
+		{0, 8, 1},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := shardsFor(c.rows, c.workers); got != c.want {
+			t.Errorf("shardsFor(%d, %d) = %d, want %d", c.rows, c.workers, got, c.want)
+		}
+	}
+}
+
+// benchShardLoad drives CountMatrix's buffered parallel mode with a
+// synthetic credit flood sized like a mid-size self-join: every unit
+// issues enough point credits to force repeated mid-traversal flushes,
+// which is where the shard count matters (flush lock traffic vs
+// per-accumulator buffer bookkeeping).
+func benchShardLoad(b *testing.B, workers int) {
+	const a, n, nodes, units = 8, 20000, 512, 64
+	visit := func(u int, acc *Acc) {
+		base := int32(u * 997 % n)
+		for k := 0; k < 40000; k++ {
+			pos := (base + int32(k*31)) % n
+			from := k % a
+			acc.CreditPos(pos, from, a, 1)
+			if k%64 == 0 {
+				acc.CreditNode(int32((u+k)%nodes), from, a, 1)
+			}
+		}
+	}
+	elemRange := func(d int32) (int32, int32) {
+		f := (int32(d) * 7) % n
+		return f, f + 16
+	}
+	idOf := func(pos int32) int { return int(pos) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountMatrix(a, n, nodes, workers, units, visit, elemRange, idOf)
+	}
+}
+
+// BenchmarkCountMatrixShardsCapped and BenchmarkCountMatrixShardsWide
+// are the ROADMAP (k) pair: identical credit floods through the capped
+// heuristic (shardCap = 64) and through the pre-cap sizing (4·workers,
+// unbounded — emulated by lifting the cap for the run). The heuristic
+// must be no slower; on many-core runners it also bounds per-worker
+// buffer memory, which the fixed sizing did not.
+func BenchmarkCountMatrixShardsCapped(b *testing.B) {
+	benchShardLoad(b, 32)
+}
+
+func BenchmarkCountMatrixShardsWide(b *testing.B) {
+	old := shardCap
+	shardCap = 1 << 30
+	defer func() { shardCap = old }()
+	benchShardLoad(b, 32)
+}

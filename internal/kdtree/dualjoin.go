@@ -2,7 +2,7 @@ package kdtree
 
 import (
 	"mccatch/internal/dualjoin"
-	"mccatch/internal/metric"
+	"mccatch/internal/kernel"
 )
 
 // This file implements the dual-tree multi-radius self-join for the
@@ -114,7 +114,7 @@ func (t *Tree) seedUnits() []func(*dualCtx) {
 			q := q
 			units = append(units, func(c *dualCtx) {
 				a := len(c.radii2)
-				d2 := metric.SquaredEuclidean(c.t.point(p), c.t.point(q))
+				d2 := kernel.SqDist(c.t.point(p), c.t.point(q))
 				b := 0
 				for b < a && d2 > c.radii2[b] {
 					b++
@@ -169,7 +169,36 @@ func (t *Tree) seedSplit() (subs, pts []int32) {
 // squared distance any pair of points under p can realize.
 func (t *Tree) boxDiag2(p int32) float64 {
 	lo, hi := t.box(p)
-	return dualjoin.SqBoxDiag(lo, hi)
+	return kernel.SqBoxDiag(lo, hi)
+}
+
+// scanPointRange resolves slot p's point against every point of slots
+// [first, last) for the ambiguous window [lo, nh) by block kernels,
+// crediting each close pair both ways exactly as the per-slot recursion
+// would. No quantized prefilter here: the threshold is the ambiguous
+// window's UPPER edge, which the subtree's own box already straddles,
+// so per-block summary bounds almost never prune and their cost rivals
+// the exact arithmetic they'd save (bypassing them halved the 10k x 8d
+// sweep cell).
+func (c *dualCtx) scanPointRange(p int32, first, last, lo, nh int) {
+	t := c.t
+	q := t.point(p)
+	// Callers bound the range by scanCutoff, so one kernel call fills
+	// every distance of the scanned subtree into a stack buffer.
+	var d2 [scanCutoff]float64
+	n := last - first
+	kernel.Dists(d2[:n], q, t.pts, first, last)
+	r2 := c.radii2
+	thr := r2[nh-1]
+	for i := 0; i < n; i++ {
+		if v := d2[i]; v <= thr {
+			b := lo
+			for v > r2[b] {
+				b++
+			}
+			c.creditPair(p, int32(first+i), b, nh)
+		}
+	}
 }
 
 // selfVisit classifies the pair of subtree A with itself for the radius
@@ -187,6 +216,18 @@ func (c *dualCtx) selfVisit(A int32, lo, hi int) {
 		c.acc.CreditNode(A, nh, hi, int(t.count[A]))
 	}
 	if lo >= nh {
+		return
+	}
+	if cnt := int(t.count[A]); cnt <= pairScanCutoff {
+		// Small ambiguous subtree: resolve every unordered pair within
+		// its contiguous preorder range by block kernels — the self-pairs
+		// (d = 0) lie within every open radius.
+		for i := int(A); i < int(A)+cnt; i++ {
+			c.acc.CreditPos(int32(i), lo, nh, 1)
+			if i+1 < int(A)+cnt {
+				c.scanPointRange(int32(i), i+1, int(A)+cnt, lo, nh)
+			}
+		}
 		return
 	}
 	// Ambiguous radii [lo, nh): decompose into A's own point against
@@ -231,6 +272,14 @@ func (c *dualCtx) symVisit(A, B int32, lo, hi int) {
 	if lo >= nh {
 		return
 	}
+	if ca, cb := int(t.count[A]), int(t.count[B]); ca <= pairScanCutoff && cb <= pairScanCutoff {
+		// Both sides small: resolve the cross pairs of the two contiguous
+		// preorder ranges directly.
+		for i := int(A); i < int(A)+ca; i++ {
+			c.scanPointRange(int32(i), int(B), int(B)+cb, lo, nh)
+		}
+		return
+	}
 	// Descend the side with the larger box; ties split A, keeping the
 	// descent deterministic.
 	down, other := A, B
@@ -268,7 +317,11 @@ func (c *dualCtx) pointVisit(p, B int32, lo, hi int) {
 	if lo >= nh {
 		return
 	}
-	if d2 := metric.SquaredEuclidean(q, t.point(B)); d2 <= c.radii2[nh-1] {
+	if cnt := int(t.count[B]); cnt <= scanCutoff {
+		c.scanPointRange(p, int(B), int(B)+cnt, lo, nh)
+		return
+	}
+	if d2 := kernel.SqDist(q, t.point(B)); d2 <= c.radii2[nh-1] {
 		b := lo
 		for d2 > c.radii2[b] {
 			b++

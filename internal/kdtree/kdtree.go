@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"mccatch/internal/dualjoin"
+	"mccatch/internal/kernel"
 	"mccatch/internal/metric"
 	"mccatch/internal/parallel"
 )
@@ -30,11 +31,26 @@ import (
 // noChild marks an absent left/right/parent link.
 const noChild = -1
 
+// scanCutoff is the subtree size at and below which the query traversals
+// stop recursing per slot and hand the subtree's contiguous preorder
+// range to internal/kernel's block kernels: below it the per-node box
+// tests prune too few points to beat streaming the coordinates. The
+// quantized block summaries keep doing the box tests' job inside the
+// scan, 8 points at a time.
+const scanCutoff = 32
+
+// pairScanCutoff is the subtree-PAIR analogue for the dual joins: when
+// both sides of an ambiguous subtree pair are this small, the visit
+// resolves the up-to pairScanCutoff² point pairs by block kernels
+// instead of decomposing further. Smaller than scanCutoff because the
+// work is quadratic in the cutoff.
+const pairScanCutoff = 16
+
 // sqMinMaxDistToBox is the shared point-vs-box bound kernel: the query
 // paths compare the squared distances against squared radii, saving two
 // math.Sqrt per node.
 func sqMinMaxDistToBox(q, lo, hi []float64) (smin, smax float64) {
-	return dualjoin.SqMinMaxPointBox(q, lo, hi)
+	return kernel.SqMinMaxPointBox(q, lo, hi)
 }
 
 // Tree is a kd-tree over d-dimensional points under the Euclidean metric,
@@ -50,6 +66,11 @@ type Tree struct {
 	count               []int32   // subtree size per slot (including the slot's point)
 	left, right, parent []int32
 	lo, hi              []float64 // subtree bounding boxes, slot-major
+	// sum is the quantized block prefilter over pts (one uint8-coded box
+	// per 8 slots), built once at construction; nil for tiny trees. The
+	// leaf-range scans consult it to skip or settle whole blocks before
+	// touching coordinates.
+	sum *kernel.Summary
 }
 
 // New builds a balanced kd-tree by recursive median splits. Item i is
@@ -90,6 +111,7 @@ func NewWithWorkers(points [][]float64, workers int) *Tree {
 		idx[i] = i
 	}
 	t.build(points, idx, 0, noChild, parallel.NewLimiter(workers))
+	t.sum = kernel.NewSummary(t.pts, t.dim, n)
 	return t
 }
 
@@ -203,8 +225,13 @@ func (t *Tree) rangeCount(p int32, q []float64, r2 float64) int {
 	if smax <= r2 {
 		return int(t.count[p])
 	}
+	if cnt := int(t.count[p]); cnt <= scanCutoff {
+		// Ambiguous small subtree: stream its contiguous preorder range
+		// through the block kernels instead of recursing per slot.
+		return kernel.CountRange(t.sum, q, t.pts, int(p), int(p)+cnt, r2)
+	}
 	count := 0
-	if metric.SquaredEuclidean(q, t.point(p)) <= r2 {
+	if kernel.SqDist(q, t.point(p)) <= r2 {
 		count++
 	}
 	if l := t.left[p]; l >= 0 {
@@ -260,7 +287,11 @@ func (t *Tree) multiCount(p int32, q []float64, r2 []float64, lo, hi int, diff [
 	if lo >= nh {
 		return
 	}
-	if d2 := metric.SquaredEuclidean(q, t.point(p)); d2 <= r2[nh-1] {
+	if cnt := int(t.count[p]); cnt <= scanCutoff {
+		t.scanBuckets(int(p), int(p)+cnt, q, r2, lo, nh, diff)
+		return
+	}
+	if d2 := kernel.SqDist(q, t.point(p)); d2 <= r2[nh-1] {
 		b := lo
 		for d2 > r2[b] {
 			b++
@@ -273,6 +304,33 @@ func (t *Tree) multiCount(p int32, q []float64, r2 []float64, lo, hi int, diff [
 	}
 	if r := t.right[p]; r >= 0 {
 		t.multiCount(r, q, r2, lo, nh, diff)
+	}
+}
+
+// scanBuckets resolves the ambiguous radius window [lo, nh) for the
+// points of slots [first, last) by block kernels: each surviving point's
+// squared distance is bucketed into the difference array exactly as the
+// per-slot recursion would. No quantized prefilter: the threshold is
+// the ambiguous window's UPPER edge, which this subtree's own box
+// already straddles, so per-block bounds almost never prune and only
+// add cost (they regressed the batched-probe benchmarks before the
+// bypass).
+func (t *Tree) scanBuckets(first, last int, q []float64, r2 []float64, lo, nh int, diff []int) {
+	// Callers bound the range by scanCutoff, so one kernel call fills
+	// every distance of the subtree into a stack buffer.
+	var d2 [scanCutoff]float64
+	n := last - first
+	kernel.Dists(d2[:n], q, t.pts, first, last)
+	thr := r2[nh-1]
+	for i := 0; i < n; i++ {
+		if v := d2[i]; v <= thr {
+			b := lo
+			for v > r2[b] {
+				b++
+			}
+			diff[b]++
+			diff[nh]--
+		}
 	}
 }
 
@@ -292,7 +350,25 @@ func (t *Tree) RangeQueryAppend(q []float64, r float64, dst []int) []int {
 }
 
 func (t *Tree) rangeQuery(p int32, q []float64, r, r2 float64, dst []int) []int {
-	if metric.SquaredEuclidean(q, t.point(p)) <= r2 {
+	if cnt := int(t.count[p]); cnt <= scanCutoff {
+		// The preorder layout visits slots in exactly the recursion's
+		// order (slot, left subtree, right subtree), so a linear block
+		// scan appends the same ids in the same order.
+		var d2 [kernel.Block]float64
+		for at, last := int(p), int(p)+cnt; at < last; {
+			n, pruned := kernel.RangeBlock(&d2, t.sum, q, t.pts, at, last, r2)
+			if !pruned {
+				for i := 0; i < n; i++ {
+					if d2[i] <= r2 {
+						dst = append(dst, int(t.ids[at+i]))
+					}
+				}
+			}
+			at += n
+		}
+		return dst
+	}
+	if kernel.SqDist(q, t.point(p)) <= r2 {
 		dst = append(dst, int(t.ids[p]))
 	}
 	diff := q[t.axis[p]] - t.pts[int(p)*t.dim+int(t.axis[p])]
@@ -341,7 +417,11 @@ func (t *Tree) KNN(q []float64, k int) ([]int, []float64) {
 	}
 	var visit func(p int32)
 	visit = func(p int32) {
-		d := metric.Euclidean(q, t.point(p))
+		// Same value metric.Euclidean returns (the kernel accumulates in
+		// the oracle's order), dispatched through the width-specialized
+		// kernel. The traversal itself stays per-slot: KNN's tie handling
+		// depends on visit order, which a block scan would reorder.
+		d := math.Sqrt(kernel.SqDist(q, t.point(p)))
 		if d < bound() || (d == bound() && len(best) < k) {
 			insert(cand{id: int(t.ids[p]), d: d})
 		}

@@ -1,0 +1,177 @@
+package kernel
+
+import "math"
+
+// Summary is the quantized prune prefilter over one arena coordinate
+// block: for every aligned block of Block slots it stores a per-dimension
+// uint8-coded bounding box, from which blockBounds derives conservative
+// minimum and maximum squared distances to a query in a few cache lines —
+// 2 bytes per dimension per 8 points, against 64 bytes of raw
+// coordinates. The exact kernels then run only on blocks the bounds
+// cannot settle.
+//
+// Conservativeness is established at FREEZE time, not argued from
+// rounding analysis alone: every stored code is verified (and widened
+// where needed) against the very dequantization expression the query path
+// evaluates, so dequant(qlo) ≤ min coordinate and dequant(qhi) ≥ max
+// coordinate hold as FLOAT comparisons, not just as real-number ones.
+// From there the query-time bounds are safe by monotonicity: rounding is
+// monotone, so a per-axis gap computed from a containing box never
+// exceeds the float-computed per-axis difference of any contained point,
+// squaring preserves the order, and two sums accumulated in the same
+// order from term-wise dominated non-negative values stay ordered —
+// including under fused-multiply-add contraction, which rounds a
+// dominated exact value. FuzzKernelEquivalence re-checks the whole chain
+// against brute force on every corpus input.
+type Summary struct {
+	dim    int
+	blocks int
+	base   []float64 // per dim: global minimum, the code-0 anchor
+	scale  []float64 // per dim: code step, > 0, widened so code 255 covers the max
+	qlo    []uint8   // block-major: qlo[b*dim+j] codes block b's dim-j minimum
+	qhi    []uint8
+}
+
+// dequant decodes a coordinate code. Build-time verification and
+// query-time bounds MUST both go through this one function so they agree
+// bit-for-bit on every decoded value.
+func dequant(base, scale float64, code uint8) float64 {
+	return base + scale*float64(code)
+}
+
+// NewSummary builds the prefilter over the first n slots of the
+// slot-major coordinate block pts. It returns nil when the input is too
+// small for the prefilter to pay for itself (a single block scans faster
+// than it summarizes) or dim is 0; callers pass the nil straight to
+// CountRange/RangeBlock, which then run the exact kernels unconditionally.
+func NewSummary(pts []float64, dim, n int) *Summary {
+	if dim <= 0 || n <= Block {
+		return nil
+	}
+	s := &Summary{
+		dim:    dim,
+		blocks: (n + Block - 1) / Block,
+		base:   make([]float64, dim),
+		scale:  make([]float64, dim),
+	}
+	s.qlo = make([]uint8, s.blocks*dim)
+	s.qhi = make([]uint8, s.blocks*dim)
+
+	// Global per-dimension bounds anchor the code space.
+	for j := 0; j < dim; j++ {
+		s.base[j] = pts[j]
+		s.scale[j] = pts[j]
+	}
+	lo, hi := s.base, s.scale // scale doubles as the hi scratch until set
+	for i := 1; i < n; i++ {
+		row := pts[i*dim : (i+1)*dim]
+		for j, v := range row {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	for j := 0; j < dim; j++ {
+		top := hi[j]
+		sc := (top - lo[j]) / 255
+		if sc <= 0 {
+			sc = 1
+		}
+		// Widen the step until code 255 provably reaches the global
+		// maximum under the query path's own dequantization arithmetic;
+		// without this, rounding in (hi-lo)/255 could leave the largest
+		// coordinate outside every decodable box.
+		for dequant(lo[j], sc, 255) < top {
+			sc = math.Nextafter(sc, math.Inf(1))
+		}
+		s.scale[j] = sc
+	}
+
+	// Quantize each block's box, then verify every code against the
+	// decoded value: a code that decodes strictly inside the true float
+	// bound is widened outward until containment holds as a float
+	// comparison. The loops terminate because code 0 decodes to base
+	// (≤ any coordinate) and code 255 decodes ≥ the global maximum by
+	// the scale widening above.
+	for b := 0; b < s.blocks; b++ {
+		first := b * Block
+		last := first + Block
+		if last > n {
+			last = n
+		}
+		for j := 0; j < dim; j++ {
+			blo, bhi := pts[first*dim+j], pts[first*dim+j]
+			for i := first + 1; i < last; i++ {
+				if v := pts[i*dim+j]; v < blo {
+					blo = v
+				} else if v > bhi {
+					bhi = v
+				}
+			}
+			base, sc := s.base[j], s.scale[j]
+			cl := quantFloor(blo, base, sc)
+			for cl > 0 && dequant(base, sc, cl) > blo {
+				cl--
+			}
+			ch := quantCeil(bhi, base, sc)
+			for ch < 255 && dequant(base, sc, ch) < bhi {
+				ch++
+			}
+			s.qlo[b*dim+j] = cl
+			s.qhi[b*dim+j] = ch
+		}
+	}
+	return s
+}
+
+// quantFloor and quantCeil are first-guess codes; NewSummary verifies and
+// widens them, so they only need to be close, never exact.
+func quantFloor(v, base, scale float64) uint8 {
+	c := math.Floor((v - base) / scale)
+	if c < 0 {
+		return 0
+	}
+	if c > 255 {
+		return 255
+	}
+	return uint8(c)
+}
+
+func quantCeil(v, base, scale float64) uint8 {
+	c := math.Ceil((v - base) / scale)
+	if c < 0 {
+		return 0
+	}
+	if c > 255 {
+		return 255
+	}
+	return uint8(c)
+}
+
+// blockBounds returns conservative minimum and maximum squared distances
+// from q to every point of block b: smin never exceeds the exact kernel's
+// squared distance to any point of the block, and smax is never below it.
+// The accumulation mirrors sqDistsChunk's statement shape so the
+// monotonicity argument in the type comment applies per term.
+func (s *Summary) blockBounds(b int, q []float64) (smin, smax float64) {
+	off := b * s.dim
+	for j, v := range q {
+		base, sc := s.base[j], s.scale[j]
+		lo := dequant(base, sc, s.qlo[off+j])
+		hi := dequant(base, sc, s.qhi[off+j])
+		if d := lo - v; d > 0 {
+			smin += d * d
+		} else if d := v - hi; d > 0 {
+			smin += d * d
+		}
+		far := v - lo
+		if f := hi - v; f > far {
+			far = f
+		}
+		smax += far * far
+	}
+	return smin, smax
+}

@@ -2,7 +2,7 @@ package rtree
 
 import (
 	"mccatch/internal/dualjoin"
-	"mccatch/internal/metric"
+	"mccatch/internal/kernel"
 )
 
 // This file implements the cross-set dual-tree bridge join for the
@@ -111,26 +111,14 @@ func (c *crossCtx) crossVisit(O, I int32, lo, hi int) {
 		return
 	}
 	if c.out.leaf[O] && c.in.leaf[I] {
+		iFirst, iLast := int(c.in.elemFirst[I]), int(c.in.elemLast[I])
 		for i := c.out.elemFirst[O]; i < c.out.elemLast[O]; i++ {
-			p := c.out.point(i)
 			ph := nh
 			if b := int(c.acc.Best[i]); b < ph {
 				ph = b // a bound from an earlier pair narrows this scan
 			}
-			for j := c.in.elemFirst[I]; j < c.in.elemLast[I]; j++ {
-				if ph <= lo {
-					break // nothing below the bound left to resolve
-				}
-				d2 := metric.SquaredEuclidean(p, c.in.point(j))
-				if d2 > c.radii2[ph-1] {
-					continue
-				}
-				b := lo
-				for d2 > c.radii2[b] {
-					b++
-				}
-				c.creditPos(i, b)
-				ph = b
+			if ph > lo {
+				c.scanProbe(i, iFirst, iLast, lo, ph)
 			}
 		}
 		return
@@ -146,5 +134,42 @@ func (c *crossCtx) crossVisit(O, I int32, lo, hi int) {
 	}
 	for ch := c.out.childFirst[O]; ch < c.out.childLast[O]; ch++ {
 		c.crossVisit(ch, I, lo, nh)
+	}
+}
+
+// scanProbe resolves the query at packed position pos against the index
+// points of positions [first, last) by block kernels for the window
+// [lo, hi): it tracks the best (smallest) bucket seen, tightening the
+// prefilter threshold as bounds land — a block beyond the current best
+// cannot improve it — and credits the final bound once. Exactly the
+// minimum the per-point loop would find.
+func (c *crossCtx) scanProbe(pos int32, first, last, lo, hi int) {
+	q := c.out.point(pos)
+	in := c.in
+	var d2 [kernel.Block]float64
+	r2 := c.radii2
+	cur := hi
+	for at := first; at < last && cur > lo; {
+		thr := r2[cur-1]
+		n, pruned := kernel.RangeBlock(&d2, in.sum, q, in.pts, at, last, thr)
+		if !pruned {
+			for i := 0; i < n; i++ {
+				if v := d2[i]; v <= thr {
+					b := lo
+					for v > r2[b] {
+						b++
+					}
+					cur = b
+					if cur <= lo {
+						break
+					}
+					thr = r2[cur-1]
+				}
+			}
+		}
+		at += n
+	}
+	if cur < hi {
+		c.creditPos(pos, cur)
 	}
 }

@@ -2,7 +2,7 @@ package rtree
 
 import (
 	"mccatch/internal/dualjoin"
-	"mccatch/internal/metric"
+	"mccatch/internal/kernel"
 )
 
 // This file implements the dual-tree multi-radius self-join for the
@@ -23,7 +23,7 @@ import (
 // distance any pair of points under s can realize.
 func (t *Tree) boxDiag2(s int32) float64 {
 	lo, hi := t.box(s)
-	return dualjoin.SqBoxDiag(lo, hi)
+	return kernel.SqBoxDiag(lo, hi)
 }
 
 type dualCtx struct {
@@ -51,6 +51,38 @@ func (c *dualCtx) creditPair(i, j int32, b, nh int) {
 	}
 	c.acc.CreditPos(i, b, nh, 1)
 	c.acc.CreditPos(j, b, nh, 1)
+}
+
+// scanPointRange resolves the point at packed position p against every
+// point of positions [first, last) for the ambiguous window [lo, nh) by
+// block kernels, crediting each close pair both ways exactly as the
+// per-point loop would. No quantized prefilter here: the threshold is
+// the ambiguous window's UPPER edge — the node-level box bounds already
+// placed the pair blocks astride it, so per-block summary bounds almost
+// never prune and their cost rivals the exact arithmetic they'd save
+// (profiled at ~2x on the 10k x 8d sweep).
+func (c *dualCtx) scanPointRange(p int32, first, last, lo, nh int) {
+	t := c.t
+	q := t.point(p)
+	var d2 [leafScanChunk]float64
+	r2 := c.radii2
+	thr := r2[nh-1]
+	for at := first; at < last; at += leafScanChunk {
+		n := last - at
+		if n > leafScanChunk {
+			n = leafScanChunk
+		}
+		kernel.Dists(d2[:n], q, t.pts, at, at+n)
+		for i := 0; i < n; i++ {
+			if v := d2[i]; v <= thr {
+				b := lo
+				for v > r2[b] {
+					b++
+				}
+				c.creditPair(p, int32(at+i), b, nh)
+			}
+		}
+	}
 }
 
 // CountAllMulti returns counts[e][id] = the number of indexed points
@@ -115,20 +147,11 @@ func (c *dualCtx) selfVisit(A int32, lo, hi int) {
 		return
 	}
 	if t.leaf[A] {
-		last := t.elemLast[A]
-		for i := t.elemFirst[A]; i < last; i++ {
-			c.acc.CreditPos(i, lo, nh, 1) // self-pair: d = 0
-			p := t.point(i)
-			for j := i + 1; j < last; j++ {
-				d2 := metric.SquaredEuclidean(p, t.point(j))
-				if d2 > c.radii2[nh-1] {
-					continue
-				}
-				b := lo
-				for d2 > c.radii2[b] {
-					b++
-				}
-				c.creditPair(i, j, b, nh)
+		last := int(t.elemLast[A])
+		for i := int(t.elemFirst[A]); i < last; i++ {
+			c.acc.CreditPos(int32(i), lo, nh, 1) // self-pair: d = 0
+			if i+1 < last {
+				c.scanPointRange(int32(i), i+1, last, lo, nh)
 			}
 		}
 		return
@@ -164,20 +187,9 @@ func (c *dualCtx) symVisit(A, B int32, lo, hi int) {
 		return
 	}
 	if t.leaf[A] && t.leaf[B] {
-		bFirst, bLast := t.elemFirst[B], t.elemLast[B]
+		bFirst, bLast := int(t.elemFirst[B]), int(t.elemLast[B])
 		for i := t.elemFirst[A]; i < t.elemLast[A]; i++ {
-			p := t.point(i)
-			for j := bFirst; j < bLast; j++ {
-				d2 := metric.SquaredEuclidean(p, t.point(j))
-				if d2 > c.radii2[nh-1] {
-					continue
-				}
-				b := lo
-				for d2 > c.radii2[b] {
-					b++
-				}
-				c.creditPair(i, j, b, nh)
-			}
+			c.scanPointRange(i, bFirst, bLast, lo, nh)
 		}
 		return
 	}

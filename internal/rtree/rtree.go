@@ -24,12 +24,19 @@ import (
 	"sort"
 
 	"mccatch/internal/dualjoin"
+	"mccatch/internal/kernel"
 	"mccatch/internal/metric"
 	"mccatch/internal/parallel"
 )
 
 // DefaultFanout is the default number of children per node.
 const DefaultFanout = 16
+
+// leafScanChunk is the stack-buffer granularity of the no-prefilter leaf
+// scans: kernel.Dists fills up to this many squared distances per call,
+// amortizing the dimension dispatch over whole (fanout-sized) leaves
+// while keeping the scratch on the stack for any runtime fanout.
+const leafScanChunk = 64
 
 // buildNode is the transient pointer shape the STR construction works
 // on; freeze flattens the finished tree into the arena and drops it.
@@ -58,6 +65,11 @@ type Tree struct {
 	// Packed leaf elements, in leaf order.
 	pts []float64 // coordinates, position-major
 	ids []int32   // position → original point index
+	// sum is the quantized block prefilter over pts (one uint8-coded box
+	// per 8 positions), built at freeze; nil for tiny trees. Leaf scans
+	// consult it to skip or settle whole blocks before touching
+	// coordinates.
+	sum *kernel.Summary
 }
 
 // New bulk-loads an R-tree with the given fanout (DefaultFanout if < 2).
@@ -244,6 +256,7 @@ func (t *Tree) freeze(root *buildNode) {
 			t.elemLast[s] = t.elemLast[t.childLast[s]-1]
 		}
 	}
+	t.sum = kernel.NewSummary(t.pts, t.dim, t.sizeN)
 }
 
 // computeBox fills the node's bounding box from its points or children.
@@ -294,7 +307,7 @@ func (t *Tree) point(pos int32) []float64 {
 // them against squared radii, saving two math.Sqrt per node.
 func (t *Tree) sqMinMaxDist(s int32, q []float64) (smin, smax float64) {
 	lo, hi := t.box(s)
-	return dualjoin.SqMinMaxPointBox(q, lo, hi)
+	return kernel.SqMinMaxPointBox(q, lo, hi)
 }
 
 // Size returns the number of indexed points.
@@ -317,15 +330,12 @@ func (t *Tree) rangeCount(s int32, q []float64, r2 float64) int {
 	if smax <= r2 {
 		return int(t.size[s])
 	}
-	count := 0
 	if t.leaf[s] {
-		for pos := t.elemFirst[s]; pos < t.elemLast[s]; pos++ {
-			if metric.SquaredEuclidean(q, t.point(pos)) <= r2 {
-				count++
-			}
-		}
-		return count
+		// Ambiguous leaf: stream its packed element range through the
+		// block kernels instead of testing per point.
+		return kernel.CountRange(t.sum, q, t.pts, int(t.elemFirst[s]), int(t.elemLast[s]), r2)
 	}
+	count := 0
 	for c := t.childFirst[s]; c < t.childLast[s]; c++ {
 		count += t.rangeCount(c, q, r2)
 	}
@@ -375,20 +385,43 @@ func (t *Tree) multiCount(s int32, q []float64, r2 []float64, lo, hi int, diff [
 		return
 	}
 	if t.leaf[s] {
-		for pos := t.elemFirst[s]; pos < t.elemLast[s]; pos++ {
-			if d2 := metric.SquaredEuclidean(q, t.point(pos)); d2 <= r2[nh-1] {
+		t.scanBuckets(int(t.elemFirst[s]), int(t.elemLast[s]), q, r2, lo, nh, diff)
+		return
+	}
+	for c := t.childFirst[s]; c < t.childLast[s]; c++ {
+		t.multiCount(c, q, r2, lo, nh, diff)
+	}
+}
+
+// scanBuckets resolves the ambiguous radius window [lo, nh) for the
+// packed positions [first, last) by block kernels: each surviving
+// point's squared distance is bucketed into the difference array exactly
+// as the per-point loop would. No quantized prefilter: the threshold is
+// the ambiguous window's UPPER edge, which this node's own box already
+// straddles, so per-block bounds almost never prune and only add cost
+// (they regressed the batched-probe benchmarks ~20% before the bypass).
+func (t *Tree) scanBuckets(first, last int, q []float64, r2 []float64, lo, nh int, diff []int) {
+	// Leaves are fanout-sized (runtime-configurable), so the scan chunks
+	// the range through a fixed stack buffer — one kernel call per chunk
+	// instead of per 8-point block.
+	var d2 [leafScanChunk]float64
+	thr := r2[nh-1]
+	for at := first; at < last; at += leafScanChunk {
+		n := last - at
+		if n > leafScanChunk {
+			n = leafScanChunk
+		}
+		kernel.Dists(d2[:n], q, t.pts, at, at+n)
+		for i := 0; i < n; i++ {
+			if v := d2[i]; v <= thr {
 				b := lo
-				for d2 > r2[b] {
+				for v > r2[b] {
 					b++
 				}
 				diff[b]++
 				diff[nh]--
 			}
 		}
-		return
-	}
-	for c := t.childFirst[s]; c < t.childLast[s]; c++ {
-		t.multiCount(c, q, r2, lo, nh, diff)
 	}
 }
 
@@ -413,10 +446,17 @@ func (t *Tree) rangeQuery(s int32, q []float64, r2 float64, dst []int) []int {
 		return dst
 	}
 	if t.leaf[s] {
-		for pos := t.elemFirst[s]; pos < t.elemLast[s]; pos++ {
-			if metric.SquaredEuclidean(q, t.point(pos)) <= r2 {
-				dst = append(dst, int(t.ids[pos]))
+		var d2 [kernel.Block]float64
+		for at, last := int(t.elemFirst[s]), int(t.elemLast[s]); at < last; {
+			n, pruned := kernel.RangeBlock(&d2, t.sum, q, t.pts, at, last, r2)
+			if !pruned {
+				for i := 0; i < n; i++ {
+					if d2[i] <= r2 {
+						dst = append(dst, int(t.ids[at+i]))
+					}
+				}
 			}
+			at += n
 		}
 		return dst
 	}

@@ -1,7 +1,10 @@
 package slimtree
 
 import (
+	"math"
+
 	"mccatch/internal/dualjoin"
+	"mccatch/internal/kernel"
 )
 
 // This file implements the cross-set dual-tree bridge join
@@ -139,6 +142,10 @@ func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 		// (A leaf×leaf pair never reaches here: its Window above settles
 		// with an empty ambiguous range, since both covering radii are 0.)
 		child := in.eChild[ie]
+		if out.eChild[qe] < 0 && in.leaf[child] && in.kc != nil && out.kc != nil && in.kdim == out.kdim {
+			c.crossScanIndexLeaf(qe, child, d, lo, nh)
+			return
+		}
 		qrad := out.eRD[2*qe]
 		for ce := in.entFirst[child]; ce < in.entLast[child]; ce++ {
 			nh = c.bound(qe, nh)
@@ -168,6 +175,10 @@ func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 		return
 	}
 	child := out.eChild[qe]
+	if out.leaf[child] && in.eChild[ie] < 0 && in.kc != nil && out.kc != nil && in.kdim == out.kdim {
+		c.crossScanQueryLeaf(child, ie, d, lo, nh)
+		return
+	}
 	irad := in.eRD[2*ie]
 	for ce := out.entFirst[child]; ce < out.entLast[child]; ce++ {
 		csum := out.eRD[2*ce] + irad
@@ -189,5 +200,129 @@ func (c *crossCtx[T]) crossVisit(qe, ie int32, lo, hi int) {
 			continue
 		}
 		c.crossVisit(ce, ie, b, nh)
+	}
+}
+
+// crossScanIndexLeaf is crossVisit's terminal case on the kernel path
+// (kernelize.go) for a query ELEMENT qe against a leaf node of the index
+// tree: block kernels produce the leaf's squared distances while the
+// parent-distance prefilter, the settle test, the per-entry bound
+// re-check and the DistCalls accounting run exactly as the per-child
+// recursion would — a prefiltered or settled entry's kernel distance is
+// computed but never consulted and never counted. d is crossVisit's
+// already-computed distance from qe's pivot to the leaf's parent pivot.
+func (c *crossCtx[T]) crossScanIndexLeaf(qe, child int32, d float64, lo, nh int) {
+	in, out := c.t, c.out
+	radii := c.radii
+	qv := out.pcoords(qe)
+	qrad := out.eRD[2*qe]
+	eRD := in.eRD
+	var d2 [kernel.Block]float64
+	for at, last := int(in.entFirst[child]), int(in.entLast[child]); at < last; {
+		bn, _ := kernel.RangeBlock(&d2, nil, qv, in.kc, at, last, 0)
+		for o := 0; o < bn; o++ {
+			ce := at + o
+			nh = c.bound(qe, nh)
+			if lo >= nh {
+				return
+			}
+			csum := eRD[2*ce] + qrad
+			dp := eRD[2*ce+1]
+			clb := d - dp
+			if clb < dp-d {
+				clb = dp - d
+			}
+			clb -= csum
+			b := lo
+			for b < nh && clb > radii[b] {
+				b++
+			}
+			if b == nh {
+				continue
+			}
+			if d+dp+csum <= radii[b] {
+				c.credit(qe, b)
+				continue
+			}
+			// crossVisit(qe, ce, b, nh) on an element pair, inlined —
+			// nothing has credited qe since the loop-top bound re-check,
+			// so the recursion's own re-check would be a no-op.
+			dd := math.Sqrt(d2[o])
+			c.calls++
+			sum := qrad + eRD[2*ce]
+			lb, ub := dd-sum, dd+sum
+			for b < nh && lb > radii[b] {
+				b++
+			}
+			n2 := b
+			for n2 < nh && ub > radii[n2] {
+				n2++
+			}
+			if n2 < nh {
+				c.credit(qe, n2)
+			}
+		}
+		at += bn
+	}
+}
+
+// crossScanQueryLeaf is crossVisit's terminal case on the kernel path
+// for a single index ELEMENT ie against a leaf node of the query tree:
+// every query element of the leaf buckets ie's exact distance within its
+// own remaining window, with the prefilter, settle test, bound re-check
+// and call accounting per entry exactly as the per-child recursion
+// would. d is crossVisit's already-computed distance from ie's pivot to
+// the leaf's parent pivot.
+func (c *crossCtx[T]) crossScanQueryLeaf(child, ie int32, d float64, lo, nh int) {
+	in, out := c.t, c.out
+	radii := c.radii
+	qv := in.pcoords(ie)
+	irad := in.eRD[2*ie]
+	eRD := out.eRD
+	var d2 [kernel.Block]float64
+	for at, last := int(out.entFirst[child]), int(out.entLast[child]); at < last; {
+		bn, _ := kernel.RangeBlock(&d2, nil, qv, out.kc, at, last, 0)
+		for o := 0; o < bn; o++ {
+			ce := at + o
+			csum := eRD[2*ce] + irad
+			dp := eRD[2*ce+1]
+			clb := d - dp
+			if clb < dp-d {
+				clb = dp - d
+			}
+			clb -= csum
+			b := lo
+			for b < nh && clb > radii[b] {
+				b++
+			}
+			if b == nh {
+				continue
+			}
+			if d+dp+csum <= radii[b] {
+				c.credit(int32(ce), b)
+				continue
+			}
+			// crossVisit(ce, ie, b, nh) on an element pair, inlined —
+			// here the bound re-check is live: ce's own best bound may
+			// already cover the window.
+			hi2 := c.bound(int32(ce), nh)
+			if b >= hi2 {
+				continue
+			}
+			dd := math.Sqrt(d2[o])
+			c.calls++
+			lb, ub := dd-csum, dd+csum
+			for b < hi2 && lb > radii[b] {
+				b++
+			}
+			n2 := b
+			for n2 < hi2 && ub > radii[n2] {
+				n2++
+			}
+			if n2 < hi2 {
+				c.credit(int32(ce), n2)
+			}
+		}
+		at += bn
 	}
 }

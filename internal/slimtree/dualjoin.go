@@ -1,7 +1,10 @@
 package slimtree
 
 import (
+	"math"
+
 	"mccatch/internal/dualjoin"
+	"mccatch/internal/kernel"
 )
 
 // This file implements the dual-tree multi-radius self-join: the neighbor
@@ -140,6 +143,10 @@ func (c *dualCtx[T]) symVisit(ae, be int32, lo, hi int) {
 		down, other = be, ae
 	}
 	child := eChild[down]
+	if t.leaf[child] && eChild[other] < 0 && t.kc != nil {
+		c.symScanLeaf(child, other, d, lo, nh)
+		return
+	}
 	otherCount := int(eCount[other])
 	otherRadius := eRD[2*other]
 	first, last := t.entFirst[child], t.entLast[child]
@@ -200,6 +207,10 @@ func (c *dualCtx[T]) selfVisit(ae int32, lo, hi int) {
 	}
 	eRD, eCount := t.eRD, t.eCount
 	child := t.eChild[ae]
+	if t.leaf[child] && t.kc != nil {
+		c.selfScanLeaf(child, lo, nh)
+		return
+	}
 	first, last := t.entFirst[child], t.entLast[child]
 	for i := first; i < last; i++ {
 		c.selfVisit(i, lo, nh)
@@ -228,5 +239,125 @@ func (c *dualCtx[T]) selfVisit(ae int32, lo, hi int) {
 			}
 			c.symVisit(i, j, b, nh)
 		}
+	}
+}
+
+// selfScanLeaf is selfVisit's leaf base case on the kernel path
+// (kernelize.go): every unordered pair of the leaf's contiguous entry
+// range resolves here, the squared distances produced by block kernels
+// while the sibling triangle prefilter, the settle test and the
+// DistCalls accounting run per pair exactly as the selfVisit/symVisit
+// recursion would — a prefiltered or settled pair's kernel distance is
+// computed but never consulted and never counted. A settled pair lands
+// in the exact pair's bucket: radii[b-1] < |dPar_i - dPar_j| ≤ d(i,j) ≤
+// dPar_i + dPar_j ≤ radii[b], so nothing is approximated.
+func (c *dualCtx[T]) selfScanLeaf(child int32, lo, nh int) {
+	t := c.t
+	eRD, eCount := t.eRD, t.eCount
+	radii := c.radii
+	var d2 [kernel.Block]float64
+	first, last := int(t.entFirst[child]), int(t.entLast[child])
+	for i := first; i < last; i++ {
+		c.selfVisit(int32(i), lo, nh) // element self pair: d = 0
+		qi := t.pcoords(int32(i))
+		di := eRD[2*i+1]
+		for at := i + 1; at < last; {
+			bn, _ := kernel.RangeBlock(&d2, nil, qi, t.kc, at, last, 0)
+			for o := 0; o < bn; o++ {
+				j := at + o
+				csum := eRD[2*i] + eRD[2*j]
+				clb := di - eRD[2*j+1]
+				if clb < 0 {
+					clb = -clb
+				}
+				clb -= csum
+				b := lo
+				for b < nh && clb > radii[b] {
+					b++
+				}
+				if b == nh {
+					continue
+				}
+				if di+eRD[2*j+1]+csum <= radii[b] {
+					c.credit(int32(i), b, nh, int(eCount[j]))
+					c.credit(int32(j), b, nh, int(eCount[i]))
+					continue
+				}
+				// symVisit(i, j, b, nh) on an element pair, inlined.
+				d := math.Sqrt(d2[o])
+				c.calls++
+				lb, ub := d-csum, d+csum
+				for b < nh && lb > radii[b] {
+					b++
+				}
+				n2 := b
+				for n2 < nh && ub > radii[n2] {
+					n2++
+				}
+				if n2 < nh {
+					c.credit(int32(i), n2, nh, int(eCount[j]))
+					c.credit(int32(j), n2, nh, int(eCount[i]))
+				}
+			}
+			at += bn
+		}
+	}
+}
+
+// symScanLeaf is symVisit's element-vs-leaf base case on the kernel
+// path: the single element `other` resolves against the leaf's
+// contiguous entry range by block kernels, with the parent-distance
+// prefilter, the settle test and the DistCalls accounting per entry
+// exactly as the per-child recursion would. d is symVisit's
+// already-computed distance from other's pivot to the leaf's parent
+// pivot.
+func (c *dualCtx[T]) symScanLeaf(child, other int32, d float64, lo, nh int) {
+	t := c.t
+	eRD, eCount := t.eRD, t.eCount
+	radii := c.radii
+	q := t.pcoords(other)
+	otherCount := int(eCount[other])
+	otherRadius := eRD[2*other]
+	var d2 [kernel.Block]float64
+	for at, last := int(t.entFirst[child]), int(t.entLast[child]); at < last; {
+		bn, _ := kernel.RangeBlock(&d2, nil, q, t.kc, at, last, 0)
+		for o := 0; o < bn; o++ {
+			ce := at + o
+			csum := eRD[2*ce] + otherRadius
+			dp := eRD[2*ce+1]
+			clb := d - dp
+			if clb < dp-d {
+				clb = dp - d
+			}
+			clb -= csum
+			b := lo
+			for b < nh && clb > radii[b] {
+				b++
+			}
+			if b == nh {
+				continue
+			}
+			if d+dp+csum <= radii[b] {
+				c.credit(int32(ce), b, nh, otherCount)
+				c.credit(other, b, nh, int(eCount[ce]))
+				continue
+			}
+			// symVisit(ce, other, b, nh) on an element pair, inlined.
+			dd := math.Sqrt(d2[o])
+			c.calls++
+			lb, ub := dd-csum, dd+csum
+			for b < nh && lb > radii[b] {
+				b++
+			}
+			n2 := b
+			for n2 < nh && ub > radii[n2] {
+				n2++
+			}
+			if n2 < nh {
+				c.credit(int32(ce), n2, nh, otherCount)
+				c.credit(other, n2, nh, int(eCount[ce]))
+			}
+		}
+		at += bn
 	}
 }

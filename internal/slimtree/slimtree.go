@@ -30,6 +30,7 @@ import (
 
 	"mccatch/internal/diameter"
 	"mccatch/internal/dualjoin"
+	"mccatch/internal/kernel"
 	"mccatch/internal/metric"
 )
 
@@ -85,6 +86,13 @@ type Tree[T any] struct {
 	ePos    []int32 // leaf entries: packed element position; internal: noEntry
 	leafIDs []int32 // packed element ids, depth-first order
 
+	// Kernel coordinate column (kernelize.go): the entry pivots'
+	// coordinates, entry-major, built at freeze time when the element
+	// type is []float64 and the metric is metric.Euclidean itself; nil
+	// otherwise, and every scan keeps the generic per-entry path.
+	kc   []float64
+	kdim int
+
 	// distCalls counts metric evaluations (atomically, so concurrent
 	// read-only queries may share a tree); experiments use it to verify the
 	// subquadratic query behavior that Lemma 1 predicts.
@@ -134,6 +142,7 @@ func (t *Tree[T]) freeze() {
 		t.leaf, t.entFirst, t.entLast, t.parent = nil, nil, nil, nil
 		t.ePivot, t.eRD = nil, nil
 		t.eCount, t.eID, t.eChild, t.ePos, t.leafIDs = nil, nil, nil, nil, nil
+		t.kc, t.kdim = nil, 0
 		return
 	}
 	// Pre-count nodes and entries so every arena slice is allocated
@@ -192,6 +201,7 @@ func (t *Tree[T]) freeze() {
 	t.elemFirst = make([]int32, len(t.leaf))
 	t.elemLast = make([]int32, len(t.leaf))
 	t.assignElems(0)
+	t.kernelize()
 	t.root = nil
 }
 
@@ -399,7 +409,7 @@ func (t *Tree[T]) RangeCount(q T, r float64) int {
 	if t.size == 0 {
 		return 0
 	}
-	v := visitState[T]{t: t}
+	v := visitState[T]{t: t, qc: t.queryCoords(q)}
 	count := v.rangeVisit(0, q, r, math.NaN(), nil)
 	t.distCalls.Add(v.calls)
 	return count
@@ -418,7 +428,7 @@ func (t *Tree[T]) RangeQueryAppend(q T, r float64, dst []int) []int {
 	if t.size == 0 {
 		return dst
 	}
-	v := visitState[T]{t: t}
+	v := visitState[T]{t: t, qc: t.queryCoords(q)}
 	v.rangeVisit(0, q, r, math.NaN(), &dst)
 	t.distCalls.Add(v.calls)
 	return dst
@@ -431,6 +441,7 @@ func (t *Tree[T]) RangeQueryAppend(q T, r float64, dst []int) []int {
 type visitState[T any] struct {
 	t     *Tree[T]
 	calls int64
+	qc    []float64 // q's coordinates when the kernel path is active (kernelize.go)
 }
 
 func (v *visitState[T]) d(a, b T) float64 {
@@ -462,7 +473,7 @@ func (t *Tree[T]) RangeCountMultiAppend(q T, radii []float64, dst []int) []int {
 		if t.size == 0 {
 			return
 		}
-		v := visitState[T]{t: t}
+		v := visitState[T]{t: t, qc: t.queryCoords(q)}
 		v.multiVisit(0, q, sched, math.NaN(), 0, len(sched), diff)
 		t.distCalls.Add(v.calls)
 	})
@@ -477,6 +488,10 @@ func (t *Tree[T]) RangeCountMultiAppend(q T, radii []float64, dst []int) []int {
 func (v *visitState[T]) multiVisit(n int32, q T, radii []float64, dq float64, lo, hi int, diff []int) {
 	t := v.t
 	isLeaf := t.leaf[n]
+	if isLeaf && v.qc != nil {
+		v.scanMultiLeaf(n, radii, dq, lo, hi, diff)
+		return
+	}
 	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
 		rad := t.eRD[2*k]
 		// Triangle prefilter, per radius: the smallest radius the entry
@@ -538,6 +553,9 @@ func (v *visitState[T]) multiVisit(n int32, q T, radii []float64, dq float64, lo
 func (v *visitState[T]) rangeVisit(n int32, q T, r float64, dq float64, ids *[]int) int {
 	t := v.t
 	isLeaf := t.leaf[n]
+	if isLeaf && v.qc != nil {
+		return v.scanRangeLeaf(n, r, dq, ids)
+	}
 	count := 0
 	for k := t.entFirst[n]; k < t.entLast[n]; k++ {
 		rad := t.eRD[2*k]
@@ -626,9 +644,39 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 		}
 		return heap[0].d
 	}
+	qc := t.queryCoords(q)
+	var kcalls int64
 	var visit func(n int32, dq float64)
 	visit = func(n int32, dq float64) {
 		isLeaf := t.leaf[n]
+		if isLeaf && qc != nil {
+			// Kernel path (kernelize.go): block kernels produce the leaf's
+			// squared distances; the prefilter, the admission test and the
+			// call accounting run per entry in entry order exactly as the
+			// loop below would, so the heap — and with it every tie at the
+			// k-th distance — evolves identically.
+			var d2 [kernel.Block]float64
+			for at, last := int(t.entFirst[n]), int(t.entLast[n]); at < last; {
+				bn, _ := kernel.RangeBlock(&d2, nil, qc, t.kc, at, last, 0)
+				for i := 0; i < bn; i++ {
+					e := at + i
+					if !math.IsNaN(dq) && math.Abs(dq-t.eRD[2*e+1]) > bound()+t.eRD[2*e] {
+						continue
+					}
+					d := math.Sqrt(d2[i])
+					kcalls++
+					id := int(t.eID[e])
+					if len(heap) < k || d < heap[0].d || (d == heap[0].d && id < heap[0].id) {
+						push(kCand{id: id, d: d})
+						if len(heap) > k {
+							pop()
+						}
+					}
+				}
+				at += bn
+			}
+			return
+		}
 		for e := t.entFirst[n]; e < t.entLast[n]; e++ {
 			if !math.IsNaN(dq) && math.Abs(dq-t.eRD[2*e+1]) > bound()+t.eRD[2*e] {
 				continue
@@ -656,6 +704,9 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 		}
 	}
 	visit(0, math.NaN())
+	if kcalls > 0 {
+		t.distCalls.Add(kcalls)
+	}
 	// Extract sorted ascending.
 	out := make([]kCand, len(heap))
 	copy(out, heap)
