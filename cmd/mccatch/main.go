@@ -11,6 +11,14 @@
 //	mccatch -input data.csv
 //	mccatch -input names.txt -format text
 //	mccatch -input data.csv -a 15 -b 0.1 -c 0   # explicit hyperparameters
+//
+// Build-once/query-many: -save-index builds the index from the input and
+// writes it to disk without detecting; -index-file reopens such a file
+// (mmap-backed) and detects or probes without ever rebuilding the index:
+//
+//	mccatch -input data.csv -save-index data.idx
+//	mccatch -index-file data.idx                 # identical output to the direct run
+//	mccatch -index-file data.idx -probe 17       # one point's neighbor-count curve
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 
 	"mccatch"
@@ -42,17 +51,17 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent workers (0 = all cores, 1 = serial; output is identical)")
 		insert  = flag.Bool("insertion-build", false, "build slim-trees with the legacy insert path instead of bulk loading (slower; output is identical)")
 		incr    = flag.Bool("incremental", false, "feed the data through the mutable incremental layer (insert-all, compact, detect; output is identical)")
+		saveIdx = flag.String("save-index", "", "build the index from the input, save it to this file, and exit without detecting")
+		idxFile = flag.String("index-file", "", "open a saved index file instead of reading -input (mmap-backed; output is identical to the direct run)")
+		probe   = flag.Int("probe", -1, "print one element's neighbor-count curve (radius,count per line) instead of detecting")
+		maxHeap = flag.Int("max-heap", 0, "fail after the run if the Go heap obtained more than this many MiB from the OS (0 = no check)")
 	)
 	flag.Parse()
-
-	r := io.Reader(os.Stdin)
-	if *input != "-" {
-		f, err := os.Open(*input)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		r = f
+	if *incr && (*saveIdx != "" || *idxFile != "") {
+		log.Fatal("-incremental cannot be combined with -save-index/-index-file")
+	}
+	if *saveIdx != "" && *idxFile != "" {
+		log.Fatal("-save-index and -index-file are mutually exclusive (the index is already on disk)")
 	}
 
 	var opts []mccatch.Option
@@ -72,25 +81,131 @@ func main() {
 		opts = append(opts, mccatch.WithInsertionBuild())
 	}
 
-	res, describe, err := detect(*format, r, *incr, opts)
+	if *incr {
+		r := openInput(*input)
+		res, describe, err := detectIncremental(*format, r, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res, describe, *summary, *explain, *top, *points)
+		checkHeap(*maxHeap)
+		return
+	}
+
+	switch *format {
+	case "csv":
+		var d *mccatch.Detector[[]float64]
+		var err error
+		if *idxFile != "" {
+			d, err = mccatch.OpenVectors(*idxFile, opts...)
+		} else {
+			var pts [][]float64
+			if pts, err = readCSV(openInput(*input)); err == nil {
+				d, err = mccatch.BuildVectors(pts, opts...)
+			}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		items := d.Items()
+		describe := func(i int) string { return fmt.Sprintf("row %d %v", i, items[i]) }
+		run(d, describe, *saveIdx, *probe, *summary, *explain, *top, *points)
+	case "text":
+		var d *mccatch.Detector[string]
+		var err error
+		if *idxFile != "" {
+			d, err = mccatch.OpenStrings(*idxFile, opts...)
+		} else {
+			var words []string
+			if words, err = readLines(openInput(*input)); err == nil {
+				d, err = mccatch.BuildStrings(words, opts...)
+			}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		items := d.Items()
+		describe := func(i int) string { return fmt.Sprintf("line %d %q", i, items[i]) }
+		run(d, describe, *saveIdx, *probe, *summary, *explain, *top, *points)
+	default:
+		log.Fatalf("unknown -format %q (want csv or text)", *format)
+	}
+	checkHeap(*maxHeap)
+}
+
+// openInput opens -input (stdin for "-"); the process exit releases it.
+func openInput(input string) io.Reader {
+	if input == "-" {
+		return os.Stdin
+	}
+	f, err := os.Open(input)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	if *summary {
-		fmt.Print(res.Summary())
-	}
-	if *explain >= 0 {
-		fmt.Println(res.ExplainPoint(*explain))
-	}
-	printResult(os.Stdout, res, describe, *top, *points)
+	return f
 }
 
-// detect reads the dataset in the given format and runs the detector —
-// one-shot by default, or through the incremental layer (insert every
-// element, compact, detect) when incremental is set. Both paths produce
-// byte-identical output; TestIncrementalCLIByteIdentical pins it.
-func detect(format string, r io.Reader, incremental bool, opts []mccatch.Option) (*mccatch.Result, func(i int) string, error) {
+// run drives one built or opened detector through the requested mode:
+// save-and-exit, a single probe, or a full detection report.
+func run[T any](d *mccatch.Detector[T], describe func(i int) string, saveIdx string, probe int, summary bool, explain, top int, points bool) {
+	if saveIdx != "" {
+		if err := d.WriteFile(saveIdx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved index: %s (n=%d)\n", saveIdx, d.Size())
+		return
+	}
+	if probe >= 0 {
+		if probe >= d.Size() {
+			log.Fatalf("-probe %d out of range (n=%d)", probe, d.Size())
+		}
+		radii := d.Radii()
+		counts := d.Probe(d.Items()[probe])
+		fmt.Printf("%s\n", describe(probe))
+		for k, r := range radii {
+			fmt.Printf("%.6g,%d\n", r, counts[k])
+		}
+		return
+	}
+	res, err := d.Detect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(res, describe, summary, explain, top, points)
+}
+
+func report(res *mccatch.Result, describe func(i int) string, summary bool, explain, top int, points bool) {
+	if summary {
+		fmt.Print(res.Summary())
+	}
+	if explain >= 0 {
+		fmt.Println(res.ExplainPoint(explain))
+	}
+	printResult(os.Stdout, res, describe, top, points)
+}
+
+// checkHeap enforces -max-heap: it fails the process when the Go heap
+// obtained more than the cap from the OS. The CI memory-capped job uses
+// it to prove a query run over an mmap-backed index stays small where an
+// in-RAM rebuild of the same index cannot.
+func checkHeap(maxHeapMiB int) {
+	if maxHeapMiB <= 0 {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if got := ms.HeapSys >> 20; got > uint64(maxHeapMiB) {
+		log.Fatalf("heap grew to %d MiB, cap is %d MiB", got, maxHeapMiB)
+	}
+}
+
+// detectIncremental reads the dataset and runs it through the mutable
+// incremental layer (insert every element, compact, detect). The output
+// is byte-identical to the direct path; TestIncrementalCLIByteIdentical
+// pins it.
+func detectIncremental(format string, r io.Reader, opts []mccatch.Option) (*mccatch.Result, func(i int) string, error) {
 	switch format {
 	case "csv":
 		pts, err := readCSV(r)
@@ -98,18 +213,17 @@ func detect(format string, r io.Reader, incremental bool, opts []mccatch.Option)
 			return nil, nil, err
 		}
 		describe := func(i int) string { return fmt.Sprintf("row %d %v", i, pts[i]) }
-		if incremental {
-			inc := mccatch.NewIncrementalVectors(len(pts[0]), opts...)
-			for _, p := range pts {
-				if _, err := inc.Insert(p); err != nil {
-					return nil, nil, err
-				}
-			}
-			inc.Compact()
-			res, err := inc.Detect()
-			return res, describe, err
+		inc, err := mccatch.NewIncrementalVectors(len(pts[0]), opts...)
+		if err != nil {
+			return nil, nil, err
 		}
-		res, err := mccatch.RunVectors(pts, opts...)
+		for _, p := range pts {
+			if _, err := inc.Insert(p); err != nil {
+				return nil, nil, err
+			}
+		}
+		inc.Compact()
+		res, err := inc.Detect()
 		return res, describe, err
 	case "text":
 		words, err := readLines(r)
@@ -117,19 +231,18 @@ func detect(format string, r io.Reader, incremental bool, opts []mccatch.Option)
 			return nil, nil, err
 		}
 		describe := func(i int) string { return fmt.Sprintf("line %d %q", i, words[i]) }
-		if incremental {
-			all := append([]mccatch.Option{mccatch.DeriveWordCost(words)}, opts...)
-			inc := mccatch.NewIncremental(mccatch.Levenshtein, all...)
-			for _, w := range words {
-				if _, err := inc.Insert(w); err != nil {
-					return nil, nil, err
-				}
-			}
-			inc.Compact()
-			res, err := inc.Detect()
-			return res, describe, err
+		all := append([]mccatch.Option{mccatch.DeriveWordCost(words)}, opts...)
+		inc, err := mccatch.NewIncremental(mccatch.Levenshtein, all...)
+		if err != nil {
+			return nil, nil, err
 		}
-		res, err := mccatch.RunStrings(words, opts...)
+		for _, w := range words {
+			if _, err := inc.Insert(w); err != nil {
+				return nil, nil, err
+			}
+		}
+		inc.Compact()
+		res, err := inc.Detect()
 		return res, describe, err
 	default:
 		return nil, nil, fmt.Errorf("unknown -format %q (want csv or text)", format)

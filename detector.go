@@ -1,0 +1,377 @@
+package mccatch
+
+// Detector is the build-once/query-many handle behind the one-shot Run*
+// functions: it owns the full index over one dataset, the hyperparameters
+// fixed at construction, and (lazily) the radii schedule derived from the
+// indexed data's diameter. Construct one with Build/BuildVectors*/
+// BuildStrings, or reopen a saved index with OpenVectors/OpenStrings;
+// then call Detect any number of times, Probe for single-element
+// neighbor-count curves, and Save/WriteFile to persist the index.
+//
+// Detect on a Detector is byte-identical to the corresponding one-shot
+// Run* call over the same data and options — the wrappers are literally
+// build-then-detect — and a Detector reopened from a file detects
+// byte-identically to the Detector that saved it, whether the file is
+// mmap-backed or heap-loaded.
+//
+// A Detector is safe for concurrent reads (Detect/Probe/Radii may race
+// only on the cached radii slice, which is derived deterministically, so
+// concurrent initialization is benign only if not shared; share an
+// already-probed Detector or guard the first call). Close releases the
+// file mapping of an opened Detector and is a no-op for built ones.
+
+import (
+	"fmt"
+	"io"
+
+	"mccatch/internal/arena"
+	"mccatch/internal/core"
+	"mccatch/internal/index"
+	"mccatch/internal/kdtree"
+	"mccatch/internal/metric"
+	"mccatch/internal/rtree"
+	"mccatch/internal/slimtree"
+)
+
+// Index-file error sentinels, re-exported so callers can errors.Is
+// against the failure classes OpenVectors/OpenStrings report.
+var (
+	// ErrBadIndexFile: the file is not an index file, or its structure is
+	// inconsistent (bad magic, malformed column table, broken invariants).
+	ErrBadIndexFile = arena.ErrBadIndexFile
+	// ErrIndexVersion: the file's format version is newer than this
+	// library understands.
+	ErrIndexVersion = arena.ErrIndexVersion
+	// ErrTruncatedIndex: the file ends before its declared contents.
+	ErrTruncatedIndex = arena.ErrTruncated
+	// ErrIndexChecksum: a column's checksum does not match its bytes.
+	ErrIndexChecksum = arena.ErrChecksum
+	// ErrIndexKind: the file is a valid index of a different kind than
+	// the opener expected (e.g. a string index passed to OpenVectors).
+	ErrIndexKind = arena.ErrIndexKind
+)
+
+// Detector is a built or opened MCCATCH index plus its fixed
+// hyperparameters. The zero value is not usable; see the constructors.
+type Detector[T any] struct {
+	items   []T
+	tree    index.Index[T]
+	builder index.Builder[T]
+	params  core.Params
+	radii   []float64
+}
+
+// Build indexes items under dist with a bulk-loaded slim-tree — the
+// generic-metric backend every element type supports — and returns the
+// detector handle. Options are validated here and fixed for the
+// detector's lifetime.
+func Build[T any](items []T, dist Distance[T], opts ...Option) (*Detector[T], error) {
+	var p core.Params
+	if err := applyOptions(&p, opts); err != nil {
+		return nil, err
+	}
+	resolveSlimCapacity(&p)
+	builder := core.SlimBuilder(dist, p)
+	return &Detector[T]{items: items, tree: builder(items), builder: builder, params: p}, nil
+}
+
+// resolveSlimCapacity pins the node capacity a slim-tree backend will
+// actually use into the params. Detectors reopened from a saved index
+// learn the capacity from the file header, so the building side must
+// record the resolved value (not the 0 placeholder) for the two to
+// behave — and echo their params — identically.
+func resolveSlimCapacity(p *core.Params) {
+	if p.TreeCapacity < 4 {
+		p.TreeCapacity = slimtree.DefaultCapacity
+	}
+}
+
+// BuildVectors indexes vector data for detection under the Euclidean
+// distance with the transformation cost set to the dimensionality — the
+// counterpart of RunVectors, down to the same backend choice: the STR
+// bulk-loaded R-tree unless a slim-tree-specific option
+// (WithTreeCapacity, WithInsertionBuild, WithSlimDown) moves it to the
+// slim-tree. Points must share one dimension and be free of
+// NaN/Inf values.
+func BuildVectors(points [][]float64, opts ...Option) (*Detector[[]float64], error) {
+	p, err := vectorParams(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	if p.TreeCapacity != 0 || p.InsertionBuild || p.SlimDownPasses > 0 {
+		resolveSlimCapacity(&p)
+		builder := core.SlimBuilder(metric.Euclidean, p)
+		return &Detector[[]float64]{items: points, tree: builder(points), builder: builder, params: p}, nil
+	}
+	return buildVectorsR(points, p, 0)
+}
+
+// BuildVectorsSlim is BuildVectors pinned to the slim-tree backend
+// (RunVectorsSlim's counterpart).
+func BuildVectorsSlim(points [][]float64, opts ...Option) (*Detector[[]float64], error) {
+	p, err := vectorParams(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	resolveSlimCapacity(&p)
+	builder := core.SlimBuilder(metric.Euclidean, p)
+	return &Detector[[]float64]{items: points, tree: builder(points), builder: builder, params: p}, nil
+}
+
+// BuildVectorsKD is BuildVectors pinned to the kd-tree backend
+// (RunVectorsKD's counterpart).
+func BuildVectorsKD(points [][]float64, opts ...Option) (*Detector[[]float64], error) {
+	p, err := vectorParams(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	builder := func(sub [][]float64) index.Index[[]float64] { return kdtree.NewWithWorkers(sub, p.Workers) }
+	return &Detector[[]float64]{items: points, tree: builder(points), builder: builder, params: p}, nil
+}
+
+// BuildVectorsR is BuildVectors pinned to the R-tree backend
+// (RunVectorsR's counterpart).
+func BuildVectorsR(points [][]float64, opts ...Option) (*Detector[[]float64], error) {
+	p, err := vectorParams(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	return buildVectorsR(points, p, 0)
+}
+
+func buildVectorsR(points [][]float64, p core.Params, fanout int) (*Detector[[]float64], error) {
+	builder := func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, fanout, p.Workers) }
+	return &Detector[[]float64]{items: points, tree: builder(points), builder: builder, params: p}, nil
+}
+
+// vectorParams validates the points, seeds the vector transformation
+// cost, and applies the caller's options on top (so an explicit cost
+// option still wins).
+func vectorParams(points [][]float64, opts []Option) (core.Params, error) {
+	var p core.Params
+	dim, err := validateVectors(points)
+	if err != nil {
+		return p, err
+	}
+	if dim > 0 {
+		p.Cost = metric.VectorCost(dim)
+	}
+	if err := applyOptions(&p, opts); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// BuildStrings indexes words under the Levenshtein edit distance with the
+// word transformation cost derived from the data itself — RunStrings'
+// counterpart.
+func BuildStrings(words []string, opts ...Option) (*Detector[string], error) {
+	var p core.Params
+	if len(words) > 0 {
+		if err := DeriveWordCost(words)(&p); err != nil {
+			return nil, err
+		}
+	}
+	if err := applyOptions(&p, opts); err != nil {
+		return nil, err
+	}
+	resolveSlimCapacity(&p)
+	builder := core.SlimBuilder(metric.Levenshtein, p)
+	return &Detector[string]{items: words, tree: builder(words), builder: builder, params: p}, nil
+}
+
+// OpenVectors opens a vector index file written by Save/WriteFile —
+// kd-tree, R-tree, or vector slim-tree; the header says which — and
+// returns a ready Detector over it. The file is mmap-backed where the
+// platform allows (the hot upper tree levels stay resident, cold leaf
+// pages fault in on demand) and read into the heap otherwise, with
+// identical query results either way. The dataset itself is
+// reconstructed as views into the mapping — no separate copy of the
+// points is loaded. Options apply on top of the vector defaults exactly
+// as in BuildVectors; Close releases the mapping.
+func OpenVectors(path string, opts ...Option) (*Detector[[]float64], error) {
+	kind, err := arena.ReadKind(path)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		tree    index.Index[[]float64]
+		items   [][]float64
+		dim     int
+		slimCap int
+		builder func(p core.Params) index.Builder[[]float64]
+	)
+	switch kind {
+	case arena.KindKD:
+		t, err := kdtree.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		tree, items, dim = t, t.Items(), t.Dim()
+		builder = func(p core.Params) index.Builder[[]float64] {
+			return func(sub [][]float64) index.Index[[]float64] { return kdtree.NewWithWorkers(sub, p.Workers) }
+		}
+	case arena.KindR:
+		t, err := rtree.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		tree, items, dim = t, t.Items(), t.Dim()
+		builder = func(p core.Params) index.Builder[[]float64] {
+			return func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, t.Fanout(), p.Workers) }
+		}
+	case arena.KindSlimVec:
+		t, err := slimtree.OpenVec(path)
+		if err != nil {
+			return nil, err
+		}
+		tree, items, slimCap = t, t.Items(), t.Capacity()
+		if len(items) > 0 {
+			dim = len(items[0])
+		}
+		builder = func(p core.Params) index.Builder[[]float64] {
+			return core.SlimBuilder(metric.Euclidean, p)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %s index in %s, want a vector index", arena.ErrIndexKind, kind, path)
+	}
+	var p core.Params
+	if dim > 0 {
+		p.Cost = metric.VectorCost(dim)
+	}
+	if err := applyOptions(&p, opts); err != nil {
+		closeIndex(tree)
+		return nil, err
+	}
+	// A slim-backed file records the capacity it was built with; adopt it
+	// unless an explicit option overrode it, so the reopened detector's
+	// throwaway trees — and its echoed params — match the saving one's.
+	if slimCap > 0 && p.TreeCapacity == 0 {
+		p.TreeCapacity = slimCap
+	}
+	return &Detector[[]float64]{items: items, tree: tree, builder: builder(p), params: p}, nil
+}
+
+// OpenStrings opens a string index file written by Save/WriteFile and
+// returns a ready Detector over it, under the Levenshtein edit distance
+// with the word cost re-derived from the reconstructed words — exactly
+// the configuration BuildStrings fixes, so detection results match the
+// saving detector's. Options apply on top; Close releases the mapping.
+func OpenStrings(path string, opts ...Option) (*Detector[string], error) {
+	t, err := slimtree.OpenStr(path, metric.Levenshtein)
+	if err != nil {
+		return nil, err
+	}
+	items := t.Items()
+	var p core.Params
+	if len(items) > 0 {
+		if err := DeriveWordCost(items)(&p); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	if err := applyOptions(&p, opts); err != nil {
+		t.Close()
+		return nil, err
+	}
+	// As in OpenVectors: adopt the saved tree's capacity unless an
+	// explicit option overrode it.
+	if p.TreeCapacity == 0 {
+		p.TreeCapacity = t.Capacity()
+	}
+	builder := core.SlimBuilder(metric.Levenshtein, p)
+	return &Detector[string]{items: items, tree: t, builder: builder, params: p}, nil
+}
+
+// Detect runs the full MCCATCH pipeline over the indexed dataset and
+// returns the ranked microclusters. The full index is never rebuilt —
+// only the small throwaway trees of Steps III and IV are constructed per
+// call — so repeated detections (or a detection over a freshly opened
+// index file) skip the dominant build cost.
+func (d *Detector[T]) Detect() (*Result, error) {
+	return core.RunPrebuilt(d.items, d.tree, d.builder, d.params)
+}
+
+// Size returns the number of indexed elements.
+func (d *Detector[T]) Size() int { return d.tree.Size() }
+
+// Items returns the indexed elements in id order — the slice Detect's
+// Result indices refer to. For opened vector detectors the elements are
+// read-only views into the index mapping.
+func (d *Detector[T]) Items() []T { return d.items }
+
+// Radii returns the detector's neighborhood radii schedule (ascending;
+// last = estimated diameter), the schedule Detect uses and Probe counts
+// at. It is derived once and cached; nil when the dataset is empty or
+// has zero diameter.
+func (d *Detector[T]) Radii() []float64 {
+	if d.radii == nil {
+		a := d.params.NumRadii
+		if a == 0 {
+			a = core.DefaultNumRadii
+		}
+		if l := d.tree.DiameterEstimate(); l > 0 {
+			d.radii = core.MakeRadii(l, a)
+		}
+	}
+	return d.radii
+}
+
+// Probe returns q's neighbor count at every radius of the detector's
+// schedule — the raw neighbor-count curve MCCATCH's Step II reads
+// plateaus from — in one index traversal. It allocates only the result
+// slice, never a per-point pipeline state, so it is the cheap
+// query-many path for a detector opened from a large index file.
+func (d *Detector[T]) Probe(q T) []int {
+	radii := d.Radii()
+	if len(radii) == 0 {
+		return nil
+	}
+	return index.RangeCountMulti(d.tree, q, radii)
+}
+
+// Save writes the detector's index (structure, data, and prefilters —
+// everything queries touch) to w in the versioned arena format. Only
+// the bundled backends persist; a detector over a custom index type
+// reports an error.
+func (d *Detector[T]) Save(w io.Writer) error {
+	switch t := any(d.tree).(type) {
+	case *kdtree.Tree:
+		return t.Save(w)
+	case *rtree.Tree:
+		return t.Save(w)
+	case *slimtree.Tree[T]:
+		return t.Save(w)
+	default:
+		return fmt.Errorf("mccatch: index type %T has no on-disk format", d.tree)
+	}
+}
+
+// WriteFile saves the detector's index to path, atomically (temp file +
+// rename in the destination directory).
+func (d *Detector[T]) WriteFile(path string) error {
+	switch t := any(d.tree).(type) {
+	case *kdtree.Tree:
+		return t.WriteFile(path)
+	case *rtree.Tree:
+		return t.WriteFile(path)
+	case *slimtree.Tree[T]:
+		return t.WriteFile(path)
+	default:
+		return fmt.Errorf("mccatch: index type %T has no on-disk format", d.tree)
+	}
+}
+
+// Close releases the file mapping behind an opened detector. It is a
+// no-op for detectors built in memory, and idempotent. Any use of the
+// detector (or of Items views into the mapping) after Close is invalid.
+func (d *Detector[T]) Close() error {
+	return closeIndex(d.tree)
+}
+
+func closeIndex[T any](t index.Index[T]) error {
+	if c, ok := any(t).(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

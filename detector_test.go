@@ -1,0 +1,310 @@
+package mccatch
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func detectorPoints(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{
+			math.Round(rng.Float64()*400) / 4,
+			math.Round(rng.Float64()*400) / 4,
+			math.Round(rng.Float64()*400) / 4,
+		}
+		if rng.Intn(20) == 0 {
+			pts[i][0] += 500 // far outliers so microclusters exist
+		}
+	}
+	return pts
+}
+
+// TestDetectorSaveOpenEquivalence pins the tentpole contract on the
+// public API for every vector backend: Detect over an index saved to
+// disk and reopened is deep-equal to Detect over the freshly built
+// index, and Save of the reopened detector reproduces the file byte for
+// byte.
+func TestDetectorSaveOpenEquivalence(t *testing.T) {
+	pts := detectorPoints(300, 11)
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name  string
+		build func() (*Detector[[]float64], error)
+	}{
+		{"kd", func() (*Detector[[]float64], error) { return BuildVectorsKD(pts) }},
+		{"rtree", func() (*Detector[[]float64], error) { return BuildVectorsR(pts) }},
+		{"slim", func() (*Detector[[]float64], error) { return BuildVectorsSlim(pts) }},
+		{"default", func() (*Detector[[]float64], error) { return BuildVectors(pts) }},
+		{"default-slim-via-option", func() (*Detector[[]float64], error) {
+			return BuildVectors(pts, WithTreeCapacity(16))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			built, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := built.Detect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, tc.name+".idx")
+			if err := built.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			opened, err := OpenVectors(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer opened.Close()
+			if opened.Size() != built.Size() {
+				t.Fatalf("Size = %d, want %d", opened.Size(), built.Size())
+			}
+			got, err := opened.Detect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("opened Detect differs from built Detect")
+			}
+			// Second detection over the same handle: the index is not
+			// rebuilt, the result must not drift.
+			again, err := opened.Detect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, want) {
+				t.Fatalf("repeat Detect drifted")
+			}
+			var resaved bytes.Buffer
+			if err := opened.Save(&resaved); err != nil {
+				t.Fatal(err)
+			}
+			var original bytes.Buffer
+			if err := built.Save(&original); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(resaved.Bytes(), original.Bytes()) {
+				t.Fatalf("re-saved file differs from original (%d vs %d bytes)",
+					resaved.Len(), original.Len())
+			}
+		})
+	}
+}
+
+// TestDetectorStringsSaveOpen pins the string path: BuildStrings →
+// WriteFile → OpenStrings detects identically, with the word cost
+// re-derived from the reconstructed words.
+func TestDetectorStringsSaveOpen(t *testing.T) {
+	words := []string{"szczepkowski"}
+	for i := 0; i < 8; i++ {
+		words = append(words, "smith", "smyth", "smithe", "smitt", "smitts", "smythe")
+	}
+	built, err := BuildStrings(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := built.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "words.idx")
+	if err := built.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenStrings(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if !reflect.DeepEqual(opened.Items(), words) {
+		t.Fatalf("reconstructed words differ")
+	}
+	got, err := opened.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("opened Detect differs from built Detect")
+	}
+}
+
+// TestDetectorGenericBuild pins Build over a custom metric: it matches
+// Run, and Save reports a clear error for element types without an
+// on-disk format.
+func TestDetectorGenericBuild(t *testing.T) {
+	sets := []PointSet{
+		{{0, 0}, {1, 1}}, {{0.1, 0}, {1, 1.1}}, {{0, 0.2}, {0.9, 1}},
+		{{40, 40}, {41, 41}},
+	}
+	d, err := Build(sets, Hausdorff, WithCustomCost(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(sets, Hausdorff, WithCustomCost(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Build+Detect differs from Run")
+	}
+	// Slim-trees persist only vectors and strings; a point-set tree must
+	// refuse cleanly.
+	if err := d.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("Save of a point-set index should error")
+	}
+	if d.Close() != nil {
+		t.Fatal("Close of an in-memory detector should be a no-op")
+	}
+}
+
+// TestDetectorProbe pins Probe against the index contract: the counts
+// are RangeCountMulti at the detector's own radii schedule, and Radii is
+// cached and consistent.
+func TestDetectorProbe(t *testing.T) {
+	pts := detectorPoints(120, 5)
+	d, err := BuildVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radii := d.Radii()
+	if len(radii) == 0 {
+		t.Fatal("no radii over a non-degenerate dataset")
+	}
+	for k := 1; k < len(radii); k++ {
+		if radii[k] <= radii[k-1] {
+			t.Fatalf("radii not ascending at %d: %v", k, radii)
+		}
+	}
+	counts := d.Probe(pts[0])
+	if len(counts) != len(radii) {
+		t.Fatalf("Probe returned %d counts for %d radii", len(counts), len(radii))
+	}
+	// Brute-force oracle at every radius.
+	for k, r := range radii {
+		want := 0
+		for _, p := range pts {
+			if Euclidean(pts[0], p) <= r {
+				want++
+			}
+		}
+		if counts[k] != want {
+			t.Fatalf("Probe count at radius %g = %d, want %d", r, counts[k], want)
+		}
+	}
+	if counts[len(counts)-1] != len(pts) {
+		t.Fatalf("count at the diameter radius = %d, want n = %d", counts[len(counts)-1], len(pts))
+	}
+}
+
+// TestDetectorOpenErrors pins the decode-failure surface of the public
+// constructors: missing file, kind mismatch between the vector and
+// string openers, and corruption classified under the exported
+// sentinels.
+func TestDetectorOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenVectors(filepath.Join(dir, "nope.idx")); err == nil {
+		t.Fatal("opening a missing file should error")
+	}
+	vec, err := BuildVectors(detectorPoints(40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecPath := filepath.Join(dir, "vec.idx")
+	if err := vec.WriteFile(vecPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStrings(vecPath); !errors.Is(err, ErrIndexKind) {
+		t.Fatalf("OpenStrings on a vector index: got %v, want ErrIndexKind", err)
+	}
+	str, err := BuildStrings([]string{"aa", "ab", "ba", "zzzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strPath := filepath.Join(dir, "str.idx")
+	if err := str.WriteFile(strPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenVectors(strPath); !errors.Is(err, ErrIndexKind) {
+		t.Fatalf("OpenVectors on a string index: got %v, want ErrIndexKind", err)
+	}
+}
+
+// TestOptionValidation pins the satellite contract: every option
+// validates eagerly and surfaces a descriptive error from whichever
+// constructor it is passed to.
+func TestOptionValidation(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 0}, {9, 9}}
+	for _, tc := range []struct {
+		name string
+		opt  Option
+	}{
+		{"WithRadii(0)", WithRadii(0)},
+		{"WithRadii(1)", WithRadii(1)},
+		{"WithMaxSlope(-1)", WithMaxSlope(-1)},
+		{"WithMaxSlope(NaN)", WithMaxSlope(math.NaN())},
+		{"WithMaxSlope(+Inf)", WithMaxSlope(math.Inf(1))},
+		{"WithMaxCardinality(0)", WithMaxCardinality(0)},
+		{"WithVectorCost(0)", WithVectorCost(0)},
+		{"WithWordCost(0,5)", WithWordCost(0, 5)},
+		{"WithWordCost(26,0)", WithWordCost(26, 0)},
+		{"WithCustomCost(0)", WithCustomCost(0)},
+		{"WithCustomCost(-2)", WithCustomCost(-2)},
+		{"WithCustomCost(NaN)", WithCustomCost(math.NaN())},
+		{"WithTreeCapacity(1)", WithTreeCapacity(1)},
+		{"WithSlimDown(-1)", WithSlimDown(-1)},
+		{"WithWorkers(-3)", WithWorkers(-3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := RunVectors(pts, tc.opt); err == nil {
+				t.Errorf("RunVectors accepted %s", tc.name)
+			}
+			if _, err := BuildVectors(pts, tc.opt); err == nil {
+				t.Errorf("BuildVectors accepted %s", tc.name)
+			}
+			if _, err := Build(pts, Euclidean, tc.opt); err == nil {
+				t.Errorf("Build accepted %s", tc.name)
+			}
+			if _, err := NewIncrementalVectors(2, tc.opt); err == nil {
+				t.Errorf("NewIncrementalVectors accepted %s", tc.name)
+			}
+		})
+	}
+	// The boundary values the messages point at must still be accepted.
+	if _, err := RunVectors(pts, WithRadii(2), WithMaxSlope(0), WithMaxCardinality(1),
+		WithTreeCapacity(4), WithSlimDown(0), WithWorkers(0)); err != nil {
+		t.Fatalf("boundary-valid options rejected: %v", err)
+	}
+}
+
+// TestDetectorRunWrappersMatch pins that the rewritten one-shot wrappers
+// still return exactly what a Build+Detect pair does.
+func TestDetectorRunWrappersMatch(t *testing.T) {
+	pts := detectorPoints(150, 9)
+	want, err := RunVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BuildVectors+Detect differs from RunVectors")
+	}
+}

@@ -2,6 +2,9 @@ package mccatch_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
 
 	"mccatch"
 )
@@ -48,4 +51,49 @@ func ExampleRunStrings() {
 	}
 	// Output:
 	// szczepkowski
+}
+
+// Build once, save the index to disk, and detect from the reopened
+// (mmap-backed) file: the result is byte-identical to detecting over the
+// freshly built index, and the reopened detector never rebuilds the
+// tree.
+func ExampleDetector_save() {
+	var points [][]float64
+	for i := 0; i < 400; i++ {
+		points = append(points, []float64{float64(i%20) * 0.1, float64(i/20) * 0.1})
+	}
+	points = append(points, []float64{-40, 10}) // one-off outlier
+
+	built, err := mccatch.BuildVectors(points)
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "mccatch-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "points.idx")
+	if err := built.WriteFile(path); err != nil {
+		panic(err)
+	}
+
+	opened, err := mccatch.OpenVectors(path)
+	if err != nil {
+		panic(err)
+	}
+	defer opened.Close()
+	fresh, err := built.Detect()
+	if err != nil {
+		panic(err)
+	}
+	reopened, err := opened.Detect()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("identical:", reflect.DeepEqual(fresh, reopened))
+	fmt.Println("outliers:", reopened.Microclusters[0].Members)
+	// Output:
+	// identical: true
+	// outliers: [400]
 }

@@ -33,19 +33,20 @@ type Incremental[T any] struct {
 
 // NewIncremental returns an empty mutable detector over the metric dist,
 // indexing with the same bulk-loaded slim-tree a one-shot Run uses (so
-// Detect matches Run on the live set bit for bit). Options are fixed at
-// construction and apply to every Detect.
-func NewIncremental[T any](dist Distance[T], opts ...Option) *Incremental[T] {
+// Detect matches Run on the live set bit for bit). Options are validated
+// here, fixed at construction, and apply to every Detect.
+func NewIncremental[T any](dist Distance[T], opts ...Option) (*Incremental[T], error) {
 	var p core.Params
-	for _, o := range opts {
-		o(&p)
+	if err := applyOptions(&p, opts); err != nil {
+		return nil, err
 	}
+	resolveSlimCapacity(&p)
 	builder := core.SlimBuilder(dist, p)
 	return &Incremental[T]{
 		m:       segment.NewMutable(dist, builder, 0),
 		builder: builder,
 		params:  p,
-	}
+	}, nil
 }
 
 // NewIncrementalVectors returns an empty mutable detector for
@@ -55,13 +56,14 @@ func NewIncremental[T any](dist Distance[T], opts ...Option) *Incremental[T] {
 // bulk-loaded R-tree unless a slim-tree-specific option is passed), so
 // Detect matches RunVectors over the live set bit for bit. Insert
 // rejects points of the wrong dimension or with non-finite values.
-func NewIncrementalVectors(dim int, opts ...Option) *Incremental[[]float64] {
+func NewIncrementalVectors(dim int, opts ...Option) (*Incremental[[]float64], error) {
 	var p core.Params
-	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
-		o(&p)
+	if err := applyOptions(&p, append([]Option{WithVectorCost(dim)}, opts...)); err != nil {
+		return nil, err
 	}
 	var builder index.Builder[[]float64]
 	if p.TreeCapacity != 0 || p.InsertionBuild || p.SlimDownPasses > 0 {
+		resolveSlimCapacity(&p)
 		builder = core.SlimBuilder(metric.Euclidean, p)
 	} else {
 		builder = func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, 0, p.Workers) }
@@ -82,7 +84,7 @@ func NewIncrementalVectors(dim int, opts ...Option) *Incremental[[]float64] {
 		}
 		return nil
 	}
-	return inc
+	return inc, nil
 }
 
 // Insert adds x to the live set and returns its permanent handle, usable

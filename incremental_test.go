@@ -22,7 +22,10 @@ func TestIncrementalMatchesRunVectors(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(31))
-			inc := NewIncrementalVectors(2, tc.opts...)
+			inc, err := NewIncrementalVectors(2, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
 			inc.SetMemtableCap(10)
 			type entry struct {
 				h int64
@@ -91,7 +94,10 @@ func TestIncrementalMatchesRunStrings(t *testing.T) {
 		"jones", "joness", "jonas", "jone", "jons", "jonez",
 		"zzzzzzzzzzzzzz", "qqqqqqqqqqqqqq",
 	}
-	inc := NewIncremental(Levenshtein, DeriveWordCost(words))
+	inc, err := NewIncremental(Levenshtein, DeriveWordCost(words))
+	if err != nil {
+		t.Fatal(err)
+	}
 	inc.SetMemtableCap(5)
 	for _, w := range words {
 		if _, err := inc.Insert(w); err != nil {
@@ -113,7 +119,10 @@ func TestIncrementalMatchesRunStrings(t *testing.T) {
 
 // TestIncrementalVectorsValidation pins Insert's input checks.
 func TestIncrementalVectorsValidation(t *testing.T) {
-	inc := NewIncrementalVectors(2)
+	inc, err := NewIncrementalVectors(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := inc.Insert([]float64{1, 2, 3}); err == nil {
 		t.Error("wrong dimension should error")
 	}

@@ -1,0 +1,595 @@
+// Package arena defines the versioned on-disk format every frozen index
+// arena (kd-tree, R-tree, slim-tree) serializes to, and the mmap-backed
+// reader that reconstructs the tree views as slices over the mapping.
+//
+// The PR 5 arenas are already flat struct-of-arrays column blocks —
+// []float64 coordinates, int32 links, [first,last) child ranges — so the
+// file format is a direct dump of those columns behind one header:
+//
+//	offset 0                     header (80 fixed bytes, little-endian)
+//	offset 80                    column table, one 56-byte row per column
+//	offset align4096(...)        column 0 block
+//	offset align4096(...)        column 1 block
+//	...
+//
+// Header fields: magic "MCIX", format version, backend kind, element
+// count n, dimensionality, the dataset diameter (so a cold open never
+// re-estimates it), four backend-specific int64 scalars (R-tree fanout,
+// slim-tree capacity, ...), and the column count. Each column-table row
+// carries the column's name, element kind (float64 / int32 / uint8 /
+// bool), element count, byte offset, byte length, and a CRC-32C checksum
+// of its block.
+//
+// Every column block starts on a 4096-byte boundary. That page alignment
+// is what makes the mmap path work: a column's bytes can be reinterpreted
+// in place as a []float64 or []int32 view (alignment is guaranteed), the
+// hot upper tree levels stay resident in the page cache, and cold leaf
+// blocks page in on first touch and page out under memory pressure —
+// queries over datasets far beyond RAM never copy the file onto the heap.
+// On platforms without mmap (or under WithHeap) the reader falls back to
+// reading the file into one 8-byte-aligned heap block and serving the
+// same views from it; the two paths are indistinguishable to callers.
+//
+// Versioning policy: the version bumps whenever the header, the table
+// layout, or any backend's column set changes incompatibly; readers
+// reject newer versions with ErrIndexVersion (fail loudly rather than
+// misread a future layout) and keep decoding every older version they
+// ever shipped support for. Adding a NEW backend kind is not a version
+// bump — old readers report it as ErrIndexKind, which is the right error.
+//
+// Decode errors are classified by wrapped sentinel: ErrBadIndexFile
+// (wrong magic or malformed structure), ErrIndexVersion (format version
+// newer than this build), ErrTruncated (file shorter than its column
+// table promises), ErrChecksum (a column's CRC does not match), and
+// ErrIndexKind (the file is valid but holds a different backend's
+// arena). Backends layer their own structural validation on top so a
+// corrupt-but-well-formed file errors instead of panicking mid-slice.
+package arena
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies an mccatch index file ("MCIX" read as bytes).
+const Magic uint32 = 0x5849434D
+
+// Version is the current format version; see the package comment for the
+// versioning policy.
+const Version uint32 = 1
+
+// blockAlign is the alignment of every column block. One page on every
+// supported platform, which (a) guarantees any element type's natural
+// alignment for the in-place views and (b) keeps columns from sharing a
+// page, so paging one column in never drags a neighbor along.
+const blockAlign = 4096
+
+// Kind identifies which backend's arena a file holds.
+type Kind uint32
+
+const (
+	// KindKD is the kd-tree arena (internal/kdtree).
+	KindKD Kind = 1
+	// KindR is the STR R-tree arena (internal/rtree).
+	KindR Kind = 2
+	// KindSlimVec is a slim-tree arena over []float64 elements.
+	KindSlimVec Kind = 3
+	// KindSlimStr is a slim-tree arena over string elements.
+	KindSlimStr Kind = 4
+)
+
+// String names the kind for error messages and the CLI.
+func (k Kind) String() string {
+	switch k {
+	case KindKD:
+		return "kd"
+	case KindR:
+		return "rtree"
+	case KindSlimVec:
+		return "slim-vec"
+	case KindSlimStr:
+		return "slim-str"
+	}
+	return fmt.Sprintf("kind(%d)", uint32(k))
+}
+
+// ColKind is a column's element type.
+type ColKind uint32
+
+const (
+	ColF64  ColKind = 1 // float64, 8 bytes
+	ColI32  ColKind = 2 // int32, 4 bytes
+	ColU8   ColKind = 3 // uint8, 1 byte
+	ColBool ColKind = 4 // bool, 1 byte, values restricted to 0/1
+)
+
+func (k ColKind) elemSize() int64 {
+	switch k {
+	case ColF64:
+		return 8
+	case ColI32:
+		return 4
+	case ColU8, ColBool:
+		return 1
+	}
+	return 0
+}
+
+// Sentinel decode errors. Every decode failure wraps exactly one of
+// these, so callers can classify with errors.Is.
+var (
+	// ErrBadIndexFile marks a file that is not an mccatch index at all
+	// (wrong magic) or whose structure is internally inconsistent.
+	ErrBadIndexFile = errors.New("arena: not a valid index file")
+	// ErrIndexVersion marks a file written by a newer format version.
+	ErrIndexVersion = errors.New("arena: unsupported index format version")
+	// ErrTruncated marks a file shorter than its header or column table
+	// promises.
+	ErrTruncated = errors.New("arena: truncated index file")
+	// ErrChecksum marks a column whose stored CRC-32C does not match its
+	// bytes.
+	ErrChecksum = errors.New("arena: index column checksum mismatch")
+	// ErrIndexKind marks a valid index file opened by the wrong backend.
+	ErrIndexKind = errors.New("arena: index file holds a different backend kind")
+)
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on
+// amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	headerSize  = 80
+	colRowSize  = 56
+	colNameSize = 16
+	// maxColumns bounds the table so a hostile header cannot make the
+	// reader allocate gigabytes before any checksum runs; real arenas
+	// hold ~20 columns.
+	maxColumns = 1024
+)
+
+// column is one column-table row.
+type column struct {
+	name   string
+	kind   ColKind
+	count  int64
+	offset int64 // bytes from file start
+	length int64 // bytes
+	crc    uint32
+}
+
+// align4096 rounds n up to the next block boundary.
+func align4096(n int64) int64 {
+	return (n + blockAlign - 1) &^ (blockAlign - 1)
+}
+
+// Writer accumulates an arena's columns and serializes them behind the
+// header. Columns are written in registration order; registering borrows
+// the slices (no copy) until WriteTo runs, so they must stay unchanged
+// in between.
+type Writer struct {
+	kind     Kind
+	n, dim   int64
+	diameter float64
+	scalars  [4]int64
+	cols     []column
+	data     [][]byte // raw bytes per column, parallel to cols
+}
+
+// NewWriter starts an arena file of the given backend kind over n
+// elements of the given dimensionality (0 for nondimensional data).
+// diameter is the dataset diameter the builder computed; storing it
+// makes cold opens instant even for metric backends whose estimator
+// would otherwise re-evaluate distances. scalars carries up to four
+// backend-specific integers (fanout, capacity, ...).
+func NewWriter(kind Kind, n, dim int, diameter float64, scalars [4]int64) *Writer {
+	return &Writer{kind: kind, n: int64(n), dim: int64(dim), diameter: diameter, scalars: scalars}
+}
+
+func (w *Writer) addCol(name string, kind ColKind, count int, raw []byte) {
+	if len(name) > colNameSize {
+		panic("arena: column name too long: " + name)
+	}
+	w.cols = append(w.cols, column{name: name, kind: kind, count: int64(count), length: int64(len(raw))})
+	w.data = append(w.data, raw)
+}
+
+// F64 registers a float64 column.
+func (w *Writer) F64(name string, vals []float64) { w.addCol(name, ColF64, len(vals), f64Bytes(vals)) }
+
+// I32 registers an int32 column.
+func (w *Writer) I32(name string, vals []int32) { w.addCol(name, ColI32, len(vals), i32Bytes(vals)) }
+
+// U8 registers a uint8 column.
+func (w *Writer) U8(name string, vals []uint8) { w.addCol(name, ColU8, len(vals), vals) }
+
+// Bool registers a bool column; values are stored as bytes 0/1.
+func (w *Writer) Bool(name string, vals []bool) { w.addCol(name, ColBool, len(vals), boolBytes(vals)) }
+
+// WriteTo serializes the header, the column table and the page-aligned
+// column blocks. It works on any io.Writer (no seeking): offsets are
+// computed up front from the registered lengths, and padding is written
+// explicitly. Returns the total bytes written.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	tableEnd := int64(headerSize) + int64(len(w.cols))*colRowSize
+	at := align4096(tableEnd)
+	for i := range w.cols {
+		w.cols[i].offset = at
+		w.cols[i].crc = crc32.Checksum(w.data[i], crcTable)
+		at = align4096(at + w.cols[i].length)
+	}
+
+	le := binary.LittleEndian
+	head := make([]byte, tableEnd)
+	le.PutUint32(head[0:], Magic)
+	le.PutUint32(head[4:], Version)
+	le.PutUint32(head[8:], uint32(w.kind))
+	le.PutUint32(head[12:], 0) // reserved
+	le.PutUint64(head[16:], uint64(w.n))
+	le.PutUint64(head[24:], uint64(w.dim))
+	le.PutUint64(head[32:], math.Float64bits(w.diameter))
+	for i, s := range w.scalars {
+		le.PutUint64(head[40+8*i:], uint64(s))
+	}
+	le.PutUint32(head[72:], uint32(len(w.cols)))
+	le.PutUint32(head[76:], 0) // reserved
+	for i, c := range w.cols {
+		row := head[headerSize+i*colRowSize:]
+		copy(row[0:colNameSize], c.name)
+		le.PutUint32(row[16:], uint32(c.kind))
+		le.PutUint32(row[20:], c.crc)
+		le.PutUint64(row[24:], uint64(c.count))
+		le.PutUint64(row[32:], uint64(c.offset))
+		le.PutUint64(row[40:], uint64(c.length))
+		le.PutUint64(row[48:], 0) // reserved
+	}
+
+	total := int64(0)
+	emit := func(b []byte) error {
+		n, err := out.Write(b)
+		total += int64(n)
+		return err
+	}
+	if err := emit(head); err != nil {
+		return total, err
+	}
+	// Zero padding between blocks; one page of zeros is enough scratch.
+	var zeros [blockAlign]byte
+	pad := func(upto int64) error {
+		for total < upto {
+			n := upto - total
+			if n > blockAlign {
+				n = blockAlign
+			}
+			if err := emit(zeros[:n]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, c := range w.cols {
+		if err := pad(c.offset); err != nil {
+			return total, err
+		}
+		if err := emit(w.data[i]); err != nil {
+			return total, err
+		}
+	}
+	// Trailing pad keeps the file a whole number of pages, so the last
+	// column's mmap view never reads past EOF on the final page.
+	if err := pad(align4096(total)); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// WriteFile serializes to path via a same-directory temp file + rename,
+// so a crash mid-write never leaves a half-written index at path.
+func (w *Writer) WriteFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".mcidx-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := w.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// File is a decoded arena: the header fields plus typed views over the
+// column blocks. The views alias the backing mapping (or heap block);
+// they are valid until Close.
+type File struct {
+	Kind     Kind
+	N, Dim   int
+	Diameter float64
+	Scalars  [4]int64
+
+	cols    []column
+	data    []byte // whole file: mmap'd or heap-read
+	mapped  bool
+	mapping *mapping // non-nil when mmap-backed
+}
+
+// openOptions configures Open.
+type openOptions struct {
+	forceHeap bool
+}
+
+// Option configures Open.
+type Option func(*openOptions)
+
+// WithHeap forces the read-into-heap path even where mmap is available —
+// the non-mmap-platform fallback, kept reachable everywhere so tests can
+// pin both paths equivalent.
+func WithHeap() Option {
+	return func(o *openOptions) { o.forceHeap = true }
+}
+
+// Open maps (or reads) the index file at path and decodes its header and
+// column table, verifying every column checksum. Checksums stream the
+// file once; under mmap the touched pages remain evictable, so the pass
+// costs I/O, not residency.
+func Open(path string, opts ...Option) (*File, error) {
+	var o openOptions
+	for _, op := range opts {
+		op(&o)
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if !o.forceHeap {
+		if m, err := mmapFile(fh, size); err == nil {
+			f, derr := decode(m.data, true, m)
+			if derr != nil {
+				m.close()
+				return nil, derr
+			}
+			return f, nil
+		}
+		// mmap unavailable (platform, filesystem, empty file): fall
+		// through to the heap read.
+	}
+	data, err := readAligned(fh, size)
+	if err != nil {
+		return nil, err
+	}
+	return decode(data, false, nil)
+}
+
+// Decode decodes an arena from an in-memory byte block (heap path only;
+// used by tests and by any caller holding the bytes already). The block
+// must be 8-byte aligned for the in-place views; copy through
+// readAlignedBytes when unsure.
+func Decode(data []byte) (*File, error) {
+	return decode(alignedCopy(data), false, nil)
+}
+
+// readAligned reads the remaining size bytes of fh into an 8-byte-aligned
+// heap block (a []uint64 backing), so the in-place column views hold the
+// same alignment guarantee the page-aligned mapping gives.
+func readAligned(fh *os.File, size int64) ([]byte, error) {
+	if size < 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("%w: implausible file size %d", ErrBadIndexFile, size)
+	}
+	buf := alignedBuf(int(size))
+	if _, err := io.ReadFull(fh, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// alignedBuf returns a zeroed n-byte slice whose base is 8-byte aligned.
+func alignedBuf(n int) []byte {
+	words := make([]uint64, (n+7)/8)
+	return u64Bytes(words)[:n]
+}
+
+func alignedCopy(data []byte) []byte {
+	buf := alignedBuf(len(data))
+	copy(buf, data)
+	return buf
+}
+
+// decode parses the header + column table over data and verifies every
+// column checksum. data must outlive the returned File.
+func decode(data []byte, mapped bool, m *mapping) (*File, error) {
+	le := binary.LittleEndian
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrTruncated, len(data), headerSize)
+	}
+	if got := le.Uint32(data[0:]); got != Magic {
+		return nil, fmt.Errorf("%w: magic %#08x, want %#08x", ErrBadIndexFile, got, Magic)
+	}
+	if v := le.Uint32(data[4:]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrIndexVersion, v, Version)
+	}
+	f := &File{
+		Kind:     Kind(le.Uint32(data[8:])),
+		N:        int(int64(le.Uint64(data[16:]))),
+		Dim:      int(int64(le.Uint64(data[24:]))),
+		Diameter: math.Float64frombits(le.Uint64(data[32:])),
+		data:     data,
+		mapped:   mapped,
+		mapping:  m,
+	}
+	for i := range f.Scalars {
+		f.Scalars[i] = int64(le.Uint64(data[40+8*i:]))
+	}
+	if f.N < 0 || f.Dim < 0 {
+		return nil, fmt.Errorf("%w: negative n (%d) or dim (%d)", ErrBadIndexFile, f.N, f.Dim)
+	}
+	switch f.Kind {
+	case KindKD, KindR, KindSlimVec, KindSlimStr:
+	default:
+		return nil, fmt.Errorf("%w: unknown index kind %d", ErrBadIndexFile, uint32(f.Kind))
+	}
+	ncols := int(le.Uint32(data[72:]))
+	if ncols > maxColumns {
+		return nil, fmt.Errorf("%w: %d columns exceeds the format bound %d", ErrBadIndexFile, ncols, maxColumns)
+	}
+	tableEnd := int64(headerSize) + int64(ncols)*colRowSize
+	if int64(len(data)) < tableEnd {
+		return nil, fmt.Errorf("%w: column table needs %d bytes, file has %d", ErrTruncated, tableEnd, len(data))
+	}
+	f.cols = make([]column, ncols)
+	for i := 0; i < ncols; i++ {
+		row := data[headerSize+i*colRowSize:]
+		name := row[0:colNameSize]
+		end := 0
+		for end < colNameSize && name[end] != 0 {
+			end++
+		}
+		c := column{
+			name:   string(name[:end]),
+			kind:   ColKind(le.Uint32(row[16:])),
+			crc:    le.Uint32(row[20:]),
+			count:  int64(le.Uint64(row[24:])),
+			offset: int64(le.Uint64(row[32:])),
+			length: int64(le.Uint64(row[40:])),
+		}
+		es := c.kind.elemSize()
+		if es == 0 {
+			return nil, fmt.Errorf("%w: column %q has unknown kind %d", ErrBadIndexFile, c.name, c.kind)
+		}
+		if c.count < 0 || c.length != c.count*es {
+			return nil, fmt.Errorf("%w: column %q: %d elements of %d bytes cannot occupy %d bytes",
+				ErrBadIndexFile, c.name, c.count, es, c.length)
+		}
+		if c.offset < tableEnd || c.offset%8 != 0 {
+			return nil, fmt.Errorf("%w: column %q has misplaced offset %d", ErrBadIndexFile, c.name, c.offset)
+		}
+		if c.offset+c.length < c.offset || c.offset+c.length > int64(len(data)) {
+			return nil, fmt.Errorf("%w: column %q [%d, %d) runs past the %d-byte file",
+				ErrTruncated, c.name, c.offset, c.offset+c.length, len(data))
+		}
+		if got := crc32.Checksum(data[c.offset:c.offset+c.length], crcTable); got != c.crc {
+			return nil, fmt.Errorf("%w: column %q: computed %#08x, stored %#08x", ErrChecksum, c.name, got, c.crc)
+		}
+		if c.kind == ColBool {
+			for _, b := range data[c.offset : c.offset+c.length] {
+				if b > 1 {
+					return nil, fmt.Errorf("%w: column %q holds non-boolean byte %d", ErrBadIndexFile, c.name, b)
+				}
+			}
+		}
+		f.cols[i] = c
+	}
+	return f, nil
+}
+
+// Mapped reports whether the file is served by an mmap mapping (false on
+// the heap fallback).
+func (f *File) Mapped() bool { return f.mapped }
+
+// Close releases the mapping (or lets the heap block be collected). Any
+// column view obtained from the file — and any tree built over one — is
+// invalid afterwards.
+func (f *File) Close() error {
+	f.data = nil
+	f.cols = nil
+	if f.mapping != nil {
+		m := f.mapping
+		f.mapping = nil
+		return m.close()
+	}
+	return nil
+}
+
+// ExpectKind returns ErrIndexKind unless the file holds the given
+// backend kind.
+func (f *File) ExpectKind(k Kind) error {
+	if f.Kind != k {
+		return fmt.Errorf("%w: file holds %v, reader wants %v", ErrIndexKind, f.Kind, k)
+	}
+	return nil
+}
+
+func (f *File) col(name string, kind ColKind) (column, error) {
+	for _, c := range f.cols {
+		if c.name == name {
+			if c.kind != kind {
+				return column{}, fmt.Errorf("%w: column %q has kind %d, want %d", ErrBadIndexFile, name, c.kind, kind)
+			}
+			return c, nil
+		}
+	}
+	return column{}, fmt.Errorf("%w: missing column %q", ErrBadIndexFile, name)
+}
+
+// F64 returns the named float64 column as an in-place view.
+func (f *File) F64(name string) ([]float64, error) {
+	c, err := f.col(name, ColF64)
+	if err != nil {
+		return nil, err
+	}
+	return bytesF64(f.data[c.offset : c.offset+c.length]), nil
+}
+
+// I32 returns the named int32 column as an in-place view.
+func (f *File) I32(name string) ([]int32, error) {
+	c, err := f.col(name, ColI32)
+	if err != nil {
+		return nil, err
+	}
+	return bytesI32(f.data[c.offset : c.offset+c.length]), nil
+}
+
+// U8 returns the named uint8 column as an in-place view.
+func (f *File) U8(name string) ([]uint8, error) {
+	c, err := f.col(name, ColU8)
+	if err != nil {
+		return nil, err
+	}
+	return f.data[c.offset : c.offset+c.length], nil
+}
+
+// Bool returns the named bool column as an in-place view (bytes were
+// validated 0/1 at decode time).
+func (f *File) Bool(name string) ([]bool, error) {
+	c, err := f.col(name, ColBool)
+	if err != nil {
+		return nil, err
+	}
+	return bytesBool(f.data[c.offset : c.offset+c.length]), nil
+}
+
+// ReadKind peeks at the file's backend kind without decoding columns —
+// the CLI uses it to dispatch element types before committing to a full
+// open.
+func ReadKind(path string) (Kind, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer fh.Close()
+	var head [headerSize]byte
+	if _, err := io.ReadFull(fh, head[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(head[0:]); got != Magic {
+		return 0, fmt.Errorf("%w: magic %#08x, want %#08x", ErrBadIndexFile, got, Magic)
+	}
+	if v := le.Uint32(head[4:]); v != Version {
+		return 0, fmt.Errorf("%w: file version %d, this build reads version %d", ErrIndexVersion, v, Version)
+	}
+	return Kind(le.Uint32(head[8:])), nil
+}

@@ -1,0 +1,257 @@
+package arena
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleWriter builds a writer with one column of every kind plus header
+// metadata, the shared fixture of the round-trip and corruption tests.
+func sampleWriter() (*Writer, []float64, []int32, []uint8, []bool) {
+	f64 := []float64{0, 1.5, -2.25, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	i32 := []int32{-1, 0, 7, 1 << 30, -(1 << 30)}
+	u8 := []uint8{0, 1, 127, 255}
+	bl := []bool{true, false, true, true}
+	w := NewWriter(KindKD, 6, 3, 12.75, [4]int64{42, -7, 0, 1})
+	w.F64("pts", f64)
+	w.I32("links", i32)
+	w.U8("codes", u8)
+	w.Bool("leaf", bl)
+	return w, f64, i32, u8, bl
+}
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	w, _, _, _, _ := sampleWriter()
+	path := filepath.Join(t.TempDir(), "idx.mcidx")
+	if err := w.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTripMmapAndHeap(t *testing.T) {
+	path := writeSample(t)
+	_, f64, i32, u8, bl := sampleWriter()
+	for _, opts := range [][]Option{nil, {WithHeap()}} {
+		f, err := Open(path, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(opts) > 0 && f.Mapped() {
+			t.Error("WithHeap still mapped")
+		}
+		if f.Kind != KindKD || f.N != 6 || f.Dim != 3 || f.Diameter != 12.75 {
+			t.Errorf("header mismatch: %+v", f)
+		}
+		if f.Scalars != [4]int64{42, -7, 0, 1} {
+			t.Errorf("scalars mismatch: %v", f.Scalars)
+		}
+		gotF, err := f.F64("pts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotI, err := f.I32("links")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotU, err := f.U8("codes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := f.Bool("leaf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotF, f64) || !reflect.DeepEqual(gotI, i32) ||
+			!reflect.DeepEqual(gotU, u8) || !reflect.DeepEqual(gotB, bl) {
+			t.Errorf("column round trip mismatch (mapped=%v)", f.Mapped())
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestColumnBlocksArePageAligned(t *testing.T) {
+	w, _, _, _, _ := sampleWriter()
+	var buf bytes.Buffer
+	n, err := w.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+	if n%blockAlign != 0 {
+		t.Errorf("file size %d not page-padded", n)
+	}
+	f, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range f.cols {
+		if c.offset%blockAlign != 0 {
+			t.Errorf("column %q offset %d not page aligned", c.name, c.offset)
+		}
+	}
+}
+
+func TestMissingAndMistypedColumns(t *testing.T) {
+	path := writeSample(t)
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.F64("nope"); !errors.Is(err, ErrBadIndexFile) {
+		t.Errorf("missing column: got %v", err)
+	}
+	if _, err := f.I32("pts"); !errors.Is(err, ErrBadIndexFile) {
+		t.Errorf("mistyped column: got %v", err)
+	}
+	if err := f.ExpectKind(KindKD); err != nil {
+		t.Errorf("ExpectKind(KindKD): %v", err)
+	}
+	if err := f.ExpectKind(KindR); !errors.Is(err, ErrIndexKind) {
+		t.Errorf("ExpectKind(KindR): got %v", err)
+	}
+}
+
+// corrupt writes the sample file, applies f to its bytes, and returns the
+// decode error from both the mmap and heap paths (asserting they agree on
+// the sentinel).
+func corrupt(t *testing.T, mutate func([]byte) []byte) error {
+	t.Helper()
+	w, _, _, _, _ := sampleWriter()
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := mutate(append([]byte(nil), buf.Bytes()...))
+	path := filepath.Join(t.TempDir(), "bad.mcidx")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, mmapErr := Open(path)
+	_, heapErr := Open(path, WithHeap())
+	if (mmapErr == nil) != (heapErr == nil) {
+		t.Fatalf("mmap/heap disagree: %v vs %v", mmapErr, heapErr)
+	}
+	if mmapErr != nil && heapErr != nil {
+		for _, sentinel := range []error{ErrBadIndexFile, ErrIndexVersion, ErrTruncated, ErrChecksum} {
+			if errors.Is(mmapErr, sentinel) != errors.Is(heapErr, sentinel) {
+				t.Fatalf("mmap/heap classify differently: %v vs %v", mmapErr, heapErr)
+			}
+		}
+	}
+	return mmapErr
+}
+
+func TestDecodeErrors(t *testing.T) {
+	le := binary.LittleEndian
+	t.Run("wrong magic", func(t *testing.T) {
+		err := corrupt(t, func(b []byte) []byte { le.PutUint32(b[0:], 0xDEADBEEF); return b })
+		if !errors.Is(err, ErrBadIndexFile) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		err := corrupt(t, func(b []byte) []byte { le.PutUint32(b[4:], Version+1); return b })
+		if !errors.Is(err, ErrIndexVersion) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		err := corrupt(t, func(b []byte) []byte { return b[:headerSize-8] })
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("truncated column", func(t *testing.T) {
+		err := corrupt(t, func(b []byte) []byte { return b[:len(b)-blockAlign] })
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("checksum mismatch", func(t *testing.T) {
+		err := corrupt(t, func(b []byte) []byte {
+			b[len(b)-blockAlign] ^= 0xFF // first byte of the last column block
+			return b
+		})
+		if !errors.Is(err, ErrChecksum) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("non-boolean bool byte", func(t *testing.T) {
+		err := corrupt(t, func(b []byte) []byte {
+			// Patch the bool column to a 2 and fix its CRC so the bool
+			// validation, not the checksum, must catch it.
+			off := len(b) - blockAlign
+			b[off] = 2
+			crc := crc32.Checksum(b[off:off+4], crcTable)
+			// Bool column is table row 3.
+			row := headerSize + 3*colRowSize
+			le.PutUint32(b[row+20:], crc)
+			return b
+		})
+		if !errors.Is(err, ErrBadIndexFile) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("column past EOF", func(t *testing.T) {
+		err := corrupt(t, func(b []byte) []byte {
+			row := headerSize + 0*colRowSize
+			le.PutUint64(b[row+32:], uint64(len(b))) // offset at EOF, length > 0
+			return b
+		})
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("empty file", func(t *testing.T) {
+		err := corrupt(t, func(b []byte) []byte { return nil })
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v", err)
+		}
+	})
+}
+
+func TestReadKind(t *testing.T) {
+	path := writeSample(t)
+	k, err := ReadKind(path)
+	if err != nil || k != KindKD {
+		t.Fatalf("ReadKind = %v, %v", k, err)
+	}
+	bad := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(bad, []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadKind(bad); !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadIndexFile) {
+		t.Errorf("junk ReadKind: %v", err)
+	}
+}
+
+func TestEmptyColumnsRoundTrip(t *testing.T) {
+	w := NewWriter(KindSlimStr, 0, 0, 0, [4]int64{})
+	w.F64("empty", nil)
+	w.I32("alsoempty", nil)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals, err := f.F64("empty"); err != nil || len(vals) != 0 {
+		t.Errorf("empty column: %v, %v", vals, err)
+	}
+}

@@ -1,0 +1,107 @@
+package arena
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// The on-disk format is little-endian. On little-endian hosts — every
+// first-class Go platform — the typed column views reinterpret the file
+// bytes in place (the whole point of the mmap path: no copy, no decode).
+// On a big-endian host the same helpers transparently fall back to
+// explicit encode/decode copies: correct everywhere, zero-copy where it
+// matters.
+var hostLittleEndian = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// f64Bytes returns vals' bytes in file (little-endian) order.
+func f64Bytes(vals []float64) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*8)
+	}
+	out := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// i32Bytes returns vals' bytes in file order.
+func i32Bytes(vals []int32) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals)*4)
+	}
+	out := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}
+
+// boolBytes returns vals as 0/1 bytes. Go stores bool as one byte whose
+// valid values are exactly 0 and 1, so the in-place view is already the
+// file encoding on any endianness.
+func boolBytes(vals []bool) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), len(vals))
+}
+
+// u64Bytes views a []uint64 as bytes; used to mint 8-byte-aligned heap
+// buffers.
+func u64Bytes(words []uint64) []byte {
+	if len(words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)
+}
+
+// bytesF64 views a column block as []float64. b's base must be 8-byte
+// aligned and its length a multiple of 8 (both established by decode).
+func bytesF64(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// bytesI32 views a column block as []int32.
+func bytesI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// bytesBool views a column block as []bool (decode verified every byte
+// is 0/1, so the reinterpretation is sound).
+func bytesBool(b []byte) []bool {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*bool)(unsafe.Pointer(&b[0])), len(b))
+}

@@ -1,0 +1,51 @@
+package arena_test
+
+// TestGenerateFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzIndexFileOpen — one valid index file per backend
+// kind plus truncated/corrupted variants, in Go's fuzz-corpus encoding.
+// It is a no-op unless MCCATCH_GEN_CORPUS=1, so a normal test run never
+// rewrites testdata:
+//
+//	MCCATCH_GEN_CORPUS=1 go test -run TestGenerateFuzzCorpus ./internal/arena/
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("MCCATCH_GEN_CORPUS") != "1" {
+		t.Skip("set MCCATCH_GEN_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzIndexFileOpen")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"kd", "rtree", "slimvec", "slimstr"}
+	files := seedFiles(t)
+	for i, data := range files {
+		writeCorpusEntry(t, filepath.Join(dir, "seed_"+names[i]), data)
+	}
+	kd := files[0]
+	writeCorpusEntry(t, filepath.Join(dir, "seed_truncated"), kd[:100])
+	flipped := append([]byte(nil), kd...)
+	flipped[96] ^= 0x40 // a byte inside the first column block: checksum mismatch
+	writeCorpusEntry(t, filepath.Join(dir, "seed_bitflip"), flipped)
+	badmagic := append([]byte(nil), kd...)
+	badmagic[0] ^= 0xFF
+	writeCorpusEntry(t, filepath.Join(dir, "seed_badmagic"), badmagic)
+	badver := append([]byte(nil), kd...)
+	badver[4] = 0x7F
+	writeCorpusEntry(t, filepath.Join(dir, "seed_badversion"), badver)
+}
+
+func writeCorpusEntry(t *testing.T, path string, data []byte) {
+	t.Helper()
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

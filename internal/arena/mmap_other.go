@@ -1,0 +1,20 @@
+//go:build !unix
+
+package arena
+
+import (
+	"errors"
+	"os"
+)
+
+// mapping is unused on platforms without mmap; Open always takes the
+// read-into-heap fallback there.
+type mapping struct {
+	data []byte
+}
+
+func mmapFile(fh *os.File, size int64) (*mapping, error) {
+	return nil, errors.New("arena: mmap unavailable on this platform")
+}
+
+func (m *mapping) close() error { return nil }

@@ -1,0 +1,42 @@
+//go:build unix
+
+package arena
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapping is one live read-only file mapping.
+type mapping struct {
+	data []byte
+}
+
+// mmapFile maps the whole file read-only. MAP_SHARED keeps the pages
+// file-backed and clean, so under memory pressure the kernel drops them
+// instead of swapping — the paging behavior the out-of-core arenas rely
+// on. Failures (empty file, filesystems without mmap) make Open fall
+// back to the heap read.
+func mmapFile(fh *os.File, size int64) (*mapping, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("arena: cannot mmap %d bytes", size)
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("arena: file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(fh.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mapping{data: data}, nil
+}
+
+func (m *mapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

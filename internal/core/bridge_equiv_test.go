@@ -51,7 +51,7 @@ func assertBridgeEquiv[T any](t *testing.T, label string, items []T, build func(
 	if l <= 0 {
 		l = 1
 	}
-	radii := makeRadii(l, DefaultNumRadii)
+	radii := MakeRadii(l, DefaultNumRadii)
 	want := join.BridgeRadiiPerPoint(tr, out, radii, 1)
 	for _, workers := range bridgeWorkerCounts {
 		got := join.BridgeRadii(tr, out, radii, workers)

@@ -193,7 +193,19 @@ type IncrementalSource[T any] interface {
 // builder is invoked for the full dataset and for the sub-sets the
 // algorithm indexes along the way (group candidates, inliers).
 func RunWithIndex[T any](items []T, dist metric.Distance[T], builder index.Builder[T], params Params) (*Result, error) {
-	return pipeline(items, builder, nil, params)
+	return pipeline(items, nil, builder, nil, params)
+}
+
+// RunPrebuilt executes MCCATCH over an ALREADY-BUILT full index — the
+// build-once/query-many path behind the public Detector handle (and its
+// file-opened form, where tree is a mapping over an index file). items
+// must be the indexed elements in id order; builder is used only for the
+// small throwaway trees of Step III's gelling and Step IV's inlier index,
+// and must match the access method of tree for the Result to be
+// byte-identical with a fresh RunWithIndex over the same items (all
+// backends agree on vector data, so there it only moves constants).
+func RunPrebuilt[T any](items []T, tree index.Index[T], builder index.Builder[T], params Params) (*Result, error) {
+	return pipeline(items, tree, builder, nil, params)
 }
 
 // RunIncremental executes MCCATCH over an incremental source's live set
@@ -204,15 +216,15 @@ func RunWithIndex[T any](items []T, dist metric.Distance[T], builder index.Build
 // ANY insert/delete sequence; the equivalence property and fuzz tests pin
 // this at workers 1/2/8.
 func RunIncremental[T any](src IncrementalSource[T], builder index.Builder[T], params Params) (*Result, error) {
-	return pipeline(src.Live(), builder, src, params)
+	return pipeline(src.Live(), nil, builder, src, params)
 }
 
 // pipeline is the shared four-step driver. src == nil is the one-shot
-// mode: the full index is freshly built, and Step IV's inlier index is
-// freshly built over the inlier subset. With a src, both come from the
-// incremental layer instead (the full index IS src; the inlier index is
-// src's masked view) and items is src.Live().
-func pipeline[T any](items []T, builder index.Builder[T], src IncrementalSource[T], params Params) (*Result, error) {
+// mode: the full index is prebuilt (non-nil) or freshly built, and Step
+// IV's inlier index is freshly built over the inlier subset. With a src,
+// both come from the incremental layer instead (the full index IS src;
+// the inlier index is src's masked view) and items is src.Live().
+func pipeline[T any](items []T, prebuilt index.Index[T], builder index.Builder[T], src IncrementalSource[T], params Params) (*Result, error) {
 	n := len(items)
 	if n == 0 {
 		return nil, ErrEmptyDataset
@@ -224,9 +236,12 @@ func pipeline[T any](items []T, builder index.Builder[T], src IncrementalSource[
 
 	// Step I — define the neighborhood radii (Alg. 1 L1-3).
 	var tree index.Index[T]
-	if src != nil {
+	switch {
+	case src != nil:
 		tree = src
-	} else {
+	case prebuilt != nil:
+		tree = prebuilt
+	default:
 		tree = builder(items)
 	}
 	l := tree.DiameterEstimate()
@@ -245,7 +260,7 @@ func pipeline[T any](items []T, builder index.Builder[T], src IncrementalSource[
 		}
 		return res, nil
 	}
-	radii := makeRadii(l, p.NumRadii)
+	radii := MakeRadii(l, p.NumRadii)
 	res.Radii = radii
 
 	// Step II — build the 'Oracle' plot (Alg. 2).
@@ -270,8 +285,8 @@ func pipeline[T any](items []T, builder index.Builder[T], src IncrementalSource[
 	return res, nil
 }
 
-// makeRadii returns R = {l/2^(a-1), ..., l/2, l} (Alg. 1 L3), ascending.
-func makeRadii(l float64, a int) []float64 {
+// MakeRadii returns R = {l/2^(a-1), ..., l/2, l} (Alg. 1 L3), ascending.
+func MakeRadii(l float64, a int) []float64 {
 	radii := make([]float64, a)
 	for e := 0; e < a; e++ {
 		radii[e] = l / math.Pow(2, float64(a-1-e))

@@ -29,7 +29,7 @@ func assertMultiCountEquiv[T any](t *testing.T, label string, tr index.Index[T],
 	if l <= 0 {
 		l = 1
 	}
-	radii := makeRadii(l, DefaultNumRadii)
+	radii := MakeRadii(l, DefaultNumRadii)
 	for qi, q := range queries {
 		got := index.RangeCountMulti(tr, q, radii)
 		for e, r := range radii {

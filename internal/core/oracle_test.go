@@ -55,7 +55,7 @@ func TestPlateausSingleRadius(t *testing.T) {
 }
 
 func TestFirstPlateauLength(t *testing.T) {
-	radii := makeRadii(128, 8) // 1, 2, 4, ..., 128
+	radii := MakeRadii(128, 8) // 1, 2, 4, ..., 128
 	// First plateau [r0, r2]: length 4-1=3.
 	ps := []plateau{{0, 2, 1}, {3, 7, 50}}
 	if got := firstPlateauLength(ps, radii); got != 3 {
@@ -74,7 +74,7 @@ func TestFirstPlateauLength(t *testing.T) {
 }
 
 func TestMiddlePlateauLength(t *testing.T) {
-	radii := makeRadii(128, 8)
+	radii := MakeRadii(128, 8)
 	c := 20
 	// Candidates must have 1 < height ≤ c and not end at the diameter.
 	ps := []plateau{
@@ -99,7 +99,7 @@ func TestMiddlePlateauLength(t *testing.T) {
 }
 
 func TestBinOf(t *testing.T) {
-	radii := makeRadii(128, 8) // 1..128 powers of 2
+	radii := MakeRadii(128, 8) // 1..128 powers of 2
 	if got := binOf(0, radii); got != 0 {
 		t.Errorf("binOf(0) = %d, want 0", got)
 	}
@@ -117,7 +117,7 @@ func TestBinOf(t *testing.T) {
 }
 
 func TestMakeRadii(t *testing.T) {
-	radii := makeRadii(100, 5)
+	radii := MakeRadii(100, 5)
 	want := []float64{100. / 16, 100. / 8, 100. / 4, 100. / 2, 100}
 	for i := range want {
 		if math.Abs(radii[i]-want[i]) > 1e-12 {

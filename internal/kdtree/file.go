@@ -1,0 +1,227 @@
+package kdtree
+
+// Persistence: a frozen kd-tree arena is one header away from a file.
+// Save dumps the arena's columns behind internal/arena's versioned
+// header; Open rebuilds the tree as slice views over the mapping (hot
+// upper preorder slots stay resident, cold leaf ranges page on demand)
+// or over one heap block on platforms without mmap. A file-backed tree
+// answers every query identically to the tree that saved it: the columns
+// are bit-identical and the traversals touch nothing else.
+//
+// Open validates the preorder invariants the traversals rely on — the
+// same ones arena_test pins for fresh builds — so a corrupt file (or a
+// crafted one) returns an error instead of an out-of-bounds panic or a
+// non-terminating recursion.
+
+import (
+	"fmt"
+	"io"
+
+	"mccatch/internal/arena"
+	"mccatch/internal/kernel"
+)
+
+// Save writes the tree in the arena index-file format.
+func (t *Tree) Save(w io.Writer) error {
+	_, err := t.writer().WriteTo(w)
+	return err
+}
+
+// WriteFile writes the tree to path (atomically: temp file + rename).
+func (t *Tree) WriteFile(path string) error {
+	return t.writer().WriteFile(path)
+}
+
+func (t *Tree) writer() *arena.Writer {
+	var scalars [4]int64
+	if t.sum != nil {
+		scalars[0] = 1
+	}
+	w := arena.NewWriter(arena.KindKD, t.size, t.dim, t.DiameterEstimate(), scalars)
+	w.F64("pts", t.pts)
+	w.I32("ids", t.ids)
+	w.I32("axis", t.axis)
+	w.I32("count", t.count)
+	w.I32("left", t.left)
+	w.I32("right", t.right)
+	w.I32("parent", t.parent)
+	w.F64("lo", t.lo)
+	w.F64("hi", t.hi)
+	if t.sum != nil {
+		base, scale, qlo, qhi := t.sum.Columns()
+		w.F64("sum.base", base)
+		w.F64("sum.scale", scale)
+		w.U8("sum.qlo", qlo)
+		w.U8("sum.qhi", qhi)
+	}
+	return w
+}
+
+// Open opens a kd-tree index file: mmap-backed where available, heap-read
+// otherwise (or under arena.WithHeap). Close the tree to release the
+// mapping; every query on the tree after Close is invalid.
+func Open(path string, opts ...arena.Option) (*Tree, error) {
+	f, err := arena.Open(path, opts...)
+	if err != nil {
+		return nil, err
+	}
+	t, err := FromFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// FromFile reconstructs a kd-tree over an already-opened arena file. On
+// success the tree owns f and Close releases it.
+func FromFile(f *arena.File) (*Tree, error) {
+	if err := f.ExpectKind(arena.KindKD); err != nil {
+		return nil, err
+	}
+	t := &Tree{size: f.N, dim: f.Dim, src: f}
+	if f.N == 0 {
+		return t, nil
+	}
+	var err error
+	get64 := func(name string, want int) []float64 {
+		vals, e := f.F64(name)
+		if e != nil {
+			err = e
+		} else if len(vals) != want && err == nil {
+			err = fmt.Errorf("%w: column %q has %d elements, want %d", arena.ErrBadIndexFile, name, len(vals), want)
+		}
+		return vals
+	}
+	get32 := func(name string, want int) []int32 {
+		vals, e := f.I32(name)
+		if e != nil {
+			err = e
+		} else if len(vals) != want && err == nil {
+			err = fmt.Errorf("%w: column %q has %d elements, want %d", arena.ErrBadIndexFile, name, len(vals), want)
+		}
+		return vals
+	}
+	n := f.N
+	t.pts = get64("pts", n*t.dim)
+	t.ids = get32("ids", n)
+	t.axis = get32("axis", n)
+	t.count = get32("count", n)
+	t.left = get32("left", n)
+	t.right = get32("right", n)
+	t.parent = get32("parent", n)
+	t.lo = get64("lo", n*t.dim)
+	t.hi = get64("hi", n*t.dim)
+	if err != nil {
+		return nil, err
+	}
+	if f.Scalars[0] != 0 {
+		base, e1 := f.F64("sum.base")
+		scale, e2 := f.F64("sum.scale")
+		qlo, e3 := f.U8("sum.qlo")
+		qhi, e4 := f.U8("sum.qhi")
+		for _, e := range []error{e1, e2, e3, e4} {
+			if e != nil {
+				return nil, e
+			}
+		}
+		if t.sum = kernel.NewSummaryFromColumns(t.dim, n, base, scale, qlo, qhi); t.sum == nil {
+			return nil, fmt.Errorf("%w: malformed block-summary columns", arena.ErrBadIndexFile)
+		}
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Dim returns the dimensionality of the indexed points (0 when empty).
+func (t *Tree) Dim() int { return t.dim }
+
+// Items returns the indexed points in id order, reconstructed from the
+// arena (each point is a read-only view into the coordinate block, so a
+// file-backed tree materializes its dataset without copying it).
+func (t *Tree) Items() [][]float64 {
+	items := make([][]float64, t.size)
+	for p := 0; p < t.size; p++ {
+		items[t.ids[p]] = t.pts[p*t.dim : (p+1)*t.dim : (p+1)*t.dim]
+	}
+	return items
+}
+
+// Close releases the backing file mapping of a tree produced by
+// Open/FromFile (no-op for trees built in memory).
+func (t *Tree) Close() error {
+	if t.src == nil {
+		return nil
+	}
+	f := t.src
+	t.src = nil
+	return f.Close()
+}
+
+// validate checks the preorder arena invariants every traversal relies
+// on for termination and bounds safety: slot p's subtree is exactly the
+// contiguous range [p, p+count[p]), the left child (when present) is
+// p+1 with subtree size count[p]/2, the right child is p+1+count[p]/2
+// with the remainder, parents invert children, ids is a permutation,
+// and every split axis indexes a real dimension. O(n).
+func (t *Tree) validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: kd arena: %s", arena.ErrBadIndexFile, fmt.Sprintf(format, args...))
+	}
+	n := int32(t.size)
+	if t.dim <= 0 {
+		return bad("dimension %d", t.dim)
+	}
+	if t.count[0] != n {
+		return bad("root count %d over %d slots", t.count[0], n)
+	}
+	if t.parent[0] != noChild {
+		return bad("root has parent %d", t.parent[0])
+	}
+	seen := make([]bool, n)
+	for p := int32(0); p < n; p++ {
+		c := t.count[p]
+		if c < 1 || p+c > n {
+			return bad("slot %d: count %d out of range", p, c)
+		}
+		if a := t.axis[p]; a < 0 || int(a) >= t.dim {
+			return bad("slot %d: axis %d of %d dims", p, a, t.dim)
+		}
+		id := t.ids[p]
+		if id < 0 || id >= n || seen[id] {
+			return bad("slot %d: id %d missing or duplicated", p, id)
+		}
+		seen[id] = true
+		mid := c / 2
+		rsize := c - 1 - mid
+		wantLeft, wantRight := int32(noChild), int32(noChild)
+		if mid > 0 {
+			wantLeft = p + 1
+		}
+		if rsize > 0 {
+			wantRight = p + 1 + mid
+		}
+		if t.left[p] != wantLeft || t.right[p] != wantRight {
+			return bad("slot %d: children (%d, %d), want (%d, %d)", p, t.left[p], t.right[p], wantLeft, wantRight)
+		}
+		if wantLeft != noChild {
+			if t.count[wantLeft] != mid {
+				return bad("slot %d: left subtree count %d, want %d", p, t.count[wantLeft], mid)
+			}
+			if t.parent[wantLeft] != p {
+				return bad("slot %d: left child parent %d", p, t.parent[wantLeft])
+			}
+		}
+		if wantRight != noChild {
+			if t.count[wantRight] != rsize {
+				return bad("slot %d: right subtree count %d, want %d", p, t.count[wantRight], rsize)
+			}
+			if t.parent[wantRight] != p {
+				return bad("slot %d: right child parent %d", p, t.parent[wantRight])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package kdtree
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mccatch/internal/arena"
+)
+
+func filePoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 10
+		}
+		pts[i] = row
+	}
+	return pts
+}
+
+// queryEquivalent drives every public query path on both trees and
+// demands identical answers — the save→open equivalence contract.
+func queryEquivalent(t *testing.T, label string, want, got *Tree, queries [][]float64) {
+	t.Helper()
+	if want.Size() != got.Size() {
+		t.Fatalf("%s: size %d vs %d", label, want.Size(), got.Size())
+	}
+	if d1, d2 := want.DiameterEstimate(), got.DiameterEstimate(); d1 != d2 {
+		t.Errorf("%s: diameter %v vs %v", label, d1, d2)
+	}
+	radii := []float64{0.5, 2, 8, 32}
+	for qi, q := range queries {
+		for _, r := range radii {
+			if c1, c2 := want.RangeCount(q, r), got.RangeCount(q, r); c1 != c2 {
+				t.Fatalf("%s: RangeCount(q%d, %v) %d vs %d", label, qi, r, c1, c2)
+			}
+			if i1, i2 := want.RangeQuery(q, r), got.RangeQuery(q, r); !reflect.DeepEqual(i1, i2) {
+				t.Fatalf("%s: RangeQuery(q%d, %v) mismatch", label, qi, r)
+			}
+		}
+		if m1, m2 := want.RangeCountMulti(q, radii), got.RangeCountMulti(q, radii); !reflect.DeepEqual(m1, m2) {
+			t.Fatalf("%s: RangeCountMulti(q%d) %v vs %v", label, qi, m1, m2)
+		}
+		i1, d1 := want.KNN(q, 5)
+		i2, d2 := got.KNN(q, 5)
+		if !reflect.DeepEqual(i1, i2) || !reflect.DeepEqual(d1, d2) {
+			t.Fatalf("%s: KNN(q%d) mismatch", label, qi)
+		}
+	}
+	if a1, a2 := want.CountAllMulti(radii, 2), got.CountAllMulti(radii, 2); !reflect.DeepEqual(a1, a2) {
+		t.Errorf("%s: CountAllMulti mismatch", label)
+	}
+	if b1, b2 := want.BridgeFirsts(queries, radii, 2), got.BridgeFirsts(queries, radii, 2); !reflect.DeepEqual(b1, b2) {
+		t.Errorf("%s: BridgeFirsts mismatch", label)
+	}
+}
+
+func TestFileRoundTripEquivalence(t *testing.T) {
+	for _, n := range []int{1, 7, 300} { // 300 > kernel.Block → summary present
+		pts := filePoints(n, 3, int64(n))
+		built := New(pts)
+		queries := filePoints(16, 3, 99)
+
+		path := filepath.Join(t.TempDir(), "kd.mcidx")
+		if err := built.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			label string
+			opts  []arena.Option
+		}{{"mmap", nil}, {"heap", []arena.Option{arena.WithHeap()}}} {
+			opened, err := Open(path, tc.opts...)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, tc.label, err)
+			}
+			queryEquivalent(t, tc.label, built, opened, queries)
+			if (built.sum != nil) != (opened.sum != nil) {
+				t.Errorf("n=%d %s: summary presence diverged", n, tc.label)
+			}
+			// A file-backed tree must itself round-trip: save it again and
+			// compare the bytes against the original save.
+			var first, second bytes.Buffer
+			if err := built.Save(&first); err != nil {
+				t.Fatal(err)
+			}
+			if err := opened.Save(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("n=%d %s: re-save not byte-identical", n, tc.label)
+			}
+			if err := opened.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := opened.Close(); err != nil { // idempotent
+				t.Fatal(err)
+			}
+		}
+		if err := built.Close(); err != nil { // no-op for in-memory trees
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFileEmptyTree(t *testing.T) {
+	built := New(nil)
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := arena.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := FromFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Size() != 0 || opened.DiameterEstimate() != 0 {
+		t.Errorf("empty tree round trip: size %d", opened.Size())
+	}
+}
+
+// TestFileStructuralValidation corrupts arena invariants in ways the
+// checksums cannot catch (the writer recomputes CRCs over the corrupted
+// slices) and checks Open refuses each file rather than panicking later.
+func TestFileStructuralValidation(t *testing.T) {
+	pts := filePoints(64, 2, 5)
+	for name, mutate := range map[string]func(*Tree){
+		"root count":      func(tr *Tree) { tr.count[0] = 3 },
+		"count overflow":  func(tr *Tree) { tr.count[20] = 1 << 20 },
+		"negative count":  func(tr *Tree) { tr.count[20] = -1 },
+		"left cycle":      func(tr *Tree) { tr.left[20] = 0 },
+		"bad axis":        func(tr *Tree) { tr.axis[7] = 9 },
+		"duplicate id":    func(tr *Tree) { tr.ids[3] = tr.ids[4] },
+		"id out of range": func(tr *Tree) { tr.ids[3] = 1 << 30 },
+		"parent mismatch": func(tr *Tree) { tr.parent[1] = 5 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := New(pts)
+			mutate(tr)
+			var buf bytes.Buffer
+			if err := tr.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			f, err := arena.Decode(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := FromFile(f); !errors.Is(err, arena.ErrBadIndexFile) {
+				t.Errorf("corrupted %s accepted: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestFileKindMismatch(t *testing.T) {
+	tr := New(filePoints(8, 2, 1))
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = byte(arena.KindR) // kind field, little-endian low byte
+	f, err := arena.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromFile(f); !errors.Is(err, arena.ErrIndexKind) {
+		t.Errorf("wrong kind accepted: %v", err)
+	}
+}
+
+func TestFileDiameterFinite(t *testing.T) {
+	tr := New(filePoints(32, 4, 2))
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := arena.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(f.Diameter) || f.Diameter <= 0 {
+		t.Errorf("stored diameter %v", f.Diameter)
+	}
+	if f.Diameter != tr.DiameterEstimate() {
+		t.Errorf("stored %v, estimate %v", f.Diameter, tr.DiameterEstimate())
+	}
+}

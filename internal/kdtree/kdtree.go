@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"mccatch/internal/arena"
 	"mccatch/internal/dualjoin"
 	"mccatch/internal/kernel"
 	"mccatch/internal/metric"
@@ -71,6 +72,10 @@ type Tree struct {
 	// leaf-range scans consult it to skip or settle whole blocks before
 	// touching coordinates.
 	sum *kernel.Summary
+	// src is the backing index file when the tree was produced by
+	// Open/FromFile (the columns above are views into its mapping); nil
+	// for trees built in memory.
+	src *arena.File
 }
 
 // New builds a balanced kd-tree by recursive median splits. Item i is

@@ -127,6 +127,32 @@ func NewSummary(pts []float64, dim, n int) *Summary {
 	return s
 }
 
+// Columns exposes the summary's flat storage — the per-dimension code
+// anchors and steps plus the block-major quantized boxes — so the arena
+// file format can persist a summary as four plain columns and rebuild it
+// with NewSummaryFromColumns. The slices are the live internals, not
+// copies; callers must treat them as read-only.
+func (s *Summary) Columns() (base, scale []float64, qlo, qhi []uint8) {
+	return s.base, s.scale, s.qlo, s.qhi
+}
+
+// NewSummaryFromColumns reassembles a summary from persisted columns
+// (the inverse of Columns) over a coordinate block of n dim-dimensional
+// slots. It returns nil — no prefilter, exact kernels throughout, the
+// same degradation NewSummary applies to tiny inputs — when the column
+// shapes are inconsistent with (n, dim), so a damaged file can disable
+// the prefilter but never index it out of bounds.
+func NewSummaryFromColumns(dim, n int, base, scale []float64, qlo, qhi []uint8) *Summary {
+	if dim <= 0 || n <= Block {
+		return nil
+	}
+	blocks := (n + Block - 1) / Block
+	if len(base) != dim || len(scale) != dim || len(qlo) != blocks*dim || len(qhi) != blocks*dim {
+		return nil
+	}
+	return &Summary{dim: dim, blocks: blocks, base: base, scale: scale, qlo: qlo, qhi: qhi}
+}
+
 // quantFloor and quantCeil are first-guess codes; NewSummary verifies and
 // widens them, so they only need to be close, never exact.
 func quantFloor(v, base, scale float64) uint8 {

@@ -1,0 +1,253 @@
+package rtree
+
+// Persistence for the leveled R-tree arena: Save dumps the node columns,
+// the packed leaf elements, and the block prefilter behind
+// internal/arena's versioned header; Open rebuilds the tree as slice
+// views over the mapping (or over one heap block with arena.WithHeap /
+// on platforms without mmap). The traversals touch only these columns,
+// so a file-backed tree answers every query identically to the tree
+// that saved it.
+//
+// Open validates the leveled-arena invariants the traversals rely on:
+// children always live at strictly larger slots than their parent (BFS
+// layout), so recursion and the Height walk terminate; child and
+// element ranges stay inside the arena, so no access is out of bounds.
+
+import (
+	"fmt"
+	"io"
+
+	"mccatch/internal/arena"
+	"mccatch/internal/kernel"
+)
+
+// Save writes the tree in the arena index-file format.
+func (t *Tree) Save(w io.Writer) error {
+	_, err := t.writer().WriteTo(w)
+	return err
+}
+
+// WriteFile writes the tree to path (atomically: temp file + rename).
+func (t *Tree) WriteFile(path string) error {
+	return t.writer().WriteFile(path)
+}
+
+func (t *Tree) writer() *arena.Writer {
+	scalars := [4]int64{0, int64(t.fanout), int64(len(t.leaf))}
+	if t.sum != nil {
+		scalars[0] = 1
+	}
+	w := arena.NewWriter(arena.KindR, t.sizeN, t.dim, t.DiameterEstimate(), scalars)
+	w.Bool("leaf", t.leaf)
+	w.I32("size", t.size)
+	w.I32("parent", t.parent)
+	w.I32("childFirst", t.childFirst)
+	w.I32("childLast", t.childLast)
+	w.I32("elemFirst", t.elemFirst)
+	w.I32("elemLast", t.elemLast)
+	w.F64("lo", t.lo)
+	w.F64("hi", t.hi)
+	w.F64("pts", t.pts)
+	w.I32("ids", t.ids)
+	if t.sum != nil {
+		base, scale, qlo, qhi := t.sum.Columns()
+		w.F64("sum.base", base)
+		w.F64("sum.scale", scale)
+		w.U8("sum.qlo", qlo)
+		w.U8("sum.qhi", qhi)
+	}
+	return w
+}
+
+// Open opens an R-tree index file: mmap-backed where available, heap-read
+// otherwise (or under arena.WithHeap). Close the tree to release the
+// mapping; every query on the tree after Close is invalid.
+func Open(path string, opts ...arena.Option) (*Tree, error) {
+	f, err := arena.Open(path, opts...)
+	if err != nil {
+		return nil, err
+	}
+	t, err := FromFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// FromFile reconstructs an R-tree over an already-opened arena file. On
+// success the tree owns f and Close releases it.
+func FromFile(f *arena.File) (*Tree, error) {
+	if err := f.ExpectKind(arena.KindR); err != nil {
+		return nil, err
+	}
+	fanout := int(f.Scalars[1])
+	if fanout < 2 {
+		return nil, fmt.Errorf("%w: r arena: fanout %d", arena.ErrBadIndexFile, fanout)
+	}
+	t := &Tree{sizeN: f.N, dim: f.Dim, fanout: fanout, src: f}
+	if f.N == 0 {
+		return t, nil
+	}
+	nNodes := int(f.Scalars[2])
+	if nNodes < 1 {
+		return nil, fmt.Errorf("%w: r arena: %d nodes for %d points", arena.ErrBadIndexFile, nNodes, f.N)
+	}
+	var err error
+	get64 := func(name string, want int) []float64 {
+		vals, e := f.F64(name)
+		if e != nil {
+			err = e
+		} else if len(vals) != want && err == nil {
+			err = fmt.Errorf("%w: column %q has %d elements, want %d", arena.ErrBadIndexFile, name, len(vals), want)
+		}
+		return vals
+	}
+	get32 := func(name string, want int) []int32 {
+		vals, e := f.I32(name)
+		if e != nil {
+			err = e
+		} else if len(vals) != want && err == nil {
+			err = fmt.Errorf("%w: column %q has %d elements, want %d", arena.ErrBadIndexFile, name, len(vals), want)
+		}
+		return vals
+	}
+	if t.leaf, err = f.Bool("leaf"); err != nil {
+		return nil, err
+	}
+	if len(t.leaf) != nNodes {
+		return nil, fmt.Errorf("%w: column %q has %d elements, want %d", arena.ErrBadIndexFile, "leaf", len(t.leaf), nNodes)
+	}
+	t.size = get32("size", nNodes)
+	t.parent = get32("parent", nNodes)
+	t.childFirst = get32("childFirst", nNodes)
+	t.childLast = get32("childLast", nNodes)
+	t.elemFirst = get32("elemFirst", nNodes)
+	t.elemLast = get32("elemLast", nNodes)
+	t.lo = get64("lo", nNodes*t.dim)
+	t.hi = get64("hi", nNodes*t.dim)
+	t.pts = get64("pts", f.N*t.dim)
+	t.ids = get32("ids", f.N)
+	if err != nil {
+		return nil, err
+	}
+	if f.Scalars[0] != 0 {
+		base, e1 := f.F64("sum.base")
+		scale, e2 := f.F64("sum.scale")
+		qlo, e3 := f.U8("sum.qlo")
+		qhi, e4 := f.U8("sum.qhi")
+		for _, e := range []error{e1, e2, e3, e4} {
+			if e != nil {
+				return nil, e
+			}
+		}
+		if t.sum = kernel.NewSummaryFromColumns(t.dim, f.N, base, scale, qlo, qhi); t.sum == nil {
+			return nil, fmt.Errorf("%w: malformed block-summary columns", arena.ErrBadIndexFile)
+		}
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Dim returns the dimensionality of the indexed points (0 when empty).
+func (t *Tree) Dim() int { return t.dim }
+
+// Fanout returns the node fanout the tree was bulk-loaded with.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Items returns the indexed points in id order, reconstructed from the
+// arena (each point is a read-only view into the packed coordinate
+// block, so a file-backed tree materializes its dataset without copying
+// it).
+func (t *Tree) Items() [][]float64 {
+	items := make([][]float64, t.sizeN)
+	for pos := 0; pos < t.sizeN; pos++ {
+		items[t.ids[pos]] = t.pts[pos*t.dim : (pos+1)*t.dim : (pos+1)*t.dim]
+	}
+	return items
+}
+
+// Close releases the backing file mapping of a tree produced by
+// Open/FromFile (no-op for trees built in memory).
+func (t *Tree) Close() error {
+	if t.src == nil {
+		return nil
+	}
+	f := t.src
+	t.src = nil
+	return f.Close()
+}
+
+// validate checks the leveled-arena invariants the traversals rely on
+// for termination and bounds safety: the root covers every element, each
+// internal slot's children occupy a contiguous run of strictly larger
+// slots that point back via parent, element ranges nest exactly, every
+// non-root slot is claimed by exactly one parent, and ids is a
+// permutation. O(nodes + n).
+func (t *Tree) validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: r arena: %s", arena.ErrBadIndexFile, fmt.Sprintf(format, args...))
+	}
+	if t.dim <= 0 {
+		return bad("dimension %d", t.dim)
+	}
+	nNodes := int32(len(t.leaf))
+	n := int32(t.sizeN)
+	if t.parent[0] != -1 {
+		return bad("root has parent %d", t.parent[0])
+	}
+	if t.elemFirst[0] != 0 || t.elemLast[0] != n {
+		return bad("root element range [%d, %d) over %d points", t.elemFirst[0], t.elemLast[0], n)
+	}
+	claimed := make([]bool, nNodes)
+	for s := int32(0); s < nNodes; s++ {
+		ef, el := t.elemFirst[s], t.elemLast[s]
+		if ef < 0 || el < ef || el > n {
+			return bad("slot %d: element range [%d, %d)", s, ef, el)
+		}
+		if t.size[s] != el-ef {
+			return bad("slot %d: size %d over range [%d, %d)", s, t.size[s], ef, el)
+		}
+		if t.leaf[s] {
+			if t.childFirst[s] != -1 || t.childLast[s] != -1 {
+				return bad("leaf slot %d has children [%d, %d)", s, t.childFirst[s], t.childLast[s])
+			}
+			continue
+		}
+		cf, cl := t.childFirst[s], t.childLast[s]
+		if cf <= s || cl <= cf || cl > nNodes {
+			return bad("slot %d: child range [%d, %d)", s, cf, cl)
+		}
+		if t.elemFirst[cf] != ef || t.elemLast[cl-1] != el {
+			return bad("slot %d: child elements [%d, %d) misaligned with [%d, %d)",
+				s, t.elemFirst[cf], t.elemLast[cl-1], ef, el)
+		}
+		for c := cf; c < cl; c++ {
+			if t.parent[c] != s {
+				return bad("slot %d: child %d claims parent %d", s, c, t.parent[c])
+			}
+			if claimed[c] {
+				return bad("slot %d claimed twice", c)
+			}
+			claimed[c] = true
+			if c > cf && t.elemFirst[c] != t.elemLast[c-1] {
+				return bad("slot %d: sibling gap at child %d", s, c)
+			}
+		}
+	}
+	for s := int32(1); s < nNodes; s++ {
+		if !claimed[s] {
+			return bad("slot %d unreachable", s)
+		}
+	}
+	seen := make([]bool, n)
+	for _, id := range t.ids {
+		if id < 0 || id >= n || seen[id] {
+			return bad("id %d missing or duplicated", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}

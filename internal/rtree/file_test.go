@@ -1,0 +1,178 @@
+package rtree
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mccatch/internal/arena"
+)
+
+func filePoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 10
+		}
+		pts[i] = row
+	}
+	return pts
+}
+
+func queryEquivalent(t *testing.T, label string, want, got *Tree, queries [][]float64) {
+	t.Helper()
+	if want.Size() != got.Size() || want.Height() != got.Height() {
+		t.Fatalf("%s: shape mismatch", label)
+	}
+	if d1, d2 := want.DiameterEstimate(), got.DiameterEstimate(); d1 != d2 {
+		t.Errorf("%s: diameter %v vs %v", label, d1, d2)
+	}
+	radii := []float64{0.5, 2, 8, 32}
+	for qi, q := range queries {
+		for _, r := range radii {
+			if c1, c2 := want.RangeCount(q, r), got.RangeCount(q, r); c1 != c2 {
+				t.Fatalf("%s: RangeCount(q%d, %v) %d vs %d", label, qi, r, c1, c2)
+			}
+			if i1, i2 := want.RangeQuery(q, r), got.RangeQuery(q, r); !reflect.DeepEqual(i1, i2) {
+				t.Fatalf("%s: RangeQuery(q%d, %v) mismatch", label, qi, r)
+			}
+		}
+		if m1, m2 := want.RangeCountMulti(q, radii), got.RangeCountMulti(q, radii); !reflect.DeepEqual(m1, m2) {
+			t.Fatalf("%s: RangeCountMulti(q%d) %v vs %v", label, qi, m1, m2)
+		}
+	}
+	if a1, a2 := want.CountAllMulti(radii, 2), got.CountAllMulti(radii, 2); !reflect.DeepEqual(a1, a2) {
+		t.Errorf("%s: CountAllMulti mismatch", label)
+	}
+	if b1, b2 := want.BridgeFirsts(queries, radii, 2), got.BridgeFirsts(queries, radii, 2); !reflect.DeepEqual(b1, b2) {
+		t.Errorf("%s: BridgeFirsts mismatch", label)
+	}
+}
+
+func TestFileRoundTripEquivalence(t *testing.T) {
+	for _, tc := range []struct{ n, fanout int }{{1, 16}, {40, 4}, {300, 16}} {
+		pts := filePoints(tc.n, 3, int64(tc.n))
+		built := New(pts, tc.fanout)
+		queries := filePoints(16, 3, 99)
+
+		path := filepath.Join(t.TempDir(), "r.mcidx")
+		if err := built.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []struct {
+			label string
+			opts  []arena.Option
+		}{{"mmap", nil}, {"heap", []arena.Option{arena.WithHeap()}}} {
+			opened, err := Open(path, mode.opts...)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", tc.n, mode.label, err)
+			}
+			if opened.fanout != tc.fanout {
+				t.Errorf("n=%d %s: fanout %d, want %d", tc.n, mode.label, opened.fanout, tc.fanout)
+			}
+			queryEquivalent(t, mode.label, built, opened, queries)
+			if (built.sum != nil) != (opened.sum != nil) {
+				t.Errorf("n=%d %s: summary presence diverged", tc.n, mode.label)
+			}
+			var first, second bytes.Buffer
+			if err := built.Save(&first); err != nil {
+				t.Fatal(err)
+			}
+			if err := opened.Save(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Errorf("n=%d %s: re-save not byte-identical", tc.n, mode.label)
+			}
+			if err := opened.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestFileEmptyTree(t *testing.T) {
+	built := New(nil, 0)
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := arena.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := FromFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Size() != 0 || opened.Height() != 0 {
+		t.Errorf("empty tree round trip: size %d", opened.Size())
+	}
+}
+
+// TestFileStructuralValidation corrupts leveled-arena invariants in ways
+// the checksums cannot catch (the writer recomputes CRCs over the
+// corrupted slices) and checks Open refuses each file rather than
+// recursing forever or indexing out of bounds later.
+func TestFileStructuralValidation(t *testing.T) {
+	pts := filePoints(100, 2, 5)
+	for name, mutate := range map[string]func(*Tree){
+		"root parent":     func(tr *Tree) { tr.parent[0] = 0 },
+		"root range":      func(tr *Tree) { tr.elemLast[0] = 7 },
+		"child cycle":     func(tr *Tree) { tr.childFirst[1] = 0; tr.childLast[1] = 1; tr.leaf[1] = false },
+		"child overflow":  func(tr *Tree) { tr.childLast[0] = int32(len(tr.leaf)) + 5 },
+		"size mismatch":   func(tr *Tree) { tr.size[2] += 3 },
+		"leaf children":   func(tr *Tree) { i := leafSlot(tr); tr.childFirst[i] = i + 1 },
+		"parent mismatch": func(tr *Tree) { tr.parent[2] = 2 },
+		"duplicate id":    func(tr *Tree) { tr.ids[3] = tr.ids[4] },
+		"id out of range": func(tr *Tree) { tr.ids[3] = -2 },
+		"bad fanout":      func(tr *Tree) { tr.fanout = 1 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := New(pts, 4)
+			mutate(tr)
+			var buf bytes.Buffer
+			if err := tr.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			f, err := arena.Decode(buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := FromFile(f); !errors.Is(err, arena.ErrBadIndexFile) {
+				t.Errorf("corrupted %s accepted: %v", name, err)
+			}
+		})
+	}
+}
+
+func leafSlot(tr *Tree) int32 {
+	for s := range tr.leaf {
+		if tr.leaf[s] {
+			return int32(s)
+		}
+	}
+	return 0
+}
+
+func TestFileKindMismatch(t *testing.T) {
+	tr := New(filePoints(8, 2, 1), 4)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = byte(arena.KindKD)
+	f, err := arena.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromFile(f); !errors.Is(err, arena.ErrIndexKind) {
+		t.Errorf("wrong kind accepted: %v", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 	"sort"
 
+	"mccatch/internal/arena"
 	"mccatch/internal/dualjoin"
 	"mccatch/internal/kernel"
 	"mccatch/internal/metric"
@@ -70,6 +71,10 @@ type Tree struct {
 	// consult it to skip or settle whole blocks before touching
 	// coordinates.
 	sum *kernel.Summary
+	// src is the backing index file when the tree was produced by
+	// Open/FromFile (the columns above are views into its mapping); nil
+	// for trees built in memory.
+	src *arena.File
 }
 
 // New bulk-loads an R-tree with the given fanout (DefaultFanout if < 2).

@@ -28,6 +28,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"mccatch/internal/arena"
 	"mccatch/internal/diameter"
 	"mccatch/internal/dualjoin"
 	"mccatch/internal/kernel"
@@ -97,6 +98,18 @@ type Tree[T any] struct {
 	// read-only queries may share a tree); experiments use it to verify the
 	// subquadratic query behavior that Lemma 1 predicts.
 	distCalls atomic.Int64
+
+	// src is the backing index file when the tree was produced by
+	// OpenVec/OpenStr (the arena columns are views into its mapping); nil
+	// for trees built in memory.
+	src *arena.File
+	// diam holds the persisted diameter estimate of a file-backed tree
+	// (diamValid true): the estimator is deterministic over the same data
+	// and metric, so returning the stored value keeps the radii schedule —
+	// and the whole pipeline — byte-identical while skipping the O(k·n)
+	// metric evaluations a cold re-estimate would cost.
+	diam      float64
+	diamValid bool
 }
 
 // DistCalls returns the number of metric evaluations performed so far.
@@ -738,6 +751,9 @@ func (t *Tree[T]) KNN(q T, k int) (ids []int, dists []float64) {
 func (t *Tree[T]) DiameterEstimate() float64 {
 	if t.size < 2 || len(t.leaf) == 0 {
 		return 0
+	}
+	if t.diamValid {
+		return t.diam
 	}
 	elems := make([]T, t.size)
 	for k, id := range t.eID {

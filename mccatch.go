@@ -40,10 +40,7 @@ import (
 	"math"
 
 	"mccatch/internal/core"
-	"mccatch/internal/index"
-	"mccatch/internal/kdtree"
 	"mccatch/internal/metric"
-	"mccatch/internal/rtree"
 )
 
 // Microcluster is one detected microcluster. Members are indices into the
@@ -93,38 +90,111 @@ type PointSet = metric.PointSet
 // NewGraph builds a Graph on n nodes from an undirected edge list.
 func NewGraph(n int, edges [][2]int) Graph { return metric.NewGraph(n, edges) }
 
-// Option configures a run.
-type Option func(*core.Params)
+// Option configures a run or a Detector. Every option validates its
+// argument eagerly and surfaces a descriptive error from the constructor
+// it is passed to (Run*, Build*, Open*, NewIncremental*) before any work
+// is done — an explicit WithRadii(0) is a caller bug, not a request for
+// the default, so it is rejected rather than silently replaced.
+type Option func(*core.Params) error
+
+// applyOptions is the one place option lists are folded into parameters:
+// every public entry point funnels through it, so validation behaves
+// identically everywhere.
+func applyOptions(p *core.Params, opts []Option) error {
+	for _, o := range opts {
+		if err := o(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // WithRadii sets a, the number of neighborhood radii (default 15).
-func WithRadii(a int) Option { return func(p *core.Params) { p.NumRadii = a } }
+// a must be at least 2 (the schedule needs a smallest and a largest
+// radius to interpolate between).
+func WithRadii(a int) Option {
+	return func(p *core.Params) error {
+		if a < 2 {
+			return fmt.Errorf("mccatch: WithRadii: need at least 2 radii, got %d", a)
+		}
+		p.NumRadii = a
+		return nil
+	}
+}
 
-// WithMaxSlope sets b, the maximum plateau slope (default 0.1).
-func WithMaxSlope(b float64) Option { return func(p *core.Params) { p.MaxSlope = b } }
+// WithMaxSlope sets b, the maximum plateau slope (default 0.1). b must
+// be finite and ≥ 0; zero demands strictly flat plateaus.
+func WithMaxSlope(b float64) Option {
+	return func(p *core.Params) error {
+		if math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+			return fmt.Errorf("mccatch: WithMaxSlope: slope must be finite and ≥ 0, got %v", b)
+		}
+		p.MaxSlope = b
+		return nil
+	}
+}
 
 // WithMaxCardinality sets c, the maximum microcluster cardinality
-// (default ⌈n·0.1⌉).
-func WithMaxCardinality(c int) Option { return func(p *core.Params) { p.MaxCardinality = c } }
+// (default ⌈n·0.1⌉). c must be ≥ 1.
+func WithMaxCardinality(c int) Option {
+	return func(p *core.Params) error {
+		if c < 1 {
+			return fmt.Errorf("mccatch: WithMaxCardinality: cardinality must be ≥ 1, got %d", c)
+		}
+		p.MaxCardinality = c
+		return nil
+	}
+}
 
 // WithVectorCost sets the transformation cost t for a dim-dimensional
-// vector space (Def. 7: t = dimensionality).
+// vector space (Def. 7: t = dimensionality). dim must be ≥ 1.
 func WithVectorCost(dim int) Option {
-	return func(p *core.Params) { p.Cost = metric.VectorCost(dim) }
+	return func(p *core.Params) error {
+		if dim < 1 {
+			return fmt.Errorf("mccatch: WithVectorCost: dimension must be ≥ 1, got %d", dim)
+		}
+		p.Cost = metric.VectorCost(dim)
+		return nil
+	}
 }
 
 // WithWordCost sets t for strings under the edit distance (Def. 7).
+// Both the alphabet size and the longest word length must be ≥ 1.
 func WithWordCost(distinctChars, longestWordLen int) Option {
-	return func(p *core.Params) { p.Cost = metric.WordCost(distinctChars, longestWordLen) }
+	return func(p *core.Params) error {
+		if distinctChars < 1 || longestWordLen < 1 {
+			return fmt.Errorf("mccatch: WithWordCost: need ≥ 1 distinct characters and word length, got (%d, %d)",
+				distinctChars, longestWordLen)
+		}
+		p.Cost = metric.WordCost(distinctChars, longestWordLen)
+		return nil
+	}
 }
 
 // WithCustomCost sets t to a caller-supplied bits-per-unit-distance cost
-// for any other metric space.
+// for any other metric space. The cost must be finite and > 0.
 func WithCustomCost(bitsPerUnit float64) Option {
-	return func(p *core.Params) { p.Cost = metric.CustomCost(bitsPerUnit) }
+	return func(p *core.Params) error {
+		if math.IsNaN(bitsPerUnit) || math.IsInf(bitsPerUnit, 0) || bitsPerUnit <= 0 {
+			return fmt.Errorf("mccatch: WithCustomCost: cost must be finite and > 0, got %v", bitsPerUnit)
+		}
+		p.Cost = metric.CustomCost(bitsPerUnit)
+		return nil
+	}
 }
 
-// WithTreeCapacity sets the slim-tree node capacity (default 32).
-func WithTreeCapacity(k int) Option { return func(p *core.Params) { p.TreeCapacity = k } }
+// WithTreeCapacity sets the slim-tree node capacity (default 32). The
+// capacity must be at least 4 — below that the minMax split cannot
+// distribute entries.
+func WithTreeCapacity(k int) Option {
+	return func(p *core.Params) error {
+		if k < 4 {
+			return fmt.Errorf("mccatch: WithTreeCapacity: capacity must be ≥ 4, got %d", k)
+		}
+		p.TreeCapacity = k
+		return nil
+	}
+}
 
 // WithInsertionBuild reverts slim-tree construction to the legacy
 // incremental insert path (ChooseSubtree + minMax splits). By default
@@ -136,7 +206,10 @@ func WithTreeCapacity(k int) Option { return func(p *core.Params) { p.TreeCapaci
 // query-equivalent, so the detection Result is byte-identical either way;
 // this option exists for benchmarking the build paths against each other.
 func WithInsertionBuild() Option {
-	return func(p *core.Params) { p.InsertionBuild = true }
+	return func(p *core.Params) error {
+		p.InsertionBuild = true
+		return nil
+	}
 }
 
 // WithSlimDown enables the Slim-tree's slim-down reorganization (Traina
@@ -144,7 +217,13 @@ func WithInsertionBuild() Option {
 // reduces node overlap, which can cut distance computations on clustered
 // data; results are unchanged.
 func WithSlimDown(passes int) Option {
-	return func(p *core.Params) { p.SlimDownPasses = passes }
+	return func(p *core.Params) error {
+		if passes < 0 {
+			return fmt.Errorf("mccatch: WithSlimDown: passes must be ≥ 0, got %d", passes)
+		}
+		p.SlimDownPasses = passes
+		return nil
+	}
 }
 
 // WithWorkers sets the number of concurrent workers the pipeline uses for
@@ -152,8 +231,9 @@ func WithSlimDown(passes int) Option {
 // gelling range queries, the Step IV bridge searches and scoring, and the
 // index builds (the default bulk-loaded slim-tree as well as the
 // kd-tree/R-tree under RunVectorsKD/RunVectorsR; only the legacy
-// WithInsertionBuild slim-tree path is inherently serial). n ≤ 0 (the
-// default) means runtime.GOMAXPROCS(0); n = 1 forces a fully serial run.
+// WithInsertionBuild slim-tree path is inherently serial). n = 0 (the
+// default) means runtime.GOMAXPROCS(0); n = 1 forces a fully serial run;
+// negative counts are rejected.
 //
 // Determinism guarantee: the Result is byte-identical for every worker
 // count. Workers write into preallocated per-index slots, every
@@ -162,17 +242,25 @@ func WithSlimDown(passes int) Option {
 // are deterministic — so WithWorkers trades only wall-clock time, never
 // output.
 func WithWorkers(n int) Option {
-	return func(p *core.Params) { p.Workers = n }
+	return func(p *core.Params) error {
+		if n < 0 {
+			return fmt.Errorf("mccatch: WithWorkers: worker count must be ≥ 0 (0 = all cores), got %d", n)
+		}
+		p.Workers = n
+		return nil
+	}
 }
 
 // Run executes MCCATCH on items under dist with the given options and
 // returns the ranked microclusters, their scores, and a score per point.
+// It is Build followed by one Detect; hold a Detector instead when the
+// same dataset will be queried or detected more than once.
 func Run[T any](items []T, dist Distance[T], opts ...Option) (*Result, error) {
-	var p core.Params
-	for _, o := range opts {
-		o(&p)
+	d, err := Build(items, dist, opts...)
+	if err != nil {
+		return nil, err
 	}
-	return core.Run(items, dist, p)
+	return d.Detect()
 }
 
 // RunVectors runs MCCATCH on vector data under the Euclidean distance with
@@ -195,20 +283,11 @@ func Run[T any](items []T, dist Distance[T], opts ...Option) (*Result, error) {
 // WithInsertionBuild, WithSlimDown) is passed, so those options keep
 // their meaning.
 func RunVectors(points [][]float64, opts ...Option) (*Result, error) {
-	dim, err := validateVectors(points)
+	d, err := BuildVectors(points, opts...)
 	if err != nil {
 		return nil, err
 	}
-	var p core.Params
-	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
-		o(&p)
-	}
-	if p.TreeCapacity != 0 || p.InsertionBuild || p.SlimDownPasses > 0 {
-		// Slim-tree-specific knobs were set: honor them on the slim-tree.
-		return core.Run(points, metric.Euclidean, p)
-	}
-	builder := func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, 0, p.Workers) }
-	return core.RunWithIndex(points, metric.Euclidean, builder, p)
+	return d.Detect()
 }
 
 // RunVectorsSlim is RunVectors pinned to the slim-tree index — the
@@ -217,12 +296,11 @@ func RunVectors(points [][]float64, opts ...Option) (*Result, error) {
 // across dimensional and nondimensional data. Results are identical to
 // RunVectors; only the constant factors differ.
 func RunVectorsSlim(points [][]float64, opts ...Option) (*Result, error) {
-	dim, err := validateVectors(points)
+	d, err := BuildVectorsSlim(points, opts...)
 	if err != nil {
 		return nil, err
 	}
-	all := append([]Option{WithVectorCost(dim)}, opts...)
-	return Run(points, metric.Euclidean, all...)
+	return d.Detect()
 }
 
 // validateVectors checks dimensional consistency and finiteness; metric
@@ -251,16 +329,11 @@ func validateVectors(points [][]float64) (dim int, err error) {
 // data. Results are identical (both indexes answer exact range counts);
 // only the constant factors differ.
 func RunVectorsKD(points [][]float64, opts ...Option) (*Result, error) {
-	dim, err := validateVectors(points)
+	d, err := BuildVectorsKD(points, opts...)
 	if err != nil {
 		return nil, err
 	}
-	var p core.Params
-	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
-		o(&p)
-	}
-	builder := func(sub [][]float64) index.Index[[]float64] { return kdtree.NewWithWorkers(sub, p.Workers) }
-	return core.RunWithIndex(points, metric.Euclidean, builder, p)
+	return d.Detect()
 }
 
 // RunVectorsR is RunVectors with the index swapped to an STR bulk-loaded
@@ -268,22 +341,20 @@ func RunVectorsKD(points [][]float64, opts ...Option) (*Result, error) {
 // "Slim-tree, M-tree, or R-tree"). Like RunVectorsKD, only constant
 // factors change.
 func RunVectorsR(points [][]float64, opts ...Option) (*Result, error) {
-	dim, err := validateVectors(points)
+	d, err := BuildVectorsR(points, opts...)
 	if err != nil {
 		return nil, err
 	}
-	var p core.Params
-	for _, o := range append([]Option{WithVectorCost(dim)}, opts...) {
-		o(&p)
-	}
-	builder := func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, 0, p.Workers) }
-	return core.RunWithIndex(points, metric.Euclidean, builder, p)
+	return d.Detect()
 }
 
 // RunStrings runs MCCATCH on strings under the Levenshtein edit distance,
 // deriving the word transformation cost (alphabet size, longest word) from
 // the data itself.
 func RunStrings(words []string, opts ...Option) (*Result, error) {
-	all := append([]Option{DeriveWordCost(words)}, opts...)
-	return Run(words, metric.Levenshtein, all...)
+	d, err := BuildStrings(words, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return d.Detect()
 }
