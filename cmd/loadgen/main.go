@@ -1,0 +1,326 @@
+// Command loadgen is the workload-mix load harness for mccatchd: it
+// drives a running server with one of three canned mixes, reports p50 /
+// p99 latency per operation type plus total throughput, and (optionally)
+// fails with a nonzero exit when a latency or throughput gate is missed
+// — which is how CI's serve-gate job pins serving performance the same
+// way benchdiff pins kernel ns/op.
+//
+// Mixes:
+//
+//	read90  90% score-point, 10% single-item ingest (the classic
+//	        read-heavy OLTP mix; exercises coalescing under writes)
+//	write   50% ingest, 25% delete of a previously ingested item,
+//	        25% score (write-heavy; exercises epoch churn)
+//	scan    50% detect, 50% top-k (OLAP; detect is cached, so this
+//	        measures the cache path, not recomputation)
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -mix read90 -duration 5s -conns 8 -dim 2
+//	loadgen -addr ... -mix scan -max-p99-detect 5ms      # gate: nonzero exit on miss
+//	loadgen -addr ... -mix read90 -min-throughput 10000  # gate: ops/s floor
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type opKind int
+
+const (
+	opScore opKind = iota
+	opIngest
+	opDelete
+	opDetect
+	opTopK
+	numOps
+)
+
+var opNames = [numOps]string{"score", "ingest", "delete", "detect", "topk"}
+
+// sample is one completed operation: its kind and wall latency.
+type sample struct {
+	op  opKind
+	lat time.Duration
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "mccatchd base URL")
+		mix      = flag.String("mix", "read90", "workload mix: read90, write or scan")
+		duration = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		conns    = flag.Int("conns", 8, "concurrent client connections")
+		dim      = flag.Int("dim", 2, "vector dimensionality for generated items")
+		spread   = flag.Float64("spread", 30, "generated coordinates are uniform in [0,spread)")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		maxScore = flag.Duration("max-p99-score", 0, "gate: fail if score p99 exceeds this (0 = no gate)")
+		maxDet   = flag.Duration("max-p99-detect", 0, "gate: fail if detect p99 exceeds this (0 = no gate)")
+		minTput  = flag.Float64("min-throughput", 0, "gate: fail if total ops/s falls below this (0 = no gate)")
+	)
+	flag.Parse()
+	pick := mixPicker(*mix)
+	if pick == nil {
+		log.Fatalf("unknown -mix %q (want read90, write or scan)", *mix)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		samples  []sample
+		errsN    int
+		firstErr error
+	)
+	deadline := time.Now().Add(*duration)
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			w := &worker{
+				base:   *addr,
+				client: &http.Client{Timeout: 30 * time.Second},
+				rng:    rand.New(rand.NewSource(*seed + int64(c))),
+				dim:    *dim,
+				spread: *spread,
+			}
+			w.prepare()
+			var local []sample
+			for time.Now().Before(deadline) {
+				op := pick(w.rng)
+				start := time.Now()
+				err := w.do(op)
+				lat := time.Since(start)
+				if err != nil {
+					mu.Lock()
+					if errsN == 0 {
+						firstErr = err
+					}
+					errsN++
+					mu.Unlock()
+					continue
+				}
+				local = append(local, sample{op, lat})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	if len(samples) == 0 {
+		log.Fatalf("no operation succeeded (%d errors, first: %v)", errsN, firstErr)
+	}
+	if errsN > 0 {
+		log.Printf("%d operations failed (first: %v)", errsN, firstErr)
+	}
+	tput := float64(len(samples)) / duration.Seconds()
+	fmt.Printf("mix=%s conns=%d duration=%v ops=%d throughput=%.0f ops/s errors=%d\n",
+		*mix, *conns, *duration, len(samples), tput, errsN)
+	p99 := report(samples)
+
+	failed := false
+	if *maxScore > 0 && p99[opScore] > *maxScore {
+		log.Printf("GATE FAILED: score p99 %v > %v", p99[opScore], *maxScore)
+		failed = true
+	}
+	if *maxDet > 0 && p99[opDetect] > *maxDet {
+		log.Printf("GATE FAILED: detect p99 %v > %v", p99[opDetect], *maxDet)
+		failed = true
+	}
+	if *minTput > 0 && tput < *minTput {
+		log.Printf("GATE FAILED: throughput %.0f ops/s < %.0f", tput, *minTput)
+		failed = true
+	}
+	if failed || errsN > 0 {
+		os.Exit(1)
+	}
+}
+
+// mixPicker returns the operation sampler for a named mix (nil for an
+// unknown name).
+func mixPicker(mix string) func(*rand.Rand) opKind {
+	switch mix {
+	case "read90":
+		return func(rng *rand.Rand) opKind {
+			if rng.Intn(10) == 0 {
+				return opIngest
+			}
+			return opScore
+		}
+	case "write":
+		return func(rng *rand.Rand) opKind {
+			switch rng.Intn(4) {
+			case 0, 1:
+				return opIngest
+			case 2:
+				return opDelete
+			}
+			return opScore
+		}
+	case "scan":
+		return func(rng *rand.Rand) opKind {
+			if rng.Intn(2) == 0 {
+				return opDetect
+			}
+			return opTopK
+		}
+	}
+	return nil
+}
+
+// report prints per-op p50/p99 and returns the p99s for gating.
+func report(samples []sample) [numOps]time.Duration {
+	var byOp [numOps][]time.Duration
+	for _, s := range samples {
+		byOp[s.op] = append(byOp[s.op], s.lat)
+	}
+	var p99s [numOps]time.Duration
+	for op, lats := range byOp {
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p99s[op] = percentile(lats, 99)
+		fmt.Printf("%-7s n=%-7d p50=%-12v p99=%v\n",
+			opNames[op], len(lats), percentile(lats, 50), p99s[op])
+	}
+	return p99s
+}
+
+// percentile returns the p-th percentile of an ascending-sorted slice
+// (nearest-rank method).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100 // ceil
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// worker is one load connection: its own client, PRNG and the handles it
+// has ingested (so deletes target real elements). Score and ingest
+// request bodies are pre-marshaled at startup and cycled — the client
+// shares a CPU with the server on small boxes, so per-request
+// json.Marshal in the harness would be stolen straight from the
+// measurement.
+type worker struct {
+	base        string
+	client      *http.Client
+	rng         *rand.Rand
+	dim         int
+	spread      float64
+	handles     []int64
+	scoreBodies [][]byte
+	ingBodies   [][]byte
+}
+
+// bodyCycle is how many distinct pre-marshaled bodies each worker
+// cycles through per op kind.
+const bodyCycle = 64
+
+func (w *worker) prepare() {
+	w.scoreBodies = make([][]byte, bodyCycle)
+	w.ingBodies = make([][]byte, bodyCycle)
+	for i := range w.scoreBodies {
+		w.scoreBodies[i], _ = json.Marshal(struct {
+			Item []float64 `json:"item"`
+		}{w.point()})
+		w.ingBodies[i], _ = json.Marshal(struct {
+			Items [][]float64 `json:"items"`
+		}{[][]float64{w.point()}})
+	}
+}
+
+func (w *worker) point() []float64 {
+	p := make([]float64, w.dim)
+	for i := range p {
+		p[i] = float64(int(w.rng.Float64()*w.spread*2)) / 2 // coarse grid, repeats hit shared paths
+	}
+	return p
+}
+
+func (w *worker) do(op opKind) error {
+	switch op {
+	case opScore:
+		return w.post("/v1/score", w.scoreBodies[w.rng.Intn(len(w.scoreBodies))], nil)
+	case opIngest:
+		var resp struct {
+			Handles []int64 `json:"handles"`
+		}
+		if err := w.post("/v1/ingest", w.ingBodies[w.rng.Intn(len(w.ingBodies))], &resp); err != nil {
+			return err
+		}
+		w.handles = append(w.handles, resp.Handles...)
+		return nil
+	case opDelete:
+		if len(w.handles) == 0 {
+			// Nothing of ours to delete yet; ingest instead so the mix
+			// keeps its write pressure.
+			return w.do(opIngest)
+		}
+		j := w.rng.Intn(len(w.handles))
+		h := w.handles[j]
+		w.handles = append(w.handles[:j], w.handles[j+1:]...)
+		body, _ := json.Marshal(map[string]any{"handles": []int64{h}})
+		return w.post("/v1/delete", body, nil)
+	case opDetect:
+		return w.get("/v1/detect")
+	case opTopK:
+		return w.get("/v1/topk?k=5")
+	}
+	return fmt.Errorf("unknown op %d", op)
+}
+
+func (w *worker) post(path string, body []byte, out any) error {
+	resp, err := w.client.Post(w.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return drain(resp)
+}
+
+func (w *worker) get(path string) error {
+	resp, err := w.client.Get(w.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return drain(resp)
+}
+
+// drain consumes the body so the connection is reused (keep-alive); it
+// deliberately skips JSON parsing — the client must stay cheap enough
+// that the server, not the harness, is what the measurement saturates.
+func drain(resp *http.Response) error {
+	_, err := io.Copy(io.Discard, resp.Body)
+	return err
+}

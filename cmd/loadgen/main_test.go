@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms, sorted
+	}
+	cases := []struct {
+		p    int
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(lats, tc.p); got != tc.want {
+			t.Errorf("percentile(p%d) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(lats[:1], 99); got != time.Millisecond {
+		t.Errorf("single-sample p99 = %v, want 1ms", got)
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("empty p99 = %v, want 0", got)
+	}
+}
+
+// TestMixPicker pins each mix's advertised operation ratios (within a
+// loose tolerance — they are PRNG draws).
+func TestMixPicker(t *testing.T) {
+	if mixPicker("nope") != nil {
+		t.Fatal("unknown mix should return nil")
+	}
+	const draws = 10000
+	counts := func(mix string) [numOps]int {
+		pick := mixPicker(mix)
+		rng := rand.New(rand.NewSource(1))
+		var c [numOps]int
+		for i := 0; i < draws; i++ {
+			c[pick(rng)]++
+		}
+		return c
+	}
+	within := func(got, want int) bool {
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d < draws/20 // ±5%
+	}
+	c := counts("read90")
+	if !within(c[opScore], draws*9/10) || !within(c[opIngest], draws/10) {
+		t.Errorf("read90 ratios off: %v", c)
+	}
+	c = counts("write")
+	if !within(c[opIngest], draws/2) || !within(c[opDelete], draws/4) || !within(c[opScore], draws/4) {
+		t.Errorf("write ratios off: %v", c)
+	}
+	c = counts("scan")
+	if !within(c[opDetect], draws/2) || !within(c[opTopK], draws/2) {
+		t.Errorf("scan ratios off: %v", c)
+	}
+}
+
+// TestWorkerOps drives every operation kind against a stub server and
+// checks the request/response plumbing: bodies parse, ingest handles are
+// tracked so deletes target real elements, non-200s surface as errors.
+func TestWorkerOps(t *testing.T) {
+	var nextHandle int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/score", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Item []float64 `json:"item"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Item) != 3 {
+			http.Error(w, "bad item", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprint(w, `{"counts":[1],"first_radius":0.5}`)
+	})
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		nextHandle++
+		fmt.Fprintf(w, `{"handles":[%d]}`, nextHandle)
+	})
+	mux.HandleFunc("POST /v1/delete", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Handles []int64 `json:"handles"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Handles) != 1 {
+			http.Error(w, "bad handles", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprint(w, `{"deleted":[true]}`)
+	})
+	mux.HandleFunc("GET /v1/detect", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{}`)
+	})
+	mux.HandleFunc("GET /v1/topk", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `[]`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	w := &worker{
+		base:   ts.URL,
+		client: ts.Client(),
+		rng:    rand.New(rand.NewSource(3)),
+		dim:    3,
+		spread: 10,
+	}
+	w.prepare()
+	if len(w.scoreBodies) != bodyCycle || len(w.ingBodies) != bodyCycle {
+		t.Fatalf("prepare built %d/%d bodies, want %d", len(w.scoreBodies), len(w.ingBodies), bodyCycle)
+	}
+	// Delete with no tracked handles falls back to ingest.
+	if err := w.do(opDelete); err != nil {
+		t.Fatalf("delete-as-ingest: %v", err)
+	}
+	if len(w.handles) != 1 {
+		t.Fatalf("handles = %v, want one tracked ingest handle", w.handles)
+	}
+	for _, op := range []opKind{opScore, opIngest, opDetect, opTopK} {
+		if err := w.do(op); err != nil {
+			t.Fatalf("%s: %v", opNames[op], err)
+		}
+	}
+	if len(w.handles) != 2 {
+		t.Fatalf("handles = %v, want 2 after second ingest", w.handles)
+	}
+	// A real delete consumes a tracked handle.
+	if err := w.do(opDelete); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if len(w.handles) != 1 {
+		t.Fatalf("handles = %v, want 1 after delete", w.handles)
+	}
+	// Non-200 statuses surface as errors.
+	w.dim = 2 // stub rejects non-3d score items
+	w.prepare()
+	if err := w.do(opScore); err == nil {
+		t.Fatal("score with wrong-dim items: want error, got nil")
+	}
+}
+
+// TestReport pins the p50/p99 extraction the gates read.
+func TestReport(t *testing.T) {
+	var samples []sample
+	for i := 1; i <= 200; i++ {
+		samples = append(samples, sample{op: opScore, lat: time.Duration(i) * time.Millisecond})
+	}
+	samples = append(samples, sample{op: opDetect, lat: 7 * time.Millisecond})
+	p99 := report(samples)
+	if p99[opScore] != 198*time.Millisecond {
+		t.Errorf("score p99 = %v, want 198ms", p99[opScore])
+	}
+	if p99[opDetect] != 7*time.Millisecond {
+		t.Errorf("detect p99 = %v, want 7ms", p99[opDetect])
+	}
+	if p99[opIngest] != 0 {
+		t.Errorf("ingest p99 = %v, want 0 (no samples)", p99[opIngest])
+	}
+}

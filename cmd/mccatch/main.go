@@ -57,11 +57,10 @@ func main() {
 		maxHeap = flag.Int("max-heap", 0, "fail after the run if the Go heap obtained more than this many MiB from the OS (0 = no check)")
 	)
 	flag.Parse()
-	if *incr && (*saveIdx != "" || *idxFile != "") {
-		log.Fatal("-incremental cannot be combined with -save-index/-index-file")
-	}
-	if *saveIdx != "" && *idxFile != "" {
-		log.Fatal("-save-index and -index-file are mutually exclusive (the index is already on disk)")
+	if msg := conflictingFlags(*incr, *saveIdx, *idxFile, *probe); msg != "" {
+		fmt.Fprintf(os.Stderr, "mccatch: %s\n\n", msg)
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	var opts []mccatch.Option
@@ -135,6 +134,24 @@ func main() {
 	checkHeap(*maxHeap)
 }
 
+// conflictingFlags rejects flag combinations where one flag would have
+// to be silently ignored: the incremental layer has no on-disk form,
+// -save-index and -index-file each claim the index's home, and
+// -save-index exits before any probe could run. A non-empty return is
+// the usage error (the caller prints it plus the flag summary and exits
+// nonzero, so scripts fail loudly instead of acting on half the flags).
+func conflictingFlags(incr bool, saveIdx, idxFile string, probe int) string {
+	switch {
+	case incr && (saveIdx != "" || idxFile != ""):
+		return "-incremental cannot be combined with -save-index/-index-file (the incremental layer has no on-disk form)"
+	case saveIdx != "" && idxFile != "":
+		return "-save-index and -index-file are mutually exclusive (the index is already on disk)"
+	case saveIdx != "" && probe >= 0:
+		return "-save-index and -probe are mutually exclusive (-save-index exits without querying; probe the saved file with -index-file -probe)"
+	}
+	return ""
+}
+
 // openInput opens -input (stdin for "-"); the process exit releases it.
 func openInput(input string) io.Reader {
 	if input == "-" {
@@ -162,7 +179,10 @@ func run[T any](d *mccatch.Detector[T], describe func(i int) string, saveIdx str
 			log.Fatalf("-probe %d out of range (n=%d)", probe, d.Size())
 		}
 		radii := d.Radii()
-		counts := d.Probe(d.Items()[probe])
+		counts, err := d.Probe(d.Items()[probe])
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%s\n", describe(probe))
 		for k, r := range radii {
 			fmt.Printf("%.6g,%d\n", r, counts[k])

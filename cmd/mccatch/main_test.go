@@ -333,6 +333,37 @@ func TestCheckHeap(t *testing.T) {
 	checkHeap(1 << 20) // a 1 TiB cap: comfortably above any test heap
 }
 
+func TestConflictingFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		incr    bool
+		saveIdx string
+		idxFile string
+		probe   int
+		wantErr bool
+	}{
+		{name: "none", probe: -1},
+		{name: "probe alone", probe: 3},
+		{name: "save alone", saveIdx: "x.idx", probe: -1},
+		{name: "open alone", idxFile: "x.idx", probe: -1},
+		{name: "open+probe", idxFile: "x.idx", probe: 3},
+		{name: "incremental alone", incr: true, probe: -1},
+		{name: "incremental+save", incr: true, saveIdx: "x.idx", probe: -1, wantErr: true},
+		{name: "incremental+open", incr: true, idxFile: "x.idx", probe: -1, wantErr: true},
+		{name: "save+open", saveIdx: "x.idx", idxFile: "y.idx", probe: -1, wantErr: true},
+		{name: "save+probe", saveIdx: "x.idx", probe: 0, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg := conflictingFlags(tc.incr, tc.saveIdx, tc.idxFile, tc.probe)
+			if got := msg != ""; got != tc.wantErr {
+				t.Errorf("conflictingFlags(%v,%q,%q,%d) = %q, want error %v",
+					tc.incr, tc.saveIdx, tc.idxFile, tc.probe, msg, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestDetectUnknownFormat(t *testing.T) {
 	if _, _, err := detectIncremental("xml", strings.NewReader("x"), nil); err == nil {
 		t.Error("unknown format should error")

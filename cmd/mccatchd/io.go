@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// readCSV parses numeric CSV rows, skipping a header row if the first
+// row fails to parse as numbers (same dialect as cmd/mccatch).
+func readCSV(r io.Reader) ([][]float64, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var pts [][]float64
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(rec))
+		ok := true
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			row[j] = v
+		}
+		if !ok {
+			if first {
+				first = false
+				continue // header
+			}
+			return nil, fmt.Errorf("non-numeric row %v", rec)
+		}
+		first = false
+		pts = append(pts, row)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	return pts, nil
+}
+
+// readLines reads one non-empty string element per line.
+func readLines(r io.Reader) ([]string, error) {
+	var out []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			out = append(out, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no input lines")
+	}
+	return out, nil
+}

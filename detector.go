@@ -14,15 +14,28 @@ package mccatch
 // byte-identically to the Detector that saved it, whether the file is
 // mmap-backed or heap-loaded.
 //
-// A Detector is safe for concurrent reads (Detect/Probe/Radii may race
-// only on the cached radii slice, which is derived deterministically, so
-// concurrent initialization is benign only if not shared; share an
-// already-probed Detector or guard the first call). Close releases the
-// file mapping of an opened Detector and is a no-op for built ones.
+// Read-concurrency contract: once constructed, a Detector is safe for
+// ANY number of concurrent readers — Detect, Probe, ProbeAppend, Radii,
+// Items and Size may all run at the same time from different goroutines
+// with no external locking. The index arenas are immutable after
+// construction, every traversal keeps its scratch in per-call or pooled
+// per-worker state, and the one piece of lazily derived shared state
+// (the cached radii schedule) initializes under a sync.Once. The serving
+// layer (internal/serve) relies on this contract to fan read traffic out
+// without a lock; TestDetectorConcurrentReads hammers it under -race on
+// built, mmap-opened and heap-opened detectors.
+//
+// Close is NOT a read: it unmaps the index file of an opened detector,
+// so it must not race with in-flight reads — quiesce readers first (an
+// http server Shutdown, a WaitGroup, ...). Close is idempotent, and any
+// Detect/Probe/ProbeAppend issued after it fails with ErrDetectorClosed
+// instead of touching the released mapping.
 
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"mccatch/internal/arena"
 	"mccatch/internal/core"
@@ -32,6 +45,11 @@ import (
 	"mccatch/internal/rtree"
 	"mccatch/internal/slimtree"
 )
+
+// ErrDetectorClosed is returned by Detect/Probe/ProbeAppend on a Detector
+// whose Close has run: the index (and, for an opened detector, the file
+// mapping behind it) is no longer available.
+var ErrDetectorClosed = fmt.Errorf("mccatch: detector is closed")
 
 // Index-file error sentinels, re-exported so callers can errors.Is
 // against the failure classes OpenVectors/OpenStrings report.
@@ -58,7 +76,17 @@ type Detector[T any] struct {
 	tree    index.Index[T]
 	builder index.Builder[T]
 	params  core.Params
-	radii   []float64
+
+	// radii caches the derived schedule; radiiOnce makes the lazy
+	// derivation safe under concurrent readers (the read-concurrency
+	// contract above).
+	radiiOnce sync.Once
+	radii     []float64
+
+	// closed flips once in Close; reads check it before touching the
+	// tree so a post-Close call errors instead of faulting on an
+	// unmapped arena.
+	closed atomic.Bool
 }
 
 // Build indexes items under dist with a bulk-loaded slim-tree — the
@@ -190,6 +218,12 @@ func BuildStrings(words []string, opts ...Option) (*Detector[string], error) {
 // points is loaded. Options apply on top of the vector defaults exactly
 // as in BuildVectors; Close releases the mapping.
 func OpenVectors(path string, opts ...Option) (*Detector[[]float64], error) {
+	return openVectors(path, nil, opts)
+}
+
+// openVectors is OpenVectors with explicit arena options, so tests (and
+// platforms without mmap) can pin the heap-read backing.
+func openVectors(path string, aopts []arena.Option, opts []Option) (*Detector[[]float64], error) {
 	kind, err := arena.ReadKind(path)
 	if err != nil {
 		return nil, err
@@ -203,7 +237,7 @@ func OpenVectors(path string, opts ...Option) (*Detector[[]float64], error) {
 	)
 	switch kind {
 	case arena.KindKD:
-		t, err := kdtree.Open(path)
+		t, err := kdtree.Open(path, aopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +246,7 @@ func OpenVectors(path string, opts ...Option) (*Detector[[]float64], error) {
 			return func(sub [][]float64) index.Index[[]float64] { return kdtree.NewWithWorkers(sub, p.Workers) }
 		}
 	case arena.KindR:
-		t, err := rtree.Open(path)
+		t, err := rtree.Open(path, aopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +255,7 @@ func OpenVectors(path string, opts ...Option) (*Detector[[]float64], error) {
 			return func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, t.Fanout(), p.Workers) }
 		}
 	case arena.KindSlimVec:
-		t, err := slimtree.OpenVec(path)
+		t, err := slimtree.OpenVec(path, aopts...)
 		if err != nil {
 			return nil, err
 		}
@@ -289,6 +323,9 @@ func OpenStrings(path string, opts ...Option) (*Detector[string], error) {
 // call — so repeated detections (or a detection over a freshly opened
 // index file) skip the dominant build cost.
 func (d *Detector[T]) Detect() (*Result, error) {
+	if d.closed.Load() {
+		return nil, ErrDetectorClosed
+	}
 	return core.RunPrebuilt(d.items, d.tree, d.builder, d.params)
 }
 
@@ -305,7 +342,10 @@ func (d *Detector[T]) Items() []T { return d.items }
 // at. It is derived once and cached; nil when the dataset is empty or
 // has zero diameter.
 func (d *Detector[T]) Radii() []float64 {
-	if d.radii == nil {
+	d.radiiOnce.Do(func() {
+		if d.closed.Load() {
+			return // the mapping may be gone; leave the schedule nil
+		}
 		a := d.params.NumRadii
 		if a == 0 {
 			a = core.DefaultNumRadii
@@ -313,7 +353,7 @@ func (d *Detector[T]) Radii() []float64 {
 		if l := d.tree.DiameterEstimate(); l > 0 {
 			d.radii = core.MakeRadii(l, a)
 		}
-	}
+	})
 	return d.radii
 }
 
@@ -321,13 +361,26 @@ func (d *Detector[T]) Radii() []float64 {
 // schedule — the raw neighbor-count curve MCCATCH's Step II reads
 // plateaus from — in one index traversal. It allocates only the result
 // slice, never a per-point pipeline state, so it is the cheap
-// query-many path for a detector opened from a large index file.
-func (d *Detector[T]) Probe(q T) []int {
+// query-many path for a detector opened from a large index file. The
+// counts are nil (with a nil error) when the dataset is empty or has
+// zero diameter; after Close it reports ErrDetectorClosed.
+func (d *Detector[T]) Probe(q T) ([]int, error) {
+	return d.ProbeAppend(q, nil)
+}
+
+// ProbeAppend is the allocation-free form of Probe: the counts append
+// into dst, reusing its capacity, so a hot loop recycling one scratch
+// slice pays zero steady-state allocations per probe (the serving
+// layer's coalesced score-point batches run on this path).
+func (d *Detector[T]) ProbeAppend(q T, dst []int) ([]int, error) {
+	if d.closed.Load() {
+		return dst, ErrDetectorClosed
+	}
 	radii := d.Radii()
 	if len(radii) == 0 {
-		return nil
+		return dst, nil
 	}
-	return index.RangeCountMulti(d.tree, q, radii)
+	return index.RangeCountMultiAppend(d.tree, q, radii, dst), nil
 }
 
 // Save writes the detector's index (structure, data, and prefilters —
@@ -335,6 +388,9 @@ func (d *Detector[T]) Probe(q T) []int {
 // the bundled backends persist; a detector over a custom index type
 // reports an error.
 func (d *Detector[T]) Save(w io.Writer) error {
+	if d.closed.Load() {
+		return ErrDetectorClosed
+	}
 	switch t := any(d.tree).(type) {
 	case *kdtree.Tree:
 		return t.Save(w)
@@ -350,6 +406,9 @@ func (d *Detector[T]) Save(w io.Writer) error {
 // WriteFile saves the detector's index to path, atomically (temp file +
 // rename in the destination directory).
 func (d *Detector[T]) WriteFile(path string) error {
+	if d.closed.Load() {
+		return ErrDetectorClosed
+	}
 	switch t := any(d.tree).(type) {
 	case *kdtree.Tree:
 		return t.WriteFile(path)
@@ -363,9 +422,16 @@ func (d *Detector[T]) WriteFile(path string) error {
 }
 
 // Close releases the file mapping behind an opened detector. It is a
-// no-op for detectors built in memory, and idempotent. Any use of the
-// detector (or of Items views into the mapping) after Close is invalid.
+// no-op for detectors built in memory, and idempotent: only the first
+// call reaches the munmap path, later calls return nil. After Close,
+// Detect/Probe/ProbeAppend/Save/WriteFile report ErrDetectorClosed
+// instead of reading the released mapping; Items views previously
+// handed out still become invalid, and Close must not run concurrently
+// with in-flight reads (see the read-concurrency contract above).
 func (d *Detector[T]) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	return closeIndex(d.tree)
 }
 

@@ -3,12 +3,20 @@ package mccatch
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
+
+	"mccatch/internal/arena"
 )
+
+// heapArenaOptions forces the read-into-heap open path, so the lifecycle
+// and concurrency suites cover both backings of an opened detector.
+func heapArenaOptions() []arena.Option { return []arena.Option{arena.WithHeap()} }
 
 func detectorPoints(n int, seed int64) [][]float64 {
 	rng := rand.New(rand.NewSource(seed))
@@ -187,7 +195,10 @@ func TestDetectorProbe(t *testing.T) {
 			t.Fatalf("radii not ascending at %d: %v", k, radii)
 		}
 	}
-	counts := d.Probe(pts[0])
+	counts, err := d.Probe(pts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(counts) != len(radii) {
 		t.Fatalf("Probe returned %d counts for %d radii", len(counts), len(radii))
 	}
@@ -205,6 +216,169 @@ func TestDetectorProbe(t *testing.T) {
 	}
 	if counts[len(counts)-1] != len(pts) {
 		t.Fatalf("count at the diameter radius = %d, want n = %d", counts[len(counts)-1], len(pts))
+	}
+}
+
+// openedDetectors builds one detector per lifecycle-relevant backing:
+// in-memory build, mmap-backed open, and heap-backed open (the non-mmap
+// platform fallback, forced through the internal arena option).
+func openedDetectors(t *testing.T, pts [][]float64) map[string]func() *Detector[[]float64] {
+	t.Helper()
+	built, err := BuildVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "life.idx")
+	if err := built.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]func() *Detector[[]float64]{
+		"built": func() *Detector[[]float64] {
+			d, err := BuildVectors(pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"mmap": func() *Detector[[]float64] {
+			d, err := OpenVectors(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"heap": func() *Detector[[]float64] {
+			d, err := openVectors(path, heapArenaOptions(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+}
+
+// TestDetectorCloseLifecycle pins the hardened lifecycle on every
+// backing: Close is idempotent (the munmap path runs at most once), and
+// every post-Close operation reports ErrDetectorClosed instead of
+// touching the released mapping.
+func TestDetectorCloseLifecycle(t *testing.T) {
+	pts := detectorPoints(120, 21)
+	for name, open := range openedDetectors(t, pts) {
+		t.Run(name, func(t *testing.T) {
+			d := open()
+			if _, err := d.Probe(pts[0]); err != nil {
+				t.Fatalf("Probe before Close: %v", err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatalf("first Close: %v", err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := d.Close(); err != nil {
+					t.Fatalf("repeat Close #%d: %v", i+1, err)
+				}
+			}
+			if _, err := d.Detect(); !errors.Is(err, ErrDetectorClosed) {
+				t.Fatalf("Detect after Close: got %v, want ErrDetectorClosed", err)
+			}
+			if _, err := d.Probe(pts[0]); !errors.Is(err, ErrDetectorClosed) {
+				t.Fatalf("Probe after Close: got %v, want ErrDetectorClosed", err)
+			}
+			if _, err := d.ProbeAppend(pts[0], nil); !errors.Is(err, ErrDetectorClosed) {
+				t.Fatalf("ProbeAppend after Close: got %v, want ErrDetectorClosed", err)
+			}
+			if err := d.Save(&bytes.Buffer{}); !errors.Is(err, ErrDetectorClosed) {
+				t.Fatalf("Save after Close: got %v, want ErrDetectorClosed", err)
+			}
+			if err := d.WriteFile(filepath.Join(t.TempDir(), "x.idx")); !errors.Is(err, ErrDetectorClosed) {
+				t.Fatalf("WriteFile after Close: got %v, want ErrDetectorClosed", err)
+			}
+
+			// Radii derived only AFTER Close must not touch the mapping:
+			// it reports an empty schedule rather than faulting.
+			fresh := open()
+			if err := fresh.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if radii := fresh.Radii(); radii != nil {
+				t.Fatalf("Radii first derived after Close = %v, want nil", radii)
+			}
+		})
+	}
+}
+
+// TestDetectorConcurrentReads enforces the documented read-concurrency
+// contract under -race: 8 goroutines hammer Detect, Probe and Radii on
+// ONE shared detector — built, mmap-opened and heap-opened — and every
+// result must equal the serial baseline (the lazily derived radii cache
+// is the one piece of shared state; its initialization must be safe from
+// any reader).
+func TestDetectorConcurrentReads(t *testing.T) {
+	pts := detectorPoints(160, 29)
+	for name, open := range openedDetectors(t, pts) {
+		t.Run(name, func(t *testing.T) {
+			d := open()
+			defer d.Close()
+			wantRes, err := d.Detect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCounts := make([][]int, 4)
+			for i := range wantCounts {
+				if wantCounts[i], err = d.Probe(pts[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Each attempt opens a fresh, never-probed detector and
+			// releases all goroutines through a start barrier so every
+			// one of them reaches the lazy FIRST derivation of the radii
+			// schedule concurrently — the only shared-state hazard a
+			// reader can trigger. Without the barrier and the fresh
+			// detectors, goroutine 0 tends to finish the init before the
+			// others are even scheduled and the race goes unexercised.
+			const goroutines = 8
+			for attempt := 0; attempt < 4; attempt++ {
+				cold := open()
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				errc := make(chan error, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						<-start
+						if radii := cold.Radii(); !reflect.DeepEqual(radii, d.Radii()) {
+							errc <- fmt.Errorf("goroutine %d: radii diverged", g)
+							return
+						}
+						counts, err := cold.ProbeAppend(pts[g%4], nil)
+						if err != nil {
+							errc <- err
+							return
+						}
+						if !reflect.DeepEqual(counts, wantCounts[g%4]) {
+							errc <- fmt.Errorf("goroutine %d: probe counts diverged", g)
+							return
+						}
+						res, err := d.Detect()
+						if err != nil {
+							errc <- err
+							return
+						}
+						if !reflect.DeepEqual(res, wantRes) {
+							errc <- fmt.Errorf("goroutine %d: Detect diverged", g)
+							return
+						}
+					}(g)
+				}
+				close(start)
+				wg.Wait()
+				close(errc)
+				for err := range errc {
+					t.Fatal(err)
+				}
+				cold.Close()
+			}
+		})
 	}
 }
 

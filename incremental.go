@@ -29,6 +29,13 @@ type Incremental[T any] struct {
 	builder  index.Builder[T]
 	params   core.Params
 	validate func(T) error
+
+	// Radii cache, valid while radiiEpoch matches the live-set epoch:
+	// deriving the schedule costs a diameter estimate over the live set,
+	// far too much to repeat per probe on an unchanged dataset.
+	radii      []float64
+	radiiEpoch uint64
+	radiiSet   bool
 }
 
 // NewIncremental returns an empty mutable detector over the metric dist,
@@ -73,6 +80,10 @@ func NewIncrementalVectors(dim int, opts ...Option) (*Incremental[[]float64], er
 		builder: builder,
 		params:  p,
 	}
+	// Euclidean distance is coordinate-monotone, so the live set's
+	// diameter estimate is its bounding-box corner distance — unlock the
+	// O(dim) incremental box path for the per-epoch radii refresh.
+	inc.m.DeclareMonotone()
 	inc.validate = func(x []float64) error {
 		if len(x) != dim {
 			return fmt.Errorf("mccatch: point has dimension %d, want %d", len(x), dim)
@@ -134,6 +145,51 @@ func (inc *Incremental[T]) SetMemtableCap(n int) { inc.m.SetMemtableCap(n) }
 // The Result is identical to a one-shot run over the live elements.
 func (inc *Incremental[T]) Detect() (*Result, error) {
 	return core.RunIncremental[T](inc.m, inc.builder, inc.params)
+}
+
+// Epoch returns the live-set mutation counter: it changes exactly when
+// Insert or a successful Delete changes the live set, and stays put
+// across Freeze and Compact. Two calls returning the same epoch bracket
+// a window in which every Detect, Probe and Radii answer was identical —
+// the serving layer keys its result caches on it.
+func (inc *Incremental[T]) Epoch() uint64 { return inc.m.Epoch() }
+
+// Radii returns the radii schedule (Step I of the pipeline) a Detect
+// over the current live set would use: a logarithmically spaced radii
+// derived from the live set's estimated diameter. Returns nil while the
+// live set has fewer than two elements. The schedule is cached per epoch
+// — probes between mutations pay for the diameter estimate once.
+func (inc *Incremental[T]) Radii() []float64 {
+	if e := inc.m.Epoch(); !inc.radiiSet || e != inc.radiiEpoch {
+		inc.radii = nil
+		a := inc.params.NumRadii
+		if a == 0 {
+			a = core.DefaultNumRadii
+		}
+		if l := inc.m.DiameterEstimate(); l > 0 {
+			inc.radii = core.MakeRadii(l, a)
+		}
+		inc.radiiEpoch, inc.radiiSet = e, true
+	}
+	return inc.radii
+}
+
+// Probe returns q's neighbor-count curve: for each radius of the current
+// schedule, how many live elements lie within that radius of q (q itself
+// counts when it is in the live set). See ProbeAppend.
+func (inc *Incremental[T]) Probe(q T) ([]int, error) { return inc.ProbeAppend(q, nil) }
+
+// ProbeAppend appends q's neighbor-count curve to dst, reusing dst's
+// capacity — the allocation-free form of Probe, answered as one merged
+// multi-radius traversal across the frozen segments and the memtable.
+// Like every other method it is not safe concurrently with mutation.
+func (inc *Incremental[T]) ProbeAppend(q T, dst []int) ([]int, error) {
+	if inc.validate != nil {
+		if err := inc.validate(q); err != nil {
+			return nil, err
+		}
+	}
+	return inc.m.RangeCountMultiAppend(q, inc.Radii(), dst), nil
 }
 
 // DeriveWordCost returns the WithWordCost option computed from the data

@@ -117,6 +117,120 @@ func TestIncrementalMatchesRunStrings(t *testing.T) {
 	}
 }
 
+// TestIncrementalEpoch pins the cache-invalidation contract the serving
+// layer depends on: the epoch moves exactly when the live set changes —
+// Insert and successful Delete bump it; failed Delete, rejected Insert,
+// Freeze and Compact leave it alone (storage reorganization cannot
+// change a query answer, so caches keyed on the epoch stay valid).
+func TestIncrementalEpoch(t *testing.T) {
+	inc, err := NewIncrementalVectors(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := inc.Epoch()
+	if _, err := inc.Insert([]float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong dimension should error")
+	}
+	if inc.Epoch() != e0 {
+		t.Error("rejected Insert bumped the epoch")
+	}
+	h, err := inc.Insert([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := inc.Epoch()
+	if e1 == e0 {
+		t.Error("Insert did not bump the epoch")
+	}
+	inc.Freeze()
+	inc.Compact()
+	if inc.Epoch() != e1 {
+		t.Error("Freeze/Compact bumped the epoch despite an unchanged live set")
+	}
+	if inc.Delete(h + 100) {
+		t.Fatal("Delete of an unknown handle succeeded")
+	}
+	if inc.Epoch() != e1 {
+		t.Error("failed Delete bumped the epoch")
+	}
+	if !inc.Delete(h) {
+		t.Fatal("Delete of a live handle failed")
+	}
+	if inc.Epoch() == e1 {
+		t.Error("successful Delete did not bump the epoch")
+	}
+}
+
+// TestIncrementalProbeMatchesDetector pins the probe surface: after an
+// insert/delete/freeze script, Probe and the radii schedule must equal a
+// fresh-built Detector's over the same live set — the serving layer's
+// score-point endpoint is exactly this equivalence. Also exercises the
+// per-epoch radii cache across a mutation.
+func TestIncrementalProbeMatchesDetector(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inc, err := NewIncrementalVectors(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc.SetMemtableCap(8)
+	var handles []int64
+	var live [][]float64
+	for i := 0; i < 40; i++ {
+		p := []float64{rng.Float64() * 20, rng.Float64() * 20}
+		h, err := inc.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles, live = append(handles, h), append(live, p)
+	}
+	for _, j := range []int{35, 20, 3} {
+		if !inc.Delete(handles[j]) {
+			t.Fatal("delete failed")
+		}
+		handles, live = append(handles[:j], handles[j+1:]...), append(live[:j], live[j+1:]...)
+	}
+	d, err := BuildVectors(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if !reflect.DeepEqual(inc.Radii(), d.Radii()) {
+		t.Fatalf("radii schedule diverged from fresh build:\ninc: %v\ndet: %v", inc.Radii(), d.Radii())
+	}
+	for _, q := range [][]float64{live[0], live[17], {100, 100}} {
+		want, err := d.Probe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inc.Probe(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Probe(%v) = %v, want %v", q, got, want)
+		}
+		// ProbeAppend must append after existing entries, not clobber.
+		withPrefix, err := inc.ProbeAppend(q, []int{-1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withPrefix[0] != -1 || !reflect.DeepEqual(withPrefix[1:], want) {
+			t.Fatalf("ProbeAppend with prefix = %v, want [-1 | %v]", withPrefix, want)
+		}
+	}
+	if _, err := inc.Probe([]float64{1}); err == nil {
+		t.Error("wrong-dimension probe should error")
+	}
+	// Mutate, then confirm the cached schedule refreshes: an inserted far
+	// point stretches the diameter, so the radii must change.
+	if _, err := inc.Insert([]float64{500, 500}); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(inc.Radii(), d.Radii()) {
+		t.Error("radii cache survived a diameter-stretching insert")
+	}
+}
+
 // TestIncrementalVectorsValidation pins Insert's input checks.
 func TestIncrementalVectorsValidation(t *testing.T) {
 	inc, err := NewIncrementalVectors(2)

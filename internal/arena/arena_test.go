@@ -80,6 +80,28 @@ func TestRoundTripMmapAndHeap(t *testing.T) {
 	}
 }
 
+// TestCloseIdempotent pins the lifecycle contract the Detector layer
+// relies on: Close may be called any number of times (only the first
+// unmaps), and a column lookup after Close fails with an error instead
+// of handing out a view into unmapped memory.
+func TestCloseIdempotent(t *testing.T) {
+	path := writeSample(t)
+	for _, opts := range [][]Option{nil, {WithHeap()}} {
+		f, err := Open(path, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := f.Close(); err != nil {
+				t.Fatalf("Close #%d (mapped=%v): %v", i+1, len(opts) == 0, err)
+			}
+		}
+		if _, err := f.F64("pts"); err == nil {
+			t.Error("F64 after Close returned a view instead of an error")
+		}
+	}
+}
+
 func TestColumnBlocksArePageAligned(t *testing.T) {
 	w, _, _, _, _ := sampleWriter()
 	var buf bytes.Buffer

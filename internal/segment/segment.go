@@ -123,11 +123,27 @@ type Mutable[T any] struct {
 	nextSeq int64
 	handles map[int64]loc
 
+	// epoch counts mutations of the LIVE SET: Insert and successful
+	// Delete bump it, Freeze and Compact do not (they reorganize storage
+	// without changing any query answer). Cache layers key derived state
+	// — radii schedules, detection Results — on it, so an unchanged epoch
+	// guarantees the cached answer is still exact. Read and written under
+	// the same no-concurrent-mutation contract as every other method.
+	epoch uint64
+
 	// Dense-id cache, rebuilt lazily after any mutation.
 	idsDirty bool
 	refs     []loc // global id → location
 	memBase  int   // global id of the first memtable entry
 	live     int
+
+	// Bounding-box diameter fast path (see DeclareMonotone): the live
+	// set's box is grown in O(dim) on Insert and rebuilt lazily after
+	// Delete (the only mutation that can shrink it).
+	monotone bool
+	boxLo    []float64
+	boxHi    []float64
+	boxDirty bool
 }
 
 // NewMutable returns an empty incremental index building its frozen
@@ -154,10 +170,12 @@ func (m *Mutable[T]) SetMemtableCap(n int) {
 func (m *Mutable[T]) Insert(x T) int64 {
 	seq := m.nextSeq
 	m.nextSeq++
+	m.epoch++
 	m.mem = append(m.mem, memEntry[T]{elem: x, seq: seq})
 	m.handles[seq] = loc{seg: -1, local: len(m.mem) - 1}
 	m.memTree = nil
 	m.idsDirty = true
+	m.growBox(x)
 	if len(m.mem) >= m.memCap {
 		m.Freeze()
 	}
@@ -173,7 +191,9 @@ func (m *Mutable[T]) Delete(handle int64) bool {
 		return false
 	}
 	delete(m.handles, handle)
+	m.epoch++
 	m.idsDirty = true
+	m.boxDirty = true
 	if l.seg < 0 {
 		m.mem = append(m.mem[:l.local], m.mem[l.local+1:]...)
 		for j := l.local; j < len(m.mem); j++ {
@@ -343,6 +363,12 @@ func (m *Mutable[T]) Size() int {
 	return m.live
 }
 
+// Epoch returns the live-set mutation counter: it changes exactly when
+// Insert or a successful Delete changes the live set, and stays put
+// across Freeze and Compact (which cannot change any query answer).
+// Equal epochs ⇒ identical live set ⇒ identical Detect/count results.
+func (m *Mutable[T]) Epoch() uint64 { return m.epoch }
+
 // Segments reports the current frozen-segment count (diagnostics/tests).
 func (m *Mutable[T]) Segments() int { return len(m.segs) }
 
@@ -362,10 +388,91 @@ func (m *Mutable[T]) Tombstones() int {
 // structure-independent estimator — the same values every fresh-built
 // backend reports (internal/diameter is data-only by construction), so
 // the radii schedule of an incremental run matches a fresh run's.
+//
+// Under DeclareMonotone the answer comes from the incrementally
+// maintained bounding box in O(dim) instead of an O(n) sweep — by
+// construction the same value, because the estimator's vector branch
+// returns exactly the box corner distance for any coordinate-monotone
+// metric.
 func (m *Mutable[T]) DiameterEstimate() float64 {
 	m.refreshIDs()
 	if m.live < 2 {
 		return 0
 	}
+	if m.monotone {
+		if est, ok := m.boxDiameter(); ok {
+			return est
+		}
+	}
 	return diameter.Estimate(m.Live(), m.d)
+}
+
+// DeclareMonotone asserts that T is []float64 and the metric is
+// coordinate-monotone — d(a, b) never exceeds d(lo, hi) of a box
+// containing a and b, true of every Lp norm. Under that assertion
+// diameter.Estimate's vector branch always returns the bounding-box
+// corner distance, so DiameterEstimate can answer from a box grown in
+// O(dim) per Insert instead of sweeping the live set — the difference
+// between constant-time and O(n) radii refreshes under sustained
+// ingest. Declaring it for a non-monotone metric silently skews the
+// radii schedule, so only constructors that choose the metric
+// themselves (the Euclidean vector paths) call it.
+func (m *Mutable[T]) DeclareMonotone() {
+	m.monotone = true
+	m.boxDirty = true
+}
+
+// growBox expands the live-set bounding box with a just-inserted
+// element. A dirty box stays dirty (the next boxDiameter rebuilds it
+// over the whole live set); an element that is not a []float64 after
+// all permanently defers to the generic estimator.
+func (m *Mutable[T]) growBox(x T) {
+	if !m.monotone || m.boxDirty {
+		return
+	}
+	p, ok := any(x).([]float64)
+	if !ok || len(p) != len(m.boxLo) {
+		m.boxDirty = true
+		return
+	}
+	for j, v := range p {
+		if v < m.boxLo[j] {
+			m.boxLo[j] = v
+		}
+		if v > m.boxHi[j] {
+			m.boxHi[j] = v
+		}
+	}
+}
+
+// boxDiameter returns the live set's bounding-box corner distance,
+// rebuilding the box first when a Delete (or a pre-declaration insert)
+// has invalidated it. ok is false when the elements turn out not to be
+// vectors, in which case the caller falls through to the generic
+// estimator. Callers hold the refreshIDs invariant and m.live >= 2.
+func (m *Mutable[T]) boxDiameter() (float64, bool) {
+	if m.boxDirty {
+		first, ok := any(m.elemAt(0)).([]float64)
+		if !ok {
+			return 0, false
+		}
+		m.boxLo = append(m.boxLo[:0], first...)
+		m.boxHi = append(m.boxHi[:0], first...)
+		for g := 1; g < m.live; g++ {
+			p, ok := any(m.elemAt(g)).([]float64)
+			if !ok || len(p) != len(m.boxLo) {
+				return 0, false
+			}
+			for j, v := range p {
+				if v < m.boxLo[j] {
+					m.boxLo[j] = v
+				}
+				if v > m.boxHi[j] {
+					m.boxHi[j] = v
+				}
+			}
+		}
+		m.boxDirty = false
+	}
+	return m.d(any(m.boxLo).(T), any(m.boxHi).(T)), true
 }

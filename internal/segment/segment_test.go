@@ -417,3 +417,45 @@ func TestInlierViewMatchesFreshBuild(t *testing.T) {
 		t.Fatalf("nil-mask view RangeCount = %d, Mutable = %d", g, w)
 	}
 }
+
+// TestDiameterBoxPathMatchesEstimator pins the DeclareMonotone fast
+// path: at every step of an insert/delete/freeze/compact history the
+// box-maintained diameter must equal what the generic data-only
+// estimator reports over the same live set — deletes must shrink the
+// box back (lazy rebuild), and storage reorganization must not disturb
+// it.
+func TestDiameterBoxPathMatchesEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMutable(metric.Euclidean, rtreeBuilder, 6) // small cap: history crosses freezes
+	m.DeclareMonotone()
+	plain := NewMutable(metric.Euclidean, rtreeBuilder, 6) // reference without the declaration
+
+	check := func(step string) {
+		t.Helper()
+		if got, want := m.DiameterEstimate(), plain.DiameterEstimate(); got != want {
+			t.Fatalf("%s: box diameter %v != estimator %v (n=%d)", step, got, want, m.Size())
+		}
+	}
+	var handles, refHandles []int64
+	check("empty")
+	for i := 0; i < 120; i++ {
+		p := []float64{rng.Float64() * 100, rng.Float64() * 100}
+		handles = append(handles, m.Insert(p))
+		refHandles = append(refHandles, plain.Insert(append([]float64(nil), p...)))
+		check("insert")
+		if i%7 == 6 { // delete a random live element, sometimes the extreme one
+			j := rng.Intn(len(handles))
+			if ok, ok2 := m.Delete(handles[j]), plain.Delete(refHandles[j]); !ok || !ok2 {
+				t.Fatalf("delete of live handle failed (%v, %v)", ok, ok2)
+			}
+			handles = append(handles[:j], handles[j+1:]...)
+			refHandles = append(refHandles[:j], refHandles[j+1:]...)
+			check("delete")
+		}
+		if i%31 == 30 {
+			m.Compact()
+			plain.Compact()
+			check("compact")
+		}
+	}
+}
