@@ -149,6 +149,32 @@ func BenchmarkPipelineN10k2dParallel(b *testing.B) { benchPipelineWorkers(b, 100
 func BenchmarkPipelineN4k20dSerial(b *testing.B)   { benchPipelineWorkers(b, 4000, 20, 1) }
 func BenchmarkPipelineN4k20dParallel(b *testing.B) { benchPipelineWorkers(b, 4000, 20, 0) }
 
+// --- Shard-parallel pipeline (the WithShards microscope) ---
+//
+// The identical 10k x 2d workload as the Parallel pair above, run
+// through the sharded entry point: Sharded1 routes through the exact
+// same single-index pipeline (WithShards(1) is the default path), so
+// the CI pair gate 'Sharded1 < 1.1*Parallel' pins the option's
+// dispatch overhead near zero, while the 2- and 8-shard cells price
+// the partition build plus the cross-shard merge. Results are
+// deep-equal across all four benchmarks — only the work layout moves.
+
+func benchPipelineSharded(b *testing.B, shards int) {
+	b.Helper()
+	b.ReportAllocs()
+	pts := data.Uniform(10000, 2, 1).Points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mccatch.RunVectors(pts, mccatch.WithShards(shards)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineSharded1(b *testing.B) { benchPipelineSharded(b, 1) }
+func BenchmarkPipelineSharded2(b *testing.B) { benchPipelineSharded(b, 2) }
+func BenchmarkPipelineSharded8(b *testing.B) { benchPipelineSharded(b, 8) }
+
 func benchKDPipelineWorkers(b *testing.B, n, dim, workers int) {
 	b.Helper()
 	b.ReportAllocs()
@@ -523,6 +549,42 @@ func BenchmarkIncrementalQueryMerged(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = m.RangeCountMultiAppend(pts[i%len(pts)], radii, buf[:0])
+	}
+}
+
+// The Step II incremental self-join pair: CountAllMulti over the merged
+// layout (the same one frozen 9.9k segment + 100-point memtable split as
+// the query pair above) against the identical call on the compacted
+// single-segment layout, whose clean segment answers through its native
+// dual-tree self-join alone. The merged side resolves the memtable and
+// the cross-segment pairs through segment-vs-segment dual-tree cross
+// joins; the CI pair gate bounds its overhead at 1.5x the compacted
+// twin, so the cross-join path can never rot back toward the per-element
+// probe costs it replaced.
+func BenchmarkIncrementalCountAllMerged(b *testing.B)    { benchIncrementalCountAll(b, false) }
+func BenchmarkIncrementalCountAllCompacted(b *testing.B) { benchIncrementalCountAll(b, true) }
+
+func benchIncrementalCountAll(b *testing.B, compact bool) {
+	b.Helper()
+	b.ReportAllocs()
+	pts := randPoints(10000, 2)
+	m := segment.NewMutable(metric.Euclidean, func(sub [][]float64) index.Index[[]float64] {
+		return rtree.New(sub, 0)
+	}, len(pts)+1)
+	for _, p := range pts[:9900] {
+		m.Insert(p)
+	}
+	m.Freeze()
+	for _, p := range pts[9900:] {
+		m.Insert(p)
+	}
+	if compact {
+		m.Compact()
+	}
+	radii := geomRadii(m.DiameterEstimate(), 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CountAllMulti(radii, 0)
 	}
 }
 

@@ -21,8 +21,12 @@
 // disable its guard. Benchmarks in the run but not in the baseline are
 // reported and ignored, so adding benchmarks does not require touching
 // the gate. To refresh the baseline after an intentional perf change, run
-// the same bench command on the reference machine and copy the medians
-// into the "ci_baseline" map.
+// the same bench command on the reference machine and pipe the output
+// through -emit-baseline, which prints the refreshed "ci_baseline" /
+// "ci_baseline_allocs" maps as JSON ready to paste into the committed
+// file:
+//
+//	go test -run '^$' -bench '<gate pattern>' -count=5 -benchtime=200ms -benchmem . | go run ./cmd/benchdiff -emit-baseline
 package main
 
 import (
@@ -53,6 +57,7 @@ func (p *pairFlag) Set(s string) error { *p = append(*p, s); return nil }
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_7.json", "committed baseline JSON with a ci_baseline map of benchmark → median ns/op")
 	threshold := flag.Float64("threshold", 1.25, "fail when median ns/op exceeds baseline × threshold (1.25 = >25% regression)")
+	emit := flag.Bool("emit-baseline", false, "instead of gating, print the run's medians as refreshed ci_baseline/ci_baseline_allocs JSON, ready to paste into the committed BENCH_*.json")
 	var pairs pairFlag
 	flag.Var(&pairs, "pair", "same-run relative gate 'BenchmarkFast<BenchmarkSlow': fail unless Fast's median beats Slow's; repeatable, machine-independent (both sides share the runner), so it holds even where the absolute baseline does not transfer")
 	flag.Parse()
@@ -67,13 +72,22 @@ func main() {
 		in = f
 	}
 
-	base, baseAllocs, err := loadBaseline(*baselinePath)
-	if err != nil {
-		fatalf("%v", err)
-	}
 	medians, allocMedians, err := parseBench(in)
 	if err != nil {
 		fatalf("parse bench output: %v", err)
+	}
+	if *emit {
+		out, err := emitBaseline(medians, allocMedians)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	base, baseAllocs, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	report, failures := compare(base, medians, *threshold)
 	fmt.Print(report)
@@ -91,6 +105,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("OK: no benchmark regressed beyond the threshold")
+}
+
+// emitBaseline renders the run's medians as the refreshed
+// "ci_baseline" / "ci_baseline_allocs" JSON fragment, keys sorted, ready
+// to paste into the committed BENCH_*.json. Feed it the exact gated
+// bench command's output so the maps carry precisely the gated set; the
+// alloc map appears only when the run carried -benchmem columns,
+// matching the gate's optionality. An empty run errors — an empty
+// baseline would silently disable the gate.
+func emitBaseline(ns, allocs map[string]float64) (string, error) {
+	if len(ns) == 0 {
+		return "", fmt.Errorf("no benchmark results in input; nothing to emit")
+	}
+	payload := map[string]map[string]float64{"ci_baseline": ns}
+	if len(allocs) > 0 {
+		payload["ci_baseline_allocs"] = allocs
+	}
+	raw, err := json.MarshalIndent(payload, "", " ")
+	if err != nil {
+		return "", err
+	}
+	return string(raw) + "\n", nil
 }
 
 func fatalf(format string, args ...any) {

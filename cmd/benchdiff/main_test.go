@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"strings"
 	"testing"
@@ -207,5 +208,49 @@ func TestEndToEndAgainstParsedOutput(t *testing.T) {
 	_, failures := compare(base, m2, 1.25)
 	if len(failures) != 1 || failures[0] != "BenchmarkSlimTreeBuildBulk10k" {
 		t.Fatalf("2x inflated build pair not caught: %v", failures)
+	}
+}
+
+// TestEmitBaseline pins the -emit-baseline refresh path: the emitted
+// JSON must round-trip through the same decoder the gate loads
+// baselines with, carry exactly the run's medians, and omit the alloc
+// map when the run had no -benchmem columns.
+func TestEmitBaseline(t *testing.T) {
+	ns, allocs, err := parseBench(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := emitBaseline(ns, allocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bf baselineFile
+	if err := json.Unmarshal([]byte(out), &bf); err != nil {
+		t.Fatalf("emitted JSON does not decode as a baseline file: %v\n%s", err, out)
+	}
+	if got := bf.CIBaseline["BenchmarkPipelineN10k2dSerial"]; got != 440000000 {
+		t.Errorf("emitted ns median = %v, want 440000000", got)
+	}
+	if got := bf.CIBaseline["BenchmarkSlimTreeBuildBulk10k"]; got != 14000000 {
+		t.Errorf("emitted ns median = %v, want 14000000", got)
+	}
+	if got := bf.CIBaselineAllocs["BenchmarkPipelineN10k2dSerial"]; got != 10 {
+		t.Errorf("emitted alloc median = %v, want 10", got)
+	}
+	if _, ok := bf.CIBaselineAllocs["BenchmarkSlimTreeBuildBulk10k"]; ok {
+		t.Error("benchmark without -benchmem columns must not gain an alloc entry")
+	}
+
+	// No -benchmem columns at all: the alloc map must be absent entirely.
+	out, err = emitBaseline(ns, map[string]float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "ci_baseline_allocs") {
+		t.Errorf("alloc-free run emitted an alloc map:\n%s", out)
+	}
+
+	if _, err := emitBaseline(map[string]float64{}, nil); err == nil {
+		t.Error("an empty run must error, not emit an empty (gate-disabling) baseline")
 	}
 }

@@ -11,6 +11,7 @@
 //	mccatch -input data.csv
 //	mccatch -input names.txt -format text
 //	mccatch -input data.csv -a 15 -b 0.1 -c 0   # explicit hyperparameters
+//	mccatch -input data.csv -shards 4           # shard-parallel pipelines (identical output)
 //
 // Build-once/query-many: -save-index builds the index from the input and
 // writes it to disk without detecting; -index-file reopens such a file
@@ -49,6 +50,7 @@ func main() {
 		summary = flag.Bool("summary", false, "print the explainability summary (radii, cutoff, ranked mcs)")
 		explain = flag.Int("explain", -1, "explain why one point (by index) scored the way it did")
 		workers = flag.Int("workers", 0, "concurrent workers (0 = all cores, 1 = serial; output is identical)")
+		shards  = flag.Int("shards", 0, "concurrent per-shard pipelines (0 = default 1; output is identical for every value)")
 		insert  = flag.Bool("insertion-build", false, "build slim-trees with the legacy insert path instead of bulk loading (slower; output is identical)")
 		incr    = flag.Bool("incremental", false, "feed the data through the mutable incremental layer (insert-all, compact, detect; output is identical)")
 		saveIdx = flag.String("save-index", "", "build the index from the input, save it to this file, and exit without detecting")
@@ -57,7 +59,7 @@ func main() {
 		maxHeap = flag.Int("max-heap", 0, "fail after the run if the Go heap obtained more than this many MiB from the OS (0 = no check)")
 	)
 	flag.Parse()
-	if msg := conflictingFlags(*incr, *saveIdx, *idxFile, *probe); msg != "" {
+	if msg := conflictingFlags(*incr, *saveIdx, *idxFile, *probe, *shards); msg != "" {
 		fmt.Fprintf(os.Stderr, "mccatch: %s\n\n", msg)
 		flag.Usage()
 		os.Exit(2)
@@ -75,6 +77,9 @@ func main() {
 	}
 	if *workers != 0 {
 		opts = append(opts, mccatch.WithWorkers(*workers))
+	}
+	if *shards != 0 {
+		opts = append(opts, mccatch.WithShards(*shards))
 	}
 	if *insert {
 		opts = append(opts, mccatch.WithInsertionBuild())
@@ -136,11 +141,13 @@ func main() {
 
 // conflictingFlags rejects flag combinations where one flag would have
 // to be silently ignored: the incremental layer has no on-disk form,
-// -save-index and -index-file each claim the index's home, and
-// -save-index exits before any probe could run. A non-empty return is
-// the usage error (the caller prints it plus the flag summary and exits
-// nonzero, so scripts fail loudly instead of acting on half the flags).
-func conflictingFlags(incr bool, saveIdx, idxFile string, probe int) string {
+// -save-index and -index-file each claim the index's home, -save-index
+// exits before any probe could run, and a sharded detector neither
+// saves to nor opens from an index file (the partition has no on-disk
+// format). A non-empty return is the usage error (the caller prints it
+// plus the flag summary and exits nonzero, so scripts fail loudly
+// instead of acting on half the flags).
+func conflictingFlags(incr bool, saveIdx, idxFile string, probe, shards int) string {
 	switch {
 	case incr && (saveIdx != "" || idxFile != ""):
 		return "-incremental cannot be combined with -save-index/-index-file (the incremental layer has no on-disk form)"
@@ -148,6 +155,10 @@ func conflictingFlags(incr bool, saveIdx, idxFile string, probe int) string {
 		return "-save-index and -index-file are mutually exclusive (the index is already on disk)"
 	case saveIdx != "" && probe >= 0:
 		return "-save-index and -probe are mutually exclusive (-save-index exits without querying; probe the saved file with -index-file -probe)"
+	case shards > 1 && idxFile != "":
+		return "-shards cannot be combined with -index-file (a saved index is one frozen tree; shard at build time instead)"
+	case shards > 1 && saveIdx != "":
+		return "-shards cannot be combined with -save-index (the shard partition has no on-disk format)"
 	}
 	return ""
 }

@@ -160,6 +160,41 @@ func TestIncrementalCLIByteIdentical(t *testing.T) {
 	}
 }
 
+// TestShardedCLIByteIdentical pins the -shards acceptance criterion:
+// the report printed at -shards 1 is byte-identical to a run without
+// the flag, and stays byte-identical at every higher shard count, on
+// both a CSV and a text dataset.
+func TestShardedCLIByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		format, data string
+	}{
+		{"csv", genCSV()},
+		{"text", genText()},
+	} {
+		t.Run(tc.format, func(t *testing.T) {
+			var base bytes.Buffer
+			res, describe, err := detectOneShot(tc.format, strings.NewReader(tc.data), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			printResult(&base, res, describe, 10, true)
+			for _, shards := range []int{1, 2, 4} {
+				var got bytes.Buffer
+				res, describe, err := detectOneShot(tc.format, strings.NewReader(tc.data),
+					[]mccatch.Option{mccatch.WithShards(shards)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				printResult(&got, res, describe, 10, true)
+				if base.String() != got.String() {
+					t.Fatalf("-shards %d output differs from the unsharded run:\n--- unsharded ---\n%s--- sharded ---\n%s",
+						shards, base.String(), got.String())
+				}
+			}
+		})
+	}
+}
+
 // TestIndexFileCLIByteIdentical pins the build-once/query-many
 // acceptance criterion: detecting over an index saved to disk and
 // reopened (the -save-index / -index-file round trip) prints output
@@ -340,6 +375,7 @@ func TestConflictingFlags(t *testing.T) {
 		saveIdx string
 		idxFile string
 		probe   int
+		shards  int
 		wantErr bool
 	}{
 		{name: "none", probe: -1},
@@ -352,13 +388,18 @@ func TestConflictingFlags(t *testing.T) {
 		{name: "incremental+open", incr: true, idxFile: "x.idx", probe: -1, wantErr: true},
 		{name: "save+open", saveIdx: "x.idx", idxFile: "y.idx", probe: -1, wantErr: true},
 		{name: "save+probe", saveIdx: "x.idx", probe: 0, wantErr: true},
+		{name: "shards alone", probe: -1, shards: 4},
+		{name: "shards one+open", idxFile: "x.idx", probe: -1, shards: 1},
+		{name: "shards+incremental", incr: true, probe: -1, shards: 4},
+		{name: "shards+open", idxFile: "x.idx", probe: -1, shards: 2, wantErr: true},
+		{name: "shards+save", saveIdx: "x.idx", probe: -1, shards: 2, wantErr: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			msg := conflictingFlags(tc.incr, tc.saveIdx, tc.idxFile, tc.probe)
+			msg := conflictingFlags(tc.incr, tc.saveIdx, tc.idxFile, tc.probe, tc.shards)
 			if got := msg != ""; got != tc.wantErr {
-				t.Errorf("conflictingFlags(%v,%q,%q,%d) = %q, want error %v",
-					tc.incr, tc.saveIdx, tc.idxFile, tc.probe, msg, tc.wantErr)
+				t.Errorf("conflictingFlags(%v,%q,%q,%d,%d) = %q, want error %v",
+					tc.incr, tc.saveIdx, tc.idxFile, tc.probe, tc.shards, msg, tc.wantErr)
 			}
 		})
 	}

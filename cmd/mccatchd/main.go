@@ -45,11 +45,12 @@ func main() {
 		b         = flag.Float64("b", -1, "maximum plateau slope (<0 = default 0.1)")
 		c         = flag.Int("c", 0, "maximum microcluster cardinality (0 = ceil(n*0.1))")
 		workers   = flag.Int("workers", 0, "concurrent workers inside one detection (0 = all cores)")
+		shards    = flag.Int("shards", 0, "concurrent per-shard pipelines inside one detection (0 = default 1; mutable servers only)")
 		batch     = flag.Int("batch", 16, "score coalescing: flush a micro-batch at this many queries")
 		batchWait = flag.Duration("batch-wait", 500*time.Microsecond, "score coalescing: flush after the oldest query waited this long (0 disables coalescing)")
 	)
 	flag.Parse()
-	if msg := conflictingFlags(*idxFile, *input, *dim, *format); msg != "" {
+	if msg := conflictingFlags(*idxFile, *input, *dim, *shards, *format); msg != "" {
 		fmt.Fprintf(os.Stderr, "mccatchd: %s\n\n", msg)
 		flag.Usage()
 		os.Exit(2)
@@ -67,6 +68,9 @@ func main() {
 	}
 	if *workers != 0 {
 		opts = append(opts, mccatch.WithWorkers(*workers))
+	}
+	if *shards != 0 {
+		opts = append(opts, mccatch.WithShards(*shards))
 	}
 
 	handler, cleanup, err := buildHandler(*idxFile, *input, *format, *dim, *batch, *batchWait, opts)
@@ -97,12 +101,14 @@ func main() {
 // conflictingFlags rejects combinations where one flag would be silently
 // ignored, mirroring cmd/mccatch's policy: fail loudly instead of acting
 // on half the flags.
-func conflictingFlags(idxFile, input string, dim int, format string) string {
+func conflictingFlags(idxFile, input string, dim, shards int, format string) string {
 	switch {
 	case idxFile != "" && input != "":
 		return "-index-file and -input are mutually exclusive (a saved index is served read-only)"
 	case idxFile != "" && dim != 0:
 		return "-index-file and -dim are mutually exclusive (the index fixes the dimensionality)"
+	case idxFile != "" && shards > 1:
+		return "-index-file and -shards are mutually exclusive (a saved index is one frozen tree; sharding applies to mutable servers)"
 	case idxFile == "" && format == "csv" && dim == 0 && input == "":
 		return "a mutable csv server needs -dim (or -input to infer it)"
 	case idxFile == "" && format == "text" && input == "":

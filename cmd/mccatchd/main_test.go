@@ -17,7 +17,7 @@ func TestConflictingFlags(t *testing.T) {
 	cases := []struct {
 		name           string
 		idxFile, input string
-		dim            int
+		dim, shards    int
 		format         string
 		wantErr        bool
 	}{
@@ -30,13 +30,16 @@ func TestConflictingFlags(t *testing.T) {
 		{name: "index+dim", idxFile: "x.idx", dim: 2, format: "csv", wantErr: true},
 		{name: "mutable csv without dim or input", format: "csv", wantErr: true},
 		{name: "mutable text without input", format: "text", wantErr: true},
+		{name: "mutable csv sharded", dim: 2, shards: 4, format: "csv"},
+		{name: "read-only shards one", idxFile: "x.idx", shards: 1, format: "csv"},
+		{name: "index+shards", idxFile: "x.idx", shards: 2, format: "csv", wantErr: true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			msg := conflictingFlags(tc.idxFile, tc.input, tc.dim, tc.format)
+			msg := conflictingFlags(tc.idxFile, tc.input, tc.dim, tc.shards, tc.format)
 			if got := msg != ""; got != tc.wantErr {
-				t.Errorf("conflictingFlags(%q,%q,%d,%q) = %q, want error %v",
-					tc.idxFile, tc.input, tc.dim, tc.format, msg, tc.wantErr)
+				t.Errorf("conflictingFlags(%q,%q,%d,%d,%q) = %q, want error %v",
+					tc.idxFile, tc.input, tc.dim, tc.shards, tc.format, msg, tc.wantErr)
 			}
 		})
 	}

@@ -42,7 +42,9 @@ import (
 	"mccatch/internal/index"
 	"mccatch/internal/kdtree"
 	"mccatch/internal/metric"
+	"mccatch/internal/parallel"
 	"mccatch/internal/rtree"
+	"mccatch/internal/shard"
 	"mccatch/internal/slimtree"
 )
 
@@ -77,6 +79,13 @@ type Detector[T any] struct {
 	builder index.Builder[T]
 	params  core.Params
 
+	// Sharded state (WithShards(n), n > 1): the partition and one index
+	// per part, built once here and reused by every Detect. tree is nil
+	// exactly when set is non-nil; the derived reads (Radii, Probe)
+	// answer from the partition instead.
+	set    *shard.Set[T]
+	strees []index.Index[T]
+
 	// radii caches the derived schedule; radiiOnce makes the lazy
 	// derivation safe under concurrent readers (the read-concurrency
 	// contract above).
@@ -99,8 +108,24 @@ func Build[T any](items []T, dist Distance[T], opts ...Option) (*Detector[T], er
 		return nil, err
 	}
 	resolveSlimCapacity(&p)
-	builder := core.SlimBuilder(dist, p)
-	return &Detector[T]{items: items, tree: builder(items), builder: builder, params: p}, nil
+	return newDetector(items, dist, core.SlimBuilder(dist, p), p, false), nil
+}
+
+// newDetector finishes every Build* constructor: single-index mode
+// builds the one full tree; sharded mode (params.Shards > 1) cuts the
+// dataset with the deterministic partitioner and builds one index per
+// part instead. euclidean declares dist is the Euclidean metric on
+// vectors (selecting the tile cut; see shard.Build).
+func newDetector[T any](items []T, dist metric.Distance[T], builder index.Builder[T], p core.Params, euclidean bool) *Detector[T] {
+	if p.Shards > 1 {
+		set := shard.Build(items, dist, p.Shards, p.Workers, euclidean)
+		strees := make([]index.Index[T], len(set.Parts))
+		parallel.For(p.Workers, len(strees), func(s int) {
+			strees[s] = builder(set.Parts[s].Items)
+		})
+		return &Detector[T]{items: items, builder: builder, params: p, set: set, strees: strees}
+	}
+	return &Detector[T]{items: items, tree: builder(items), builder: builder, params: p}
 }
 
 // resolveSlimCapacity pins the node capacity a slim-tree backend will
@@ -128,8 +153,7 @@ func BuildVectors(points [][]float64, opts ...Option) (*Detector[[]float64], err
 	}
 	if p.TreeCapacity != 0 || p.InsertionBuild || p.SlimDownPasses > 0 {
 		resolveSlimCapacity(&p)
-		builder := core.SlimBuilder(metric.Euclidean, p)
-		return &Detector[[]float64]{items: points, tree: builder(points), builder: builder, params: p}, nil
+		return newDetector(points, metric.Euclidean, core.SlimBuilder(metric.Euclidean, p), p, true), nil
 	}
 	return buildVectorsR(points, p, 0)
 }
@@ -142,8 +166,7 @@ func BuildVectorsSlim(points [][]float64, opts ...Option) (*Detector[[]float64],
 		return nil, err
 	}
 	resolveSlimCapacity(&p)
-	builder := core.SlimBuilder(metric.Euclidean, p)
-	return &Detector[[]float64]{items: points, tree: builder(points), builder: builder, params: p}, nil
+	return newDetector(points, metric.Euclidean, core.SlimBuilder(metric.Euclidean, p), p, true), nil
 }
 
 // BuildVectorsKD is BuildVectors pinned to the kd-tree backend
@@ -154,7 +177,7 @@ func BuildVectorsKD(points [][]float64, opts ...Option) (*Detector[[]float64], e
 		return nil, err
 	}
 	builder := func(sub [][]float64) index.Index[[]float64] { return kdtree.NewWithWorkers(sub, p.Workers) }
-	return &Detector[[]float64]{items: points, tree: builder(points), builder: builder, params: p}, nil
+	return newDetector(points, metric.Euclidean, builder, p, true), nil
 }
 
 // BuildVectorsR is BuildVectors pinned to the R-tree backend
@@ -169,7 +192,7 @@ func BuildVectorsR(points [][]float64, opts ...Option) (*Detector[[]float64], er
 
 func buildVectorsR(points [][]float64, p core.Params, fanout int) (*Detector[[]float64], error) {
 	builder := func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, fanout, p.Workers) }
-	return &Detector[[]float64]{items: points, tree: builder(points), builder: builder, params: p}, nil
+	return newDetector(points, metric.Euclidean, builder, p, true), nil
 }
 
 // vectorParams validates the points, seeds the vector transformation
@@ -204,8 +227,7 @@ func BuildStrings(words []string, opts ...Option) (*Detector[string], error) {
 		return nil, err
 	}
 	resolveSlimCapacity(&p)
-	builder := core.SlimBuilder(metric.Levenshtein, p)
-	return &Detector[string]{items: words, tree: builder(words), builder: builder, params: p}, nil
+	return newDetector(words, metric.Levenshtein, core.SlimBuilder(metric.Levenshtein, p), p, false), nil
 }
 
 // OpenVectors opens a vector index file written by Save/WriteFile —
@@ -277,6 +299,10 @@ func openVectors(path string, aopts []arena.Option, opts []Option) (*Detector[[]
 		closeIndex(tree)
 		return nil, err
 	}
+	if p.Shards > 1 {
+		closeIndex(tree)
+		return nil, fmt.Errorf("mccatch: WithShards(%d) cannot apply to an opened index file; sharded detectors are built in memory", p.Shards)
+	}
 	// A slim-backed file records the capacity it was built with; adopt it
 	// unless an explicit option overrode it, so the reopened detector's
 	// throwaway trees — and its echoed params — match the saving one's.
@@ -308,6 +334,10 @@ func OpenStrings(path string, opts ...Option) (*Detector[string], error) {
 		t.Close()
 		return nil, err
 	}
+	if p.Shards > 1 {
+		t.Close()
+		return nil, fmt.Errorf("mccatch: WithShards(%d) cannot apply to an opened index file; sharded detectors are built in memory", p.Shards)
+	}
 	// As in OpenVectors: adopt the saved tree's capacity unless an
 	// explicit option overrode it.
 	if p.TreeCapacity == 0 {
@@ -326,11 +356,19 @@ func (d *Detector[T]) Detect() (*Result, error) {
 	if d.closed.Load() {
 		return nil, ErrDetectorClosed
 	}
+	if d.set != nil {
+		return core.RunShardedPrebuilt(d.items, d.set, d.strees, d.builder, d.params)
+	}
 	return core.RunPrebuilt(d.items, d.tree, d.builder, d.params)
 }
 
 // Size returns the number of indexed elements.
-func (d *Detector[T]) Size() int { return d.tree.Size() }
+func (d *Detector[T]) Size() int {
+	if d.set != nil {
+		return len(d.items)
+	}
+	return d.tree.Size()
+}
 
 // Items returns the indexed elements in id order — the slice Detect's
 // Result indices refer to. For opened vector detectors the elements are
@@ -350,7 +388,13 @@ func (d *Detector[T]) Radii() []float64 {
 		if a == 0 {
 			a = core.DefaultNumRadii
 		}
-		if l := d.tree.DiameterEstimate(); l > 0 {
+		l := 0.0
+		if d.set != nil {
+			l = d.set.Diam // what a single full index would estimate
+		} else {
+			l = d.tree.DiameterEstimate()
+		}
+		if l > 0 {
 			d.radii = core.MakeRadii(l, a)
 		}
 	})
@@ -380,6 +424,20 @@ func (d *Detector[T]) ProbeAppend(q T, dst []int) ([]int, error) {
 	if len(radii) == 0 {
 		return dst, nil
 	}
+	if d.set != nil {
+		// The global curve is the elementwise sum of per-shard curves —
+		// exact, because the parts partition the dataset.
+		base := len(dst)
+		dst = index.RangeCountMultiAppend(d.strees[0], q, radii, dst)
+		tmp := make([]int, 0, len(radii))
+		for _, t := range d.strees[1:] {
+			tmp = index.RangeCountMultiAppend(t, q, radii, tmp[:0])
+			for e, c := range tmp {
+				dst[base+e] += c
+			}
+		}
+		return dst, nil
+	}
 	return index.RangeCountMultiAppend(d.tree, q, radii, dst), nil
 }
 
@@ -390,6 +448,9 @@ func (d *Detector[T]) ProbeAppend(q T, dst []int) ([]int, error) {
 func (d *Detector[T]) Save(w io.Writer) error {
 	if d.closed.Load() {
 		return ErrDetectorClosed
+	}
+	if d.set != nil {
+		return fmt.Errorf("mccatch: a sharded detector has no on-disk format; build with WithShards(1) to save")
 	}
 	switch t := any(d.tree).(type) {
 	case *kdtree.Tree:
@@ -408,6 +469,9 @@ func (d *Detector[T]) Save(w io.Writer) error {
 func (d *Detector[T]) WriteFile(path string) error {
 	if d.closed.Load() {
 		return ErrDetectorClosed
+	}
+	if d.set != nil {
+		return fmt.Errorf("mccatch: a sharded detector has no on-disk format; build with WithShards(1) to save")
 	}
 	switch t := any(d.tree).(type) {
 	case *kdtree.Tree:

@@ -29,6 +29,11 @@ type Incremental[T any] struct {
 	builder  index.Builder[T]
 	params   core.Params
 	validate func(T) error
+	// dist and euclidean feed the sharded Detect path (WithShards > 1),
+	// which partitions the live set per detection; euclidean marks the
+	// vector constructor so the cut can use tiles.
+	dist      Distance[T]
+	euclidean bool
 
 	// Radii cache, valid while radiiEpoch matches the live-set epoch:
 	// deriving the schedule costs a diameter estimate over the live set,
@@ -53,6 +58,7 @@ func NewIncremental[T any](dist Distance[T], opts ...Option) (*Incremental[T], e
 		m:       segment.NewMutable(dist, builder, 0),
 		builder: builder,
 		params:  p,
+		dist:    dist,
 	}, nil
 }
 
@@ -76,9 +82,11 @@ func NewIncrementalVectors(dim int, opts ...Option) (*Incremental[[]float64], er
 		builder = func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, 0, p.Workers) }
 	}
 	inc := &Incremental[[]float64]{
-		m:       segment.NewMutable(metric.Euclidean, builder, 0),
-		builder: builder,
-		params:  p,
+		m:         segment.NewMutable(metric.Euclidean, builder, 0),
+		builder:   builder,
+		params:    p,
+		dist:      metric.Euclidean,
+		euclidean: true,
 	}
 	// Euclidean distance is coordinate-monotone, so the live set's
 	// diameter estimate is its bounding-box corner distance — unlock the
@@ -143,7 +151,17 @@ func (inc *Incremental[T]) SetMemtableCap(n int) { inc.m.SetMemtableCap(n) }
 // segments: Steps I, II and IV answer their joins as exact merges across
 // the segments and the memtable instead of rebuilding the full index.
 // The Result is identical to a one-shot run over the live elements.
+//
+// Under WithShards(n), n > 1, Detect instead snapshots the live set and
+// runs the shard-parallel pipeline over a fresh deterministic partition
+// of it — the LSM layer still absorbs the mutations, but the detection
+// indexes are per-shard builds. The Result is still identical (the
+// shard merge is exact); the trade is rebuild cost per detection for
+// shard-level parallelism during it.
 func (inc *Incremental[T]) Detect() (*Result, error) {
+	if inc.params.Shards > 1 {
+		return core.RunSharded(inc.m.Live(), inc.dist, inc.builder, inc.params, inc.euclidean)
+	}
 	return core.RunIncremental[T](inc.m, inc.builder, inc.params)
 }
 

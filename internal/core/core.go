@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"mccatch/internal/index"
+	"mccatch/internal/join"
 	"mccatch/internal/metric"
 	"mccatch/internal/slimtree"
 )
@@ -67,6 +68,12 @@ type Params struct {
 	// Results are identical for every value: workers write into
 	// preallocated per-index slots and no reduction order is observable.
 	Workers int
+	// Shards is the number of data partitions the pipeline runs as
+	// concurrent per-shard pipelines with an exact cross-shard merge
+	// (RunSharded). 0 → 1; 1 is the single-index path. The Result is
+	// deep-equal for every value — sharding, like Workers, only moves
+	// where the work happens.
+	Shards int
 }
 
 // withDefaults validates p and fills zero values, given the dataset size n.
@@ -94,6 +101,12 @@ func (p Params) withDefaults(n int) (Params, error) {
 	}
 	if p.Cost <= 0 {
 		p.Cost = 1
+	}
+	if p.Shards == 0 {
+		p.Shards = 1
+	}
+	if p.Shards < 1 {
+		return p, fmt.Errorf("core: Shards must be ≥ 1, got %d", p.Shards)
 	}
 	return p, nil
 }
@@ -193,6 +206,9 @@ type IncrementalSource[T any] interface {
 // builder is invoked for the full dataset and for the sub-sets the
 // algorithm indexes along the way (group candidates, inliers).
 func RunWithIndex[T any](items []T, dist metric.Distance[T], builder index.Builder[T], params Params) (*Result, error) {
+	if params.Shards > 1 {
+		return RunSharded(items, dist, builder, params, false)
+	}
 	return pipeline(items, nil, builder, nil, params)
 }
 
@@ -233,6 +249,12 @@ func pipeline[T any](items []T, prebuilt index.Index[T], builder index.Builder[T
 	if err != nil {
 		return nil, err
 	}
+	if p.Shards > 1 {
+		// Sharded runs must come in through RunSharded (or an entry point
+		// that routes there): this single-index driver cannot honor the
+		// partitioned build.
+		return nil, fmt.Errorf("core: Shards = %d requires a sharded entry point", p.Shards)
+	}
 
 	// Step I — define the neighborhood radii (Alg. 1 L1-3).
 	var tree index.Index[T]
@@ -266,20 +288,28 @@ func pipeline[T any](items []T, prebuilt index.Index[T], builder index.Builder[T
 	// Step II — build the 'Oracle' plot (Alg. 2).
 	buildOraclePlot(tree, items, radii, p, res)
 
-	// Step III — spot the microclusters (Alg. 3).
-	mcs := spotMCs(items, builder, res)
+	// Step III — spot the microclusters (Alg. 3). The gel pairs come from
+	// one self-join over a throwaway tree of the group candidates.
+	gelPairs := func(_ []int, groupItems []T, r float64) [][2]int {
+		t := builder(groupItems)
+		return join.SelfPairs(t, groupItems, r, p.Workers)
+	}
+	mcs := spotMCs(items, gelPairs, res)
 
 	// Step IV — compute the anomaly scores (Alg. 4). The inlier index is
 	// a fresh build over the inliers in one-shot mode, and the masked
 	// in-place view of the incremental source otherwise; both answer the
 	// bridge joins exactly, so the scores agree bit for bit.
-	inlierIndex := func(inItems []T, isOutlier []bool) index.Index[T] {
+	bridgeFirsts := func(outItems, inItems []T, isOutlier []bool) []int {
+		var inTree index.Index[T]
 		if src != nil {
-			return src.InlierView(isOutlier)
+			inTree = src.InlierView(isOutlier)
+		} else {
+			inTree = builder(inItems)
 		}
-		return builder(inItems)
+		return join.BridgeRadii(inTree, outItems, radii, p.Workers)
 	}
-	scoreMCs(items, inlierIndex, mcs, p, res)
+	scoreMCs(items, bridgeFirsts, mcs, p, res)
 
 	sortMicroclusters(res.Microclusters)
 	return res, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"mccatch/internal/index"
@@ -96,6 +97,42 @@ func FuzzRangeCountMulti(f *testing.F) {
 							name, qi, e, rr, got[e], want, pts, radii)
 					}
 				}
+			}
+		}
+	})
+}
+
+// FuzzShardEquivalence feeds dyadic-quantized point clouds through the
+// sharded pipeline at a fuzzer-chosen shard count, under both cuts
+// (tiles and Voronoi), and demands the Result deep-equal the
+// single-index run — the shard-count-invariance contract under shapes a
+// seeded generator would not produce (duplicate-heavy clouds, collinear
+// runs, parts that collapse empty). The committed seed corpus lives in
+// internal/core/testdata/fuzz/FuzzShardEquivalence/.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add([]byte("\x02\x05shard-parallel-mccatch-seed-corpus-0123456789"))
+	f.Add([]byte{1, 7, 3, 0, 0, 0, 0, 255, 255, 255, 128, 128, 128, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("\x03\x02\xff\x00\xff\x00AAAAAAAABBBBBBBBCCCCCCCC\x80\x80\x80"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, _ := decodeFuzzCase(data)
+		if len(pts) == 0 {
+			t.Skip()
+		}
+		shards := 2 + int(data[1]%7)
+		builder := func(sub [][]float64) index.Index[[]float64] { return kdtree.New(sub) }
+		base, err := RunWithIndex(pts, metric.Euclidean, builder, Params{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, euclidean := range []bool{true, false} {
+			got, err := RunSharded(pts, metric.Euclidean, builder,
+				Params{Workers: 2, Shards: shards}, euclidean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(normalizedSharded(base), normalizedSharded(got)) {
+				t.Fatalf("shards=%d euclidean=%v: result differs from unsharded\nbase:    %s\nsharded: %s\npoints=%v",
+					shards, euclidean, summarize(base), summarize(got), pts)
 			}
 		}
 	})

@@ -3,8 +3,6 @@ package core
 import (
 	"math"
 
-	"mccatch/internal/index"
-	"mccatch/internal/join"
 	"mccatch/internal/mdl"
 	"mccatch/internal/parallel"
 )
@@ -12,11 +10,17 @@ import (
 // scoreMCs runs Alg. 4: it finds each outlier's distance to its nearest
 // inlier via per-radius joins, derives every microcluster's Bridge's Length
 // ĝ(j), and computes the compression-based scores s_j (Def. 7) and the
-// per-point scores w_i. inlierIndex supplies the index over the inliers
-// that answers the bridge joins — a fresh build in one-shot mode, the
-// incremental source's masked view otherwise (scoreMCs consumes only
-// counts and firsts, never inlier ids, so any exact inlier index works).
-func scoreMCs[T any](items []T, inlierIndex func(inItems []T, isOutlier []bool) index.Index[T], mcs [][]int, p Params, res *Result) {
+// per-point scores w_i. bridgeFirsts answers the bridge searches: given
+// the outlier items (ascending global id order), the inlier items (same
+// order) and the full outlier mask, it returns for each outlier the
+// smallest radius index at which some inlier is within reach
+// (join.BridgeRadii semantics: 0 = within radii[0], len(radii) = none
+// within the diameter). One-shot mode builds a fresh inlier tree, the
+// incremental source hands out its masked view, and the sharded
+// pipeline min-merges per-shard bridge joins — all exact, so the scores
+// agree bit for bit. bridgeFirsts is never called when there are no
+// inliers (the degenerate branch below) or no outliers.
+func scoreMCs[T any](items []T, bridgeFirsts func(outItems []T, inItems []T, isOutlier []bool) []int, mcs [][]int, p Params, res *Result) {
 	n := len(items)
 	radii := res.Radii
 	r1 := radii[0]
@@ -54,8 +58,7 @@ func scoreMCs[T any](items []T, inlierIndex func(inItems []T, isOutlier []bool) 
 				g[i] = radii[len(radii)-1]
 			}
 		} else {
-			inTree := inlierIndex(inItems, isOutlier)
-			firsts := join.BridgeRadii(inTree, outItems, radii, p.Workers)
+			firsts := bridgeFirsts(outItems, inItems, isOutlier)
 			for k, i := range outIdx {
 				e := firsts[k]
 				switch {

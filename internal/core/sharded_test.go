@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mccatch/internal/index"
+	"mccatch/internal/kdtree"
+	"mccatch/internal/metric"
+	"mccatch/internal/rtree"
+)
+
+// The sharding layer's contract is byte-identical output for every shard
+// count (mccatch.WithShards doc): the cross-shard merge sums exact
+// integer counts and minima, so the Result must be deep-equal to the
+// single-index run for shards ∈ {1, 2, 8} × workers ∈ {1, 2, 8}, on both
+// tile and Voronoi cuts. Run under -race to also prove the merge is
+// race-free.
+
+var shardCounts = []int{1, 2, 8}
+
+// normalizedSharded strips the knobs that legitimately differ between a
+// sharded and an unsharded run (the requested shard and worker counts)
+// so reflect.DeepEqual compares pure output.
+func normalizedSharded(r *Result) *Result {
+	c := *r
+	c.Params.Workers = 0
+	c.Params.Shards = 0
+	return &c
+}
+
+func assertShardInvariant[T any](t *testing.T, label string, items []T, dist metric.Distance[T], builderFor func(workers int) index.Builder[T], euclidean bool) {
+	t.Helper()
+	base, err := RunWithIndex(items, dist, builderFor(1), Params{Workers: 1})
+	if err != nil {
+		t.Fatalf("%s: unsharded run failed: %v", label, err)
+	}
+	for _, shards := range shardCounts {
+		for _, workers := range []int{1, 2, 8} {
+			got, err := RunSharded(items, dist, builderFor(workers), Params{Workers: workers, Shards: shards}, euclidean)
+			if err != nil {
+				t.Fatalf("%s: shards=%d workers=%d run failed: %v", label, shards, workers, err)
+			}
+			if !reflect.DeepEqual(normalizedSharded(base), normalizedSharded(got)) {
+				t.Errorf("%s: shards=%d workers=%d result differs from unsharded\nbase:    %s\nsharded: %s",
+					label, shards, workers, summarize(base), summarize(got))
+			}
+		}
+	}
+}
+
+func TestShardInvarianceVectorsAllBackends(t *testing.T) {
+	backends := map[string]func(workers int) index.Builder[[]float64]{
+		"slimtree": slimBuilder[[]float64](metric.Euclidean),
+		"kdtree": func(w int) index.Builder[[]float64] {
+			return func(sub [][]float64) index.Index[[]float64] { return kdtree.NewWithWorkers(sub, w) }
+		},
+		"rtree": func(w int) index.Builder[[]float64] {
+			return func(sub [][]float64) index.Index[[]float64] { return rtree.NewWithWorkers(sub, 0, w) }
+		},
+	}
+	trials := 2
+	if testing.Short() {
+		trials = 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		pts := randomVectorDataset(rng)
+		for name, builderFor := range backends {
+			// Tile cut (the production vector path)...
+			assertShardInvariant(t, fmt.Sprintf("vectors/%s/tiles/trial%d", name, trial),
+				pts, metric.Euclidean, builderFor, true)
+		}
+		// ...and the Voronoi cut vectors take when the metric isn't
+		// declared Euclidean (one backend keeps the run time in check).
+		assertShardInvariant(t, fmt.Sprintf("vectors/kdtree/voronoi/trial%d", trial),
+			pts, metric.Euclidean, backends["kdtree"], false)
+	}
+}
+
+func TestShardInvarianceStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	words := make([]string, 0, 240)
+	for i := 0; i < 200; i++ {
+		stem := []byte("microclustering")
+		for j := rng.Intn(4); j > 0; j-- {
+			stem[rng.Intn(len(stem))] = byte('a' + rng.Intn(26))
+		}
+		words = append(words, string(stem[:8+rng.Intn(7)]))
+	}
+	for i := 0; i < 10; i++ {
+		w := make([]byte, 20+rng.Intn(10))
+		for j := range w {
+			w[j] = byte('0' + rng.Intn(10))
+		}
+		words = append(words, string(w))
+	}
+	assertShardInvariant(t, "strings/slimtree", words, metric.Levenshtein,
+		slimBuilder[string](metric.Levenshtein), false)
+}
+
+// TestShardInvarianceDegenerate covers the edge shapes: a single point,
+// all-duplicate (zero-diameter) data, and n smaller than the shard
+// count.
+func TestShardInvarianceDegenerate(t *testing.T) {
+	for _, pts := range [][][]float64{
+		{{1, 2}},
+		{{3, 3}, {3, 3}, {3, 3}, {3, 3}},
+		{{0, 0}, {1, 1}, {100, 100}},
+	} {
+		assertShardInvariant(t, fmt.Sprintf("degenerate/n%d", len(pts)),
+			pts, metric.Euclidean, slimBuilder[[]float64](metric.Euclidean), true)
+	}
+}
+
+// TestShardsDefaulting pins the Params.Shards contract: 0 defaults to 1,
+// negatives are rejected, and single-index entry points refuse Shards>1
+// (they cannot honor the partitioned build).
+func TestShardsDefaulting(t *testing.T) {
+	p, err := Params{}.withDefaults(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards != 1 {
+		t.Errorf("Shards defaulted to %d, want 1", p.Shards)
+	}
+	if _, err := (Params{Shards: -2}).withDefaults(100); err == nil {
+		t.Error("Shards=-2 accepted, want error")
+	}
+	pts := [][]float64{{0, 0}, {1, 1}, {50, 50}}
+	if _, err := RunPrebuilt(pts, kdtree.New(pts), func(sub [][]float64) index.Index[[]float64] { return kdtree.New(sub) }, Params{Shards: 2}); err == nil {
+		t.Error("RunPrebuilt with Shards=2 accepted, want error")
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"mccatch/internal/index"
-	"mccatch/internal/join"
 	"mccatch/internal/mdl"
 	"mccatch/internal/unionfind"
 )
@@ -11,7 +9,16 @@ import (
 // the cutoff d by MDL partitioning, and gels the outliers into disjoint
 // microclusters. It returns the member lists (unsorted, unscored) and
 // fills res.Histogram, res.Cutoff and res.CutoffIndex.
-func spotMCs[T any](items []T, builder index.Builder[T], res *Result) [][]int {
+//
+// gelPairs supplies the neighbor pairs that gel the group candidates:
+// given the candidates (global ids groupIdx, their items, ascending id
+// order) and the gel radius, it returns every unordered pair of
+// candidates within the radius as indices into groupIdx, each pair at
+// least once (duplicates are harmless — they meet a union-find). The
+// one-shot closure runs one self-join over a throwaway tree; the
+// sharded closure splits the same pair set into per-shard self-joins
+// plus cross-shard range probes.
+func spotMCs[T any](items []T, gelPairs func(groupIdx []int, groupItems []T, r float64) [][2]int, res *Result) [][]int {
 	radii := res.Radii
 	a := len(radii)
 
@@ -66,7 +73,6 @@ func spotMCs[T any](items []T, builder index.Builder[T], res *Result) [][]int {
 		for k, i := range groupIdx {
 			groupItems[k] = items[i]
 		}
-		t := builder(groupItems)
 
 		// The gel threshold is the smallest radius strictly above the
 		// largest 1NN Distance in the group, so a point and its nearest
@@ -81,7 +87,7 @@ func spotMCs[T any](items []T, builder index.Builder[T], res *Result) [][]int {
 		if e+1 < a {
 			e++
 		}
-		pairs := join.SelfPairs(t, groupItems, radii[e], res.Params.Workers)
+		pairs := gelPairs(groupIdx, groupItems, radii[e])
 
 		dsu := unionfind.New(len(groupIdx))
 		for _, pr := range pairs {

@@ -100,6 +100,27 @@ type CrossMultiCounter[T any] interface {
 	BridgeFirsts(queries []T, radii []float64, workers int) []int
 }
 
+// CrossCounter is the optional cross-set COUNTING dual-join extension:
+// where CrossMultiCounter resolves only each query's FIRST nonempty
+// radius (all Step IV needs), this returns each query's full neighbor
+// count at every radius of an ascending schedule — the quantity the
+// shard-parallel pipeline sums across shards to reconstruct Step II's
+// exact global counts, and the quantity the incremental layer's
+// segment-vs-segment merge adds and subtracts. Implementations
+// bulk-build a throwaway tree over the queries and classify query
+// subtrees against index subtrees wholesale, exactly like the self-join
+// but crediting one-directionally. All three bundled trees implement
+// it; join.CrossMultiRadiusCounts falls back to batched per-query
+// probes for any other backend, and both paths return identical
+// results.
+type CrossCounter[T any] interface {
+	// CountCrossMulti returns counts[e][i] = the number of indexed
+	// elements within radii[e] (inclusive) of queries[i]. radii must be
+	// sorted ascending. Counts are exact (no gating) and identical for
+	// every worker count (≤ 0 means all cores, 1 means serial).
+	CountCrossMulti(queries []T, radii []float64, workers int) [][]int
+}
+
 // KNNer is the optional k-nearest-neighbor extension. The slim-tree and
 // kd-tree answer it natively (best-first traversals with ties settled by
 // insertion id); callers that need it on another backend — notably the

@@ -230,27 +230,74 @@ func SelfMultiRadiusCounts[T any](t index.Index[T], items []T, radii []float64, 
 		return MultiRadiusCounts(t, items, radii, cap, lastIsDiameter, workers)
 	}
 	q := smc.CountAllMulti(radii, workers)
-	a := len(radii)
+	GateCounts(q, t.Size(), cap, lastIsDiameter, workers)
+	return q
+}
+
+// GateCounts rewrites a matrix of TRUE counts q[e][i] in place into the
+// gated counts the per-point probing path produces: when lastIsDiameter
+// is true (and there are at least two radii) the final row is pinned to
+// n without consulting the true counts — the gated path never probes the
+// diameter radius, and pinning keeps the paths in agreement even when
+// the diameter ESTIMATE falls marginally short of covering every pair —
+// and a count that exceeds cap is carried forward to every later probed
+// radius (the sparse-focused excusal). It is shared by every producer of
+// true counts that must match the gated probing semantics: the dual
+// self-join above, and the shard-parallel pipeline after summing its
+// per-shard and cross-shard true counts.
+func GateCounts(q [][]int, n, cap int, lastIsDiameter bool, workers int) {
+	a := len(q)
 	if a == 0 {
-		return q
+		return
 	}
 	probeHi := a // rows that follow the gated semantics
 	if lastIsDiameter && a >= 2 {
-		// The gated path pins the diameter row to n without probing; pin
-		// it here too so the paths agree even when the diameter ESTIMATE
-		// falls marginally short of covering every pair.
 		probeHi = a - 1
-		n := t.Size()
 		for i := range q[a-1] {
 			q[a-1][i] = n
 		}
 	}
-	parallel.For(workers, len(items), func(i int) {
+	parallel.For(workers, len(q[0]), func(i int) {
 		for e := 1; e < probeHi; e++ {
 			if prev := q[e-1][i]; prev > cap {
 				q[e][i] = prev
 			}
 		}
+	})
+}
+
+// CrossMultiRadiusCounts returns counts[e][i] = the number of indexed
+// elements within radii[e] (inclusive) of queries[i] — TRUE counts, no
+// gating. When the index can count-join a second set (index.CrossCounter
+// — every bundled backend), the whole matrix comes from ONE dual
+// traversal of the index against a throwaway tree over the queries;
+// other backends fall back to one batched probe per query. Both paths
+// return identical results at every worker count. It is the counting
+// sibling of BridgeRadii: the shard-parallel pipeline sums these
+// matrices across shard pairs to reconstruct the exact global Step II
+// counts, and the incremental layer's segment merge adds and subtracts
+// them across segments.
+func CrossMultiRadiusCounts[T any](t index.Index[T], queries []T, radii []float64, workers int) [][]int {
+	if cc, ok := t.(index.CrossCounter[T]); ok {
+		return cc.CountCrossMulti(queries, radii, workers)
+	}
+	a := len(radii)
+	q := make([][]int, a)
+	for e := range q {
+		q[e] = make([]int, len(queries))
+	}
+	if a == 0 || len(queries) == 0 || t.Size() == 0 {
+		return q
+	}
+	var bufScratch = sync.Pool{New: func() any { s := make([]int, 0, a); return &s }}
+	parallel.For(workers, len(queries), func(i int) {
+		bufp := bufScratch.Get().(*[]int)
+		counts := index.RangeCountMultiAppend(t, queries[i], radii, (*bufp)[:0])
+		for e, c := range counts {
+			q[e][i] = c
+		}
+		*bufp = counts[:0]
+		bufScratch.Put(bufp)
 	})
 	return q
 }

@@ -3,6 +3,7 @@ package segment
 import (
 	"mccatch/internal/diameter"
 	"mccatch/internal/index"
+	"mccatch/internal/join"
 	"mccatch/internal/parallel"
 )
 
@@ -27,10 +28,15 @@ var (
 // global id g (inclusive, so ≥ 1). Within-segment pairs of a tombstone-
 // free segment come from the segment's own dual-tree self-join — on a
 // compacted Mutable that is the WHOLE answer, so steady state pays no
-// merge penalty; everything else (cross-segment pairs, segments with
-// tombstones, the memtable) is resolved by exact per-element batched
-// probes with tombstone corrections. Exact counts merge by addition, so
-// the matrix is identical to a fresh build's for every worker count.
+// merge penalty. Everything else — cross-segment pairs, segments with
+// tombstones, the memtable — resolves through segment-vs-segment
+// dual-tree CROSS joins (join.CrossMultiRadiusCounts): each target
+// segment answers all its outside queries in one traversal pair that
+// prunes whole subtree-vs-subtree blocks, instead of the per-element
+// batched probes this path used before, with tombstones subtracted
+// through the segment-backend dead tree. Exact counts merge by
+// addition, so the matrix is identical to a fresh build's for every
+// worker count.
 func (m *Mutable[T]) CountAllMulti(radii []float64, workers int) [][]int {
 	m.refreshIDs()
 	n, a := m.live, len(radii)
@@ -63,48 +69,54 @@ func (m *Mutable[T]) CountAllMulti(radii []float64, workers int) [][]int {
 		}
 	}
 
-	// Per-element pass: every live element probes the OTHER segments (and
-	// its own when that segment could not self-join), corrects for
-	// tombstones via the dead-element trees, and probes the memtable tree
-	// (which counts the element itself when it lives there — d(x,x) = 0).
-	// Each global id writes only its own column, so the fan-out is
-	// race-free and order-independent. Trees are materialized before the
-	// parallel section so the lazy builds cannot race.
+	// Cross pass: for each target segment, every live element outside it
+	// — plus its own elements when the segment could not self-join above —
+	// queries the segment's tree in one cross join, and the segment's
+	// dead tree (same backend, so boundary pairs round identically)
+	// subtracts the tombstones. The memtable tree then answers ALL live
+	// elements at once, counting the element itself when it lives there
+	// (d(x,x) = 0). Segments accumulate serially into disjoint-by-query
+	// slots; each join parallelizes internally, and integer addition makes
+	// the segment order unobservable.
 	memTree := m.memIndex()
-	deadTrees := make([]index.Index[T], len(m.segs))
-	for si, s := range m.segs {
-		deadTrees[si] = m.deadIndex(s)
+	qids := make([]int, 0, n)
+	queries := make([]T, 0, n)
+	addInto := func(cc [][]int, sign int) {
+		for e := 0; e < a; e++ {
+			row, crow := counts[e], cc[e]
+			for qi, g := range qids {
+				row[g] += sign * crow[qi]
+			}
+		}
 	}
-	rmax := radii[a-1]
-	parallel.For(workers, n, func(g int) {
-		x := m.elemAt(g)
-		own := m.refs[g].seg
-		bufp := countScratch.Get().(*[]int)
-		buf := *bufp
-		add := func(t index.Index[T], sign int) {
-			buf = index.RangeCountMultiAppend(t, x, radii, buf[:0])
-			for e := 0; e < a; e++ {
-				counts[e][g] += sign * buf[e]
-			}
+	for si, s := range m.segs {
+		if s.liveCount() == 0 {
+			continue
 		}
-		for sj, s := range m.segs {
-			if s.liveCount() == 0 || (sj == own && !probeSelf[sj]) {
+		qids, queries = qids[:0], queries[:0]
+		for g := 0; g < n; g++ {
+			if m.refs[g].seg == si && !probeSelf[si] {
 				continue
 			}
-			if s.fenced(m.d(x, s.pivot), rmax) {
-				continue
-			}
-			add(s.tree, 1)
-			if deadTrees[sj] != nil {
-				add(deadTrees[sj], -1)
-			}
+			qids = append(qids, g)
+			queries = append(queries, m.elemAt(g))
 		}
-		if memTree != nil {
-			add(memTree, 1)
+		if len(qids) == 0 {
+			continue
 		}
-		*bufp = buf
-		countScratch.Put(bufp)
-	})
+		addInto(join.CrossMultiRadiusCounts[T](s.tree, queries, radii, workers), 1)
+		if deadTree := m.deadIndex(s); deadTree != nil {
+			addInto(join.CrossMultiRadiusCounts[T](deadTree, queries, radii, workers), -1)
+		}
+	}
+	if memTree != nil {
+		qids, queries = qids[:0], queries[:0]
+		for g := 0; g < n; g++ {
+			qids = append(qids, g)
+			queries = append(queries, m.elemAt(g))
+		}
+		addInto(join.CrossMultiRadiusCounts[T](memTree, queries, radii, workers), 1)
+	}
 	return counts
 }
 

@@ -1,0 +1,166 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mccatch/internal/metric"
+)
+
+func randPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// checkPartition asserts the structural invariants every cut must hold:
+// each id owned exactly once, IDs ascending and consistent with Items
+// and Owner, part count within [1, k].
+func checkPartition[T any](t *testing.T, label string, s *Set[T], items []T, k int) {
+	t.Helper()
+	if len(items) == 0 {
+		if len(s.Parts) != 0 {
+			t.Fatalf("%s: empty input produced %d parts", label, len(s.Parts))
+		}
+		return
+	}
+	if len(s.Parts) < 1 || len(s.Parts) > k {
+		t.Fatalf("%s: %d parts, want 1..%d", label, len(s.Parts), k)
+	}
+	seen := make([]bool, len(items))
+	for pi, p := range s.Parts {
+		if len(p.IDs) == 0 {
+			t.Fatalf("%s: part %d is empty", label, pi)
+		}
+		if len(p.IDs) != len(p.Items) {
+			t.Fatalf("%s: part %d has %d ids but %d items", label, pi, len(p.IDs), len(p.Items))
+		}
+		for m, id := range p.IDs {
+			if m > 0 && p.IDs[m-1] >= id {
+				t.Fatalf("%s: part %d ids not ascending: %v", label, pi, p.IDs)
+			}
+			if seen[id] {
+				t.Fatalf("%s: id %d owned twice", label, id)
+			}
+			seen[id] = true
+			if s.Owner[id] != pi {
+				t.Fatalf("%s: Owner[%d] = %d, want %d", label, id, s.Owner[id], pi)
+			}
+			if !reflect.DeepEqual(p.Items[m], items[id]) {
+				t.Fatalf("%s: part %d item %d differs from items[%d]", label, pi, m, id)
+			}
+		}
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("%s: id %d unowned", label, id)
+		}
+	}
+}
+
+// checkMayTouch asserts conservativeness by brute force: whenever some
+// member of a part lies within r of x, MayTouch must say true.
+func checkMayTouch[T any](t *testing.T, label string, s *Set[T], dist metric.Distance[T], queries []T, radii []float64) {
+	t.Helper()
+	for pi, p := range s.Parts {
+		for _, r := range radii {
+			for qi, x := range queries {
+				within := false
+				for _, y := range p.Items {
+					if dist(x, y) <= r {
+						within = true
+						break
+					}
+				}
+				if within && !s.MayTouch(pi, x, r) {
+					t.Fatalf("%s: MayTouch(part %d, query %d, r=%v) = false but a member is within r",
+						label, pi, qi, r)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 8; trial++ {
+		n := rng.Intn(300)
+		dim := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(9)
+		pts := randPoints(rng, n, dim)
+		s := Build(pts, metric.Euclidean, k, 1, true)
+		label := fmt.Sprintf("tiles trial%d (n=%d dim=%d k=%d)", trial, n, dim, k)
+		checkPartition(t, label, s, pts, k)
+		if n > 0 {
+			queries := randPoints(rng, 30, dim)
+			checkMayTouch(t, label, s, metric.Euclidean, queries, []float64{0.5, 5, 40, 200})
+		}
+		// Determinism: the same input cuts identically.
+		again := Build(pts, metric.Euclidean, k, 4, true)
+		if !reflect.DeepEqual(s.Parts, again.Parts) || !reflect.DeepEqual(s.Owner, again.Owner) {
+			t.Fatalf("%s: cut differs between builds", label)
+		}
+	}
+}
+
+func TestBuildVoronoiVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 6; trial++ {
+		n := rng.Intn(250)
+		dim := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(9)
+		pts := randPoints(rng, n, dim)
+		// euclidean=false forces the Voronoi cut even on vectors.
+		s := Build(pts, metric.Euclidean, k, 1, false)
+		label := fmt.Sprintf("voronoi trial%d (n=%d dim=%d k=%d)", trial, n, dim, k)
+		checkPartition(t, label, s, pts, k)
+		if n > 0 {
+			queries := randPoints(rng, 30, dim)
+			checkMayTouch(t, label, s, metric.Euclidean, queries, []float64{0.5, 5, 40, 200})
+		}
+		again := Build(pts, metric.Euclidean, k, 4, false)
+		if !reflect.DeepEqual(s.Parts, again.Parts) || !reflect.DeepEqual(s.Owner, again.Owner) {
+			t.Fatalf("%s: cut differs between builds", label)
+		}
+	}
+}
+
+func TestBuildVoronoiStrings(t *testing.T) {
+	words := []string{"book", "books", "boo", "cook", "cooks", "hook", "hooks",
+		"graph", "graphs", "graphite", "telescope", "telescopes", "microscope",
+		"micro", "macro", "scope", "scopes", "kaleidoscope"}
+	for _, k := range []int{1, 2, 4, 8, 32} {
+		s := Build(words, metric.Levenshtein, k, 1, false)
+		label := fmt.Sprintf("strings k=%d", k)
+		kEff := k
+		if kEff > len(words) {
+			kEff = len(words)
+		}
+		checkPartition(t, label, s, words, kEff)
+		checkMayTouch(t, label, s, metric.Levenshtein, []string{"book", "zzz", "graphene", ""}, []float64{1, 3, 9})
+	}
+}
+
+func TestBuildEdges(t *testing.T) {
+	// Empty set, single element, k larger than n.
+	s := Build(nil, metric.Euclidean, 4, 1, true)
+	checkPartition(t, "empty", s, nil, 4)
+	if s.Diam != 0 {
+		t.Errorf("empty diameter = %v, want 0", s.Diam)
+	}
+	one := [][]float64{{3, 4}}
+	s = Build(one, metric.Euclidean, 8, 1, true)
+	checkPartition(t, "single", s, one, 1)
+	// Duplicate points must still partition disjointly.
+	dup := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	s = Build(dup, metric.Euclidean, 2, 1, true)
+	checkPartition(t, "duplicates", s, dup, 2)
+}

@@ -354,6 +354,41 @@ func (t *Tree[T]) selectPivots(items []T, idx []int, k int, gs *globalSample) []
 	return pickPivots(s, k, dm, sample)
 }
 
+// SelectPivots picks k spread-out pivot positions (indices into items)
+// under dist — the deterministic k-medoid-style sampler the bulk loader
+// uses for node pivots (strided sample, medoid seed, farthest-first
+// companions, one refinement pass), exported for the shard layer's
+// Voronoi partitioner. Requires 1 ≤ k ≤ len(items); the returned
+// positions are distinct and depend only on (items, k).
+func SelectPivots[T any](dist metric.Distance[T], items []T, k int) []int {
+	s := len(items)
+	if s > bulkSampleMax {
+		s = bulkSampleMax
+	}
+	if s < k {
+		s = k
+	}
+	sample := make([]int, s)
+	step := len(items) / s
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < s; i++ {
+		sample[i] = (i * step) % len(items)
+	}
+	dm := make([][]float64, s)
+	for i := range dm {
+		dm[i] = make([]float64, s)
+	}
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			d := dist(items[sample[i]], items[sample[j]])
+			dm[i][j], dm[j][i] = d, d
+		}
+	}
+	return pickPivots(s, k, dm, sample)
+}
+
 // pickPivots runs the k-medoid-style selection over a sample of s
 // candidates with pairwise distance matrix dm: medoid seed,
 // farthest-first companions, one medoid refinement pass. posOf[i] is

@@ -251,6 +251,35 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithShards partitions the dataset into n shards that each run the
+// full detection pipeline over their own index, concurrently, with the
+// cross-shard interactions merged exactly (n = 1, the default, is the
+// single-index path). Vector data under the Euclidean distance is cut
+// into STR-style tiles; any other metric is cut into pivot Voronoi
+// cells around deterministically sampled pivots. Shards never replicate
+// border points — cross-shard dual-tree joins account for every
+// across-the-cut neighbor pair exactly.
+//
+// Determinism guarantee: like WithWorkers, WithShards trades only
+// wall-clock time, never output — the Result is byte-identical for
+// every shard count, because the merge sums exact integer neighbor
+// counts and takes exact integer minima over bridge radii (no
+// floating-point reduction ever crosses a shard boundary). Sharding
+// helps when per-shard work dominates the cross-shard border (clustered
+// or spread-out data, larger n); it hurts on tiny datasets or cuts
+// where most points are near a border, where the k² cross-shard joins
+// outweigh the split build. Sharded detectors have no on-disk format,
+// so WithShards conflicts with Save/WriteFile and the Open* paths.
+func WithShards(n int) Option {
+	return func(p *core.Params) error {
+		if n < 1 {
+			return fmt.Errorf("mccatch: WithShards: shard count must be ≥ 1, got %d", n)
+		}
+		p.Shards = n
+		return nil
+	}
+}
+
 // Run executes MCCATCH on items under dist with the given options and
 // returns the ranked microclusters, their scores, and a score per point.
 // It is Build followed by one Detect; hold a Detector instead when the

@@ -1,0 +1,201 @@
+package mccatch
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The public WithShards contract: the Result is deep-equal for every
+// shard count, on every entry point that accepts the option. These
+// tests pin it for shards ∈ {1, 2, 8} × workers ∈ {1, 2, 8} across the
+// batch wrappers, the Detector handle, and the incremental layer, on
+// vectors and strings. Run under -race to also prove the merge is
+// race-free end to end.
+
+var shardTestCounts = []int{1, 2, 8}
+
+// stripKnobs zeroes the two parameters that legitimately differ between
+// runs (requested shard and worker counts) so DeepEqual compares pure
+// output.
+func stripKnobs(r *Result) *Result {
+	c := *r
+	c.Params.Workers = 0
+	c.Params.Shards = 0
+	return &c
+}
+
+func shardTestWords(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	words := make([]string, 0, n+8)
+	for i := 0; i < n; i++ {
+		stem := []byte("shardparallel")
+		for j := rng.Intn(3); j > 0; j-- {
+			stem[rng.Intn(len(stem))] = byte('a' + rng.Intn(26))
+		}
+		words = append(words, string(stem[:7+rng.Intn(6)]))
+	}
+	for i := 0; i < 8; i++ {
+		words = append(words, strings.Repeat(string(rune('0'+i)), 18+i))
+	}
+	return words
+}
+
+func TestWithShardsInvarianceBatch(t *testing.T) {
+	pts := detectorPoints(400, 21)
+	base, err := RunVectors(pts, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := shardTestWords(180, 22)
+	baseW, err := RunStrings(words, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range shardTestCounts {
+		for _, workers := range []int{1, 2, 8} {
+			label := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+			got, err := RunVectors(pts, WithShards(shards), WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s: RunVectors failed: %v", label, err)
+			}
+			if !reflect.DeepEqual(stripKnobs(base), stripKnobs(got)) {
+				t.Errorf("%s: RunVectors result differs from unsharded", label)
+			}
+			gotW, err := RunStrings(words, WithShards(shards), WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s: RunStrings failed: %v", label, err)
+			}
+			if !reflect.DeepEqual(stripKnobs(baseW), stripKnobs(gotW)) {
+				t.Errorf("%s: RunStrings result differs from unsharded", label)
+			}
+		}
+	}
+}
+
+func TestWithShardsInvarianceDetector(t *testing.T) {
+	pts := detectorPoints(350, 23)
+	builds := map[string]func(...Option) (*Detector[[]float64], error){
+		"rtree": func(opts ...Option) (*Detector[[]float64], error) { return BuildVectors(pts, opts...) },
+		"kd":    func(opts ...Option) (*Detector[[]float64], error) { return BuildVectorsKD(pts, opts...) },
+		"slim":  func(opts ...Option) (*Detector[[]float64], error) { return BuildVectorsSlim(pts, opts...) },
+	}
+	for name, build := range builds {
+		base, err := build(WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.Detect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range shardTestCounts {
+			d, err := build(WithShards(shards), WithWorkers(2))
+			if err != nil {
+				t.Fatalf("%s shards=%d: build failed: %v", name, shards, err)
+			}
+			got, err := d.Detect()
+			if err != nil {
+				t.Fatalf("%s shards=%d: Detect failed: %v", name, shards, err)
+			}
+			if !reflect.DeepEqual(stripKnobs(want), stripKnobs(got)) {
+				t.Errorf("%s shards=%d: Detect differs from unsharded", name, shards)
+			}
+			// Detect twice: the per-shard indexes are reused, the answer
+			// must not drift.
+			again, err := d.Detect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, again) {
+				t.Errorf("%s shards=%d: second Detect differs from first", name, shards)
+			}
+			// The derived reads answer from the partition: same schedule,
+			// same probe curves as the unsharded detector.
+			if !reflect.DeepEqual(base.Radii(), d.Radii()) {
+				t.Errorf("%s shards=%d: Radii differ from unsharded", name, shards)
+			}
+			for _, q := range [][]float64{pts[0], pts[len(pts)/2], {999, -50, 3}} {
+				cu, _ := base.Probe(q)
+				cs, _ := d.Probe(q)
+				if !reflect.DeepEqual(cu, cs) {
+					t.Errorf("%s shards=%d: Probe(%v) = %v, want %v", name, shards, q, cs, cu)
+				}
+			}
+			if d.Size() != len(pts) {
+				t.Errorf("%s shards=%d: Size = %d, want %d", name, shards, d.Size(), len(pts))
+			}
+		}
+	}
+}
+
+func TestWithShardsInvarianceIncremental(t *testing.T) {
+	pts := detectorPoints(300, 24)
+	run := func(shards int) *Result {
+		t.Helper()
+		inc, err := NewIncrementalVectors(3, WithShards(shards), WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc.SetMemtableCap(64)
+		handles := make([]int64, 0, len(pts))
+		for _, p := range pts {
+			h, err := inc.Insert(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		for i := 5; i < len(handles); i += 7 { // deletes spanning segments
+			inc.Delete(handles[i])
+		}
+		res, err := inc.Detect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, shards := range shardTestCounts[1:] {
+		if got := run(shards); !reflect.DeepEqual(stripKnobs(base), stripKnobs(got)) {
+			t.Errorf("incremental shards=%d: Detect differs from unsharded", shards)
+		}
+	}
+}
+
+// TestWithShardsValidation pins the option's error paths: rejected
+// values, the no-on-disk-format rule, and the Open* conflict.
+func TestWithShardsValidation(t *testing.T) {
+	pts := detectorPoints(60, 25)
+	if _, err := RunVectors(pts, WithShards(0)); err == nil {
+		t.Error("WithShards(0) accepted, want error")
+	}
+	if _, err := RunVectors(pts, WithShards(-3)); err == nil {
+		t.Error("WithShards(-3) accepted, want error")
+	}
+	d, err := BuildVectors(pts, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile(t.TempDir() + "/x.mcc"); err == nil {
+		t.Error("WriteFile on a sharded detector accepted, want error")
+	}
+	if err := d.Save(io.Discard); err == nil {
+		t.Error("Save on a sharded detector accepted, want error")
+	}
+	// An index file written unsharded cannot be opened sharded.
+	path := t.TempDir() + "/v.mcc"
+	plain, err := BuildVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenVectors(path, WithShards(2)); err == nil {
+		t.Error("OpenVectors with WithShards(2) accepted, want error")
+	}
+}
